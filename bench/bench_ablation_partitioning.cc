@@ -1,0 +1,64 @@
+// Ablation (§4.1): scope-aware partitioning vs naive 5-tuple hashing for a
+// vertex with multi-scope state (the DPI engine: per-connection records at
+// 5-tuple scope, per-host counters at src-ip scope).
+//
+// Partitioning by the coarsest scope (src-ip) sends every flow of a host to
+// one instance, so the per-host counter is exclusive and cacheable; 5-tuple
+// hashing spreads a host's flows across instances, forcing blocking
+// cross-instance coordination on every connection attempt.
+#include "bench_util.h"
+
+using namespace chc;
+using namespace chc::bench;
+
+namespace {
+
+struct Result {
+  uint64_t blocking_rtts;
+  double p95_usec;
+};
+
+Result run(Scope partition) {
+  ChainSpec spec;
+  spec.add_vertex("dpi", [] { return std::make_unique<DpiEngine>(); }, 4);
+  spec.set_partition_scope(0, partition);
+  Runtime rt(std::move(spec), paper_config(Model::kExternalCachedNoAck));
+  rt.start();
+
+  TraceConfig tc;
+  tc.num_packets = 6000;
+  tc.num_connections = 800;
+  tc.num_internal_hosts = 32;
+  rt.run_trace(generate_trace(tc));
+  rt.wait_quiescent(std::chrono::seconds(30));
+
+  Result r{0, 0};
+  Histogram all;
+  for (size_t i = 0; i < rt.instance_count(0); ++i) {
+    r.blocking_rtts += rt.instance(0, i).client().stats().blocking_rtts;
+    for (double v : rt.instance(0, i).proc_time().raw()) all.record(v);
+  }
+  r.p95_usec = all.percentile(95);
+  rt.shutdown();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation: scope-aware vs 5-tuple partitioning (DPI, 4 instances)",
+               "scope-aware partitioning minimizes shared-state coordination "
+               "(paper §4.1); not a paper table — design-choice ablation");
+
+  Result aware = run(Scope::kSrcIp);
+  Result naive = run(Scope::kFiveTuple);
+  std::printf("%-28s %16s %12s\n", "partitioning", "blocking RTTs", "p95 usec");
+  std::printf("%-28s %16llu %12.2f\n", "scope-aware (src-ip)",
+              static_cast<unsigned long long>(aware.blocking_rtts), aware.p95_usec);
+  std::printf("%-28s %16llu %12.2f\n", "naive (5-tuple hash)",
+              static_cast<unsigned long long>(naive.blocking_rtts), naive.p95_usec);
+  std::printf("coordination reduction: %.1fx fewer blocking round trips\n",
+              static_cast<double>(naive.blocking_rtts) /
+                  std::max<uint64_t>(1, aware.blocking_rtts));
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 8: per-packet processing-time percentiles (5/25/50/75/95) for the
+// four NFs under the four state-management models:
+//   T        traditional NF, state local
+//   EO       externalized state, every op waits a store round trip
+//   EO+C     + caching per the Table 1 strategy matrix
+//   EO+C+NA  + no ACK waits on non-blocking ops
+//
+// Paper shape: T medians ~2.1-2.3us for NAT/LB; EO adds ~RTT x ops/pkt
+// (NAT: 3 round trips); EO+C removes the cached reads; EO+C+NA lands within
+// +0.02..0.54us of T. Detectors barely move (no per-packet state).
+#include "bench_util.h"
+
+using namespace chc;
+using namespace chc::bench;
+
+namespace {
+
+Histogram run_model(const std::string& nf, Model model, const Trace& trace) {
+  ChainSpec spec;
+  spec.add_vertex(nf, nf_factory(nf));
+  Runtime rt(std::move(spec), paper_config(model));
+  register_custom_ops(rt.store());
+  rt.start();
+  if (nf == "nat") {
+    auto seed = rt.probe_client(0);
+    Nat::seed_ports(*seed, 50000, 4096);
+  }
+  rt.run_trace(trace);
+  rt.wait_quiescent(std::chrono::seconds(20));
+  Histogram h = rt.instance(0, 0).proc_time();
+  rt.shutdown();
+  return h;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 8: per-packet processing time (usec) by model",
+               "NAT T=2.07 EO=+190.7 EO+C=-112.0 EO+C+NA=2.61 | LB T=2.25 "
+               "EO=+109.9 EO+C=-55.9 EO+C+NA=2.27 | detectors ~unchanged");
+
+  const Trace trace = bench_trace(4000);
+  const char* nfs[] = {"nat", "portscan", "trojan", "lb"};
+  const Model models[] = {Model::kTraditional, Model::kExternal,
+                          Model::kExternalCached, Model::kExternalCachedNoAck};
+
+  std::printf("%-10s %-9s %8s %8s %8s %8s %8s\n", "nf", "model", "p5", "p25", "p50",
+              "p75", "p95");
+  for (const char* nf : nfs) {
+    double t_median = 0;
+    for (Model m : models) {
+      Histogram h = run_model(nf, m, trace);
+      if (m == Model::kTraditional) t_median = h.median();
+      std::printf("%-10s %-9s %8.2f %8.2f %8.2f %8.2f %8.2f", nf, model_name(m),
+                  h.percentile(5), h.percentile(25), h.percentile(50),
+                  h.percentile(75), h.percentile(95));
+      if (m != Model::kTraditional) {
+        std::printf("   (median vs T: %+0.2fus)", h.median() - t_median);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 12 (R1): per-packet latency CDF under fault-tolerance mechanisms —
+// CHC's state externalization vs FTMB-style periodic checkpointing.
+//
+// Paper method: FTMB is modeled by its measured checkpoint stall (5ms every
+// 200ms) during which packets queue; CHC needs no checkpointing because
+// state already lives in the store. Result: FTMB's 75th percentile is ~6x
+// CHC's (25.5us vs ~4us), median ~2.7x.
+#include "baseline/opennf.h"
+#include "bench_util.h"
+
+using namespace chc;
+using namespace chc::bench;
+
+namespace {
+
+Histogram run(bool ftmb, const Trace& trace, Duration gap) {
+  ChainSpec spec;
+  if (ftmb) {
+    spec.add_vertex("nat-ftmb", [] {
+      return std::make_unique<FtmbShim>(std::make_unique<Nat>(),
+                                        std::chrono::milliseconds(200), Micros(5000));
+    });
+  } else {
+    spec.add_vertex("nat", nf_factory("nat"));
+  }
+  // FTMB keeps state NF-local (that is its design); CHC externalizes.
+  Runtime rt(std::move(spec),
+             paper_config(ftmb ? Model::kTraditional : Model::kExternalCachedNoAck));
+  rt.start();
+  if (!ftmb) {
+    auto seed = rt.probe_client(0);
+    Nat::seed_ports(*seed, 50000, 4096);
+  }
+  rt.run_trace(trace, gap);
+  rt.wait_quiescent(std::chrono::seconds(20));
+  Histogram h = rt.sink().latency();
+  rt.shutdown();
+  return h;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 12 (R1): latency CDF under fault tolerance, 50% load",
+               "FTMB 75%%ile ~6x CHC (checkpoint stalls); median ~2.7x");
+
+  // 50% load: inject at twice the NF service time. Run long enough to span
+  // several 200ms checkpoint periods.
+  const Trace trace = bench_trace(60'000);
+  const Duration gap = Micros(10);
+
+  Histogram chc = run(false, trace, gap);
+  Histogram ftmb = run(true, trace, gap);
+
+  std::printf("%-10s %10s %10s\n", "", "CHC", "FTMB");
+  for (double p : {25.0, 50.0, 75.0, 95.0, 99.0}) {
+    std::printf("p%-9.0f %10.2f %10.2f\n", p, chc.percentile(p), ftmb.percentile(p));
+  }
+  std::printf("FTMB/CHC ratio: p75 %.1fx, p95 %.1fx, p99 %.1fx (paper: ~6x at "
+              "p75 — their heavier queueing pushed the stall tail into the "
+              "75th percentile; here it shows from p95 up)\n",
+              ftmb.percentile(75) / chc.percentile(75),
+              ftmb.percentile(95) / chc.percentile(95),
+              ftmb.percentile(99) / chc.percentile(99));
+  std::printf("\nCDF (usec, cumulative fraction):\n");
+  auto print_cdf = [](const char* name, const Histogram& h) {
+    std::printf("%s:", name);
+    for (auto& [v, f] : h.cdf(8)) std::printf(" (%.1f,%.2f)", v, f);
+    std::printf("\n");
+  };
+  print_cdf("CHC ", chc);
+  print_cdf("FTMB", ftmb);
+  return 0;
+}

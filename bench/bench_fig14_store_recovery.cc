@@ -1,0 +1,82 @@
+// Figure 14 (R6): datastore-instance recovery time — rebuild shared state
+// from the last checkpoint by re-executing the clients' write-ahead logs
+// (with Fig. 7 TS selection when reads occurred).
+//
+// Paper: recovery grows with the number of NAT instances updating shared
+// objects (5 vs 10) and the checkpoint interval (30/75/150 ms): up to
+// ~388ms for 10 NATs at 150ms intervals — i.e., a store instance recovers
+// quickly.
+#include "bench_util.h"
+
+using namespace chc;
+using namespace chc::bench;
+
+namespace {
+
+double run(int n_instances, int checkpoint_ms) {
+  DataStoreConfig scfg;
+  scfg.num_shards = 1;  // one store instance, as in the experiment
+  DataStore store(scfg);
+  store.start();
+
+  // n NAT-like clients hammering shared counters with clocked updates.
+  std::vector<std::unique_ptr<StoreClient>> clients;
+  for (int i = 0; i < n_instances; ++i) {
+    ClientConfig cc;
+    cc.vertex = 1;
+    cc.instance = static_cast<InstanceId>(i + 1);
+    cc.caching = false;
+    cc.wait_acks = false;
+    auto c = std::make_unique<StoreClient>(&store, cc);
+    c->register_object({1, Scope::kGlobal, true,
+                        AccessPattern::kWriteMostlyReadRarely, "tcp-pkts"});
+    c->register_object({2, Scope::kGlobal, true,
+                        AccessPattern::kWriteMostlyReadRarely, "total-pkts"});
+    clients.push_back(std::move(c));
+  }
+
+  // Updates accumulate for one checkpoint interval after the checkpoint.
+  // Each paper NAT ran at ~9.4Gbps (~800k updates/s/instance); we can't
+  // drive that from one core in real time, so the WAL suffix volume is
+  // synthesized at a fixed per-instance rate x interval — which is exactly
+  // what determines recovery time.
+  auto checkpoint = store.checkpoint_shard(0);
+  constexpr int kUpdatesPerMsPerInstance = 40;
+  const int per_instance = checkpoint_ms * kUpdatesPerMsPerInstance;
+  uint64_t clock = 1;
+  for (int k = 0; k < per_instance; ++k) {
+    for (auto& c : clients) {
+      c->set_current_clock(clock++);
+      c->incr(1, FiveTuple{}, 1);
+      c->set_current_clock(clock++);
+      c->incr(2, FiveTuple{}, 1);
+      c->poll();
+    }
+  }
+  // Let in-flight ops land before the crash point.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  store.crash_shard(0);
+  std::vector<ClientEvidence> evidence;
+  for (auto& c : clients) evidence.push_back(c->evidence());
+  RecoveryStats st = store.recover_shard(0, *checkpoint, evidence);
+  std::printf("   %2d instances, %3dms interval: recovery %8.2f ms "
+              "(%zu ops re-executed, %zu objects)\n",
+              n_instances, checkpoint_ms, st.elapsed_usec / 1000.0, st.ops_replayed,
+              st.shared_objects_restored);
+  return st.elapsed_usec;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 14 (R6): store-instance recovery time",
+               "grows with instance count (5 vs 10) and checkpoint interval "
+               "(30/75/150ms); <= 388ms for 10 NATs @150ms");
+  for (int n : {5, 10}) {
+    for (int ms : {30, 75, 150}) run(n, ms);
+  }
+  std::printf("(shape: more instances and longer intervals => longer WAL "
+              "suffix => longer recovery)\n");
+  return 0;
+}

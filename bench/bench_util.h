@@ -1,0 +1,85 @@
+// Shared plumbing for the paper-reproduction benches. Every bench prints
+// the paper's reported numbers next to ours; absolute values differ (their
+// testbed is CloudLab + 10G NICs, ours is a simulated network with a 28us
+// store RTT), but the shapes — who wins, by what factor, where knees sit —
+// are the reproduction target.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/runtime.h"
+#include "nf/custom_ops.h"
+#include "nf/load_balancer.h"
+#include "nf/nat.h"
+#include "nf/portscan.h"
+#include "nf/simple_nfs.h"
+#include "nf/trojan.h"
+#include "trace/trace.h"
+
+namespace chc::bench {
+
+inline constexpr auto kOneWay = Micros(14);  // store RTT ~= 28us
+
+// Runtime config with the simulated-network delays the benches assume.
+inline RuntimeConfig paper_config(Model m) {
+  RuntimeConfig cfg;
+  cfg.model = m;
+  cfg.store.num_shards = 2;
+  cfg.store.link.one_way_delay = kOneWay;
+  cfg.root.clock_persist_every = 0;  // clock-persistence cost measured in
+                                     // bench_meta_clock, not everywhere
+  cfg.root_one_way = kOneWay;
+  return cfg;
+}
+
+// Reply path must carry the same delay as the request path.
+inline RuntimeConfig with_reply_delay(RuntimeConfig cfg) {
+  // ClientConfig.reply_link is derived from store.link inside the runtime.
+  return cfg;
+}
+
+// Zero-delay variant for logic-focused benches.
+inline RuntimeConfig fast_config(Model m) {
+  RuntimeConfig cfg;
+  cfg.model = m;
+  cfg.store.num_shards = 2;
+  cfg.root.clock_persist_every = 0;
+  cfg.root_one_way = Duration::zero();
+  return cfg;
+}
+
+inline void print_header(const char* title, const char* paper_line) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("paper: %s\n", paper_line);
+  std::printf("================================================================\n");
+}
+
+inline double gbps(size_t bytes, double seconds) {
+  return seconds <= 0 ? 0 : static_cast<double>(bytes) * 8.0 / seconds / 1e9;
+}
+
+// The four NFs of paper §6/Table 4, by name.
+inline NfFactory nf_factory(const std::string& name) {
+  if (name == "nat") return [] { return std::make_unique<Nat>(); };
+  if (name == "portscan") return [] { return std::make_unique<PortscanDetector>(); };
+  if (name == "trojan") return [] { return std::make_unique<TrojanDetector>(); };
+  if (name == "lb") return [] { return std::make_unique<LoadBalancer>(8); };
+  return [] { return std::make_unique<CountingIds>(); };
+}
+
+// A Trace2-shaped workload with handshakes, scans, and app events so every
+// NF has something to chew on.
+inline Trace bench_trace(size_t packets, uint64_t seed = 7) {
+  TraceConfig tc;
+  tc.seed = seed;
+  tc.num_packets = packets;
+  tc.num_connections = std::max<size_t>(20, packets / 32);
+  tc.median_packet_size = 1434;
+  tc.scan_fraction = 0.05;
+  tc.trojan_signatures = {{0x0a0000f1, 0.4}, {0x0a0000f2, 0.7}};
+  return generate_trace(tc);
+}
+
+}  // namespace chc::bench

@@ -1,0 +1,71 @@
+// Elastic scaling: scale an IDS from one instance to two mid-stream and
+// move half the hosts over, with CHC's loss-free, order-preserving state
+// handover (paper §5.1, Fig. 4).
+//
+//   ./build/examples/elastic_scaling
+#include <cstdio>
+
+#include "core/runtime.h"
+#include "nf/simple_nfs.h"
+#include "trace/trace.h"
+
+using namespace chc;
+
+int main() {
+  ChainSpec spec;
+  VertexId ids = spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); });
+  spec.set_partition_scope(ids, Scope::kSrcIp);
+
+  RuntimeConfig cfg;
+  cfg.model = Model::kExternalCachedNoAck;
+  cfg.store.link.one_way_delay = Micros(14);
+  cfg.root_one_way = Micros(14);
+  Runtime rt(std::move(spec), cfg);
+  rt.start();
+
+  TraceConfig tc;
+  tc.num_packets = 16'000;
+  tc.num_connections = 400;
+  tc.num_internal_hosts = 8;
+  Trace trace = generate_trace(tc);
+
+  // First half through one instance.
+  const size_t half = trace.size() / 2;
+  for (size_t i = 0; i < half; ++i) rt.inject(trace[i]);
+
+  // Load spiked: add an instance and move half the hosts (4 of 8) to it.
+  const uint16_t old_rid = rt.instance(ids, 0).runtime_id();
+  const uint16_t new_rid = rt.add_instance(ids);
+  std::vector<uint64_t> moved;
+  for (uint32_t h = 0; h < 4; ++h) {
+    FiveTuple t{0x0a000000 + h, 0, 0, 0, IpProto::kTcp};
+    moved.push_back(scope_hash(t, Scope::kSrcIp));
+  }
+  const double usec = rt.move_flows(ids, moved, old_rid, new_rid);
+  std::printf("move issued in %.1f us (marks + partition update; no state "
+              "bytes transferred)\n", usec);
+
+  // Second half: traffic for the moved hosts flows to the new instance; the
+  // handover protocol guarantees no update is lost or reordered.
+  for (size_t i = half; i < trace.size(); ++i) rt.inject(trace[i]);
+  if (!rt.wait_quiescent(std::chrono::seconds(60))) {
+    std::printf("warning: chain did not drain\n");
+  }
+
+  auto load = rt.splitter(ids).load();
+  for (auto& [rid, n] : load) {
+    std::printf("instance rid=%u processed %llu packets\n", rid,
+                static_cast<unsigned long long>(n));
+  }
+
+  // Loss-freeness check: the shared per-port counter saw every packet once.
+  auto probe = rt.probe_client(ids);
+  FiveTuple https{0, 0, 0, 443, IpProto::kTcp};
+  std::printf("port-443 counter: %lld (https packets in trace: counted once "
+              "each across the move)\n",
+              static_cast<long long>(probe->get(CountingIds::kPortCount, https).i));
+  std::printf("duplicates at receiver: %zu (must be 0)\n",
+              rt.sink().duplicate_clocks());
+  rt.shutdown();
+  return 0;
+}

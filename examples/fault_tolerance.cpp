@@ -1,0 +1,78 @@
+// Fault tolerance: crash a NAT instance mid-stream and fail over with
+// root-log replay (paper §5.4) — state picks up exactly where it left off,
+// with duplicate updates and outputs suppressed. Then crash a store shard
+// and rebuild it from checkpoints + client write-ahead logs.
+//
+//   ./build/examples/fault_tolerance
+#include <cstdio>
+
+#include "core/runtime.h"
+#include "nf/nat.h"
+#include "trace/trace.h"
+
+using namespace chc;
+
+int main() {
+  ChainSpec spec;
+  VertexId nat = spec.add_vertex("nat", [] { return std::make_unique<Nat>(); });
+
+  RuntimeConfig cfg;
+  cfg.model = Model::kExternalCachedNoAck;
+  cfg.store.link.one_way_delay = Micros(14);
+  cfg.root_one_way = Micros(14);
+  cfg.root.clock_persist_every = 10;
+  Runtime rt(std::move(spec), cfg);
+  rt.start();
+  auto probe = rt.probe_client(nat);
+  Nat::seed_ports(*probe, 50000, 4096);
+
+  TraceConfig tc;
+  tc.num_packets = 10'000;
+  tc.num_connections = 300;
+  Trace trace = generate_trace(tc);
+
+  // --- NF failover ------------------------------------------------------------
+  const uint16_t rid = rt.instance(nat, 0).runtime_id();
+  size_t i = 0;
+  for (const Packet& p : trace.packets()) {
+    if (i == trace.size() / 2) {
+      std::printf("killing the NAT instance (packets in flight are lost "
+                  "with it)...\n");
+      rt.fail_instance(nat, rid);
+      const size_t replayed = rt.recover_instance(nat, rid);
+      std::printf("failover instance booted; root replayed %zu in-flight "
+                  "packets\n", replayed);
+    }
+    rt.inject(p);
+    ++i;
+  }
+  rt.wait_quiescent(std::chrono::seconds(60));
+  std::printf("after recovery: total-packet counter=%lld, trace packets=%zu "
+              "(exactly-once despite the crash)\n",
+              static_cast<long long>(probe->get(Nat::kTotalPackets, FiveTuple{}).i),
+              trace.size());
+  std::printf("duplicates at receiver: %zu\n", rt.sink().duplicate_clocks());
+
+  // --- root failover -----------------------------------------------------------
+  const double root_usec = rt.fail_and_recover_root();
+  std::printf("root failover: %.1f us (read persisted clock, resume at +n)\n",
+              root_usec);
+
+  // --- store shard failover ------------------------------------------------------
+  rt.checkpoint_store();
+  for (int k = 0; k < 500; ++k) rt.inject(trace[k]);  // post-checkpoint updates
+  rt.wait_quiescent(std::chrono::seconds(60));
+  const int64_t before = probe->get(Nat::kTotalPackets, FiveTuple{}).i;
+  for (int s = 0; s < rt.store().num_shards(); ++s) {
+    RecoveryStats st = rt.fail_and_recover_shard(s);
+    std::printf("store shard %d recovered in %.2f ms (%zu WAL ops re-executed, "
+                "%zu per-flow entries from client caches)\n",
+                s, st.elapsed_usec / 1000.0, st.ops_replayed, st.per_flow_restored);
+  }
+  const int64_t after = probe->get(Nat::kTotalPackets, FiveTuple{}).i;
+  std::printf("counter before crash %lld == after recovery %lld: %s\n",
+              static_cast<long long>(before), static_cast<long long>(after),
+              before == after ? "OK" : "MISMATCH");
+  rt.shutdown();
+  return 0;
+}

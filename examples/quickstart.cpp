@@ -1,0 +1,68 @@
+// Quickstart: build a two-NF chain (firewall -> IDS), push a synthetic
+// trace through it, and read shared state back out of the store.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/runtime.h"
+#include "nf/simple_nfs.h"
+#include "trace/trace.h"
+
+using namespace chc;
+
+int main() {
+  // 1. Describe the logical chain (paper §3: a DAG of NF vertices).
+  ChainSpec spec;
+  VertexId fw = spec.add_vertex("firewall", [] {
+    return std::make_unique<Firewall>(std::vector<uint16_t>{23, 445});
+  });
+  VertexId ids = spec.add_vertex(
+      "ids", [] { return std::make_unique<CountingIds>(); }, /*parallelism=*/2);
+  spec.add_edge(fw, ids);
+
+  // 2. Configure the runtime: state store with a 28us simulated RTT, the
+  //    EO+C+NA state-management model (externalized + cached + no-ACK-wait).
+  RuntimeConfig cfg;
+  cfg.model = Model::kExternalCachedNoAck;
+  cfg.store.num_shards = 2;
+  cfg.store.link.one_way_delay = Micros(14);
+  cfg.root_one_way = Micros(14);
+
+  Runtime rt(std::move(spec), cfg);
+  rt.start();
+
+  // 3. Generate and run a Trace2-shaped synthetic workload.
+  TraceConfig tc;
+  tc.num_packets = 20'000;
+  tc.num_connections = 600;
+  Trace trace = generate_trace(tc);
+  TraceStats ts = trace.stats();
+  std::printf("trace: %zu packets, %zu connections, median %0.0fB\n", ts.packets,
+              ts.connections, ts.median_size);
+
+  // Pace injection a little: an unthrottled 20k-packet burst would just
+  // measure queueing in the ingress buffers.
+  rt.run_trace(trace, Micros(5));
+  if (!rt.wait_quiescent(std::chrono::seconds(60))) {
+    std::printf("warning: chain did not drain\n");
+  }
+
+  // 4. Inspect results: chain output + NF state from the external store.
+  std::printf("delivered: %zu packets (duplicates: %zu)\n", rt.sink().count(),
+              rt.sink().duplicate_clocks());
+  std::printf("end-to-end latency: %s\n", rt.sink().latency().summary().c_str());
+
+  auto fw_probe = rt.probe_client(fw);
+  std::printf("firewall: allowed=%lld denied=%lld\n",
+              static_cast<long long>(fw_probe->get(Firewall::kAllowed, FiveTuple{}).i),
+              static_cast<long long>(fw_probe->get(Firewall::kDenied, FiveTuple{}).i));
+
+  auto ids_probe = rt.probe_client(ids);
+  FiveTuple https{0, 0, 0, 443, IpProto::kTcp};
+  std::printf("ids: packets to :443 = %lld (shared across both instances)\n",
+              static_cast<long long>(ids_probe->get(CountingIds::kPortCount, https).i));
+
+  rt.shutdown();
+  return 0;
+}

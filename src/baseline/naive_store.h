@@ -1,0 +1,47 @@
+// StatelessNF-style naive shared-state access (§7.1 "operation offloading"
+// comparison): instead of offloading the operation, the NF acquires a lock
+// on the object, reads it, updates locally, writes it back, and releases
+// the lock — two data round trips plus lock traffic, and competing
+// instances serialize on the lock instead of on the store's op queue.
+#pragma once
+
+#include "store/client.h"
+
+namespace chc {
+
+class NaiveSharedCounter {
+ public:
+  // `lock_obj` and `value_obj` must be registered cross-flow objects with
+  // AccessPattern::kWriteReadOften (so every op is a blocking round trip).
+  NaiveSharedCounter(StoreClient& client, ObjectId lock_obj, ObjectId value_obj)
+      : client_(client), lock_(lock_obj), value_(value_obj) {}
+
+  // Lock -> read -> modify -> write -> unlock. Returns the updated value.
+  // Callers must run with the client clock unset (kNoClock): this baseline
+  // issues two updates to the lock object per packet, which CHC's per-clock
+  // duplicate suppression would (correctly, for CHC semantics) emulate away.
+  int64_t update(const FiveTuple& t, int64_t delta) {
+    // Spin on compare-and-update(0 -> 1) to take the lock.
+    const Value unlocked = Value::of_int(0);
+    const Value locked = Value::of_int(1);
+    Value current;
+    while (!client_.compare_and_update(lock_, t, unlocked, locked, &current)) {
+      // First touch: the lock object does not exist yet; initialize it.
+      if (current.is_none()) client_.set(lock_, t, unlocked);
+      // Contended: another instance holds the lock; retry (each probe is a
+      // full round trip, which is the point of this baseline).
+    }
+    Value v = client_.get(value_, t);
+    const int64_t updated = (v.kind == Value::Kind::kInt ? v.i : 0) + delta;
+    client_.set(value_, t, Value::of_int(updated));
+    client_.set(lock_, t, Value::of_int(0));
+    return updated;
+  }
+
+ private:
+  StoreClient& client_;
+  ObjectId lock_;
+  ObjectId value_;
+};
+
+}  // namespace chc

@@ -1,0 +1,100 @@
+// OpenNF-like baseline (Gember-Jacobson et al., SIGCOMM'14), modeled at
+// protocol level for the paper's comparisons:
+//
+//  - Strongly consistent shared state (§7.3 R3 / Fig. 11): every packet
+//    that updates shared state is forwarded to a central controller, which
+//    relays it to *every* instance sharing the state and releases the next
+//    packet only after all instances ACK. CHC's store, by contrast, just
+//    serializes offloaded operations.
+//  - Loss-free move (§7.3 R2): the controller extracts per-flow state from
+//    the old instance entry by entry, buffers packets for the moved flows,
+//    and installs the state at the new instance before releasing.
+//
+// OpenNF has no chain-wide ordering; the R4 benchmark models that by giving
+// the Trojan detector arrival-order timestamps (use_logical_clocks=false).
+#pragma once
+
+#include <atomic>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/histogram.h"
+#include "core/nf.h"
+#include "net/packet.h"
+#include "transport/sim_link.h"
+
+namespace chc {
+
+struct OpenNfConfig {
+  int num_instances = 2;
+  LinkConfig hop;  // NF <-> controller link (one-way delay)
+  // Controller-side per-event handling cost (classification, bookkeeping).
+  Duration controller_overhead = Micros(2);
+};
+
+class OpenNfController {
+ public:
+  explicit OpenNfController(const OpenNfConfig& cfg);
+  ~OpenNfController();
+
+  void start();
+  void stop();
+
+  // Submit a shared-state update event from an NF instance and wait for the
+  // controller's release (the strong-consistency round). Returns the
+  // per-packet latency in usec.
+  double shared_update(uint32_t state_key, int64_t delta);
+
+  // Loss-free move of `flow_states` per-flow entries from one instance to
+  // another. Packets for the moved flows arriving during the move are
+  // buffered and replayed after install. Returns move duration in usec.
+  double loss_free_move(const std::vector<std::pair<uint64_t, int64_t>>& flow_states);
+
+  int64_t shared_value(uint32_t state_key) const;
+
+ private:
+  struct Event {
+    uint32_t key;
+    int64_t delta;
+    ReplyLinkPtr done;  // controller release notification
+  };
+
+  void run();
+
+  OpenNfConfig cfg_;
+  SimLink<Event> inbox_;
+  // Controller -> instance relay links and their ACK paths.
+  std::vector<std::unique_ptr<SimLink<Event>>> relay_;
+  std::vector<std::unique_ptr<SimLink<int>>> acks_;
+  std::vector<std::thread> instance_threads_;
+  std::unordered_map<uint32_t, std::atomic<int64_t>> state_;
+  std::thread controller_;
+  std::atomic<bool> running_{false};
+};
+
+// FTMB-like baseline (Sherry et al., SIGCOMM'15) for the R1 comparison
+// (Fig. 12): rollback recovery with periodic output-commit checkpoints. We
+// model it the way the paper does — a queuing stall (default 5 ms) every
+// checkpoint period (default 200 ms) during which the NF buffers input.
+class FtmbShim : public NetworkFunction {
+ public:
+  FtmbShim(std::unique_ptr<NetworkFunction> inner,
+           Duration period = std::chrono::milliseconds(200),
+           Duration stall = Micros(5000))
+      : inner_(std::move(inner)), period_(period), stall_(stall) {}
+
+  const char* name() const override { return inner_->name(); }
+  std::vector<ObjectSpec> state_objects() const override {
+    return inner_->state_objects();
+  }
+  void process(Packet& p, NfContext& ctx) override;
+
+ private:
+  std::unique_ptr<NetworkFunction> inner_;
+  Duration period_;
+  Duration stall_;
+  TimePoint last_checkpoint_{};
+};
+
+}  // namespace chc

@@ -1,0 +1,58 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace chc {
+
+void Histogram::sort_if_needed() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::percentile(double p) const {
+  if (values_.empty()) return 0.0;
+  sort_if_needed();
+  if (p <= 0) return values_.front();
+  if (p >= 100) return values_.back();
+  const double rank = (p / 100.0) * static_cast<double>(values_.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+double Histogram::mean() const {
+  if (values_.empty()) return 0.0;
+  return std::accumulate(values_.begin(), values_.end(), 0.0) /
+         static_cast<double>(values_.size());
+}
+
+std::string Histogram::summary(const std::string& unit) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "p5=%.2f%s p25=%.2f%s p50=%.2f%s p75=%.2f%s p95=%.2f%s (n=%zu)",
+                percentile(5), unit.c_str(), percentile(25), unit.c_str(),
+                percentile(50), unit.c_str(), percentile(75), unit.c_str(),
+                percentile(95), unit.c_str(), count());
+  return buf;
+}
+
+std::vector<std::pair<double, double>> Histogram::cdf(size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (values_.empty() || points == 0) return out;
+  sort_if_needed();
+  const size_t n = values_.size();
+  const size_t step = std::max<size_t>(1, n / points);
+  for (size_t i = 0; i < n; i += step) {
+    out.emplace_back(values_[i], static_cast<double>(i + 1) / static_cast<double>(n));
+  }
+  if (out.back().second < 1.0) out.emplace_back(values_.back(), 1.0);
+  return out;
+}
+
+}  // namespace chc

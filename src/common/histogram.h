@@ -1,0 +1,47 @@
+// Latency/size histograms with exact percentiles. Benches record one value
+// per packet; a sorted-vector implementation is simple and exact, which
+// matters more here than constant-time inserts.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace chc {
+
+class Histogram {
+ public:
+  void record(double v) {
+    values_.push_back(v);
+    sorted_ = false;
+  }
+  void reserve(size_t n) { values_.reserve(n); }
+  void clear() { values_.clear(); sorted_ = false; }
+
+  size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  // p in [0, 100]. Returns 0 for an empty histogram.
+  double percentile(double p) const;
+  double min() const { return percentile(0); }
+  double median() const { return percentile(50); }
+  double max() const { return percentile(100); }
+  double mean() const;
+
+  // "p5=.. p25=.. p50=.. p75=.. p95=.." with the given unit suffix.
+  std::string summary(const std::string& unit = "us") const;
+
+  // CDF as (value, cumulative fraction) pairs, downsampled to at most
+  // `points` entries. Useful for Fig. 11/12 style outputs.
+  std::vector<std::pair<double, double>> cdf(size_t points = 50) const;
+
+  const std::vector<double>& raw() const { return values_; }
+
+ private:
+  void sort_if_needed() const;
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace chc

@@ -1,0 +1,22 @@
+// Minimal leveled logging. Benches and the runtime log sparingly; tests run
+// with warnings only. Not a general-purpose logger by design.
+#pragma once
+
+#include <cstdarg>
+
+namespace chc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_at(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define CHC_DEBUG(...) ::chc::log_at(::chc::LogLevel::kDebug, __VA_ARGS__)
+#define CHC_INFO(...) ::chc::log_at(::chc::LogLevel::kInfo, __VA_ARGS__)
+#define CHC_WARN(...) ::chc::log_at(::chc::LogLevel::kWarn, __VA_ARGS__)
+#define CHC_ERROR(...) ::chc::log_at(::chc::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace chc

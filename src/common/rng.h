@@ -1,0 +1,60 @@
+// Deterministic, fast PRNG used everywhere randomness is needed so that
+// tests and benches are reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace chc {
+
+// SplitMix64: tiny, statistically solid, and trivially seedable.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t bounded(uint64_t bound) { return next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t range(uint64_t lo, uint64_t hi) { return lo + bounded(hi - lo + 1); }
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool chance(double p) { return uniform() < p; }
+
+  // Exponential with the given mean (used for heavy-tailed flow sizes).
+  double exponential(double mean);
+
+  // Pareto-ish heavy tail with minimum x_m and shape alpha.
+  double pareto(double x_m, double alpha);
+
+ private:
+  uint64_t state_;
+};
+
+inline double SplitMix64::exponential(double mean) {
+  double u = uniform();
+  if (u >= 1.0) u = 0.9999999999;
+  // -mean * ln(1-u)
+  double x = 1.0 - u;
+  // ln via series is overkill; <cmath> is fine but keep header light.
+  return -mean * __builtin_log(x);
+}
+
+inline double SplitMix64::pareto(double x_m, double alpha) {
+  double u = uniform();
+  if (u >= 1.0) u = 0.9999999999;
+  return x_m / __builtin_pow(1.0 - u, 1.0 / alpha);
+}
+
+}  // namespace chc

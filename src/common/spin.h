@@ -1,0 +1,37 @@
+// Busy-wait helpers. The simulated network charges microsecond-scale
+// delays; OS sleep primitives have tens-of-microseconds jitter at that
+// scale, so short waits spin on steady_clock instead.
+#pragma once
+
+#include <thread>
+
+#include "common/types.h"
+
+namespace chc {
+
+// Spin until `deadline`. Long waits sleep; the final stretch spins with
+// yields so peer threads still make progress on low-core-count hosts (the
+// simulated network relies on this: a blocked "receiver" must not starve
+// the "sender" thread of CPU).
+inline void spin_until(TimePoint deadline) {
+  constexpr auto kSleepWindow = std::chrono::microseconds(240);
+  constexpr auto kPauseWindow = std::chrono::microseconds(2);
+  for (;;) {
+    const auto now = SteadyClock::now();
+    if (now >= deadline) return;
+    const auto remaining = deadline - now;
+    if (remaining > kSleepWindow) {
+      std::this_thread::sleep_for(remaining - kSleepWindow);
+    } else if (remaining > kPauseWindow) {
+      std::this_thread::yield();
+    } else {
+#if defined(__x86_64__)
+      __builtin_ia32_pause();  // lowers power + SMT contention
+#endif
+    }
+  }
+}
+
+inline void spin_for(Duration d) { spin_until(SteadyClock::now() + d); }
+
+}  // namespace chc

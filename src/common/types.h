@@ -1,0 +1,61 @@
+// Core identifier and clock types shared by every CHC module.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace chc {
+
+// Identifies a logical vertex (an NF type) in the chain DAG.
+using VertexId = uint16_t;
+
+// Identifies one running instance of a logical vertex. Instance id 0 is
+// reserved to mean "shared across all instances of the vertex" in store keys.
+using InstanceId = uint16_t;
+
+// Identifies a state object within a vertex (paper: `obj key`).
+using ObjectId = uint16_t;
+
+// Logical packet clock assigned by the chain root. The high `kRootIdBits`
+// bits carry the id of the root instance that stamped the packet so that
+// "delete" requests can be routed back to the right root (paper §5).
+using LogicalClock = uint64_t;
+
+inline constexpr int kRootIdBits = 8;
+inline constexpr int kClockValueBits = 64 - kRootIdBits;
+inline constexpr LogicalClock kClockValueMask =
+    (LogicalClock{1} << kClockValueBits) - 1;
+
+constexpr LogicalClock make_clock(uint8_t root_id, uint64_t counter) {
+  return (LogicalClock{root_id} << kClockValueBits) | (counter & kClockValueMask);
+}
+constexpr uint8_t clock_root(LogicalClock c) {
+  return static_cast<uint8_t>(c >> kClockValueBits);
+}
+constexpr uint64_t clock_counter(LogicalClock c) { return c & kClockValueMask; }
+
+// Sentinel used for packets that have not passed through a root yet.
+inline constexpr LogicalClock kNoClock = ~LogicalClock{0};
+
+// The 32-bit XOR ledger vector carried by packets (paper §5.4, Fig. 6):
+// each NF whose processing of the packet produced a state update XORs
+// `(instance id << 16) | object id` into this vector.
+using UpdateVector = uint32_t;
+
+constexpr UpdateVector update_tag(InstanceId instance, ObjectId obj) {
+  return (static_cast<UpdateVector>(instance) << 16) |
+         static_cast<UpdateVector>(obj);
+}
+
+using SteadyClock = std::chrono::steady_clock;
+using TimePoint = SteadyClock::time_point;
+using Duration = SteadyClock::duration;
+using Micros = std::chrono::microseconds;
+using Nanos = std::chrono::nanoseconds;
+
+inline double to_usec(Duration d) {
+  return std::chrono::duration<double, std::micro>(d).count();
+}
+
+}  // namespace chc

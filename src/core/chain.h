@@ -1,0 +1,86 @@
+// The operator-facing DAG API (paper §3): vertices are NFs with code,
+// configuration and state objects; edges carry packets. The main path is a
+// chain; off-path NFs (e.g. the Trojan detector working on a copy of
+// suspicious traffic) hang off mirror edges with a selection predicate.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/nf.h"
+
+namespace chc {
+
+using MirrorPredicate = std::function<bool(const Packet&)>;
+
+struct VertexSpec {
+  std::string name;
+  NfFactory factory;
+  int parallelism = 1;
+  // Manual partition-scope override; by default the framework picks the
+  // coarsest scope of the vertex and refines it if load skews (§4.1).
+  std::optional<Scope> partition_scope;
+};
+
+struct MirrorSpec {
+  VertexId from = 0;
+  VertexId to = 0;
+  MirrorPredicate predicate;  // which packets get copied (null = all)
+};
+
+class ChainSpec {
+ public:
+  VertexId add_vertex(std::string name, NfFactory factory, int parallelism = 1) {
+    VertexSpec v;
+    v.name = std::move(name);
+    v.factory = std::move(factory);
+    v.parallelism = parallelism;
+    vertices_.push_back(std::move(v));
+    return static_cast<VertexId>(vertices_.size() - 1);
+  }
+
+  void set_partition_scope(VertexId v, Scope s) {
+    vertices_[v].partition_scope = s;
+  }
+
+  // Primary path edge. Each vertex has at most one primary downstream.
+  void add_edge(VertexId from, VertexId to) { edges_.emplace_back(from, to); }
+
+  // Off-path copy edge (e.g. NAT -> Trojan detector for suspicious traffic).
+  void add_mirror(VertexId from, VertexId to, MirrorPredicate pred = nullptr) {
+    mirrors_.push_back({from, to, std::move(pred)});
+  }
+
+  const std::vector<VertexSpec>& vertices() const { return vertices_; }
+  const std::vector<std::pair<VertexId, VertexId>>& edges() const { return edges_; }
+  const std::vector<MirrorSpec>& mirrors() const { return mirrors_; }
+
+  // First vertex of the main path (no incoming primary edge).
+  VertexId entry() const;
+  // Primary downstream of `v`, or nullopt if terminal.
+  std::optional<VertexId> next(VertexId v) const;
+
+ private:
+  std::vector<VertexSpec> vertices_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+  std::vector<MirrorSpec> mirrors_;
+};
+
+inline VertexId ChainSpec::entry() const {
+  std::vector<bool> has_in(vertices_.size(), false);
+  for (auto [f, t] : edges_) has_in[t] = true;
+  for (VertexId v = 0; v < vertices_.size(); ++v) {
+    if (!has_in[v]) return v;
+  }
+  return 0;
+}
+
+inline std::optional<VertexId> ChainSpec::next(VertexId v) const {
+  for (auto [f, t] : edges_) {
+    if (f == v) return t;
+  }
+  return std::nullopt;
+}
+
+}  // namespace chc

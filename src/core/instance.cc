@@ -1,0 +1,290 @@
+#include "core/instance.h"
+
+#include "common/logging.h"
+#include "common/spin.h"
+
+namespace chc {
+
+NfInstance::NfInstance(VertexId vertex, InstanceId store_id, uint16_t runtime_id,
+                       std::unique_ptr<NetworkFunction> nf,
+                       std::unique_ptr<StoreClient> client, PacketLinkPtr input)
+    : vertex_(vertex),
+      store_id_(store_id),
+      runtime_id_(runtime_id),
+      nf_(std::move(nf)),
+      client_(std::move(client)),
+      input_(std::move(input)) {
+  for (const ObjectSpec& spec : nf_->state_objects()) {
+    client_->register_object(spec);
+  }
+}
+
+NfInstance::~NfInstance() { stop(); }
+
+void NfInstance::start() {
+  if (running_.exchange(true)) return;
+  input_->reopen();
+  worker_ = std::thread([this] { run(); });
+}
+
+void NfInstance::stop() {
+  if (!running_.exchange(false)) return;
+  if (worker_.joinable()) worker_.join();
+}
+
+void NfInstance::crash() {
+  stop();
+  // Packets in the input queue were "in transit to / buffered within" the
+  // dead instance: they are lost and must come back via root replay (§5.4).
+  input_->remove_if([](const Packet&) { return true; });
+  client_->reset_cache();
+  held_.clear();
+  waiting_flows_.clear();
+}
+
+void NfInstance::begin_replay_buffering() { replay_buffering_ = true; }
+
+void NfInstance::end_replay_buffering() {
+  if (!replay_buffering_) return;
+  replay_buffering_ = false;
+  std::vector<Packet> held = std::move(held_);
+  held_.clear();
+  for (Packet& p : held) handle(std::move(p));
+  if (replay_done_cb_) {
+    auto cb = std::move(replay_done_cb_);
+    replay_done_cb_ = nullptr;
+    cb();
+  }
+}
+
+void NfInstance::add_pending_release(std::function<bool(const FiveTuple&)> sel,
+                                     std::shared_ptr<std::atomic<bool>> token) {
+  std::lock_guard lk(release_mu_);
+  pending_releases_.emplace_back(std::move(sel), std::move(token));
+}
+
+void NfInstance::add_inbound_move(std::shared_ptr<std::atomic<bool>> token) {
+  std::lock_guard lk(release_mu_);
+  inbound_moves_.push_back(std::move(token));
+}
+
+void NfInstance::set_artificial_delay(Duration min, Duration max) {
+  delay_min_ = min;
+  delay_max_ = max;
+}
+
+void NfInstance::pause() {
+  paused_.store(true);
+  while (running_.load() && !paused_ack_.load()) {
+    std::this_thread::yield();
+  }
+}
+
+void NfInstance::resume() {
+  paused_.store(false);
+  paused_ack_.store(false);
+}
+
+void NfInstance::run() {
+  while (running_.load(std::memory_order_relaxed)) {
+    if (paused_.load(std::memory_order_relaxed)) {
+      paused_ack_.store(true);
+      std::this_thread::sleep_for(Micros(50));
+      continue;
+    }
+    client_->poll();
+    auto p = input_->recv(Micros(100));
+    if (!p) {
+      // Idle: push out any dirty cached state (keeps the root log bounded
+      // when flush batching is on) and drain flows whose handover completed.
+      client_->set_current_clock(kNoClock);
+      client_->flush_all();
+      maybe_drain_waiting();
+      continue;
+    }
+    handle(std::move(*p));
+  }
+}
+
+void NfInstance::handle(Packet p) {
+  // --- control packets ------------------------------------------------------
+  if (p.flags.last_of_move && p.event == AppEvent::kNone && p.size_bytes == 0) {
+    // Fig. 4 step 5: flush cached state for the moved flows and release
+    // ownership so the store can notify the new instance. This runs after
+    // every packet queued ahead of the "last" mark, by queue order.
+    std::vector<std::pair<std::function<bool(const FiveTuple&)>,
+                          std::shared_ptr<std::atomic<bool>>>>
+        releases;
+    {
+      std::lock_guard lk(release_mu_);
+      releases = std::move(pending_releases_);
+      pending_releases_.clear();
+    }
+    client_->set_current_clock(kNoClock);
+    std::vector<std::function<bool(const FiveTuple&)>> selectors;
+    selectors.reserve(releases.size());
+    for (auto& [sel, token] : releases) selectors.push_back(sel);
+    client_->release_matching(selectors);
+    for (auto& [sel, token] : releases) {
+      if (token) token->store(true);
+    }
+    return;
+  }
+  if (p.flags.replayed && p.flags.last_replayed && p.size_bytes == 0 &&
+      p.event == AppEvent::kNone) {
+    // Synthetic end-of-replay marker (emitted when the real marker packet
+    // was dropped mid-chain, or forwarded through intermediates).
+    if (p.replay_target == runtime_id_) {
+      end_replay_buffering();
+    } else if (forward_) {
+      forward_(*this, std::move(p));
+    }
+    return;
+  }
+
+  // --- duplicate suppression (§5.3) -----------------------------------------
+  if (!p.flags.replayed && seen_.contains(p.clock)) {
+    std::lock_guard lk(stats_mu_);
+    stats_.suppressed_duplicates++;
+    return;
+  }
+
+  // --- replay / live interleaving at a clone or failover target --------------
+  if (replay_buffering_ && !p.flags.replayed) {
+    held_.push_back(std::move(p));
+    std::lock_guard lk(stats_mu_);
+    stats_.buffered_peak = std::max(stats_.buffered_peak, held_.size());
+    return;
+  }
+
+  // --- flow-move: hold moved flows until the handover completes --------------
+  // (Fig. 4 steps 3-4 + step 8's framework buffering). A flow entering on a
+  // first_of_move mark waits until the old instance has processed its "last"
+  // packet and flushed (the move token), then acquires per-flow ownership.
+  const uint64_t flow_hash = scope_hash(p.tuple, Scope::kFiveTuple);
+  if (auto it = waiting_flows_.find(flow_hash); it != waiting_flows_.end()) {
+    it->second.pkts.push_back(std::move(p));
+    maybe_drain_waiting();
+    return;
+  }
+  if (p.flags.first_of_move) {
+    waiting_flows_[flow_hash].pkts.push_back(std::move(p));
+    maybe_drain_waiting();
+    return;
+  }
+
+  process_packet(p);
+  if (!waiting_flows_.empty()) maybe_drain_waiting();
+}
+
+void NfInstance::maybe_drain_waiting() {
+  if (waiting_flows_.empty()) return;
+  {
+    // All inbound moves must have completed on the sender side first.
+    std::lock_guard lk(release_mu_);
+    std::erase_if(inbound_moves_, [](const auto& t) { return t->load(); });
+    if (!inbound_moves_.empty()) return;
+  }
+  client_->poll();
+  client_->set_current_clock(kNoClock);
+
+  // Issue acquires for flows that have not asked yet.
+  for (auto& [hash, w] : waiting_flows_) {
+    if (!w.acquiring && !w.pkts.empty()) {
+      if (!client_->acquire_flow(w.pkts.front().tuple)) {
+        w.acquiring = true;  // grant will arrive on the async link
+      } else {
+        w.acquiring = true;  // granted synchronously
+      }
+    }
+  }
+  if (client_->ownership_pending() > 0) return;
+
+  auto waiting = std::move(waiting_flows_);
+  waiting_flows_.clear();
+  for (auto& [hash, w] : waiting) {
+    for (Packet& p : w.pkts) process_packet(p);
+  }
+}
+
+void NfInstance::process_packet(Packet& p) {
+  const bool is_target = p.flags.replayed && p.replay_target == runtime_id_;
+  const bool was_last_replayed = p.flags.last_replayed;
+
+  seen_.insert(p.clock);
+  seen_order_.push_back(p.clock);
+  if (seen_order_.size() > kSeenCap) {
+    seen_.erase(seen_order_.front());
+    seen_order_.pop_front();
+  }
+
+  if (delay_max_.count() > 0) {
+    const auto span = static_cast<uint64_t>((delay_max_ - delay_min_).count());
+    spin_for(delay_min_ + Duration(span ? delay_rng_.bounded(span) : 0));
+  }
+
+  const TimePoint t0 = SteadyClock::now();
+  client_->set_current_clock(p.clock);
+  NfContext ctx(*client_, p);
+  nf_->process(p, ctx);
+  const double usec = to_usec(SteadyClock::now() - t0);
+
+  // Fold this NF's update tags into the packet's XOR ledger (Fig. 6 step 1).
+  p.update_vec ^= client_->take_update_vec();
+
+  {
+    std::lock_guard lk(stats_mu_);
+    stats_.processed++;
+    proc_time_.record(usec);
+    if (ctx.dropped()) stats_.drops_by_nf++;
+  }
+
+  if (is_target) {
+    // The clone/failover target consumes the replay marks; downstream sees
+    // a normal packet (and its duplicate-suppression applies, §5.3).
+    p.flags.replayed = false;
+    p.flags.last_replayed = false;
+    p.replay_target = 0;
+  }
+
+  if (ctx.dropped()) {
+    // The journey ends here: report to the root so the XOR ledger can zero
+    // out and the packet leaves the log.
+    if (drop_) drop_(*this, p);
+    // If the dropped packet was the end-of-replay marker, the mark must
+    // still travel to the target (as a synthetic control packet).
+    if (p.flags.replayed && was_last_replayed && forward_) {
+      Packet marker;
+      marker.clock = p.clock;
+      marker.flags.replayed = true;
+      marker.flags.last_replayed = true;
+      marker.replay_target = p.replay_target;
+      forward_(*this, std::move(marker));
+    }
+  } else if (!ctx.outputs().empty()) {
+    for (Packet& out : ctx.outputs()) {
+      out.clock = p.clock;
+      out.ingress = p.ingress;
+      out.update_vec = p.update_vec;
+      out.flags = p.flags;
+      out.replay_target = p.replay_target;
+      if (forward_) forward_(*this, std::move(out));
+    }
+  } else {
+    if (forward_) forward_(*this, std::move(p));
+  }
+
+  if (is_target && was_last_replayed) end_replay_buffering();
+}
+
+InstanceStats NfInstance::stats() const {
+  std::lock_guard lk(stats_mu_);
+  return stats_;
+}
+
+Histogram NfInstance::proc_time() const {
+  std::lock_guard lk(stats_mu_);
+  return proc_time_;
+}
+
+}  // namespace chc

@@ -1,0 +1,157 @@
+// NfInstance: one running instance of a logical vertex. A worker thread
+// polls the input queue, runs the NF, and hands outputs to the runtime's
+// forward handler. The instance implements the packet-level correctness
+// machinery that must sit next to the NF:
+//   - duplicate-output suppression at the input queue by logical clock (§5.3)
+//   - replay pass-through vs. replay-target semantics (§5.3, §5.4)
+//   - buffering of live traffic while a clone/failover instance catches up
+//     on replayed packets (§5.3)
+//   - the flow-move protocol's instance-side steps: flush/release on the
+//     "last" mark, acquire/buffer on "first" until ownership arrives (§5.1)
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "core/nf.h"
+#include "core/splitter.h"
+
+namespace chc {
+
+class NfInstance;
+
+// The runtime binds this to route outputs (next splitter, mirrors, sink,
+// terminal delete protocol).
+using ForwardHandler = std::function<void(NfInstance&, Packet&&)>;
+// Invoked when a packet's journey ends inside this instance (NF drop): the
+// root must still receive a terminal report for the XOR ledger.
+using DropHandler = std::function<void(NfInstance&, const Packet&)>;
+
+struct InstanceStats {
+  uint64_t processed = 0;
+  uint64_t suppressed_duplicates = 0;
+  uint64_t buffered_peak = 0;
+  uint64_t drops_by_nf = 0;
+};
+
+class NfInstance {
+ public:
+  NfInstance(VertexId vertex, InstanceId store_id, uint16_t runtime_id,
+             std::unique_ptr<NetworkFunction> nf, std::unique_ptr<StoreClient> client,
+             PacketLinkPtr input);
+  ~NfInstance();
+
+  NfInstance(const NfInstance&) = delete;
+  NfInstance& operator=(const NfInstance&) = delete;
+
+  void set_handlers(ForwardHandler forward, DropHandler drop) {
+    forward_ = std::move(forward);
+    drop_ = std::move(drop);
+  }
+
+  void start();
+  void stop();
+
+  // Crash simulation: stop the worker and lose everything in flight —
+  // queued input packets and all client-cached state.
+  void crash();
+
+  // Begin buffering live (non-replayed) packets until the replay end mark
+  // arrives; used when this instance boots as a clone or failover target.
+  void begin_replay_buffering();
+  void end_replay_buffering();
+  // Invoked (once per begin) when replay buffering ends; the runtime uses
+  // it to resume root deletes (§5.3).
+  void set_replay_done_callback(std::function<void()> cb) {
+    replay_done_cb_ = std::move(cb);
+  }
+
+  // Flow-move: the runtime registers which flows to flush+release before it
+  // sends the control packet marked last_of_move through the input queue.
+  // `token` (shared with the destination instance) flips once the release
+  // has executed.
+  void add_pending_release(std::function<bool(const FiveTuple&)> selector,
+                           std::shared_ptr<std::atomic<bool>> token);
+  // Move destination side: packets marked first_of_move are held until all
+  // inbound move tokens have flipped (the old instance has flushed), then
+  // per-flow ownership is acquired and the held packets run (Fig. 4).
+  void add_inbound_move(std::shared_ptr<std::atomic<bool>> token);
+
+  // Straggler emulation: add [min,max] busy-wait per packet.
+  void set_artificial_delay(Duration min, Duration max);
+
+  // Pause/resume around state inspection (store recovery evidence).
+  void pause();
+  void resume();
+
+  VertexId vertex() const { return vertex_; }
+  InstanceId store_id() const { return store_id_; }
+  uint16_t runtime_id() const { return runtime_id_; }
+  PacketLinkPtr input() const { return input_; }
+  StoreClient& client() { return *client_; }
+  NetworkFunction& nf() { return *nf_; }
+
+  InstanceStats stats() const;
+  Histogram proc_time() const;
+  size_t queue_depth() const { return input_->pending(); }
+
+ private:
+  void run();
+  void handle(Packet p);
+  void process_packet(Packet& p);
+
+  const VertexId vertex_;
+  const InstanceId store_id_;
+  const uint16_t runtime_id_;
+  std::unique_ptr<NetworkFunction> nf_;
+  std::unique_ptr<StoreClient> client_;
+  PacketLinkPtr input_;
+  ForwardHandler forward_;
+  DropHandler drop_;
+
+  std::thread worker_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> paused_{false};
+  std::atomic<bool> paused_ack_{false};
+
+  // Duplicate suppression: recently seen clocks, bounded FIFO eviction.
+  std::unordered_set<LogicalClock> seen_;
+  std::deque<LogicalClock> seen_order_;
+  static constexpr size_t kSeenCap = 1 << 17;
+
+  bool replay_buffering_ = false;
+  std::vector<Packet> held_;  // live packets held during replay
+  std::function<void()> replay_done_cb_;
+
+  // Flows waiting on an inbound move (5-tuple hash -> packets + state).
+  struct WaitingFlow {
+    std::vector<Packet> pkts;
+    bool acquiring = false;  // acquire issued, grant pending
+  };
+  std::unordered_map<uint64_t, WaitingFlow> waiting_flows_;
+  std::vector<std::shared_ptr<std::atomic<bool>>> inbound_moves_;
+  void maybe_drain_waiting();
+
+  std::mutex release_mu_;
+  std::vector<std::pair<std::function<bool(const FiveTuple&)>,
+                        std::shared_ptr<std::atomic<bool>>>>
+      pending_releases_;
+
+  Duration delay_min_{};
+  Duration delay_max_{};
+  SplitMix64 delay_rng_{0xD31A7};
+
+  mutable std::mutex stats_mu_;
+  InstanceStats stats_;
+  Histogram proc_time_;
+};
+
+}  // namespace chc

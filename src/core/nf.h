@@ -1,0 +1,77 @@
+// The NF programming model. An NF declares its state objects (id, scope,
+// access pattern — paper Table 4) and implements process(). All state goes
+// through the StoreClient handed to it in the context; the framework tags
+// every update with the packet's logical clock and accumulates the XOR
+// update vector behind the scenes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/packet.h"
+#include "store/client.h"
+
+namespace chc {
+
+class NfContext {
+ public:
+  NfContext(StoreClient& state, const Packet& pkt) : state_(state), pkt_(pkt) {}
+
+  StoreClient& state() { return state_; }
+  LogicalClock clock() const { return pkt_.clock; }
+
+  // Emit an extra/transformed packet downstream. If process() returns with
+  // no emits and drop() not called, the (possibly modified) input packet is
+  // forwarded as-is.
+  void emit(Packet p) { outputs_.push_back(std::move(p)); }
+  void drop() { dropped_ = true; }
+
+  bool dropped() const { return dropped_; }
+  std::vector<Packet>& outputs() { return outputs_; }
+
+ private:
+  StoreClient& state_;
+  const Packet& pkt_;
+  std::vector<Packet> outputs_;
+  bool dropped_ = false;
+};
+
+class NetworkFunction {
+ public:
+  virtual ~NetworkFunction() = default;
+
+  virtual const char* name() const = 0;
+
+  // State objects this NF keeps (paper Table 4); drives client caching
+  // strategies and scope-aware partitioning.
+  virtual std::vector<ObjectSpec> state_objects() const = 0;
+
+  // The partitioning scopes, most to least fine-grained (paper `.scope()`).
+  // Default: derived from state_objects (finest first, deduped).
+  virtual std::vector<Scope> scopes() const;
+
+  virtual void process(Packet& p, NfContext& ctx) = 0;
+};
+
+inline std::vector<Scope> NetworkFunction::scopes() const {
+  std::vector<Scope> out;
+  for (const ObjectSpec& o : state_objects()) {
+    bool seen = false;
+    for (Scope s : out) seen = seen || s == o.scope;
+    if (!seen) out.push_back(o.scope);
+  }
+  // Order finest -> coarsest by enum order.
+  for (size_t i = 0; i < out.size(); ++i) {
+    for (size_t j = i + 1; j < out.size(); ++j) {
+      if (static_cast<uint8_t>(out[j]) < static_cast<uint8_t>(out[i])) {
+        std::swap(out[i], out[j]);
+      }
+    }
+  }
+  return out;
+}
+
+using NfFactory = std::function<std::unique_ptr<NetworkFunction>()>;
+
+}  // namespace chc

@@ -1,0 +1,249 @@
+#include "core/root.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace chc {
+namespace {
+
+// Minimal packet codec for the store-backed log mode: enough to re-inject
+// the packet on replay (header fields + clock; framework metadata is
+// reconstructed).
+std::string pack_packet(const Packet& p) {
+  std::string s;
+  s.resize(sizeof(FiveTuple) + sizeof(uint16_t) + sizeof(uint8_t) +
+           sizeof(uint32_t) + sizeof(LogicalClock));
+  char* w = s.data();
+  std::memcpy(w, &p.tuple, sizeof(FiveTuple));
+  w += sizeof(FiveTuple);
+  std::memcpy(w, &p.size_bytes, sizeof(uint16_t));
+  w += sizeof(uint16_t);
+  const uint8_t ev = static_cast<uint8_t>(p.event);
+  std::memcpy(w, &ev, sizeof(uint8_t));
+  w += sizeof(uint8_t);
+  std::memcpy(w, &p.seq, sizeof(uint32_t));
+  w += sizeof(uint32_t);
+  std::memcpy(w, &p.clock, sizeof(LogicalClock));
+  return s;
+}
+
+}  // namespace
+
+Root::Root(const RootConfig& cfg, DataStore* store, const ClientConfig& client_cfg)
+    : cfg_(cfg), store_(store) {
+  ClientConfig cc = client_cfg;
+  cc.vertex = kRootVertexId;
+  cc.instance = static_cast<InstanceId>(cfg.root_id + 1);
+  client_ = std::make_unique<StoreClient>(store, cc);
+  ObjectSpec clock_obj;
+  clock_obj.id = kRootClockObj;
+  clock_obj.scope = Scope::kGlobal;
+  clock_obj.cross_flow = true;
+  clock_obj.pattern = AccessPattern::kWriteMostlyReadRarely;
+  clock_obj.name = "root-clock";
+  client_->register_object(clock_obj);
+  ObjectSpec log_obj;
+  log_obj.id = kRootLogObj;
+  // Keyed per packet: the clock is folded into the src/dst fields of a
+  // synthetic tuple so each log entry gets its own store key.
+  log_obj.scope = Scope::kSrcDstPair;
+  log_obj.cross_flow = true;
+  log_obj.pattern = AccessPattern::kWriteMostlyReadRarely;
+  log_obj.name = "root-log";
+  client_->register_object(log_obj);
+}
+
+bool Root::ingest(Packet p) {
+  {
+    std::lock_guard lk(mu_);
+    if (crashed_) return false;
+    if (log_.size() >= cfg_.log_threshold) {
+      // Some NF in the chain cannot keep up; shed load at the entry rather
+      // than bloat the log (§5).
+      drops_++;
+      return false;
+    }
+    p.clock = make_clock(cfg_.root_id, ++counter_);
+  }
+  p.ingress = SteadyClock::now();
+  p.update_vec = 0;
+
+  if (cfg_.log_mode == RootLogMode::kStore) {
+    // Mirror the packet into the store so the log survives root+NF
+    // correlated failures (§7.2 evaluates both modes). The tuple keys the
+    // entry by packet clock; delivery reliability comes from the client's
+    // retransmission machinery.
+    FiveTuple log_key;
+    log_key.src_ip = static_cast<uint32_t>(p.clock >> 32);
+    log_key.dst_ip = static_cast<uint32_t>(p.clock);
+    client_->set_current_clock(kNoClock);
+    client_->set(kRootLogObj, log_key, Value::of_bytes(pack_packet(p)));
+  }
+
+  persist_clock_if_due();
+
+  const LogicalClock clock = p.clock;
+  {
+    // Log *before* forwarding: commit signals and deletes can race back
+    // from the chain faster than this thread returns.
+    std::lock_guard lk(mu_);
+    LogEntry e;
+    e.packet = p;
+    log_.emplace(clock, std::move(e));
+  }
+  PacketLinkPtr dest = forward_ ? forward_(std::move(p)) : nullptr;
+  {
+    std::lock_guard lk(mu_);
+    if (auto it = log_.find(clock); it != log_.end()) it->second.dest = dest;
+  }
+  return true;
+}
+
+void Root::persist_clock_if_due() {
+  if (cfg_.clock_persist_every <= 0) return;
+  if (++since_persist_ < static_cast<uint64_t>(cfg_.clock_persist_every)) return;
+  since_persist_ = 0;
+  client_->set_current_clock(kNoClock);
+  // The root client is configured with wait_acks = clock_persist_blocking:
+  // a blocking persist costs exactly one confirmed round trip (paper: 29us
+  // at n=1), a non-blocking one rides the retransmission machinery.
+  client_->set(kRootClockObj, FiveTuple{},
+               Value::of_int(static_cast<int64_t>(counter_)));
+}
+
+void Root::note_branch(LogicalClock clock, uint16_t branch) {
+  std::lock_guard lk(mu_);
+  auto it = log_.find(clock);
+  if (it == log_.end()) return;
+  it->second.branch_reports.try_emplace(branch, std::nullopt);
+}
+
+void Root::on_commit(LogicalClock clock, UpdateVector tag) {
+  std::lock_guard lk(mu_);
+  auto it = log_.find(clock);
+  if (it == log_.end()) return;  // already deleted (commit raced the delete)
+  it->second.committed_xor ^= tag;
+  maybe_finish_delete(clock, it->second);
+}
+
+void Root::request_delete(LogicalClock clock, uint16_t branch,
+                          UpdateVector final_vec) {
+  std::lock_guard lk(mu_);
+  auto it = log_.find(clock);
+  if (it == log_.end()) return;  // already fully deleted
+  it->second.branch_reports[branch] = final_vec;
+  maybe_finish_delete(clock, it->second);
+}
+
+void Root::maybe_finish_delete(LogicalClock clock, LogEntry& e) {
+  if (delete_pause_depth_ > 0) return;  // a replay is in progress
+  // Fig. 6 step 4: every terminal branch reported and every update the
+  // packet induced has been committed to the store.
+  UpdateVector final_xor = 0;
+  for (const auto& [branch, vec] : e.branch_reports) {
+    if (!vec) return;  // a branch is still processing
+    final_xor ^= *vec;
+  }
+  if ((final_xor ^ e.committed_xor) != 0) return;  // wait for commits
+  log_.erase(clock);
+  deletes_done_++;
+  store_->gc_clock(clock);
+}
+
+void Root::pause_deletes() {
+  std::lock_guard lk(mu_);
+  delete_pause_depth_++;
+}
+
+void Root::resume_deletes() {
+  std::lock_guard lk(mu_);
+  if (delete_pause_depth_ > 0) delete_pause_depth_--;
+  if (delete_pause_depth_ > 0) return;
+  // Re-evaluate everything that became deletable while paused.
+  std::vector<LogicalClock> clocks;
+  clocks.reserve(log_.size());
+  for (const auto& [c, _] : log_) clocks.push_back(c);
+  for (LogicalClock c : clocks) {
+    auto it = log_.find(c);
+    if (it != log_.end()) maybe_finish_delete(c, it->second);
+  }
+}
+
+size_t Root::replay(uint16_t target_runtime_id) {
+  std::vector<Packet> to_send;
+  {
+    std::lock_guard lk(mu_);
+    to_send.reserve(log_.size());
+    for (auto& [clock, e] : log_) {
+      Packet p = e.packet;
+      p.flags.replayed = true;
+      p.replay_target = target_runtime_id;
+      to_send.push_back(std::move(p));
+    }
+  }
+  if (!to_send.empty()) to_send.back().flags.last_replayed = true;
+  // Re-enter through the normal forward path: the target vertex's splitter
+  // redirects replayed packets to the clone/failover instance; intervening
+  // NFs pass them through with store-side duplicate emulation (§5.3).
+  for (Packet& p : to_send) {
+    if (forward_) forward_(std::move(p));
+  }
+  return to_send.size();
+}
+
+void Root::crash() {
+  std::lock_guard lk(mu_);
+  crashed_ = true;
+  if (cfg_.log_mode == RootLogMode::kLocal) log_.clear();  // log dies with us
+}
+
+double Root::recover() {
+  const TimePoint t0 = SteadyClock::now();
+  // Read the persisted clock; resume at persisted + n so already-issued
+  // clock values are never reassigned (§5.4 + footnote 5).
+  client_->set_current_clock(kNoClock);
+  Value v = client_->get(kRootClockObj, FiveTuple{});
+  const uint64_t persisted = v.kind == Value::Kind::kInt ? static_cast<uint64_t>(v.i) : 0;
+  {
+    std::lock_guard lk(mu_);
+    counter_ = persisted + static_cast<uint64_t>(cfg_.clock_persist_every);
+    since_persist_ = 0;
+    crashed_ = false;
+  }
+  // Flow allocation is re-fetched from the downstream splitters; in this
+  // runtime the splitter state survives in-process, so the query is a no-op
+  // lookup with no round trip.
+  return to_usec(SteadyClock::now() - t0);
+}
+
+std::string Root::debug_dump(size_t max) const {
+  std::lock_guard lk(mu_);
+  std::string out;
+  size_t n = 0;
+  for (const auto& [c, e] : log_) {
+    if (n++ >= max) break;
+    char buf[200];
+    std::snprintf(buf, sizeof(buf), "clk=%llu %s committed=%08x branches=[",
+                  static_cast<unsigned long long>(c), e.packet.tuple.str().c_str(),
+                  e.committed_xor);
+    out += buf;
+    for (const auto& [b, vec] : e.branch_reports) {
+      std::snprintf(buf, sizeof(buf), "%u:%s%08x ", b, vec ? "" : "pending:",
+                    vec ? *vec : 0u);
+      out += buf;
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+std::vector<LogicalClock> Root::inflight_clocks() const {
+  std::lock_guard lk(mu_);
+  std::vector<LogicalClock> out;
+  out.reserve(log_.size());
+  for (const auto& [c, _] : log_) out.push_back(c);
+  return out;
+}
+
+}  // namespace chc

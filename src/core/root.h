@@ -1,0 +1,141 @@
+// The chain root (paper §4.1, §5): a special splitter at chain entry that
+// (1) stamps every packet with a unique logical clock (root id in the high
+// bits), (2) logs every packet whose processing is still ongoing somewhere
+// in the chain, (3) maintains the per-packet XOR ledger fed by store commit
+// signals and terminal "delete" requests (Fig. 6), and (4) replays logged
+// packets during failover and straggler cloning.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "common/histogram.h"
+#include "net/packet.h"
+#include "store/client.h"
+#include "transport/sim_link.h"
+
+namespace chc {
+
+using PacketLinkPtr = std::shared_ptr<SimLink<Packet>>;
+// Routes a clock-stamped packet to a first-hop instance. Returns the link
+// it was sent on so the root can log the destination.
+using RootForwardFn = std::function<PacketLinkPtr(Packet&&)>;
+
+enum class RootLogMode {
+  kLocal,  // log kept in root memory: fast (+~1us), dies with the root
+  kStore,  // log mirrored to the datastore: +1 non-blocking write per packet
+};
+
+struct RootConfig {
+  uint8_t root_id = 0;
+  // Persist the logical clock to the store every n packets (paper §7.2:
+  // n=1 adds ~29us/pkt; n=100 ~0.4us/pkt). After a crash the new root
+  // resumes at persisted + n so clock uniqueness survives (footnote 5).
+  int clock_persist_every = 100;
+  bool clock_persist_blocking = true;
+  RootLogMode log_mode = RootLogMode::kLocal;
+  // Drop packets at the root when the in-flight log exceeds this (buffer
+  // bloat guard, §5).
+  size_t log_threshold = 1 << 20;
+};
+
+// Reserved store identity for root state.
+inline constexpr VertexId kRootVertexId = 0xFFFE;
+inline constexpr ObjectId kRootClockObj = 1;
+inline constexpr ObjectId kRootLogObj = 2;
+
+class Root {
+ public:
+  Root(const RootConfig& cfg, DataStore* store, const ClientConfig& client_cfg);
+
+  // Not copyable; owns store client state.
+  Root(const Root&) = delete;
+  Root& operator=(const Root&) = delete;
+
+  void set_forward(RootForwardFn fn) { forward_ = std::move(fn); }
+
+  // Data path: stamp, log, forward. Returns false if dropped at threshold.
+  bool ingest(Packet p);
+
+  // A splitter created an off-path copy of this packet: one more terminal
+  // branch must report before the packet can leave the log. Branch ids make
+  // the accounting idempotent under replay (re-mirroring re-notes the same
+  // branch; a replayed terminal refreshes its branch's vector).
+  void note_branch(LogicalClock clock, uint16_t branch);
+
+  // Store commit signal (Fig. 6 step 2); called from shard threads.
+  void on_commit(LogicalClock clock, UpdateVector tag);
+
+  // Terminal delete request (Fig. 6 steps 3-4). The packet leaves the log
+  // only when every branch has reported and the XOR of reported vectors
+  // matches the XOR of commit tags. Branch 0 is the main path.
+  void request_delete(LogicalClock clock, uint16_t branch, UpdateVector final_vec);
+
+  // Replay every logged packet, in clock order, marked for `target`
+  // (paper §5.3/§5.4). Replayed packets re-enter the chain through the
+  // normal forward path; splitters redirect them to the target at its
+  // vertex. Returns the number of packets replayed. The final replayed
+  // packet carries the last_replayed mark; if the log is empty the caller
+  // must deliver the end-of-replay marker itself.
+  size_t replay(uint16_t target_runtime_id);
+
+  // While a replay is in progress, completed packets must stay logged (and
+  // their store-side duplicate logs alive): a replayed copy that arrives at
+  // the clone after its original was deleted would re-apply its updates.
+  // The runtime pauses deletes for the duration of each replay (§5.3).
+  void pause_deletes();
+  void resume_deletes();
+
+  // --- failover -------------------------------------------------------------
+  // Simulates root death. Returns nothing; a new Root is built with
+  // recover().
+  void crash();
+  // New-root boot (§5.4): read the persisted clock from the store and
+  // resume at persisted + n. Returns recovery time in usec.
+  double recover();
+
+  size_t logged() const {
+    std::lock_guard lk(mu_);
+    return log_.size();
+  }
+  uint64_t drops() const { return drops_; }
+  uint64_t deletes_done() const { return deletes_done_; }
+  LogicalClock last_clock() const { return make_clock(cfg_.root_id, counter_); }
+
+  // Packets currently in flight (for tests).
+  std::vector<LogicalClock> inflight_clocks() const;
+  // Human-readable ledger state of the first `max` in-flight packets.
+  std::string debug_dump(size_t max = 8) const;
+
+ private:
+  struct LogEntry {
+    Packet packet;
+    PacketLinkPtr dest;
+    UpdateVector committed_xor = 0;  // XOR of store commit tags
+    // Terminal branches expected (0 = main path) and the vector each
+    // reported; replace-on-duplicate keeps replay idempotent.
+    std::map<uint16_t, std::optional<UpdateVector>> branch_reports{{0, std::nullopt}};
+  };
+
+  void maybe_finish_delete(LogicalClock clock, LogEntry& e);
+  void persist_clock_if_due();
+
+  RootConfig cfg_;
+  RootForwardFn forward_;
+  std::unique_ptr<StoreClient> client_;
+
+  mutable std::mutex mu_;
+  std::map<LogicalClock, LogEntry> log_;
+  int delete_pause_depth_ = 0;
+  uint64_t counter_ = 0;
+  uint64_t since_persist_ = 0;
+  uint64_t drops_ = 0;
+  uint64_t deletes_done_ = 0;
+  DataStore* store_;
+  bool crashed_ = false;
+};
+
+}  // namespace chc

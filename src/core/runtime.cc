@@ -1,0 +1,407 @@
+#include "core/runtime.h"
+
+#include "common/logging.h"
+#include "common/spin.h"
+
+namespace chc {
+
+const char* model_name(Model m) {
+  switch (m) {
+    case Model::kTraditional: return "T";
+    case Model::kExternal: return "EO";
+    case Model::kExternalCached: return "EO+C";
+    case Model::kExternalCachedNoAck: return "EO+C+NA";
+  }
+  return "?";
+}
+
+Runtime::Runtime(ChainSpec spec, RuntimeConfig cfg)
+    : spec_(std::move(spec)), cfg_(cfg), delete_link_(LinkConfig{cfg.root_one_way}) {
+  store_ = std::make_unique<DataStore>(cfg_.store);
+
+  ClientConfig root_cc;
+  root_cc.caching = false;
+  root_cc.wait_acks = cfg_.root.clock_persist_blocking;
+  root_cc.reply_link = cfg_.store.link;
+  root_cc.ack_timeout = cfg_.ack_timeout;
+  root_ = std::make_unique<Root>(cfg_.root, store_.get(), root_cc);
+
+  splitters_.reserve(spec_.vertices().size());
+  instances_.resize(spec_.vertices().size());
+  for (size_t v = 0; v < spec_.vertices().size(); ++v) {
+    splitters_.push_back(
+        std::make_unique<Splitter>(partition_scope_for(static_cast<VertexId>(v))));
+    vertex_sinks_[static_cast<VertexId>(v)];  // pre-create: threads only read
+  }
+
+  // The root forwards to the entry vertex's splitter.
+  const VertexId entry = spec_.entry();
+  root_->set_forward([this, entry](Packet&& p) -> PacketLinkPtr {
+    return splitters_[entry]->route(std::move(p));
+  });
+
+  store_->set_commit_listener(
+      [this](LogicalClock clock, UpdateVector tag) { root_->on_commit(clock, tag); });
+}
+
+Runtime::~Runtime() { shutdown(); }
+
+Scope Runtime::partition_scope_for(VertexId v) const {
+  const VertexSpec& vs = spec_.vertices()[v];
+  if (vs.partition_scope) return *vs.partition_scope;
+  // Scope-aware partitioning (§4.1): start from the vertex's most
+  // coarse-grained state scope so downstream instances share as little
+  // state as possible. (Refinement on load imbalance is driven by the
+  // vertex manager; see VertexManager::rebalance.)
+  auto probe = vs.factory();
+  auto scopes = probe->scopes();
+  if (scopes.empty()) return Scope::kFiveTuple;
+  return scopes.back();  // scopes() orders finest -> coarsest
+}
+
+std::unique_ptr<StoreClient> Runtime::make_client(VertexId v, InstanceId store_id,
+                                                  uint16_t client_uid) {
+  ClientConfig cc;
+  cc.vertex = static_cast<VertexId>(v + 1);  // store vertex ids are 1-based
+  cc.instance = store_id;
+  cc.client_uid = client_uid;  // clones share store_id but not flush floors
+  cc.local_only = cfg_.model == Model::kTraditional;
+  cc.caching = cfg_.model == Model::kExternalCached ||
+               cfg_.model == Model::kExternalCachedNoAck || cc.local_only;
+  cc.wait_acks = cfg_.model != Model::kExternalCachedNoAck;
+  cc.flush_every = cfg_.flush_every;
+  cc.reply_link = cfg_.store.link;
+  cc.ack_timeout = cfg_.ack_timeout;
+  return std::make_unique<StoreClient>(store_.get(), cc);
+}
+
+uint16_t Runtime::spawn_instance(VertexId v, InstanceId store_id,
+                                 bool register_target, bool autostart) {
+  const uint16_t rid = next_rid_++;
+  auto input = std::make_shared<SimLink<Packet>>(cfg_.nf_link);
+  auto inst = std::make_unique<NfInstance>(v, store_id, rid,
+                                           spec_.vertices()[v].factory(),
+                                           make_client(v, store_id, rid), input);
+  inst->set_handlers(
+      [this](NfInstance& i, Packet&& p) { forward_from(i, std::move(p)); },
+      [this](NfInstance& i, const Packet& p) { on_drop(i, p); });
+  // Scope-aware partitioning makes some cross-flow objects effectively
+  // exclusive to one instance; tell the client so it can cache them
+  // (paper §4.3: "CHC notifies the client-side library when to cache or
+  // flush the state based on the traffic partitioning").
+  const Scope partition = splitters_[v]->partition_scope();
+  for (const ObjectSpec& spec : inst->nf().state_objects()) {
+    if (spec.cross_flow && spec.pattern == AccessPattern::kWriteReadOften &&
+        scope_grants_exclusive(spec.scope, partition)) {
+      inst->client().set_exclusive(spec.id, true);
+    }
+  }
+  if (register_target) splitters_[v]->add_target(rid, input);
+  by_rid_[rid] = inst.get();
+  if (started_ && autostart) inst->start();
+  instances_[v].push_back(std::move(inst));
+  return rid;
+}
+
+void Runtime::start() {
+  if (started_) return;
+  started_ = true;
+  store_->start();
+  for (VertexId v = 0; v < spec_.vertices().size(); ++v) {
+    for (int i = 0; i < spec_.vertices()[v].parallelism; ++i) {
+      spawn_instance(v, next_store_id_++, true);
+    }
+  }
+  running_.store(true);
+  delete_worker_ = std::thread([this] {
+    while (running_.load(std::memory_order_relaxed)) {
+      auto msg = delete_link_.recv(Micros(200));
+      if (msg) root_->request_delete(msg->clock, msg->branch, msg->vec);
+    }
+  });
+}
+
+void Runtime::shutdown() {
+  if (!started_) return;
+  for (auto& vec : instances_) {
+    for (auto& inst : vec) inst->stop();
+  }
+  running_.store(false);
+  delete_link_.close();
+  if (delete_worker_.joinable()) delete_worker_.join();
+  store_->stop();
+  started_ = false;
+}
+
+uint16_t Runtime::branch_of(VertexId terminal) const {
+  // Branch 0 is the main path; off-path (mirror target) vertices report on
+  // their own branch id so the root can account per-branch (Fig. 6).
+  for (const MirrorSpec& m : spec_.mirrors()) {
+    if (m.to == terminal) return static_cast<uint16_t>(terminal + 1);
+  }
+  return 0;
+}
+
+void Runtime::forward_from(NfInstance& inst, Packet&& p) {
+  const VertexId v = inst.vertex();
+
+  // Off-path copies (paper Fig. 1: "copy of suspicious traffic").
+  for (const MirrorSpec& m : spec_.mirrors()) {
+    if (m.from != v) continue;
+    const bool marker = is_end_marker(p);
+    if (!marker && m.predicate && !m.predicate(p)) continue;
+    Packet copy = p;
+    copy.flags.suspicious_copy = true;
+    copy.update_vec = 0;  // each branch reports only its own tags
+    if (!marker) root_->note_branch(p.clock, static_cast<uint16_t>(m.to + 1));
+    splitters_[m.to]->route(std::move(copy));
+  }
+
+  if (auto nxt = spec_.next(v)) {
+    splitters_[*nxt]->route(std::move(p));
+  } else {
+    deliver_terminal(v, std::move(p));
+  }
+}
+
+void Runtime::on_drop(NfInstance& inst, const Packet& p) {
+  // A drop ends the packet's journey on this branch: report to the root so
+  // the XOR ledger can zero out and the packet leaves the log.
+  const uint16_t branch =
+      p.flags.suspicious_copy ? branch_of(inst.vertex()) : uint16_t{0};
+  delete_link_.send({p.clock, branch, p.update_vec});
+}
+
+void Runtime::deliver_terminal(VertexId v, Packet&& p) {
+  if (is_end_marker(p)) return;  // replay marker that outlived its target
+  const uint16_t branch = branch_of(v);
+
+  {
+    // Suppress duplicate outputs by (clock, branch) — straggler + clone at
+    // the last NF, or a replayed packet reaching the terminal again (§5.3).
+    std::lock_guard lk(egress_mu_);
+    const uint64_t key = p.clock ^ (static_cast<uint64_t>(branch) << 56);
+    if (!egress_seen_.insert(key).second) {
+      egress_suppressed_++;
+      // Still refresh the branch report: the replayed traversal may carry
+      // commits that were missing when the first copy reported.
+      delete_link_.send({p.clock, branch, p.update_vec});
+      return;
+    }
+    egress_order_.push_back(key);
+    if (egress_order_.size() > (1u << 17)) {
+      egress_seen_.erase(egress_order_.front());
+      egress_order_.pop_front();
+    }
+  }
+
+  if (cfg_.sync_delete && branch == 0) {
+    // Paper §5.4: the last NF sends (and confirms) the delete *before*
+    // emitting the output packet, so its failure can never produce a
+    // duplicate at the receiver. Cost: one confirmed trip to the root.
+    spin_for(cfg_.root_one_way);
+    root_->request_delete(p.clock, branch, p.update_vec);
+  } else {
+    delete_link_.send({p.clock, branch, p.update_vec});
+  }
+
+  if (branch == 0 && !p.flags.suspicious_copy) {
+    sink_.deliver(p);
+  } else {
+    vertex_sinks_.at(v).deliver(p);
+  }
+}
+
+void Runtime::run_trace(const Trace& trace, Duration gap) {
+  for (const Packet& p : trace.packets()) {
+    inject(p);
+    if (gap.count() > 0) spin_for(gap);
+  }
+}
+
+bool Runtime::wait_quiescent(Duration timeout) {
+  const TimePoint deadline = SteadyClock::now() + timeout;
+  while (SteadyClock::now() < deadline) {
+    if (root_->logged() == 0) return true;
+    std::this_thread::sleep_for(Micros(200));
+  }
+  return root_->logged() == 0;
+}
+
+NfInstance* Runtime::by_runtime_id(uint16_t rid) {
+  auto it = by_rid_.find(rid);
+  return it == by_rid_.end() ? nullptr : it->second;
+}
+
+// --- elastic scaling ---------------------------------------------------------
+
+uint16_t Runtime::add_instance(VertexId v) {
+  // Scaled-up instances start outside the hash partition; they take over
+  // traffic only through explicit move_flows handovers (Fig. 4).
+  const uint16_t rid = spawn_instance(v, next_store_id_++, /*register_target=*/false);
+  NfInstance* inst = by_runtime_id(rid);
+  splitters_[v]->add_target(rid, inst->input(), /*in_partition=*/false);
+  return rid;
+}
+
+double Runtime::move_flows(VertexId v, const std::vector<uint64_t>& scope_keys,
+                           uint16_t from_rid, uint16_t to_rid) {
+  const TimePoint t0 = SteadyClock::now();
+  NfInstance* from = by_runtime_id(from_rid);
+  NfInstance* to = by_runtime_id(to_rid);
+  if (!from || !to) return 0;
+
+  // Fig. 4: (1) register what the old instance must flush+release, with a
+  // token the destination waits on, (2) repartition so new traffic goes to
+  // the new instance (first packet gets the first_of_move mark), (3) send
+  // the "last" control mark through the old instance's input queue so it
+  // executes the release *after* every packet already queued ahead of it.
+  const Scope scope = splitters_[v]->partition_scope();
+  auto token = std::make_shared<std::atomic<bool>>(false);
+  auto keys = std::make_shared<std::unordered_set<uint64_t>>(scope_keys.begin(),
+                                                             scope_keys.end());
+  from->add_pending_release(
+      [scope, keys](const FiveTuple& t) {
+        return keys->contains(scope_hash(t, scope));
+      },
+      token);
+  to->add_inbound_move(token);
+
+  splitters_[v]->move_flows(scope_keys, to_rid);
+
+  Packet last_mark;
+  last_mark.flags.last_of_move = true;
+  from->input()->send(std::move(last_mark));
+  return to_usec(SteadyClock::now() - t0);
+}
+
+// --- straggler mitigation ------------------------------------------------------
+
+uint16_t Runtime::clone_for_straggler(VertexId v, uint16_t straggler_rid) {
+  NfInstance* straggler = by_runtime_id(straggler_rid);
+  if (!straggler) return 0;
+  // The clone shares the straggler's *store* identity: it processes the
+  // same partition, so per-flow ownership keeps working and the store's
+  // clock-based duplicate suppression reconciles their double updates
+  // (paper Fig. 5).
+  const uint16_t clone_rid =
+      spawn_instance(v, straggler->store_id(), /*register_target=*/false,
+                     /*autostart=*/false);
+  NfInstance* clone = by_runtime_id(clone_rid);
+  splitters_[v]->add_shadow_target(clone_rid, clone->input());
+  clone->begin_replay_buffering();
+  if (!started_) return clone_rid;
+
+  // Replicate live input to both; replay brings the clone up to speed with
+  // in-flight packets (§5.3). Deletes pause so no replayed packet's
+  // duplicate-suppression log is GC'd before the clone sees it.
+  root_->pause_deletes();
+  clone->set_replay_done_callback([this] { root_->resume_deletes(); });
+  clone->start();
+  splitters_[v]->set_replica(straggler_rid, clone_rid);
+  const size_t replayed = root_->replay(clone_rid);
+  if (replayed == 0) send_replay_end_marker(*clone);
+  return clone_rid;
+}
+
+void Runtime::send_replay_end_marker(NfInstance& target) {
+  // Delivered through the input queue so the worker thread ends buffering
+  // in order with the packets around it.
+  Packet marker;
+  marker.flags.replayed = true;
+  marker.flags.last_replayed = true;
+  marker.replay_target = target.runtime_id();
+  target.input()->send(std::move(marker));
+}
+
+void Runtime::resolve_straggler(VertexId v, uint16_t straggler_rid,
+                                uint16_t clone_rid, bool keep_clone) {
+  splitters_[v]->clear_replica(straggler_rid);
+  if (keep_clone) {
+    splitters_[v]->promote_shadow(clone_rid);
+    splitters_[v]->remove_target(straggler_rid);
+  } else {
+    splitters_[v]->remove_target(clone_rid);
+  }
+  const uint16_t loser = keep_clone ? straggler_rid : clone_rid;
+  if (NfInstance* dead = by_runtime_id(loser)) dead->stop();
+}
+
+// --- failures -----------------------------------------------------------------
+
+void Runtime::fail_instance(VertexId v, uint16_t rid) {
+  (void)v;
+  if (NfInstance* inst = by_runtime_id(rid)) inst->crash();
+}
+
+size_t Runtime::recover_instance(VertexId v, uint16_t rid) {
+  (void)v;
+  NfInstance* dead = by_runtime_id(rid);
+  if (!dead) return 0;
+  // Failover keeps the dead instance's identity: same store instance id
+  // (the store's ownership metadata stays valid) and the same input link
+  // (upstream splitters keep routing unchanged).
+  dead->client().reset_cache();
+  dead->begin_replay_buffering();
+  root_->pause_deletes();
+  dead->set_replay_done_callback([this] { root_->resume_deletes(); });
+  dead->start();
+  const size_t replayed = root_->replay(rid);
+  if (replayed == 0) send_replay_end_marker(*dead);
+  return replayed;
+}
+
+double Runtime::fail_and_recover_root() {
+  root_->crash();
+  return root_->recover();
+}
+
+void Runtime::checkpoint_store() { last_checkpoint_ = store_->checkpoint_all(); }
+
+std::vector<ClientEvidence> Runtime::gather_evidence() {
+  std::vector<NfInstance*> paused;
+  for (auto& vec : instances_) {
+    for (auto& inst : vec) {
+      inst->pause();
+      paused.push_back(inst.get());
+    }
+  }
+  std::vector<ClientEvidence> out;
+  for (NfInstance* inst : paused) out.push_back(inst->client().evidence());
+  for (NfInstance* inst : paused) inst->resume();
+  return out;
+}
+
+RecoveryStats Runtime::fail_and_recover_shard(int shard) {
+  store_->crash_shard(shard);
+  auto evidence = gather_evidence();
+  static const ShardSnapshot kEmpty{};
+  const ShardSnapshot& snap =
+      shard < static_cast<int>(last_checkpoint_.size()) && last_checkpoint_[shard]
+          ? *last_checkpoint_[shard]
+          : kEmpty;
+  return store_->recover_shard(shard, snap, evidence);
+}
+
+std::unique_ptr<StoreClient> Runtime::probe_client(VertexId v) {
+  ClientConfig cc;
+  cc.vertex = static_cast<VertexId>(v + 1);
+  cc.instance = 0x7FF0;  // off to the side of real instance ids
+  cc.caching = false;
+  cc.wait_acks = true;
+  cc.reply_link = cfg_.store.link;
+  auto c = std::make_unique<StoreClient>(store_.get(), cc);
+  auto probe = spec_.vertices()[v].factory();
+  for (const ObjectSpec& spec : probe->state_objects()) c->register_object(spec);
+  return c;
+}
+
+uint64_t Runtime::suppressed_duplicates() const {
+  uint64_t n = 0;
+  for (const auto& vec : instances_) {
+    for (const auto& inst : vec) n += inst->stats().suppressed_duplicates;
+  }
+  return n;
+}
+
+}  // namespace chc

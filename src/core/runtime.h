@@ -1,0 +1,169 @@
+// Runtime: compiles a ChainSpec into a physical DAG (root -> splitters ->
+// NF instances -> sinks), wires the state store, and exposes the dynamic
+// actions the paper evaluates: elastic scaling with safe state handover
+// (§5.1), straggler cloning with duplicate suppression (§5.3), and failure
+// injection + recovery for NFs, the root, and store shards (§5.4).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "core/chain.h"
+#include "core/instance.h"
+#include "core/root.h"
+#include "core/sink.h"
+#include "core/splitter.h"
+#include "trace/trace.h"
+
+namespace chc {
+
+// The four state-management models of §7.1.
+enum class Model {
+  kTraditional,          // T: state local to the NF, no store
+  kExternal,             // EO: externalized, every op pays a round trip
+  kExternalCached,       // EO+C: + caching per Table 1
+  kExternalCachedNoAck,  // EO+C+NA: + no ACK waits on non-blocking ops
+};
+
+const char* model_name(Model m);
+
+struct RuntimeConfig {
+  Model model = Model::kExternalCachedNoAck;
+  DataStoreConfig store;   // shard count + NF<->store link delay
+  LinkConfig nf_link;      // NF -> NF tunnel delay
+  RootConfig root;
+  // Delete-request delivery to the root. Sync mode implements the paper's
+  // delete-before-output rule for the last NF (+~7.9us median); async mode
+  // risks duplicate delivery to the end host if the last NF dies.
+  bool sync_delete = false;
+  Duration root_one_way = Micros(14);
+  int flush_every = 1;
+  Duration ack_timeout = Micros(500);
+};
+
+struct DeleteMsg {
+  LogicalClock clock = kNoClock;
+  uint16_t branch = 0;
+  UpdateVector vec = 0;
+};
+
+class Runtime {
+ public:
+  Runtime(ChainSpec spec, RuntimeConfig cfg);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  void start();
+  void shutdown();
+
+  // --- driving --------------------------------------------------------------
+  bool inject(Packet p) { return root_->ingest(std::move(p)); }
+  // Replay a trace through the chain. `gap` throttles injection (used for
+  // the paper's 30%/50% load levels).
+  void run_trace(const Trace& trace, Duration gap = Duration::zero());
+  // Wait until the root log drains (every packet fully processed and
+  // committed) or the timeout expires. Returns true if drained.
+  bool wait_quiescent(Duration timeout);
+
+  // --- access ---------------------------------------------------------------
+  Root& root() { return *root_; }
+  DataStore& store() { return *store_; }
+  Sink& sink() { return sink_; }
+  Sink& vertex_sink(VertexId v) { return vertex_sinks_[v]; }
+  Splitter& splitter(VertexId v) { return *splitters_[v]; }
+  const ChainSpec& spec() const { return spec_; }
+
+  size_t instance_count(VertexId v) const { return instances_[v].size(); }
+  NfInstance& instance(VertexId v, size_t idx) { return *instances_[v][idx]; }
+  NfInstance* by_runtime_id(uint16_t rid);
+
+  // --- elastic scaling (§5.1) -----------------------------------------------
+  // Add an instance to a vertex (no traffic until flows are moved).
+  uint16_t add_instance(VertexId v);
+  // Move flows with the given partition-scope hashes from one instance to
+  // another, running the full Fig. 4 handover. Returns once the marks have
+  // been issued (completion is asynchronous). Reports the wall time spent
+  // issuing the move (the paper's "move operation" cost).
+  double move_flows(VertexId v, const std::vector<uint64_t>& scope_keys,
+                    uint16_t from_rid, uint16_t to_rid);
+
+  // --- straggler mitigation (§5.3) ------------------------------------------
+  uint16_t clone_for_straggler(VertexId v, uint16_t straggler_rid);
+  void resolve_straggler(VertexId v, uint16_t straggler_rid, uint16_t clone_rid,
+                         bool keep_clone);
+
+  // --- failure injection + recovery (§5.4) -----------------------------------
+  void fail_instance(VertexId v, uint16_t rid);
+  // Boot a failover instance with the dead instance's identity, then replay
+  // the root log through the chain. Returns the replayed packet count.
+  size_t recover_instance(VertexId v, uint16_t rid);
+  // Root failover: returns recovery time in usec.
+  double fail_and_recover_root();
+  // Store shard failover using the latest checkpoints + client evidence.
+  void checkpoint_store();
+  RecoveryStats fail_and_recover_shard(int shard);
+  std::vector<ClientEvidence> gather_evidence();
+
+  // Aggregate duplicate-suppression counters across instances (Table 5).
+  uint64_t suppressed_duplicates() const;
+  uint64_t egress_suppressed() const {
+    std::lock_guard lk(egress_mu_);
+    return egress_suppressed_;
+  }
+
+  // A read-only client bound to a vertex's store namespace, for tests and
+  // benches to inspect NF state. Register the NF's objects before reading.
+  std::unique_ptr<StoreClient> probe_client(VertexId v);
+
+ private:
+
+  uint16_t spawn_instance(VertexId v, InstanceId store_id, bool register_target,
+                          bool autostart = true);
+  void send_replay_end_marker(NfInstance& target);
+  std::unique_ptr<StoreClient> make_client(VertexId v, InstanceId store_id,
+                                           uint16_t client_uid);
+  void forward_from(NfInstance& inst, Packet&& p);
+  void on_drop(NfInstance& inst, const Packet& p);
+  void deliver_terminal(VertexId v, Packet&& p);
+  Scope partition_scope_for(VertexId v) const;
+  uint16_t branch_of(VertexId terminal) const;
+  bool is_end_marker(const Packet& p) const {
+    return p.flags.replayed && p.flags.last_replayed && p.size_bytes == 0 &&
+           p.event == AppEvent::kNone;
+  }
+
+  ChainSpec spec_;
+  RuntimeConfig cfg_;
+  std::unique_ptr<DataStore> store_;
+  std::unique_ptr<Root> root_;
+  std::vector<std::unique_ptr<Splitter>> splitters_;  // one per vertex
+  std::vector<std::vector<std::unique_ptr<NfInstance>>> instances_;
+  std::map<uint16_t, NfInstance*> by_rid_;
+  Sink sink_;
+  std::map<VertexId, Sink> vertex_sinks_;
+
+  // Egress duplicate suppression (§5.3): when the replicated NF is the last
+  // in the chain, the straggler's and clone's outputs would both reach the
+  // end host; the framework delivers each clock once per branch.
+  mutable std::mutex egress_mu_;
+  std::unordered_set<uint64_t> egress_seen_;
+  std::deque<uint64_t> egress_order_;
+  uint64_t egress_suppressed_ = 0;
+
+  // Async delete path to the root (charged one-way delay).
+  SimLink<DeleteMsg> delete_link_;
+  std::thread delete_worker_;
+  std::atomic<bool> running_{false};
+
+  std::vector<std::shared_ptr<ShardSnapshot>> last_checkpoint_;
+  uint16_t next_rid_ = 1;
+  InstanceId next_store_id_ = 1;
+  bool started_ = false;
+};
+
+}  // namespace chc

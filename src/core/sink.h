@@ -1,0 +1,73 @@
+// Chain egress: collects delivered packets with their end-to-end latency.
+// Thread-safe; drained by tests and benches.
+#pragma once
+
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/histogram.h"
+#include "net/packet.h"
+
+namespace chc {
+
+class Sink {
+ public:
+  void deliver(const Packet& p) {
+    std::lock_guard lk(mu_);
+    delivered_.push_back(p);
+    clock_counts_[p.clock]++;
+    if (p.ingress.time_since_epoch().count() != 0) {
+      const double usec = to_usec(SteadyClock::now() - p.ingress);
+      latency_.record(usec);
+      timeline_.emplace_back(p.ingress, usec);
+    }
+  }
+
+  size_t count() const {
+    std::lock_guard lk(mu_);
+    return delivered_.size();
+  }
+
+  std::vector<Packet> take() {
+    std::lock_guard lk(mu_);
+    return std::move(delivered_);
+  }
+
+  std::vector<Packet> snapshot() const {
+    std::lock_guard lk(mu_);
+    return delivered_;
+  }
+
+  // Number of clocks delivered more than once (duplicate outputs at the
+  // receiving end host — what R5/R6 must prevent).
+  size_t duplicate_clocks() const {
+    std::lock_guard lk(mu_);
+    size_t dups = 0;
+    for (const auto& [clock, n] : clock_counts_) {
+      if (n > 1) dups += n - 1;
+    }
+    return dups;
+  }
+
+  Histogram latency() const {
+    std::lock_guard lk(mu_);
+    return latency_;
+  }
+
+  // (ingress time, end-to-end usec) per packet, for time-windowed plots
+  // such as Fig. 13 (latency around a failure/recovery event).
+  std::vector<std::pair<TimePoint, double>> timeline() const {
+    std::lock_guard lk(mu_);
+    return timeline_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Packet> delivered_;
+  std::unordered_map<LogicalClock, size_t> clock_counts_;
+  Histogram latency_;
+  std::vector<std::pair<TimePoint, double>> timeline_;
+};
+
+}  // namespace chc

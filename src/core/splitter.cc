@@ -1,0 +1,124 @@
+#include "core/splitter.h"
+
+namespace chc {
+
+void Splitter::add_target(uint16_t runtime_id, PacketLinkPtr link,
+                          bool in_partition) {
+  std::lock_guard lk(mu_);
+  targets_.push_back({runtime_id, std::move(link), 0, in_partition});
+}
+
+void Splitter::remove_target(uint16_t runtime_id) {
+  std::lock_guard lk(mu_);
+  std::erase_if(targets_, [&](const SplitterTarget& t) {
+    return t.runtime_id == runtime_id;
+  });
+  shadows_.erase(runtime_id);
+}
+
+void Splitter::add_shadow_target(uint16_t runtime_id, PacketLinkPtr link) {
+  std::lock_guard lk(mu_);
+  shadows_[runtime_id] = std::move(link);
+}
+
+void Splitter::promote_shadow(uint16_t runtime_id) {
+  std::lock_guard lk(mu_);
+  auto it = shadows_.find(runtime_id);
+  if (it == shadows_.end()) return;
+  targets_.push_back({runtime_id, it->second, 0, true});
+  shadows_.erase(it);
+}
+
+size_t Splitter::pick_index(const Packet& p) const {
+  // Hash only across in-partition targets so adding an instance never
+  // silently remaps existing flows (moves are explicit, Fig. 4).
+  size_t n_part = 0;
+  for (const auto& t : targets_) n_part += t.in_partition ? 1 : 0;
+  if (n_part == 0) return 0;
+  const uint64_t h = scope_hash(p.tuple, scope_);
+  size_t pick = static_cast<size_t>(h % n_part);
+  for (size_t i = 0; i < targets_.size(); ++i) {
+    if (!targets_[i].in_partition) continue;
+    if (pick == 0) return i;
+    pick--;
+  }
+  return 0;
+}
+
+PacketLinkPtr Splitter::route(Packet&& p) {
+  std::lock_guard lk(mu_);
+  if (targets_.empty()) return nullptr;
+
+  // Replayed packets headed for a clone/failover instance bypass the normal
+  // partition pick (§5.3: they carry the target's id).
+  if (p.flags.replayed) {
+    if (auto s = shadows_.find(p.replay_target); s != shadows_.end()) {
+      PacketLinkPtr link = s->second;
+      link->send(std::move(p));
+      return link;
+    }
+    for (auto& t : targets_) {
+      if (t.runtime_id == p.replay_target) {
+        t.routed++;
+        PacketLinkPtr link = t.link;
+        link->send(std::move(p));
+        return link;
+      }
+    }
+  }
+
+  size_t idx = pick_index(p);
+  const uint64_t key = scope_hash(p.tuple, scope_);
+  if (auto it = overrides_.find(key); it != overrides_.end()) {
+    for (size_t i = 0; i < targets_.size(); ++i) {
+      if (targets_[i].runtime_id == it->second.to) {
+        idx = i;
+        break;
+      }
+    }
+    const uint64_t flow = scope_hash(p.tuple, Scope::kFiveTuple);
+    if (it->second.flows_marked.insert(flow).second) {
+      p.flags.first_of_move = true;  // Fig. 4 step 2, per flow in the group
+    }
+  }
+
+  SplitterTarget& t = targets_[idx];
+  t.routed++;
+
+  // Straggler mitigation: mirror the packet to the clone (§5.3).
+  if (auto r = replicas_.find(t.runtime_id); r != replicas_.end()) {
+    if (auto s = shadows_.find(r->second); s != shadows_.end()) {
+      Packet copy = p;
+      s->second->send(std::move(copy));
+    }
+  }
+
+  PacketLinkPtr link = t.link;
+  link->send(std::move(p));
+  return link;
+}
+
+void Splitter::move_flows(const std::vector<uint64_t>& scope_keys, uint16_t to) {
+  std::lock_guard lk(mu_);
+  for (uint64_t k : scope_keys) overrides_[k] = MoveState{to, {}};
+}
+
+void Splitter::set_replica(uint16_t of, uint16_t clone) {
+  std::lock_guard lk(mu_);
+  replicas_[of] = clone;
+}
+
+void Splitter::clear_replica(uint16_t of) {
+  std::lock_guard lk(mu_);
+  replicas_.erase(of);
+}
+
+std::vector<std::pair<uint16_t, uint64_t>> Splitter::load() const {
+  std::lock_guard lk(mu_);
+  std::vector<std::pair<uint16_t, uint64_t>> out;
+  out.reserve(targets_.size());
+  for (const auto& t : targets_) out.emplace_back(t.runtime_id, t.routed);
+  return out;
+}
+
+}  // namespace chc

@@ -1,0 +1,96 @@
+// The splitter the framework inserts in front of every vertex (paper §4.1,
+// Fig. 3b). One Splitter object serves as the edge router for a downstream
+// vertex: it partitions traffic across that vertex's instances by the
+// partition scope (scope-aware partitioning), executes the flow-move
+// protocol marks (Fig. 4 steps 1-2), replicates input during straggler
+// cloning, and redirects replayed packets to their clone/failover target.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/packet.h"
+#include "transport/sim_link.h"
+
+namespace chc {
+
+using PacketLinkPtr = std::shared_ptr<SimLink<Packet>>;
+
+struct SplitterTarget {
+  uint16_t runtime_id = 0;
+  PacketLinkPtr link;
+  uint64_t routed = 0;  // load statistic for the vertex manager
+  // Targets added after deployment start outside the hash partition: they
+  // only receive explicitly moved flows. Changing the modulo under live
+  // traffic would silently reassign *every* flow with no handover.
+  bool in_partition = true;
+};
+
+class Splitter {
+ public:
+  explicit Splitter(Scope partition_scope) : scope_(partition_scope) {}
+
+  void add_target(uint16_t runtime_id, PacketLinkPtr link, bool in_partition = true);
+  void remove_target(uint16_t runtime_id);
+  // Shadow targets receive replicated copies and redirected replays but do
+  // not take part in the partition pick (straggler clones, §5.3).
+  void add_shadow_target(uint16_t runtime_id, PacketLinkPtr link);
+  // Promote a shadow to a full partition target (clone wins the race).
+  void promote_shadow(uint16_t runtime_id);
+
+  // Routes by scope hash (with per-flow overrides). Returns the link used,
+  // or nullptr if there are no targets.
+  PacketLinkPtr route(Packet&& p);
+
+  Scope partition_scope() const {
+    std::lock_guard lk(mu_);
+    return scope_;
+  }
+  // Changing the partition scope implies a repartition; callers follow up
+  // with move_flows for affected flows.
+  void set_partition_scope(Scope s) {
+    std::lock_guard lk(mu_);
+    scope_ = s;
+  }
+
+  // --- flow move (elastic scaling, §5.1) ------------------------------------
+  // Redirect flows whose partition-scope hash is in `scope_keys` to the
+  // instance `to`. The first matching packet forwarded to `to` is marked
+  // first_of_move (Fig. 4 step 2); the caller is responsible for sending
+  // the "last" control mark to the old instance (the runtime does both).
+  void move_flows(const std::vector<uint64_t>& scope_keys, uint16_t to);
+
+  // --- straggler cloning (§5.3) ---------------------------------------------
+  // Every packet routed to `of` is also copied to `clone`.
+  void set_replica(uint16_t of, uint16_t clone);
+  void clear_replica(uint16_t of);
+
+  // Per-target routed counts (load statistics for the vertex manager).
+  std::vector<std::pair<uint16_t, uint64_t>> load() const;
+  size_t num_targets() const {
+    std::lock_guard lk(mu_);
+    return targets_.size();
+  }
+
+ private:
+  size_t pick_index(const Packet& p) const;  // callers hold mu_
+
+  mutable std::mutex mu_;
+  Scope scope_;
+  std::vector<SplitterTarget> targets_;
+  // scope_key -> target runtime id. A move covers a partition-scope group
+  // of flows; the handover itself is per flow, so the *first packet of each
+  // 5-tuple* in the group carries the first_of_move mark (Fig. 4 step 2).
+  struct MoveState {
+    uint16_t to = 0;
+    std::unordered_set<uint64_t> flows_marked;
+  };
+  std::unordered_map<uint64_t, MoveState> overrides_;
+  std::unordered_map<uint16_t, uint16_t> replicas_;  // of -> clone
+  std::unordered_map<uint16_t, PacketLinkPtr> shadows_;
+};
+
+}  // namespace chc

@@ -1,0 +1,104 @@
+#include "net/five_tuple.h"
+
+#include <cstdio>
+
+namespace chc {
+namespace {
+
+// 64-bit FNV-1a over an explicit field list; stable across platforms.
+uint64_t fnv1a(const uint8_t* data, size_t n, uint64_t h = 0xcbf29ce484222325ull) {
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+template <typename T>
+uint64_t mix(uint64_t h, T v) {
+  return fnv1a(reinterpret_cast<const uint8_t*>(&v), sizeof(v), h);
+}
+
+}  // namespace
+
+std::string FiveTuple::str() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u:%u>%u.%u.%u.%u:%u/%u",
+                (src_ip >> 24) & 0xff, (src_ip >> 16) & 0xff,
+                (src_ip >> 8) & 0xff, src_ip & 0xff, src_port,
+                (dst_ip >> 24) & 0xff, (dst_ip >> 16) & 0xff,
+                (dst_ip >> 8) & 0xff, dst_ip & 0xff, dst_port,
+                static_cast<unsigned>(proto));
+  return buf;
+}
+
+const char* scope_name(Scope s) {
+  switch (s) {
+    case Scope::kFiveTuple: return "5-tuple";
+    case Scope::kSrcDstPair: return "src-dst";
+    case Scope::kSrcIp: return "src-ip";
+    case Scope::kDstIp: return "dst-ip";
+    case Scope::kDstPort: return "dst-port";
+    case Scope::kGlobal: return "global";
+  }
+  return "?";
+}
+
+uint64_t scope_hash(const FiveTuple& t, Scope scope) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  switch (scope) {
+    case Scope::kFiveTuple:
+      h = mix(h, t.src_ip);
+      h = mix(h, t.dst_ip);
+      h = mix(h, t.src_port);
+      h = mix(h, t.dst_port);
+      h = mix(h, static_cast<uint8_t>(t.proto));
+      break;
+    case Scope::kSrcDstPair:
+      h = mix(h, t.src_ip);
+      h = mix(h, t.dst_ip);
+      break;
+    case Scope::kSrcIp:
+      h = mix(h, t.src_ip);
+      break;
+    case Scope::kDstIp:
+      h = mix(h, t.dst_ip);
+      break;
+    case Scope::kDstPort:
+      h = mix(h, t.dst_port);
+      break;
+    case Scope::kGlobal:
+      h = mix(h, uint8_t{1});
+      break;
+  }
+  return h;
+}
+
+bool coarser_than(Scope scope, Scope other) {
+  // The enum is ordered from fine to coarse.
+  return static_cast<uint8_t>(scope) > static_cast<uint8_t>(other);
+}
+
+namespace {
+// Header-field bitmask per scope: src ip, dst ip, src port, dst port, proto.
+uint8_t scope_fields(Scope s) {
+  switch (s) {
+    case Scope::kFiveTuple: return 0b11111;
+    case Scope::kSrcDstPair: return 0b00011;
+    case Scope::kSrcIp: return 0b00001;
+    case Scope::kDstIp: return 0b00010;
+    case Scope::kDstPort: return 0b01000;
+    case Scope::kGlobal: return 0b00000;
+  }
+  return 0;
+}
+}  // namespace
+
+bool scope_grants_exclusive(Scope object_scope, Scope partition) {
+  const uint8_t part = scope_fields(partition);
+  const uint8_t obj = scope_fields(object_scope);
+  // partition fields ⊆ object fields: the object key pins the partition.
+  return (part & obj) == part;
+}
+
+}  // namespace chc

@@ -1,0 +1,67 @@
+// The classic connection 5-tuple plus the scope projections CHC partitions
+// on (paper §4.1: a scope is the subset of header fields that keys a state
+// object, e.g. the full 5-tuple for per-connection state or src IP for
+// per-host state).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace chc {
+
+enum class IpProto : uint8_t { kTcp = 6, kUdp = 17, kIcmp = 1 };
+
+struct FiveTuple {
+  uint32_t src_ip = 0;
+  uint32_t dst_ip = 0;
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  IpProto proto = IpProto::kTcp;
+
+  bool operator==(const FiveTuple&) const = default;
+
+  // Canonical reverse direction (server -> client).
+  FiveTuple reversed() const {
+    return {dst_ip, src_ip, dst_port, src_port, proto};
+  }
+
+  std::string str() const;
+};
+
+// The granularities at which NF state can be keyed, ordered from most to
+// least fine grained (paper: `.scope()` returns such a list).
+enum class Scope : uint8_t {
+  kFiveTuple = 0,   // per connection
+  kSrcDstPair = 1,  // per host pair
+  kSrcIp = 2,       // per source host
+  kDstIp = 3,       // per destination host
+  kDstPort = 4,     // per service port
+  kGlobal = 5,      // one object for all traffic (always shared)
+};
+
+const char* scope_name(Scope s);
+
+// Stable 64-bit hash of the fields selected by `scope`. Used both for
+// store keys and for splitter partitioning, so an NF's per-scope state and
+// the traffic that updates it land together.
+uint64_t scope_hash(const FiveTuple& t, Scope scope);
+
+// True if `scope` is strictly coarser (fewer distinguishing fields) than
+// `other`.
+bool coarser_than(Scope scope, Scope other);
+
+// True if partitioning traffic at `partition` guarantees that all packets
+// sharing an object key at `object_scope` land on one instance — i.e. the
+// partition fields are a subset of the object's key fields, so the object
+// key determines the partition hash. Drives automatic cache-exclusivity
+// for write/read-often cross-flow state (paper §4.3).
+bool scope_grants_exclusive(Scope object_scope, Scope partition);
+
+struct FiveTupleHash {
+  size_t operator()(const FiveTuple& t) const {
+    return static_cast<size_t>(scope_hash(t, Scope::kFiveTuple));
+  }
+};
+
+}  // namespace chc

@@ -1,0 +1,32 @@
+#include "net/packet.h"
+
+#include <cstdio>
+
+namespace chc {
+
+const char* app_event_name(AppEvent e) {
+  switch (e) {
+    case AppEvent::kNone: return "none";
+    case AppEvent::kTcpSyn: return "syn";
+    case AppEvent::kTcpSynAck: return "syn-ack";
+    case AppEvent::kTcpRst: return "rst";
+    case AppEvent::kTcpFin: return "fin";
+    case AppEvent::kSshOpen: return "ssh-open";
+    case AppEvent::kFtpFileHtml: return "ftp-html";
+    case AppEvent::kFtpFileZip: return "ftp-zip";
+    case AppEvent::kFtpFileExe: return "ftp-exe";
+    case AppEvent::kIrcActivity: return "irc";
+    case AppEvent::kHttpData: return "http";
+  }
+  return "?";
+}
+
+std::string Packet::str() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "pkt{clk=%llu %s %uB %s}",
+                static_cast<unsigned long long>(clock == kNoClock ? 0 : clock),
+                tuple.str().c_str(), size_bytes, app_event_name(event));
+  return buf;
+}
+
+}  // namespace chc

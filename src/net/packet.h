@@ -1,0 +1,67 @@
+// Packet model. A packet is a small value type: real header fields the NFs
+// act on, an application-level event tag (what a DPI engine would extract
+// from the payload), and the CHC metadata the framework maintains (logical
+// clock, XOR update vector, replay/move marks — paper §5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "net/five_tuple.h"
+
+namespace chc {
+
+// Application-level events carried in packet payloads. The Trojan detector
+// (paper §2.1 / De Carli et al.) keys on the SSH/FTP/IRC sequence; the
+// portscan detector keys on TCP handshake outcomes.
+enum class AppEvent : uint8_t {
+  kNone = 0,
+  kTcpSyn,
+  kTcpSynAck,
+  kTcpRst,
+  kTcpFin,
+  kSshOpen,      // SSH connection established
+  kFtpFileHtml,  // HTML file downloaded over FTP
+  kFtpFileZip,   // ZIP file downloaded over FTP
+  kFtpFileExe,   // EXE file downloaded over FTP
+  kIrcActivity,  // IRC traffic observed
+  kHttpData,
+};
+
+const char* app_event_name(AppEvent e);
+
+// Framework marks (paper §5.1 move protocol and §5.3 replay).
+struct PacketFlags {
+  bool last_of_move : 1 = false;   // last packet to the old instance
+  bool first_of_move : 1 = false;  // first packet to the new instance
+  bool replayed : 1 = false;       // replayed from the root log
+  bool last_replayed : 1 = false;  // most recent logged packet at replay start
+  bool suspicious_copy : 1 = false;  // copy mirrored to an off-path NF
+};
+
+struct Packet {
+  // --- wire content -------------------------------------------------------
+  FiveTuple tuple;
+  uint16_t size_bytes = 0;
+  AppEvent event = AppEvent::kNone;
+  uint32_t seq = 0;  // per-flow sequence number (generator-assigned)
+
+  // --- CHC metadata -------------------------------------------------------
+  LogicalClock clock = kNoClock;
+  UpdateVector update_vec = 0;  // XOR ledger (paper Fig. 6)
+  InstanceId replay_target = 0;  // clone id carried by replayed packets (§5.3)
+  PacketFlags flags;
+
+  // --- measurement --------------------------------------------------------
+  TimePoint ingress{};  // stamped when the packet enters the chain
+
+  bool is_connection_attempt() const { return event == AppEvent::kTcpSyn; }
+  bool is_handshake_outcome() const {
+    return event == AppEvent::kTcpSynAck || event == AppEvent::kTcpRst;
+  }
+
+  std::string str() const;
+};
+
+}  // namespace chc

@@ -1,0 +1,35 @@
+// Custom operations the NFs offload to the datastore (paper Table 2:
+// "Developers can also load custom operations"). The store executes these
+// atomically per object, which is what makes e.g. the load balancer's
+// pick-least-loaded race-free across instances.
+#pragma once
+
+#include "store/datastore.h"
+
+namespace chc {
+
+// Operation ids. Values/args are packed into the Value union.
+inline constexpr uint16_t kOpPickLeastLoaded = 1;  // LB: argmin++, returns index
+inline constexpr uint16_t kOpListAdd = 2;          // list[arg.list[0]] += arg.list[1]
+inline constexpr uint16_t kOpListDecAt = 3;        // list[arg.i] -= 1 (floor 0)
+inline constexpr uint16_t kOpTrojanStep = 4;       // sequence-detector transition
+inline constexpr uint16_t kOpClampAdd = 5;         // v = max(0, v + arg)
+
+// Trojan sequence slots (value is a 6-int list).
+enum TrojanSlot : size_t {
+  kSlotSsh = 0,
+  kSlotFtpHtml = 1,
+  kSlotFtpZip = 2,
+  kSlotFtpExe = 3,
+  kSlotIrc = 4,
+  kSlotDetected = 5,
+};
+
+// kOpTrojanStep arg: list {event_slot, observed_time}. The transition
+// records the event's time and, on IRC activity, checks the full
+// SSH < {HTML, ZIP, EXE} < IRC ordering (paper §2.1 / De Carli et al.).
+// Returns the updated list; list[kSlotDetected] flips to 1 on detection.
+
+void register_custom_ops(DataStore& store);
+
+}  // namespace chc

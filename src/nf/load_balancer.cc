@@ -1,0 +1,43 @@
+#include "nf/load_balancer.h"
+
+#include "nf/custom_ops.h"
+
+namespace chc {
+
+namespace {
+constexpr uint32_t kBackendBase = 0xC0A80000;  // 192.168.0.0/16 backends
+}
+
+void LoadBalancer::process(Packet& p, NfContext& ctx) {
+  StoreClient& st = ctx.state();
+
+  int64_t server = -1;
+  if (p.is_connection_attempt()) {
+    // Atomic pick-least-loaded in the store: competing instances cannot
+    // double-assign because the store serializes the op (§4.3).
+    Value counts = st.custom(kServerConns, p.tuple, kOpPickLeastLoaded,
+                             Value::of_int(num_servers_));
+    if (counts.kind == Value::Kind::kList && !counts.list.empty()) {
+      server = counts.list.back();  // pick marker appended by the op
+    }
+    if (server < 0) server = 0;
+    st.set(kConnMapping, p.tuple, Value::of_int(server));
+  } else {
+    Value m = st.get(kConnMapping, p.tuple);
+    if (m.kind == Value::Kind::kInt) server = m.i;
+  }
+
+  if (server >= 0) {
+    // Per-server byte counter on every packet: write-mostly, so this is a
+    // fire-and-forget offloaded op (model #3's big win).
+    st.custom(kServerBytes, p.tuple, kOpListAdd,
+              Value::of_list({server, static_cast<int64_t>(p.size_bytes)}));
+    p.tuple.dst_ip = kBackendBase + static_cast<uint32_t>(server);
+
+    if (p.event == AppEvent::kTcpFin) {
+      st.custom(kServerConns, p.tuple, kOpListDecAt, Value::of_int(server));
+    }
+  }
+}
+
+}  // namespace chc

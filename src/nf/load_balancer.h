@@ -1,0 +1,42 @@
+// L4 load balancer (paper Table 4): assigns each new connection to the
+// least-loaded backend, pins the connection to that backend, and counts
+// per-server connections and bytes.
+//
+//   state object             scope        access pattern
+//   per-server active conns  cross-flow   write/read often (atomic argmin++)
+//   per-server byte counter  cross-flow   write mostly, read rarely
+//   conn -> server mapping   per-flow     write rarely, read mostly
+#pragma once
+
+#include "core/nf.h"
+
+namespace chc {
+
+class LoadBalancer : public NetworkFunction {
+ public:
+  static constexpr ObjectId kServerConns = 1;
+  static constexpr ObjectId kServerBytes = 2;
+  static constexpr ObjectId kConnMapping = 3;
+
+  explicit LoadBalancer(int num_servers = 8) : num_servers_(num_servers) {}
+
+  const char* name() const override { return "lb"; }
+
+  std::vector<ObjectSpec> state_objects() const override {
+    return {
+        {kServerConns, Scope::kGlobal, true, AccessPattern::kWriteReadOften,
+         "server-conns"},
+        {kServerBytes, Scope::kGlobal, true, AccessPattern::kWriteMostlyReadRarely,
+         "server-bytes"},
+        {kConnMapping, Scope::kFiveTuple, false, AccessPattern::kReadMostlyWriteRarely,
+         "conn-map"},
+    };
+  }
+
+  void process(Packet& p, NfContext& ctx) override;
+
+ private:
+  const int num_servers_;
+};
+
+}  // namespace chc

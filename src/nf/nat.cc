@@ -1,0 +1,41 @@
+#include "nf/nat.h"
+
+namespace chc {
+
+void Nat::seed_ports(StoreClient& client, int first, int count) {
+  client.set_current_clock(kNoClock);
+  for (int i = 0; i < count; ++i) {
+    client.push_list(kPorts, FiveTuple{}, first + i);
+  }
+}
+
+void Nat::process(Packet& p, NfContext& ctx) {
+  StoreClient& st = ctx.state();
+
+  // Counters on every packet (write-mostly -> non-blocking updates).
+  st.incr(kTotalPackets, p.tuple, 1);
+  if (p.tuple.proto == IpProto::kTcp) st.incr(kTcpPackets, p.tuple, 1);
+
+  // Connection setup: allocate a port (the store pops on our behalf and
+  // serializes competing instances, §4.3) and record the mapping once.
+  if (p.is_connection_attempt()) {
+    auto port = st.pop_list(kPorts, p.tuple);
+    int64_t external = port ? *port : 40000 + st.incr(kNextPort, p.tuple, 1);
+    st.set(kPortMapping, p.tuple, Value::of_int(external));
+    p.tuple.src_port = static_cast<uint16_t>(external);
+    return;  // forward rewritten SYN
+  }
+
+  // Data path: read the (cached) mapping and rewrite.
+  Value m = st.get(kPortMapping, p.tuple);
+  if (m.kind == Value::Kind::kInt) {
+    p.tuple.src_port = static_cast<uint16_t>(m.i);
+  }
+
+  // Teardown: return the port to the pool.
+  if (p.event == AppEvent::kTcpFin && m.kind == Value::Kind::kInt) {
+    st.push_list(kPorts, p.tuple, m.i);
+  }
+}
+
+}  // namespace chc

@@ -1,0 +1,47 @@
+// NAT (paper §6 / Table 4): allocates an external port per connection from
+// a shared free list in the store, keeps the per-connection mapping, and
+// counts TCP/total packets.
+//
+//   state object          scope        access pattern
+//   available ports       cross-flow   write/read often (list pop/push)
+//   per-conn port mapping per-flow     write rarely, read mostly
+//   total TCP packets     cross-flow   write mostly, read rarely
+//   total packets         cross-flow   write mostly, read rarely
+#pragma once
+
+#include "core/nf.h"
+
+namespace chc {
+
+class Nat : public NetworkFunction {
+ public:
+  static constexpr ObjectId kPorts = 1;
+  static constexpr ObjectId kPortMapping = 2;
+  static constexpr ObjectId kTcpPackets = 3;
+  static constexpr ObjectId kTotalPackets = 4;
+  // Fallback allocator when the free list runs dry: a shared counter from
+  // which fresh ports are minted.
+  static constexpr ObjectId kNextPort = 5;
+
+  const char* name() const override { return "nat"; }
+
+  std::vector<ObjectSpec> state_objects() const override {
+    return {
+        {kPorts, Scope::kGlobal, true, AccessPattern::kWriteReadOften, "avail-ports"},
+        {kPortMapping, Scope::kFiveTuple, false, AccessPattern::kReadMostlyWriteRarely,
+         "port-map"},
+        {kTcpPackets, Scope::kGlobal, true, AccessPattern::kWriteMostlyReadRarely,
+         "tcp-pkts"},
+        {kTotalPackets, Scope::kGlobal, true, AccessPattern::kWriteMostlyReadRarely,
+         "total-pkts"},
+        {kNextPort, Scope::kGlobal, true, AccessPattern::kWriteReadOften, "next-port"},
+    };
+  }
+
+  void process(Packet& p, NfContext& ctx) override;
+
+  // Seed the shared free-port list (call once before traffic).
+  static void seed_ports(StoreClient& client, int first, int count);
+};
+
+}  // namespace chc

@@ -1,0 +1,46 @@
+#include "nf/portscan.h"
+
+#include "nf/custom_ops.h"
+
+namespace chc {
+
+void PortscanDetector::process(Packet& p, NfContext& ctx) {
+  StoreClient& st = ctx.state();
+
+  // Only handshake packets touch state (the paper's detectors "don't
+  // update state on every packet"); data traffic passes straight through.
+  if (!p.is_connection_attempt() && !p.is_handshake_outcome()) return;
+
+  // Already-blocked hosts are dropped outright (read-heavy cached object).
+  Value blocked = st.get(kBlocked, p.tuple);
+  if (blocked.kind == Value::Kind::kInt && blocked.i != 0) {
+    ctx.drop();
+    return;
+  }
+
+  if (p.event == AppEvent::kTcpSyn) {
+    // Record the pending initiation with its arrival (logical clock) time.
+    st.set(kPending, p.tuple, Value::of_int(static_cast<int64_t>(p.clock)));
+    return;
+  }
+
+  if (p.is_handshake_outcome()) {
+    Value pending = st.get(kPending, p.tuple);
+    if (pending.kind == Value::Kind::kInt) {
+      const int64_t delta =
+          p.event == AppEvent::kTcpRst ? kFailDelta : kSuccessDelta;
+      // Clamped add, offloaded so every instance's outcome lands in one
+      // serialized order (§4.3).
+      Value score =
+          st.custom(kLikelihood, p.tuple, kOpClampAdd, Value::of_int(delta));
+      st.set(kPending, p.tuple, Value::none());
+      if (score.kind == Value::Kind::kInt && score.i >= kBlockThreshold) {
+        st.set(kBlocked, p.tuple, Value::of_int(1));
+        ctx.drop();
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace chc

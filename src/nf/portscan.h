@@ -1,0 +1,42 @@
+// Portscan detector (paper Table 4, after Schechter/Jung/Berger's threshold
+// random walk): tracks connection-initiation outcomes per source host and
+// blocks hosts whose failure-weighted score crosses a threshold.
+//
+//   state object                  scope                 access pattern
+//   likelihood per host           cross-flow (src ip)   write/read often
+//   pending conn + timestamp      per-flow              write/read often
+//   blocked-host decisions        cross-flow (src ip)   write rarely/read heavy
+#pragma once
+
+#include "core/nf.h"
+
+namespace chc {
+
+class PortscanDetector : public NetworkFunction {
+ public:
+  static constexpr ObjectId kLikelihood = 1;
+  static constexpr ObjectId kPending = 2;
+  static constexpr ObjectId kBlocked = 3;
+
+  // TRW-ish integer scoring: failures add, successes subtract (clamped at
+  // zero store-side), block at the threshold.
+  static constexpr int64_t kFailDelta = 3;
+  static constexpr int64_t kSuccessDelta = -1;
+  static constexpr int64_t kBlockThreshold = 12;
+
+  const char* name() const override { return "portscan"; }
+
+  std::vector<ObjectSpec> state_objects() const override {
+    return {
+        {kLikelihood, Scope::kSrcIp, true, AccessPattern::kWriteReadOften,
+         "scan-likelihood"},
+        {kPending, Scope::kFiveTuple, false, AccessPattern::kWriteReadOften,
+         "pending-conn"},
+        {kBlocked, Scope::kSrcIp, true, AccessPattern::kReadHeavy, "blocked"},
+    };
+  }
+
+  void process(Packet& p, NfContext& ctx) override;
+};
+
+}  // namespace chc

@@ -1,0 +1,38 @@
+#include "nf/simple_nfs.h"
+
+namespace chc {
+
+void Firewall::process(Packet& p, NfContext& ctx) {
+  for (uint16_t port : blocked_ports_) {
+    if (p.tuple.dst_port == port) {
+      ctx.state().incr(kDenied, p.tuple, 1);
+      ctx.drop();
+      return;
+    }
+  }
+  ctx.state().incr(kAllowed, p.tuple, 1);
+}
+
+void Scrubber::process(Packet& p, NfContext& ctx) {
+  if (p.size_bytes > 1500) p.size_bytes = 1500;  // normalize jumbo frames
+  ctx.state().incr(kFlowBytes, p.tuple, p.size_bytes);
+}
+
+void CountingIds::process(Packet& p, NfContext& ctx) {
+  ctx.state().incr(kPortCount, p.tuple, 1);
+  ctx.state().incr(kFlowBytes, p.tuple, p.size_bytes);
+}
+
+void DpiEngine::process(Packet& p, NfContext& ctx) {
+  StoreClient& st = ctx.state();
+  if (p.event == AppEvent::kTcpSyn) {
+    st.incr(kHostConns, p.tuple, 1);
+    st.set(kConnRecord, p.tuple, Value::of_int(0));  // attempt recorded
+  } else if (p.event == AppEvent::kTcpSynAck) {
+    st.set(kConnRecord, p.tuple, Value::of_int(1));  // success
+  } else if (p.event == AppEvent::kTcpRst) {
+    st.set(kConnRecord, p.tuple, Value::of_int(-1));  // failure
+  }
+}
+
+}  // namespace chc

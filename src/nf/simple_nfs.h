@@ -1,0 +1,99 @@
+// Supporting NFs used by the paper's chains (Fig. 1, Fig. 2): a stateless
+// firewall, a scrubber (traffic normalizer whose slowdowns drive the R4
+// experiment), a counting IDS with per-port shared counters, and the DPI
+// engine from the §4.1 scope-partitioning example.
+#pragma once
+
+#include <vector>
+
+#include "core/nf.h"
+
+namespace chc {
+
+// ACL firewall: drops traffic to blocked ports, counts decisions.
+class Firewall : public NetworkFunction {
+ public:
+  static constexpr ObjectId kAllowed = 1;
+  static constexpr ObjectId kDenied = 2;
+
+  explicit Firewall(std::vector<uint16_t> blocked_ports = {23, 445})
+      : blocked_ports_(std::move(blocked_ports)) {}
+
+  const char* name() const override { return "firewall"; }
+
+  std::vector<ObjectSpec> state_objects() const override {
+    return {
+        {kAllowed, Scope::kGlobal, true, AccessPattern::kWriteMostlyReadRarely,
+         "fw-allowed"},
+        {kDenied, Scope::kGlobal, true, AccessPattern::kWriteMostlyReadRarely,
+         "fw-denied"},
+    };
+  }
+
+  void process(Packet& p, NfContext& ctx) override;
+
+ private:
+  std::vector<uint16_t> blocked_ports_;
+};
+
+// Scrubber: normalizes traffic (here: clamps sizes, counts per-flow bytes).
+// Its instance-level artificial delay knob emulates resource contention.
+class Scrubber : public NetworkFunction {
+ public:
+  static constexpr ObjectId kFlowBytes = 1;
+
+  const char* name() const override { return "scrubber"; }
+
+  std::vector<ObjectSpec> state_objects() const override {
+    return {
+        {kFlowBytes, Scope::kFiveTuple, false, AccessPattern::kWriteMostlyReadRarely,
+         "scrub-bytes"},
+    };
+  }
+
+  void process(Packet& p, NfContext& ctx) override;
+};
+
+// Counting IDS (Fig. 1): shared per-port counters + per-flow byte counts.
+class CountingIds : public NetworkFunction {
+ public:
+  static constexpr ObjectId kPortCount = 1;
+  static constexpr ObjectId kFlowBytes = 2;
+
+  const char* name() const override { return "ids"; }
+
+  std::vector<ObjectSpec> state_objects() const override {
+    return {
+        {kPortCount, Scope::kDstPort, true, AccessPattern::kWriteMostlyReadRarely,
+         "port-count"},
+        {kFlowBytes, Scope::kFiveTuple, false, AccessPattern::kWriteReadOften,
+         "flow-bytes"},
+    };
+  }
+
+  void process(Packet& p, NfContext& ctx) override;
+};
+
+// DPI engine (§4.1 example): per-connection success records (5-tuple scope)
+// and per-host connection counts (src-ip scope) — the two-scope vertex that
+// motivates scope-aware partitioning.
+class DpiEngine : public NetworkFunction {
+ public:
+  static constexpr ObjectId kConnRecord = 1;
+  static constexpr ObjectId kHostConns = 2;
+
+  const char* name() const override { return "dpi"; }
+
+  std::vector<ObjectSpec> state_objects() const override {
+    return {
+        {kConnRecord, Scope::kFiveTuple, false, AccessPattern::kWriteReadOften,
+         "conn-record"},
+        {kHostConns, Scope::kSrcIp, true, AccessPattern::kWriteReadOften,
+         "host-conns"},
+    };
+  }
+
+  void process(Packet& p, NfContext& ctx) override;
+};
+
+}  // namespace chc

@@ -1,0 +1,39 @@
+#include "nf/trojan.h"
+
+#include "nf/custom_ops.h"
+
+namespace chc {
+
+void TrojanDetector::process(Packet& p, NfContext& ctx) {
+  // Off-path: consumes its copy, never forwards.
+  ctx.drop();
+
+  int64_t slot = -1;
+  switch (p.event) {
+    case AppEvent::kSshOpen: slot = kSlotSsh; break;
+    case AppEvent::kFtpFileHtml: slot = kSlotFtpHtml; break;
+    case AppEvent::kFtpFileZip: slot = kSlotFtpZip; break;
+    case AppEvent::kFtpFileExe: slot = kSlotFtpExe; break;
+    case AppEvent::kIrcActivity: slot = kSlotIrc; break;
+    default: return;  // uninteresting traffic
+  }
+
+  // R4: with chain-wide logical clocks the detector reasons about the true
+  // arrival order at the network input no matter how upstream NFs delayed
+  // or interleaved the copies. Without them, all it has is its own arrival
+  // counter — which upstream slowdowns scramble.
+  const int64_t t = use_logical_clocks_ ? static_cast<int64_t>(clock_counter(p.clock))
+                                        : static_cast<int64_t>(++arrival_counter_);
+
+  StoreClient& st = ctx.state();
+  Value seq = st.custom(kSequence, p.tuple, kOpTrojanStep,
+                        Value::of_list({slot, t}));
+  if (seq.kind == Value::Kind::kList && seq.list.size() > kSlotDetected &&
+      seq.list[kSlotDetected] == 1) {
+    // Full signature observed in order (the op already restarted the
+    // sequence so one infection counts once): raise the alarm.
+    st.incr(kDetections, p.tuple, 1);
+  }
+}
+
+}  // namespace chc

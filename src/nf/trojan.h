@@ -1,0 +1,42 @@
+// Off-path Trojan detector (paper §2.1, Fig. 2; after De Carli et al.):
+// flags a host that (1) opens an SSH connection, then (2) downloads HTML,
+// ZIP and EXE files over FTP, then (3) generates IRC activity — in that
+// arrival order at the network input. Chain-wide logical clocks are what
+// make the order judgment robust to upstream slowdowns (requirement R4);
+// with `use_logical_clocks=false` it falls back to local arrival order,
+// which is how frameworks without chain-wide ordering behave.
+#pragma once
+
+#include <atomic>
+
+#include "core/nf.h"
+
+namespace chc {
+
+class TrojanDetector : public NetworkFunction {
+ public:
+  static constexpr ObjectId kSequence = 1;    // per-host event time slots
+  static constexpr ObjectId kDetections = 2;  // global alarm counter
+
+  explicit TrojanDetector(bool use_logical_clocks = true)
+      : use_logical_clocks_(use_logical_clocks) {}
+
+  const char* name() const override { return "trojan"; }
+
+  std::vector<ObjectSpec> state_objects() const override {
+    return {
+        {kSequence, Scope::kSrcIp, true, AccessPattern::kWriteReadOften,
+         "trojan-seq"},
+        {kDetections, Scope::kGlobal, true, AccessPattern::kWriteReadOften,
+         "trojan-alarms"},
+    };
+  }
+
+  void process(Packet& p, NfContext& ctx) override;
+
+ private:
+  const bool use_logical_clocks_;
+  uint64_t arrival_counter_ = 0;  // fallback "time" without chain clocks
+};
+
+}  // namespace chc

@@ -1,0 +1,664 @@
+#include "store/client.h"
+
+#include "common/logging.h"
+#include "store/op_apply.h"
+
+namespace chc {
+
+StoreClient::StoreClient(DataStore* store, const ClientConfig& cfg)
+    : store_(store),
+      cfg_(cfg),
+      sync_link_(std::make_shared<ReplyLink>(cfg.reply_link)),
+      async_link_(std::make_shared<ReplyLink>(cfg.reply_link)) {}
+
+void StoreClient::register_object(const ObjectSpec& spec) {
+  ObjectState os;
+  os.spec = spec;
+  os.strategy = strategy_for(spec);
+  os.exclusive = false;
+  objects_[spec.id] = os;
+}
+
+StoreClient::Strategy StoreClient::strategy_for(const ObjectSpec& spec) const {
+  if (cfg_.local_only) return Strategy::kCacheFlush;  // everything stays local
+  if (!cfg_.caching) return Strategy::kNonBlocking;
+  if (spec.pattern == AccessPattern::kWriteMostlyReadRarely) {
+    return Strategy::kNonBlocking;  // Table 1 col 1
+  }
+  if (!spec.cross_flow) return Strategy::kCacheFlush;  // col 2
+  if (spec.pattern == AccessPattern::kReadHeavy ||
+      spec.pattern == AccessPattern::kReadMostlyWriteRarely) {
+    return Strategy::kCacheCallback;  // col 3
+  }
+  return Strategy::kCacheIfExclusive;  // col 4
+}
+
+bool StoreClient::cached_now(const ObjectState& os) const {
+  switch (os.strategy) {
+    case Strategy::kCacheFlush:
+    case Strategy::kCacheCallback:
+      return true;
+    case Strategy::kCacheIfExclusive:
+      return os.exclusive;
+    default:
+      return false;
+  }
+}
+
+StoreKey StoreClient::key_for(const ObjectState& os, const FiveTuple& t) const {
+  StoreKey k;
+  k.vertex = cfg_.vertex;
+  k.object = os.spec.id;
+  k.scope_key = os.spec.scope == Scope::kGlobal ? 0 : scope_hash(t, os.spec.scope);
+  k.shared = os.spec.cross_flow;
+  return k;
+}
+
+void StoreClient::note_touch(const ObjectState& os, const FiveTuple& t) {
+  if (os.spec.cross_flow) return;
+  touched_flows_.emplace(scope_hash(t, Scope::kFiveTuple), t);
+}
+
+void StoreClient::note_update(ObjectId obj) {
+  // Fig. 6 step 1: XOR (instance id || object id) into the packet's ledger
+  // vector for every state update this packet induced. Local-only NFs never
+  // commit to the store, so they contribute nothing.
+  if (current_clock_ != kNoClock && !cfg_.local_only) {
+    turn_vec_ ^= update_tag(cfg_.instance, obj);
+  }
+}
+
+// --- request plumbing -------------------------------------------------------
+
+Response StoreClient::do_blocking(Request req) {
+  req.blocking = true;
+  req.reply_to = sync_link_;
+  req.async_to = async_link_;
+  req.vertex = cfg_.vertex;
+  req.instance = cfg_.instance;
+  req.client_uid = cfg_.client_uid ? cfg_.client_uid : cfg_.instance;
+  if (req.req_id == 0) req.req_id = next_req_id();
+
+  for (int attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
+    store_->submit(req);
+    const TimePoint deadline = SteadyClock::now() + cfg_.blocking_timeout;
+    while (SteadyClock::now() < deadline) {
+      auto resp = sync_link_->recv(Micros(200));
+      if (!resp) continue;
+      if (resp->req_id == req.req_id) {
+        stats_.blocking_rtts++;
+        if (resp->status == Status::kEmulated) stats_.emulated++;
+        return *resp;
+      }
+      // Stale reply from a timed-out earlier attempt; drop it.
+    }
+  }
+  CHC_WARN("blocking op %u gave up after %d retries", static_cast<unsigned>(req.op),
+           cfg_.max_retries);
+  Response r;
+  r.status = Status::kError;
+  return r;
+}
+
+void StoreClient::do_nonblocking(Request req) {
+  req.blocking = false;
+  req.want_ack = true;
+  req.async_to = async_link_;
+  req.vertex = cfg_.vertex;
+  req.instance = cfg_.instance;
+  req.client_uid = cfg_.client_uid ? cfg_.client_uid : cfg_.instance;
+  if (req.req_id == 0) req.req_id = next_req_id();
+  stats_.nonblocking_ops++;
+
+  // The framework owns reliable delivery (§4.3): remember the op until its
+  // ACK arrives, retransmit on timeout.
+  PendingAck pa{req, SteadyClock::now() + cfg_.ack_timeout, 0};
+  store_->submit(req);
+
+  if (cfg_.wait_acks) {
+    // Model #2: the NF blocks until the store ACKs the enqueue - one RTT.
+    const uint64_t id = req.req_id;
+    for (int attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
+      const TimePoint deadline = SteadyClock::now() + cfg_.blocking_timeout;
+      while (SteadyClock::now() < deadline) {
+        auto resp = async_link_->recv(Micros(200));
+        if (!resp) continue;
+        if (resp->msg == Response::Kind::kAck && resp->req_id == id) {
+          stats_.blocking_rtts++;
+          if (resp->status == Status::kEmulated) stats_.emulated++;
+          return;
+        }
+        handle_async(*resp);
+      }
+      stats_.retransmissions++;
+      store_->submit(pa.req);
+    }
+    return;
+  }
+  pending_acks_[req.req_id] = std::move(pa);
+}
+
+void StoreClient::handle_async(const Response& r) {
+  switch (r.msg) {
+    case Response::Kind::kAck: {
+      if (r.status == Status::kEmulated) stats_.emulated++;
+      pending_acks_.erase(r.req_id);
+      break;
+    }
+    case Response::Kind::kCallback: {
+      // Read-heavy shared object updated by another instance: refresh cache.
+      CacheEntry& e = cache_[r.key];
+      e.value = r.value;
+      e.loaded = true;
+      stats_.callbacks_applied++;
+      break;
+    }
+    case Response::Kind::kOwnershipGranted: {
+      CacheEntry& e = cache_[r.key];
+      e.value = r.value;
+      e.loaded = true;
+      e.dirty = false;
+      if (ownership_pending_ > 0) ownership_pending_--;
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void StoreClient::poll() {
+  if (cfg_.local_only) return;
+  while (auto r = async_link_->try_recv()) handle_async(*r);
+  if (pending_acks_.empty()) return;
+  const TimePoint now = SteadyClock::now();
+  for (auto& [id, pa] : pending_acks_) {
+    if (now >= pa.deadline && pa.retries < cfg_.max_retries) {
+      // Safe to re-issue: the store emulates duplicates by clock (§5.3).
+      store_->submit(pa.req);
+      pa.deadline = now + cfg_.ack_timeout;
+      pa.retries++;
+      stats_.retransmissions++;
+    }
+  }
+}
+
+// --- cache handling ---------------------------------------------------------
+
+StoreClient::CacheEntry& StoreClient::load_cache(const ObjectState& os,
+                                                 const StoreKey& key,
+                                                 const FiveTuple& t) {
+  CacheEntry& e = cache_[key];
+  if (!e.loaded) {
+    e.tuple = t;
+    if (cfg_.local_only) {
+      e.loaded = true;
+      return e;
+    }
+    Request req;
+    req.op = OpType::kGetWithClocks;
+    req.key = key;
+    Response r = do_blocking(req);
+    e.value = r.status == Status::kOk ? r.value : Value::none();
+    e.applied_clocks.insert(r.applied_clocks.begin(), r.applied_clocks.end());
+    e.loaded = true;
+    if (key.shared && r.status != Status::kError) {
+      read_log_.push_back({current_clock_, key, e.value, r.ts});
+    }
+    if (os.strategy == Strategy::kCacheCallback) {
+      // Read-heavy shared object: subscribe so the store pushes updates made
+      // by other instances into this cache (§4.3).
+      Request sub;
+      sub.op = OpType::kRegisterCallback;
+      sub.key = key;
+      do_blocking(std::move(sub));
+    }
+  }
+  return e;
+}
+
+Value StoreClient::cached_apply(ObjectState& os, const StoreKey& key,
+                                const FiveTuple& t, OpType op, const Value& arg,
+                                const Value& arg2, uint16_t custom_id,
+                                Status* status) {
+  CacheEntry& e = load_cache(os, key, t);
+  stats_.cache_hits++;
+
+  // Client-side duplicate emulation: a replayed packet whose effect is
+  // already folded into the value we loaded must not re-apply (§5.3).
+  if (current_clock_ != kNoClock && e.applied_clocks.contains(current_clock_)) {
+    stats_.emulated++;
+    if (status) *status = Status::kEmulated;
+    note_update(key.object);  // the ledger still expects this packet's tag
+    return e.value;
+  }
+
+  Status st;
+  Value result =
+      apply_basic_op(e.value, op, arg, arg2, custom_id, custom_registry(), st);
+  if (status) *status = st;
+  if (st != Status::kOk) return result;
+  note_update(key.object);
+
+  e.dirty = true;
+  e.updates_since_flush++;
+  if (current_clock_ != kNoClock) e.pending_clocks.push_back(current_clock_);
+  if (e.updates_since_flush >= cfg_.flush_every) {
+    flush_entry(os, key, e, /*release_ownership=*/false);
+  }
+  return result;
+}
+
+const CustomOpRegistry* StoreClient::custom_registry() const {
+  return store_ ? store_->custom_ops() : nullptr;
+}
+
+void StoreClient::flush_entry(const ObjectState& os, const StoreKey& key,
+                              CacheEntry& e, bool release_ownership) {
+  (void)os;
+  if (cfg_.local_only) {
+    e.pending_clocks.clear();
+    e.dirty = false;
+    e.updates_since_flush = 0;
+    return;
+  }
+  if (!e.dirty && !release_ownership) return;
+  Request req;
+  req.op = release_ownership ? OpType::kReleaseOwner : OpType::kCacheFlush;
+  req.key = key;
+  req.arg = e.value;
+  req.covered_clocks = e.pending_clocks;
+  req.clock = current_clock_;
+  req.flush_seq = ++flush_seq_;  // stale-retransmission guard
+  // Table 1: flushes have non-blocking semantics; reliability comes from
+  // the pending-ACK retransmission machinery.
+  do_nonblocking(std::move(req));
+  for (LogicalClock c : e.pending_clocks) e.applied_clocks.insert(c);
+  e.pending_clocks.clear();
+  e.dirty = false;
+  e.updates_since_flush = 0;
+}
+
+// --- NF-facing operations ---------------------------------------------------
+
+int64_t StoreClient::incr(ObjectId obj, const FiveTuple& t, int64_t delta) {
+  ObjectState& os = objects_.at(obj);
+  const StoreKey key = key_for(os, t);
+  note_touch(os, t);
+  if (cached_now(os) && os.strategy != Strategy::kCacheCallback) {
+    Status st;
+    Value v = cached_apply(os, key, t, OpType::kIncr, Value::of_int(delta), {}, 0, &st);
+    return v.kind == Value::Kind::kInt ? v.i : 0;
+  }
+  Request req;
+  req.op = OpType::kIncr;
+  req.key = key;
+  req.arg = Value::of_int(delta);
+  req.clock = current_clock_;
+  if (key.shared) record_wal(key, OpType::kIncr, req.arg, {}, 0);
+  note_update(obj);
+
+  if (os.strategy == Strategy::kNonBlocking) {
+    do_nonblocking(std::move(req));
+    return 0;  // write-mostly state: updated value intentionally not read
+  }
+  Response r = do_blocking(std::move(req));
+  if (os.strategy == Strategy::kCacheCallback) {
+    CacheEntry& e = cache_[key];  // initiator refreshes from the reply
+    e.value = r.value;
+    e.loaded = true;
+  }
+  return r.value.kind == Value::Kind::kInt ? r.value.i : 0;
+}
+
+Value StoreClient::get(ObjectId obj, const FiveTuple& t) {
+  ObjectState& os = objects_.at(obj);
+  const StoreKey key = key_for(os, t);
+  note_touch(os, t);
+  if (cached_now(os)) {
+    CacheEntry& e = load_cache(os, key, t);
+    stats_.cache_hits++;
+    return e.value;
+  }
+  Request req;
+  req.op = OpType::kGet;
+  req.key = key;
+  req.clock = current_clock_;
+  Response r = do_blocking(std::move(req));
+  if (key.shared && r.status != Status::kError) {
+    read_log_.push_back({current_clock_, key, r.value, r.ts});
+  }
+  return r.value;
+}
+
+void StoreClient::set(ObjectId obj, const FiveTuple& t, Value v) {
+  ObjectState& os = objects_.at(obj);
+  const StoreKey key = key_for(os, t);
+  note_touch(os, t);
+  if (cached_now(os) && os.strategy != Strategy::kCacheCallback) {
+    // A set overwrites unconditionally: a cold cache entry does not need
+    // the blocking fetch (first packet of a flow writes, never reads).
+    CacheEntry& e = cache_[key];
+    if (!e.loaded) {
+      e.loaded = true;
+      e.tuple = t;
+    }
+    cached_apply(os, key, t, OpType::kSet, v, {}, 0, nullptr);
+    return;
+  }
+  Request req;
+  req.op = OpType::kSet;
+  req.key = key;
+  req.arg = std::move(v);
+  req.clock = current_clock_;
+  if (key.shared) record_wal(key, OpType::kSet, req.arg, {}, 0);
+  note_update(obj);
+  if (os.strategy == Strategy::kNonBlocking) {
+    do_nonblocking(std::move(req));
+    return;
+  }
+  Response r = do_blocking(std::move(req));
+  if (os.strategy == Strategy::kCacheCallback) {
+    CacheEntry& e = cache_[key];
+    e.value = r.value;
+    e.loaded = true;
+  }
+}
+
+std::optional<int64_t> StoreClient::pop_list(ObjectId obj, const FiveTuple& t) {
+  ObjectState& os = objects_.at(obj);
+  const StoreKey key = key_for(os, t);
+  note_touch(os, t);
+  if (cfg_.local_only) {
+    Status st;
+    Value v = cached_apply(os, key, t, OpType::kPopList, {}, {}, 0, &st);
+    if (st != Status::kOk || v.kind != Value::Kind::kInt) return std::nullopt;
+    return v.i;
+  }
+  // Pops are inherently read-modify-write on shared structure; they are
+  // always offloaded so the store serializes competing poppers (§4.3).
+  Request req;
+  req.op = OpType::kPopList;
+  req.key = key;
+  req.clock = current_clock_;
+  if (key.shared) record_wal(key, OpType::kPopList, {}, {}, 0);
+  Response r = do_blocking(std::move(req));
+  if (r.status == Status::kNotFound || r.value.kind != Value::Kind::kInt) {
+    return std::nullopt;
+  }
+  note_update(obj);
+  return r.value.i;
+}
+
+void StoreClient::push_list(ObjectId obj, const FiveTuple& t, int64_t v) {
+  ObjectState& os = objects_.at(obj);
+  const StoreKey key = key_for(os, t);
+  note_touch(os, t);
+  if (cfg_.local_only) {
+    cached_apply(os, key, t, OpType::kPushList, Value::of_int(v), {}, 0, nullptr);
+    return;
+  }
+  Request req;
+  req.op = OpType::kPushList;
+  req.key = key;
+  req.arg = Value::of_int(v);
+  req.clock = current_clock_;
+  if (key.shared) record_wal(key, OpType::kPushList, req.arg, {}, 0);
+  note_update(obj);
+  do_nonblocking(std::move(req));
+}
+
+bool StoreClient::compare_and_update(ObjectId obj, const FiveTuple& t,
+                                     const Value& expected, const Value& desired,
+                                     Value* out) {
+  ObjectState& os = objects_.at(obj);
+  const StoreKey key = key_for(os, t);
+  note_touch(os, t);
+  if (cfg_.local_only) {
+    Status st;
+    Value v = cached_apply(os, key, t, OpType::kCompareAndUpdate, desired, expected,
+                           0, &st);
+    if (out) *out = v;
+    return st == Status::kOk;
+  }
+  Request req;
+  req.op = OpType::kCompareAndUpdate;
+  req.key = key;
+  req.arg = desired;
+  req.arg2 = expected;
+  req.clock = current_clock_;
+  if (key.shared) record_wal(key, OpType::kCompareAndUpdate, desired, expected, 0);
+  Response r = do_blocking(std::move(req));
+  if (out) *out = r.value;
+  const bool ok = r.status == Status::kOk || r.status == Status::kEmulated;
+  if (ok) note_update(obj);
+  return ok;
+}
+
+Value StoreClient::custom(ObjectId obj, const FiveTuple& t, uint16_t custom_id,
+                          Value arg) {
+  ObjectState& os = objects_.at(obj);
+  const StoreKey key = key_for(os, t);
+  note_touch(os, t);
+  if (cfg_.local_only ||
+      (cached_now(os) && os.strategy != Strategy::kCacheCallback)) {
+    // Exclusive accessor (or local-only baseline): run the op in the local
+    // cache with the same registry the store uses; flushes carry the result.
+    Status st;
+    return cached_apply(os, key, t, OpType::kCustom, arg, {}, custom_id, &st);
+  }
+  Request req;
+  req.op = OpType::kCustom;
+  req.key = key;
+  req.custom_id = custom_id;
+  req.arg = std::move(arg);
+  req.clock = current_clock_;
+  if (key.shared) record_wal(key, OpType::kCustom, req.arg, {}, custom_id);
+  if (os.strategy == Strategy::kNonBlocking) {
+    // Write-mostly objects take custom updates fire-and-forget too (e.g.
+    // the load balancer's per-server byte counters).
+    note_update(obj);
+    do_nonblocking(std::move(req));
+    return Value::none();
+  }
+  Response r = do_blocking(std::move(req));
+  if (r.status == Status::kOk || r.status == Status::kEmulated) note_update(obj);
+  return r.value;
+}
+
+int64_t StoreClient::nondet_random() {
+  if (cfg_.local_only) {
+    return static_cast<int64_t>(local_rng_.next() >> 1);
+  }
+  Request req;
+  req.op = OpType::kNonDet;
+  req.arg = Value::of_int(0);
+  req.clock = current_clock_;
+  req.key.vertex = cfg_.vertex;
+  Response r = do_blocking(std::move(req));
+  return r.value.i;
+}
+
+int64_t StoreClient::nondet_now_usec() {
+  if (cfg_.local_only) {
+    return std::chrono::duration_cast<Micros>(SteadyClock::now().time_since_epoch())
+        .count();
+  }
+  Request req;
+  req.op = OpType::kNonDet;
+  req.arg = Value::of_int(1);
+  req.clock = current_clock_;
+  req.key.vertex = cfg_.vertex;
+  Response r = do_blocking(std::move(req));
+  return r.value.i;
+}
+
+// --- framework hooks --------------------------------------------------------
+
+void StoreClient::flush_all() {
+  for (auto& [key, e] : cache_) {
+    if (!e.dirty) continue;
+    auto it = objects_.find(key.object);
+    if (it == objects_.end()) continue;
+    flush_entry(it->second, key, e, /*release_ownership=*/false);
+  }
+}
+
+void StoreClient::release_flow(const FiveTuple& t) {
+  for (auto& [id, os] : objects_) {
+    if (os.spec.cross_flow) continue;
+    const StoreKey key = key_for(os, t);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      flush_entry(os, key, it->second, /*release_ownership=*/true);
+      cache_.erase(it);
+    } else if (!cfg_.local_only) {
+      Request req;
+      req.op = OpType::kReleaseOwner;
+      req.key = key;
+      req.clock = current_clock_;
+      do_nonblocking(std::move(req));
+    }
+  }
+  touched_flows_.erase(scope_hash(t, Scope::kFiveTuple));
+}
+
+void StoreClient::release_matching(
+    const std::vector<std::function<bool(const FiveTuple&)>>& selectors) {
+  std::vector<FiveTuple> to_release;
+  for (const auto& [hash, tuple] : touched_flows_) {
+    for (const auto& sel : selectors) {
+      if (sel && sel(tuple)) {
+        to_release.push_back(tuple);
+        break;
+      }
+    }
+  }
+  if (cfg_.local_only || to_release.empty()) {
+    for (const FiveTuple& t : to_release) release_flow(t);
+    return;
+  }
+
+  // Bulk path: one kBatch message per shard instead of one release per
+  // flow — "CHC flushes only operations" (§7.3 R2). Each sub-request is a
+  // kReleaseOwner carrying the flushed value + covered clocks.
+  std::unordered_set<uint64_t> released;
+  released.reserve(to_release.size());
+  for (const FiveTuple& t : to_release) {
+    released.insert(scope_hash(t, Scope::kFiveTuple));
+  }
+  std::unordered_map<int, std::shared_ptr<std::vector<Request>>> per_shard;
+  auto sub_for = [&](const StoreKey& key, CacheEntry* e) {
+    Request sub;
+    sub.op = OpType::kReleaseOwner;
+    sub.key = key;
+    sub.vertex = cfg_.vertex;
+    sub.instance = cfg_.instance;
+    sub.client_uid = cfg_.client_uid ? cfg_.client_uid : cfg_.instance;
+    sub.flush_seq = ++flush_seq_;
+    sub.blocking = false;
+    sub.want_ack = false;
+    if (e) {
+      sub.arg = std::move(e->value);
+      sub.covered_clocks = std::move(e->pending_clocks);
+    }
+    auto& batch = per_shard[store_->shard_of(key)];
+    if (!batch) batch = std::make_shared<std::vector<Request>>();
+    batch->push_back(std::move(sub));
+  };
+  // One pass over the cache collects every per-flow entry being released.
+  std::vector<StoreKey> victims;
+  victims.reserve(released.size());
+  for (auto& [key, e] : cache_) {
+    if (!key.shared && released.contains(scope_hash(e.tuple, Scope::kFiveTuple))) {
+      victims.push_back(key);
+    }
+  }
+  for (const StoreKey& key : victims) {
+    sub_for(key, &cache_[key]);
+    cache_.erase(key);
+  }
+  // Flows touched but not cached (caching off) still need their release.
+  if (!cfg_.caching) {
+    for (const FiveTuple& t : to_release) {
+      for (auto& [id, os] : objects_) {
+        if (!os.spec.cross_flow) sub_for(key_for(os, t), nullptr);
+      }
+    }
+  }
+  for (uint64_t h : released) touched_flows_.erase(h);
+  for (auto& [shard, batch] : per_shard) {
+    Request req;
+    req.op = OpType::kBatch;
+    req.key = batch->front().key;  // routes the batch to its shard
+    req.batch = batch;
+    do_nonblocking(std::move(req));
+  }
+}
+
+bool StoreClient::acquire_flow(const FiveTuple& t) {
+  if (cfg_.local_only) return true;
+  bool all_granted = true;
+  for (auto& [id, os] : objects_) {
+    if (os.spec.cross_flow) continue;
+    const StoreKey key = key_for(os, t);
+    Request req;
+    req.op = OpType::kAcquireOwner;
+    req.key = key;
+    req.clock = current_clock_;
+    Response r = do_blocking(std::move(req));
+    if (r.status == Status::kOk) {
+      CacheEntry& e = cache_[key];
+      e.value = r.value;
+      e.tuple = t;
+      e.loaded = true;
+      e.dirty = false;
+    } else if (r.status == Status::kNotOwner) {
+      // Old instance still owns the flow: the store will push an
+      // OwnershipGranted notification once it releases (Fig. 4 step 6).
+      ownership_pending_++;
+      all_granted = false;
+    }
+  }
+  return all_granted;
+}
+
+void StoreClient::set_exclusive(ObjectId obj, bool exclusive) {
+  auto it = objects_.find(obj);
+  if (it == objects_.end()) return;
+  ObjectState& os = it->second;
+  if (os.strategy != Strategy::kCacheIfExclusive) return;
+  if (os.exclusive && !exclusive) {
+    // Losing exclusivity: flush every cached entry of this object so other
+    // instances (and the store) see the latest value, then stop caching.
+    for (auto& [key, e] : cache_) {
+      if (key.object == obj && e.dirty) flush_entry(os, key, e, false);
+    }
+    std::erase_if(cache_, [&](const auto& kv) { return kv.first.object == obj; });
+  }
+  os.exclusive = exclusive;
+}
+
+ClientEvidence StoreClient::evidence() const {
+  ClientEvidence ev;
+  ev.instance = cfg_.instance;
+  ev.wal = wal_;
+  ev.reads = read_log_;
+  for (const auto& [key, e] : cache_) {
+    if (!key.shared && e.loaded) ev.per_flow.emplace_back(key, e.value);
+  }
+  return ev;
+}
+
+void StoreClient::reset_cache() {
+  cache_.clear();
+  pending_acks_.clear();
+  touched_flows_.clear();
+  ownership_pending_ = 0;
+}
+
+void StoreClient::record_wal(const StoreKey& key, OpType op, const Value& arg,
+                             const Value& arg2, uint16_t custom_id) {
+  wal_.push_back({current_clock_, op, key, arg, arg2, custom_id});
+}
+
+}  // namespace chc

@@ -1,0 +1,215 @@
+// StoreClient: the datastore's client-side library that each NF instance
+// links against (paper §4.3, §6). It implements the Table 1 strategy matrix:
+//
+//   scope       access pattern            strategy
+//   ---------   ----------------------    ------------------------------------
+//   any         write mostly/read rarely  non-blocking offloaded ops, no cache
+//   per-flow    any                       cache + periodic non-blocking flush
+//   cross-flow  read heavy (write rare)   cache + store callbacks
+//   cross-flow  write/read often          cache iff this instance is the only
+//                                         accessor (set by the splitter);
+//                                         blocking offloaded ops otherwise
+//
+// It also keeps the metadata recovery needs: a write-ahead log of shared
+// updates, a read log with TS snapshots (§5.4), pending-ACK tracking with
+// retransmission for non-blocking ops, and the per-flow ownership handshake
+// used during handover (§5.1).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/five_tuple.h"
+#include "store/datastore.h"
+
+namespace chc {
+
+enum class AccessPattern : uint8_t {
+  kWriteMostlyReadRarely,
+  kReadHeavy,       // written rarely, read on many packets
+  kWriteReadOften,  // both directions hot (e.g. scan likelihood)
+  kReadMostlyWriteRarely,
+};
+
+struct ObjectSpec {
+  ObjectId id = 0;
+  Scope scope = Scope::kFiveTuple;  // header fields keying the object
+  bool cross_flow = false;          // paper Table 4 "Cross-flow" column
+  AccessPattern pattern = AccessPattern::kWriteReadOften;
+  const char* name = "";
+};
+
+struct ClientConfig {
+  VertexId vertex = 0;
+  InstanceId instance = 1;
+  // Unique id of this client object; defaults to `instance`. Clones share
+  // the instance id but must use distinct uids (flush-seq floors).
+  uint16_t client_uid = 0;
+  bool caching = true;    // model #2 (+C)
+  bool wait_acks = true;  // model #2; false = model #3 (+NA)
+  // "Traditional NF" baseline: all state lives in the local cache and never
+  // touches the store. No availability, no sharing — the paper's "T" model.
+  bool local_only = false;
+  // Flush cadence for cached per-flow objects, in updates per flush.
+  int flush_every = 1;
+  Duration ack_timeout = Micros(500);
+  Duration blocking_timeout = std::chrono::milliseconds(20);
+  int max_retries = 20;
+  LinkConfig reply_link;  // delay store -> NF (mirror of request links)
+};
+
+struct ClientStats {
+  uint64_t blocking_rtts = 0;   // ops that waited a full round trip
+  uint64_t nonblocking_ops = 0;
+  uint64_t cache_hits = 0;
+  uint64_t retransmissions = 0;
+  uint64_t callbacks_applied = 0;
+  uint64_t emulated = 0;  // duplicate updates the store suppressed
+};
+
+class StoreClient {
+ public:
+  StoreClient(DataStore* store, const ClientConfig& cfg);
+
+  StoreClient(const StoreClient&) = delete;
+  StoreClient& operator=(const StoreClient&) = delete;
+
+  void register_object(const ObjectSpec& spec);
+
+  // The runtime sets this to the packet's logical clock before NF::process;
+  // every state update issued during processing is tagged with it.
+  void set_current_clock(LogicalClock c) { current_clock_ = c; }
+  LogicalClock current_clock() const { return current_clock_; }
+
+  // --- NF-facing state operations ------------------------------------------
+  int64_t incr(ObjectId obj, const FiveTuple& t, int64_t delta);
+  Value get(ObjectId obj, const FiveTuple& t);
+  void set(ObjectId obj, const FiveTuple& t, Value v);
+  std::optional<int64_t> pop_list(ObjectId obj, const FiveTuple& t);
+  void push_list(ObjectId obj, const FiveTuple& t, int64_t v);
+  // Returns true and stores the new value if the store-side value equaled
+  // `expected`; otherwise returns false and `out` holds the current value.
+  bool compare_and_update(ObjectId obj, const FiveTuple& t, const Value& expected,
+                          const Value& desired, Value* out = nullptr);
+  Value custom(ObjectId obj, const FiveTuple& t, uint16_t custom_id, Value arg);
+
+  // Store-computed non-determinism (Appendix A): identical values on replay.
+  int64_t nondet_random();
+  int64_t nondet_now_usec();
+
+  // --- framework hooks ------------------------------------------------------
+  // Drain async messages (ACKs, callbacks, ownership grants) and retransmit
+  // timed-out non-blocking ops. Called by the runtime between packets.
+  void poll();
+
+  // Flush every dirty cached object (blocking until ACKed ops are sent).
+  void flush_all();
+
+  // XOR ledger contribution accumulated since the last take: one
+  // update_tag(instance, object) per state update issued for the current
+  // packet (paper Fig. 6 step 1). The instance folds it into the packet.
+  UpdateVector take_update_vec() {
+    UpdateVector v = turn_vec_;
+    turn_vec_ = 0;
+    return v;
+  }
+
+  // Handover (paper Fig. 4): flush + release this flow's per-flow state.
+  void release_flow(const FiveTuple& t);
+  // Release every touched flow matching any of the selectors (move "last"
+  // mark processing, Fig. 4 step 5).
+  void release_matching(
+      const std::vector<std::function<bool(const FiveTuple&)>>& selectors);
+  // Try to claim a flow's per-flow state. Returns true if ownership was
+  // granted for all objects; otherwise the store will notify via the async
+  // link and `ownership_pending()` stays nonzero.
+  bool acquire_flow(const FiveTuple& t);
+  size_t ownership_pending() const { return ownership_pending_; }
+
+  // Cross-flow write/read-often exclusivity toggle, driven by the splitter
+  // when partitioning changes (Fig. 9 experiment).
+  void set_exclusive(ObjectId obj, bool exclusive);
+
+  // Recovery evidence for store-instance failover (§5.4).
+  ClientEvidence evidence() const;
+  // After NF failover: forget everything cached (state now lives in store).
+  void reset_cache();
+
+  const ClientStats& stats() const { return stats_; }
+  InstanceId instance() const { return cfg_.instance; }
+
+ private:
+  struct CacheEntry {
+    Value value;
+    FiveTuple tuple;  // the flow this entry belongs to (release_matching)
+    bool loaded = false;
+    bool dirty = false;
+    int updates_since_flush = 0;
+    std::vector<LogicalClock> pending_clocks;
+    // Clocks whose effect is already reflected in `value` as loaded from the
+    // store; replayed packets with these clocks are emulated client-side,
+    // mirroring the store's own duplicate suppression (§5.3).
+    std::unordered_set<LogicalClock> applied_clocks;
+  };
+
+  enum class Strategy { kNonBlocking, kCacheFlush, kCacheCallback, kCacheIfExclusive };
+
+  struct ObjectState {
+    ObjectSpec spec;
+    Strategy strategy;
+    bool exclusive = false;  // kCacheIfExclusive only
+  };
+
+  StoreKey key_for(const ObjectState& os, const FiveTuple& t) const;
+  Strategy strategy_for(const ObjectSpec& spec) const;
+  bool cached_now(const ObjectState& os) const;
+  void note_touch(const ObjectState& os, const FiveTuple& t);
+  void note_update(ObjectId obj);
+  const CustomOpRegistry* custom_registry() const;
+
+  Response do_blocking(Request req);
+  void do_nonblocking(Request req);
+  Value cached_apply(ObjectState& os, const StoreKey& key, const FiveTuple& t,
+                     OpType op, const Value& arg, const Value& arg2,
+                     uint16_t custom_id, Status* status);
+  CacheEntry& load_cache(const ObjectState& os, const StoreKey& key,
+                         const FiveTuple& t);
+  void flush_entry(const ObjectState& os, const StoreKey& key, CacheEntry& e,
+                   bool release_ownership);
+  void record_wal(const StoreKey& key, OpType op, const Value& arg,
+                  const Value& arg2, uint16_t custom_id);
+  void handle_async(const Response& r);
+  uint64_t next_req_id() { return ++req_seq_; }
+
+  DataStore* store_;
+  ClientConfig cfg_;
+  ReplyLinkPtr sync_link_;
+  ReplyLinkPtr async_link_;
+  LogicalClock current_clock_ = kNoClock;
+  uint64_t req_seq_ = 0;
+
+  std::unordered_map<ObjectId, ObjectState> objects_;
+  std::unordered_map<StoreKey, CacheEntry, StoreKeyHash> cache_;
+  // Flows whose per-flow state this instance has touched (5-tuple hash ->
+  // tuple); lets release_matching enumerate flows even when caching is off.
+  std::unordered_map<uint64_t, FiveTuple> touched_flows_;
+  UpdateVector turn_vec_ = 0;
+
+  struct PendingAck {
+    Request req;
+    TimePoint deadline;
+    int retries = 0;
+  };
+  std::unordered_map<uint64_t, PendingAck> pending_acks_;
+  size_t ownership_pending_ = 0;
+
+  std::vector<WalEntry> wal_;
+  std::vector<ReadLogEntry> read_log_;
+  ClientStats stats_;
+  SplitMix64 local_rng_{0x10CA1};
+  uint64_t flush_seq_ = 0;
+};
+
+}  // namespace chc

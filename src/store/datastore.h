@@ -1,0 +1,81 @@
+// DataStore: the external in-memory state store (paper §4.3). A set of
+// shard worker threads, each owning a disjoint slice of the key space, plus
+// control-plane entry points for checkpointing, crash injection, and the
+// recovery protocol of §5.4.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "store/recovery.h"
+#include "store/shard.h"
+
+namespace chc {
+
+struct DataStoreConfig {
+  int num_shards = 4;
+  // One-way delay between NF hosts and the store; 14us gives the ~28us RTT
+  // the paper's numbers are dominated by.
+  LinkConfig link;
+};
+
+class DataStore {
+ public:
+  explicit DataStore(const DataStoreConfig& cfg);
+  ~DataStore();
+
+  DataStore(const DataStore&) = delete;
+  DataStore& operator=(const DataStore&) = delete;
+
+  void start();
+  void stop();
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int shard_of(const StoreKey& key) const {
+    return static_cast<int>(key.hash() % shards_.size());
+  }
+
+  // Data path: deliver a request to the owning shard over its link.
+  // Returns false if the message was dropped (link loss or shard down).
+  bool submit(Request req);
+
+  // Registers a custom offloaded operation (paper Table 2 "developers can
+  // also load custom operations"). Must be called before start().
+  void register_custom_op(uint16_t id, CustomOpFn fn);
+
+  // Commit signals feed the root's XOR ledger (paper Fig. 6).
+  void set_commit_listener(CommitListener cb);
+
+  // GC the clock logs of a packet that left the chain (root "delete").
+  void gc_clock(LogicalClock clock);
+
+  // --- checkpoint / failure injection / recovery ---------------------------
+  // Consistent snapshot of one shard (serialized with its update stream).
+  std::shared_ptr<ShardSnapshot> checkpoint_shard(int shard);
+  std::vector<std::shared_ptr<ShardSnapshot>> checkpoint_all();
+
+  // Simulated crash: the shard loses all state and stops serving.
+  void crash_shard(int shard);
+
+  // Rebuilds a crashed shard from its last checkpoint plus the per-client
+  // evidence (WALs, read logs, cached per-flow values) per §5.4, then
+  // restarts it. Returns stats about the rebuild.
+  RecoveryStats recover_shard(int shard, const ShardSnapshot& checkpoint,
+                              const std::vector<ClientEvidence>& clients);
+
+  StoreShard& shard(int i) { return *shards_[i]; }
+
+  // Read-only registry view; local-only clients use it to run custom ops in
+  // their cache with the same semantics as the store.
+  const CustomOpRegistry* custom_ops() const { return custom_ops_.get(); }
+
+  uint64_t total_ops() const;
+
+ private:
+  DataStoreConfig cfg_;
+  std::shared_ptr<CustomOpRegistry> custom_ops_;
+  std::vector<std::unique_ptr<StoreShard>> shards_;
+  bool started_ = false;
+};
+
+}  // namespace chc

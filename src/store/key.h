@@ -1,0 +1,43 @@
+// Store keys carry the metadata the paper appends to every key (§4.3):
+// vertex id + (for per-flow objects) owning instance id + object key. The
+// vertex id prevents collisions between NFs using the same object key; the
+// ownership check lets the store enforce that only the instance a flow is
+// assigned to may update that flow's state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+#include "net/five_tuple.h"
+
+namespace chc {
+
+struct StoreKey {
+  VertexId vertex = 0;
+  ObjectId object = 0;
+  // Hash of the scope fields keying this object instance (e.g. the 5-tuple
+  // for per-connection state, src-ip hash for per-host state). 0 for
+  // singleton objects such as global counters.
+  uint64_t scope_key = 0;
+  // True for objects shared across instances of the vertex; per-flow keys
+  // carry an owner in store metadata instead.
+  bool shared = false;
+
+  bool operator==(const StoreKey&) const = default;
+
+  uint64_t hash() const {
+    uint64_t h = scope_key * 0x9e3779b97f4a7c15ull;
+    h ^= (static_cast<uint64_t>(vertex) << 32) | (static_cast<uint64_t>(object) << 8) |
+         (shared ? 1 : 0);
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    return h;
+  }
+};
+
+struct StoreKeyHash {
+  size_t operator()(const StoreKey& k) const { return static_cast<size_t>(k.hash()); }
+};
+
+}  // namespace chc

@@ -1,0 +1,127 @@
+// Wire messages between the datastore client library and store shards.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "store/key.h"
+#include "store/value.h"
+#include "transport/sim_link.h"
+
+namespace chc {
+
+// Operations the store executes on behalf of NFs (paper Table 2 plus the
+// framework-internal ops CHC needs: ownership transfer, callback
+// registration, cache flushes, clock-log GC, and store-computed
+// non-deterministic values from Appendix A).
+enum class OpType : uint8_t {
+  kGet,
+  kSet,
+  kIncr,              // arg.i = delta (negative for decrement)
+  kPushList,          // arg.i pushed
+  kPopList,           // pops front; kNotFound on empty
+  kCompareAndUpdate,  // if value == arg2 then value = arg
+  kCustom,            // custom_id names a registered (old, arg) -> new fn
+  kCacheFlush,        // absolute Set covering `covered_clocks`
+  kGetWithClocks,     // Get + the set of clocks already reflected in value
+  kAcquireOwner,      // per-flow handover: claim ownership
+  kReleaseOwner,      // per-flow handover: release + final value
+  kRegisterCallback,  // subscribe to updates of a read-heavy shared object
+  kNonDet,            // store-computed non-deterministic value (App. A)
+  kGcClock,           // root: packet left the chain; drop its update logs
+  kCheckpoint,        // control: snapshot shard contents
+  kReadClock,         // root recovery: read persisted logical clock
+  kBatch,             // apply a vector of sub-requests in one message
+};
+
+enum class Status : uint8_t {
+  kOk,
+  kNotFound,
+  kNotOwner,        // per-flow key owned by another instance
+  kConditionFalse,  // compare-and-update predicate failed
+  kEmulated,        // duplicate clock: store returned the logged value
+  kError,
+};
+
+// Per-object TS snapshot (paper Fig. 7): the clock of the last operation
+// the store executed on this object on behalf of each NF instance.
+using TsSnapshot = std::unordered_map<InstanceId, LogicalClock>;
+
+struct Response;
+using ReplyLink = SimLink<Response>;
+using ReplyLinkPtr = std::shared_ptr<ReplyLink>;
+
+struct Request {
+  OpType op = OpType::kGet;
+  StoreKey key;
+  Value arg;
+  Value arg2;
+  uint16_t custom_id = 0;
+  LogicalClock clock = kNoClock;
+  VertexId vertex = 0;
+  InstanceId instance = 0;
+  // Unique per client object (clones share `instance` but not counters);
+  // keys the store's per-client flush-sequence floors.
+  uint16_t client_uid = 0;
+  uint64_t req_id = 0;
+  // Per-client monotone sequence for kCacheFlush/kReleaseOwner: lets the
+  // store drop stale retransmissions that would otherwise overwrite newer
+  // flushed values (exactly-once for whole-value flushes).
+  uint64_t flush_seq = 0;
+  bool blocking = true;  // non-blocking ops get an async ACK instead
+  bool want_ack = true;  // benches can disable ACKs entirely
+  std::vector<LogicalClock> covered_clocks;  // kCacheFlush
+  ReplyLinkPtr reply_to;                     // sync responses
+  ReplyLinkPtr async_to;                     // ACKs, callbacks, notifications
+  // kCheckpoint: destination the shard copies its snapshot into. Routing
+  // the checkpoint through the request queue serializes it against updates,
+  // so snapshots are consistent cut points (paper §5.4).
+  std::shared_ptr<struct ShardSnapshot> snapshot_out;
+  // kBatch: sub-requests applied back to back (one message, one ACK). Used
+  // for bulk flush/release during flow moves — "CHC flushes only
+  // operations" (paper §7.3 R2).
+  std::shared_ptr<std::vector<Request>> batch;
+};
+
+struct Response {
+  enum class Kind : uint8_t {
+    kReply,             // response to a blocking request
+    kAck,               // ack of a non-blocking request
+    kCallback,          // pushed update of a subscribed shared object
+    kOwnershipGranted,  // deferred kAcquireOwner success (handover §5.1)
+  };
+
+  Kind msg = Kind::kReply;
+  uint64_t req_id = 0;
+  Status status = Status::kOk;
+  StoreKey key;
+  Value value;
+  TsSnapshot ts;                              // populated on shared reads
+  std::vector<LogicalClock> applied_clocks;   // kGetWithClocks
+};
+
+// Client-side write-ahead log entry for shared-object updates (paper §5.4:
+// "each instance locally writes shared-state update operations in a
+// write-ahead log").
+struct WalEntry {
+  LogicalClock clock = kNoClock;
+  OpType op = OpType::kIncr;
+  StoreKey key;
+  Value arg;
+  Value arg2;
+  uint16_t custom_id = 0;
+};
+
+// Client-side record of a shared-object read: the value served and the TS
+// snapshot that came with it. Store recovery replays from the most recent
+// read so every value an NF saw stays explained (paper Fig. 7).
+struct ReadLogEntry {
+  LogicalClock clock = kNoClock;
+  StoreKey key;
+  Value value;
+  TsSnapshot ts;
+};
+
+}  // namespace chc

@@ -1,0 +1,62 @@
+// Pure application of offloaded operations to a value, shared by the shard
+// data path and the recovery re-execution path so both interpret WAL
+// entries identically.
+#pragma once
+
+#include "store/message.h"
+
+namespace chc {
+
+// Applies `op` to `v` in place. Returns the op's result value (the updated
+// value, or the popped element for kPopList) and sets `status`.
+inline Value apply_basic_op(Value& v, OpType op, const Value& arg,
+                            const Value& arg2, uint16_t custom_id,
+                            const CustomOpRegistry* custom_ops, Status& status) {
+  status = Status::kOk;
+  switch (op) {
+    case OpType::kSet:
+    case OpType::kCacheFlush:
+      v = arg;
+      return v;
+    case OpType::kIncr:
+      if (v.kind != Value::Kind::kInt) v = Value::of_int(0);
+      v.i += arg.i;
+      return v;
+    case OpType::kPushList:
+      if (v.kind != Value::Kind::kList) v = Value::of_list({});
+      v.list.push_back(arg.i);
+      return v;
+    case OpType::kPopList: {
+      if (v.kind != Value::Kind::kList || v.list.empty()) {
+        status = Status::kNotFound;
+        return Value::none();
+      }
+      Value popped = Value::of_int(v.list.front());
+      v.list.erase(v.list.begin());
+      return popped;
+    }
+    case OpType::kCompareAndUpdate:
+      if (v == arg2) {
+        v = arg;
+        return v;
+      }
+      status = Status::kConditionFalse;
+      return v;
+    case OpType::kCustom: {
+      if (custom_ops) {
+        auto it = custom_ops->find(custom_id);
+        if (it != custom_ops->end()) {
+          v = it->second(v, arg);
+          return v;
+        }
+      }
+      status = Status::kError;
+      return v;
+    }
+    default:
+      status = Status::kError;
+      return v;
+  }
+}
+
+}  // namespace chc

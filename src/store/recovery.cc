@@ -1,0 +1,72 @@
+#include "store/recovery.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace chc {
+
+TsSelection select_recovery_ts(
+    const std::unordered_map<InstanceId, std::vector<LogicalClock>>& instance_logs,
+    const std::vector<ReadLogEntry>& reads, const TsSnapshot& checkpoint_ts) {
+  TsSelection out;
+  out.replay_after = checkpoint_ts;
+  if (reads.empty()) {
+    // Case 1 (paper §5.4): nobody observed the object after the checkpoint,
+    // so any serialization of the WAL entries after the checkpoint TS is a
+    // plausible pre-crash history (Thm B.5.2).
+    return out;
+  }
+
+  // Candidate set: every read's TS snapshot (Fig. 7 "Set").
+  std::vector<const ReadLogEntry*> candidates;
+  candidates.reserve(reads.size());
+  for (const auto& r : reads) candidates.push_back(&r);
+
+  // For each instance, find the *latest* update clock (walking its log in
+  // reverse) that is named by at least one surviving candidate, then prune
+  // candidates that do not name it. Candidates pruned here recorded an
+  // older view and cannot be the most recent read.
+  for (const auto& [instance, log] : instance_logs) {
+    LogicalClock constraining = kNoClock;
+    for (auto it = log.rbegin(); it != log.rend(); ++it) {
+      const LogicalClock c = *it;
+      const bool named = std::any_of(
+          candidates.begin(), candidates.end(), [&](const ReadLogEntry* r) {
+            auto f = r->ts.find(instance);
+            return f != r->ts.end() && f->second == c;
+          });
+      if (named) {
+        constraining = c;
+        break;
+      }
+    }
+    if (constraining == kNoClock) continue;  // no candidate names this instance
+    std::erase_if(candidates, [&](const ReadLogEntry* r) {
+      auto f = r->ts.find(instance);
+      return f == r->ts.end() || f->second != constraining;
+    });
+    if (candidates.size() <= 1) break;
+  }
+
+  // Whatever survives is (a superset of snapshots equal to) the most recent
+  // read; break remaining ties by read clock.
+  const ReadLogEntry* best = nullptr;
+  for (const ReadLogEntry* r : candidates) {
+    if (!best || r->clock > best->clock) best = r;
+  }
+  if (!best) {
+    // Degenerate: no candidate survived (can only happen with empty logs);
+    // fall back to the newest read outright.
+    for (const auto& r : reads) {
+      if (!best || r.clock > best->clock) best = &r;
+    }
+  }
+
+  out.base_read = *best;
+  // Replay starts after the clocks the selected read observed; instances
+  // absent from the read's TS fall back to the checkpoint TS.
+  for (const auto& [inst, clk] : best->ts) out.replay_after[inst] = clk;
+  return out;
+}
+
+}  // namespace chc

@@ -1,0 +1,60 @@
+// Store-instance recovery (paper §5.4, Fig. 7, Theorems B.5.1-B.5.3).
+//
+// Per-flow state is recovered by reading each owning client's cached copy
+// (it is always the freshest value, Thm B.5.1). Shared state is rebuilt
+// from the last checkpoint by re-executing client write-ahead logs; if any
+// client *read* the object after the checkpoint, re-execution must start
+// from the most recent read's TS so that every value an NF actually
+// observed remains consistent with the recovered store (Thm B.5.3). The
+// TS-selection algorithm below picks that read.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "store/message.h"
+
+namespace chc {
+
+struct ShardSnapshot;  // store/shard.h
+
+// Everything one NF instance contributes to store recovery.
+struct ClientEvidence {
+  InstanceId instance = 0;
+  // Shared-state update ops in issue (clock) order — the write-ahead log.
+  std::vector<WalEntry> wal;
+  // Shared-state reads with the TS snapshot the store returned.
+  std::vector<ReadLogEntry> reads;
+  // Freshest cached per-flow values (key -> value), with the clocks covered.
+  std::vector<std::pair<StoreKey, Value>> per_flow;
+};
+
+struct RecoveryStats {
+  size_t per_flow_restored = 0;
+  size_t shared_objects_restored = 0;
+  size_t ops_replayed = 0;
+  size_t reads_considered = 0;
+  double elapsed_usec = 0;
+};
+
+// Result of TS selection for one shared object: which read (if any) to
+// start from, and the per-instance clocks after which WAL entries must be
+// re-executed.
+struct TsSelection {
+  std::optional<ReadLogEntry> base_read;  // nullopt: start from checkpoint
+  TsSnapshot replay_after;                // instance -> last applied clock
+};
+
+// Implements the Fig. 7 selection: form the candidate set of read TS's,
+// walk each instance's log newest-to-oldest to find the latest update whose
+// clock appears in surviving candidates, and prune candidates that miss it.
+// `instance_logs` maps instance -> that instance's update clocks for this
+// object, in issue order. `checkpoint_ts` seeds replay points when an
+// instance has no constraining read.
+TsSelection select_recovery_ts(
+    const std::unordered_map<InstanceId, std::vector<LogicalClock>>& instance_logs,
+    const std::vector<ReadLogEntry>& reads, const TsSnapshot& checkpoint_ts);
+
+}  // namespace chc

@@ -1,0 +1,390 @@
+#include "store/shard.h"
+
+#include "common/logging.h"
+
+namespace chc {
+namespace {
+
+bool is_update_op(OpType op) {
+  switch (op) {
+    case OpType::kSet:
+    case OpType::kIncr:
+    case OpType::kPushList:
+    case OpType::kPopList:
+    case OpType::kCompareAndUpdate:
+    case OpType::kCustom:
+    case OpType::kCacheFlush:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+StoreShard::StoreShard(int index, const LinkConfig& link_cfg,
+                       std::shared_ptr<const CustomOpRegistry> custom_ops)
+    : index_(index),
+      requests_(link_cfg),
+      custom_ops_(std::move(custom_ops)),
+      rng_(0xC0FFEE + static_cast<uint64_t>(index)) {}
+
+StoreShard::~StoreShard() { stop(); }
+
+void StoreShard::start() {
+  if (running_.exchange(true)) return;
+  requests_.reopen();
+  worker_ = std::thread([this] { run(); });
+}
+
+void StoreShard::stop() {
+  if (!running_.exchange(false)) return;
+  requests_.close();
+  if (worker_.joinable()) worker_.join();
+}
+
+void StoreShard::crash() {
+  stop();
+  entries_.clear();
+  clock_index_.clear();
+  nondet_log_.clear();
+  subscribers_.clear();
+  ownership_waiters_.clear();
+}
+
+void StoreShard::restore(
+    std::unordered_map<StoreKey, ShardEntry, StoreKeyHash> entries) {
+  entries_ = std::move(entries);
+  clock_index_.clear();
+  for (const auto& [key, entry] : entries_) {
+    for (const auto& [clock, _] : entry.update_log) {
+      clock_index_[clock].push_back(key);
+    }
+  }
+  start();
+}
+
+void StoreShard::run() {
+  while (running_.load(std::memory_order_relaxed)) {
+    auto req = requests_.recv(Micros(200));
+    if (!req) continue;
+    Response r = apply(*req);
+    reply(*req, std::move(r));
+  }
+}
+
+void StoreShard::reply(const Request& req, Response r) {
+  r.req_id = req.req_id;
+  r.key = req.key;
+  if (req.blocking) {
+    r.msg = Response::Kind::kReply;
+    if (req.reply_to) req.reply_to->send(std::move(r));
+  } else if (req.want_ack) {
+    r.msg = Response::Kind::kAck;
+    if (req.async_to) req.async_to->send(std::move(r));
+  }
+}
+
+void StoreShard::signal_commit(LogicalClock clock, InstanceId instance,
+                               ObjectId object) {
+  if (clock == kNoClock) return;
+  if (commit_cb_) commit_cb_(clock, update_tag(instance, object));
+}
+
+Response StoreShard::apply(const Request& req) {
+  // Control traffic (GC, checkpoints) is not counted as data-path ops.
+  if (req.op != OpType::kGcClock && req.op != OpType::kCheckpoint) {
+    ops_applied_.fetch_add(1, std::memory_order_relaxed);
+  }
+  Response r;
+
+  // --- control ops that bypass entry lookup --------------------------------
+  switch (req.op) {
+    case OpType::kGcClock: {
+      auto it = clock_index_.find(req.clock);
+      if (it != clock_index_.end()) {
+        for (const StoreKey& k : it->second) {
+          auto e = entries_.find(k);
+          if (e != entries_.end()) e->second.update_log.erase(req.clock);
+        }
+        clock_index_.erase(it);
+      }
+      nondet_log_.erase(req.clock);
+      if (gc_done_.insert(req.clock).second) {
+        gc_order_.push_back(req.clock);
+        if (gc_order_.size() > kGcDoneCap) {
+          gc_done_.erase(gc_order_.front());
+          gc_order_.pop_front();
+        }
+      }
+      return r;
+    }
+    case OpType::kNonDet: {
+      // Appendix A: the store computes non-deterministic values and memoizes
+      // them by packet clock so replay sees identical values.
+      if (auto it = nondet_log_.find(req.clock); it != nondet_log_.end()) {
+        r.status = Status::kEmulated;
+        r.value = it->second;
+        return r;
+      }
+      Value v;
+      if (req.arg.i == 0) {
+        v = Value::of_int(static_cast<int64_t>(rng_.next() >> 1));
+      } else {
+        v = Value::of_int(
+            std::chrono::duration_cast<Micros>(SteadyClock::now().time_since_epoch())
+                .count());
+      }
+      if (req.clock != kNoClock) nondet_log_[req.clock] = v;
+      r.value = v;
+      return r;
+    }
+    case OpType::kBatch: {
+      if (req.batch) {
+        for (const Request& sub : *req.batch) apply(sub);
+      }
+      return r;
+    }
+    case OpType::kCheckpoint:
+      if (req.snapshot_out) {
+        req.snapshot_out->entries = entries_;
+        req.snapshot_out->taken_at = SteadyClock::now();
+      } else {
+        r.status = Status::kError;
+      }
+      return r;
+    default:
+      break;
+  }
+
+  ShardEntry& entry = entries_[req.key];
+
+  // --- ownership enforcement for per-flow keys -----------------------------
+  if (!req.key.shared && is_update_op(req.op)) {
+    if (entry.owner == 0) {
+      entry.owner = req.instance;  // first touch claims the flow
+    } else if (entry.owner != req.instance) {
+      // Paper §5.1: updates from an instance that does not own the flow are
+      // disallowed; the mover protocol prevents this from losing updates.
+      r.status = Status::kNotOwner;
+      r.value = entry.value;
+      return r;
+    }
+  }
+
+  // --- duplicate suppression (§5.3): emulate an already-applied update -----
+  if (is_update_op(req.op) && req.clock != kNoClock) {
+    if (auto it = entry.update_log.find(req.clock); it != entry.update_log.end()) {
+      r.status = Status::kEmulated;
+      r.value = it->second;
+      return r;
+    }
+    if (gc_done_.contains(req.clock)) {
+      // The packet already completed end to end; this is a straggling
+      // retransmission of a committed op.
+      r.status = Status::kEmulated;
+      r.value = entry.value;
+      return r;
+    }
+  }
+
+  auto log_update = [&](const Value& after) {
+    if (req.clock == kNoClock) return;
+    entry.update_log[req.clock] = after;
+    clock_index_[req.clock].push_back(req.key);
+    entry.ts[req.instance] = req.clock;
+  };
+
+  switch (req.op) {
+    case OpType::kGet:
+      if (entry.value.is_none()) r.status = Status::kNotFound;
+      r.value = entry.value;
+      if (req.key.shared) r.ts = entry.ts;
+      break;
+
+    case OpType::kGetWithClocks: {
+      if (entry.value.is_none()) r.status = Status::kNotFound;
+      r.value = entry.value;
+      if (req.key.shared) r.ts = entry.ts;
+      r.applied_clocks.reserve(entry.update_log.size());
+      for (const auto& [clock, _] : entry.update_log) r.applied_clocks.push_back(clock);
+      break;
+    }
+
+    case OpType::kSet:
+      entry.value = req.arg;
+      log_update(entry.value);
+      signal_commit(req.clock, req.instance, req.key.object);
+      r.value = entry.value;
+      break;
+
+    case OpType::kIncr:
+      if (entry.value.kind != Value::Kind::kInt) entry.value = Value::of_int(0);
+      entry.value.i += req.arg.i;
+      log_update(entry.value);
+      signal_commit(req.clock, req.instance, req.key.object);
+      r.value = entry.value;
+      break;
+
+    case OpType::kPushList:
+      if (entry.value.kind != Value::Kind::kList) entry.value = Value::of_list({});
+      entry.value.list.push_back(req.arg.i);
+      log_update(entry.value);
+      signal_commit(req.clock, req.instance, req.key.object);
+      r.value = entry.value;
+      break;
+
+    case OpType::kPopList: {
+      if (entry.value.kind != Value::Kind::kList || entry.value.list.empty()) {
+        r.status = Status::kNotFound;
+        break;
+      }
+      r.value = Value::of_int(entry.value.list.front());
+      entry.value.list.erase(entry.value.list.begin());
+      // Log the *popped* value: on replay the same packet must receive the
+      // same port/server, not pop a second entry.
+      log_update(r.value);
+      signal_commit(req.clock, req.instance, req.key.object);
+      break;
+    }
+
+    case OpType::kCompareAndUpdate:
+      if (entry.value == req.arg2) {
+        entry.value = req.arg;
+        log_update(entry.value);
+        signal_commit(req.clock, req.instance, req.key.object);
+        r.value = entry.value;
+      } else {
+        r.status = Status::kConditionFalse;
+        r.value = entry.value;
+      }
+      break;
+
+    case OpType::kCustom: {
+      auto it = custom_ops_ ? custom_ops_->find(req.custom_id)
+                            : CustomOpRegistry::const_iterator{};
+      if (!custom_ops_ || it == custom_ops_->end()) {
+        r.status = Status::kError;
+        break;
+      }
+      entry.value = it->second(entry.value, req.arg);
+      log_update(entry.value);
+      signal_commit(req.clock, req.instance, req.key.object);
+      r.value = entry.value;
+      break;
+    }
+
+    case OpType::kCacheFlush: {
+      // Absolute value computed in the client cache; covers a batch of
+      // packet clocks. Commit each so the root ledger can zero out.
+      if (req.flush_seq != 0 && req.flush_seq <= entry.flush_seqs[req.client_uid]) {
+        r.status = Status::kEmulated;  // stale retransmission
+        r.value = entry.value;
+        break;
+      }
+      if (req.flush_seq != 0) entry.flush_seqs[req.client_uid] = req.flush_seq;
+      entry.value = req.arg;
+      for (LogicalClock c : req.covered_clocks) {
+        if (c == kNoClock || entry.update_log.contains(c)) continue;
+        entry.update_log[c] = entry.value;
+        clock_index_[c].push_back(req.key);
+        entry.ts[req.instance] = c;
+        signal_commit(c, req.instance, req.key.object);
+      }
+      r.value = entry.value;
+      break;
+    }
+
+    case OpType::kAcquireOwner: {
+      if (entry.owner == 0 || entry.owner == req.instance) {
+        entry.owner = req.instance;
+        r.value = entry.value;
+      } else {
+        // Deferred: notify the requester once the current owner releases
+        // (paper Fig. 4 steps 3/6).
+        ownership_waiters_[req.key].emplace_back(req.instance, req.async_to);
+        r.status = Status::kNotOwner;
+      }
+      break;
+    }
+
+    case OpType::kReleaseOwner: {
+      if (req.flush_seq != 0 && req.flush_seq <= entry.flush_seqs[req.client_uid]) {
+        r.status = Status::kEmulated;  // stale retransmission
+        r.value = entry.value;
+        break;
+      }
+      if (req.flush_seq != 0) entry.flush_seqs[req.client_uid] = req.flush_seq;
+      if (!req.arg.is_none()) {
+        entry.value = req.arg;  // final flushed value travels with release
+        for (LogicalClock c : req.covered_clocks) {
+          if (c == kNoClock || entry.update_log.contains(c)) continue;
+          entry.update_log[c] = entry.value;
+          clock_index_[c].push_back(req.key);
+          entry.ts[req.instance] = c;
+          signal_commit(c, req.instance, req.key.object);
+        }
+      }
+      entry.owner = 0;
+      auto w = ownership_waiters_.find(req.key);
+      if (w != ownership_waiters_.end() && !w->second.empty()) {
+        auto [inst, link] = w->second.front();
+        w->second.erase(w->second.begin());
+        entry.owner = inst;
+        Response note;
+        note.msg = Response::Kind::kOwnershipGranted;
+        note.key = req.key;
+        note.value = entry.value;
+        if (link) link->send(std::move(note));
+        if (w->second.empty()) ownership_waiters_.erase(w);
+      }
+      r.value = entry.value;
+      break;
+    }
+
+    case OpType::kRegisterCallback: {
+      auto& subs = subscribers_[req.key];
+      bool present = false;
+      for (auto& [inst, link] : subs) {
+        if (inst == req.instance) {
+          link = req.async_to;
+          present = true;
+        }
+      }
+      if (!present) subs.emplace_back(req.instance, req.async_to);
+      r.value = entry.value;
+      if (req.key.shared) r.ts = entry.ts;
+      break;
+    }
+
+    case OpType::kReadClock:
+      r.value = entry.value;
+      if (entry.value.is_none()) r.status = Status::kNotFound;
+      break;
+
+    default:
+      r.status = Status::kError;
+      break;
+  }
+
+  // Push callbacks to subscribers after any committed update of a shared
+  // object (§4.3 read-heavy caching: the update initiator gets the reply,
+  // everyone else a callback with the fresh value).
+  if (is_update_op(req.op) && r.status == Status::kOk && req.key.shared) {
+    auto s = subscribers_.find(req.key);
+    if (s != subscribers_.end()) {
+      for (auto& [inst, link] : s->second) {
+        if (inst == req.instance || !link) continue;
+        Response cb;
+        cb.msg = Response::Kind::kCallback;
+        cb.key = req.key;
+        cb.value = entry.value;
+        link->send(std::move(cb));
+      }
+    }
+  }
+
+  return r;
+}
+
+}  // namespace chc

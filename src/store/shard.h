@@ -1,0 +1,119 @@
+// A store shard: one worker thread owning a partition of the key space.
+// Each state object is handled by exactly one shard thread, which is how
+// the paper's store avoids locking (§4.3). The shard serializes offloaded
+// operations from all NF instances, applies them in arrival order, logs
+// (clock -> value) for in-flight packets so duplicate updates from replay
+// can be *emulated* instead of re-applied (§5.3), tracks per-object TS
+// metadata for store recovery (§5.4), and pushes callbacks to subscribers
+// of read-heavy shared objects.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "store/message.h"
+#include "transport/sim_link.h"
+
+namespace chc {
+
+// Custom operation registry: id -> (old value, arg) -> new value.
+using CustomOpFn = std::function<Value(const Value&, const Value&)>;
+using CustomOpRegistry = std::unordered_map<uint16_t, CustomOpFn>;
+
+// Called after a clocked update commits; the root XORs the tag into its
+// per-packet ledger (paper §5.4, Fig. 6 step 2).
+using CommitListener = std::function<void(LogicalClock, UpdateVector)>;
+
+struct ShardEntry {
+  Value value;
+  InstanceId owner = 0;  // per-flow keys only; 0 = unowned
+  // clock -> value after the update with that clock; kept while the packet
+  // is in flight, dropped on kGcClock.
+  std::map<LogicalClock, Value> update_log;
+  // Per-instance clock of the last *update* executed for this object.
+  TsSnapshot ts;
+  // Per-client flush sequence floor (stale-flush rejection). Keyed by the
+  // client uid, not the instance id: a straggler and its clone share the
+  // instance id but flush with independent counters.
+  std::unordered_map<uint16_t, uint64_t> flush_seqs;
+};
+
+struct ShardSnapshot {
+  std::unordered_map<StoreKey, ShardEntry, StoreKeyHash> entries;
+  TimePoint taken_at{};
+};
+
+class StoreShard {
+ public:
+  StoreShard(int index, const LinkConfig& link_cfg,
+             std::shared_ptr<const CustomOpRegistry> custom_ops);
+  ~StoreShard();
+
+  StoreShard(const StoreShard&) = delete;
+  StoreShard& operator=(const StoreShard&) = delete;
+
+  void start();
+  void stop();
+
+  // Simulates a crash: stops the worker and discards all shard state.
+  void crash();
+  // Installs recovered state and restarts the worker.
+  void restore(std::unordered_map<StoreKey, ShardEntry, StoreKeyHash> entries);
+
+  SimLink<Request>& request_link() { return requests_; }
+  void set_commit_listener(CommitListener cb) { commit_cb_ = std::move(cb); }
+
+  // Test/bench hook: apply a request inline on the caller thread (no link
+  // round trip). The raw store throughput benchmark uses this.
+  Response apply_inline(const Request& req) { return apply(req); }
+
+  uint64_t ops_applied() const { return ops_applied_.load(); }
+
+ private:
+  void run();
+  Response apply(const Request& req);
+  void reply(const Request& req, Response r);
+  void signal_commit(LogicalClock clock, InstanceId instance, ObjectId object);
+
+  const int index_;
+  SimLink<Request> requests_;
+  std::shared_ptr<const CustomOpRegistry> custom_ops_;
+  CommitListener commit_cb_;
+
+  std::unordered_map<StoreKey, ShardEntry, StoreKeyHash> entries_;
+  // clock -> keys whose update_log mentions it; makes GC O(updates/packet).
+  std::unordered_map<LogicalClock, std::vector<StoreKey>> clock_index_;
+  // Memoized non-deterministic values (Appendix A), keyed by packet clock.
+  std::map<LogicalClock, Value> nondet_log_;
+  // Clocks whose packets completed (root delete -> GC). A delete implies
+  // every update the packet induced was committed, so any clocked update
+  // arriving later is a retransmission and must be rejected as a duplicate.
+  std::unordered_set<LogicalClock> gc_done_;
+  std::deque<LogicalClock> gc_order_;
+  static constexpr size_t kGcDoneCap = 1 << 18;
+  // Subscribers for read-heavy shared objects.
+  std::unordered_map<StoreKey, std::vector<std::pair<InstanceId, ReplyLinkPtr>>,
+                     StoreKeyHash>
+      subscribers_;
+  // Instances waiting for ownership of a per-flow key (handover §5.1).
+  std::unordered_map<StoreKey, std::vector<std::pair<InstanceId, ReplyLinkPtr>>,
+                     StoreKeyHash>
+      ownership_waiters_;
+  // Persisted root clock (kSet on the reserved root key) lives in entries_
+  // like any other object.
+
+  SplitMix64 rng_;
+  std::thread worker_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> ops_applied_{0};
+};
+
+}  // namespace chc

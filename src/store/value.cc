@@ -1,0 +1,32 @@
+#include "store/value.h"
+
+#include <cstdio>
+
+namespace chc {
+
+std::string Value::str() const {
+  switch (kind) {
+    case Kind::kNone:
+      return "none";
+    case Kind::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(i));
+      return buf;
+    }
+    case Kind::kList: {
+      std::string s = "[";
+      for (size_t k = 0; k < list.size(); ++k) {
+        if (k) s += ",";
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(list[k]));
+        s += buf;
+      }
+      return s + "]";
+    }
+    case Kind::kBytes:
+      return "b\"" + bytes + "\"";
+  }
+  return "?";
+}
+
+}  // namespace chc

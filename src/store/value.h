@@ -1,0 +1,48 @@
+// Store value type: a tagged union of the shapes NF state takes in the
+// paper's Table 4 — counters (int), free lists (list of ints, e.g. NAT's
+// available ports), and opaque small records (bytes, e.g. connection
+// mappings).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chc {
+
+struct Value {
+  enum class Kind : uint8_t { kNone, kInt, kList, kBytes };
+
+  Kind kind = Kind::kNone;
+  int64_t i = 0;
+  std::vector<int64_t> list;
+  std::string bytes;
+
+  Value() = default;
+  static Value none() { return Value{}; }
+  static Value of_int(int64_t v) {
+    Value x;
+    x.kind = Kind::kInt;
+    x.i = v;
+    return x;
+  }
+  static Value of_list(std::vector<int64_t> v) {
+    Value x;
+    x.kind = Kind::kList;
+    x.list = std::move(v);
+    return x;
+  }
+  static Value of_bytes(std::string v) {
+    Value x;
+    x.kind = Kind::kBytes;
+    x.bytes = std::move(v);
+    return x;
+  }
+
+  bool is_none() const { return kind == Kind::kNone; }
+  bool operator==(const Value&) const = default;
+
+  std::string str() const;
+};
+
+}  // namespace chc

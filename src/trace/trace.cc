@@ -1,0 +1,243 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/histogram.h"
+
+namespace chc {
+namespace {
+
+constexpr uint32_t kInternalBase = 0x0a000000;  // 10.0.0.0/8 campus side
+constexpr uint32_t kExternalBase = 0x36000000;  // EC2-ish side
+
+enum class FlowKind : uint8_t { kBulk, kScan, kSsh, kFtp, kIrc };
+
+struct FlowPlan {
+  FiveTuple tuple;
+  FlowKind kind = FlowKind::kBulk;
+  size_t remaining = 0;   // packets still to emit
+  uint32_t seq = 0;
+  bool syn_sent = false;
+  bool handshake_done = false;
+  AppEvent ftp_file = AppEvent::kNone;  // which file this FTP flow carries
+};
+
+uint16_t draw_size(SplitMix64& rng, uint16_t median) {
+  // Bimodal mix: small control packets and near-MTU data packets, with the
+  // data fraction tuned so the configured median is hit. For median 1434
+  // most packets are full-size; for 368 the mix skews small.
+  const bool data_heavy = median > 700;
+  const double data_frac = data_heavy ? 0.72 : 0.38;
+  if (rng.chance(data_frac)) {
+    return static_cast<uint16_t>(rng.range(1300, 1500));
+  }
+  return static_cast<uint16_t>(rng.range(40, data_heavy ? 600 : 500));
+}
+
+AppEvent next_event(SplitMix64& rng, FlowPlan& f) {
+  if (!f.syn_sent) {
+    f.syn_sent = true;
+    return AppEvent::kTcpSyn;
+  }
+  if (!f.handshake_done) {
+    f.handshake_done = true;
+    if (f.kind == FlowKind::kScan) return AppEvent::kTcpRst;
+    return AppEvent::kTcpSynAck;
+  }
+  if (f.remaining == 1) return AppEvent::kTcpFin;
+  switch (f.kind) {
+    case FlowKind::kSsh:
+      return f.seq == 2 ? AppEvent::kSshOpen : AppEvent::kHttpData;
+    case FlowKind::kFtp: {
+      if (f.seq == 2 && f.ftp_file != AppEvent::kNone) return f.ftp_file;
+      return AppEvent::kHttpData;
+    }
+    case FlowKind::kIrc:
+      return AppEvent::kIrcActivity;
+    default:
+      return rng.chance(0.9) ? AppEvent::kHttpData : AppEvent::kNone;
+  }
+}
+
+FiveTuple make_tuple(SplitMix64& rng, const TraceConfig& cfg, uint32_t src_ip,
+                     uint16_t dst_port) {
+  FiveTuple t;
+  t.src_ip = src_ip;
+  t.dst_ip = kExternalBase + static_cast<uint32_t>(rng.bounded(cfg.num_external_hosts));
+  t.src_port = static_cast<uint16_t>(rng.range(1024, 65535));
+  t.dst_port = dst_port;
+  t.proto = IpProto::kTcp;
+  return t;
+}
+
+}  // namespace
+
+TraceConfig TraceConfig::trace1(double scale) {
+  TraceConfig c;
+  c.seed = 101;
+  c.num_packets = static_cast<size_t>(3'800'000 * scale);
+  c.num_connections = std::max<size_t>(10, static_cast<size_t>(1'700 * scale));
+  c.median_packet_size = 368;
+  return c;
+}
+
+TraceConfig TraceConfig::trace2(double scale) {
+  TraceConfig c;
+  c.seed = 202;
+  c.num_packets = static_cast<size_t>(6'400'000 * scale);
+  c.num_connections = std::max<size_t>(10, static_cast<size_t>(199'000 * scale));
+  c.median_packet_size = 1434;
+  return c;
+}
+
+Trace generate_trace(const TraceConfig& cfg) {
+  SplitMix64 rng(cfg.seed);
+  std::vector<Packet> out;
+  out.reserve(cfg.num_packets);
+
+  // --- plan ordinary flows -------------------------------------------------
+  const size_t n_scan =
+      static_cast<size_t>(static_cast<double>(cfg.num_connections) * cfg.scan_fraction);
+  const size_t n_bulk = cfg.num_connections - n_scan;
+
+  // Packets per bulk flow: heavy-tailed around the mean implied by the
+  // packet budget (scans take 2 packets each).
+  const double mean_bulk_len = std::max(
+      3.0, static_cast<double>(cfg.num_packets - 2 * n_scan) / std::max<size_t>(1, n_bulk));
+
+  std::vector<FlowPlan> flows;
+  flows.reserve(cfg.num_connections + cfg.trojan_signatures.size() * 3);
+
+  for (size_t i = 0; i < n_bulk; ++i) {
+    FlowPlan f;
+    const uint32_t src =
+        kInternalBase + static_cast<uint32_t>(rng.bounded(cfg.num_internal_hosts));
+    const uint16_t dport = rng.chance(0.7) ? 443 : static_cast<uint16_t>(rng.range(1, 1024));
+    f.tuple = make_tuple(rng, cfg, src, dport);
+    f.kind = FlowKind::kBulk;
+    f.remaining = std::max<size_t>(
+        3, static_cast<size_t>(rng.pareto(mean_bulk_len * 0.4, 1.5)));
+    flows.push_back(f);
+  }
+  for (size_t i = 0; i < n_scan; ++i) {
+    FlowPlan f;
+    const uint32_t scanner =
+        kInternalBase + 0x00010000 + static_cast<uint32_t>(rng.bounded(std::max<size_t>(1, cfg.num_scanner_hosts)));
+    f.tuple = make_tuple(rng, cfg, scanner, static_cast<uint16_t>(rng.range(1, 65535)));
+    f.kind = FlowKind::kScan;
+    f.remaining = 2;  // SYN + RST
+    flows.push_back(f);
+  }
+
+  // --- interleave ----------------------------------------------------------
+  // Active window of flows; pick a random active flow per packet. This gives
+  // realistic interleaving without a full event-driven model.
+  std::vector<size_t> order(flows.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.bounded(i)]);
+  }
+
+  constexpr size_t kWindow = 128;
+  std::deque<size_t> pending(order.begin(), order.end());
+  std::vector<size_t> active;
+  auto refill = [&] {
+    while (active.size() < kWindow && !pending.empty()) {
+      active.push_back(pending.front());
+      pending.pop_front();
+    }
+  };
+  refill();
+
+  // Trojan signature insertion points, sorted by packet position.
+  struct TrojanStep {
+    size_t at;
+    uint32_t host;
+    int step;  // 0=SSH, 1..3=FTP files, 4=IRC
+  };
+  std::vector<TrojanStep> trojan_steps;
+  for (const auto& sig : cfg.trojan_signatures) {
+    const size_t base = static_cast<size_t>(sig.position * static_cast<double>(cfg.num_packets));
+    // Steps spaced a few hundred packets apart so they interleave with
+    // normal traffic but stay in order.
+    const size_t gap = std::max<size_t>(5, cfg.num_packets / 2000);
+    for (int s = 0; s < 5; ++s) {
+      trojan_steps.push_back({base + static_cast<size_t>(s) * gap, sig.host_ip, s});
+    }
+  }
+  std::sort(trojan_steps.begin(), trojan_steps.end(),
+            [](const TrojanStep& a, const TrojanStep& b) { return a.at < b.at; });
+  size_t next_trojan = 0;
+
+  while (out.size() < cfg.num_packets && (!active.empty() || !pending.empty())) {
+    // Inject pending Trojan steps at their planned positions.
+    if (next_trojan < trojan_steps.size() && out.size() >= trojan_steps[next_trojan].at) {
+      const TrojanStep& ts = trojan_steps[next_trojan++];
+      Packet p;
+      const uint16_t dport = ts.step == 0 ? 22 : (ts.step <= 3 ? 21 : 6667);
+      p.tuple = make_tuple(rng, cfg, ts.host, dport);
+      switch (ts.step) {
+        case 0: p.event = AppEvent::kSshOpen; break;
+        case 1: p.event = AppEvent::kFtpFileHtml; break;
+        case 2: p.event = AppEvent::kFtpFileZip; break;
+        case 3: p.event = AppEvent::kFtpFileExe; break;
+        default: p.event = AppEvent::kIrcActivity; break;
+      }
+      p.size_bytes = draw_size(rng, cfg.median_packet_size);
+      out.push_back(p);
+      continue;
+    }
+
+    refill();
+    if (active.empty()) break;
+    const size_t slot = rng.bounded(active.size());
+    FlowPlan& f = flows[active[slot]];
+
+    Packet p;
+    p.tuple = f.tuple;
+    p.size_bytes = draw_size(rng, cfg.median_packet_size);
+    p.event = next_event(rng, f);
+    p.seq = f.seq++;
+    out.push_back(p);
+
+    if (--f.remaining == 0) {
+      active[slot] = active.back();
+      active.pop_back();
+    }
+  }
+
+  return Trace(std::move(out));
+}
+
+TraceStats Trace::stats() const {
+  TraceStats s;
+  s.packets = packets_.size();
+  Histogram sizes;
+  std::vector<uint64_t> conn_hashes;
+  conn_hashes.reserve(packets_.size());
+  for (const Packet& p : packets_) {
+    s.bytes += p.size_bytes;
+    sizes.record(p.size_bytes);
+    conn_hashes.push_back(scope_hash(p.tuple, Scope::kFiveTuple));
+    switch (p.event) {
+      case AppEvent::kTcpSyn: s.syn++; break;
+      case AppEvent::kTcpSynAck: s.synack++; break;
+      case AppEvent::kTcpRst: s.rst++; break;
+      case AppEvent::kTcpFin: s.fin++; break;
+      case AppEvent::kSshOpen: s.ssh++; break;
+      case AppEvent::kFtpFileHtml:
+      case AppEvent::kFtpFileZip:
+      case AppEvent::kFtpFileExe: s.ftp++; break;
+      case AppEvent::kIrcActivity: s.irc++; break;
+      default: break;
+    }
+  }
+  std::sort(conn_hashes.begin(), conn_hashes.end());
+  s.connections = static_cast<size_t>(
+      std::unique(conn_hashes.begin(), conn_hashes.end()) - conn_hashes.begin());
+  s.median_size = sizes.median();
+  return s;
+}
+
+}  // namespace chc

@@ -1,0 +1,75 @@
+// Synthetic trace generation.
+//
+// The paper evaluates on two campus->EC2 traces: Trace1 (3.8M packets,
+// 1.7K connections, median 368B) and Trace2 (6.4M packets, 199K
+// connections, median 1434B). We cannot ship those traces, so this module
+// generates synthetic equivalents with the same tunable shape: connection
+// count, packets per connection (heavy tailed), packet-size distribution
+// around a target median, TCP handshake outcomes, plus the app-level event
+// sequences the paper's NFs key on (SSH/FTP/IRC activity for the Trojan
+// detector, scan probes for the portscan detector).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/packet.h"
+
+namespace chc {
+
+struct TrojanSignaturePlan {
+  uint32_t host_ip = 0;      // infected internal host
+  double position = 0.5;     // where in the trace the sequence starts [0,1)
+};
+
+struct TraceConfig {
+  uint64_t seed = 1;
+  size_t num_packets = 100'000;
+  size_t num_connections = 3'000;
+  uint16_t median_packet_size = 1434;
+
+  // Fraction of connections that are scan probes (SYN answered by RST).
+  double scan_fraction = 0.02;
+  // Fraction of hosts that are designated scanners (sourcing the probes).
+  size_t num_scanner_hosts = 4;
+
+  // Hosts/positions at which to embed the Trojan signature sequence
+  // (SSH open -> FTP html/zip/exe -> IRC), per paper §7.3 R4.
+  std::vector<TrojanSignaturePlan> trojan_signatures;
+
+  size_t num_internal_hosts = 64;
+  size_t num_external_hosts = 256;
+
+  // Paper-shaped presets (scaled by `scale`, default keeps benches fast).
+  static TraceConfig trace1(double scale = 0.02);
+  static TraceConfig trace2(double scale = 0.02);
+};
+
+struct TraceStats {
+  size_t packets = 0;
+  size_t connections = 0;
+  size_t bytes = 0;
+  double median_size = 0;
+  size_t syn = 0, synack = 0, rst = 0, fin = 0;
+  size_t ssh = 0, ftp = 0, irc = 0;
+};
+
+class Trace {
+ public:
+  explicit Trace(std::vector<Packet> packets) : packets_(std::move(packets)) {}
+
+  const std::vector<Packet>& packets() const { return packets_; }
+  size_t size() const { return packets_.size(); }
+  const Packet& operator[](size_t i) const { return packets_[i]; }
+
+  TraceStats stats() const;
+
+ private:
+  std::vector<Packet> packets_;
+};
+
+// Generates the full trace up front; deterministic for a given config.
+Trace generate_trace(const TraceConfig& config);
+
+}  // namespace chc

@@ -1,0 +1,106 @@
+// Thread-safe queues used as the in-process equivalent of NIC rings and
+// inter-NF tunnels. Multi-producer/multi-consumer, blocking pop with
+// timeout, close semantics so consumer threads can drain and exit.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "common/types.h"
+
+namespace chc {
+
+template <typename T>
+class ConcurrentQueue {
+ public:
+  ConcurrentQueue() = default;
+  ConcurrentQueue(const ConcurrentQueue&) = delete;
+  ConcurrentQueue& operator=(const ConcurrentQueue&) = delete;
+
+  // Returns false if the queue is closed.
+  bool push(T item) {
+    {
+      std::lock_guard lk(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  std::optional<T> try_pop() {
+    std::lock_guard lk(mu_);
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  // Pops the head only if `pred(head)` holds; never blocks. SimLink uses
+  // this to drain messages whose delivery time has arrived without waiting
+  // on ones still "in flight".
+  template <typename Pred>
+  std::optional<T> pop_if(Pred pred) {
+    std::lock_guard lk(mu_);
+    if (items_.empty() || !pred(items_.front())) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  // Blocks until an item arrives, the timeout elapses, or the queue closes.
+  std::optional<T> pop_wait(Duration timeout) {
+    std::unique_lock lk(mu_);
+    cv_.wait_for(lk, timeout, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  // Removes all queued items matching `pred`; returns how many were removed.
+  // The framework uses this to suppress duplicate outputs sitting in a
+  // downstream instance's message queue (paper §5.3).
+  template <typename Pred>
+  size_t remove_if(Pred pred) {
+    std::lock_guard lk(mu_);
+    size_t before = items_.size();
+    std::erase_if(items_, pred);
+    return before - items_.size();
+  }
+
+  size_t size() const {
+    std::lock_guard lk(mu_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard lk(mu_);
+    return closed_;
+  }
+
+  void close() {
+    {
+      std::lock_guard lk(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  // Re-open after a close; used when a failed component is replaced and its
+  // queue identity must be preserved for upstream producers.
+  void reopen() {
+    std::lock_guard lk(mu_);
+    closed_ = false;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace chc

@@ -1,0 +1,273 @@
+// Chain Output Equivalence tests: the collective behavior of a replicated,
+// dynamically-managed chain must match the single-instance reference
+// (paper §1, Appendix B). Also covers the R2 handover and R5 straggler
+// cloning end to end.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/runtime.h"
+#include "nf/custom_ops.h"
+#include "nf/load_balancer.h"
+#include "nf/nat.h"
+#include "nf/portscan.h"
+#include "nf/simple_nfs.h"
+
+namespace chc {
+namespace {
+
+RuntimeConfig fast_config() {
+  RuntimeConfig cfg;
+  cfg.model = Model::kExternalCachedNoAck;
+  cfg.store.num_shards = 2;
+  cfg.root.clock_persist_every = 0;
+  cfg.root_one_way = Duration::zero();
+  return cfg;
+}
+
+Packet pkt(uint32_t src, uint16_t sport, AppEvent ev, uint16_t size = 150) {
+  Packet p;
+  p.tuple = {src, 0x36000009, sport, 443, IpProto::kTcp};
+  p.event = ev;
+  p.size_bytes = size;
+  return p;
+}
+
+std::vector<Packet> workload(size_t hosts, size_t conns_per_host, int data_pkts) {
+  std::vector<Packet> out;
+  for (uint32_t h = 1; h <= hosts; ++h) {
+    for (uint16_t c = 0; c < conns_per_host; ++c) {
+      const uint16_t sport = static_cast<uint16_t>(1000 + c);
+      out.push_back(pkt(h, sport, AppEvent::kTcpSyn));
+      out.push_back(pkt(h, sport, AppEvent::kTcpSynAck));
+      for (int d = 0; d < data_pkts; ++d) {
+        out.push_back(pkt(h, sport, AppEvent::kHttpData));
+      }
+      out.push_back(pkt(h, sport, AppEvent::kTcpFin));
+    }
+  }
+  return out;
+}
+
+// Runs the IDS chain with the given parallelism and returns (port count,
+// delivered count, duplicate count).
+struct RunResult {
+  int64_t port_count;
+  size_t delivered;
+  size_t duplicates;
+};
+
+RunResult run_ids_chain(int parallelism, const std::vector<Packet>& packets) {
+  ChainSpec spec;
+  spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); }, parallelism);
+  Runtime rt(std::move(spec), fast_config());
+  rt.start();
+  for (const Packet& p : packets) rt.inject(p);
+  EXPECT_TRUE(rt.wait_quiescent(std::chrono::seconds(30)));
+  auto probe = rt.probe_client(0);
+  RunResult r;
+  r.port_count =
+      probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp}).i;
+  r.delivered = rt.sink().count();
+  r.duplicates = rt.sink().duplicate_clocks();
+  rt.shutdown();
+  return r;
+}
+
+TEST(Coe, SharedCountersMatchSingleInstanceReference) {
+  auto packets = workload(6, 3, 4);
+  RunResult ref = run_ids_chain(1, packets);
+  RunResult multi = run_ids_chain(3, packets);
+  EXPECT_EQ(ref.port_count, static_cast<int64_t>(packets.size()));
+  EXPECT_EQ(multi.port_count, ref.port_count)
+      << "shared per-port counter identical no matter the instance count";
+  EXPECT_EQ(multi.delivered, ref.delivered);
+  EXPECT_EQ(multi.duplicates, 0u);
+}
+
+TEST(Coe, PortscanDecisionsIdenticalAcrossParallelism) {
+  auto run = [&](int par) {
+    ChainSpec spec;
+    spec.add_vertex("scan", [] { return std::make_unique<PortscanDetector>(); }, par);
+    Runtime rt(std::move(spec), fast_config());
+    register_custom_ops(rt.store());
+    rt.start();
+    // Scanner host 200 fails everywhere; benign host 201 succeeds.
+    for (int i = 0; i < 8; ++i) {
+      rt.inject(pkt(200, static_cast<uint16_t>(100 + i), AppEvent::kTcpSyn));
+      rt.inject(pkt(200, static_cast<uint16_t>(100 + i), AppEvent::kTcpRst));
+      rt.inject(pkt(201, static_cast<uint16_t>(100 + i), AppEvent::kTcpSyn));
+      rt.inject(pkt(201, static_cast<uint16_t>(100 + i), AppEvent::kTcpSynAck));
+    }
+    EXPECT_TRUE(rt.wait_quiescent(std::chrono::seconds(30)));
+    auto probe = rt.probe_client(0);
+    auto blocked = [&](uint32_t host) {
+      return probe->get(PortscanDetector::kBlocked, pkt(host, 1, AppEvent::kNone).tuple)
+                 .i == 1;
+    };
+    std::pair<bool, bool> result{blocked(200), blocked(201)};
+    rt.shutdown();
+    return result;
+  };
+  auto ref = run(1);
+  auto multi = run(3);
+  EXPECT_TRUE(ref.first);
+  EXPECT_FALSE(ref.second);
+  EXPECT_EQ(multi, ref) << "blocking decisions must not depend on scaling";
+}
+
+TEST(Coe, ElasticScaleOutPreservesCounts) {
+  // R2: start with one IDS instance, scale to two mid-stream, moving half
+  // the flows. Loss-freeness => the shared counter still equals the packet
+  // count; order preservation => no duplicates at the sink.
+  ChainSpec spec;
+  spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); }, 1);
+  spec.set_partition_scope(0, Scope::kSrcIp);
+  Runtime rt(std::move(spec), fast_config());
+  rt.start();
+
+  auto packets = workload(4, 2, 10);
+  const size_t half = packets.size() / 2;
+  for (size_t i = 0; i < half; ++i) rt.inject(packets[i]);
+
+  // Scale out: move hosts 3 and 4 (whose traffic continues in the second
+  // half) to the new instance while traffic flows.
+  const uint16_t old_rid = rt.instance(0, 0).runtime_id();
+  const uint16_t new_rid = rt.add_instance(0);
+  std::vector<uint64_t> moved;
+  moved.push_back(scope_hash(pkt(3, 1, AppEvent::kNone).tuple, Scope::kSrcIp));
+  moved.push_back(scope_hash(pkt(4, 1, AppEvent::kNone).tuple, Scope::kSrcIp));
+  rt.move_flows(0, moved, old_rid, new_rid);
+
+  for (size_t i = half; i < packets.size(); ++i) rt.inject(packets[i]);
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(30)));
+
+  auto probe = rt.probe_client(0);
+  EXPECT_EQ(
+      probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp}).i,
+      static_cast<int64_t>(packets.size()))
+      << "no update lost across the handover (loss-freeness)";
+  EXPECT_EQ(rt.sink().count(), packets.size());
+  EXPECT_EQ(rt.sink().duplicate_clocks(), 0u);
+
+  // The new instance actually took traffic.
+  auto load = rt.splitter(0).load();
+  for (auto& [rid, n] : load) {
+    if (rid == new_rid) EXPECT_GT(n, 0u);
+  }
+  rt.shutdown();
+}
+
+TEST(Coe, MovePreservesPerFlowState) {
+  // Per-flow byte counters must travel with the flow (Fig. 4 handover).
+  ChainSpec spec;
+  spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); }, 1);
+  spec.set_partition_scope(0, Scope::kSrcIp);
+  Runtime rt(std::move(spec), fast_config());
+  rt.start();
+
+  const FiveTuple flow = pkt(9, 1000, AppEvent::kNone).tuple;
+  for (int i = 0; i < 10; ++i) rt.inject(pkt(9, 1000, AppEvent::kHttpData, 100));
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(30)));
+
+  const uint16_t old_rid = rt.instance(0, 0).runtime_id();
+  const uint16_t new_rid = rt.add_instance(0);
+  rt.move_flows(0, {scope_hash(flow, Scope::kSrcIp)}, old_rid, new_rid);
+  for (int i = 0; i < 10; ++i) rt.inject(pkt(9, 1000, AppEvent::kHttpData, 100));
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(30)));
+
+  auto probe = rt.probe_client(0);
+  EXPECT_EQ(probe->get(CountingIds::kFlowBytes, flow).i, 2000)
+      << "byte count spans both instances' processing";
+  rt.shutdown();
+}
+
+TEST(Coe, StragglerCloneSuppressesDuplicates) {
+  // R5: replicate input to straggler + clone; downstream and the store see
+  // each packet's effect exactly once (paper Fig. 5 / Table 5).
+  ChainSpec spec;
+  spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); }, 1);
+  Runtime rt(std::move(spec), fast_config());
+  rt.start();
+
+  for (int i = 0; i < 50; ++i) rt.inject(pkt(30, 1, AppEvent::kHttpData));
+  const uint16_t straggler = rt.instance(0, 0).runtime_id();
+  rt.instance(0, 0).set_artificial_delay(Micros(3), Micros(10));
+  const uint16_t clone = rt.clone_for_straggler(0, straggler);
+  for (int i = 0; i < 150; ++i) rt.inject(pkt(30, 1, AppEvent::kHttpData));
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(30)));
+
+  EXPECT_EQ(rt.sink().duplicate_clocks(), 0u) << "duplicate outputs suppressed";
+  auto probe = rt.probe_client(0);
+  EXPECT_EQ(
+      probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp}).i,
+      200)
+      << "every packet counted exactly once despite double processing";
+
+  rt.resolve_straggler(0, straggler, clone, /*keep_clone=*/true);
+  for (int i = 0; i < 20; ++i) rt.inject(pkt(30, 1, AppEvent::kHttpData));
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(30)));
+  EXPECT_EQ(
+      probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp}).i,
+      220);
+  rt.shutdown();
+}
+
+TEST(Coe, NatChainConsistentUnderParallelism) {
+  auto run = [&](int par) {
+    ChainSpec spec;
+    spec.add_vertex("nat", [] { return std::make_unique<Nat>(); }, par);
+    Runtime rt(std::move(spec), fast_config());
+    rt.start();
+    auto seed = rt.probe_client(0);
+    Nat::seed_ports(*seed, 50000, 128);
+    auto packets = workload(5, 2, 3);
+    for (const Packet& p : packets) rt.inject(p);
+    EXPECT_TRUE(rt.wait_quiescent(std::chrono::seconds(30)));
+    // Each delivered connection has a unique external port.
+    std::set<std::pair<uint64_t, uint16_t>> conn_port;
+    std::set<uint16_t> ports;
+    for (const Packet& p : rt.sink().snapshot()) {
+      FiveTuple orig = p.tuple;  // src_port rewritten; key by host+dst
+      conn_port.insert({scope_hash(orig, Scope::kSrcIp), p.tuple.src_port});
+    }
+    int64_t total = seed->get(Nat::kTotalPackets, FiveTuple{}).i;
+    rt.shutdown();
+    return std::pair<size_t, int64_t>{conn_port.size(), total};
+  };
+  auto packets = workload(5, 2, 3);
+  auto ref = run(1);
+  auto multi = run(2);
+  EXPECT_EQ(ref.second, static_cast<int64_t>(packets.size()));
+  EXPECT_EQ(multi.second, ref.second) << "shared packet counters identical";
+}
+
+TEST(Coe, LbNeverDoubleAssignsUnderParallelism) {
+  ChainSpec spec;
+  spec.add_vertex("lb", [] { return std::make_unique<LoadBalancer>(4); }, 3);
+  Runtime rt(std::move(spec), fast_config());
+  register_custom_ops(rt.store());
+  rt.start();
+  for (uint32_t h = 1; h <= 24; ++h) {
+    rt.inject(pkt(h, 1000, AppEvent::kTcpSyn));
+    rt.inject(pkt(h, 1000, AppEvent::kHttpData));
+  }
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(30)));
+  auto probe = rt.probe_client(0);
+  Value conns = probe->get(LoadBalancer::kServerConns, FiveTuple{});
+  ASSERT_EQ(conns.kind, Value::Kind::kList);
+  int64_t total = 0;
+  for (size_t i = 0; i < 4; ++i) total += conns.list[i];
+  EXPECT_EQ(total, 24) << "the store-serialized argmin assigned each conn once";
+  // Least-loaded assignment keeps the spread tight.
+  int64_t mn = conns.list[0], mx = conns.list[0];
+  for (size_t i = 0; i < 4; ++i) {
+    mn = std::min(mn, conns.list[i]);
+    mx = std::max(mx, conns.list[i]);
+  }
+  EXPECT_LE(mx - mn, 1);
+  rt.shutdown();
+}
+
+}  // namespace
+}  // namespace chc

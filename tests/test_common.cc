@@ -1,0 +1,165 @@
+// Unit tests: common substrate (histogram, rng, clocks, spin).
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/spin.h"
+#include "common/types.h"
+
+namespace chc {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.record(42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 42.0);
+}
+
+TEST(Histogram, PercentilesInterpolate) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(i);
+  EXPECT_NEAR(h.median(), 50.5, 0.01);
+  EXPECT_NEAR(h.percentile(95), 95.05, 0.1);
+  EXPECT_DOUBLE_EQ(h.min(), 1);
+  EXPECT_DOUBLE_EQ(h.max(), 100);
+}
+
+TEST(Histogram, MeanMatchesSum) {
+  Histogram h;
+  h.record(1);
+  h.record(2);
+  h.record(3);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(Histogram, RecordAfterPercentileStillSorts) {
+  Histogram h;
+  h.record(5);
+  EXPECT_DOUBLE_EQ(h.median(), 5);
+  h.record(1);
+  EXPECT_DOUBLE_EQ(h.min(), 1);
+}
+
+TEST(Histogram, CdfMonotone) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.record(i % 37);
+  auto cdf = h.cdf(20);
+  ASSERT_FALSE(cdf.empty());
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(Histogram, SummaryMentionsCount) {
+  Histogram h;
+  h.record(1.0);
+  EXPECT_NE(h.summary().find("n=1"), std::string::npos);
+}
+
+TEST(Rng, Deterministic) {
+  SplitMix64 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, BoundedInRange) {
+  SplitMix64 r(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.bounded(17), 17u);
+}
+
+TEST(Rng, RangeInclusive) {
+  SplitMix64 r(4);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t v = r.range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    lo |= v == 5;
+    hi |= v == 8;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  SplitMix64 r(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  SplitMix64 r(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ParetoAboveMinimum) {
+  SplitMix64 r(8);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(r.pareto(3.0, 1.5), 3.0);
+}
+
+TEST(Rng, ExponentialMean) {
+  SplitMix64 r(9);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += r.exponential(10.0);
+  EXPECT_NEAR(sum / 20000, 10.0, 0.5);
+}
+
+TEST(Clock, EncodeDecodeRoundTrip) {
+  const LogicalClock c = make_clock(3, 12345);
+  EXPECT_EQ(clock_root(c), 3);
+  EXPECT_EQ(clock_counter(c), 12345u);
+}
+
+TEST(Clock, RootIdInHighBits) {
+  EXPECT_GT(make_clock(1, 0), make_clock(0, kClockValueMask - 1));
+}
+
+TEST(Clock, CounterMasked) {
+  const LogicalClock c = make_clock(0, kClockValueMask + 5);
+  EXPECT_EQ(clock_counter(c), 4u);  // wraps within the value bits
+}
+
+TEST(UpdateTag, DistinctPerInstanceAndObject) {
+  EXPECT_NE(update_tag(1, 1), update_tag(1, 2));
+  EXPECT_NE(update_tag(1, 1), update_tag(2, 1));
+  EXPECT_EQ(update_tag(7, 9) ^ update_tag(7, 9), 0u);
+}
+
+TEST(Spin, WaitsAtLeastRequested) {
+  const TimePoint t0 = SteadyClock::now();
+  spin_for(Micros(200));
+  EXPECT_GE(SteadyClock::now() - t0, Micros(200));
+}
+
+TEST(Spin, PastDeadlineReturnsImmediately) {
+  const TimePoint t0 = SteadyClock::now();
+  spin_until(t0 - Micros(100));
+  EXPECT_LT(to_usec(SteadyClock::now() - t0), 100.0);
+}
+
+}  // namespace
+}  // namespace chc

@@ -1,0 +1,245 @@
+// Failure-injection tests: R1/R6 — NF failover with root replay, root
+// failover with persisted clocks, store-shard failover from checkpoint +
+// client evidence, and the Table 3 correlated-failure matrix.
+#include <gtest/gtest.h>
+
+#include "core/runtime.h"
+#include "nf/custom_ops.h"
+#include "nf/nat.h"
+#include "nf/portscan.h"
+#include "nf/simple_nfs.h"
+
+namespace chc {
+namespace {
+
+RuntimeConfig fast_config() {
+  RuntimeConfig cfg;
+  cfg.model = Model::kExternalCachedNoAck;
+  cfg.store.num_shards = 2;
+  cfg.root.clock_persist_every = 10;
+  cfg.root_one_way = Duration::zero();
+  return cfg;
+}
+
+Packet pkt(uint32_t src, uint16_t sport, AppEvent ev = AppEvent::kHttpData,
+           uint16_t size = 120) {
+  Packet p;
+  p.tuple = {src, 0x36000002, sport, 443, IpProto::kTcp};
+  p.event = ev;
+  p.size_bytes = size;
+  return p;
+}
+
+TEST(Failover, NfRecoversWithNoFailureState) {
+  // R6: fail an NF mid-stream; after replay-based recovery the state must
+  // equal the no-failure execution (Thm B.4.1/B.4.2).
+  ChainSpec spec;
+  spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); });
+  Runtime rt(std::move(spec), fast_config());
+  rt.start();
+
+  for (int i = 0; i < 60; ++i) rt.inject(pkt(1, 1));
+  const uint16_t rid = rt.instance(0, 0).runtime_id();
+  // Crash while packets may be in flight, then recover.
+  rt.fail_instance(0, rid);
+  for (int i = 0; i < 20; ++i) rt.inject(pkt(1, 1));  // arrive during the outage
+  rt.recover_instance(0, rid);
+  for (int i = 0; i < 20; ++i) rt.inject(pkt(1, 1));
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(30)));
+
+  auto probe = rt.probe_client(0);
+  EXPECT_EQ(
+      probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp}).i,
+      100)
+      << "every packet counted exactly once across the failure";
+  EXPECT_EQ(rt.sink().duplicate_clocks(), 0u);
+  rt.shutdown();
+}
+
+TEST(Failover, MidChainNfRecoveryDoesNotDisturbNeighbors) {
+  // R6 isolation: recovery of the middle NF must not corrupt state at the
+  // NFs upstream/downstream of it.
+  ChainSpec spec;
+  VertexId fw = spec.add_vertex("fw", [] { return std::make_unique<Firewall>(); });
+  VertexId ids = spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); });
+  VertexId scrub = spec.add_vertex("scrub", [] { return std::make_unique<Scrubber>(); });
+  spec.add_edge(fw, ids);
+  spec.add_edge(ids, scrub);
+  Runtime rt(std::move(spec), fast_config());
+  rt.start();
+
+  for (int i = 0; i < 40; ++i) rt.inject(pkt(2, 2));
+  const uint16_t rid = rt.instance(ids, 0).runtime_id();
+  rt.fail_instance(ids, rid);
+  for (int i = 0; i < 10; ++i) rt.inject(pkt(2, 2));
+  rt.recover_instance(ids, rid);
+  for (int i = 0; i < 10; ++i) rt.inject(pkt(2, 2));
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(30)));
+
+  auto fw_probe = rt.probe_client(fw);
+  auto ids_probe = rt.probe_client(ids);
+  // Upstream firewall: counted each packet once (replay is recognized as
+  // non-suspicious; its duplicate updates are emulated, §5.3).
+  EXPECT_EQ(fw_probe->get(Firewall::kAllowed, FiveTuple{}).i, 60);
+  EXPECT_EQ(
+      ids_probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp}).i,
+      60);
+  EXPECT_EQ(rt.sink().count(), 60u);
+  EXPECT_EQ(rt.sink().duplicate_clocks(), 0u);
+  rt.shutdown();
+}
+
+TEST(Failover, LastNfSyncDeleteNoDuplicateAtReceiver) {
+  // §5.4: with delete-before-output, failing the last NF can lose output
+  // (host retransmits) but never duplicates it.
+  ChainSpec spec;
+  spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); });
+  RuntimeConfig cfg = fast_config();
+  cfg.sync_delete = true;
+  Runtime rt(std::move(spec), cfg);
+  rt.start();
+
+  for (int i = 0; i < 30; ++i) rt.inject(pkt(3, 3));
+  const uint16_t rid = rt.instance(0, 0).runtime_id();
+  rt.fail_instance(0, rid);
+  rt.recover_instance(0, rid);
+  for (int i = 0; i < 30; ++i) rt.inject(pkt(3, 3));
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(30)));
+  EXPECT_EQ(rt.sink().duplicate_clocks(), 0u);
+  EXPECT_LE(rt.sink().count(), 60u);  // losses allowed, duplicates not
+  rt.shutdown();
+}
+
+TEST(Failover, RootRecoversClockMonotonicity) {
+  // §5.4: the new root resumes at persisted + n, so no clock is ever
+  // assigned twice (footnote 5).
+  ChainSpec spec;
+  spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); });
+  Runtime rt(std::move(spec), fast_config());
+  rt.start();
+  for (int i = 0; i < 55; ++i) rt.inject(pkt(4, 4));
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(30)));
+  const LogicalClock before = rt.root().last_clock();
+
+  const double usec = rt.fail_and_recover_root();
+  EXPECT_GT(usec, 0.0);
+  for (int i = 0; i < 20; ++i) rt.inject(pkt(4, 4));
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(30)));
+
+  auto pkts = rt.sink().snapshot();
+  std::set<LogicalClock> clocks;
+  for (const Packet& p : pkts) {
+    EXPECT_TRUE(clocks.insert(p.clock).second) << "clock reused after root failover";
+  }
+  EXPECT_GT(rt.root().last_clock(), before);
+  rt.shutdown();
+}
+
+TEST(Failover, StoreShardRecoversSharedCounters) {
+  ChainSpec spec;
+  spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); });
+  Runtime rt(std::move(spec), fast_config());
+  rt.start();
+
+  for (int i = 0; i < 40; ++i) rt.inject(pkt(5, 5));
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(30)));
+  rt.checkpoint_store();
+  for (int i = 0; i < 20; ++i) rt.inject(pkt(5, 5));  // post-checkpoint updates
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(30)));
+
+  for (int s = 0; s < rt.store().num_shards(); ++s) {
+    RecoveryStats st = rt.fail_and_recover_shard(s);
+    (void)st;
+  }
+  auto probe = rt.probe_client(0);
+  EXPECT_EQ(
+      probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp}).i,
+      60)
+      << "WAL re-execution rebuilt the post-checkpoint suffix";
+  rt.shutdown();
+}
+
+TEST(Failover, StoreShardRecoversPerFlowFromClients) {
+  ChainSpec spec;
+  spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); });
+  Runtime rt(std::move(spec), fast_config());
+  rt.start();
+  for (int i = 0; i < 25; ++i) rt.inject(pkt(6, 6, AppEvent::kHttpData, 100));
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(30)));
+  // No checkpoint at all: per-flow state comes from client caches (B.5.1).
+  for (int s = 0; s < rt.store().num_shards(); ++s) rt.fail_and_recover_shard(s);
+  auto probe = rt.probe_client(0);
+  EXPECT_EQ(probe->get(CountingIds::kFlowBytes, pkt(6, 6).tuple).i, 2500);
+  rt.shutdown();
+}
+
+TEST(Failover, PortscanStateSurvivesNfFailure) {
+  // An almost-blocked scanner must not get a clean slate from a crash.
+  ChainSpec spec;
+  spec.add_vertex("scan", [] { return std::make_unique<PortscanDetector>(); });
+  Runtime rt(std::move(spec), fast_config());
+  register_custom_ops(rt.store());
+  rt.start();
+
+  for (int i = 0; i < 3; ++i) {
+    rt.inject(pkt(7, static_cast<uint16_t>(100 + i), AppEvent::kTcpSyn));
+    rt.inject(pkt(7, static_cast<uint16_t>(100 + i), AppEvent::kTcpRst));
+  }
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(30)));
+  const uint16_t rid = rt.instance(0, 0).runtime_id();
+  rt.fail_instance(0, rid);
+  rt.recover_instance(0, rid);
+  for (int i = 0; i < 2; ++i) {
+    rt.inject(pkt(7, static_cast<uint16_t>(200 + i), AppEvent::kTcpSyn));
+    rt.inject(pkt(7, static_cast<uint16_t>(200 + i), AppEvent::kTcpRst));
+  }
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(30)));
+  auto probe = rt.probe_client(0);
+  // 3 failures pre-crash + 1 post-crash reach the threshold (the 5th RST is
+  // dropped because the host is already blocked) — only possible if the
+  // pre-crash score survived the failure.
+  EXPECT_GE(probe->get(PortscanDetector::kLikelihood, pkt(7, 1).tuple).i,
+            PortscanDetector::kBlockThreshold)
+      << "failure score accumulated across the NF crash";
+  EXPECT_EQ(probe->get(PortscanDetector::kBlocked, pkt(7, 1).tuple).i, 1);
+  rt.shutdown();
+}
+
+TEST(Failover, CorrelatedNfAndRootRecover) {
+  // Table 3: NF + root failing together is recoverable (store survives).
+  ChainSpec spec;
+  spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); });
+  Runtime rt(std::move(spec), fast_config());
+  rt.start();
+  for (int i = 0; i < 30; ++i) rt.inject(pkt(8, 8));
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(30)));
+
+  const uint16_t rid = rt.instance(0, 0).runtime_id();
+  rt.fail_instance(0, rid);
+  rt.fail_and_recover_root();
+  rt.recover_instance(0, rid);
+  for (int i = 0; i < 30; ++i) rt.inject(pkt(8, 8));
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(30)));
+  auto probe = rt.probe_client(0);
+  EXPECT_EQ(
+      probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp}).i,
+      60);
+  rt.shutdown();
+}
+
+TEST(Failover, RecoveryIsFastAtSmallScale) {
+  ChainSpec spec;
+  spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); });
+  Runtime rt(std::move(spec), fast_config());
+  rt.start();
+  for (int i = 0; i < 20; ++i) rt.inject(pkt(9, 9));
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(30)));
+  const double usec = rt.fail_and_recover_root();
+  // Zero-delay store: recovery is a single read + counter bump. The paper
+  // reports <41.2us with a real RTT; here we just bound it loosely.
+  EXPECT_LT(usec, 50000.0);
+  rt.shutdown();
+}
+
+}  // namespace
+}  // namespace chc

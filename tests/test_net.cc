@@ -1,0 +1,103 @@
+// Unit tests: packet / five-tuple / scope model.
+#include <gtest/gtest.h>
+
+#include "net/five_tuple.h"
+#include "net/packet.h"
+
+namespace chc {
+namespace {
+
+FiveTuple tuple(uint32_t s, uint32_t d, uint16_t sp, uint16_t dp) {
+  return {s, d, sp, dp, IpProto::kTcp};
+}
+
+TEST(FiveTuple, EqualityAndReverse) {
+  FiveTuple t = tuple(1, 2, 10, 20);
+  EXPECT_EQ(t, t);
+  FiveTuple r = t.reversed();
+  EXPECT_EQ(r.src_ip, 2u);
+  EXPECT_EQ(r.dst_port, 10);
+  EXPECT_EQ(r.reversed(), t);
+}
+
+TEST(ScopeHash, FiveTupleSensitiveToAllFields) {
+  FiveTuple t = tuple(1, 2, 10, 20);
+  EXPECT_NE(scope_hash(t, Scope::kFiveTuple),
+            scope_hash(tuple(9, 2, 10, 20), Scope::kFiveTuple));
+  EXPECT_NE(scope_hash(t, Scope::kFiveTuple),
+            scope_hash(tuple(1, 2, 11, 20), Scope::kFiveTuple));
+  EXPECT_NE(scope_hash(t, Scope::kFiveTuple),
+            scope_hash(tuple(1, 2, 10, 21), Scope::kFiveTuple));
+}
+
+TEST(ScopeHash, SrcIpIgnoresPorts) {
+  EXPECT_EQ(scope_hash(tuple(1, 2, 10, 20), Scope::kSrcIp),
+            scope_hash(tuple(1, 9, 99, 80), Scope::kSrcIp));
+  EXPECT_NE(scope_hash(tuple(1, 2, 10, 20), Scope::kSrcIp),
+            scope_hash(tuple(2, 2, 10, 20), Scope::kSrcIp));
+}
+
+TEST(ScopeHash, DstPortOnly) {
+  EXPECT_EQ(scope_hash(tuple(1, 2, 10, 443), Scope::kDstPort),
+            scope_hash(tuple(7, 8, 99, 443), Scope::kDstPort));
+  EXPECT_NE(scope_hash(tuple(1, 2, 10, 443), Scope::kDstPort),
+            scope_hash(tuple(1, 2, 10, 80), Scope::kDstPort));
+}
+
+TEST(ScopeHash, GlobalCollapsesEverything) {
+  EXPECT_EQ(scope_hash(tuple(1, 2, 3, 4), Scope::kGlobal),
+            scope_hash(tuple(5, 6, 7, 8), Scope::kGlobal));
+}
+
+TEST(ScopeHash, SrcDstPairIgnoresPorts) {
+  EXPECT_EQ(scope_hash(tuple(1, 2, 3, 4), Scope::kSrcDstPair),
+            scope_hash(tuple(1, 2, 9, 9), Scope::kSrcDstPair));
+}
+
+TEST(Scope, CoarserOrdering) {
+  EXPECT_TRUE(coarser_than(Scope::kSrcIp, Scope::kFiveTuple));
+  EXPECT_TRUE(coarser_than(Scope::kGlobal, Scope::kSrcIp));
+  EXPECT_FALSE(coarser_than(Scope::kFiveTuple, Scope::kSrcIp));
+}
+
+TEST(Scope, NamesAreDistinct) {
+  EXPECT_STRNE(scope_name(Scope::kFiveTuple), scope_name(Scope::kSrcIp));
+}
+
+TEST(Packet, DefaultsSane) {
+  Packet p;
+  EXPECT_EQ(p.clock, kNoClock);
+  EXPECT_EQ(p.update_vec, 0u);
+  EXPECT_FALSE(p.flags.replayed);
+  EXPECT_FALSE(p.flags.last_of_move);
+}
+
+TEST(Packet, HandshakeHelpers) {
+  Packet p;
+  p.event = AppEvent::kTcpSyn;
+  EXPECT_TRUE(p.is_connection_attempt());
+  EXPECT_FALSE(p.is_handshake_outcome());
+  p.event = AppEvent::kTcpSynAck;
+  EXPECT_TRUE(p.is_handshake_outcome());
+  p.event = AppEvent::kTcpRst;
+  EXPECT_TRUE(p.is_handshake_outcome());
+}
+
+TEST(Packet, StrContainsEvent) {
+  Packet p;
+  p.event = AppEvent::kSshOpen;
+  EXPECT_NE(p.str().find("ssh-open"), std::string::npos);
+}
+
+TEST(AppEvent, NamesDistinct) {
+  EXPECT_STRNE(app_event_name(AppEvent::kFtpFileExe),
+               app_event_name(AppEvent::kFtpFileZip));
+}
+
+TEST(FiveTuple, StrFormatsDotted) {
+  FiveTuple t = tuple(0x0a000001, 0x0a000002, 1234, 80);
+  EXPECT_NE(t.str().find("10.0.0.1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chc

@@ -1,0 +1,342 @@
+// Integration tests: the four paper NFs (Table 4) running under the CHC
+// runtime, validated through the store.
+#include <gtest/gtest.h>
+
+#include "core/runtime.h"
+#include "nf/custom_ops.h"
+#include "nf/load_balancer.h"
+#include "nf/nat.h"
+#include "nf/portscan.h"
+#include "nf/simple_nfs.h"
+#include "nf/trojan.h"
+
+namespace chc {
+namespace {
+
+RuntimeConfig fast_config(Model m = Model::kExternalCachedNoAck) {
+  RuntimeConfig cfg;
+  cfg.model = m;
+  cfg.store.num_shards = 2;
+  cfg.root.clock_persist_every = 0;
+  cfg.root_one_way = Duration::zero();
+  return cfg;
+}
+
+FiveTuple conn(uint32_t src, uint16_t sport, uint16_t dport = 443) {
+  return {src, 0x36000005, sport, dport, IpProto::kTcp};
+}
+
+Packet pkt(const FiveTuple& t, AppEvent ev, uint16_t size = 200) {
+  Packet p;
+  p.tuple = t;
+  p.event = ev;
+  p.size_bytes = size;
+  return p;
+}
+
+// Inject a full connection: SYN, SYN-ACK, n data packets, FIN.
+void inject_conn(Runtime& rt, const FiveTuple& t, int data_pkts,
+                 bool success = true) {
+  rt.inject(pkt(t, AppEvent::kTcpSyn));
+  rt.inject(pkt(t, success ? AppEvent::kTcpSynAck : AppEvent::kTcpRst));
+  for (int i = 0; i < data_pkts; ++i) rt.inject(pkt(t, AppEvent::kHttpData));
+  if (success) rt.inject(pkt(t, AppEvent::kTcpFin));
+}
+
+// --- NAT ---------------------------------------------------------------------
+
+class NatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ChainSpec spec;
+    spec.add_vertex("nat", [] { return std::make_unique<Nat>(); });
+    rt_ = std::make_unique<Runtime>(std::move(spec), fast_config());
+    rt_->start();
+    seed_ = rt_->probe_client(0);
+    Nat::seed_ports(*seed_, 50000, 64);
+  }
+  std::unique_ptr<Runtime> rt_;
+  std::unique_ptr<StoreClient> seed_;
+};
+
+TEST_F(NatTest, RewritesSourcePortFromPool) {
+  inject_conn(*rt_, conn(1, 1111), 3);
+  ASSERT_TRUE(rt_->wait_quiescent(std::chrono::seconds(5)));
+  auto out = rt_->sink().take();
+  ASSERT_EQ(out.size(), 6u);
+  for (const Packet& p : out) {
+    EXPECT_GE(p.tuple.src_port, 50000);
+    EXPECT_LT(p.tuple.src_port, 50064);
+  }
+}
+
+TEST_F(NatTest, MappingStableWithinConnection) {
+  inject_conn(*rt_, conn(2, 2222), 5);
+  ASSERT_TRUE(rt_->wait_quiescent(std::chrono::seconds(5)));
+  auto out = rt_->sink().take();
+  ASSERT_FALSE(out.empty());
+  const uint16_t mapped = out[0].tuple.src_port;
+  for (const Packet& p : out) EXPECT_EQ(p.tuple.src_port, mapped);
+}
+
+TEST_F(NatTest, DistinctConnectionsGetDistinctPorts) {
+  inject_conn(*rt_, conn(3, 3333), 1);
+  inject_conn(*rt_, conn(4, 4444), 1);
+  ASSERT_TRUE(rt_->wait_quiescent(std::chrono::seconds(5)));
+  auto out = rt_->sink().take();
+  uint16_t a = 0, b = 0;
+  for (const Packet& p : out) {
+    if (p.tuple.src_ip == 3) a = p.tuple.src_port;
+    if (p.tuple.src_ip == 4) b = p.tuple.src_port;
+  }
+  EXPECT_NE(a, 0);
+  EXPECT_NE(b, 0);
+  EXPECT_NE(a, b);
+}
+
+TEST_F(NatTest, CountersMatchTraffic) {
+  inject_conn(*rt_, conn(5, 5555), 8);  // 11 packets total
+  ASSERT_TRUE(rt_->wait_quiescent(std::chrono::seconds(5)));
+  EXPECT_EQ(seed_->get(Nat::kTotalPackets, FiveTuple{}).i, 11);
+  EXPECT_EQ(seed_->get(Nat::kTcpPackets, FiveTuple{}).i, 11);
+}
+
+TEST_F(NatTest, PortReturnedOnFin) {
+  inject_conn(*rt_, conn(6, 6666), 0);  // SYN, SYN-ACK, FIN
+  ASSERT_TRUE(rt_->wait_quiescent(std::chrono::seconds(5)));
+  Value ports = seed_->get(Nat::kPorts, FiveTuple{});
+  ASSERT_EQ(ports.kind, Value::Kind::kList);
+  EXPECT_EQ(ports.list.size(), 64u);  // pool back to full
+}
+
+// --- Portscan detector ---------------------------------------------------------
+
+class PortscanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ChainSpec spec;
+    spec.add_vertex("scan", [] { return std::make_unique<PortscanDetector>(); });
+    rt_ = std::make_unique<Runtime>(std::move(spec), fast_config());
+    register_custom_ops(rt_->store());
+    rt_->start();
+  }
+  std::unique_ptr<Runtime> rt_;
+};
+
+TEST_F(PortscanTest, ScannerBlockedAfterFailures) {
+  // Scanner: many failed connection attempts from one host.
+  for (int i = 0; i < 8; ++i) {
+    inject_conn(*rt_, conn(77, static_cast<uint16_t>(1000 + i),
+                           static_cast<uint16_t>(i + 1)),
+                0, /*success=*/false);
+  }
+  ASSERT_TRUE(rt_->wait_quiescent(std::chrono::seconds(5)));
+  auto probe = rt_->probe_client(0);
+  Value blocked = probe->get(PortscanDetector::kBlocked, conn(77, 1));
+  EXPECT_EQ(blocked.i, 1) << "scanner must be blocked";
+  Value score = probe->get(PortscanDetector::kLikelihood, conn(77, 1));
+  EXPECT_GE(score.i, PortscanDetector::kBlockThreshold);
+}
+
+TEST_F(PortscanTest, BenignHostNotBlocked) {
+  for (int i = 0; i < 10; ++i) {
+    inject_conn(*rt_, conn(88, static_cast<uint16_t>(2000 + i)), 2, true);
+  }
+  ASSERT_TRUE(rt_->wait_quiescent(std::chrono::seconds(5)));
+  auto probe = rt_->probe_client(0);
+  EXPECT_NE(probe->get(PortscanDetector::kBlocked, conn(88, 1)).i, 1);
+}
+
+TEST_F(PortscanTest, BlockedHostTrafficDropped) {
+  for (int i = 0; i < 8; ++i) {
+    inject_conn(*rt_, conn(99, static_cast<uint16_t>(3000 + i),
+                           static_cast<uint16_t>(i + 1)),
+                0, false);
+  }
+  ASSERT_TRUE(rt_->wait_quiescent(std::chrono::seconds(5)));
+  const size_t before = rt_->sink().count();
+  rt_->inject(pkt(conn(99, 4000), AppEvent::kTcpSyn));
+  ASSERT_TRUE(rt_->wait_quiescent(std::chrono::seconds(5)));
+  EXPECT_EQ(rt_->sink().count(), before);  // dropped, not delivered
+}
+
+TEST_F(PortscanTest, SuccessesOffsetFailures) {
+  // Mix: a few failures interleaved with many successes stays unblocked.
+  for (int i = 0; i < 4; ++i) {
+    inject_conn(*rt_, conn(111, static_cast<uint16_t>(5000 + i)), 0, false);
+    inject_conn(*rt_, conn(111, static_cast<uint16_t>(6000 + i)), 0, true);
+    inject_conn(*rt_, conn(111, static_cast<uint16_t>(7000 + i)), 0, true);
+  }
+  ASSERT_TRUE(rt_->wait_quiescent(std::chrono::seconds(5)));
+  auto probe = rt_->probe_client(0);
+  EXPECT_NE(probe->get(PortscanDetector::kBlocked, conn(111, 1)).i, 1);
+}
+
+// --- Trojan detector -----------------------------------------------------------
+
+class TrojanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ChainSpec spec;
+    spec.add_vertex("trojan", [] { return std::make_unique<TrojanDetector>(); });
+    rt_ = std::make_unique<Runtime>(std::move(spec), fast_config());
+    register_custom_ops(rt_->store());
+    rt_->start();
+  }
+
+  void inject_sequence(uint32_t host, const std::vector<AppEvent>& events) {
+    uint16_t sport = 9000;
+    for (AppEvent ev : events) {
+      rt_->inject(pkt(conn(host, sport++, ev == AppEvent::kSshOpen   ? 22
+                                          : ev == AppEvent::kIrcActivity ? 6667
+                                                                         : 21),
+                      ev));
+    }
+  }
+
+  int64_t detections() {
+    auto probe = rt_->probe_client(0);
+    return probe->get(TrojanDetector::kDetections, FiveTuple{}).i;
+  }
+
+  std::unique_ptr<Runtime> rt_;
+};
+
+TEST_F(TrojanTest, DetectsFullSequenceInOrder) {
+  inject_sequence(10, {AppEvent::kSshOpen, AppEvent::kFtpFileHtml,
+                       AppEvent::kFtpFileZip, AppEvent::kFtpFileExe,
+                       AppEvent::kIrcActivity});
+  ASSERT_TRUE(rt_->wait_quiescent(std::chrono::seconds(5)));
+  EXPECT_EQ(detections(), 1);
+}
+
+TEST_F(TrojanTest, OutOfOrderSequenceNotDetected) {
+  // IRC before the FTP downloads: not the Trojan pattern (paper §2.1).
+  inject_sequence(11, {AppEvent::kSshOpen, AppEvent::kIrcActivity,
+                       AppEvent::kFtpFileHtml, AppEvent::kFtpFileZip,
+                       AppEvent::kFtpFileExe});
+  ASSERT_TRUE(rt_->wait_quiescent(std::chrono::seconds(5)));
+  EXPECT_EQ(detections(), 0);
+}
+
+TEST_F(TrojanTest, MissingFtpFileNotDetected) {
+  inject_sequence(12, {AppEvent::kSshOpen, AppEvent::kFtpFileHtml,
+                       AppEvent::kFtpFileZip, AppEvent::kIrcActivity});
+  ASSERT_TRUE(rt_->wait_quiescent(std::chrono::seconds(5)));
+  EXPECT_EQ(detections(), 0);
+}
+
+TEST_F(TrojanTest, TwoHostsDetectedIndependently) {
+  const std::vector<AppEvent> sig = {AppEvent::kSshOpen, AppEvent::kFtpFileHtml,
+                                     AppEvent::kFtpFileZip, AppEvent::kFtpFileExe,
+                                     AppEvent::kIrcActivity};
+  inject_sequence(13, sig);
+  inject_sequence(14, sig);
+  ASSERT_TRUE(rt_->wait_quiescent(std::chrono::seconds(5)));
+  EXPECT_EQ(detections(), 2);
+}
+
+TEST_F(TrojanTest, SequenceResetsAfterDetection) {
+  const std::vector<AppEvent> sig = {AppEvent::kSshOpen, AppEvent::kFtpFileHtml,
+                                     AppEvent::kFtpFileZip, AppEvent::kFtpFileExe,
+                                     AppEvent::kIrcActivity};
+  inject_sequence(15, sig);
+  ASSERT_TRUE(rt_->wait_quiescent(std::chrono::seconds(5)));
+  EXPECT_EQ(detections(), 1);
+  // A lone IRC event after detection must not re-trigger.
+  inject_sequence(15, {AppEvent::kIrcActivity});
+  ASSERT_TRUE(rt_->wait_quiescent(std::chrono::seconds(5)));
+  EXPECT_EQ(detections(), 1);
+}
+
+// --- Load balancer --------------------------------------------------------------
+
+class LbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ChainSpec spec;
+    spec.add_vertex("lb", [] { return std::make_unique<LoadBalancer>(4); });
+    rt_ = std::make_unique<Runtime>(std::move(spec), fast_config());
+    register_custom_ops(rt_->store());
+    rt_->start();
+  }
+  std::unique_ptr<Runtime> rt_;
+};
+
+TEST_F(LbTest, ConnectionsSpreadAcrossServers) {
+  // Open 16 concurrent connections (no FINs): least-loaded assignment must
+  // use all four backends evenly.
+  for (int i = 0; i < 16; ++i) {
+    rt_->inject(pkt(conn(static_cast<uint32_t>(20 + i), 1000), AppEvent::kTcpSyn));
+  }
+  ASSERT_TRUE(rt_->wait_quiescent(std::chrono::seconds(5)));
+  auto out = rt_->sink().take();
+  std::set<uint32_t> backends;
+  for (const Packet& p : out) backends.insert(p.tuple.dst_ip);
+  EXPECT_EQ(backends.size(), 4u) << "all four backends used";
+}
+
+TEST_F(LbTest, ConnectionPinnedToOneBackend) {
+  inject_conn(*rt_, conn(50, 1234), 6);
+  ASSERT_TRUE(rt_->wait_quiescent(std::chrono::seconds(5)));
+  auto out = rt_->sink().take();
+  ASSERT_FALSE(out.empty());
+  std::set<uint32_t> backends;
+  for (const Packet& p : out) backends.insert(p.tuple.dst_ip);
+  EXPECT_EQ(backends.size(), 1u);
+}
+
+TEST_F(LbTest, ByteCountersAccumulate) {
+  inject_conn(*rt_, conn(51, 1235), 4);
+  ASSERT_TRUE(rt_->wait_quiescent(std::chrono::seconds(5)));
+  auto probe = rt_->probe_client(0);
+  Value bytes = probe->get(LoadBalancer::kServerBytes, FiveTuple{});
+  ASSERT_EQ(bytes.kind, Value::Kind::kList);
+  int64_t total = 0;
+  for (int64_t b : bytes.list) total += b;
+  EXPECT_EQ(total, 7 * 200);  // 7 packets x 200B
+}
+
+TEST_F(LbTest, FinReleasesConnectionCount) {
+  inject_conn(*rt_, conn(52, 1236), 2);
+  ASSERT_TRUE(rt_->wait_quiescent(std::chrono::seconds(5)));
+  auto probe = rt_->probe_client(0);
+  Value conns = probe->get(LoadBalancer::kServerConns, FiveTuple{});
+  ASSERT_EQ(conns.kind, Value::Kind::kList);
+  int64_t active = 0;
+  for (size_t i = 0; i < 4 && i < conns.list.size(); ++i) active += conns.list[i];
+  EXPECT_EQ(active, 0) << "FIN decremented the connection count";
+}
+
+// --- Scrubber / DPI --------------------------------------------------------------
+
+TEST(ScrubberTest, NormalizesJumboFrames) {
+  ChainSpec spec;
+  spec.add_vertex("scrub", [] { return std::make_unique<Scrubber>(); });
+  Runtime rt(std::move(spec), fast_config());
+  rt.start();
+  Packet p = pkt(conn(60, 1), AppEvent::kHttpData, 5000);
+  rt.inject(p);
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(5)));
+  auto out = rt.sink().take();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].size_bytes, 1500);
+  rt.shutdown();
+}
+
+TEST(DpiTest, TracksHostConnectionsAcrossFlows) {
+  ChainSpec spec;
+  spec.add_vertex("dpi", [] { return std::make_unique<DpiEngine>(); });
+  Runtime rt(std::move(spec), fast_config());
+  rt.start();
+  for (int i = 0; i < 5; ++i) {
+    rt.inject(pkt(conn(70, static_cast<uint16_t>(100 + i)), AppEvent::kTcpSyn));
+  }
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(5)));
+  auto probe = rt.probe_client(0);
+  EXPECT_EQ(probe->get(DpiEngine::kHostConns, conn(70, 1)).i, 5);
+  rt.shutdown();
+}
+
+}  // namespace
+}  // namespace chc

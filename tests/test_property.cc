@@ -1,0 +1,249 @@
+// Property-based suites (parameterized sweeps): store-vs-reference-model
+// equivalence under random op sequences, TS-selection recovery equivalence
+// under random interleavings, and handover loss-freeness at random move
+// points.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/runtime.h"
+#include "nf/simple_nfs.h"
+#include "store/datastore.h"
+
+namespace chc {
+namespace {
+
+// --- Property 1: the sharded store behaves like a sequential map ---------------
+
+class StoreModelProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StoreModelProperty, RandomOpsMatchReferenceModel) {
+  SplitMix64 rng(GetParam());
+  DataStoreConfig cfg;
+  cfg.num_shards = 3;
+  DataStore store(cfg);
+  store.start();
+  auto reply = std::make_shared<ReplyLink>();
+  uint64_t seq = 0;
+
+  auto call = [&](Request req) {
+    req.blocking = true;
+    req.reply_to = reply;
+    req.req_id = ++seq;
+    store.submit(std::move(req));
+    for (;;) {
+      auto r = reply->recv(std::chrono::milliseconds(200));
+      if (r && r->req_id == seq) return *r;
+    }
+  };
+
+  std::map<uint64_t, int64_t> model;  // scope_key -> value
+  for (int i = 0; i < 400; ++i) {
+    StoreKey k;
+    k.vertex = 1;
+    k.object = 1;
+    k.scope_key = rng.bounded(12);
+    k.shared = true;
+    const int choice = static_cast<int>(rng.bounded(3));
+    Request req;
+    req.key = k;
+    req.instance = static_cast<InstanceId>(1 + rng.bounded(4));
+    req.clock = 1000 + static_cast<LogicalClock>(i);
+    if (choice == 0) {
+      req.op = OpType::kIncr;
+      const int64_t d = static_cast<int64_t>(rng.bounded(20)) - 10;
+      req.arg = Value::of_int(d);
+      model[k.scope_key] += d;
+      call(std::move(req));
+    } else if (choice == 1) {
+      req.op = OpType::kSet;
+      const int64_t v = static_cast<int64_t>(rng.bounded(1000));
+      req.arg = Value::of_int(v);
+      model[k.scope_key] = v;
+      call(std::move(req));
+    } else {
+      req.op = OpType::kGet;
+      req.clock = kNoClock;
+      Response r = call(std::move(req));
+      const int64_t expect = model.contains(k.scope_key) ? model[k.scope_key] : 0;
+      const int64_t got = r.value.kind == Value::Kind::kInt ? r.value.i : 0;
+      ASSERT_EQ(got, expect) << "divergence at step " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreModelProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// --- Property 2: recovery reproduces the pre-crash value ----------------------
+
+class RecoveryProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RecoveryProperty, WalReplayReachesPreCrashValue) {
+  SplitMix64 rng(GetParam());
+  DataStoreConfig cfg;
+  cfg.num_shards = 1;
+  DataStore store(cfg);
+  store.start();
+  auto reply = std::make_shared<ReplyLink>();
+  uint64_t seq = 0;
+  auto call = [&](Request req) {
+    req.blocking = true;
+    req.reply_to = reply;
+    req.req_id = ++seq;
+    store.submit(std::move(req));
+    for (;;) {
+      auto r = reply->recv(std::chrono::milliseconds(200));
+      if (r && r->req_id == seq) return *r;
+    }
+  };
+
+  StoreKey k;
+  k.vertex = 1;
+  k.object = 1;
+  k.shared = true;
+
+  const int n_instances = 3;
+  std::vector<ClientEvidence> evidence(n_instances);
+  for (int i = 0; i < n_instances; ++i) {
+    evidence[static_cast<size_t>(i)].instance = static_cast<InstanceId>(i + 1);
+  }
+
+  std::shared_ptr<ShardSnapshot> checkpoint;
+  LogicalClock clock = 100;
+  const int n_ops = 60;
+  const int checkpoint_at = static_cast<int>(rng.bounded(n_ops / 2));
+  for (int i = 0; i < n_ops; ++i) {
+    if (i == checkpoint_at) checkpoint = store.checkpoint_shard(0);
+    const int inst = static_cast<int>(rng.bounded(n_instances));
+    Request req;
+    req.key = k;
+    req.instance = static_cast<InstanceId>(inst + 1);
+    req.clock = ++clock;
+    if (rng.chance(0.25)) {
+      req.op = OpType::kGet;
+      Response r = call(std::move(req));
+      evidence[static_cast<size_t>(inst)].reads.push_back(
+          {clock, k, r.value, r.ts});
+    } else {
+      req.op = OpType::kIncr;
+      const int64_t d = static_cast<int64_t>(rng.bounded(9)) + 1;
+      req.arg = Value::of_int(d);
+      evidence[static_cast<size_t>(inst)].wal.push_back(
+          {clock, OpType::kIncr, k, Value::of_int(d), {}, 0});
+      call(std::move(req));
+    }
+  }
+  const int64_t pre_crash = call([&] {
+    Request req;
+    req.op = OpType::kGet;
+    req.key = k;
+    return req;
+  }()).value.i;
+
+  store.crash_shard(0);
+  ShardSnapshot empty;
+  store.recover_shard(0, checkpoint ? *checkpoint : empty, evidence);
+
+  Request req;
+  req.op = OpType::kGet;
+  req.key = k;
+  EXPECT_EQ(call(std::move(req)).value.i, pre_crash)
+      << "recovered value equals the no-failure value (Thm B.5.2/B.5.3)";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99, 111));
+
+// --- Property 3: handover loss-freeness at arbitrary move points ----------------
+
+class HandoverProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(HandoverProperty, CounterExactAcrossMovePoint) {
+  const size_t move_at = GetParam();
+  RuntimeConfig cfg;
+  cfg.model = Model::kExternalCachedNoAck;
+  cfg.store.num_shards = 2;
+  cfg.root.clock_persist_every = 0;
+  cfg.root_one_way = Duration::zero();
+
+  ChainSpec spec;
+  spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); }, 1);
+  spec.set_partition_scope(0, Scope::kSrcIp);
+  Runtime rt(std::move(spec), cfg);
+  rt.start();
+
+  auto mk = [](int i) {
+    Packet p;
+    p.tuple = {7, 0x36000001, static_cast<uint16_t>(1000 + i % 3), 443, IpProto::kTcp};
+    p.event = AppEvent::kHttpData;
+    p.size_bytes = 100;
+    return p;
+  };
+
+  constexpr size_t kTotal = 120;
+  for (size_t i = 0; i < move_at; ++i) rt.inject(mk(static_cast<int>(i)));
+  const uint16_t old_rid = rt.instance(0, 0).runtime_id();
+  const uint16_t new_rid = rt.add_instance(0);
+  rt.move_flows(0, {scope_hash(mk(0).tuple, Scope::kSrcIp)}, old_rid, new_rid);
+  for (size_t i = move_at; i < kTotal; ++i) rt.inject(mk(static_cast<int>(i)));
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(30)));
+
+  auto probe = rt.probe_client(0);
+  EXPECT_EQ(
+      probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp}).i,
+      static_cast<int64_t>(kTotal));
+  EXPECT_EQ(rt.sink().count(), kTotal);
+  EXPECT_EQ(rt.sink().duplicate_clocks(), 0u);
+  rt.shutdown();
+}
+
+INSTANTIATE_TEST_SUITE_P(MovePoints, HandoverProperty,
+                         ::testing::Values(0, 1, 7, 30, 60, 90, 119));
+
+// --- Property 4: duplicate suppression under cloning at random points ----------
+
+class CloneProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CloneProperty, ExactlyOnceEffectsUnderCloning) {
+  RuntimeConfig cfg;
+  cfg.model = Model::kExternalCachedNoAck;
+  cfg.store.num_shards = 2;
+  cfg.root.clock_persist_every = 0;
+  cfg.root_one_way = Duration::zero();
+
+  ChainSpec spec;
+  spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); }, 1);
+  Runtime rt(std::move(spec), cfg);
+  rt.start();
+
+  auto mk = [] {
+    Packet p;
+    p.tuple = {3, 0x36000001, 500, 443, IpProto::kTcp};
+    p.event = AppEvent::kHttpData;
+    p.size_bytes = 100;
+    return p;
+  };
+
+  const size_t clone_at = GetParam();
+  constexpr size_t kTotal = 100;
+  for (size_t i = 0; i < clone_at; ++i) rt.inject(mk());
+  const uint16_t straggler = rt.instance(0, 0).runtime_id();
+  rt.instance(0, 0).set_artificial_delay(Micros(2), Micros(8));
+  rt.clone_for_straggler(0, straggler);
+  for (size_t i = clone_at; i < kTotal; ++i) rt.inject(mk());
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(30)));
+
+  auto probe = rt.probe_client(0);
+  EXPECT_EQ(
+      probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp}).i,
+      static_cast<int64_t>(kTotal));
+  EXPECT_EQ(rt.sink().duplicate_clocks(), 0u);
+  rt.shutdown();
+}
+
+INSTANTIATE_TEST_SUITE_P(ClonePoints, CloneProperty,
+                         ::testing::Values(0, 5, 25, 50, 99));
+
+}  // namespace
+}  // namespace chc

@@ -1,0 +1,213 @@
+// Unit tests: store-instance recovery — the Fig. 7 TS-selection algorithm
+// and full shard rebuild from checkpoint + client evidence (§5.4, B.5).
+#include <gtest/gtest.h>
+
+#include "store/datastore.h"
+#include "store/recovery.h"
+
+namespace chc {
+namespace {
+
+StoreKey skey(ObjectId obj, bool shared = true, uint64_t scope = 0) {
+  StoreKey k;
+  k.vertex = 1;
+  k.object = obj;
+  k.scope_key = scope;
+  k.shared = shared;
+  return k;
+}
+
+TEST(TsSelection, NoReadsStartsFromCheckpoint) {
+  std::unordered_map<InstanceId, std::vector<LogicalClock>> logs;
+  logs[1] = {10, 20};
+  TsSnapshot cp{{1, 5}};
+  TsSelection sel = select_recovery_ts(logs, {}, cp);
+  EXPECT_FALSE(sel.base_read.has_value());
+  EXPECT_EQ(sel.replay_after.at(1), 5u);
+}
+
+TEST(TsSelection, PaperFigure7Scenario) {
+  // Instances and their update clocks for the object (Fig. 7):
+  //   I1: U9 U20 U15 U35      I2: U11 U22 U25 U30
+  //   I3: U8 U17 U23          I4: U13 U31 U32
+  // Reads: R19 by I4 with TS{20,11,8,13}, R27 by I2 with TS{15,25,17,13},
+  //        R18 by I3 with TS{15,30,17,31}.  Expected selection: TS18.
+  std::unordered_map<InstanceId, std::vector<LogicalClock>> logs;
+  logs[1] = {9, 20, 15, 35};
+  logs[2] = {11, 22, 25, 30};
+  logs[3] = {8, 17, 23};
+  logs[4] = {13, 31, 32};
+
+  ReadLogEntry r19{19, skey(1), Value::of_int(100), {{1, 20}, {2, 11}, {3, 8}, {4, 13}}};
+  ReadLogEntry r27{27, skey(1), Value::of_int(200), {{1, 15}, {2, 25}, {3, 17}, {4, 13}}};
+  ReadLogEntry r18{18, skey(1), Value::of_int(300), {{1, 15}, {2, 30}, {3, 17}, {4, 31}}};
+
+  TsSelection sel = select_recovery_ts(logs, {r19, r27, r18}, {});
+  ASSERT_TRUE(sel.base_read.has_value());
+  EXPECT_EQ(sel.base_read->clock, 18u) << "Fig. 7 selects TS18";
+  EXPECT_EQ(sel.base_read->value.i, 300);
+  // Replay resumes after U15 (I1), U30 (I2), U17 (I3), U31 (I4):
+  EXPECT_EQ(sel.replay_after.at(1), 15u);
+  EXPECT_EQ(sel.replay_after.at(2), 30u);
+  EXPECT_EQ(sel.replay_after.at(3), 17u);
+  EXPECT_EQ(sel.replay_after.at(4), 31u);
+}
+
+TEST(TsSelection, SingleReadSelected) {
+  std::unordered_map<InstanceId, std::vector<LogicalClock>> logs;
+  logs[1] = {10, 20, 30};
+  ReadLogEntry r{25, skey(1), Value::of_int(7), {{1, 20}}};
+  TsSelection sel = select_recovery_ts(logs, {r}, {});
+  ASSERT_TRUE(sel.base_read.has_value());
+  EXPECT_EQ(sel.base_read->clock, 25u);
+  EXPECT_EQ(sel.replay_after.at(1), 20u);
+}
+
+TEST(TsSelection, LatestReadWinsWhenNested) {
+  // Two reads by the same instance; the later one supersedes.
+  std::unordered_map<InstanceId, std::vector<LogicalClock>> logs;
+  logs[1] = {10, 20, 30};
+  ReadLogEntry early{15, skey(1), Value::of_int(1), {{1, 10}}};
+  ReadLogEntry late{35, skey(1), Value::of_int(3), {{1, 30}}};
+  TsSelection sel = select_recovery_ts(logs, {early, late}, {});
+  ASSERT_TRUE(sel.base_read.has_value());
+  EXPECT_EQ(sel.base_read->clock, 35u);
+}
+
+class ShardRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DataStoreConfig cfg;
+    cfg.num_shards = 1;  // everything on one shard: crash loses it all
+    store_ = std::make_unique<DataStore>(cfg);
+    store_->start();
+    reply_ = std::make_shared<ReplyLink>();
+  }
+
+  Response op(OpType t, const StoreKey& k, Value arg = {}, LogicalClock clock = kNoClock,
+              InstanceId inst = 1) {
+    Request req;
+    req.op = t;
+    req.key = k;
+    req.arg = std::move(arg);
+    req.clock = clock;
+    req.instance = inst;
+    req.blocking = true;
+    req.reply_to = reply_;
+    req.req_id = ++seq_;
+    store_->submit(std::move(req));
+    for (;;) {
+      auto r = reply_->recv(std::chrono::milliseconds(200));
+      if (r && r->req_id == seq_) return *r;
+    }
+  }
+
+  std::unique_ptr<DataStore> store_;
+  ReplyLinkPtr reply_;
+  uint64_t seq_ = 0;
+};
+
+TEST_F(ShardRecoveryTest, PerFlowRestoredFromClientCaches) {
+  op(OpType::kIncr, skey(1, false, 11), Value::of_int(5), 1, 3);
+  auto cp = store_->checkpoint_shard(0);
+  store_->crash_shard(0);
+
+  ClientEvidence ev;
+  ev.instance = 3;
+  ev.per_flow.emplace_back(skey(1, false, 11), Value::of_int(9));  // cached newer
+  RecoveryStats st = store_->recover_shard(0, *cp, {ev});
+  EXPECT_EQ(st.per_flow_restored, 1u);
+  EXPECT_EQ(op(OpType::kGet, skey(1, false, 11)).value.i, 9);
+  // Ownership restored to the caching client.
+  EXPECT_EQ(op(OpType::kIncr, skey(1, false, 11), Value::of_int(1), kNoClock, 4).status,
+            Status::kNotOwner);
+}
+
+TEST_F(ShardRecoveryTest, SharedRebuiltFromWalNoReads) {
+  op(OpType::kIncr, skey(2), Value::of_int(1), 10, 1);
+  auto cp = store_->checkpoint_shard(0);  // checkpoint holds value 1, TS{1:10}
+  op(OpType::kIncr, skey(2), Value::of_int(2), 20, 1);  // post-checkpoint
+  store_->crash_shard(0);
+
+  ClientEvidence ev;
+  ev.instance = 1;
+  ev.wal.push_back({10, OpType::kIncr, skey(2), Value::of_int(1), {}, 0});
+  ev.wal.push_back({20, OpType::kIncr, skey(2), Value::of_int(2), {}, 0});
+  RecoveryStats st = store_->recover_shard(0, *cp, {ev});
+  EXPECT_EQ(st.shared_objects_restored, 1u);
+  EXPECT_EQ(st.ops_replayed, 1u);  // only U20 (after checkpoint TS)
+  EXPECT_EQ(op(OpType::kGet, skey(2)).value.i, 3);
+}
+
+TEST_F(ShardRecoveryTest, SharedRebuiltFromReadBase) {
+  op(OpType::kIncr, skey(3), Value::of_int(1), 10, 1);
+  auto cp = store_->checkpoint_shard(0);
+  op(OpType::kIncr, skey(3), Value::of_int(2), 20, 1);
+  Response read = op(OpType::kGet, skey(3), {}, 25, 2);
+  EXPECT_EQ(read.value.i, 3);
+  op(OpType::kIncr, skey(3), Value::of_int(4), 30, 1);
+  store_->crash_shard(0);
+
+  ClientEvidence i1;
+  i1.instance = 1;
+  i1.wal.push_back({10, OpType::kIncr, skey(3), Value::of_int(1), {}, 0});
+  i1.wal.push_back({20, OpType::kIncr, skey(3), Value::of_int(2), {}, 0});
+  i1.wal.push_back({30, OpType::kIncr, skey(3), Value::of_int(4), {}, 0});
+  ClientEvidence i2;
+  i2.instance = 2;
+  i2.reads.push_back({25, skey(3), read.value, read.ts});
+
+  RecoveryStats st = store_->recover_shard(0, *cp, {i1, i2});
+  EXPECT_EQ(st.reads_considered, 1u);
+  // Recovered = read base (3) + replay of U30 (+4) = 7 — exactly the
+  // pre-crash value, and consistent with what I2 observed.
+  EXPECT_EQ(op(OpType::kGet, skey(3)).value.i, 7);
+}
+
+TEST_F(ShardRecoveryTest, RecoveredStateKeepsDuplicateSuppression) {
+  op(OpType::kIncr, skey(4), Value::of_int(1), 50, 1);
+  auto cp = store_->checkpoint_shard(0);
+  store_->crash_shard(0);
+  ClientEvidence ev;
+  ev.instance = 1;
+  ev.wal.push_back({50, OpType::kIncr, skey(4), Value::of_int(1), {}, 0});
+  store_->recover_shard(0, *cp, {ev});
+  // The in-flight packet 50 replays: its update must be emulated, not
+  // re-applied, after recovery too.
+  Response dup = op(OpType::kIncr, skey(4), Value::of_int(1), 50, 1);
+  EXPECT_EQ(dup.status, Status::kEmulated);
+  EXPECT_EQ(op(OpType::kGet, skey(4)).value.i, 1);
+}
+
+TEST_F(ShardRecoveryTest, MultiObjectRecovery) {
+  for (ObjectId o = 10; o < 15; ++o) {
+    op(OpType::kIncr, skey(o), Value::of_int(o), static_cast<LogicalClock>(o), 1);
+  }
+  auto cp = store_->checkpoint_shard(0);
+  store_->crash_shard(0);
+  ClientEvidence ev;
+  ev.instance = 1;
+  for (ObjectId o = 10; o < 15; ++o) {
+    ev.wal.push_back({static_cast<LogicalClock>(o), OpType::kIncr, skey(o),
+                      Value::of_int(o), {}, 0});
+  }
+  RecoveryStats st = store_->recover_shard(0, *cp, {ev});
+  EXPECT_EQ(st.shared_objects_restored, 5u);
+  for (ObjectId o = 10; o < 15; ++o) {
+    EXPECT_EQ(op(OpType::kGet, skey(o)).value.i, o);
+  }
+}
+
+TEST_F(ShardRecoveryTest, EmptyCheckpointPureWalRebuild) {
+  op(OpType::kIncr, skey(5), Value::of_int(3), 60, 2);
+  store_->crash_shard(0);
+  ClientEvidence ev;
+  ev.instance = 2;
+  ev.wal.push_back({60, OpType::kIncr, skey(5), Value::of_int(3), {}, 0});
+  ShardSnapshot empty;
+  store_->recover_shard(0, empty, {ev});
+  EXPECT_EQ(op(OpType::kGet, skey(5)).value.i, 3);
+}
+
+}  // namespace
+}  // namespace chc

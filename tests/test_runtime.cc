@@ -1,0 +1,279 @@
+// Integration tests: the CHC runtime — chain deployment, clock stamping,
+// packet logging + XOR-ledger deletes, partitioning, mirror branches,
+// model selection, root backpressure.
+#include <gtest/gtest.h>
+
+#include "core/runtime.h"
+#include "nf/custom_ops.h"
+#include "nf/nat.h"
+#include "nf/simple_nfs.h"
+#include "nf/trojan.h"
+
+namespace chc {
+namespace {
+
+RuntimeConfig fast_config(Model m = Model::kExternalCachedNoAck) {
+  RuntimeConfig cfg;
+  cfg.model = m;
+  cfg.store.num_shards = 2;
+  cfg.root.clock_persist_every = 0;  // no clock persistence unless asked
+  cfg.root_one_way = Duration::zero();
+  return cfg;
+}
+
+Packet make_packet(uint32_t src, uint16_t sport, AppEvent ev = AppEvent::kHttpData,
+                   uint16_t size = 100) {
+  Packet p;
+  p.tuple = {src, 0x36000001, sport, 443, IpProto::kTcp};
+  p.event = ev;
+  p.size_bytes = size;
+  return p;
+}
+
+TEST(Runtime, SingleNfDeliversEverything) {
+  ChainSpec spec;
+  spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); });
+  Runtime rt(std::move(spec), fast_config());
+  rt.start();
+  for (int i = 0; i < 200; ++i) rt.inject(make_packet(1, static_cast<uint16_t>(i)));
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(5)));
+  EXPECT_EQ(rt.sink().count(), 200u);
+  EXPECT_EQ(rt.sink().duplicate_clocks(), 0u);
+  rt.shutdown();
+}
+
+TEST(Runtime, ClocksUniqueAndOrdered) {
+  ChainSpec spec;
+  spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); });
+  Runtime rt(std::move(spec), fast_config());
+  rt.start();
+  for (int i = 0; i < 100; ++i) rt.inject(make_packet(1, 1));
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(5)));
+  auto pkts = rt.sink().take();
+  ASSERT_EQ(pkts.size(), 100u);
+  // Same flow, one instance: delivery preserves clock order.
+  for (size_t i = 1; i < pkts.size(); ++i) EXPECT_GT(pkts[i].clock, pkts[i - 1].clock);
+  rt.shutdown();
+}
+
+TEST(Runtime, RootLogDrainsViaXorLedger) {
+  ChainSpec spec;
+  spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); });
+  Runtime rt(std::move(spec), fast_config());
+  rt.start();
+  for (int i = 0; i < 50; ++i) rt.inject(make_packet(2, static_cast<uint16_t>(i)));
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(5)));
+  EXPECT_EQ(rt.root().logged(), 0u);
+  EXPECT_EQ(rt.root().deletes_done(), 50u);
+  rt.shutdown();
+}
+
+TEST(Runtime, TwoNfChainEndToEnd) {
+  ChainSpec spec;
+  VertexId fw = spec.add_vertex("fw", [] { return std::make_unique<Firewall>(); });
+  VertexId ids = spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); });
+  spec.add_edge(fw, ids);
+  Runtime rt(std::move(spec), fast_config());
+  rt.start();
+  for (int i = 0; i < 100; ++i) rt.inject(make_packet(3, static_cast<uint16_t>(i)));
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(5)));
+  EXPECT_EQ(rt.sink().count(), 100u);
+  auto probe = rt.probe_client(ids);
+  EXPECT_EQ(
+      probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp}).i,
+      100);
+  rt.shutdown();
+}
+
+TEST(Runtime, FirewallDropsStillDrainLog) {
+  ChainSpec spec;
+  spec.add_vertex("fw",
+                  [] { return std::make_unique<Firewall>(std::vector<uint16_t>{443}); });
+  Runtime rt(std::move(spec), fast_config());
+  rt.start();
+  for (int i = 0; i < 30; ++i) rt.inject(make_packet(4, static_cast<uint16_t>(i)));
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(5)));
+  EXPECT_EQ(rt.sink().count(), 0u);   // everything dropped (dst 443 blocked)
+  EXPECT_EQ(rt.root().logged(), 0u);  // but the ledger still zeroed out
+  rt.shutdown();
+}
+
+TEST(Runtime, MultiInstancePartitionKeepsFlowAffinity) {
+  ChainSpec spec;
+  spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); }, 3);
+  spec.set_partition_scope(0, Scope::kFiveTuple);
+  Runtime rt(std::move(spec), fast_config());
+  rt.start();
+  for (int i = 0; i < 300; ++i) {
+    rt.inject(make_packet(static_cast<uint32_t>(i % 7), static_cast<uint16_t>(i % 13)));
+  }
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(5)));
+  auto load = rt.splitter(0).load();
+  ASSERT_EQ(load.size(), 3u);
+  uint64_t total = 0;
+  for (auto& [rid, n] : load) total += n;
+  EXPECT_EQ(total, 300u);
+  rt.shutdown();
+}
+
+TEST(Runtime, ScopeAwarePartitioningPicksCoarsestScope) {
+  ChainSpec spec;
+  spec.add_vertex("dpi", [] { return std::make_unique<DpiEngine>(); }, 2);
+  Runtime rt(std::move(spec), fast_config());
+  // DPI has 5-tuple and src-ip scopes; coarsest is src-ip (paper §4.1).
+  EXPECT_EQ(rt.splitter(0).partition_scope(), Scope::kSrcIp);
+}
+
+TEST(Runtime, SameSrcGoesToOneInstanceUnderSrcScope) {
+  ChainSpec spec;
+  spec.add_vertex("dpi", [] { return std::make_unique<DpiEngine>(); }, 4);
+  Runtime rt(std::move(spec), fast_config());
+  rt.start();
+  for (int i = 0; i < 100; ++i) {
+    rt.inject(make_packet(42, static_cast<uint16_t>(i), AppEvent::kTcpSyn));
+  }
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(5)));
+  auto load = rt.splitter(0).load();
+  int instances_used = 0;
+  for (auto& [rid, n] : load) instances_used += n > 0 ? 1 : 0;
+  EXPECT_EQ(instances_used, 1) << "one host -> one instance under src-ip scope";
+  rt.shutdown();
+}
+
+TEST(Runtime, MirrorBranchDeliversCopies) {
+  ChainSpec spec;
+  VertexId ids = spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); });
+  VertexId trojan =
+      spec.add_vertex("trojan", [] { return std::make_unique<TrojanDetector>(); });
+  spec.add_mirror(ids, trojan,
+                  [](const Packet& p) { return p.event == AppEvent::kIrcActivity; });
+  Runtime rt(std::move(spec), fast_config());
+  register_custom_ops(rt.store());
+  rt.start();
+  for (int i = 0; i < 40; ++i) {
+    rt.inject(make_packet(5, static_cast<uint16_t>(i),
+                          i % 4 == 0 ? AppEvent::kIrcActivity : AppEvent::kHttpData));
+  }
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(5)));
+  EXPECT_EQ(rt.sink().count(), 40u);  // main path sees everything
+  // The off-path detector consumed the 10 IRC copies and recorded state.
+  auto probe = rt.probe_client(trojan);
+  Value seq = probe->get(TrojanDetector::kSequence, make_packet(5, 0).tuple);
+  EXPECT_EQ(seq.kind, Value::Kind::kList);
+  rt.shutdown();
+}
+
+TEST(Runtime, RootShedsLoadAtThreshold) {
+  ChainSpec spec;
+  spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); });
+  RuntimeConfig cfg = fast_config();
+  cfg.root.log_threshold = 16;  // tiny in-flight budget
+  Runtime rt(std::move(spec), cfg);
+  rt.start();
+  rt.instance(0, 0).set_artificial_delay(Micros(500), Micros(500));  // slow NF
+  size_t accepted = 0;
+  for (int i = 0; i < 200; ++i) {
+    accepted += rt.inject(make_packet(6, static_cast<uint16_t>(i))) ? 1 : 0;
+  }
+  EXPECT_LT(accepted, 200u);
+  EXPECT_GT(rt.root().drops(), 0u);
+  rt.wait_quiescent(std::chrono::seconds(5));
+  rt.shutdown();
+}
+
+TEST(Runtime, SyncDeleteStillDelivers) {
+  ChainSpec spec;
+  spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); });
+  RuntimeConfig cfg = fast_config();
+  cfg.sync_delete = true;
+  Runtime rt(std::move(spec), cfg);
+  rt.start();
+  for (int i = 0; i < 50; ++i) rt.inject(make_packet(7, static_cast<uint16_t>(i)));
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(5)));
+  EXPECT_EQ(rt.sink().count(), 50u);
+  EXPECT_EQ(rt.sink().duplicate_clocks(), 0u);
+  rt.shutdown();
+}
+
+TEST(Runtime, TraditionalModelRunsWithoutStore) {
+  ChainSpec spec;
+  spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); });
+  Runtime rt(std::move(spec), fast_config(Model::kTraditional));
+  rt.start();
+  const uint64_t store_ops_before = rt.store().total_ops();
+  for (int i = 0; i < 100; ++i) rt.inject(make_packet(8, static_cast<uint16_t>(i)));
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(5)));
+  EXPECT_EQ(rt.sink().count(), 100u);
+  EXPECT_EQ(rt.store().total_ops(), store_ops_before);  // data path store-free
+  rt.shutdown();
+}
+
+TEST(Runtime, ExternalModelPaysRoundTrips) {
+  ChainSpec spec;
+  spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); });
+  Runtime rt(std::move(spec), fast_config(Model::kExternal));
+  rt.start();
+  for (int i = 0; i < 50; ++i) rt.inject(make_packet(9, static_cast<uint16_t>(i)));
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(5)));
+  EXPECT_EQ(rt.sink().count(), 50u);
+  EXPECT_GT(rt.instance(0, 0).client().stats().blocking_rtts, 0u);
+  rt.shutdown();
+}
+
+TEST(Runtime, RunTraceWithGap) {
+  ChainSpec spec;
+  spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); });
+  Runtime rt(std::move(spec), fast_config());
+  rt.start();
+  TraceConfig tc;
+  tc.num_packets = 100;
+  tc.num_connections = 10;
+  Trace t = generate_trace(tc);
+  rt.run_trace(t, Micros(1));
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(5)));
+  EXPECT_EQ(rt.sink().count(), t.size());
+  rt.shutdown();
+}
+
+TEST(Runtime, NoDuplicatesInSteadyState) {
+  ChainSpec spec;
+  spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); }, 2);
+  Runtime rt(std::move(spec), fast_config());
+  rt.start();
+  for (int i = 0; i < 200; ++i) {
+    rt.inject(make_packet(static_cast<uint32_t>(i % 5), 1));
+  }
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(5)));
+  EXPECT_EQ(rt.suppressed_duplicates(), 0u);
+  EXPECT_EQ(rt.sink().duplicate_clocks(), 0u);
+  rt.shutdown();
+}
+
+TEST(Runtime, ProcTimeHistogramPopulated) {
+  ChainSpec spec;
+  spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); });
+  Runtime rt(std::move(spec), fast_config());
+  rt.start();
+  for (int i = 0; i < 50; ++i) rt.inject(make_packet(10, 1));
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(5)));
+  Histogram h = rt.instance(0, 0).proc_time();
+  EXPECT_EQ(h.count(), 50u);
+  EXPECT_GT(h.median(), 0.0);
+  rt.shutdown();
+}
+
+TEST(Runtime, ClockPersistenceDoesNotBreakDataPath) {
+  ChainSpec spec;
+  spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); });
+  RuntimeConfig cfg = fast_config();
+  cfg.root.clock_persist_every = 10;
+  Runtime rt(std::move(spec), cfg);
+  rt.start();
+  for (int i = 0; i < 50; ++i) rt.inject(make_packet(11, 1));
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(5)));
+  EXPECT_EQ(rt.sink().count(), 50u);
+  rt.shutdown();
+}
+
+}  // namespace
+}  // namespace chc

@@ -1,0 +1,143 @@
+// Unit tests: splitter routing invariants — partition stability, move
+// marks, shadow targets, replay redirection, and the scope-exclusivity
+// rule that drives automatic caching.
+#include <gtest/gtest.h>
+
+#include "core/splitter.h"
+
+namespace chc {
+namespace {
+
+Packet mk(uint32_t src, uint16_t sport = 1000) {
+  Packet p;
+  p.tuple = {src, 9, sport, 443, IpProto::kTcp};
+  p.size_bytes = 100;
+  p.event = AppEvent::kHttpData;
+  return p;
+}
+
+struct Harness {
+  Splitter sp{Scope::kSrcIp};
+  std::vector<PacketLinkPtr> links;
+
+  uint16_t add(bool in_partition = true) {
+    auto link = std::make_shared<SimLink<Packet>>();
+    const uint16_t rid = static_cast<uint16_t>(links.size() + 1);
+    sp.add_target(rid, link, in_partition);
+    links.push_back(link);
+    return rid;
+  }
+  size_t drain(uint16_t rid) {
+    size_t n = 0;
+    while (links[rid - 1u]->try_recv()) n++;
+    return n;
+  }
+};
+
+TEST(Splitter, RoutesDeterministicallyByScope) {
+  Harness h;
+  h.add();
+  h.add();
+  for (int i = 0; i < 10; ++i) h.sp.route(mk(5, static_cast<uint16_t>(i)));
+  // Same src ip -> same instance regardless of ports.
+  const size_t a = h.drain(1), b = h.drain(2);
+  EXPECT_TRUE((a == 10 && b == 0) || (a == 0 && b == 10));
+}
+
+TEST(Splitter, AddingOutOfPartitionTargetDoesNotRemapFlows) {
+  Harness h;
+  h.add();
+  // Find which instance host 5 maps to with one target, then add another.
+  h.sp.route(mk(5));
+  ASSERT_EQ(h.drain(1), 1u);
+  h.add(/*in_partition=*/false);
+  for (int i = 0; i < 5; ++i) h.sp.route(mk(5));
+  EXPECT_EQ(h.drain(1), 5u) << "existing flows must stay put";
+  EXPECT_EQ(h.drain(2), 0u);
+}
+
+TEST(Splitter, MoveRedirectsAndMarksFirstPerFlow) {
+  Harness h;
+  h.add();
+  const uint16_t dst = h.add(false);
+  h.sp.move_flows({scope_hash(mk(5).tuple, Scope::kSrcIp)}, dst);
+  // Two distinct 5-tuples in the moved group: each gets its own first mark.
+  h.sp.route(mk(5, 1));
+  h.sp.route(mk(5, 1));
+  h.sp.route(mk(5, 2));
+  int firsts = 0;
+  size_t total = 0;
+  while (auto p = h.links[dst - 1u]->try_recv()) {
+    total++;
+    firsts += p->flags.first_of_move ? 1 : 0;
+  }
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(firsts, 2) << "one first_of_move mark per flow in the group";
+}
+
+TEST(Splitter, ReplicaCopiesToShadow) {
+  Harness h;
+  const uint16_t primary = h.add();
+  auto shadow_link = std::make_shared<SimLink<Packet>>();
+  h.sp.add_shadow_target(99, shadow_link);
+  h.sp.set_replica(primary, 99);
+  h.sp.route(mk(5));
+  EXPECT_EQ(h.drain(primary), 1u);
+  EXPECT_TRUE(shadow_link->try_recv().has_value());
+  h.sp.clear_replica(primary);
+  h.sp.route(mk(5));
+  EXPECT_EQ(h.drain(primary), 1u);
+  EXPECT_FALSE(shadow_link->try_recv().has_value());
+}
+
+TEST(Splitter, ReplayedPacketRedirectsToShadowTarget) {
+  Harness h;
+  h.add();
+  auto shadow_link = std::make_shared<SimLink<Packet>>();
+  h.sp.add_shadow_target(42, shadow_link);
+  Packet p = mk(5);
+  p.flags.replayed = true;
+  p.replay_target = 42;
+  h.sp.route(std::move(p));
+  EXPECT_TRUE(shadow_link->try_recv().has_value());
+  EXPECT_EQ(h.drain(1), 0u);
+}
+
+TEST(Splitter, PromoteShadowJoinsPartition) {
+  Harness h;
+  const uint16_t primary = h.add();
+  auto shadow_link = std::make_shared<SimLink<Packet>>();
+  h.sp.add_shadow_target(42, shadow_link);
+  h.sp.promote_shadow(42);
+  h.sp.remove_target(primary);
+  h.sp.route(mk(5));
+  EXPECT_TRUE(shadow_link->try_recv().has_value());
+}
+
+TEST(Splitter, LoadCountsRoutedPackets) {
+  Harness h;
+  h.add();
+  h.add();
+  for (uint32_t s = 0; s < 40; ++s) h.sp.route(mk(s));
+  uint64_t total = 0;
+  for (auto& [rid, n] : h.sp.load()) total += n;
+  EXPECT_EQ(total, 40u);
+}
+
+TEST(ScopeExclusive, PartitionFieldsSubsetOfObjectFields) {
+  // Object keyed by 5-tuple under src-ip partitioning: exclusive.
+  EXPECT_TRUE(scope_grants_exclusive(Scope::kFiveTuple, Scope::kSrcIp));
+  // Same scope: exclusive.
+  EXPECT_TRUE(scope_grants_exclusive(Scope::kSrcIp, Scope::kSrcIp));
+  // Per-host object under 5-tuple hashing: a host's flows spread out.
+  EXPECT_FALSE(scope_grants_exclusive(Scope::kSrcIp, Scope::kFiveTuple));
+  // Per-dst-port object under src-ip partitioning: shared.
+  EXPECT_FALSE(scope_grants_exclusive(Scope::kDstPort, Scope::kSrcIp));
+  // Global objects are never exclusive under any real partitioning.
+  EXPECT_FALSE(scope_grants_exclusive(Scope::kGlobal, Scope::kSrcIp));
+  // Global partitioning sends everything to one instance: all exclusive.
+  EXPECT_TRUE(scope_grants_exclusive(Scope::kSrcIp, Scope::kGlobal));
+}
+
+}  // namespace
+}  // namespace chc

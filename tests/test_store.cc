@@ -1,0 +1,328 @@
+// Unit tests: datastore shards — offloaded ops, duplicate-update emulation,
+// ownership, callbacks, TS metadata, checkpoints, GC, non-determinism.
+#include <gtest/gtest.h>
+
+#include "store/datastore.h"
+
+namespace chc {
+namespace {
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DataStoreConfig cfg;
+    cfg.num_shards = 2;
+    store_ = std::make_unique<DataStore>(cfg);
+    store_->register_custom_op(100, [](const Value& old, const Value& arg) {
+      Value v = old;
+      if (v.kind != Value::Kind::kInt) v = Value::of_int(1);
+      v.i *= arg.i;
+      return v;
+    });
+    store_->start();
+    reply_ = std::make_shared<ReplyLink>();
+    async_ = std::make_shared<ReplyLink>();
+  }
+
+  StoreKey shared_key(ObjectId obj, uint64_t scope = 0) {
+    StoreKey k;
+    k.vertex = 1;
+    k.object = obj;
+    k.scope_key = scope;
+    k.shared = true;
+    return k;
+  }
+
+  StoreKey flow_key(ObjectId obj, uint64_t scope) {
+    StoreKey k = shared_key(obj, scope);
+    k.shared = false;
+    return k;
+  }
+
+  Response call(Request req) {
+    req.blocking = true;
+    req.reply_to = reply_;
+    if (!req.async_to) req.async_to = async_;
+    if (req.req_id == 0) req.req_id = ++seq_;
+    store_->submit(std::move(req));
+    for (;;) {
+      auto r = reply_->recv(std::chrono::milliseconds(200));
+      if (r) return *r;
+    }
+  }
+
+  Response op(OpType t, const StoreKey& k, Value arg = {}, LogicalClock clock = kNoClock,
+              InstanceId inst = 1, Value arg2 = {}, uint16_t custom = 0) {
+    Request req;
+    req.op = t;
+    req.key = k;
+    req.arg = std::move(arg);
+    req.arg2 = std::move(arg2);
+    req.custom_id = custom;
+    req.clock = clock;
+    req.instance = inst;
+    return call(std::move(req));
+  }
+
+  std::unique_ptr<DataStore> store_;
+  ReplyLinkPtr reply_, async_;
+  uint64_t seq_ = 0;
+};
+
+TEST_F(StoreTest, GetMissingIsNotFound) {
+  Response r = op(OpType::kGet, shared_key(1));
+  EXPECT_EQ(r.status, Status::kNotFound);
+  EXPECT_TRUE(r.value.is_none());
+}
+
+TEST_F(StoreTest, SetThenGet) {
+  op(OpType::kSet, shared_key(1), Value::of_int(42));
+  Response r = op(OpType::kGet, shared_key(1));
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.value.i, 42);
+}
+
+TEST_F(StoreTest, IncrCreatesAndAccumulates) {
+  EXPECT_EQ(op(OpType::kIncr, shared_key(2), Value::of_int(5)).value.i, 5);
+  EXPECT_EQ(op(OpType::kIncr, shared_key(2), Value::of_int(-2)).value.i, 3);
+}
+
+TEST_F(StoreTest, PushPopFifo) {
+  op(OpType::kPushList, shared_key(3), Value::of_int(10));
+  op(OpType::kPushList, shared_key(3), Value::of_int(20));
+  EXPECT_EQ(op(OpType::kPopList, shared_key(3)).value.i, 10);
+  EXPECT_EQ(op(OpType::kPopList, shared_key(3)).value.i, 20);
+  EXPECT_EQ(op(OpType::kPopList, shared_key(3)).status, Status::kNotFound);
+}
+
+TEST_F(StoreTest, CompareAndUpdateSemantics) {
+  op(OpType::kSet, shared_key(4), Value::of_int(1));
+  Response ok = op(OpType::kCompareAndUpdate, shared_key(4), Value::of_int(2),
+                   kNoClock, 1, Value::of_int(1));
+  EXPECT_EQ(ok.status, Status::kOk);
+  EXPECT_EQ(ok.value.i, 2);
+  Response no = op(OpType::kCompareAndUpdate, shared_key(4), Value::of_int(9),
+                   kNoClock, 1, Value::of_int(1));
+  EXPECT_EQ(no.status, Status::kConditionFalse);
+  EXPECT_EQ(no.value.i, 2);
+}
+
+TEST_F(StoreTest, CustomOpRuns) {
+  op(OpType::kSet, shared_key(5), Value::of_int(3));
+  Response r = op(OpType::kCustom, shared_key(5), Value::of_int(7), kNoClock, 1, {},
+                  100);
+  EXPECT_EQ(r.value.i, 21);
+}
+
+TEST_F(StoreTest, UnknownCustomOpErrors) {
+  Response r = op(OpType::kCustom, shared_key(5), Value::of_int(7), kNoClock, 1, {},
+                  999);
+  EXPECT_EQ(r.status, Status::kError);
+}
+
+TEST_F(StoreTest, DuplicateClockEmulated) {
+  // Same packet clock updating the same object twice: the second attempt
+  // must not re-apply; it returns the logged value (paper §5.3, Fig. 5b).
+  Response first = op(OpType::kIncr, shared_key(6), Value::of_int(1), 77);
+  EXPECT_EQ(first.value.i, 1);
+  Response dup = op(OpType::kIncr, shared_key(6), Value::of_int(1), 77);
+  EXPECT_EQ(dup.status, Status::kEmulated);
+  EXPECT_EQ(dup.value.i, 1);  // value at the original update
+  EXPECT_EQ(op(OpType::kGet, shared_key(6)).value.i, 1);
+}
+
+TEST_F(StoreTest, EmulatedPopReturnsSameElement) {
+  op(OpType::kPushList, shared_key(7), Value::of_int(100));
+  op(OpType::kPushList, shared_key(7), Value::of_int(200));
+  Response p1 = op(OpType::kPopList, shared_key(7), {}, 55);
+  EXPECT_EQ(p1.value.i, 100);
+  Response replay = op(OpType::kPopList, shared_key(7), {}, 55);
+  EXPECT_EQ(replay.status, Status::kEmulated);
+  EXPECT_EQ(replay.value.i, 100);  // same port on replay, not a second pop
+  EXPECT_EQ(op(OpType::kPopList, shared_key(7), {}, 56).value.i, 200);
+}
+
+TEST_F(StoreTest, GcClockStillRejectsRetransmissions) {
+  // A delete/GC means the packet completed and all its updates committed;
+  // a same-clock update arriving afterwards can only be a retransmission,
+  // so the store must keep suppressing it (exactly-once).
+  op(OpType::kIncr, shared_key(8), Value::of_int(1), 99);
+  store_->gc_clock(99);
+  // Give the async GC a moment to land.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  Response r = op(OpType::kIncr, shared_key(8), Value::of_int(1), 99);
+  EXPECT_EQ(r.status, Status::kEmulated);
+  EXPECT_EQ(op(OpType::kGet, shared_key(8)).value.i, 1);
+}
+
+TEST_F(StoreTest, PerFlowOwnershipFirstTouchClaims) {
+  Response r = op(OpType::kIncr, flow_key(9, 1234), Value::of_int(1), kNoClock, 3);
+  EXPECT_EQ(r.status, Status::kOk);
+  Response other = op(OpType::kIncr, flow_key(9, 1234), Value::of_int(1), kNoClock, 4);
+  EXPECT_EQ(other.status, Status::kNotOwner);
+}
+
+TEST_F(StoreTest, AcquireReleaseHandsOver) {
+  op(OpType::kIncr, flow_key(10, 5), Value::of_int(7), kNoClock, 3);
+  // Instance 4 requests ownership; deferred until 3 releases.
+  Response acq = op(OpType::kAcquireOwner, flow_key(10, 5), {}, kNoClock, 4);
+  EXPECT_EQ(acq.status, Status::kNotOwner);
+  Response rel = op(OpType::kReleaseOwner, flow_key(10, 5), {}, kNoClock, 3);
+  EXPECT_EQ(rel.status, Status::kOk);
+  // The waiter gets an OwnershipGranted push on its async link.
+  auto note = async_->recv(std::chrono::milliseconds(200));
+  ASSERT_TRUE(note.has_value());
+  EXPECT_EQ(note->msg, Response::Kind::kOwnershipGranted);
+  EXPECT_EQ(note->value.i, 7);
+  // Now instance 4 can update.
+  EXPECT_EQ(op(OpType::kIncr, flow_key(10, 5), Value::of_int(1), kNoClock, 4).status,
+            Status::kOk);
+}
+
+TEST_F(StoreTest, ReleaseCarriesFinalValue) {
+  op(OpType::kIncr, flow_key(11, 6), Value::of_int(1), kNoClock, 3);
+  Request rel;
+  rel.op = OpType::kReleaseOwner;
+  rel.key = flow_key(11, 6);
+  rel.arg = Value::of_int(99);  // flushed cached value travels with release
+  rel.covered_clocks = {42};
+  rel.instance = 3;
+  call(std::move(rel));
+  EXPECT_EQ(op(OpType::kGet, flow_key(11, 6)).value.i, 99);
+}
+
+TEST_F(StoreTest, CallbackPushedToSubscribers) {
+  auto sub_async = std::make_shared<ReplyLink>();
+  Request reg;
+  reg.op = OpType::kRegisterCallback;
+  reg.key = shared_key(12);
+  reg.instance = 5;
+  reg.async_to = sub_async;
+  call(std::move(reg));
+  // Another instance updates: subscriber must get the fresh value pushed.
+  op(OpType::kIncr, shared_key(12), Value::of_int(3), kNoClock, 6);
+  auto cb = sub_async->recv(std::chrono::milliseconds(200));
+  ASSERT_TRUE(cb.has_value());
+  EXPECT_EQ(cb->msg, Response::Kind::kCallback);
+  EXPECT_EQ(cb->value.i, 3);
+}
+
+TEST_F(StoreTest, UpdateInitiatorNotCalledBack) {
+  auto sub_async = std::make_shared<ReplyLink>();
+  Request reg;
+  reg.op = OpType::kRegisterCallback;
+  reg.key = shared_key(13);
+  reg.instance = 5;
+  reg.async_to = sub_async;
+  call(std::move(reg));
+  op(OpType::kIncr, shared_key(13), Value::of_int(1), kNoClock, 5);  // self
+  EXPECT_FALSE(sub_async->recv(Micros(500)).has_value());
+}
+
+TEST_F(StoreTest, TsTracksLastUpdatePerInstance) {
+  op(OpType::kIncr, shared_key(14), Value::of_int(1), 10, 1);
+  op(OpType::kIncr, shared_key(14), Value::of_int(1), 20, 2);
+  op(OpType::kIncr, shared_key(14), Value::of_int(1), 30, 1);
+  Response r = op(OpType::kGet, shared_key(14));
+  EXPECT_EQ(r.ts.at(1), 30u);
+  EXPECT_EQ(r.ts.at(2), 20u);
+}
+
+TEST_F(StoreTest, ReadDoesNotAdvanceTs) {
+  op(OpType::kIncr, shared_key(15), Value::of_int(1), 10, 1);
+  op(OpType::kGet, shared_key(15), {}, 99, 1);
+  Response r = op(OpType::kGet, shared_key(15));
+  EXPECT_EQ(r.ts.at(1), 10u);  // reads are not state operations
+}
+
+TEST_F(StoreTest, GetWithClocksListsInflightUpdates) {
+  op(OpType::kIncr, shared_key(16), Value::of_int(1), 100);
+  op(OpType::kIncr, shared_key(16), Value::of_int(1), 101);
+  Response r = op(OpType::kGetWithClocks, shared_key(16));
+  EXPECT_EQ(r.applied_clocks.size(), 2u);
+}
+
+TEST_F(StoreTest, NonDetMemoizedByClock) {
+  Request a;
+  a.op = OpType::kNonDet;
+  a.arg = Value::of_int(0);
+  a.clock = 500;
+  Response r1 = call(a);
+  Response r2 = call(a);
+  EXPECT_EQ(r2.status, Status::kEmulated);
+  EXPECT_EQ(r1.value.i, r2.value.i);  // replay sees the same "random" value
+}
+
+TEST_F(StoreTest, NonDetFreshPerClock) {
+  Request a;
+  a.op = OpType::kNonDet;
+  a.arg = Value::of_int(0);
+  a.clock = 600;
+  Response r1 = call(a);
+  a.clock = 601;
+  a.req_id = 0;
+  Response r2 = call(a);
+  EXPECT_NE(r1.value.i, r2.value.i);
+}
+
+TEST_F(StoreTest, CacheFlushCoversClocks) {
+  Request f;
+  f.op = OpType::kCacheFlush;
+  f.key = flow_key(17, 9);
+  f.arg = Value::of_int(55);
+  f.covered_clocks = {1, 2, 3};
+  f.instance = 1;
+  call(f);
+  EXPECT_EQ(op(OpType::kGet, flow_key(17, 9)).value.i, 55);
+  // Each covered clock is now in the in-flight log: replaying one emulates.
+  Response dup = op(OpType::kIncr, flow_key(17, 9), Value::of_int(1), 2, 1);
+  EXPECT_EQ(dup.status, Status::kEmulated);
+  EXPECT_EQ(dup.value.i, 55);
+}
+
+TEST_F(StoreTest, CommitListenerSeesTags) {
+  std::mutex mu;
+  std::vector<std::pair<LogicalClock, UpdateVector>> commits;
+  store_->set_commit_listener([&](LogicalClock c, UpdateVector t) {
+    std::lock_guard lk(mu);
+    commits.emplace_back(c, t);
+  });
+  op(OpType::kIncr, shared_key(18), Value::of_int(1), 700, 9);
+  std::lock_guard lk(mu);
+  ASSERT_EQ(commits.size(), 1u);
+  EXPECT_EQ(commits[0].first, 700u);
+  EXPECT_EQ(commits[0].second, update_tag(9, 18));
+}
+
+TEST_F(StoreTest, CheckpointIsConsistentCut) {
+  op(OpType::kSet, shared_key(19), Value::of_int(5));
+  auto snap = store_->checkpoint_shard(store_->shard_of(shared_key(19)));
+  op(OpType::kSet, shared_key(19), Value::of_int(9));
+  ASSERT_TRUE(snap->entries.contains(shared_key(19)));
+  EXPECT_EQ(snap->entries.at(shared_key(19)).value.i, 5);
+}
+
+TEST_F(StoreTest, CrashLosesState) {
+  op(OpType::kSet, shared_key(20), Value::of_int(5));
+  const int shard = store_->shard_of(shared_key(20));
+  store_->crash_shard(shard);
+  store_->shard(shard).restore({});
+  EXPECT_EQ(op(OpType::kGet, shared_key(20)).status, Status::kNotFound);
+}
+
+TEST_F(StoreTest, OpsCountedAcrossShards) {
+  const uint64_t before = store_->total_ops();
+  for (int i = 0; i < 10; ++i) {
+    op(OpType::kIncr, shared_key(21, static_cast<uint64_t>(i)), Value::of_int(1));
+  }
+  EXPECT_GE(store_->total_ops(), before + 10);
+}
+
+TEST_F(StoreTest, ShardRoutingDeterministic) {
+  const StoreKey k = shared_key(22, 777);
+  EXPECT_EQ(store_->shard_of(k), store_->shard_of(k));
+  EXPECT_LT(store_->shard_of(k), store_->num_shards());
+}
+
+}  // namespace
+}  // namespace chc

@@ -1,0 +1,152 @@
+// Unit tests: synthetic trace generator.
+#include <gtest/gtest.h>
+
+#include "trace/trace.h"
+
+namespace chc {
+namespace {
+
+TEST(Trace, GeneratesRequestedPacketCount) {
+  TraceConfig cfg;
+  cfg.num_packets = 5000;
+  cfg.num_connections = 200;
+  Trace t = generate_trace(cfg);
+  // The interleaver stops when flows are exhausted; allow a small shortfall.
+  EXPECT_GE(t.size(), cfg.num_packets * 9 / 10);
+  EXPECT_LE(t.size(), cfg.num_packets);
+}
+
+TEST(Trace, Deterministic) {
+  TraceConfig cfg;
+  cfg.num_packets = 2000;
+  cfg.num_connections = 100;
+  Trace a = generate_trace(cfg);
+  Trace b = generate_trace(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tuple, b[i].tuple);
+    EXPECT_EQ(a[i].event, b[i].event);
+    EXPECT_EQ(a[i].size_bytes, b[i].size_bytes);
+  }
+}
+
+TEST(Trace, SeedChangesContent) {
+  TraceConfig cfg;
+  cfg.num_packets = 1000;
+  cfg.num_connections = 50;
+  Trace a = generate_trace(cfg);
+  cfg.seed = 999;
+  Trace b = generate_trace(cfg);
+  bool differs = a.size() != b.size();
+  for (size_t i = 0; !differs && i < std::min(a.size(), b.size()); ++i) {
+    differs = !(a[i].tuple == b[i].tuple);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Trace, ConnectionCountTracksConfig) {
+  TraceConfig cfg;
+  cfg.num_packets = 20000;
+  cfg.num_connections = 500;
+  TraceStats s = generate_trace(cfg).stats();
+  EXPECT_GE(s.connections, 400u);
+  EXPECT_LE(s.connections, 650u);  // trojan/scan flows add a few
+}
+
+TEST(Trace, MedianSizeNearTargetLarge) {
+  TraceConfig cfg = TraceConfig::trace2(0.01);
+  TraceStats s = generate_trace(cfg).stats();
+  EXPECT_GT(s.median_size, 1200);
+  EXPECT_LE(s.median_size, 1500);
+}
+
+TEST(Trace, MedianSizeNearTargetSmall) {
+  TraceConfig cfg = TraceConfig::trace1(0.01);
+  TraceStats s = generate_trace(cfg).stats();
+  EXPECT_GT(s.median_size, 150);
+  EXPECT_LT(s.median_size, 700);
+}
+
+TEST(Trace, FlowsStartWithSyn) {
+  TraceConfig cfg;
+  cfg.num_packets = 3000;
+  cfg.num_connections = 100;
+  Trace t = generate_trace(cfg);
+  std::unordered_map<uint64_t, AppEvent> first_event;
+  for (const Packet& p : t.packets()) {
+    const uint64_t h = scope_hash(p.tuple, Scope::kFiveTuple);
+    if (!first_event.contains(h)) first_event[h] = p.event;
+  }
+  size_t syn_first = 0, total = 0;
+  for (auto& [h, e] : first_event) {
+    total++;
+    if (e == AppEvent::kTcpSyn) syn_first++;
+  }
+  // Trojan-event flows are single packets without handshakes.
+  EXPECT_GE(syn_first, total * 9 / 10);
+}
+
+TEST(Trace, ScansEndInRst) {
+  TraceConfig cfg;
+  cfg.num_packets = 10000;
+  cfg.num_connections = 400;
+  cfg.scan_fraction = 0.25;
+  TraceStats s = generate_trace(cfg).stats();
+  EXPECT_GT(s.rst, 50u);
+}
+
+TEST(Trace, TrojanSignatureEventsPresentInOrder) {
+  TraceConfig cfg;
+  cfg.num_packets = 10000;
+  cfg.num_connections = 300;
+  cfg.trojan_signatures = {{0x0a0000ff, 0.3}};
+  Trace t = generate_trace(cfg);
+  int state = 0;
+  for (const Packet& p : t.packets()) {
+    if (p.tuple.src_ip != 0x0a0000ff) continue;
+    switch (state) {
+      case 0: if (p.event == AppEvent::kSshOpen) state = 1; break;
+      case 1: if (p.event == AppEvent::kFtpFileHtml) state = 2; break;
+      case 2: if (p.event == AppEvent::kFtpFileZip) state = 3; break;
+      case 3: if (p.event == AppEvent::kFtpFileExe) state = 4; break;
+      case 4: if (p.event == AppEvent::kIrcActivity) state = 5; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(state, 5) << "full SSH->FTP(html,zip,exe)->IRC sequence embedded";
+}
+
+TEST(Trace, MultipleSignaturesAllEmbedded) {
+  TraceConfig cfg;
+  cfg.num_packets = 30000;
+  cfg.num_connections = 500;
+  for (int i = 0; i < 5; ++i) {
+    cfg.trojan_signatures.push_back(
+        {0x0a0000f0u + static_cast<uint32_t>(i), 0.1 + 0.15 * i});
+  }
+  TraceStats s = generate_trace(cfg).stats();
+  EXPECT_GE(s.ssh, 5u);
+  EXPECT_GE(s.irc, 5u);
+  EXPECT_GE(s.ftp, 15u);
+}
+
+TEST(Trace, StatsCountBytes) {
+  TraceConfig cfg;
+  cfg.num_packets = 1000;
+  cfg.num_connections = 50;
+  Trace t = generate_trace(cfg);
+  TraceStats s = t.stats();
+  size_t manual = 0;
+  for (const Packet& p : t.packets()) manual += p.size_bytes;
+  EXPECT_EQ(s.bytes, manual);
+}
+
+TEST(Trace, PresetsScale) {
+  EXPECT_EQ(TraceConfig::trace2(0.01).num_packets, 64000u);
+  EXPECT_EQ(TraceConfig::trace1(0.01).num_packets, 38000u);
+  EXPECT_EQ(TraceConfig::trace2(0.01).median_packet_size, 1434);
+  EXPECT_EQ(TraceConfig::trace1(0.01).median_packet_size, 368);
+}
+
+}  // namespace
+}  // namespace chc

@@ -1,0 +1,154 @@
+// Unit tests: queues and the simulated network link.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "transport/queue.h"
+#include "transport/sim_link.h"
+
+namespace chc {
+namespace {
+
+TEST(Queue, FifoOrder) {
+  ConcurrentQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.try_pop(), 1);
+  EXPECT_EQ(q.try_pop(), 2);
+  EXPECT_EQ(q.try_pop(), 3);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(Queue, PopWaitTimesOut) {
+  ConcurrentQueue<int> q;
+  const TimePoint t0 = SteadyClock::now();
+  EXPECT_FALSE(q.pop_wait(Micros(500)).has_value());
+  EXPECT_GE(SteadyClock::now() - t0, Micros(400));
+}
+
+TEST(Queue, PopWaitWakesOnPush) {
+  ConcurrentQueue<int> q;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(Micros(300));
+    q.push(42);
+  });
+  auto v = q.pop_wait(std::chrono::milliseconds(200));
+  producer.join();
+  EXPECT_EQ(v, 42);
+}
+
+TEST(Queue, CloseRejectsPushAndWakesWaiters) {
+  ConcurrentQueue<int> q;
+  q.close();
+  EXPECT_FALSE(q.push(1));
+  EXPECT_FALSE(q.pop_wait(std::chrono::seconds(1)).has_value());
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(Queue, ReopenAllowsPush) {
+  ConcurrentQueue<int> q;
+  q.close();
+  q.reopen();
+  EXPECT_TRUE(q.push(5));
+  EXPECT_EQ(q.try_pop(), 5);
+}
+
+TEST(Queue, RemoveIfFilters) {
+  ConcurrentQueue<int> q;
+  for (int i = 0; i < 10; ++i) q.push(i);
+  EXPECT_EQ(q.remove_if([](int v) { return v % 2 == 0; }), 5u);
+  EXPECT_EQ(q.size(), 5u);
+  EXPECT_EQ(q.try_pop(), 1);
+}
+
+TEST(SimLink, ZeroDelayDeliversImmediately) {
+  SimLink<int> link;
+  link.send(7);
+  EXPECT_EQ(link.try_recv(), 7);
+}
+
+TEST(SimLink, ChargesOneWayDelay) {
+  LinkConfig cfg;
+  cfg.one_way_delay = Micros(300);
+  SimLink<int> link(cfg);
+  const TimePoint t0 = SteadyClock::now();
+  link.send(1);
+  auto v = link.recv(std::chrono::milliseconds(10));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_GE(to_usec(SteadyClock::now() - t0), 290.0);
+}
+
+TEST(SimLink, DropInjection) {
+  LinkConfig cfg;
+  cfg.drop_prob = 1.0;
+  SimLink<int> link(cfg);
+  EXPECT_FALSE(link.send(1));
+  EXPECT_EQ(link.dropped(), 1u);
+  EXPECT_EQ(link.pending(), 0u);
+}
+
+TEST(SimLink, PartialDropRate) {
+  LinkConfig cfg;
+  cfg.drop_prob = 0.5;
+  cfg.seed = 11;
+  SimLink<int> link(cfg);
+  int delivered = 0;
+  for (int i = 0; i < 1000; ++i) delivered += link.send(i) ? 1 : 0;
+  EXPECT_GT(delivered, 400);
+  EXPECT_LT(delivered, 600);
+}
+
+TEST(SimLink, RecvTimesOutWhenEmpty) {
+  SimLink<int> link;
+  EXPECT_FALSE(link.recv(Micros(300)).has_value());
+}
+
+TEST(SimLink, CloseStopsTraffic) {
+  SimLink<int> link;
+  link.close();
+  EXPECT_FALSE(link.send(1));
+  link.reopen();
+  EXPECT_TRUE(link.send(2));
+}
+
+TEST(SimLink, RemoveIfDropsQueued) {
+  SimLink<int> link;
+  link.send(1);
+  link.send(2);
+  link.send(3);
+  EXPECT_EQ(link.remove_if([](const int& v) { return v == 2; }), 1u);
+  EXPECT_EQ(link.try_recv(), 1);
+  EXPECT_EQ(link.try_recv(), 3);
+}
+
+TEST(SimLink, CrossThreadDelivery) {
+  SimLink<int> link;
+  std::thread t([&] {
+    for (int i = 0; i < 100; ++i) link.send(i);
+  });
+  int got = 0;
+  while (got < 100) {
+    if (auto v = link.recv(std::chrono::milliseconds(100))) {
+      EXPECT_EQ(*v, got);
+      got++;
+    }
+  }
+  t.join();
+}
+
+TEST(SimLink, JitterStaysWithinBound) {
+  LinkConfig cfg;
+  cfg.one_way_delay = Micros(100);
+  cfg.jitter = Micros(100);
+  SimLink<int> link(cfg);
+  const TimePoint t0 = SteadyClock::now();
+  link.send(1);
+  ASSERT_TRUE(link.recv(std::chrono::milliseconds(10)).has_value());
+  const double usec = to_usec(SteadyClock::now() - t0);
+  EXPECT_GE(usec, 90.0);
+  EXPECT_LT(usec, 10000.0);  // generous: scheduler noise on loaded hosts
+}
+
+}  // namespace
+}  // namespace chc
