@@ -11,10 +11,16 @@ using namespace chc::bench;
 
 namespace {
 
-double run_gbps(const std::string& nf, Model model, const Trace& trace) {
+struct RunResult {
+  double gbps = 0;
+  double proc_p50 = 0;  // per-packet NF processing latency, usec
+  double proc_p99 = 0;
+};
+
+RunResult run_one(const std::string& nf, RuntimeConfig cfg, const Trace& trace) {
   ChainSpec spec;
   spec.add_vertex(nf, nf_factory(nf));
-  Runtime rt(std::move(spec), paper_config(model));
+  Runtime rt(std::move(spec), cfg);
   register_custom_ops(rt.store());
   rt.start();
   if (nf == "nat") {
@@ -30,9 +36,23 @@ double run_gbps(const std::string& nf, Model model, const Trace& trace) {
     std::this_thread::sleep_for(Micros(200));
   }
   const double sec = to_usec(SteadyClock::now() - t0) / 1e6;
+  RunResult r;
+  r.gbps = gbps(bytes, sec);
+  const Histogram proc = rt.instance(0, 0).proc_time();
+  r.proc_p50 = proc.percentile(50);
+  r.proc_p99 = proc.percentile(99);
   rt.wait_quiescent(std::chrono::seconds(20));
   rt.shutdown();
-  return gbps(bytes, sec);
+  return r;
+}
+
+// The seed request pipeline: per-op submission over mutex+cv links.
+RuntimeConfig per_op_config(Model m) {
+  RuntimeConfig cfg = paper_config(m);
+  cfg.batching = false;
+  cfg.store.lockfree_links = false;
+  cfg.store.burst = 1;
+  return cfg;
 }
 
 }  // namespace
@@ -43,16 +63,28 @@ int main() {
 
   const Trace trace = bench_trace(3000);
   const char* nfs[] = {"nat", "portscan", "trojan", "lb"};
-  const Model models[] = {Model::kTraditional, Model::kExternal,
-                          Model::kExternalCachedNoAck};
 
-  std::printf("%-10s %10s %10s %10s\n", "nf", "T", "EO", "EO+C+NA");
+  std::printf("%-10s %10s %10s %12s %12s   %s\n", "nf", "T", "EO", "EO+C+NA/op",
+              "EO+C+NA/b", "batched p50/p99 us");
   for (const char* nf : nfs) {
-    std::printf("%-10s", nf);
-    for (Model m : models) std::printf(" %10.2f", run_gbps(nf, m, trace));
-    std::printf("\n");
+    const RunResult t = run_one(nf, per_op_config(Model::kTraditional), trace);
+    const RunResult eo = run_one(nf, per_op_config(Model::kExternal), trace);
+    // Old-vs-new pipeline under the same model + link delay: per-op oracle
+    // vs coalesced kBatch envelopes over the lock-free ring.
+    const RunResult na_op =
+        run_one(nf, per_op_config(Model::kExternalCachedNoAck), trace);
+    const RunResult na_b =
+        run_one(nf, paper_config(Model::kExternalCachedNoAck), trace);
+    std::printf("%-10s %10.2f %10.2f %12.2f %12.2f   %.1f/%.1f\n", nf, t.gbps,
+                eo.gbps, na_op.gbps, na_b.gbps, na_b.proc_p50, na_b.proc_p99);
+    emit_bench_json(std::string("fig10_") + nf + "_eocna_batched",
+                    /*ops_per_sec=*/0, na_b.proc_p50, na_b.proc_p99,
+                    "\"gbps\": " + std::to_string(na_b.gbps) +
+                        ", \"gbps_per_op\": " + std::to_string(na_op.gbps));
   }
   std::printf("\n(absolute Gbps reflects the in-process substrate on this "
-              "host; the T : EO : EO+C+NA ratio is the reproduced shape)\n");
+              "host; the T : EO : EO+C+NA ratio is the reproduced shape.\n"
+              "EO+C+NA/op = seed per-op pipeline, EO+C+NA/b = batched ring "
+              "pipeline — same modeled link delay)\n");
   return 0;
 }

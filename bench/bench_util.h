@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <string>
 
+#include "common/histogram.h"
 #include "core/runtime.h"
 #include "nf/custom_ops.h"
 #include "nf/load_balancer.h"
@@ -58,6 +59,30 @@ inline void print_header(const char* title, const char* paper_line) {
 
 inline double gbps(size_t bytes, double seconds) {
   return seconds <= 0 ? 0 : static_cast<double>(bytes) * 8.0 / seconds / 1e9;
+}
+
+// Machine-readable result drop: writes BENCH_<name>.json into the working
+// directory so CI can collect the perf trajectory across PRs. One file per
+// named measurement; ops/sec and latency percentiles are the common schema,
+// `extra` appends pre-rendered JSON fields (e.g. "\"gbps\": 9.4").
+inline void emit_bench_json(const std::string& name, double ops_per_sec,
+                            double p50_usec, double p99_usec,
+                            const std::string& extra = "") {
+  const std::string path = "BENCH_" + name + ".json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "emit_bench_json: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"name\": \"%s\",\n  \"ops_per_sec\": %.1f,\n"
+               "  \"p50_usec\": %.3f,\n  \"p99_usec\": %.3f",
+               name.c_str(), ops_per_sec, p50_usec, p99_usec);
+  if (!extra.empty()) std::fprintf(f, ",\n  %s", extra.c_str());
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  std::printf("[bench-json] %s: ops/s=%.0f p50=%.2fus p99=%.2fus\n", path.c_str(),
+              ops_per_sec, p50_usec, p99_usec);
 }
 
 // The four NFs of paper §6/Table 4, by name.

@@ -23,7 +23,10 @@ Runtime::Runtime(ChainSpec spec, RuntimeConfig cfg)
   root_cc.caching = false;
   root_cc.wait_acks = cfg_.root.clock_persist_blocking;
   root_cc.reply_link = cfg_.store.link;
+  root_cc.reply_link.lockfree = cfg_.store.lockfree_links;
   root_cc.ack_timeout = cfg_.ack_timeout;
+  // Never batch the root's clock persistence: a buffered clock write would
+  // widen the window where a root crash loses the latest persisted clock.
   root_ = std::make_unique<Root>(cfg_.root, store_.get(), root_cc);
 
   splitters_.reserve(spec_.vertices().size());
@@ -69,8 +72,11 @@ std::unique_ptr<StoreClient> Runtime::make_client(VertexId v, InstanceId store_i
   cc.caching = cfg_.model == Model::kExternalCached ||
                cfg_.model == Model::kExternalCachedNoAck || cc.local_only;
   cc.wait_acks = cfg_.model != Model::kExternalCachedNoAck;
+  cc.batching = cfg_.batching;
+  cc.max_batch = cfg_.client_max_batch;
   cc.flush_every = cfg_.flush_every;
   cc.reply_link = cfg_.store.link;
+  cc.reply_link.lockfree = cfg_.store.lockfree_links;
   cc.ack_timeout = cfg_.ack_timeout;
   return std::make_unique<StoreClient>(store_.get(), cc);
 }
@@ -390,6 +396,7 @@ std::unique_ptr<StoreClient> Runtime::probe_client(VertexId v) {
   cc.caching = false;
   cc.wait_acks = true;
   cc.reply_link = cfg_.store.link;
+  cc.reply_link.lockfree = cfg_.store.lockfree_links;
   auto c = std::make_unique<StoreClient>(store_.get(), cc);
   auto probe = spec_.vertices()[v].factory();
   for (const ObjectSpec& spec : probe->state_objects()) c->register_object(spec);

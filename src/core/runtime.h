@@ -42,6 +42,12 @@ struct RuntimeConfig {
   Duration root_one_way = Micros(14);
   int flush_every = 1;
   Duration ack_timeout = Micros(500);
+  // Batched store data path (client-side op coalescing per shard). Only
+  // bites under EO+C+NA — an op the NF waits on can't ride in a batch —
+  // but the knob lives here so every model can pin it off and the
+  // per-op path stays available as the correctness oracle.
+  bool batching = true;
+  int client_max_batch = 32;
 };
 
 struct DeleteMsg {

@@ -71,6 +71,10 @@ void StoreClient::note_update(ObjectId obj) {
 // --- request plumbing -------------------------------------------------------
 
 Response StoreClient::do_blocking(Request req) {
+  // A blocking op must observe every non-blocking op this client already
+  // issued to the same key; push buffered batches out first so the shard
+  // serializes them ahead of this request.
+  flush_batches();
   req.blocking = true;
   req.reply_to = sync_link_;
   req.async_to = async_link_;
@@ -110,13 +114,23 @@ void StoreClient::do_nonblocking(Request req) {
   if (req.req_id == 0) req.req_id = next_req_id();
   stats_.nonblocking_ops++;
 
-  // The framework owns reliable delivery (§4.3): remember the op until its
-  // ACK arrives, retransmit on timeout.
-  PendingAck pa{req, SteadyClock::now() + cfg_.ack_timeout, 0};
-  store_->submit(req);
+  if (batching_active()) {
+    // Batched fast path: buffer the op per destination shard; it travels in
+    // a kBatch envelope at the next flush point (one envelope ACK covers the
+    // whole batch, and envelope retransmission is safe because every sub-op
+    // keeps its own clock for the store's duplicate emulation).
+    req.want_ack = false;
+    const int shard = store_->shard_of(req.key);
+    auto& buf = batch_buf_[shard];
+    buf.push_back(std::move(req));
+    batch_pending_++;
+    if (buf.size() >= static_cast<size_t>(cfg_.max_batch)) flush_batches();
+    return;
+  }
 
   if (cfg_.wait_acks) {
     // Model #2: the NF blocks until the store ACKs the enqueue - one RTT.
+    store_->submit(req);
     const uint64_t id = req.req_id;
     for (int attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
       const TimePoint deadline = SteadyClock::now() + cfg_.blocking_timeout;
@@ -131,11 +145,15 @@ void StoreClient::do_nonblocking(Request req) {
         handle_async(*resp);
       }
       stats_.retransmissions++;
-      store_->submit(pa.req);
+      store_->submit(req);
     }
     return;
   }
-  pending_acks_[req.req_id] = std::move(pa);
+
+  // The framework owns reliable delivery (§4.3): remember the op until its
+  // ACK arrives, retransmit on timeout.
+  track_pending(req);
+  store_->submit(std::move(req));
 }
 
 void StoreClient::handle_async(const Response& r) {
@@ -154,10 +172,17 @@ void StoreClient::handle_async(const Response& r) {
       break;
     }
     case Response::Kind::kOwnershipGranted: {
+      // ownership_retry_ tracks every grant still outstanding; a grant for
+      // a key not in it is a duplicate (its retry already won the race) and
+      // must not double-decrement ownership_pending_.
+      auto it = ownership_retry_.find(r.key);
+      if (it == ownership_retry_.end()) break;
       CacheEntry& e = cache_[r.key];
       e.value = r.value;
+      e.tuple = it->second.tuple;
       e.loaded = true;
       e.dirty = false;
+      ownership_retry_.erase(it);
       if (ownership_pending_ > 0) ownership_pending_--;
       break;
     }
@@ -166,9 +191,83 @@ void StoreClient::handle_async(const Response& r) {
   }
 }
 
+void StoreClient::track_pending(Request req) {
+  const uint64_t id = req.req_id;
+  PendingAck pa{std::move(req), SteadyClock::now() + cfg_.ack_timeout, 0};
+  pending_acks_[id] = std::move(pa);
+}
+
+void StoreClient::flush_batches() {
+  if (batch_pending_ == 0) return;
+  for (auto& [shard, buf] : batch_buf_) {
+    if (buf.empty()) continue;
+    stats_.batches_sent++;
+    stats_.batched_ops += buf.size();
+    stats_.max_batch_depth = std::max<uint64_t>(stats_.max_batch_depth, buf.size());
+    batch_hist_.record(static_cast<double>(buf.size()));
+    if (buf.size() == 1) {
+      // A lone op needs no envelope; restore its own ACK.
+      Request req = std::move(buf.front());
+      buf.clear();
+      req.want_ack = true;
+      track_pending(req);
+      store_->submit(std::move(req));
+      continue;
+    }
+    Request env;
+    env.op = OpType::kBatch;
+    env.key = buf.front().key;  // routes the envelope to its shard
+    env.blocking = false;
+    env.want_ack = true;  // one ACK covers the whole batch
+    env.async_to = async_link_;
+    env.vertex = cfg_.vertex;
+    env.instance = cfg_.instance;
+    env.client_uid = cfg_.client_uid ? cfg_.client_uid : cfg_.instance;
+    env.req_id = next_req_id();
+    env.batch = std::make_shared<std::vector<Request>>(std::move(buf));
+    buf.clear();
+    track_pending(env);
+    store_->submit(std::move(env));
+  }
+  batch_pending_ = 0;
+}
+
 void StoreClient::poll() {
   if (cfg_.local_only) return;
+  flush_batches();
   while (auto r = async_link_->try_recv()) handle_async(*r);
+
+  // Grant-loss recovery: a deferred kAcquireOwner is answered by a single
+  // kOwnershipGranted push with no retransmission of its own. If it hasn't
+  // arrived by the deadline, re-issue the acquire — idempotent at the
+  // store (waiter entries are deduped; a released flow grants on the spot).
+  if (!ownership_retry_.empty()) {
+    const TimePoint now = SteadyClock::now();
+    std::vector<StoreKey> due;
+    for (const auto& [key, po] : ownership_retry_) {
+      if (now >= po.deadline) due.push_back(key);
+    }
+    for (const StoreKey& key : due) {
+      Request req;
+      req.op = OpType::kAcquireOwner;
+      req.key = key;
+      Response r = do_blocking(req);
+      auto it = ownership_retry_.find(key);
+      if (it == ownership_retry_.end()) continue;  // grant raced the retry
+      if (r.status == Status::kOk) {
+        CacheEntry& e = cache_[key];
+        e.value = r.value;
+        e.tuple = it->second.tuple;
+        e.loaded = true;
+        e.dirty = false;
+        ownership_retry_.erase(it);
+        if (ownership_pending_ > 0) ownership_pending_--;
+      } else {
+        it->second.deadline = SteadyClock::now() + cfg_.blocking_timeout;
+      }
+    }
+  }
+
   if (pending_acks_.empty()) return;
   const TimePoint now = SteadyClock::now();
   for (auto& [id, pa] : pending_acks_) {
@@ -389,6 +488,60 @@ std::optional<int64_t> StoreClient::pop_list(ObjectId obj, const FiveTuple& t) {
   return r.value.i;
 }
 
+void StoreClient::push_list_bulk(ObjectId obj, const FiveTuple& t,
+                                 const std::vector<int64_t>& values) {
+  if (values.empty()) return;
+  ObjectState& os = objects_.at(obj);
+  const StoreKey key = key_for(os, t);
+  note_touch(os, t);
+  if (cfg_.local_only) {
+    for (int64_t v : values) {
+      cached_apply(os, key, t, OpType::kPushList, Value::of_int(v), {}, 0, nullptr);
+    }
+    return;
+  }
+  std::vector<Request> reqs;
+  reqs.reserve(values.size());
+  for (int64_t v : values) {
+    Request req;
+    req.op = OpType::kPushList;
+    req.key = key;
+    req.arg = Value::of_int(v);
+    req.clock = current_clock_;
+    req.vertex = cfg_.vertex;
+    req.instance = cfg_.instance;
+    req.client_uid = cfg_.client_uid ? cfg_.client_uid : cfg_.instance;
+    req.req_id = next_req_id();
+    req.blocking = false;
+    req.want_ack = false;
+    if (key.shared) record_wal(key, OpType::kPushList, req.arg, {}, 0);
+    note_update(obj);
+    stats_.nonblocking_ops++;
+    reqs.push_back(std::move(req));
+  }
+
+  // Reliability: the per-op path covers loss with ACK+retransmit; here the
+  // whole seed rides one droppable envelope, so verify-and-retry instead.
+  // All requests target one key (one shard, one envelope), which makes
+  // delivery all-or-nothing: the blocking size probe (reliable on its own)
+  // serializes behind the envelope and tells us whether it landed.
+  auto list_size = [&]() -> size_t {
+    Request probe;
+    probe.op = OpType::kGet;
+    probe.key = key;
+    Response r = do_blocking(std::move(probe));
+    return r.value.kind == Value::Kind::kList ? r.value.list.size() : 0;
+  };
+  const size_t before = list_size();
+  for (int attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
+    store_->submit_batched(reqs);
+    if (list_size() >= before + values.size()) return;
+    stats_.retransmissions++;
+  }
+  CHC_WARN("push_list_bulk: seed of %zu values not visible after %d attempts",
+           values.size(), cfg_.max_retries);
+}
+
 void StoreClient::push_list(ObjectId obj, const FiveTuple& t, int64_t v) {
   ObjectState& os = objects_.at(obj);
   const StoreKey key = key_for(os, t);
@@ -501,6 +654,7 @@ void StoreClient::flush_all() {
     if (it == objects_.end()) continue;
     flush_entry(it->second, key, e, /*release_ownership=*/false);
   }
+  flush_batches();
 }
 
 void StoreClient::release_flow(const FiveTuple& t) {
@@ -520,6 +674,9 @@ void StoreClient::release_flow(const FiveTuple& t) {
     }
   }
   touched_flows_.erase(scope_hash(t, Scope::kFiveTuple));
+  // Releases gate the mover protocol: the store must see them before the
+  // destination's acquire, so don't leave them sitting in a batch buffer.
+  flush_batches();
 }
 
 void StoreClient::release_matching(
@@ -593,6 +750,7 @@ void StoreClient::release_matching(
     req.batch = batch;
     do_nonblocking(std::move(req));
   }
+  flush_batches();  // same reason as release_flow: acquires race these
 }
 
 bool StoreClient::acquire_flow(const FiveTuple& t) {
@@ -615,7 +773,10 @@ bool StoreClient::acquire_flow(const FiveTuple& t) {
     } else if (r.status == Status::kNotOwner) {
       // Old instance still owns the flow: the store will push an
       // OwnershipGranted notification once it releases (Fig. 4 step 6).
+      // Register for grant-loss recovery — poll() re-acquires if the
+      // notification never lands.
       ownership_pending_++;
+      ownership_retry_[key] = {t, SteadyClock::now() + cfg_.blocking_timeout};
       all_granted = false;
     }
   }
@@ -652,8 +813,13 @@ ClientEvidence StoreClient::evidence() const {
 void StoreClient::reset_cache() {
   cache_.clear();
   pending_acks_.clear();
+  // Ops still sitting in batch buffers died with the instance; root replay
+  // re-issues them, exactly like un-ACKed per-op submissions.
+  batch_buf_.clear();
+  batch_pending_ = 0;
   touched_flows_.clear();
   ownership_pending_ = 0;
+  ownership_retry_.clear();
 }
 
 void StoreClient::record_wal(const StoreKey& key, OpType op, const Value& arg,

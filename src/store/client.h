@@ -52,6 +52,13 @@ struct ClientConfig {
   // "Traditional NF" baseline: all state lives in the local cache and never
   // touches the store. No availability, no sharing — the paper's "T" model.
   bool local_only = false;
+  // Coalesce non-blocking ops destined for the same shard into one kBatch
+  // envelope per packet turn (flushed from poll(), before any blocking op,
+  // and whenever a shard's buffer reaches max_batch). Only effective when
+  // wait_acks is off: an op the NF waits on cannot ride in a batch. The
+  // un-batched per-op path is kept as the correctness oracle.
+  bool batching = false;
+  int max_batch = 32;
   // Flush cadence for cached per-flow objects, in updates per flush.
   int flush_every = 1;
   Duration ack_timeout = Micros(500);
@@ -67,6 +74,11 @@ struct ClientStats {
   uint64_t retransmissions = 0;
   uint64_t callbacks_applied = 0;
   uint64_t emulated = 0;  // duplicate updates the store suppressed
+  // Batching amortization (tentpole telemetry): envelopes sent, ops that
+  // rode in them, and the deepest envelope. ops/envelope ~= amortization.
+  uint64_t batches_sent = 0;
+  uint64_t batched_ops = 0;
+  uint64_t max_batch_depth = 0;
 };
 
 class StoreClient {
@@ -89,6 +101,12 @@ class StoreClient {
   void set(ObjectId obj, const FiveTuple& t, Value v);
   std::optional<int64_t> pop_list(ObjectId obj, const FiveTuple& t);
   void push_list(ObjectId obj, const FiveTuple& t, int64_t v);
+  // Bulk push over the multi-request path (DataStore::submit_batched): one
+  // envelope instead of one message per element, with a blocking barrier so
+  // the seeded list is visible when this returns. For setup-time ingest
+  // (e.g. NAT port pools), not the per-packet path.
+  void push_list_bulk(ObjectId obj, const FiveTuple& t,
+                      const std::vector<int64_t>& values);
   // Returns true and stores the new value if the store-side value equaled
   // `expected`; otherwise returns false and `out` holds the current value.
   bool compare_and_update(ObjectId obj, const FiveTuple& t, const Value& expected,
@@ -101,8 +119,14 @@ class StoreClient {
 
   // --- framework hooks ------------------------------------------------------
   // Drain async messages (ACKs, callbacks, ownership grants) and retransmit
-  // timed-out non-blocking ops. Called by the runtime between packets.
+  // timed-out non-blocking ops. Called by the runtime between packets; also
+  // flushes any batch still buffered from the previous packet turn.
   void poll();
+
+  // Push buffered non-blocking ops to their shards, one kBatch envelope per
+  // shard. Invoked from poll(), before every blocking op (order within a
+  // key must hold), and when a shard's buffer hits max_batch.
+  void flush_batches();
 
   // Flush every dirty cached object (blocking until ACKed ops are sent).
   void flush_all();
@@ -138,6 +162,8 @@ class StoreClient {
   void reset_cache();
 
   const ClientStats& stats() const { return stats_; }
+  // Ops-per-envelope histogram (amortization telemetry for the benches).
+  const Histogram& batch_depth_hist() const { return batch_hist_; }
   InstanceId instance() const { return cfg_.instance; }
 
  private:
@@ -171,6 +197,10 @@ class StoreClient {
 
   Response do_blocking(Request req);
   void do_nonblocking(Request req);
+  bool batching_active() const {
+    return cfg_.batching && !cfg_.wait_acks && !cfg_.local_only;
+  }
+  void track_pending(Request req);
   Value cached_apply(ObjectState& os, const StoreKey& key, const FiveTuple& t,
                      OpType op, const Value& arg, const Value& arg2,
                      uint16_t custom_id, Status* status);
@@ -204,6 +234,21 @@ class StoreClient {
   };
   std::unordered_map<uint64_t, PendingAck> pending_acks_;
   size_t ownership_pending_ = 0;
+
+  // Per-shard coalescing buffers for the batched data path (tentpole).
+  std::unordered_map<int, std::vector<Request>> batch_buf_;
+  size_t batch_pending_ = 0;
+  Histogram batch_hist_;
+
+  // Deferred ownership grants being waited on. Grants are one-shot store
+  // pushes with no retransmission of their own; if one is lost (bounded
+  // ring gave up, link loss injection), poll() re-issues the acquire after
+  // `deadline` — idempotent at the store, which dedupes waiter entries.
+  struct PendingOwnership {
+    FiveTuple tuple;
+    TimePoint deadline;
+  };
+  std::unordered_map<StoreKey, PendingOwnership, StoreKeyHash> ownership_retry_;
 
   std::vector<WalEntry> wal_;
   std::vector<ReadLogEntry> read_log_;

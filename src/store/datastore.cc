@@ -12,9 +12,10 @@ DataStore::DataStore(const DataStoreConfig& cfg)
     : cfg_(cfg), custom_ops_(std::make_shared<CustomOpRegistry>()) {
   shards_.reserve(static_cast<size_t>(cfg.num_shards));
   LinkConfig link = cfg.link;
+  link.lockfree = cfg.lockfree_links;
   for (int i = 0; i < cfg.num_shards; ++i) {
     link.seed = cfg.link.seed + static_cast<uint64_t>(i) * 7919;
-    shards_.push_back(std::make_unique<StoreShard>(i, link, custom_ops_));
+    shards_.push_back(std::make_unique<StoreShard>(i, link, custom_ops_, cfg.burst));
   }
 }
 
@@ -33,6 +34,36 @@ void DataStore::stop() {
 bool DataStore::submit(Request req) {
   const int idx = shard_of(req.key);
   return shards_[static_cast<size_t>(idx)]->request_link().send(std::move(req));
+}
+
+size_t DataStore::submit_batched(std::vector<Request> reqs) {
+  std::unordered_map<int, std::shared_ptr<std::vector<Request>>> per_shard;
+  for (Request& r : reqs) {
+    auto& group = per_shard[shard_of(r.key)];
+    if (!group) group = std::make_shared<std::vector<Request>>();
+    group->push_back(std::move(r));
+  }
+  size_t sent = 0;
+  for (auto& [shard, group] : per_shard) {
+    if (group->size() == 1) {
+      // No amortization to be had; skip the envelope.
+      if (shards_[static_cast<size_t>(shard)]->request_link().send(
+              std::move(group->front()))) {
+        sent++;
+      }
+      continue;
+    }
+    Request env;
+    env.op = OpType::kBatch;
+    env.key = group->front().key;  // routes the envelope to its shard
+    env.blocking = false;
+    env.want_ack = false;
+    env.batch = group;
+    if (shards_[static_cast<size_t>(shard)]->request_link().send(std::move(env))) {
+      sent++;
+    }
+  }
+  return sent;
 }
 
 void DataStore::register_custom_op(uint16_t id, CustomOpFn fn) {

@@ -17,6 +17,12 @@ struct DataStoreConfig {
   // One-way delay between NF hosts and the store; 14us gives the ~28us RTT
   // the paper's numbers are dominated by.
   LinkConfig link;
+  // Back the shard request links with the lock-free MPSC ring (each shard
+  // worker is the unique consumer of its link). Off restores the seed's
+  // mutex+cv transport, kept as the correctness oracle.
+  bool lockfree_links = true;
+  // Max requests one shard wakeup drains before replying (amortization).
+  size_t burst = 64;
 };
 
 class DataStore {
@@ -38,6 +44,13 @@ class DataStore {
   // Data path: deliver a request to the owning shard over its link.
   // Returns false if the message was dropped (link loss or shard down).
   bool submit(Request req);
+
+  // Multi-request path: partition `reqs` by owning shard and deliver each
+  // group as a single kBatch envelope — one link message and one worker
+  // wakeup per shard instead of one per op. Sub-requests keep their own
+  // clocks/ids, so duplicate suppression and commit signals are unchanged.
+  // Returns how many envelopes were accepted by their links.
+  size_t submit_batched(std::vector<Request> reqs);
 
   // Registers a custom offloaded operation (paper Table 2 "developers can
   // also load custom operations"). Must be called before start().

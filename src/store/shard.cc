@@ -23,8 +23,10 @@ bool is_update_op(OpType op) {
 }  // namespace
 
 StoreShard::StoreShard(int index, const LinkConfig& link_cfg,
-                       std::shared_ptr<const CustomOpRegistry> custom_ops)
+                       std::shared_ptr<const CustomOpRegistry> custom_ops,
+                       size_t burst)
     : index_(index),
+      burst_(burst == 0 ? 1 : burst),
       requests_(link_cfg),
       custom_ops_(std::move(custom_ops)),
       rng_(0xC0FFEE + static_cast<uint64_t>(index)) {}
@@ -65,11 +67,28 @@ void StoreShard::restore(
 }
 
 void StoreShard::run() {
+  // Burst drain: one wakeup serves up to burst_ requests back to back, so
+  // the (simulated) NIC wakeup and the worker's scheduling cost amortize
+  // over the whole burst instead of being paid per op.
+  std::vector<Request> burst;
+  burst.reserve(burst_);
   while (running_.load(std::memory_order_relaxed)) {
-    auto req = requests_.recv(Micros(200));
-    if (!req) continue;
-    Response r = apply(*req);
-    reply(*req, std::move(r));
+    burst.clear();
+    const size_t n = requests_.recv_batch(burst, burst_, Micros(200));
+    if (n == 0) continue;
+    for (Request& req : burst) {
+      Response r = apply(req);
+      reply(req, std::move(r));
+    }
+    wakeups_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t prev = max_burst_.load(std::memory_order_relaxed);
+    while (n > prev &&
+           !max_burst_.compare_exchange_weak(prev, n, std::memory_order_relaxed)) {
+    }
+    {
+      std::lock_guard lk(stats_mu_);
+      burst_hist_.record(static_cast<double>(n));
+    }
   }
 }
 
@@ -92,8 +111,10 @@ void StoreShard::signal_commit(LogicalClock clock, InstanceId instance,
 }
 
 Response StoreShard::apply(const Request& req) {
-  // Control traffic (GC, checkpoints) is not counted as data-path ops.
-  if (req.op != OpType::kGcClock && req.op != OpType::kCheckpoint) {
+  // Control traffic (GC, checkpoints) is not counted as data-path ops; a
+  // kBatch envelope counts through its sub-requests, not itself.
+  if (req.op != OpType::kGcClock && req.op != OpType::kCheckpoint &&
+      req.op != OpType::kBatch) {
     ops_applied_.fetch_add(1, std::memory_order_relaxed);
   }
   Response r;
@@ -159,20 +180,13 @@ Response StoreShard::apply(const Request& req) {
 
   ShardEntry& entry = entries_[req.key];
 
-  // --- ownership enforcement for per-flow keys -----------------------------
-  if (!req.key.shared && is_update_op(req.op)) {
-    if (entry.owner == 0) {
-      entry.owner = req.instance;  // first touch claims the flow
-    } else if (entry.owner != req.instance) {
-      // Paper §5.1: updates from an instance that does not own the flow are
-      // disallowed; the mover protocol prevents this from losing updates.
-      r.status = Status::kNotOwner;
-      r.value = entry.value;
-      return r;
-    }
-  }
-
   // --- duplicate suppression (§5.3): emulate an already-applied update -----
+  // This must run BEFORE ownership enforcement: an emulated request may not
+  // have side effects, and in particular a straggling retransmission must
+  // not re-claim ownership of a flow that was released after the original
+  // was applied. (Otherwise: old instance flushes, releases, and its
+  // retransmitted flush "first-touch" claims the unowned key back — the new
+  // owner then waits for a release that will never come.)
   if (is_update_op(req.op) && req.clock != kNoClock) {
     if (auto it = entry.update_log.find(req.clock); it != entry.update_log.end()) {
       r.status = Status::kEmulated;
@@ -183,6 +197,30 @@ Response StoreShard::apply(const Request& req) {
       // The packet already completed end to end; this is a straggling
       // retransmission of a committed op.
       r.status = Status::kEmulated;
+      r.value = entry.value;
+      return r;
+    }
+  }
+  // Stale whole-value flush/release retransmissions (flush_seq at or below
+  // this client's floor) are emulated here for the same reason.
+  if ((req.op == OpType::kCacheFlush || req.op == OpType::kReleaseOwner) &&
+      req.flush_seq != 0) {
+    auto fs = entry.flush_seqs.find(req.client_uid);
+    if (fs != entry.flush_seqs.end() && req.flush_seq <= fs->second) {
+      r.status = Status::kEmulated;
+      r.value = entry.value;
+      return r;
+    }
+  }
+
+  // --- ownership enforcement for per-flow keys -----------------------------
+  if (!req.key.shared && is_update_op(req.op)) {
+    if (entry.owner == 0) {
+      entry.owner = req.instance;  // first touch claims the flow
+    } else if (entry.owner != req.instance) {
+      // Paper §5.1: updates from an instance that does not own the flow are
+      // disallowed; the mover protocol prevents this from losing updates.
+      r.status = Status::kNotOwner;
       r.value = entry.value;
       return r;
     }
@@ -277,11 +315,7 @@ Response StoreShard::apply(const Request& req) {
     case OpType::kCacheFlush: {
       // Absolute value computed in the client cache; covers a batch of
       // packet clocks. Commit each so the root ledger can zero out.
-      if (req.flush_seq != 0 && req.flush_seq <= entry.flush_seqs[req.client_uid]) {
-        r.status = Status::kEmulated;  // stale retransmission
-        r.value = entry.value;
-        break;
-      }
+      // (Stale flush_seq retransmissions were already emulated up front.)
       if (req.flush_seq != 0) entry.flush_seqs[req.client_uid] = req.flush_seq;
       entry.value = req.arg;
       for (LogicalClock c : req.covered_clocks) {
@@ -301,19 +335,26 @@ Response StoreShard::apply(const Request& req) {
         r.value = entry.value;
       } else {
         // Deferred: notify the requester once the current owner releases
-        // (paper Fig. 4 steps 3/6).
-        ownership_waiters_[req.key].emplace_back(req.instance, req.async_to);
+        // (paper Fig. 4 steps 3/6). Re-acquires from the same instance
+        // (grant-loss recovery) refresh its waiter entry instead of
+        // appending a duplicate — a stale second entry would hand the flow
+        // back to an instance that already got and released it.
+        auto& waiters = ownership_waiters_[req.key];
+        bool queued = false;
+        for (auto& [inst, link] : waiters) {
+          if (inst == req.instance) {
+            link = req.async_to;
+            queued = true;
+          }
+        }
+        if (!queued) waiters.emplace_back(req.instance, req.async_to);
         r.status = Status::kNotOwner;
       }
       break;
     }
 
     case OpType::kReleaseOwner: {
-      if (req.flush_seq != 0 && req.flush_seq <= entry.flush_seqs[req.client_uid]) {
-        r.status = Status::kEmulated;  // stale retransmission
-        r.value = entry.value;
-        break;
-      }
+      // (Stale flush_seq retransmissions were already emulated up front.)
       if (req.flush_seq != 0) entry.flush_seqs[req.client_uid] = req.flush_seq;
       if (!req.arg.is_none()) {
         entry.value = req.arg;  // final flushed value travels with release

@@ -13,11 +13,13 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/rng.h"
 #include "store/message.h"
 #include "transport/sim_link.h"
@@ -53,8 +55,12 @@ struct ShardSnapshot {
 
 class StoreShard {
  public:
+  // `burst` bounds how many requests one worker wakeup drains before
+  // replying: the amortization knob of the batched data path. 1 restores
+  // the seed's strict one-op-per-wakeup behavior.
   StoreShard(int index, const LinkConfig& link_cfg,
-             std::shared_ptr<const CustomOpRegistry> custom_ops);
+             std::shared_ptr<const CustomOpRegistry> custom_ops,
+             size_t burst = 64);
   ~StoreShard();
 
   StoreShard(const StoreShard&) = delete;
@@ -77,6 +83,17 @@ class StoreShard {
 
   uint64_t ops_applied() const { return ops_applied_.load(); }
 
+  // --- burst accounting (amortization telemetry for the benches) -----------
+  // Number of worker wakeups that found at least one request.
+  uint64_t wakeups() const { return wakeups_.load(std::memory_order_relaxed); }
+  // Largest burst drained in a single wakeup.
+  uint64_t max_burst() const { return max_burst_.load(std::memory_order_relaxed); }
+  // Requests-per-wakeup histogram (copied under the stats lock).
+  Histogram burst_hist() const {
+    std::lock_guard lk(stats_mu_);
+    return burst_hist_;
+  }
+
  private:
   void run();
   Response apply(const Request& req);
@@ -84,6 +101,7 @@ class StoreShard {
   void signal_commit(LogicalClock clock, InstanceId instance, ObjectId object);
 
   const int index_;
+  const size_t burst_;
   SimLink<Request> requests_;
   std::shared_ptr<const CustomOpRegistry> custom_ops_;
   CommitListener commit_cb_;
@@ -114,6 +132,10 @@ class StoreShard {
   std::thread worker_;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> ops_applied_{0};
+  std::atomic<uint64_t> wakeups_{0};
+  std::atomic<uint64_t> max_burst_{0};
+  mutable std::mutex stats_mu_;
+  Histogram burst_hist_;
 };
 
 }  // namespace chc

@@ -3,6 +3,7 @@
 // timeout, close semantics so consumer threads can drain and exit.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -20,11 +21,20 @@ class ConcurrentQueue {
   ConcurrentQueue& operator=(const ConcurrentQueue&) = delete;
 
   // Returns false if the queue is closed.
+  //
+  // The notify_one() deliberately runs *after* the lock is released: waking
+  // a waiter while still holding mu_ would make it block again immediately
+  // ("hurry up and wait"). The visible consequence is a benign race — a
+  // concurrent close() can slip between the unlock and the notify, so a
+  // waiter may observe {closed, item present}; pop_wait handles that by
+  // draining items even when closed. No item is ever lost and no waiter
+  // sleeps past its timeout.
   bool push(T item) {
     {
       std::lock_guard lk(mu_);
       if (closed_) return false;
       items_.push_back(std::move(item));
+      depth_.store(items_.size(), std::memory_order_relaxed);
     }
     cv_.notify_one();
     return true;
@@ -35,6 +45,7 @@ class ConcurrentQueue {
     if (items_.empty()) return std::nullopt;
     T v = std::move(items_.front());
     items_.pop_front();
+    depth_.store(items_.size(), std::memory_order_relaxed);
     return v;
   }
 
@@ -47,6 +58,7 @@ class ConcurrentQueue {
     if (items_.empty() || !pred(items_.front())) return std::nullopt;
     T v = std::move(items_.front());
     items_.pop_front();
+    depth_.store(items_.size(), std::memory_order_relaxed);
     return v;
   }
 
@@ -57,6 +69,7 @@ class ConcurrentQueue {
     if (items_.empty()) return std::nullopt;
     T v = std::move(items_.front());
     items_.pop_front();
+    depth_.store(items_.size(), std::memory_order_relaxed);
     return v;
   }
 
@@ -68,6 +81,7 @@ class ConcurrentQueue {
     std::lock_guard lk(mu_);
     size_t before = items_.size();
     std::erase_if(items_, pred);
+    depth_.store(items_.size(), std::memory_order_relaxed);
     return before - items_.size();
   }
 
@@ -75,6 +89,12 @@ class ConcurrentQueue {
     std::lock_guard lk(mu_);
     return items_.size();
   }
+
+  // Lock-free depth estimate for hot polling loops (drain checks, bench
+  // progress probes). Exact size() acquires mu_ and was showing up as
+  // contention when pollers raced the producers; this relaxed read can lag
+  // by an in-flight push/pop but never blocks anyone.
+  size_t approx_size() const { return depth_.load(std::memory_order_relaxed); }
 
   bool closed() const {
     std::lock_guard lk(mu_);
@@ -100,6 +120,7 @@ class ConcurrentQueue {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<T> items_;
+  std::atomic<size_t> depth_{0};  // mirrors items_.size(); relaxed readers
   bool closed_ = false;
 };
 

@@ -1,0 +1,184 @@
+// Bounded, lock-free multi-producer/single-consumer ring buffer — the
+// in-process stand-in for a burst-oriented NIC ring (VMA/DPDK style). The
+// store data path is exactly MPSC at both ends: many NF clients feed one
+// shard worker, and many shard workers feed one client's reply link. The
+// seed transported every message through a mutex + condition_variable
+// handshake; on the hot path that handshake (two syscalls worst case, one
+// cache-line ping-pong best case) dwarfed the modeled link delay. This ring
+// replaces it with one CAS per producer and plain loads/stores for the
+// consumer, padded so producers and the consumer never share a cache line.
+//
+// Layout follows the bounded-sequence design (Vyukov): each slot carries a
+// sequence number encoding whether it is free for the producer of lap N or
+// full for the consumer of lap N. Producers claim a slot with a CAS on
+// `tail_`; the consumer is unique, so the head cursor needs no CAS — and
+// gets a peek()/pop() split so SimLink can inspect a message's delivery
+// time without committing to consume it.
+//
+// Close semantics mirror ConcurrentQueue: push fails on a closed ring, the
+// consumer may still drain whatever was queued, and reopen() restores push
+// without touching contents (queue identity survives component failover).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace chc {
+
+inline constexpr size_t kCacheLine = 64;
+
+enum class RingPush : uint8_t { kOk, kFull, kClosed };
+
+template <typename T>
+class MpscRing {
+ public:
+  // `capacity` is rounded up to a power of two (minimum 2).
+  explicit MpscRing(size_t capacity = 1024) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<Slot[]>(cap);
+    for (size_t i = 0; i < cap; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  size_t capacity() const { return mask_ + 1; }
+
+  // Producer side (any thread). kFull is backpressure: the caller decides
+  // whether to spin, drop, or divert — the ring never blocks by itself.
+  RingPush try_push(T& v) {
+    if (closed_.load(std::memory_order_acquire)) return RingPush::kClosed;
+    return claim_and_store(v);
+  }
+
+  // Blocking push with bounded-backpressure semantics: spins (yielding, so
+  // the consumer keeps making progress on low-core hosts) until space frees
+  // up or the ring closes. Returns false only on close.
+  bool push(T v) {
+    for (;;) {
+      switch (try_push(v)) {
+        case RingPush::kOk:
+          return true;
+        case RingPush::kClosed:
+          return false;
+        case RingPush::kFull:
+          std::this_thread::yield();
+          break;
+      }
+    }
+  }
+
+  // Consumer-side re-insert that ignores the closed flag: remove_if-style
+  // filtering must be able to put retained items back into a ring that was
+  // closed for producers (teardown paths close first, scrub second). Space
+  // is guaranteed by the caller having just popped at least as many items.
+  bool reinsert(T v) { return claim_and_store(v) == RingPush::kOk; }
+
+  // Consumer side (one thread only). peek() exposes the head element
+  // in-place; the pointer stays valid until pop(). A peek/pop pair lets
+  // SimLink gate consumption on the delivery timestamp without re-queueing.
+  T* peek() {
+    Slot& slot = slots_[head_ & mask_];
+    const size_t seq = slot.seq.load(std::memory_order_acquire);
+    if (static_cast<intptr_t>(seq) - static_cast<intptr_t>(head_ + 1) < 0) {
+      return nullptr;
+    }
+    return &slot.value;
+  }
+
+  // Consume the element last returned by peek(). Only valid after a
+  // non-null peek().
+  void pop() {
+    Slot& slot = slots_[head_ & mask_];
+    slot.value = T{};  // release payload eagerly (shared_ptrs in Request)
+    slot.seq.store(head_ + mask_ + 1, std::memory_order_release);
+    ++head_;
+    head_mirror_.store(head_, std::memory_order_relaxed);
+  }
+
+  std::optional<T> try_pop() {
+    T* v = peek();
+    if (!v) return std::nullopt;
+    T out = std::move(*v);
+    pop();
+    return out;
+  }
+
+  // Drain up to `max` immediately-available items into `out` (appended).
+  // Returns how many were taken. This is the shard worker's burst receive.
+  size_t pop_batch(std::vector<T>& out, size_t max) {
+    size_t n = 0;
+    while (n < max) {
+      auto v = try_pop();
+      if (!v) break;
+      out.push_back(std::move(*v));
+      ++n;
+    }
+    return n;
+  }
+
+  // Conservative depth estimate from the producer/consumer cursors; may be
+  // momentarily stale but never takes a lock (hot polling loops use this).
+  size_t approx_size() const {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t head = head_mirror_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+  void close() { closed_.store(true, std::memory_order_release); }
+  void reopen() { closed_.store(false, std::memory_order_release); }
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+ private:
+  struct Slot {
+    std::atomic<size_t> seq{0};
+    T value{};
+  };
+
+  // The Vyukov claim loop shared by try_push (closed check applied by the
+  // caller) and reinsert (deliberately none). Moves from `v` only on kOk.
+  RingPush claim_and_store(T& v) {
+    size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const size_t seq = slot.seq.load(std::memory_order_acquire);
+      const intptr_t diff =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          slot.value = std::move(v);
+          slot.seq.store(pos + 1, std::memory_order_release);
+          return RingPush::kOk;
+        }
+        // CAS failure reloaded `pos`; retry with the fresh slot.
+      } else if (diff < 0) {
+        return RingPush::kFull;
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  std::unique_ptr<Slot[]> slots_;
+  size_t mask_ = 0;
+
+  // Producers CAS tail_; the consumer owns head_ outright (producers detect
+  // fullness via slot sequence numbers, never by reading head_). The
+  // relaxed mirror exists only so approx_size() can be called cross-thread.
+  alignas(kCacheLine) std::atomic<size_t> tail_{0};
+  alignas(kCacheLine) size_t head_ = 0;
+  alignas(kCacheLine) std::atomic<size_t> head_mirror_{0};
+  alignas(kCacheLine) std::atomic<bool> closed_{false};
+};
+
+}  // namespace chc

@@ -7,15 +7,28 @@
 // delay per message reproduces those shapes. Delay is enforced at the
 // receiver: each message carries `deliver_at` and the consumer busy-waits
 // the final stretch (see common/spin.h) for microsecond precision.
+//
+// Two transports back the link:
+//   - the default mutex+cv ConcurrentQueue (MPMC, supports remove_if from
+//     any thread — the NF-to-NF tunnels need that for duplicate scrubbing);
+//   - a lock-free MPSC ring (LinkConfig::lockfree), used for store
+//     request/reply traffic where the consumer is unique (one shard worker,
+//     or one client thread). This is the burst-I/O fast path: producers pay
+//     one CAS, the consumer drains bursts via recv_batch(), and a full ring
+//     exerts backpressure by making senders yield until a slot frees.
+// The transport is chosen at construction; set_config() adjusts delay/loss
+// knobs but never switches transports mid-flight.
 #pragma once
 
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/spin.h"
 #include "common/types.h"
 #include "transport/queue.h"
+#include "transport/ring.h"
 
 namespace chc {
 
@@ -25,25 +38,49 @@ struct LinkConfig {
   double drop_prob = 0.0;
   double reorder_prob = 0.0;  // chance a message is delayed an extra RTT
   uint64_t seed = 7;
+  // Back the link with the lock-free MPSC ring instead of the mutex+cv
+  // queue. Requires a single consumer thread; remove_if is then only safe
+  // while the consumer is quiescent (crash/teardown paths).
+  bool lockfree = false;
+  size_t ring_capacity = 4096;  // rounded up to a power of two
+
+  bool randomized() const {
+    return drop_prob > 0 || reorder_prob > 0 || jitter.count() > 0;
+  }
 };
 
 template <typename T>
 class SimLink {
  public:
   SimLink() = default;
-  explicit SimLink(const LinkConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {}
+  explicit SimLink(const LinkConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
+    if (cfg_.lockfree) {
+      ring_ = std::make_unique<MpscRing<Timed>>(cfg_.ring_capacity);
+    }
+    randomized_.store(cfg_.randomized(), std::memory_order_relaxed);
+    base_delay_.store(cfg_.one_way_delay.count(), std::memory_order_relaxed);
+  }
 
   void set_config(const LinkConfig& cfg) {
     std::lock_guard lk(mu_);
+    const bool keep_ring = cfg_.lockfree;  // transport fixed at construction
     cfg_ = cfg;
+    cfg_.lockfree = keep_ring;
     rng_ = SplitMix64(cfg.seed);
+    randomized_.store(cfg_.randomized(), std::memory_order_relaxed);
+    base_delay_.store(cfg_.one_way_delay.count(), std::memory_order_relaxed);
   }
 
   // Returns false if the message was dropped (loss injection) or the link
-  // is closed.
+  // is closed. On a full ring the sender yields until space frees up —
+  // bounded-queue backpressure, not silent loss.
   bool send(T msg) {
     Duration delay;
-    {
+    if (!randomized_.load(std::memory_order_relaxed)) {
+      // Fast path: constant delay needs neither the RNG nor its mutex
+      // (base_delay_ is the lock-free mirror of cfg_.one_way_delay).
+      delay = Duration(base_delay_.load(std::memory_order_relaxed));
+    } else {
       std::lock_guard lk(mu_);
       if (cfg_.drop_prob > 0 && rng_.chance(cfg_.drop_prob)) {
         dropped_++;
@@ -57,40 +94,142 @@ class SimLink {
         delay += 2 * cfg_.one_way_delay;
       }
     }
-    return q_.push(Timed{SteadyClock::now() + delay, std::move(msg)});
+    Timed t{SteadyClock::now() + delay, std::move(msg)};
+    if (ring_) {
+      // Bounded backpressure: yield while the ring is full, but give up
+      // after a grace window. A receiver that stopped draining (crashed
+      // instance whose reply link nobody reads) must not wedge the sender
+      // forever — the seed's unbounded queue could never block here, so an
+      // unbounded spin would turn "slow consumer" into "stalled shard".
+      // Past the window the message counts as dropped (lossy network);
+      // the ACK/retransmission machinery owns recovery.
+      const TimePoint give_up = SteadyClock::now() + std::chrono::milliseconds(2);
+      for (;;) {
+        switch (ring_->try_push(t)) {
+          case RingPush::kOk:
+            return true;
+          case RingPush::kClosed:
+            return false;
+          case RingPush::kFull:
+            if (SteadyClock::now() >= give_up) {
+              std::lock_guard lk(mu_);
+              dropped_++;
+              return false;
+            }
+            std::this_thread::yield();
+            break;
+        }
+      }
+    }
+    return q_.push(std::move(t));
   }
 
   // Blocking receive honoring the delivery timestamp. Returns nullopt on
-  // timeout or close.
+  // timeout or close (after draining queued messages).
   std::optional<T> recv(Duration timeout = Micros(100)) {
-    auto item = q_.pop_wait(timeout);
-    if (!item) return std::nullopt;
-    spin_until(item->deliver_at);
-    return std::move(item->msg);
+    if (!ring_) {
+      auto item = q_.pop_wait(timeout);
+      if (!item) return std::nullopt;
+      spin_until(item->deliver_at);
+      return std::move(item->msg);
+    }
+    const TimePoint deadline = SteadyClock::now() + timeout;
+    int spins = 0;
+    for (;;) {
+      if (Timed* head = ring_->peek()) {
+        spin_until(head->deliver_at);
+        T msg = std::move(head->msg);
+        ring_->pop();
+        return msg;
+      }
+      if (ring_->closed()) return std::nullopt;
+      if (SteadyClock::now() >= deadline) return std::nullopt;
+      // Yield first (keeps single-core hosts live), back off to a short
+      // sleep once the link looks idle.
+      if (++spins < 64) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(Micros(50));
+      }
+    }
+  }
+
+  // Burst receive: blocks (up to `timeout`) for the first message, then
+  // opportunistically drains every further message whose delivery time has
+  // already arrived, up to `max` total. Messages sent back-to-back by a
+  // batching producer share a deliver_at, so a burst crosses the link for
+  // the price of one wakeup. Appends to `out`; returns the number taken.
+  size_t recv_batch(std::vector<T>& out, size_t max,
+                    Duration timeout = Micros(100)) {
+    if (max == 0) return 0;
+    auto first = recv(timeout);
+    if (!first) return 0;
+    out.push_back(std::move(*first));
+    size_t n = 1;
+    while (n < max) {
+      auto next = try_recv();
+      if (!next) break;
+      out.push_back(std::move(*next));
+      ++n;
+    }
+    return n;
   }
 
   // Non-blocking receive: yields only a message whose delivery time has
   // already arrived; never waits on in-flight messages.
   std::optional<T> try_recv() {
     const TimePoint now = SteadyClock::now();
+    if (ring_) {
+      Timed* head = ring_->peek();
+      if (!head || head->deliver_at > now) return std::nullopt;
+      T msg = std::move(head->msg);
+      ring_->pop();
+      return msg;
+    }
     auto item = q_.pop_if([&](const Timed& t) { return t.deliver_at <= now; });
     if (!item) return std::nullopt;
     return std::move(item->msg);
   }
 
+  // Ring mode: safe only while the consumer is quiescent (the callers are
+  // crash/teardown paths, where the worker thread has already stopped).
   template <typename Pred>
   size_t remove_if(Pred pred) {
+    if (ring_) {
+      std::vector<Timed> keep;
+      size_t removed = 0;
+      while (auto t = ring_->try_pop()) {
+        if (pred(t->msg)) {
+          removed++;
+        } else {
+          keep.push_back(std::move(*t));
+        }
+      }
+      // reinsert, not push: teardown closes the ring before scrubbing it,
+      // and retained messages must survive the filter regardless. A failed
+      // reinsert means a producer raced the scrub — a contract violation
+      // (quiescence required) — and the message is unavoidably lost; count
+      // it as removed so the caller's accounting reflects reality.
+      for (Timed& t : keep) {
+        if (!ring_->reinsert(std::move(t))) removed++;
+      }
+      return removed;
+    }
     return q_.remove_if([&](const Timed& t) { return pred(t.msg); });
   }
 
-  size_t pending() const { return q_.size(); }
+  // Lock-free depth estimate (hot polling loops: drain checks, benches).
+  size_t pending() const {
+    return ring_ ? ring_->approx_size() : q_.approx_size();
+  }
   size_t dropped() const {
     std::lock_guard lk(mu_);
     return dropped_;
   }
-  void close() { q_.close(); }
-  void reopen() { q_.reopen(); }
-  bool closed() const { return q_.closed(); }
+  void close() { ring_ ? ring_->close() : q_.close(); }
+  void reopen() { ring_ ? ring_->reopen() : q_.reopen(); }
+  bool closed() const { return ring_ ? ring_->closed() : q_.closed(); }
+  bool lockfree() const { return ring_ != nullptr; }
 
  private:
   struct Timed {
@@ -101,8 +240,11 @@ class SimLink {
   mutable std::mutex mu_;
   LinkConfig cfg_;
   SplitMix64 rng_{7};
+  std::atomic<bool> randomized_{false};
+  std::atomic<Duration::rep> base_delay_{0};
   size_t dropped_ = 0;
   ConcurrentQueue<Timed> q_;
+  std::unique_ptr<MpscRing<Timed>> ring_;
 };
 
 }  // namespace chc

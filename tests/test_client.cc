@@ -285,6 +285,50 @@ TEST_F(ClientTest, AcquireReleaseFlowHandover) {
   EXPECT_EQ(new_inst->get(kPerFlow, flow()).i, 9);
 }
 
+TEST_F(ClientTest, OwnershipRetryIsIdempotentWhileOwnerHolds) {
+  // Deferred grants are one-shot pushes; the client re-issues the acquire
+  // from poll() if one hasn't landed. Retrying while the old owner still
+  // holds the flow must neither duplicate waiter entries at the store nor
+  // corrupt the pending count when the real grant finally arrives.
+  auto old_inst = make_client(1);
+  ClientConfig cc;
+  cc.vertex = 7;
+  cc.instance = 2;
+  cc.blocking_timeout = std::chrono::milliseconds(2);  // fast retry cadence
+  auto new_inst = std::make_unique<StoreClient>(store_.get(), cc);
+  new_inst->register_object({kPerFlow, Scope::kFiveTuple, false,
+                             AccessPattern::kWriteReadOften, "per-flow"});
+
+  old_inst->set_current_clock(700);
+  old_inst->incr(kPerFlow, flow(), 9);
+  EXPECT_FALSE(new_inst->acquire_flow(flow()));
+  EXPECT_EQ(new_inst->ownership_pending(), 1u);
+
+  // Several retry periods elapse with the owner still holding the flow.
+  for (int i = 0; i < 8; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    new_inst->poll();
+    EXPECT_EQ(new_inst->ownership_pending(), 1u);
+  }
+
+  old_inst->release_flow(flow());
+  const TimePoint deadline = SteadyClock::now() + std::chrono::milliseconds(500);
+  while (new_inst->ownership_pending() > 0 && SteadyClock::now() < deadline) {
+    new_inst->poll();
+    std::this_thread::sleep_for(Micros(200));
+  }
+  EXPECT_EQ(new_inst->ownership_pending(), 0u);
+  EXPECT_EQ(new_inst->get(kPerFlow, flow()).i, 9);
+
+  // No stale waiter entry may survive: after the new instance releases,
+  // the old one must get the flow back synchronously, not via a phantom
+  // grant queued for instance 2.
+  new_inst->release_flow(flow());
+  settle(*new_inst, 10);
+  EXPECT_TRUE(old_inst->acquire_flow(flow()));
+  EXPECT_EQ(old_inst->ownership_pending(), 0u);
+}
+
 TEST_F(ClientTest, ReleaseMatchingSelectsFlows) {
   auto c = make_client(1);
   c->set_current_clock(500);
