@@ -1,0 +1,203 @@
+// Storage-engine microbench (tentpole): FlatMap vs std::unordered_map on
+// the store's own key/value types, compact Value vs the old fat layout on
+// message-style copies, and the handle primitive (find_hinted) vs a full
+// probe. Also measures bytes allocated per entry for the memory table in
+// docs/perf.md. Results land in BENCH_*.json for the perf trajectory.
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/flat_map.h"
+#include "common/rng.h"
+#include "store/key.h"
+#include "store/value.h"
+
+// --- allocation byte counter (memory-per-entry measurement) -------------------
+namespace {
+thread_local int64_t t_bytes = 0;
+thread_local int64_t t_allocs = 0;
+}
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t n) {
+  t_bytes += static_cast<int64_t>(n);
+  ++t_allocs;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
+
+namespace chc {
+namespace {
+
+constexpr size_t kEntries = 100'000;
+constexpr size_t kLookups = 2'000'000;
+
+StoreKey key_for(uint64_t k) {
+  StoreKey key;
+  key.vertex = 1;
+  key.object = 1;
+  key.scope_key = k;
+  key.shared = false;
+  return key;
+}
+
+// The seed's Value layout, reconstructed for the copy-cost comparison: the
+// always-present vector + string ride along with every counter.
+struct FatValue {
+  uint8_t kind = 1;
+  int64_t i = 0;
+  std::vector<int64_t> list;
+  std::string bytes;
+};
+
+double secs_since(TimePoint t0) { return to_usec(SteadyClock::now() - t0) / 1e6; }
+
+template <class MapT>
+std::pair<double, int64_t> build_and_measure(const char* name) {
+  const int64_t bytes0 = t_bytes;
+  MapT m;
+  m.reserve(kEntries);  // both tables: count live bytes, not growth churn
+  const TimePoint t0 = SteadyClock::now();
+  for (uint64_t k = 0; k < kEntries; ++k) m[key_for(k)] = Value::of_int(1);
+  const double insert_s = secs_since(t0);
+  const int64_t bytes_per_entry =
+      (t_bytes - bytes0) / static_cast<int64_t>(kEntries);
+
+  SplitMix64 rng(42);
+  int64_t sink = 0;
+  const TimePoint t1 = SteadyClock::now();
+  for (size_t i = 0; i < kLookups; ++i) {
+    auto it = m.find(key_for(rng.bounded(kEntries)));
+    sink += it->second.as_int();
+  }
+  const double find_s = secs_since(t1);
+
+  // Churn: erase + reinsert (backward shift vs node free/alloc).
+  const TimePoint t2 = SteadyClock::now();
+  for (size_t i = 0; i < kEntries; ++i) {
+    const uint64_t k = rng.bounded(kEntries);
+    m.erase(key_for(k));
+    m[key_for(k)] = Value::of_int(2);
+  }
+  const double churn_s = secs_since(t2);
+
+  std::printf("%-18s %10.0f %12.0f %12.0f %10lld %14lld\n", name,
+              static_cast<double>(kEntries) / insert_s,
+              static_cast<double>(kLookups) / find_s,
+              static_cast<double>(kEntries) / churn_s,
+              static_cast<long long>(bytes_per_entry),
+              static_cast<long long>(sink % 7));
+  return {static_cast<double>(kLookups) / find_s, bytes_per_entry};
+}
+
+void table_bench() {
+  bench::print_header(
+      "storage engine: FlatMap (open-addressing robin-hood) vs "
+      "std::unordered_map, StoreKey -> Value",
+      "no paper figure; hot-path data-structure bar is >=2x find throughput");
+  std::printf("%-18s %10s %12s %12s %10s %14s\n", "table", "insert/s", "find/s",
+              "churn/s", "B/entry", "(sink)");
+  auto [flat_finds, flat_bpe] =
+      build_and_measure<FlatMap<StoreKey, Value>>("flat_map");
+  auto [umap_finds, umap_bpe] =
+      build_and_measure<std::unordered_map<StoreKey, Value, StoreKeyHash>>(
+          "unordered_map");
+  std::printf("find speedup: %.2fx, bytes/entry: %lld vs %lld\n",
+              flat_finds / umap_finds, static_cast<long long>(flat_bpe),
+              static_cast<long long>(umap_bpe));
+  bench::emit_bench_json("hashtable_flat_find", flat_finds, 0, 0,
+                         "\"bytes_per_entry\": " + std::to_string(flat_bpe));
+  bench::emit_bench_json("hashtable_umap_find", umap_finds, 0, 0,
+                         "\"bytes_per_entry\": " + std::to_string(umap_bpe));
+}
+
+void hinted_bench() {
+  bench::print_header(
+      "handle primitive: find_hinted (slot hint + 1 key compare) vs full probe",
+      "per-flow handles skip key hashing and probing on the steady-state path");
+  FlatMap<StoreKey, Value> m;
+  for (uint64_t k = 0; k < kEntries; ++k) m[key_for(k)] = Value::of_int(1);
+
+  // One flow's steady state: the same entry touched over and over.
+  StoreKey hot = key_for(kEntries / 2);
+  uint32_t hint = 0;
+  int64_t sink = 0;
+  (void)m.find_hinted(hot, &hint);
+
+  const TimePoint t0 = SteadyClock::now();
+  for (size_t i = 0; i < kLookups; ++i) {
+    // Fresh key each op, as the keyed path must (hash memo cannot carry over).
+    StoreKey k = key_for(kEntries / 2);
+    sink += m.find(k)->second.as_int();
+  }
+  const double keyed_s = secs_since(t0);
+
+  const TimePoint t1 = SteadyClock::now();
+  for (size_t i = 0; i < kLookups; ++i) {
+    sink += m.find_hinted(hot, &hint)->as_int();
+  }
+  const double hinted_s = secs_since(t1);
+
+  const double keyed_rate = static_cast<double>(kLookups) / keyed_s;
+  const double hinted_rate = static_cast<double>(kLookups) / hinted_s;
+  std::printf("keyed probe: %12.0f ops/s\nslot hint:   %12.0f ops/s (%.2fx)  "
+              "(sink %lld)\n",
+              keyed_rate, hinted_rate, hinted_rate / keyed_rate,
+              static_cast<long long>(sink % 7));
+  bench::emit_bench_json("hashtable_hinted_lookup", hinted_rate, 0, 0);
+}
+
+template <class V>
+double copy_rate(const V& proto) {
+  std::vector<V> ring(64, proto);
+  int64_t sink = 0;
+  const TimePoint t0 = SteadyClock::now();
+  for (size_t i = 0; i < kLookups; ++i) {
+    // Message-style hop: copy in, copy out (request arg -> shard -> reply).
+    V v = ring[i & 63];
+    ring[(i + 1) & 63] = v;
+    sink += reinterpret_cast<const char*>(&v)[0];
+  }
+  const double s = secs_since(t0);
+  if (sink == 42) std::printf("!");
+  return static_cast<double>(kLookups) / s;
+}
+
+void value_copy_bench() {
+  bench::print_header(
+      "Value copy cost: compact SBO Value (32B) vs seed fat layout "
+      "(72B + always-present vector/string members)",
+      "every store message carries 1-2 Values; counters must copy allocation-free");
+  const double small_new = copy_rate(Value::of_int(7));
+  FatValue fat;
+  fat.i = 7;
+  const double small_old = copy_rate(fat);
+  const double list_new = copy_rate(Value::of_list({1, 2, 3}));
+  FatValue fat_list;
+  fat_list.list = {1, 2, 3};
+  const double list_old = copy_rate(fat_list);
+  std::printf("%-26s %14s %14s %8s\n", "payload", "compact/s", "fat/s", "speedup");
+  std::printf("%-26s %14.0f %14.0f %7.2fx\n", "int counter", small_new, small_old,
+              small_new / small_old);
+  std::printf("%-26s %14.0f %14.0f %7.2fx\n", "3-elem list (inline)", list_new,
+              list_old, list_new / list_old);
+  bench::emit_bench_json("value_copy_int_compact", small_new, 0, 0);
+  bench::emit_bench_json("value_copy_int_fat", small_old, 0, 0);
+}
+
+}  // namespace
+}  // namespace chc
+
+int main() {
+  chc::table_bench();
+  chc::hinted_bench();
+  chc::value_copy_bench();
+  return 0;
+}

@@ -74,7 +74,7 @@ int64_t run(bool chain_clocks, int slow_scrubbers, const Trace& trace) {
   rt.run_trace(trace);
   rt.wait_quiescent(std::chrono::seconds(60));
   auto probe = rt.probe_client(trojan);
-  const int64_t found = probe->get(TrojanDetector::kDetections, FiveTuple{}).i;
+  const int64_t found = probe->get(TrojanDetector::kDetections, FiveTuple{}).as_int();
   rt.shutdown();
   return found;
 }

@@ -63,7 +63,7 @@ int main() {
   FiveTuple https{0, 0, 0, 443, IpProto::kTcp};
   std::printf("port-443 counter: %lld (https packets in trace: counted once "
               "each across the move)\n",
-              static_cast<long long>(probe->get(CountingIds::kPortCount, https).i));
+              static_cast<long long>(probe->get(CountingIds::kPortCount, https).as_int()));
   std::printf("duplicates at receiver: %zu (must be 0)\n",
               rt.sink().duplicate_clocks());
   rt.shutdown();

@@ -49,7 +49,7 @@ int main() {
   rt.wait_quiescent(std::chrono::seconds(60));
   std::printf("after recovery: total-packet counter=%lld, trace packets=%zu "
               "(exactly-once despite the crash)\n",
-              static_cast<long long>(probe->get(Nat::kTotalPackets, FiveTuple{}).i),
+              static_cast<long long>(probe->get(Nat::kTotalPackets, FiveTuple{}).as_int()),
               trace.size());
   std::printf("duplicates at receiver: %zu\n", rt.sink().duplicate_clocks());
 
@@ -62,14 +62,14 @@ int main() {
   rt.checkpoint_store();
   for (int k = 0; k < 500; ++k) rt.inject(trace[k]);  // post-checkpoint updates
   rt.wait_quiescent(std::chrono::seconds(60));
-  const int64_t before = probe->get(Nat::kTotalPackets, FiveTuple{}).i;
+  const int64_t before = probe->get(Nat::kTotalPackets, FiveTuple{}).as_int();
   for (int s = 0; s < rt.store().num_shards(); ++s) {
     RecoveryStats st = rt.fail_and_recover_shard(s);
     std::printf("store shard %d recovered in %.2f ms (%zu WAL ops re-executed, "
                 "%zu per-flow entries from client caches)\n",
                 s, st.elapsed_usec / 1000.0, st.ops_replayed, st.per_flow_restored);
   }
-  const int64_t after = probe->get(Nat::kTotalPackets, FiveTuple{}).i;
+  const int64_t after = probe->get(Nat::kTotalPackets, FiveTuple{}).as_int();
   std::printf("counter before crash %lld == after recovery %lld: %s\n",
               static_cast<long long>(before), static_cast<long long>(after),
               before == after ? "OK" : "MISMATCH");

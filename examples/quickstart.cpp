@@ -55,13 +55,13 @@ int main() {
 
   auto fw_probe = rt.probe_client(fw);
   std::printf("firewall: allowed=%lld denied=%lld\n",
-              static_cast<long long>(fw_probe->get(Firewall::kAllowed, FiveTuple{}).i),
-              static_cast<long long>(fw_probe->get(Firewall::kDenied, FiveTuple{}).i));
+              static_cast<long long>(fw_probe->get(Firewall::kAllowed, FiveTuple{}).as_int()),
+              static_cast<long long>(fw_probe->get(Firewall::kDenied, FiveTuple{}).as_int()));
 
   auto ids_probe = rt.probe_client(ids);
   FiveTuple https{0, 0, 0, 443, IpProto::kTcp};
   std::printf("ids: packets to :443 = %lld (shared across both instances)\n",
-              static_cast<long long>(ids_probe->get(CountingIds::kPortCount, https).i));
+              static_cast<long long>(ids_probe->get(CountingIds::kPortCount, https).as_int()));
 
   rt.shutdown();
   return 0;

@@ -52,7 +52,7 @@ int main() {
   std::printf("duplicates leaked to receiver: %zu (must be 0)\n",
               rt.sink().duplicate_clocks());
   std::printf("total-packet counter: %lld (== %zu trace packets, exactly once)\n",
-              static_cast<long long>(probe->get(Nat::kTotalPackets, FiveTuple{}).i),
+              static_cast<long long>(probe->get(Nat::kTotalPackets, FiveTuple{}).as_int()),
               trace.size());
 
   // The clone won the race; retire the straggler.

@@ -65,7 +65,7 @@ int main() {
   rt.wait_quiescent(std::chrono::seconds(120));
 
   auto probe = rt.probe_client(trojan);
-  const int64_t found = probe->get(TrojanDetector::kDetections, FiveTuple{}).i;
+  const int64_t found = probe->get(TrojanDetector::kDetections, FiveTuple{}).as_int();
   std::printf("Trojan sequences embedded: 3, detected: %lld %s\n",
               static_cast<long long>(found),
               found == 3 ? "(all found despite the slow scrubber)" : "(MISSED!)");

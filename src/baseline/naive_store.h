@@ -32,7 +32,7 @@ class NaiveSharedCounter {
       // full round trip, which is the point of this baseline).
     }
     Value v = client_.get(value_, t);
-    const int64_t updated = (v.kind == Value::Kind::kInt ? v.i : 0) + delta;
+    const int64_t updated = v.as_int() + delta;
     client_.set(value_, t, Value::of_int(updated));
     client_.set(lock_, t, Value::of_int(0));
     return updated;

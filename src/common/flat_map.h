@@ -1,0 +1,461 @@
+// Hot-path storage engine: open-addressing hash containers for the store
+// data path. std::unordered_map costs one heap node and ~2 dependent cache
+// misses per touch; the per-packet path touches half a dozen maps, so those
+// misses dominate once the transport is batched. FlatMap is a power-of-two,
+// robin-hood table: a dense uint8 probe-distance array drives probing, and
+// key/value pairs sit jointly in a flat slot array:
+//
+//   - probing walks the dense distance bytes (whole clusters in one cache
+//     line) and lands on the slot, where key and value share lines — one
+//     dependent miss on a hit instead of bucket -> node chasing;
+//   - robin-hood insertion bounds probe-length variance, and erase uses
+//     tombstone-free backward shift, so tables never degrade with churn;
+//   - clear() and per-op erase keep capacity: steady state does zero
+//     allocation and zero rehashing once reserve()d;
+//   - iteration only skips empty slots (no next pointers), and is stable
+//     between mutations — checkpoint/restore copies whole tables;
+//   - find_hinted() revalidates a cached slot index with a single key
+//     compare, the primitive behind per-flow state handles (the slot a
+//     handle points at can move on rehash/erase/displacement, so the key
+//     stored in the handle authenticates the slot).
+//
+// Keys hash through FlatHash: integral keys get a full-avalanche mix (the
+// low bits select the bucket), and any key exposing a `hash()` member —
+// StoreKey memoizes its hash — uses it so the hash is computed once per op
+// rather than once per map touch.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <initializer_list>
+#include <new>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+
+namespace chc {
+
+inline constexpr uint64_t flat_mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+template <class K>
+struct FlatHash {
+  uint64_t operator()(const K& k) const {
+    if constexpr (requires { { k.hash() } -> std::convertible_to<uint64_t>; }) {
+      return k.hash();  // memoized by the key type (StoreKey)
+    } else if constexpr (std::is_integral_v<K> || std::is_enum_v<K>) {
+      return flat_mix64(static_cast<uint64_t>(k));
+    } else {
+      return static_cast<uint64_t>(std::hash<K>{}(k));
+    }
+  }
+};
+
+template <class Key, class T, class Hash = FlatHash<Key>>
+class FlatMap {
+  static constexpr size_t kMinCapacity = 8;
+  // Grow at 13/16 (~0.81) occupancy: robin hood keeps probe sequences short
+  // well past 0.75, and the higher floor keeps memory per entry down.
+  static constexpr size_t kLoadNum = 13, kLoadDen = 16;
+
+ public:
+  using key_type = Key;
+  using mapped_type = T;
+
+  FlatMap() = default;
+  FlatMap(std::initializer_list<std::pair<Key, T>> il) {
+    reserve(il.size());
+    for (const auto& kv : il) emplace(kv.first, kv.second);
+  }
+  ~FlatMap() { destroy(); }
+
+  FlatMap(const FlatMap& o) { copy_from(o); }
+  FlatMap& operator=(const FlatMap& o) {
+    if (this != &o) {
+      destroy();
+      copy_from(o);
+    }
+    return *this;
+  }
+  FlatMap(FlatMap&& o) noexcept { steal(o); }
+  FlatMap& operator=(FlatMap&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      steal(o);
+    }
+    return *this;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return cap_; }
+
+  // Drops all entries but keeps the allocation: per-turn scratch tables
+  // reach steady state with zero rehashing.
+  void clear() {
+    if (size_ != 0) {
+      for (size_t i = 0; i < cap_; ++i) {
+        if (dist_[i]) {
+          slots_[i].~Slot();
+          dist_[i] = 0;
+        }
+      }
+      size_ = 0;
+    }
+  }
+
+  void reserve(size_t n) {
+    size_t want = kMinCapacity;
+    while (want * kLoadNum / kLoadDen < n) want <<= 1;
+    if (want > cap_) rehash(want);
+  }
+
+  // --- lookup ---------------------------------------------------------------
+
+  template <bool Const>
+  class Iter {
+   public:
+    using Map = std::conditional_t<Const, const FlatMap, FlatMap>;
+    using MappedRef = std::conditional_t<Const, const T&, T&>;
+    struct Ref {
+      const Key& first;
+      MappedRef second;
+    };
+    struct Arrow {
+      Ref ref;
+      const Ref* operator->() const { return &ref; }
+    };
+
+    Iter() = default;
+    Iter(Map* m, size_t i) : m_(m), i_(i) {}
+    // Non-const -> const conversion.
+    template <bool C = Const, class = std::enable_if_t<C>>
+    Iter(const Iter<false>& o) : m_(o.map()), i_(o.index()) {}
+
+    Ref operator*() const { return {m_->key_at(i_), m_->val_at(i_)}; }
+    Arrow operator->() const { return Arrow{{m_->key_at(i_), m_->val_at(i_)}}; }
+    Iter& operator++() {
+      ++i_;
+      skip();
+      return *this;
+    }
+    bool operator==(const Iter& o) const { return i_ == o.i_; }
+    bool operator!=(const Iter& o) const { return i_ != o.i_; }
+
+    size_t index() const { return i_; }
+    Map* map() const { return m_; }
+    void skip() {
+      while (i_ < m_->cap_ && m_->dist_[i_] == 0) ++i_;
+    }
+
+   private:
+    Map* m_ = nullptr;
+    size_t i_ = 0;
+  };
+
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+
+  iterator begin() {
+    iterator it(this, 0);
+    it.skip();
+    return it;
+  }
+  iterator end() { return iterator(this, cap_); }
+  const_iterator begin() const {
+    const_iterator it(this, 0);
+    it.skip();
+    return it;
+  }
+  const_iterator end() const { return const_iterator(this, cap_); }
+
+  iterator find(const Key& k) {
+    const size_t i = find_index(k);
+    return i == kNpos ? end() : iterator(this, i);
+  }
+  const_iterator find(const Key& k) const {
+    const size_t i = find_index(k);
+    return i == kNpos ? end() : const_iterator(this, i);
+  }
+  bool contains(const Key& k) const { return find_index(k) != kNpos; }
+  size_t count(const Key& k) const { return contains(k) ? 1 : 0; }
+
+  // Throws like std::unordered_map::at — a missing key must not become a
+  // wild read in release builds (an assert would compile out under NDEBUG).
+  T& at(const Key& k) {
+    const size_t i = find_index(k);
+    if (i == kNpos) throw std::out_of_range("FlatMap::at: key not found");
+    return val_at(i);
+  }
+  const T& at(const Key& k) const {
+    const size_t i = find_index(k);
+    if (i == kNpos) throw std::out_of_range("FlatMap::at: key not found");
+    return val_at(i);
+  }
+
+  // Pointer-or-null lookup (no iterator round trip on the hot path).
+  T* find_ptr(const Key& k) {
+    const size_t i = find_index(k);
+    return i == kNpos ? nullptr : &val_at(i);
+  }
+  const T* find_ptr(const Key& k) const {
+    const size_t i = find_index(k);
+    return i == kNpos ? nullptr : &val_at(i);
+  }
+
+  // Handle-revalidation primitive: if `*hint` still names this key's slot,
+  // one key compare resolves the lookup; otherwise fall back to a probe and
+  // refresh the hint. Returns null if the key is absent (hint untouched).
+  T* find_hinted(const Key& k, uint32_t* hint) {
+    const size_t h = *hint;
+    if (h < cap_ && dist_[h] != 0 && key_at(h) == k) return &val_at(h);
+    const size_t i = find_index(k);
+    if (i == kNpos) return nullptr;
+    *hint = static_cast<uint32_t>(i);
+    return &val_at(i);
+  }
+
+  // Slot index of an entry found via find/emplace; feeds handle hints.
+  size_t index_of(const_iterator it) const { return it.index(); }
+
+  // --- insertion ------------------------------------------------------------
+
+  T& operator[](const Key& k) { return *try_emplace(k).first; }
+
+  // Returns {&value, inserted}.
+  std::pair<T*, bool> try_emplace(const Key& k) {
+    // Probe before growing: a lookup of a present key must never rehash
+    // (rehashing would invalidate every live pointer and handle hint for
+    // what is semantically a read).
+    const size_t i = find_index(k);
+    if (i != kNpos) return {&val_at(i), false};
+    if (cap_ == 0 || size_ + 1 > cap_ * kLoadNum / kLoadDen) {
+      rehash(cap_ ? cap_ * 2 : kMinCapacity);
+    }
+    size_t j = insert_new(Key(k), T());
+    // kNpos: a mid-insert grow (256-probe overflow) lost track of the new
+    // entry's slot; it is in the table, so a fresh probe finds it.
+    if (j == kNpos) j = find_index(k);
+    return {&val_at(j), true};
+  }
+
+  template <class V>
+  std::pair<T*, bool> emplace(const Key& k, V&& v) {
+    auto [p, inserted] = try_emplace(k);
+    if (inserted) *p = std::forward<V>(v);
+    return {p, inserted};
+  }
+  std::pair<T*, bool> insert(std::pair<Key, T> kv) {
+    auto [p, inserted] = try_emplace(kv.first);
+    if (inserted) *p = std::move(kv.second);
+    return {p, inserted};
+  }
+
+  // --- erase ----------------------------------------------------------------
+
+  size_t erase(const Key& k) {
+    const size_t i = find_index(k);
+    if (i == kNpos) return 0;
+    erase_index(i);
+    return 1;
+  }
+
+  // Erase by iterator; returns the iterator to the next entry. Note that
+  // backward shift pulls the cluster after `it` one slot left, so the same
+  // index may now hold the next element — re-testing it is exactly right.
+  iterator erase(iterator it) {
+    erase_index(it.index());
+    iterator next(this, it.index());
+    next.skip();
+    return next;
+  }
+
+  // std::erase_if equivalent, aware of backward-shift semantics.
+  template <class Pred>
+  size_t erase_if(Pred pred) {
+    size_t n = 0;
+    for (size_t i = 0; i < cap_;) {
+      if (dist_[i] != 0 &&
+          pred(typename iterator::Ref{key_at(i), val_at(i)})) {
+        erase_index(i);  // shifted-in successor lands at i: do not advance
+        ++n;
+      } else {
+        ++i;
+      }
+    }
+    return n;
+  }
+
+ private:
+  static constexpr size_t kNpos = ~size_t{0};
+
+  Key& key_at(size_t i) { return slots_[i].first; }
+  const Key& key_at(size_t i) const { return slots_[i].first; }
+  T& val_at(size_t i) { return slots_[i].second; }
+  const T& val_at(size_t i) const { return slots_[i].second; }
+
+  size_t find_index(const Key& k) const {
+    if (size_ == 0) return kNpos;
+    const size_t mask = cap_ - 1;
+    size_t i = static_cast<size_t>(Hash{}(k)) & mask;
+    uint8_t dist = 1;  // stored distance of a home-slot entry
+    for (;;) {
+      const uint8_t d = dist_[i];
+      // Robin-hood invariant: entries along a probe path have stored
+      // distance >= our current distance; the first slot that is empty or
+      // "richer" than us proves absence.
+      if (d < dist) return kNpos;
+      if (d == dist && key_at(i) == k) return i;
+      i = (i + 1) & mask;
+      if (++dist == 0) return kNpos;  // probe length >255: cannot be stored
+    }
+  }
+
+  // Robin-hood insert of a key known to be absent. Returns the slot where
+  // the *new* entry ended up (it may displace poorer entries downstream).
+  size_t insert_new(Key&& k, T&& v) {
+    const size_t mask = cap_ - 1;
+    size_t i = static_cast<size_t>(Hash{}(k)) & mask;
+    uint8_t dist = 1;
+    size_t placed = kNpos;
+    for (;;) {
+      if (dist_[i] == 0) {
+        new (&slots_[i]) Slot(std::move(k), std::move(v));
+        dist_[i] = dist;
+        ++size_;
+        return placed == kNpos ? i : placed;
+      }
+      if (dist_[i] < dist) {
+        // Rob the rich: park the in-flight entry here, carry the old one on.
+        std::swap(slots_[i].first, k);
+        std::swap(slots_[i].second, v);
+        std::swap(dist_[i], dist);
+        if (placed == kNpos) placed = i;
+      }
+      i = (i + 1) & mask;
+      ++dist;
+      if (dist == 0) {
+        // Probe length overflowed the uint8 distance domain (practically
+        // unreachable below the load ceiling): grow, finish placing the
+        // in-flight displaced entry, and report the new entry's slot as
+        // unknown — the grow moved it.
+        rehash(cap_ * 2);
+        insert_new(std::move(k), std::move(v));
+        return kNpos;
+      }
+    }
+  }
+
+  void erase_index(size_t i) {
+    const size_t mask = cap_ - 1;
+    slots_[i].~Slot();
+    dist_[i] = 0;
+    --size_;
+    // Backward shift: pull each successor one slot toward its home until a
+    // hole or a home-slot entry ends the cluster. No tombstones, so probe
+    // sequences never accumulate junk.
+    size_t j = (i + 1) & mask;
+    while (dist_[j] > 1) {
+      new (&slots_[i]) Slot(std::move(slots_[j]));
+      dist_[i] = static_cast<uint8_t>(dist_[j] - 1);
+      slots_[j].~Slot();
+      dist_[j] = 0;
+      i = j;
+      j = (j + 1) & mask;
+    }
+  }
+
+  void rehash(size_t new_cap) {
+    if (new_cap < kMinCapacity) new_cap = kMinCapacity;
+    Slot* old_slots = slots_;
+    uint8_t* old_dist = dist_;
+    const size_t old_cap = cap_;
+
+    slots_ = static_cast<Slot*>(::operator new(new_cap * sizeof(Slot)));
+    dist_ = static_cast<uint8_t*>(::operator new(new_cap));
+    std::memset(dist_, 0, new_cap);
+    cap_ = new_cap;
+    size_ = 0;
+
+    for (size_t i = 0; i < old_cap; ++i) {
+      if (old_dist[i]) {
+        insert_new(std::move(old_slots[i].first), std::move(old_slots[i].second));
+        old_slots[i].~Slot();
+      }
+    }
+    ::operator delete(old_slots);
+    ::operator delete(old_dist);
+  }
+
+  void destroy() {
+    clear();
+    ::operator delete(slots_);
+    ::operator delete(dist_);
+    slots_ = nullptr;
+    dist_ = nullptr;
+    cap_ = 0;
+  }
+
+  void copy_from(const FlatMap& o) {
+    slots_ = nullptr;
+    dist_ = nullptr;
+    cap_ = 0;
+    size_ = 0;
+    if (o.size_ == 0) return;
+    rehash(o.cap_);
+    for (size_t i = 0; i < o.cap_; ++i) {
+      if (o.dist_[i]) insert_new(Key(o.slots_[i].first), T(o.slots_[i].second));
+    }
+  }
+
+  void steal(FlatMap& o) {
+    slots_ = std::exchange(o.slots_, nullptr);
+    dist_ = std::exchange(o.dist_, nullptr);
+    cap_ = std::exchange(o.cap_, 0);
+    size_ = std::exchange(o.size_, 0);
+  }
+
+  using Slot = std::pair<Key, T>;
+
+  Slot* slots_ = nullptr;
+  uint8_t* dist_ = nullptr;  // 0 = empty, else probe distance + 1
+  size_t cap_ = 0;           // power of two (or 0 before first insert)
+  size_t size_ = 0;
+};
+
+// Set facade over the same engine (values are zero-size placeholders; the
+// engine still allocates 1 byte per slot for them, which is noise next to
+// the key array).
+template <class Key, class Hash = FlatHash<Key>>
+class FlatSet {
+  struct Empty {};
+
+ public:
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  void clear() { map_.clear(); }
+  void reserve(size_t n) { map_.reserve(n); }
+  bool contains(const Key& k) const { return map_.contains(k); }
+  size_t count(const Key& k) const { return map_.count(k); }
+  // Returns true if the key was newly inserted (matches std::set semantics
+  // of insert().second).
+  bool insert(const Key& k) { return map_.try_emplace(k).second; }
+  size_t erase(const Key& k) { return map_.erase(k); }
+
+  template <class Fn>
+  void for_each(Fn fn) const {
+    for (auto&& kv : map_) fn(kv.first);
+  }
+
+ private:
+  FlatMap<Key, Empty, Hash> map_;
+};
+
+}  // namespace chc

@@ -189,7 +189,7 @@ void NfInstance::maybe_drain_waiting() {
   client_->set_current_clock(kNoClock);
 
   // Issue acquires for flows that have not asked yet.
-  for (auto& [hash, w] : waiting_flows_) {
+  for (auto&& [hash, w] : waiting_flows_) {
     if (!w.acquiring && !w.pkts.empty()) {
       if (!client_->acquire_flow(w.pkts.front().tuple)) {
         w.acquiring = true;  // grant will arrive on the async link
@@ -202,7 +202,7 @@ void NfInstance::maybe_drain_waiting() {
 
   auto waiting = std::move(waiting_flows_);
   waiting_flows_.clear();
-  for (auto& [hash, w] : waiting) {
+  for (auto&& [hash, w] : waiting) {
     for (Packet& p : w.pkts) process_packet(p);
   }
 }

@@ -16,9 +16,8 @@
 #include <memory>
 #include <mutex>
 #include <thread>
-#include <unordered_map>
-#include <unordered_set>
 
+#include "common/flat_map.h"
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "core/nf.h"
@@ -123,7 +122,7 @@ class NfInstance {
   std::atomic<bool> paused_ack_{false};
 
   // Duplicate suppression: recently seen clocks, bounded FIFO eviction.
-  std::unordered_set<LogicalClock> seen_;
+  FlatSet<LogicalClock> seen_;
   std::deque<LogicalClock> seen_order_;
   static constexpr size_t kSeenCap = 1 << 17;
 
@@ -136,7 +135,7 @@ class NfInstance {
     std::vector<Packet> pkts;
     bool acquiring = false;  // acquire issued, grant pending
   };
-  std::unordered_map<uint64_t, WaitingFlow> waiting_flows_;
+  FlatMap<uint64_t, WaitingFlow> waiting_flows_;
   std::vector<std::shared_ptr<std::atomic<bool>>> inbound_moves_;
   void maybe_drain_waiting();
 

@@ -204,7 +204,7 @@ double Root::recover() {
   // clock values are never reassigned (§5.4 + footnote 5).
   client_->set_current_clock(kNoClock);
   Value v = client_->get(kRootClockObj, FiveTuple{});
-  const uint64_t persisted = v.kind == Value::Kind::kInt ? static_cast<uint64_t>(v.i) : 0;
+  const uint64_t persisted = static_cast<uint64_t>(v.as_int());
   {
     std::lock_guard lk(mu_);
     counter_ = persisted + static_cast<uint64_t>(cfg_.clock_persist_every);

@@ -6,92 +6,90 @@ namespace chc {
 
 void register_custom_ops(DataStore& store) {
   store.register_custom_op(kOpPickLeastLoaded, [](const Value& old, const Value& arg) {
-    // arg.i = number of servers (sizes the list on first use). The new
+    // arg = number of servers (sizes the list on first use). The new
     // value is the updated count list with an extra trailing element
     // recording which index was picked, so the caller can read it from the
     // op result. The trailing element is stripped by the next op.
     Value v = old;
-    const size_t n = static_cast<size_t>(std::max<int64_t>(1, arg.i));
-    if (v.kind != Value::Kind::kList || v.list.size() < n) {
+    const size_t n = static_cast<size_t>(std::max<int64_t>(1, arg.as_int()));
+    if (!v.is_list() || v.list_size() < n) {
       v = Value::of_list(std::vector<int64_t>(n, 0));
-    } else if (v.list.size() > n) {
-      v.list.resize(n);  // strip previous pick marker
+    } else if (v.list_size() > n) {
+      v.list_resize(n);  // strip previous pick marker
     }
     size_t best = 0;
     for (size_t i = 1; i < n; ++i) {
-      if (v.list[i] < v.list[best]) best = i;
+      if (v.list_at(i) < v.list_at(best)) best = i;
     }
-    v.list[best]++;
-    v.list.push_back(static_cast<int64_t>(best));  // pick marker
+    v.list_at(best)++;
+    v.list_push_back(static_cast<int64_t>(best));  // pick marker
     return v;
   });
 
   store.register_custom_op(kOpListAdd, [](const Value& old, const Value& arg) {
     Value v = old;
-    if (arg.kind != Value::Kind::kList || arg.list.size() < 2) return v;
-    const size_t idx = static_cast<size_t>(arg.list[0]);
-    if (v.kind != Value::Kind::kList) v = Value::of_list({});
-    if (v.list.size() <= idx) v.list.resize(idx + 1, 0);
-    v.list[idx] += arg.list[1];
+    if (arg.list_size() < 2) return v;
+    const size_t idx = static_cast<size_t>(arg.list_at(0));
+    if (v.list_size() <= idx) v.list_resize(idx + 1, 0);
+    v.list_at(idx) += arg.list_at(1);
     return v;
   });
 
   store.register_custom_op(kOpListDecAt, [](const Value& old, const Value& arg) {
     Value v = old;
-    const size_t idx = static_cast<size_t>(arg.i);
-    if (v.kind == Value::Kind::kList && idx < v.list.size() && v.list[idx] > 0) {
+    const size_t idx = static_cast<size_t>(arg.as_int());
+    if (idx < v.list_size() && v.list_at(idx) > 0) {
       // Strip any pick marker before decrementing.
-      v.list[idx]--;
+      v.list_at(idx)--;
     }
     return v;
   });
 
   store.register_custom_op(kOpClampAdd, [](const Value& old, const Value& arg) {
     Value v = old;
-    if (v.kind != Value::Kind::kInt) v = Value::of_int(0);
-    v.i = std::max<int64_t>(0, v.i + arg.i);
+    v.set_int(std::max<int64_t>(0, v.as_int() + arg.as_int()));
     return v;
   });
 
   store.register_custom_op(kOpTrojanStep, [](const Value& old, const Value& arg) {
     Value v = old;
-    if (v.kind != Value::Kind::kList || v.list.size() < 6) {
+    if (v.list_size() < 6) {
       v = Value::of_list(std::vector<int64_t>(6, -1));
-      v.list[kSlotDetected] = 0;
+      v.list_at(kSlotDetected) = 0;
     }
-    if (arg.kind != Value::Kind::kList || arg.list.size() < 2) return v;
-    const size_t slot = static_cast<size_t>(arg.list[0]);
-    const int64_t t = arg.list[1];
+    if (arg.list_size() < 2) return v;
+    const size_t slot = static_cast<size_t>(arg.list_at(0));
+    const int64_t t = arg.list_at(1);
     if (slot > kSlotIrc) return v;
-    v.list[kSlotDetected] = 0;  // the flag is transient: set only on the
-                                // transition that completes the sequence
+    v.list_at(kSlotDetected) = 0;  // the flag is transient: set only on the
+                                   // transition that completes the sequence
 
     if (slot == kSlotSsh) {
-      if (v.list[kSlotSsh] < 0 || t < v.list[kSlotSsh]) {
+      if (v.list_at(kSlotSsh) < 0 || t < v.list_at(kSlotSsh)) {
         // Record the (earliest known) SSH open; events recorded before it
         // in *time* are no longer part of this session's sequence.
-        v.list[kSlotSsh] = t;
+        v.list_at(kSlotSsh) = t;
       }
     } else {
       // Record the event's time. Events may *arrive* out of order (slow
       // upstream NFs); the judgment below uses the recorded times — with
       // chain-wide logical clocks that is the true network arrival order.
-      v.list[slot] = t;
+      v.list_at(slot) = t;
     }
 
     // Evaluate the full SSH < {HTML, ZIP, EXE} < IRC predicate after every
     // event: a late-arriving copy can be the one that completes it.
-    const int64_t ssh = v.list[kSlotSsh];
-    const int64_t h = v.list[kSlotFtpHtml];
-    const int64_t z = v.list[kSlotFtpZip];
-    const int64_t e = v.list[kSlotFtpExe];
-    const int64_t irc = v.list[kSlotIrc];
+    const int64_t ssh = v.list_at(kSlotSsh);
+    const int64_t h = v.list_at(kSlotFtpHtml);
+    const int64_t z = v.list_at(kSlotFtpZip);
+    const int64_t e = v.list_at(kSlotFtpExe);
+    const int64_t irc = v.list_at(kSlotIrc);
     if (ssh >= 0 && h > ssh && z > ssh && e > ssh && irc > h && irc > z && irc > e) {
-      v.list[kSlotDetected] = 1;  // full sequence in network-arrival order
+      v.list_at(kSlotDetected) = 1;  // full sequence in network-arrival order
       // One infection counts once: restart the sequence.
-      v.list[kSlotSsh] = -1;
-      v.list[kSlotFtpHtml] = v.list[kSlotFtpZip] = v.list[kSlotFtpExe] = -1;
-      v.list[kSlotIrc] = -1;
+      v.list_at(kSlotSsh) = -1;
+      v.list_at(kSlotFtpHtml) = v.list_at(kSlotFtpZip) = v.list_at(kSlotFtpExe) = -1;
+      v.list_at(kSlotIrc) = -1;
     }
     return v;
   });

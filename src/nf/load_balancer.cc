@@ -17,14 +17,17 @@ void LoadBalancer::process(Packet& p, NfContext& ctx) {
     // double-assign because the store serializes the op (§4.3).
     Value counts = st.custom(kServerConns, p.tuple, kOpPickLeastLoaded,
                              Value::of_int(num_servers_));
-    if (counts.kind == Value::Kind::kList && !counts.list.empty()) {
-      server = counts.list.back();  // pick marker appended by the op
+    if (!counts.list_empty()) {
+      server = counts.list_back();  // pick marker appended by the op
     }
     if (server < 0) server = 0;
-    st.set(kConnMapping, p.tuple, Value::of_int(server));
+    FlowHandle& h = mapping_handles_.at(st, kConnMapping, p.tuple);
+    st.set(h, Value::of_int(server));
   } else {
-    Value m = st.get(kConnMapping, p.tuple);
-    if (m.kind == Value::Kind::kInt) server = m.i;
+    // Steady state: the connection's pin resolves through its flow handle.
+    FlowHandle& h = mapping_handles_.at(st, kConnMapping, p.tuple);
+    Value m = st.get(h);
+    if (m.is_int()) server = m.as_int();
   }
 
   if (server >= 0) {

@@ -37,6 +37,8 @@ class LoadBalancer : public NetworkFunction {
 
  private:
   const int num_servers_;
+  // Per-flow handle for the connection -> backend pin.
+  FlowHandleTable mapping_handles_;
 };
 
 }  // namespace chc

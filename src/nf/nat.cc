@@ -24,20 +24,23 @@ void Nat::process(Packet& p, NfContext& ctx) {
   if (p.is_connection_attempt()) {
     auto port = st.pop_list(kPorts, p.tuple);
     int64_t external = port ? *port : 40000 + st.incr(kNextPort, p.tuple, 1);
-    st.set(kPortMapping, p.tuple, Value::of_int(external));
+    FlowHandle& h = mapping_handles_.at(st, kPortMapping, p.tuple);
+    st.set(h, Value::of_int(external));
     p.tuple.src_port = static_cast<uint16_t>(external);
     return;  // forward rewritten SYN
   }
 
-  // Data path: read the (cached) mapping and rewrite.
-  Value m = st.get(kPortMapping, p.tuple);
-  if (m.kind == Value::Kind::kInt) {
-    p.tuple.src_port = static_cast<uint16_t>(m.i);
+  // Data path: read the (cached) mapping through the flow's state handle —
+  // steady-state packets skip key construction/hashing entirely.
+  FlowHandle& h = mapping_handles_.at(st, kPortMapping, p.tuple);
+  Value m = st.get(h);
+  if (m.is_int()) {
+    p.tuple.src_port = static_cast<uint16_t>(m.as_int());
   }
 
   // Teardown: return the port to the pool.
-  if (p.event == AppEvent::kTcpFin && m.kind == Value::Kind::kInt) {
-    st.push_list(kPorts, p.tuple, m.i);
+  if (p.event == AppEvent::kTcpFin && m.is_int()) {
+    st.push_list(kPorts, p.tuple, m.as_int());
   }
 }
 

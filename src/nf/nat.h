@@ -42,6 +42,11 @@ class Nat : public NetworkFunction {
 
   // Seed the shared free-port list (call once before traffic).
   static void seed_ports(StoreClient& client, int first, int count);
+
+ private:
+  // Per-flow handle for the port mapping: resolved on the SYN, reused by
+  // every data packet of the connection.
+  FlowHandleTable mapping_handles_;
 };
 
 }  // namespace chc

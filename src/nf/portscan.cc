@@ -13,28 +13,30 @@ void PortscanDetector::process(Packet& p, NfContext& ctx) {
 
   // Already-blocked hosts are dropped outright (read-heavy cached object).
   Value blocked = st.get(kBlocked, p.tuple);
-  if (blocked.kind == Value::Kind::kInt && blocked.i != 0) {
+  if (blocked.as_int() != 0) {
     ctx.drop();
     return;
   }
 
   if (p.event == AppEvent::kTcpSyn) {
     // Record the pending initiation with its arrival (logical clock) time.
-    st.set(kPending, p.tuple, Value::of_int(static_cast<int64_t>(p.clock)));
+    FlowHandle& h = pending_handles_.at(st, kPending, p.tuple);
+    st.set(h, Value::of_int(static_cast<int64_t>(p.clock)));
     return;
   }
 
   if (p.is_handshake_outcome()) {
-    Value pending = st.get(kPending, p.tuple);
-    if (pending.kind == Value::Kind::kInt) {
+    FlowHandle& h = pending_handles_.at(st, kPending, p.tuple);
+    Value pending = st.get(h);
+    if (pending.is_int()) {
       const int64_t delta =
           p.event == AppEvent::kTcpRst ? kFailDelta : kSuccessDelta;
       // Clamped add, offloaded so every instance's outcome lands in one
       // serialized order (§4.3).
       Value score =
           st.custom(kLikelihood, p.tuple, kOpClampAdd, Value::of_int(delta));
-      st.set(kPending, p.tuple, Value::none());
-      if (score.kind == Value::Kind::kInt && score.i >= kBlockThreshold) {
+      st.set(h, Value::none());
+      if (score.as_int() >= kBlockThreshold) {
         st.set(kBlocked, p.tuple, Value::of_int(1));
         ctx.drop();
         return;

@@ -37,6 +37,11 @@ class PortscanDetector : public NetworkFunction {
   }
 
   void process(Packet& p, NfContext& ctx) override;
+
+ private:
+  // Per-flow handle for the pending-connection record (SYN writes it, the
+  // handshake outcome reads + clears it).
+  FlowHandleTable pending_handles_;
 };
 
 }  // namespace chc

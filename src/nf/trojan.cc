@@ -28,8 +28,7 @@ void TrojanDetector::process(Packet& p, NfContext& ctx) {
   StoreClient& st = ctx.state();
   Value seq = st.custom(kSequence, p.tuple, kOpTrojanStep,
                         Value::of_list({slot, t}));
-  if (seq.kind == Value::Kind::kList && seq.list.size() > kSlotDetected &&
-      seq.list[kSlotDetected] == 1) {
+  if (seq.list_size() > kSlotDetected && seq.list_at(kSlotDetected) == 1) {
     // Full signature observed in order (the op already restarted the
     // sequence so one infection counts once): raise the alarm.
     st.incr(kDetections, p.tuple, 1);

@@ -9,7 +9,15 @@ StoreClient::StoreClient(DataStore* store, const ClientConfig& cfg)
     : store_(store),
       cfg_(cfg),
       sync_link_(std::make_shared<ReplyLink>(cfg.reply_link)),
-      async_link_(std::make_shared<ReplyLink>(cfg.reply_link)) {}
+      async_link_(std::make_shared<ReplyLink>(cfg.reply_link)) {
+  // Steady-state allocation hygiene: per-shard batch buffers exist up front,
+  // and the hot per-flow tables start big enough that normal traffic never
+  // rehashes mid-run.
+  batch_buf_.resize(store_ ? static_cast<size_t>(store_->num_shards()) : 0);
+  cache_.reserve(1024);
+  touched_flows_.reserve(1024);
+  pending_acks_.reserve(256);
+}
 
 void StoreClient::register_object(const ObjectSpec& spec) {
   ObjectState os;
@@ -120,7 +128,7 @@ void StoreClient::do_nonblocking(Request req) {
     // whole batch, and envelope retransmission is safe because every sub-op
     // keeps its own clock for the store's duplicate emulation).
     req.want_ack = false;
-    const int shard = store_->shard_of(req.key);
+    const auto shard = static_cast<size_t>(store_->shard_of(req.key));
     auto& buf = batch_buf_[shard];
     buf.push_back(std::move(req));
     batch_pending_++;
@@ -142,7 +150,16 @@ void StoreClient::do_nonblocking(Request req) {
           if (resp->status == Status::kEmulated) stats_.emulated++;
           return;
         }
-        handle_async(*resp);
+        if (resp->msg == Response::Kind::kAck) {
+          handle_async(*resp);  // ACK bookkeeping never touches cache_
+        } else {
+          // Callbacks/grants insert into cache_. do_nonblocking can run
+          // under a live CacheEntry& (flush_entry), and FlatMap inserts
+          // move entries — unlike the old node-based map, which had
+          // reference stability. Defer them to the next poll(), where no
+          // cache reference is held.
+          deferred_async_.push_back(std::move(*resp));
+        }
       }
       stats_.retransmissions++;
       store_->submit(req);
@@ -177,12 +194,17 @@ void StoreClient::handle_async(const Response& r) {
       // must not double-decrement ownership_pending_.
       auto it = ownership_retry_.find(r.key);
       if (it == ownership_retry_.end()) break;
+      const FiveTuple tuple = it->second.tuple;
+      ownership_retry_.erase(it);
       CacheEntry& e = cache_[r.key];
       e.value = r.value;
-      e.tuple = it->second.tuple;
+      e.tuple = tuple;
       e.loaded = true;
       e.dirty = false;
-      ownership_retry_.erase(it);
+      // Owning the flow's state counts as touching it: release_matching
+      // (and the handle fast path, which skips per-op touch bookkeeping)
+      // must see the flow even if no packet op lands before the next move.
+      touched_flows_.emplace(scope_hash(tuple, Scope::kFiveTuple), tuple);
       if (ownership_pending_ > 0) ownership_pending_--;
       break;
     }
@@ -199,7 +221,7 @@ void StoreClient::track_pending(Request req) {
 
 void StoreClient::flush_batches() {
   if (batch_pending_ == 0) return;
-  for (auto& [shard, buf] : batch_buf_) {
+  for (auto& buf : batch_buf_) {
     if (buf.empty()) continue;
     stats_.batches_sent++;
     stats_.batched_ops += buf.size();
@@ -235,6 +257,12 @@ void StoreClient::flush_batches() {
 void StoreClient::poll() {
   if (cfg_.local_only) return;
   flush_batches();
+  if (!deferred_async_.empty()) {
+    // Cache-mutating messages parked by do_nonblocking's ACK wait.
+    std::vector<Response> deferred = std::move(deferred_async_);
+    deferred_async_.clear();
+    for (const Response& r : deferred) handle_async(r);
+  }
   while (auto r = async_link_->try_recv()) handle_async(*r);
 
   // Grant-loss recovery: a deferred kAcquireOwner is answered by a single
@@ -255,12 +283,14 @@ void StoreClient::poll() {
       auto it = ownership_retry_.find(key);
       if (it == ownership_retry_.end()) continue;  // grant raced the retry
       if (r.status == Status::kOk) {
+        const FiveTuple tuple = it->second.tuple;
+        ownership_retry_.erase(it);
         CacheEntry& e = cache_[key];
         e.value = r.value;
-        e.tuple = it->second.tuple;
+        e.tuple = tuple;
         e.loaded = true;
         e.dirty = false;
-        ownership_retry_.erase(it);
+        touched_flows_.emplace(scope_hash(tuple, Scope::kFiveTuple), tuple);
         if (ownership_pending_ > 0) ownership_pending_--;
       } else {
         it->second.deadline = SteadyClock::now() + cfg_.blocking_timeout;
@@ -270,7 +300,7 @@ void StoreClient::poll() {
 
   if (pending_acks_.empty()) return;
   const TimePoint now = SteadyClock::now();
-  for (auto& [id, pa] : pending_acks_) {
+  for (auto&& [id, pa] : pending_acks_) {
     if (now >= pa.deadline && pa.retries < cfg_.max_retries) {
       // Safe to re-issue: the store emulates duplicates by clock (§5.3).
       store_->submit(pa.req);
@@ -298,7 +328,7 @@ StoreClient::CacheEntry& StoreClient::load_cache(const ObjectState& os,
     req.key = key;
     Response r = do_blocking(req);
     e.value = r.status == Status::kOk ? r.value : Value::none();
-    e.applied_clocks.insert(r.applied_clocks.begin(), r.applied_clocks.end());
+    for (LogicalClock c : r.applied_clocks) e.applied_clocks.insert(c);
     e.loaded = true;
     if (key.shared && r.status != Status::kError) {
       read_log_.push_back({current_clock_, key, e.value, r.ts});
@@ -320,6 +350,13 @@ Value StoreClient::cached_apply(ObjectState& os, const StoreKey& key,
                                 const Value& arg2, uint16_t custom_id,
                                 Status* status) {
   CacheEntry& e = load_cache(os, key, t);
+  return apply_to_entry(os, key, e, op, arg, arg2, custom_id, status);
+}
+
+Value StoreClient::apply_to_entry(ObjectState& os, const StoreKey& key,
+                                  CacheEntry& e, OpType op, const Value& arg,
+                                  const Value& arg2, uint16_t custom_id,
+                                  Status* status) {
   stats_.cache_hits++;
 
   // Client-side duplicate emulation: a replayed packet whose effect is
@@ -368,13 +405,16 @@ void StoreClient::flush_entry(const ObjectState& os, const StoreKey& key,
   req.covered_clocks = e.pending_clocks;
   req.clock = current_clock_;
   req.flush_seq = ++flush_seq_;  // stale-retransmission guard
-  // Table 1: flushes have non-blocking semantics; reliability comes from
-  // the pending-ACK retransmission machinery.
-  do_nonblocking(std::move(req));
-  for (LogicalClock c : e.pending_clocks) e.applied_clocks.insert(c);
+  // Entry bookkeeping happens BEFORE the send: do_nonblocking may wait for
+  // an ACK, and `e` must not be relied on across anything that could grow
+  // the cache table (see deferred_async_).
+  for (LogicalClock c : req.covered_clocks) e.applied_clocks.insert(c);
   e.pending_clocks.clear();
   e.dirty = false;
   e.updates_since_flush = 0;
+  // Table 1: flushes have non-blocking semantics; reliability comes from
+  // the pending-ACK retransmission machinery.
+  do_nonblocking(std::move(req));
 }
 
 // --- NF-facing operations ---------------------------------------------------
@@ -386,7 +426,7 @@ int64_t StoreClient::incr(ObjectId obj, const FiveTuple& t, int64_t delta) {
   if (cached_now(os) && os.strategy != Strategy::kCacheCallback) {
     Status st;
     Value v = cached_apply(os, key, t, OpType::kIncr, Value::of_int(delta), {}, 0, &st);
-    return v.kind == Value::Kind::kInt ? v.i : 0;
+    return v.as_int();
   }
   Request req;
   req.op = OpType::kIncr;
@@ -406,7 +446,7 @@ int64_t StoreClient::incr(ObjectId obj, const FiveTuple& t, int64_t delta) {
     e.value = r.value;
     e.loaded = true;
   }
-  return r.value.kind == Value::Kind::kInt ? r.value.i : 0;
+  return r.value.as_int();
 }
 
 Value StoreClient::get(ObjectId obj, const FiveTuple& t) {
@@ -463,6 +503,78 @@ void StoreClient::set(ObjectId obj, const FiveTuple& t, Value v) {
   }
 }
 
+// --- per-flow state handles --------------------------------------------------
+// The fast path of each op requires a loaded cache entry found through the
+// slot hint; everything it skips relative to the keyed op is work whose
+// result cannot change between packets of one flow: objects_ lookup, key
+// construction, key hashing, the cache probe, and the touched_flows_ insert
+// (a loaded per-flow entry implies the flow is already recorded — keyed ops
+// and the ownership-grant paths maintain that invariant). Any miss falls
+// back to the keyed op, which re-establishes all of it.
+
+FlowHandle StoreClient::open_flow(ObjectId obj, const FiveTuple& t) {
+  FlowHandle h;
+  h.obj_ = obj;
+  h.tuple_ = t;
+  ObjectState& os = objects_.at(obj);
+  h.key_ = key_for(os, t);
+  h.key_.hash();  // memoize: steady-state ops never run the mix again
+  // Cross-flow objects get a pass-through handle: their caching strategies
+  // (callbacks, exclusivity) need the full keyed path every time.
+  h.valid_ = !os.spec.cross_flow;
+  return h;
+}
+
+StoreClient::CacheEntry* StoreClient::revalidate(FlowHandle& h) {
+  return cache_.find_hinted(h.key_, &h.hint_);
+}
+
+int64_t StoreClient::incr(FlowHandle& h, int64_t delta) {
+  if (h.valid_) {
+    ObjectState& os = objects_.at(h.obj_);
+    if (cached_now(os)) {
+      if (CacheEntry* e = revalidate(h); e && e->loaded) {
+        stats_.handle_fast_hits++;
+        return apply_to_entry(os, h.key_, *e, OpType::kIncr, Value::of_int(delta),
+                              {}, 0, nullptr)
+            .as_int();
+      }
+    }
+  }
+  stats_.handle_slow_paths++;
+  return incr(h.obj_, h.tuple_, delta);
+}
+
+Value StoreClient::get(FlowHandle& h) {
+  if (h.valid_) {
+    ObjectState& os = objects_.at(h.obj_);
+    if (cached_now(os)) {
+      if (CacheEntry* e = revalidate(h); e && e->loaded) {
+        stats_.handle_fast_hits++;
+        stats_.cache_hits++;
+        return e->value;
+      }
+    }
+  }
+  stats_.handle_slow_paths++;
+  return get(h.obj_, h.tuple_);
+}
+
+void StoreClient::set(FlowHandle& h, Value v) {
+  if (h.valid_) {
+    ObjectState& os = objects_.at(h.obj_);
+    if (cached_now(os)) {
+      if (CacheEntry* e = revalidate(h); e && e->loaded) {
+        stats_.handle_fast_hits++;
+        apply_to_entry(os, h.key_, *e, OpType::kSet, v, {}, 0, nullptr);
+        return;
+      }
+    }
+  }
+  stats_.handle_slow_paths++;
+  set(h.obj_, h.tuple_, std::move(v));
+}
+
 std::optional<int64_t> StoreClient::pop_list(ObjectId obj, const FiveTuple& t) {
   ObjectState& os = objects_.at(obj);
   const StoreKey key = key_for(os, t);
@@ -470,8 +582,8 @@ std::optional<int64_t> StoreClient::pop_list(ObjectId obj, const FiveTuple& t) {
   if (cfg_.local_only) {
     Status st;
     Value v = cached_apply(os, key, t, OpType::kPopList, {}, {}, 0, &st);
-    if (st != Status::kOk || v.kind != Value::Kind::kInt) return std::nullopt;
-    return v.i;
+    if (st != Status::kOk || !v.is_int()) return std::nullopt;
+    return v.as_int();
   }
   // Pops are inherently read-modify-write on shared structure; they are
   // always offloaded so the store serializes competing poppers (§4.3).
@@ -481,11 +593,11 @@ std::optional<int64_t> StoreClient::pop_list(ObjectId obj, const FiveTuple& t) {
   req.clock = current_clock_;
   if (key.shared) record_wal(key, OpType::kPopList, {}, {}, 0);
   Response r = do_blocking(std::move(req));
-  if (r.status == Status::kNotFound || r.value.kind != Value::Kind::kInt) {
+  if (r.status == Status::kNotFound || !r.value.is_int()) {
     return std::nullopt;
   }
   note_update(obj);
-  return r.value.i;
+  return r.value.as_int();
 }
 
 void StoreClient::push_list_bulk(ObjectId obj, const FiveTuple& t,
@@ -530,7 +642,7 @@ void StoreClient::push_list_bulk(ObjectId obj, const FiveTuple& t,
     probe.op = OpType::kGet;
     probe.key = key;
     Response r = do_blocking(std::move(probe));
-    return r.value.kind == Value::Kind::kList ? r.value.list.size() : 0;
+    return r.value.list_size();
   };
   const size_t before = list_size();
   for (int attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
@@ -628,7 +740,7 @@ int64_t StoreClient::nondet_random() {
   req.clock = current_clock_;
   req.key.vertex = cfg_.vertex;
   Response r = do_blocking(std::move(req));
-  return r.value.i;
+  return r.value.as_int();
 }
 
 int64_t StoreClient::nondet_now_usec() {
@@ -642,13 +754,13 @@ int64_t StoreClient::nondet_now_usec() {
   req.clock = current_clock_;
   req.key.vertex = cfg_.vertex;
   Response r = do_blocking(std::move(req));
-  return r.value.i;
+  return r.value.as_int();
 }
 
 // --- framework hooks --------------------------------------------------------
 
 void StoreClient::flush_all() {
-  for (auto& [key, e] : cache_) {
+  for (auto&& [key, e] : cache_) {
     if (!e.dirty) continue;
     auto it = objects_.find(key.object);
     if (it == objects_.end()) continue;
@@ -658,13 +770,12 @@ void StoreClient::flush_all() {
 }
 
 void StoreClient::release_flow(const FiveTuple& t) {
-  for (auto& [id, os] : objects_) {
+  for (auto&& [id, os] : objects_) {
     if (os.spec.cross_flow) continue;
     const StoreKey key = key_for(os, t);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      flush_entry(os, key, it->second, /*release_ownership=*/true);
-      cache_.erase(it);
+    if (CacheEntry* e = cache_.find_ptr(key)) {
+      flush_entry(os, key, *e, /*release_ownership=*/true);
+      cache_.erase(key);  // by key: slot indexes don't outlive flush_entry
     } else if (!cfg_.local_only) {
       Request req;
       req.op = OpType::kReleaseOwner;
@@ -698,12 +809,13 @@ void StoreClient::release_matching(
   // Bulk path: one kBatch message per shard instead of one release per
   // flow — "CHC flushes only operations" (§7.3 R2). Each sub-request is a
   // kReleaseOwner carrying the flushed value + covered clocks.
-  std::unordered_set<uint64_t> released;
+  FlatSet<uint64_t> released;
   released.reserve(to_release.size());
   for (const FiveTuple& t : to_release) {
     released.insert(scope_hash(t, Scope::kFiveTuple));
   }
-  std::unordered_map<int, std::shared_ptr<std::vector<Request>>> per_shard;
+  std::vector<std::shared_ptr<std::vector<Request>>> per_shard(
+      static_cast<size_t>(store_->num_shards()));
   auto sub_for = [&](const StoreKey& key, CacheEntry* e) {
     Request sub;
     sub.op = OpType::kReleaseOwner;
@@ -718,14 +830,14 @@ void StoreClient::release_matching(
       sub.arg = std::move(e->value);
       sub.covered_clocks = std::move(e->pending_clocks);
     }
-    auto& batch = per_shard[store_->shard_of(key)];
+    auto& batch = per_shard[static_cast<size_t>(store_->shard_of(key))];
     if (!batch) batch = std::make_shared<std::vector<Request>>();
     batch->push_back(std::move(sub));
   };
   // One pass over the cache collects every per-flow entry being released.
   std::vector<StoreKey> victims;
   victims.reserve(released.size());
-  for (auto& [key, e] : cache_) {
+  for (auto&& [key, e] : cache_) {
     if (!key.shared && released.contains(scope_hash(e.tuple, Scope::kFiveTuple))) {
       victims.push_back(key);
     }
@@ -737,13 +849,14 @@ void StoreClient::release_matching(
   // Flows touched but not cached (caching off) still need their release.
   if (!cfg_.caching) {
     for (const FiveTuple& t : to_release) {
-      for (auto& [id, os] : objects_) {
+      for (auto&& [id, os] : objects_) {
         if (!os.spec.cross_flow) sub_for(key_for(os, t), nullptr);
       }
     }
   }
-  for (uint64_t h : released) touched_flows_.erase(h);
-  for (auto& [shard, batch] : per_shard) {
+  released.for_each([&](uint64_t h) { touched_flows_.erase(h); });
+  for (auto& batch : per_shard) {
+    if (!batch) continue;
     Request req;
     req.op = OpType::kBatch;
     req.key = batch->front().key;  // routes the batch to its shard
@@ -756,7 +869,7 @@ void StoreClient::release_matching(
 bool StoreClient::acquire_flow(const FiveTuple& t) {
   if (cfg_.local_only) return true;
   bool all_granted = true;
-  for (auto& [id, os] : objects_) {
+  for (auto&& [id, os] : objects_) {
     if (os.spec.cross_flow) continue;
     const StoreKey key = key_for(os, t);
     Request req;
@@ -770,6 +883,7 @@ bool StoreClient::acquire_flow(const FiveTuple& t) {
       e.tuple = t;
       e.loaded = true;
       e.dirty = false;
+      touched_flows_.emplace(scope_hash(t, Scope::kFiveTuple), t);
     } else if (r.status == Status::kNotOwner) {
       // Old instance still owns the flow: the store will push an
       // OwnershipGranted notification once it releases (Fig. 4 step 6).
@@ -791,10 +905,10 @@ void StoreClient::set_exclusive(ObjectId obj, bool exclusive) {
   if (os.exclusive && !exclusive) {
     // Losing exclusivity: flush every cached entry of this object so other
     // instances (and the store) see the latest value, then stop caching.
-    for (auto& [key, e] : cache_) {
+    for (auto&& [key, e] : cache_) {
       if (key.object == obj && e.dirty) flush_entry(os, key, e, false);
     }
-    std::erase_if(cache_, [&](const auto& kv) { return kv.first.object == obj; });
+    cache_.erase_if([&](const auto& kv) { return kv.first.object == obj; });
   }
   os.exclusive = exclusive;
 }
@@ -813,9 +927,11 @@ ClientEvidence StoreClient::evidence() const {
 void StoreClient::reset_cache() {
   cache_.clear();
   pending_acks_.clear();
+  deferred_async_.clear();
   // Ops still sitting in batch buffers died with the instance; root replay
-  // re-issues them, exactly like un-ACKed per-op submissions.
-  batch_buf_.clear();
+  // re-issues them, exactly like un-ACKed per-op submissions. Buffer
+  // capacity survives the reset (the restarted instance reuses it).
+  for (auto& buf : batch_buf_) buf.clear();
   batch_pending_ = 0;
   touched_flows_.clear();
   ownership_pending_ = 0;

@@ -17,10 +17,9 @@
 #pragma once
 
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "net/five_tuple.h"
 #include "store/datastore.h"
 
@@ -74,11 +73,38 @@ struct ClientStats {
   uint64_t retransmissions = 0;
   uint64_t callbacks_applied = 0;
   uint64_t emulated = 0;  // duplicate updates the store suppressed
-  // Batching amortization (tentpole telemetry): envelopes sent, ops that
+  // Batching amortization (PR 1 telemetry): envelopes sent, ops that
   // rode in them, and the deepest envelope. ops/envelope ~= amortization.
   uint64_t batches_sent = 0;
   uint64_t batched_ops = 0;
   uint64_t max_batch_depth = 0;
+  // Per-flow handle telemetry: ops where the cached slot hint resolved with
+  // one key compare vs. ops that fell back to a full key probe/load.
+  uint64_t handle_fast_hits = 0;
+  uint64_t handle_slow_paths = 0;
+};
+
+// A per-flow state handle (storage-engine tentpole): the (vertex, object,
+// scope) -> StoreKey resolution and the key hash are computed once, on the
+// first packet of a flow, and the cache slot is remembered as a hint. On
+// later packets the hint revalidates with a single key compare, so the
+// steady-state per-packet path does no key construction, no hashing, and no
+// map probe. Handles self-heal: a slot invalidated by cache reset, flow
+// release/ownership move, or table growth simply misses revalidation and
+// takes the full path once (identical semantics, one probe slower).
+class FlowHandle {
+ public:
+  FlowHandle() = default;
+  bool valid() const { return valid_; }
+  const FiveTuple& tuple() const { return tuple_; }
+
+ private:
+  friend class StoreClient;
+  StoreKey key_;      // resolved + hash-memoized at open
+  FiveTuple tuple_;
+  ObjectId obj_ = 0;
+  uint32_t hint_ = 0;  // cache_ slot hint (authenticated by key compare)
+  bool valid_ = false;
 };
 
 class StoreClient {
@@ -99,6 +125,15 @@ class StoreClient {
   int64_t incr(ObjectId obj, const FiveTuple& t, int64_t delta);
   Value get(ObjectId obj, const FiveTuple& t);
   void set(ObjectId obj, const FiveTuple& t, Value v);
+
+  // --- per-flow state handles (see FlowHandle) ------------------------------
+  // Resolves the store key once; no store traffic. Only per-flow (non
+  // cross-flow) objects get a live handle — for anything else the handle
+  // stays a transparent alias for the keyed ops above.
+  FlowHandle open_flow(ObjectId obj, const FiveTuple& t);
+  int64_t incr(FlowHandle& h, int64_t delta);
+  Value get(FlowHandle& h);
+  void set(FlowHandle& h, Value v);
   std::optional<int64_t> pop_list(ObjectId obj, const FiveTuple& t);
   void push_list(ObjectId obj, const FiveTuple& t, int64_t v);
   // Bulk push over the multi-request path (DataStore::submit_batched): one
@@ -177,7 +212,7 @@ class StoreClient {
     // Clocks whose effect is already reflected in `value` as loaded from the
     // store; replayed packets with these clocks are emulated client-side,
     // mirroring the store's own duplicate suppression (§5.3).
-    std::unordered_set<LogicalClock> applied_clocks;
+    FlatSet<LogicalClock> applied_clocks;
   };
 
   enum class Strategy { kNonBlocking, kCacheFlush, kCacheCallback, kCacheIfExclusive };
@@ -194,6 +229,9 @@ class StoreClient {
   void note_touch(const ObjectState& os, const FiveTuple& t);
   void note_update(ObjectId obj);
   const CustomOpRegistry* custom_registry() const;
+  // Handle fast path: the cache entry the handle's hint names, or null if
+  // revalidation failed (slot moved / entry evicted / never loaded).
+  CacheEntry* revalidate(FlowHandle& h);
 
   Response do_blocking(Request req);
   void do_nonblocking(Request req);
@@ -204,6 +242,11 @@ class StoreClient {
   Value cached_apply(ObjectState& os, const StoreKey& key, const FiveTuple& t,
                      OpType op, const Value& arg, const Value& arg2,
                      uint16_t custom_id, Status* status);
+  // The update half of cached_apply, with the cache entry already in hand
+  // (the handle fast path skips straight here).
+  Value apply_to_entry(ObjectState& os, const StoreKey& key, CacheEntry& e,
+                       OpType op, const Value& arg, const Value& arg2,
+                       uint16_t custom_id, Status* status);
   CacheEntry& load_cache(const ObjectState& os, const StoreKey& key,
                          const FiveTuple& t);
   void flush_entry(const ObjectState& os, const StoreKey& key, CacheEntry& e,
@@ -220,11 +263,11 @@ class StoreClient {
   LogicalClock current_clock_ = kNoClock;
   uint64_t req_seq_ = 0;
 
-  std::unordered_map<ObjectId, ObjectState> objects_;
-  std::unordered_map<StoreKey, CacheEntry, StoreKeyHash> cache_;
+  FlatMap<ObjectId, ObjectState> objects_;
+  FlatMap<StoreKey, CacheEntry> cache_;
   // Flows whose per-flow state this instance has touched (5-tuple hash ->
   // tuple); lets release_matching enumerate flows even when caching is off.
-  std::unordered_map<uint64_t, FiveTuple> touched_flows_;
+  FlatMap<uint64_t, FiveTuple> touched_flows_;
   UpdateVector turn_vec_ = 0;
 
   struct PendingAck {
@@ -232,11 +275,19 @@ class StoreClient {
     TimePoint deadline;
     int retries = 0;
   };
-  std::unordered_map<uint64_t, PendingAck> pending_acks_;
+  FlatMap<uint64_t, PendingAck> pending_acks_;
+  // Cache-mutating async messages (callbacks, ownership grants) received
+  // while a cache reference may be live (do_nonblocking's ACK wait); they
+  // apply at the next poll(). FlatMap inserts move entries, so handle_async
+  // must never run under an outstanding CacheEntry&.
+  std::vector<Response> deferred_async_;
   size_t ownership_pending_ = 0;
 
-  // Per-shard coalescing buffers for the batched data path (tentpole).
-  std::unordered_map<int, std::vector<Request>> batch_buf_;
+  // Per-shard coalescing buffers for the batched data path, indexed by
+  // shard id (no per-turn map churn). Single-op flushes retain the
+  // buffer's capacity; multi-op flushes donate it to the kBatch envelope
+  // (moving beats deep-copying the Requests into a pooled vector).
+  std::vector<std::vector<Request>> batch_buf_;
   size_t batch_pending_ = 0;
   Histogram batch_hist_;
 
@@ -248,13 +299,39 @@ class StoreClient {
     FiveTuple tuple;
     TimePoint deadline;
   };
-  std::unordered_map<StoreKey, PendingOwnership, StoreKeyHash> ownership_retry_;
+  FlatMap<StoreKey, PendingOwnership> ownership_retry_;
 
   std::vector<WalEntry> wal_;
   std::vector<ReadLogEntry> read_log_;
   ClientStats stats_;
   SplitMix64 local_rng_{0x10CA1};
   uint64_t flush_seq_ = 0;
+};
+
+// Per-NF memo of one FlowHandle per live flow, keyed by 5-tuple hash. An NF
+// member-declares one table per per-flow object; at() resolves the handle on
+// the first packet of a flow and hands the same handle back on every later
+// packet. Bounded: past max_flows the table is dropped wholesale — handles
+// re-resolve on the next packet (one extra probe), so the bound is a memory
+// cap, not a correctness edge.
+class FlowHandleTable {
+ public:
+  explicit FlowHandleTable(size_t max_flows = 1 << 16) : max_flows_(max_flows) {}
+
+  FlowHandle& at(StoreClient& st, ObjectId obj, const FiveTuple& t) {
+    if (table_.size() >= max_flows_) table_.clear();
+    auto [h, inserted] = table_.try_emplace(scope_hash(t, Scope::kFiveTuple));
+    // Re-open on first sight of the flow and on (rare) 64-bit hash
+    // collisions between live flows — the tuple authenticates the memo.
+    if (inserted || !(h->tuple() == t)) *h = st.open_flow(obj, t);
+    return *h;
+  }
+
+  void clear() { table_.clear(); }
+
+ private:
+  FlatMap<uint64_t, FlowHandle> table_;
+  size_t max_flows_;
 };
 
 }  // namespace chc

@@ -37,18 +37,19 @@ bool DataStore::submit(Request req) {
 }
 
 size_t DataStore::submit_batched(std::vector<Request> reqs) {
-  std::unordered_map<int, std::shared_ptr<std::vector<Request>>> per_shard;
+  std::vector<std::shared_ptr<std::vector<Request>>> per_shard(shards_.size());
   for (Request& r : reqs) {
-    auto& group = per_shard[shard_of(r.key)];
+    auto& group = per_shard[static_cast<size_t>(shard_of(r.key))];
     if (!group) group = std::make_shared<std::vector<Request>>();
     group->push_back(std::move(r));
   }
   size_t sent = 0;
-  for (auto& [shard, group] : per_shard) {
+  for (size_t shard = 0; shard < per_shard.size(); ++shard) {
+    auto& group = per_shard[shard];
+    if (!group) continue;
     if (group->size() == 1) {
       // No amortization to be had; skip the envelope.
-      if (shards_[static_cast<size_t>(shard)]->request_link().send(
-              std::move(group->front()))) {
+      if (shards_[shard]->request_link().send(std::move(group->front()))) {
         sent++;
       }
       continue;
@@ -59,7 +60,7 @@ size_t DataStore::submit_batched(std::vector<Request> reqs) {
     env.blocking = false;
     env.want_ack = false;
     env.batch = group;
-    if (shards_[static_cast<size_t>(shard)]->request_link().send(std::move(env))) {
+    if (shards_[shard]->request_link().send(std::move(env))) {
       sent++;
     }
   }
@@ -116,7 +117,7 @@ RecoveryStats DataStore::recover_shard(int shard, const ShardSnapshot& checkpoin
                                        const std::vector<ClientEvidence>& clients) {
   const TimePoint t0 = SteadyClock::now();
   RecoveryStats stats;
-  std::unordered_map<StoreKey, ShardEntry, StoreKeyHash> entries;
+  ShardEntryMap entries;
 
   // Boot from the checkpoint (shared and per-flow alike).
   for (const auto& [key, entry] : checkpoint.entries) {
@@ -142,7 +143,7 @@ RecoveryStats DataStore::recover_shard(int shard, const ShardSnapshot& checkpoin
     std::unordered_map<InstanceId, std::vector<LogicalClock>> clocks;
     std::vector<ReadLogEntry> reads;
   };
-  std::unordered_map<StoreKey, PerKey, StoreKeyHash> by_key;
+  FlatMap<StoreKey, PerKey> by_key;
   for (const ClientEvidence& c : clients) {
     for (const WalEntry& w : c.wal) {
       if (!w.key.shared || shard_of(w.key) != shard) continue;
@@ -157,7 +158,7 @@ RecoveryStats DataStore::recover_shard(int shard, const ShardSnapshot& checkpoin
     }
   }
 
-  for (auto& [key, pk] : by_key) {
+  for (auto&& [key, pk] : by_key) {
     ShardEntry& e = entries[key];
     const TsSnapshot checkpoint_ts = e.ts;
     TsSelection sel = select_recovery_ts(pk.clocks, pk.reads, checkpoint_ts);

@@ -24,9 +24,25 @@ struct StoreKey {
   // carry an owner in store metadata instead.
   bool shared = false;
 
-  bool operator==(const StoreKey&) const = default;
+  bool operator==(const StoreKey& o) const {
+    // scope_key first: it is the discriminating field for per-flow keys.
+    return scope_key == o.scope_key && vertex == o.vertex && object == o.object &&
+           shared == o.shared;
+  }
 
+  // Memoized: one packet op touches several tables (client cache, shard
+  // routing, shard entries, clock index), and the key — hash included —
+  // travels inside the request, so the mix runs once per op, not once per
+  // map probe. Set every field before the first hash() call; the memo is
+  // not invalidated by later mutation.
   uint64_t hash() const {
+    if (hash_ == 0) hash_ = compute_hash();  // 0 doubles as "unset": a real
+                                             // zero hash just recomputes
+    return hash_;
+  }
+
+ private:
+  uint64_t compute_hash() const {
     uint64_t h = scope_key * 0x9e3779b97f4a7c15ull;
     h ^= (static_cast<uint64_t>(vertex) << 32) | (static_cast<uint64_t>(object) << 8) |
          (shared ? 1 : 0);
@@ -34,6 +50,8 @@ struct StoreKey {
     h ^= h >> 33;
     return h;
   }
+
+  mutable uint64_t hash_ = 0;
 };
 
 struct StoreKeyHash {

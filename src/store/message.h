@@ -2,9 +2,9 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/types.h"
 #include "store/key.h"
 #include "store/value.h"
@@ -47,7 +47,7 @@ enum class Status : uint8_t {
 
 // Per-object TS snapshot (paper Fig. 7): the clock of the last operation
 // the store executed on this object on behalf of each NF instance.
-using TsSnapshot = std::unordered_map<InstanceId, LogicalClock>;
+using TsSnapshot = FlatMap<InstanceId, LogicalClock>;
 
 struct Response;
 using ReplyLink = SimLink<Response>;

@@ -19,21 +19,17 @@ inline Value apply_basic_op(Value& v, OpType op, const Value& arg,
       v = arg;
       return v;
     case OpType::kIncr:
-      if (v.kind != Value::Kind::kInt) v = Value::of_int(0);
-      v.i += arg.i;
+      v.add_int(arg.as_int());
       return v;
     case OpType::kPushList:
-      if (v.kind != Value::Kind::kList) v = Value::of_list({});
-      v.list.push_back(arg.i);
+      v.list_push_back(arg.as_int());
       return v;
     case OpType::kPopList: {
-      if (v.kind != Value::Kind::kList || v.list.empty()) {
+      if (!v.is_list() || v.list_empty()) {
         status = Status::kNotFound;
         return Value::none();
       }
-      Value popped = Value::of_int(v.list.front());
-      v.list.erase(v.list.begin());
-      return popped;
+      return Value::of_int(v.list_pop_front());
     }
     case OpType::kCompareAndUpdate:
       if (v == arg2) {

@@ -54,8 +54,7 @@ void StoreShard::crash() {
   ownership_waiters_.clear();
 }
 
-void StoreShard::restore(
-    std::unordered_map<StoreKey, ShardEntry, StoreKeyHash> entries) {
+void StoreShard::restore(ShardEntryMap entries) {
   entries_ = std::move(entries);
   clock_index_.clear();
   for (const auto& [key, entry] : entries_) {
@@ -113,70 +112,20 @@ void StoreShard::signal_commit(LogicalClock clock, InstanceId instance,
 Response StoreShard::apply(const Request& req) {
   // Control traffic (GC, checkpoints) is not counted as data-path ops; a
   // kBatch envelope counts through its sub-requests, not itself.
-  if (req.op != OpType::kGcClock && req.op != OpType::kCheckpoint &&
-      req.op != OpType::kBatch) {
-    ops_applied_.fetch_add(1, std::memory_order_relaxed);
-  }
-  Response r;
-
-  // --- control ops that bypass entry lookup --------------------------------
   switch (req.op) {
-    case OpType::kGcClock: {
-      auto it = clock_index_.find(req.clock);
-      if (it != clock_index_.end()) {
-        for (const StoreKey& k : it->second) {
-          auto e = entries_.find(k);
-          if (e != entries_.end()) e->second.update_log.erase(req.clock);
-        }
-        clock_index_.erase(it);
-      }
-      nondet_log_.erase(req.clock);
-      if (gc_done_.insert(req.clock).second) {
-        gc_order_.push_back(req.clock);
-        if (gc_order_.size() > kGcDoneCap) {
-          gc_done_.erase(gc_order_.front());
-          gc_order_.pop_front();
-        }
-      }
-      return r;
-    }
-    case OpType::kNonDet: {
-      // Appendix A: the store computes non-deterministic values and memoizes
-      // them by packet clock so replay sees identical values.
-      if (auto it = nondet_log_.find(req.clock); it != nondet_log_.end()) {
-        r.status = Status::kEmulated;
-        r.value = it->second;
-        return r;
-      }
-      Value v;
-      if (req.arg.i == 0) {
-        v = Value::of_int(static_cast<int64_t>(rng_.next() >> 1));
-      } else {
-        v = Value::of_int(
-            std::chrono::duration_cast<Micros>(SteadyClock::now().time_since_epoch())
-                .count());
-      }
-      if (req.clock != kNoClock) nondet_log_[req.clock] = v;
-      r.value = v;
-      return r;
-    }
-    case OpType::kBatch: {
-      if (req.batch) {
-        for (const Request& sub : *req.batch) apply(sub);
-      }
-      return r;
-    }
+    case OpType::kGcClock:
+    case OpType::kNonDet:
+    case OpType::kBatch:
     case OpType::kCheckpoint:
-      if (req.snapshot_out) {
-        req.snapshot_out->entries = entries_;
-        req.snapshot_out->taken_at = SteadyClock::now();
-      } else {
-        r.status = Status::kError;
-      }
-      return r;
+      // Cold control traffic: outlined so its (large) inlined bodies — the
+      // checkpoint table copy in particular — stay out of the per-packet
+      // ops' instruction footprint.
+      return apply_control(req);
     default:
       break;
   }
+  ops_applied_.fetch_add(1, std::memory_order_relaxed);
+  Response r;
 
   ShardEntry& entry = entries_[req.key];
 
@@ -204,13 +153,10 @@ Response StoreShard::apply(const Request& req) {
   // Stale whole-value flush/release retransmissions (flush_seq at or below
   // this client's floor) are emulated here for the same reason.
   if ((req.op == OpType::kCacheFlush || req.op == OpType::kReleaseOwner) &&
-      req.flush_seq != 0) {
-    auto fs = entry.flush_seqs.find(req.client_uid);
-    if (fs != entry.flush_seqs.end() && req.flush_seq <= fs->second) {
-      r.status = Status::kEmulated;
-      r.value = entry.value;
-      return r;
-    }
+      req.flush_seq != 0 && req.flush_seq <= entry.flush_seq_floor(req.client_uid)) {
+    r.status = Status::kEmulated;
+    r.value = entry.value;
+    return r;
   }
 
   // --- ownership enforcement for per-flow keys -----------------------------
@@ -225,13 +171,6 @@ Response StoreShard::apply(const Request& req) {
       return r;
     }
   }
-
-  auto log_update = [&](const Value& after) {
-    if (req.clock == kNoClock) return;
-    entry.update_log[req.clock] = after;
-    clock_index_[req.clock].push_back(req.key);
-    entry.ts[req.instance] = req.clock;
-  };
 
   switch (req.op) {
     case OpType::kGet:
@@ -251,37 +190,34 @@ Response StoreShard::apply(const Request& req) {
 
     case OpType::kSet:
       entry.value = req.arg;
-      log_update(entry.value);
+      log_update(req, entry, entry.value);
       signal_commit(req.clock, req.instance, req.key.object);
       r.value = entry.value;
       break;
 
     case OpType::kIncr:
-      if (entry.value.kind != Value::Kind::kInt) entry.value = Value::of_int(0);
-      entry.value.i += req.arg.i;
-      log_update(entry.value);
+      entry.value.add_int(req.arg.as_int());
+      log_update(req, entry, entry.value);
       signal_commit(req.clock, req.instance, req.key.object);
       r.value = entry.value;
       break;
 
     case OpType::kPushList:
-      if (entry.value.kind != Value::Kind::kList) entry.value = Value::of_list({});
-      entry.value.list.push_back(req.arg.i);
-      log_update(entry.value);
+      entry.value.list_push_back(req.arg.as_int());
+      log_update(req, entry, entry.value);
       signal_commit(req.clock, req.instance, req.key.object);
       r.value = entry.value;
       break;
 
     case OpType::kPopList: {
-      if (entry.value.kind != Value::Kind::kList || entry.value.list.empty()) {
+      if (!entry.value.is_list() || entry.value.list_empty()) {
         r.status = Status::kNotFound;
         break;
       }
-      r.value = Value::of_int(entry.value.list.front());
-      entry.value.list.erase(entry.value.list.begin());
+      r.value = Value::of_int(entry.value.list_pop_front());
       // Log the *popped* value: on replay the same packet must receive the
       // same port/server, not pop a second entry.
-      log_update(r.value);
+      log_update(req, entry, r.value);
       signal_commit(req.clock, req.instance, req.key.object);
       break;
     }
@@ -289,7 +225,7 @@ Response StoreShard::apply(const Request& req) {
     case OpType::kCompareAndUpdate:
       if (entry.value == req.arg2) {
         entry.value = req.arg;
-        log_update(entry.value);
+        log_update(req, entry, entry.value);
         signal_commit(req.clock, req.instance, req.key.object);
         r.value = entry.value;
       } else {
@@ -306,17 +242,133 @@ Response StoreShard::apply(const Request& req) {
         break;
       }
       entry.value = it->second(entry.value, req.arg);
-      log_update(entry.value);
+      log_update(req, entry, entry.value);
       signal_commit(req.clock, req.instance, req.key.object);
       r.value = entry.value;
       break;
     }
 
+    case OpType::kCacheFlush:
+    case OpType::kAcquireOwner:
+    case OpType::kReleaseOwner:
+    case OpType::kRegisterCallback:
+      // Flush/handover/subscription traffic is orders of magnitude rarer
+      // than data ops; outlined for the same reason as apply_control.
+      return apply_transfer(req, entry);
+
+    case OpType::kReadClock:
+      r.value = entry.value;
+      if (entry.value.is_none()) r.status = Status::kNotFound;
+      break;
+
+    default:
+      r.status = Status::kError;
+      break;
+  }
+
+  // Push callbacks to subscribers after any committed update of a shared
+  // object (§4.3 read-heavy caching: the update initiator gets the reply,
+  // everyone else a callback with the fresh value).
+  if (is_update_op(req.op) && r.status == Status::kOk && req.key.shared) {
+    notify_subscribers(req, entry);
+  }
+
+  return r;
+}
+
+void StoreShard::notify_subscribers(const Request& req, const ShardEntry& entry) {
+  if (subscribers_.empty()) return;
+  auto s = subscribers_.find(req.key);
+  if (s == subscribers_.end()) return;
+  for (auto& [inst, link] : s->second) {
+    if (inst == req.instance || !link) continue;
+    Response cb;
+    cb.msg = Response::Kind::kCallback;
+    cb.key = req.key;
+    cb.value = entry.value;
+    link->send(std::move(cb));
+  }
+}
+
+void StoreShard::log_update(const Request& req, ShardEntry& entry,
+                            const Value& after) {
+  if (req.clock == kNoClock) return;
+  entry.update_log[req.clock] = after;
+  clock_index_[req.clock].push_back(req.key);
+  entry.ts[req.instance] = req.clock;
+}
+
+Response StoreShard::apply_control(const Request& req) {
+  Response r;
+  switch (req.op) {
+    case OpType::kGcClock: {
+      auto it = clock_index_.find(req.clock);
+      if (it != clock_index_.end()) {
+        for (const StoreKey& k : it->second) {
+          auto e = entries_.find(k);
+          if (e != entries_.end()) e->second.update_log.erase(req.clock);
+        }
+        clock_index_.erase(it);
+      }
+      nondet_log_.erase(req.clock);
+      if (gc_done_.insert(req.clock)) {
+        gc_order_.push_back(req.clock);
+        if (gc_order_.size() > kGcDoneCap) {
+          gc_done_.erase(gc_order_.front());
+          gc_order_.pop_front();
+        }
+      }
+      return r;
+    }
+    case OpType::kNonDet: {
+      // Appendix A: the store computes non-deterministic values and memoizes
+      // them by packet clock so replay sees identical values.
+      ops_applied_.fetch_add(1, std::memory_order_relaxed);
+      if (auto it = nondet_log_.find(req.clock); it != nondet_log_.end()) {
+        r.status = Status::kEmulated;
+        r.value = it->second;
+        return r;
+      }
+      Value v;
+      if (req.arg.as_int() == 0) {
+        v = Value::of_int(static_cast<int64_t>(rng_.next() >> 1));
+      } else {
+        v = Value::of_int(
+            std::chrono::duration_cast<Micros>(SteadyClock::now().time_since_epoch())
+                .count());
+      }
+      if (req.clock != kNoClock) nondet_log_[req.clock] = v;
+      r.value = v;
+      return r;
+    }
+    case OpType::kBatch: {
+      if (req.batch) {
+        for (const Request& sub : *req.batch) apply(sub);
+      }
+      return r;
+    }
+    case OpType::kCheckpoint:
+      if (req.snapshot_out) {
+        req.snapshot_out->entries = entries_;
+        req.snapshot_out->taken_at = SteadyClock::now();
+      } else {
+        r.status = Status::kError;
+      }
+      return r;
+    default:
+      r.status = Status::kError;
+      return r;
+  }
+}
+
+Response StoreShard::apply_transfer(const Request& req, ShardEntry& entry) {
+  Response r;
+  switch (req.op) {
     case OpType::kCacheFlush: {
       // Absolute value computed in the client cache; covers a batch of
       // packet clocks. Commit each so the root ledger can zero out.
       // (Stale flush_seq retransmissions were already emulated up front.)
-      if (req.flush_seq != 0) entry.flush_seqs[req.client_uid] = req.flush_seq;
+      if (req.flush_seq != 0) entry.set_flush_seq(req.client_uid, req.flush_seq);
       entry.value = req.arg;
       for (LogicalClock c : req.covered_clocks) {
         if (c == kNoClock || entry.update_log.contains(c)) continue;
@@ -326,6 +378,9 @@ Response StoreShard::apply(const Request& req) {
         signal_commit(c, req.instance, req.key.object);
       }
       r.value = entry.value;
+      // Subscriber callbacks for flushed shared objects (§4.3): the early
+      // return from apply_transfer bypasses apply()'s shared tail.
+      if (req.key.shared) notify_subscribers(req, entry);
       break;
     }
 
@@ -355,7 +410,7 @@ Response StoreShard::apply(const Request& req) {
 
     case OpType::kReleaseOwner: {
       // (Stale flush_seq retransmissions were already emulated up front.)
-      if (req.flush_seq != 0) entry.flush_seqs[req.client_uid] = req.flush_seq;
+      if (req.flush_seq != 0) entry.set_flush_seq(req.client_uid, req.flush_seq);
       if (!req.arg.is_none()) {
         entry.value = req.arg;  // final flushed value travels with release
         for (LogicalClock c : req.covered_clocks) {
@@ -398,33 +453,10 @@ Response StoreShard::apply(const Request& req) {
       break;
     }
 
-    case OpType::kReadClock:
-      r.value = entry.value;
-      if (entry.value.is_none()) r.status = Status::kNotFound;
-      break;
-
     default:
       r.status = Status::kError;
       break;
   }
-
-  // Push callbacks to subscribers after any committed update of a shared
-  // object (§4.3 read-heavy caching: the update initiator gets the reply,
-  // everyone else a callback with the fresh value).
-  if (is_update_op(req.op) && r.status == Status::kOk && req.key.shared) {
-    auto s = subscribers_.find(req.key);
-    if (s != subscribers_.end()) {
-      for (auto& [inst, link] : s->second) {
-        if (inst == req.instance || !link) continue;
-        Response cb;
-        cb.msg = Response::Kind::kCallback;
-        cb.key = req.key;
-        cb.value = entry.value;
-        link->send(std::move(cb));
-      }
-    }
-  }
-
   return r;
 }
 

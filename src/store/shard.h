@@ -11,14 +11,13 @@
 #include <atomic>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "store/message.h"
@@ -39,17 +38,38 @@ struct ShardEntry {
   InstanceId owner = 0;  // per-flow keys only; 0 = unowned
   // clock -> value after the update with that clock; kept while the packet
   // is in flight, dropped on kGcClock.
-  std::map<LogicalClock, Value> update_log;
+  FlatMap<LogicalClock, Value> update_log;
   // Per-instance clock of the last *update* executed for this object.
   TsSnapshot ts;
   // Per-client flush sequence floor (stale-flush rejection). Keyed by the
   // client uid, not the instance id: a straggler and its clone share the
-  // instance id but flush with independent counters.
-  std::unordered_map<uint16_t, uint64_t> flush_seqs;
+  // instance id but flush with independent counters. A handful of clients
+  // flush any one entry, so a scanned vector beats a hash table here.
+  std::vector<std::pair<uint16_t, uint64_t>> flush_seqs;
+
+  uint64_t flush_seq_floor(uint16_t client_uid) const {
+    for (const auto& [uid, seq] : flush_seqs) {
+      if (uid == client_uid) return seq;
+    }
+    return 0;
+  }
+  void set_flush_seq(uint16_t client_uid, uint64_t seq) {
+    for (auto& [uid, s] : flush_seqs) {
+      if (uid == client_uid) {
+        s = seq;
+        return;
+      }
+    }
+    flush_seqs.emplace_back(client_uid, seq);
+  }
 };
 
+// The storage engine proper: StoreKey hashes are memoized in the key, so
+// routing + entry lookup mix the key once per op.
+using ShardEntryMap = FlatMap<StoreKey, ShardEntry>;
+
 struct ShardSnapshot {
-  std::unordered_map<StoreKey, ShardEntry, StoreKeyHash> entries;
+  ShardEntryMap entries;
   TimePoint taken_at{};
 };
 
@@ -72,7 +92,7 @@ class StoreShard {
   // Simulates a crash: stops the worker and discards all shard state.
   void crash();
   // Installs recovered state and restarts the worker.
-  void restore(std::unordered_map<StoreKey, ShardEntry, StoreKeyHash> entries);
+  void restore(ShardEntryMap entries);
 
   SimLink<Request>& request_link() { return requests_; }
   void set_commit_listener(CommitListener cb) { commit_cb_ = std::move(cb); }
@@ -97,6 +117,17 @@ class StoreShard {
  private:
   void run();
   Response apply(const Request& req);
+  // Cold paths outlined from apply(): control traffic (GC, checkpoints,
+  // batch envelopes, nondet) and the ownership/flush/callback ops. Keeping
+  // their (large) inlined bodies out of apply() keeps the per-packet ops'
+  // code footprint small — measurably faster on the kGet/kIncr/kSet path.
+  __attribute__((noinline)) Response apply_control(const Request& req);
+  __attribute__((noinline)) Response apply_transfer(const Request& req,
+                                                    ShardEntry& entry);
+  void log_update(const Request& req, ShardEntry& entry, const Value& after);
+  // Push kCallback refreshes to every subscriber of req.key except the
+  // update's initiator (used by apply()'s tail and the flush path).
+  void notify_subscribers(const Request& req, const ShardEntry& entry);
   void reply(const Request& req, Response r);
   void signal_commit(LogicalClock clock, InstanceId instance, ObjectId object);
 
@@ -106,24 +137,21 @@ class StoreShard {
   std::shared_ptr<const CustomOpRegistry> custom_ops_;
   CommitListener commit_cb_;
 
-  std::unordered_map<StoreKey, ShardEntry, StoreKeyHash> entries_;
+  ShardEntryMap entries_;
   // clock -> keys whose update_log mentions it; makes GC O(updates/packet).
-  std::unordered_map<LogicalClock, std::vector<StoreKey>> clock_index_;
+  FlatMap<LogicalClock, std::vector<StoreKey>> clock_index_;
   // Memoized non-deterministic values (Appendix A), keyed by packet clock.
-  std::map<LogicalClock, Value> nondet_log_;
+  FlatMap<LogicalClock, Value> nondet_log_;
   // Clocks whose packets completed (root delete -> GC). A delete implies
   // every update the packet induced was committed, so any clocked update
   // arriving later is a retransmission and must be rejected as a duplicate.
-  std::unordered_set<LogicalClock> gc_done_;
+  FlatSet<LogicalClock> gc_done_;
   std::deque<LogicalClock> gc_order_;
   static constexpr size_t kGcDoneCap = 1 << 18;
   // Subscribers for read-heavy shared objects.
-  std::unordered_map<StoreKey, std::vector<std::pair<InstanceId, ReplyLinkPtr>>,
-                     StoreKeyHash>
-      subscribers_;
+  FlatMap<StoreKey, std::vector<std::pair<InstanceId, ReplyLinkPtr>>> subscribers_;
   // Instances waiting for ownership of a per-flow key (handover §5.1).
-  std::unordered_map<StoreKey, std::vector<std::pair<InstanceId, ReplyLinkPtr>>,
-                     StoreKeyHash>
+  FlatMap<StoreKey, std::vector<std::pair<InstanceId, ReplyLinkPtr>>>
       ownership_waiters_;
   // Persisted root clock (kSet on the reserved root key) lives in entries_
   // like any other object.

@@ -5,26 +5,27 @@
 namespace chc {
 
 std::string Value::str() const {
-  switch (kind) {
+  switch (kind_) {
     case Kind::kNone:
       return "none";
     case Kind::kInt: {
       char buf[32];
-      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(i));
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(i_));
       return buf;
     }
     case Kind::kList: {
       std::string s = "[";
-      for (size_t k = 0; k < list.size(); ++k) {
+      const size_t n = list_size();
+      for (size_t k = 0; k < n; ++k) {
         if (k) s += ",";
         char buf[32];
-        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(list[k]));
+        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(list_at(k)));
         s += buf;
       }
       return s + "]";
     }
     case Kind::kBytes:
-      return "b\"" + bytes + "\"";
+      return "b\"" + std::string(bytes_view()) + "\"";
   }
   return "?";
 }

@@ -2,47 +2,289 @@
 // paper's Table 4 — counters (int), free lists (list of ints, e.g. NAT's
 // available ports), and opaque small records (bytes, e.g. connection
 // mappings).
+//
+// The representation is compact (32 bytes) with small-buffer optimization:
+// ints live fully inline, lists up to kInlineListCap elements and byte
+// strings up to kInlineBytesCap stay inline, and only bigger payloads touch
+// the heap. Every message on the store data path carries 1-2 Values, so for
+// counter-heavy NFs (NAT port counters, portscan scores, LB byte counts)
+// this makes the whole offload path allocation-free — the old struct
+// dragged an always-present std::vector + std::string (72 bytes and a heap
+// copy hazard) through every request, response, and update-log entry.
+//
+// The active representation is private, so equality is kind-aware by
+// construction: a Value that held a list and later becomes an int carries
+// no stale list state to poison operator== (a real bug with the old
+// all-public struct, locked in by tests/test_value.cc).
 #pragma once
 
 #include <cstdint>
+#include <cstring>
+#include <initializer_list>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace chc {
 
-struct Value {
+class Value {
+ public:
   enum class Kind : uint8_t { kNone, kInt, kList, kBytes };
 
-  Kind kind = Kind::kNone;
-  int64_t i = 0;
-  std::vector<int64_t> list;
-  std::string bytes;
+  static constexpr size_t kInlineListCap = 3;    // int64 elements
+  static constexpr size_t kInlineBytesCap = 23;  // chars
 
   Value() = default;
+  ~Value() {
+    if (len_ == kHeap) [[unlikely]] release_heap();
+  }
+  Value(const Value& o) { copy_from(o); }
+  Value(Value&& o) noexcept { steal(o); }
+  Value& operator=(const Value& o) {
+    if (this != &o) {
+      release();
+      copy_from(o);
+    }
+    return *this;
+  }
+  Value& operator=(Value&& o) noexcept {
+    if (this != &o) {
+      release();
+      steal(o);
+    }
+    return *this;
+  }
+
+  // --- factories ------------------------------------------------------------
   static Value none() { return Value{}; }
   static Value of_int(int64_t v) {
     Value x;
-    x.kind = Kind::kInt;
-    x.i = v;
+    x.kind_ = Kind::kInt;
+    x.i_ = v;
     return x;
   }
-  static Value of_list(std::vector<int64_t> v) {
+  static Value of_list(const std::vector<int64_t>& v) {
     Value x;
-    x.kind = Kind::kList;
-    x.list = std::move(v);
+    x.adopt_list(v.data(), v.size());
     return x;
   }
-  static Value of_bytes(std::string v) {
+  static Value of_list(std::initializer_list<int64_t> v) {
     Value x;
-    x.kind = Kind::kBytes;
-    x.bytes = std::move(v);
+    x.adopt_list(v.begin(), v.size());
+    return x;
+  }
+  static Value of_bytes(std::string_view v) {
+    Value x;
+    x.kind_ = Kind::kBytes;
+    if (v.size() <= kInlineBytesCap) {
+      x.len_ = static_cast<uint8_t>(v.size());
+      if (!v.empty()) std::char_traits<char>::copy(x.small_bytes_, v.data(), v.size());
+    } else {
+      x.len_ = kHeap;
+      x.heap_bytes_ = new std::string(v);
+    }
     return x;
   }
 
-  bool is_none() const { return kind == Kind::kNone; }
-  bool operator==(const Value&) const = default;
+  // --- kind -----------------------------------------------------------------
+  Kind kind() const { return kind_; }
+  bool is_none() const { return kind_ == Kind::kNone; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_list() const { return kind_ == Kind::kList; }
+  bool is_bytes() const { return kind_ == Kind::kBytes; }
+
+  // --- int ------------------------------------------------------------------
+  // Reads as 0 unless this value is an int (call sites used to spell this
+  // `v.kind == kInt ? v.i : 0`).
+  int64_t as_int() const { return kind_ == Kind::kInt ? i_ : 0; }
+  void set_int(int64_t v) {
+    release();
+    kind_ = Kind::kInt;
+    i_ = v;
+  }
+  void add_int(int64_t delta) {
+    if (kind_ != Kind::kInt) set_int(0);
+    i_ += delta;
+  }
+
+  // --- list -----------------------------------------------------------------
+  size_t list_size() const {
+    if (kind_ != Kind::kList) return 0;
+    return len_ == kHeap ? heap_list_->size() : len_;
+  }
+  bool list_empty() const { return list_size() == 0; }
+  const int64_t* list_data() const {
+    return len_ == kHeap ? heap_list_->data() : small_list_;
+  }
+  int64_t list_at(size_t i) const { return list_data()[i]; }
+  int64_t& list_at(size_t i) {
+    int64_t* base = len_ == kHeap ? heap_list_->data() : small_list_;
+    return base[i];
+  }
+  int64_t list_front() const { return list_at(0); }
+  int64_t list_back() const { return list_at(list_size() - 1); }
+
+  // Becomes an empty list unless already a list (keeps existing elements —
+  // and heap capacity — if it is one).
+  void ensure_list() {
+    if (kind_ != Kind::kList) {
+      release();
+      kind_ = Kind::kList;
+      len_ = 0;
+    }
+  }
+  void list_push_back(int64_t v) {
+    ensure_list();
+    if (len_ == kHeap) {
+      heap_list_->push_back(v);
+    } else if (len_ < kInlineListCap) {
+      small_list_[len_++] = v;
+    } else {
+      promote_list(len_ + 1)->push_back(v);
+    }
+  }
+  // Pops and returns the first element; caller checks list_empty() first.
+  int64_t list_pop_front() {
+    if (len_ == kHeap) {
+      const int64_t v = heap_list_->front();
+      heap_list_->erase(heap_list_->begin());
+      return v;
+    }
+    const int64_t v = small_list_[0];
+    for (uint8_t k = 1; k < len_; ++k) small_list_[k - 1] = small_list_[k];
+    --len_;
+    return v;
+  }
+  void list_resize(size_t n, int64_t fill = 0) {
+    ensure_list();
+    if (len_ == kHeap) {
+      heap_list_->resize(n, fill);
+    } else if (n <= kInlineListCap) {
+      for (size_t k = len_; k < n; ++k) small_list_[k] = fill;
+      len_ = static_cast<uint8_t>(n);
+    } else {
+      // promote_list keeps the spilled size at the old inline length, so
+      // this resize grows with `fill` (not zeros) past it.
+      promote_list(n)->resize(n, fill);
+    }
+  }
+  std::vector<int64_t> list_copy() const {
+    return {list_data(), list_data() + list_size()};
+  }
+
+  // --- bytes ----------------------------------------------------------------
+  std::string_view bytes_view() const {
+    if (kind_ != Kind::kBytes) return {};
+    return len_ == kHeap ? std::string_view(*heap_bytes_)
+                         : std::string_view(small_bytes_, len_);
+  }
+
+  bool operator==(const Value& o) const {
+    if (kind_ != o.kind_) return false;
+    switch (kind_) {
+      case Kind::kNone:
+        return true;
+      case Kind::kInt:
+        return i_ == o.i_;
+      case Kind::kList: {
+        // Content equality regardless of representation: a short list may
+        // live on the heap if it shrank from a long one.
+        const size_t n = list_size();
+        if (n != o.list_size()) return false;
+        const int64_t* a = list_data();
+        const int64_t* b = o.list_data();
+        for (size_t k = 0; k < n; ++k) {
+          if (a[k] != b[k]) return false;
+        }
+        return true;
+      }
+      case Kind::kBytes:
+        return bytes_view() == o.bytes_view();
+    }
+    return false;
+  }
 
   std::string str() const;
+
+ private:
+  static constexpr uint8_t kHeap = 0xFF;  // len_ marker: payload on the heap
+
+  // The heap cases are outlined so the (overwhelmingly common) inline-value
+  // copy/destroy code stays a handful of instructions at every call site —
+  // Value is copied and destroyed at each return edge of the shard's apply
+  // path, and inlining the delete/new branches there bloats it measurably.
+  __attribute__((noinline)) void release_heap() {
+    if (kind_ == Kind::kList) delete heap_list_;
+    if (kind_ == Kind::kBytes) delete heap_bytes_;
+  }
+  __attribute__((noinline)) void copy_heap(const Value& o) {
+    if (kind_ == Kind::kList) heap_list_ = new std::vector<int64_t>(*o.heap_list_);
+    if (kind_ == Kind::kBytes) heap_bytes_ = new std::string(*o.heap_bytes_);
+  }
+
+  void release() {
+    if (len_ == kHeap) [[unlikely]] release_heap();
+    kind_ = Kind::kNone;
+    len_ = 0;
+  }
+
+  void copy_from(const Value& o) {
+    kind_ = o.kind_;
+    len_ = o.len_;
+    if (len_ == kHeap) [[unlikely]] {
+      copy_heap(o);
+    } else {
+      // Inline payloads (and ints) are a plain byte copy of the union.
+      std::memcpy(small_list_, o.small_list_, sizeof(small_list_));
+    }
+  }
+
+  void steal(Value& o) {
+    kind_ = o.kind_;
+    len_ = o.len_;
+    std::memcpy(small_list_, o.small_list_, sizeof(small_list_));  // covers ptrs
+    o.kind_ = Kind::kNone;
+    o.len_ = 0;
+  }
+
+  void adopt_list(const int64_t* data, size_t n) {
+    kind_ = Kind::kList;
+    if (n <= kInlineListCap) {
+      len_ = static_cast<uint8_t>(n);
+      for (size_t k = 0; k < n; ++k) small_list_[k] = data[k];
+    } else {
+      len_ = kHeap;
+      heap_list_ = new std::vector<int64_t>(data, data + n);
+    }
+  }
+
+  // Spills the inline list to the heap with capacity for `want` elements.
+  // The vector's size stays at the old inline length — callers grow it and
+  // choose the fill.
+  std::vector<int64_t>* promote_list(size_t want) {
+    auto* v = new std::vector<int64_t>;
+    v->reserve(want < 8 ? 8 : want);
+    // Invariant: callers only promote inline lists, so len_ <= cap; the
+    // clamp states it for the optimizer (silences -Warray-bounds).
+    const uint8_t n = len_ <= kInlineListCap ? len_ : kInlineListCap;
+    v->assign(small_list_, small_list_ + n);
+    len_ = kHeap;
+    heap_list_ = v;
+    return v;
+  }
+
+  Kind kind_ = Kind::kNone;
+  uint8_t len_ = 0;  // inline element/byte count, or kHeap
+  union {
+    int64_t i_;
+    int64_t small_list_[kInlineListCap] = {};
+    char small_bytes_[kInlineBytesCap + 1];
+    std::vector<int64_t>* heap_list_;
+    std::string* heap_bytes_;
+  };
 };
+
+static_assert(sizeof(Value) == 32, "Value must stay 4 words: it rides in "
+                                   "every store message and update-log entry");
 
 }  // namespace chc

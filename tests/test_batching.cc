@@ -215,7 +215,7 @@ TEST(SubmitBatched, GroupsByShardAndAppliesAll) {
     probe.key.scope_key = k;
     probe.key.shared = true;
     Response resp = store.shard(store.shard_of(probe.key)).apply_inline(probe);
-    EXPECT_EQ(resp.value.i, 8) << "key " << k;
+    EXPECT_EQ(resp.value.as_int(), 8) << "key " << k;
   }
   store.stop();
 }

@@ -67,7 +67,7 @@ TEST_F(ClientTest, NonBlockingIncrEventuallyVisible) {
   c->set_current_clock(100);
   c->incr(kCounter, flow(), 5);
   settle(*c);
-  EXPECT_EQ(c->get(kCounter, flow()).i, 5);
+  EXPECT_EQ(c->get(kCounter, flow()).as_int(), 5);
 }
 
 TEST_F(ClientTest, WaitAcksBlocksUntilApplied) {
@@ -75,7 +75,7 @@ TEST_F(ClientTest, WaitAcksBlocksUntilApplied) {
   c->set_current_clock(101);
   c->incr(kCounter, flow(), 3);
   // With ACK waiting the op is already applied.
-  EXPECT_EQ(c->get(kCounter, flow()).i, 3);
+  EXPECT_EQ(c->get(kCounter, flow()).as_int(), 3);
   EXPECT_GE(c->stats().blocking_rtts, 1u);
 }
 
@@ -91,7 +91,7 @@ TEST_F(ClientTest, PerFlowCachedLocally) {
   settle(*c);
   // Flushes made it to the store: a fresh client sees the value.
   auto c2 = make_client(1);
-  EXPECT_EQ(c2->get(kPerFlow, flow()).i, 5);
+  EXPECT_EQ(c2->get(kPerFlow, flow()).as_int(), 5);
 }
 
 TEST_F(ClientTest, PerFlowDistinctPerFlow) {
@@ -100,8 +100,8 @@ TEST_F(ClientTest, PerFlowDistinctPerFlow) {
   c->incr(kPerFlow, flow(1), 1);
   c->set_current_clock(104);
   c->incr(kPerFlow, flow(2), 10);
-  EXPECT_EQ(c->get(kPerFlow, flow(1)).i, 1);
-  EXPECT_EQ(c->get(kPerFlow, flow(2)).i, 10);
+  EXPECT_EQ(c->get(kPerFlow, flow(1)).as_int(), 1);
+  EXPECT_EQ(c->get(kPerFlow, flow(2)).as_int(), 10);
 }
 
 TEST_F(ClientTest, ReadHeavyCachedAndCallbackRefreshed) {
@@ -117,7 +117,7 @@ TEST_F(ClientTest, ReadHeavyCachedAndCallbackRefreshed) {
   int64_t seen = 0;
   while (SteadyClock::now() < deadline) {
     a->poll();
-    seen = a->get(kReadHeavy, flow()).i;
+    seen = a->get(kReadHeavy, flow()).as_int();
     if (seen == 7) break;
     std::this_thread::sleep_for(Micros(200));
   }
@@ -144,7 +144,7 @@ TEST_F(ClientTest, HotSharedCachedWhenExclusive) {
   a->set_exclusive(kHot, false);
   settle(*a);
   auto b = make_client(2);
-  EXPECT_EQ(b->get(kHot, flow()).i, 1);
+  EXPECT_EQ(b->get(kHot, flow()).as_int(), 1);
 }
 
 TEST_F(ClientTest, PushPopThroughStore) {
@@ -170,7 +170,7 @@ TEST_F(ClientTest, CompareAndUpdateRoundTrip) {
   Value out;
   EXPECT_FALSE(
       c->compare_and_update(kHot, flow(), Value::of_int(1), Value::of_int(3), &out));
-  EXPECT_EQ(out.i, 2);
+  EXPECT_EQ(out.as_int(), 2);
 }
 
 TEST_F(ClientTest, WalRecordsSharedUpdates) {
@@ -194,7 +194,7 @@ TEST_F(ClientTest, ReadLogRecordsTs) {
   b->get(kHot, flow());
   ClientEvidence ev = b->evidence();
   ASSERT_GE(ev.reads.size(), 1u);
-  EXPECT_EQ(ev.reads.back().value.i, 1);
+  EXPECT_EQ(ev.reads.back().value.as_int(), 1);
   EXPECT_EQ(ev.reads.back().ts.at(1), 117u);
 }
 
@@ -204,7 +204,7 @@ TEST_F(ClientTest, EvidenceIncludesPerFlowCache) {
   c->incr(kPerFlow, flow(), 4);
   ClientEvidence ev = c->evidence();
   ASSERT_EQ(ev.per_flow.size(), 1u);
-  EXPECT_EQ(ev.per_flow[0].second.i, 4);
+  EXPECT_EQ(ev.per_flow[0].second.as_int(), 4);
 }
 
 TEST_F(ClientTest, RetransmissionSurvivesDrops) {
@@ -232,7 +232,7 @@ TEST_F(ClientTest, RetransmissionSurvivesDrops) {
   while (SteadyClock::now() < deadline) {
     c.poll();
     c.set_current_clock(kNoClock);
-    v = c.get(kCounter, FiveTuple{}).i;
+    v = c.get(kCounter, FiveTuple{}).as_int();
     if (v == 20) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
@@ -262,7 +262,7 @@ TEST_F(ClientTest, RetransmitDoesNotDoubleApply) {
     std::this_thread::sleep_for(Micros(300));
   }
   c.set_current_clock(kNoClock);
-  EXPECT_EQ(c.get(kCounter, FiveTuple{}).i, 1);
+  EXPECT_EQ(c.get(kCounter, FiveTuple{}).as_int(), 1);
 }
 
 TEST_F(ClientTest, AcquireReleaseFlowHandover) {
@@ -282,7 +282,7 @@ TEST_F(ClientTest, AcquireReleaseFlowHandover) {
   }
   EXPECT_EQ(new_inst->ownership_pending(), 0u);
   // And the new instance sees the flushed value.
-  EXPECT_EQ(new_inst->get(kPerFlow, flow()).i, 9);
+  EXPECT_EQ(new_inst->get(kPerFlow, flow()).as_int(), 9);
 }
 
 TEST_F(ClientTest, OwnershipRetryIsIdempotentWhileOwnerHolds) {
@@ -318,7 +318,7 @@ TEST_F(ClientTest, OwnershipRetryIsIdempotentWhileOwnerHolds) {
     std::this_thread::sleep_for(Micros(200));
   }
   EXPECT_EQ(new_inst->ownership_pending(), 0u);
-  EXPECT_EQ(new_inst->get(kPerFlow, flow()).i, 9);
+  EXPECT_EQ(new_inst->get(kPerFlow, flow()).as_int(), 9);
 
   // No stale waiter entry may survive: after the new instance releases,
   // the old one must get the flow back synchronously, not via a phantom

@@ -67,7 +67,7 @@ RunResult run_ids_chain(int parallelism, const std::vector<Packet>& packets) {
   auto probe = rt.probe_client(0);
   RunResult r;
   r.port_count =
-      probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp}).i;
+      probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp}).as_int();
   r.delivered = rt.sink().count();
   r.duplicates = rt.sink().duplicate_clocks();
   rt.shutdown();
@@ -103,7 +103,7 @@ TEST(Coe, PortscanDecisionsIdenticalAcrossParallelism) {
     auto probe = rt.probe_client(0);
     auto blocked = [&](uint32_t host) {
       return probe->get(PortscanDetector::kBlocked, pkt(host, 1, AppEvent::kNone).tuple)
-                 .i == 1;
+                 .as_int() == 1;
     };
     std::pair<bool, bool> result{blocked(200), blocked(201)};
     rt.shutdown();
@@ -144,7 +144,7 @@ TEST(Coe, ElasticScaleOutPreservesCounts) {
 
   auto probe = rt.probe_client(0);
   EXPECT_EQ(
-      probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp}).i,
+      probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp}).as_int(),
       static_cast<int64_t>(packets.size()))
       << "no update lost across the handover (loss-freeness)";
   EXPECT_EQ(rt.sink().count(), packets.size());
@@ -153,7 +153,9 @@ TEST(Coe, ElasticScaleOutPreservesCounts) {
   // The new instance actually took traffic.
   auto load = rt.splitter(0).load();
   for (auto& [rid, n] : load) {
-    if (rid == new_rid) EXPECT_GT(n, 0u);
+    if (rid == new_rid) {
+      EXPECT_GT(n, 0u);
+    }
   }
   rt.shutdown();
 }
@@ -177,7 +179,7 @@ TEST(Coe, MovePreservesPerFlowState) {
   ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(30)));
 
   auto probe = rt.probe_client(0);
-  EXPECT_EQ(probe->get(CountingIds::kFlowBytes, flow).i, 2000)
+  EXPECT_EQ(probe->get(CountingIds::kFlowBytes, flow).as_int(), 2000)
       << "byte count spans both instances' processing";
   rt.shutdown();
 }
@@ -200,7 +202,7 @@ TEST(Coe, StragglerCloneSuppressesDuplicates) {
   EXPECT_EQ(rt.sink().duplicate_clocks(), 0u) << "duplicate outputs suppressed";
   auto probe = rt.probe_client(0);
   EXPECT_EQ(
-      probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp}).i,
+      probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp}).as_int(),
       200)
       << "every packet counted exactly once despite double processing";
 
@@ -208,7 +210,7 @@ TEST(Coe, StragglerCloneSuppressesDuplicates) {
   for (int i = 0; i < 20; ++i) rt.inject(pkt(30, 1, AppEvent::kHttpData));
   ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(30)));
   EXPECT_EQ(
-      probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp}).i,
+      probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp}).as_int(),
       220);
   rt.shutdown();
 }
@@ -231,7 +233,7 @@ TEST(Coe, NatChainConsistentUnderParallelism) {
       FiveTuple orig = p.tuple;  // src_port rewritten; key by host+dst
       conn_port.insert({scope_hash(orig, Scope::kSrcIp), p.tuple.src_port});
     }
-    int64_t total = seed->get(Nat::kTotalPackets, FiveTuple{}).i;
+    int64_t total = seed->get(Nat::kTotalPackets, FiveTuple{}).as_int();
     rt.shutdown();
     return std::pair<size_t, int64_t>{conn_port.size(), total};
   };
@@ -255,15 +257,15 @@ TEST(Coe, LbNeverDoubleAssignsUnderParallelism) {
   ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(30)));
   auto probe = rt.probe_client(0);
   Value conns = probe->get(LoadBalancer::kServerConns, FiveTuple{});
-  ASSERT_EQ(conns.kind, Value::Kind::kList);
+  ASSERT_EQ(conns.kind(), Value::Kind::kList);
   int64_t total = 0;
-  for (size_t i = 0; i < 4; ++i) total += conns.list[i];
+  for (size_t i = 0; i < 4; ++i) total += conns.list_at(i);
   EXPECT_EQ(total, 24) << "the store-serialized argmin assigned each conn once";
   // Least-loaded assignment keeps the spread tight.
-  int64_t mn = conns.list[0], mx = conns.list[0];
+  int64_t mn = conns.list_at(0), mx = conns.list_at(0);
   for (size_t i = 0; i < 4; ++i) {
-    mn = std::min(mn, conns.list[i]);
-    mx = std::max(mx, conns.list[i]);
+    mn = std::min(mn, conns.list_at(i));
+    mx = std::max(mx, conns.list_at(i));
   }
   EXPECT_LE(mx - mn, 1);
   rt.shutdown();

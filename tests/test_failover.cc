@@ -49,7 +49,7 @@ TEST(Failover, NfRecoversWithNoFailureState) {
 
   auto probe = rt.probe_client(0);
   EXPECT_EQ(
-      probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp}).i,
+      probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp}).as_int(),
       100)
       << "every packet counted exactly once across the failure";
   EXPECT_EQ(rt.sink().duplicate_clocks(), 0u);
@@ -80,9 +80,9 @@ TEST(Failover, MidChainNfRecoveryDoesNotDisturbNeighbors) {
   auto ids_probe = rt.probe_client(ids);
   // Upstream firewall: counted each packet once (replay is recognized as
   // non-suspicious; its duplicate updates are emulated, §5.3).
-  EXPECT_EQ(fw_probe->get(Firewall::kAllowed, FiveTuple{}).i, 60);
+  EXPECT_EQ(fw_probe->get(Firewall::kAllowed, FiveTuple{}).as_int(), 60);
   EXPECT_EQ(
-      ids_probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp}).i,
+      ids_probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp}).as_int(),
       60);
   EXPECT_EQ(rt.sink().count(), 60u);
   EXPECT_EQ(rt.sink().duplicate_clocks(), 0u);
@@ -153,7 +153,7 @@ TEST(Failover, StoreShardRecoversSharedCounters) {
   }
   auto probe = rt.probe_client(0);
   EXPECT_EQ(
-      probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp}).i,
+      probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp}).as_int(),
       60)
       << "WAL re-execution rebuilt the post-checkpoint suffix";
   rt.shutdown();
@@ -169,7 +169,7 @@ TEST(Failover, StoreShardRecoversPerFlowFromClients) {
   // No checkpoint at all: per-flow state comes from client caches (B.5.1).
   for (int s = 0; s < rt.store().num_shards(); ++s) rt.fail_and_recover_shard(s);
   auto probe = rt.probe_client(0);
-  EXPECT_EQ(probe->get(CountingIds::kFlowBytes, pkt(6, 6).tuple).i, 2500);
+  EXPECT_EQ(probe->get(CountingIds::kFlowBytes, pkt(6, 6).tuple).as_int(), 2500);
   rt.shutdown();
 }
 
@@ -198,10 +198,10 @@ TEST(Failover, PortscanStateSurvivesNfFailure) {
   // 3 failures pre-crash + 1 post-crash reach the threshold (the 5th RST is
   // dropped because the host is already blocked) — only possible if the
   // pre-crash score survived the failure.
-  EXPECT_GE(probe->get(PortscanDetector::kLikelihood, pkt(7, 1).tuple).i,
+  EXPECT_GE(probe->get(PortscanDetector::kLikelihood, pkt(7, 1).tuple).as_int(),
             PortscanDetector::kBlockThreshold)
       << "failure score accumulated across the NF crash";
-  EXPECT_EQ(probe->get(PortscanDetector::kBlocked, pkt(7, 1).tuple).i, 1);
+  EXPECT_EQ(probe->get(PortscanDetector::kBlocked, pkt(7, 1).tuple).as_int(), 1);
   rt.shutdown();
 }
 
@@ -222,7 +222,7 @@ TEST(Failover, CorrelatedNfAndRootRecover) {
   ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(30)));
   auto probe = rt.probe_client(0);
   EXPECT_EQ(
-      probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp}).i,
+      probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp}).as_int(),
       60);
   rt.shutdown();
 }

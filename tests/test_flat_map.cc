@@ -1,0 +1,239 @@
+// Storage-engine tests: FlatMap/FlatSet vs std::unordered_map differential
+// property suites (same randomized workload, identical contents), robin-hood
+// + backward-shift edge cases under forced clustering, handle-hint
+// revalidation, and capacity-retention guarantees.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flat_map.h"
+#include "common/rng.h"
+#include "store/key.h"
+
+namespace chc {
+namespace {
+
+// --- Property: FlatMap behaves like std::unordered_map ------------------------
+// Randomized insert/overwrite/erase/find/iterate, checked for identical
+// contents after every erase and at the end (test_property.cc harness style).
+
+class FlatMapProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FlatMapProperty, RandomOpsMatchUnorderedMap) {
+  SplitMix64 rng(GetParam());
+  FlatMap<uint64_t, std::string> fm;
+  std::unordered_map<uint64_t, std::string> ref;
+
+  auto same_contents = [&](int step) {
+    ASSERT_EQ(fm.size(), ref.size()) << "step " << step;
+    for (const auto& [k, v] : ref) {
+      const std::string* p = fm.find_ptr(k);
+      ASSERT_NE(p, nullptr) << "missing key " << k << " at step " << step;
+      ASSERT_EQ(*p, v) << "key " << k << " at step " << step;
+    }
+    // Iteration covers exactly the reference contents, each key once.
+    size_t seen = 0;
+    for (const auto& [k, v] : fm) {
+      auto it = ref.find(k);
+      ASSERT_NE(it, ref.end()) << "phantom key " << k << " at step " << step;
+      ASSERT_EQ(it->second, v);
+      seen++;
+    }
+    ASSERT_EQ(seen, ref.size());
+  };
+
+  for (int step = 0; step < 4000; ++step) {
+    const uint64_t k = rng.bounded(64);  // small key space: heavy churn per slot
+    switch (rng.bounded(5)) {
+      case 0:
+      case 1: {  // insert / overwrite
+        const std::string v = std::to_string(rng.next() & 0xFFFF);
+        fm[k] = v;
+        ref[k] = v;
+        break;
+      }
+      case 2: {  // erase (exercises backward shift mid-cluster)
+        ASSERT_EQ(fm.erase(k), ref.erase(k)) << "step " << step;
+        same_contents(step);
+        break;
+      }
+      case 3: {  // find + contains
+        ASSERT_EQ(fm.contains(k), ref.contains(k)) << "step " << step;
+        const std::string* p = fm.find_ptr(k);
+        if (ref.contains(k)) {
+          ASSERT_NE(p, nullptr);
+          ASSERT_EQ(*p, ref.at(k));
+        } else {
+          ASSERT_EQ(p, nullptr);
+        }
+        break;
+      }
+      case 4: {  // erase-if over a random predicate slice
+        if (rng.bounded(8) == 0) {  // occasionally: it is O(capacity)
+          const uint64_t bit = rng.bounded(6);
+          fm.erase_if([&](const auto& kv) { return (kv.first >> bit) & 1; });
+          std::erase_if(ref, [&](const auto& kv) { return (kv.first >> bit) & 1; });
+          same_contents(step);
+        }
+        break;
+      }
+    }
+  }
+  same_contents(-1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlatMapProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// --- Forced clustering: long probe chains + wraparound ------------------------
+// A pathological hash pins every key to a handful of home slots, so probe
+// sequences are long, erases shift across many slots, and clusters wrap
+// around the end of the power-of-two array. Contents must still match.
+
+struct ClusteredKey {
+  uint64_t v = 0;
+  bool operator==(const ClusteredKey&) const = default;
+  uint64_t hash() const { return v & 3; }  // 4 home slots for everyone
+};
+
+class FlatMapClustered : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FlatMapClustered, ErasesDuringLongProbesKeepContents) {
+  SplitMix64 rng(GetParam());
+  FlatMap<ClusteredKey, uint64_t> fm;
+  std::unordered_map<uint64_t, uint64_t> ref;
+
+  for (int step = 0; step < 2000; ++step) {
+    const uint64_t k = rng.bounded(40);
+    if (rng.bounded(3) == 0) {
+      ASSERT_EQ(fm.erase(ClusteredKey{k}), ref.erase(k)) << "step " << step;
+    } else {
+      fm[ClusteredKey{k}] = step;
+      ref[k] = static_cast<uint64_t>(step);
+    }
+    // Every surviving key must remain reachable through its (long) probe.
+    for (const auto& [rk, rv] : ref) {
+      const uint64_t* p = fm.find_ptr(ClusteredKey{rk});
+      ASSERT_NE(p, nullptr) << "key " << rk << " lost at step " << step;
+      ASSERT_EQ(*p, rv) << "key " << rk << " at step " << step;
+    }
+    ASSERT_EQ(fm.size(), ref.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlatMapClustered, ::testing::Values(7, 11, 19));
+
+// --- Iterator erase + erase_if shift semantics --------------------------------
+
+TEST(FlatMap, IteratorEraseVisitsEverySurvivor) {
+  FlatMap<uint64_t, int> fm;
+  for (uint64_t k = 0; k < 100; ++k) fm[k] = static_cast<int>(k);
+  // Erase all even keys through the iterator protocol.
+  for (auto it = fm.begin(); it != fm.end();) {
+    if (it->first % 2 == 0) {
+      it = fm.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  ASSERT_EQ(fm.size(), 50u);
+  for (uint64_t k = 0; k < 100; ++k) EXPECT_EQ(fm.contains(k), k % 2 == 1);
+}
+
+TEST(FlatMap, EraseIfCountsAndKeeps) {
+  FlatMap<uint64_t, int> fm;
+  for (uint64_t k = 0; k < 1000; ++k) fm[k] = 1;
+  const size_t erased = fm.erase_if([](const auto& kv) { return kv.first % 3 == 0; });
+  EXPECT_EQ(erased, 334u);  // 0,3,...,999
+  EXPECT_EQ(fm.size(), 666u);
+  for (uint64_t k = 0; k < 1000; ++k) EXPECT_EQ(fm.contains(k), k % 3 != 0);
+}
+
+// --- Handle hints -------------------------------------------------------------
+
+TEST(FlatMap, FindHintedSurvivesChurnAndRehash) {
+  FlatMap<StoreKey, int> fm;
+  StoreKey key;
+  key.vertex = 3;
+  key.object = 7;
+  key.scope_key = 0xABCD;
+  fm[key] = 42;
+
+  uint32_t hint = 0;
+  int* p = fm.find_hinted(key, &hint);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, 42);
+
+  // The refreshed hint resolves with a single compare (same pointer back).
+  EXPECT_EQ(fm.find_hinted(key, &hint), p);
+
+  // Grow the table well past several rehashes; the stale hint self-heals.
+  for (uint64_t k = 0; k < 5000; ++k) {
+    StoreKey other;
+    other.vertex = 1;
+    other.object = 1;
+    other.scope_key = k;
+    fm[other] = static_cast<int>(k);
+  }
+  p = fm.find_hinted(key, &hint);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, 42);
+  EXPECT_EQ(fm.find_hinted(key, &hint), p);  // hint hot again
+
+  // Erase the entry: the hint must not resurrect it.
+  fm.erase(key);
+  EXPECT_EQ(fm.find_hinted(key, &hint), nullptr);
+}
+
+// --- Capacity retention -------------------------------------------------------
+
+TEST(FlatMap, ClearAndEraseKeepCapacity) {
+  FlatMap<uint64_t, int> fm;
+  fm.reserve(1000);
+  const size_t cap = fm.capacity();
+  ASSERT_GE(cap, 1000u);
+  for (int round = 0; round < 5; ++round) {
+    for (uint64_t k = 0; k < 1000; ++k) fm[k] = round;
+    EXPECT_EQ(fm.capacity(), cap) << "reserve must cover 1000 entries";
+    fm.clear();
+    EXPECT_EQ(fm.capacity(), cap) << "clear must retain capacity";
+  }
+}
+
+// --- Copy / move --------------------------------------------------------------
+
+TEST(FlatMap, CopyIsDeepMoveIsSteal) {
+  FlatMap<uint64_t, std::vector<int>> a;
+  a[1] = {1, 2, 3};
+  a[2] = {4};
+  FlatMap<uint64_t, std::vector<int>> b = a;
+  a[1].push_back(99);
+  ASSERT_EQ(b.at(1).size(), 3u) << "copy must be deep";
+  FlatMap<uint64_t, std::vector<int>> c = std::move(a);
+  EXPECT_EQ(c.at(1).size(), 4u);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move): documented steal
+  c = b;                    // copy-assign over live contents
+  EXPECT_EQ(c.at(1).size(), 3u);
+}
+
+// --- FlatSet ------------------------------------------------------------------
+
+TEST(FlatSet, InsertEraseContains) {
+  FlatSet<uint64_t> s;
+  EXPECT_TRUE(s.insert(5));
+  EXPECT_FALSE(s.insert(5)) << "second insert reports not-new";
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_EQ(s.erase(5), 1u);
+  EXPECT_EQ(s.erase(5), 0u);
+  EXPECT_FALSE(s.contains(5));
+  for (uint64_t k = 0; k < 300; ++k) s.insert(k * 7);
+  EXPECT_EQ(s.size(), 300u);
+  size_t n = 0;
+  s.for_each([&](uint64_t) { n++; });
+  EXPECT_EQ(n, 300u);
+}
+
+}  // namespace
+}  // namespace chc

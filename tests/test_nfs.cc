@@ -97,16 +97,16 @@ TEST_F(NatTest, DistinctConnectionsGetDistinctPorts) {
 TEST_F(NatTest, CountersMatchTraffic) {
   inject_conn(*rt_, conn(5, 5555), 8);  // 11 packets total
   ASSERT_TRUE(rt_->wait_quiescent(std::chrono::seconds(5)));
-  EXPECT_EQ(seed_->get(Nat::kTotalPackets, FiveTuple{}).i, 11);
-  EXPECT_EQ(seed_->get(Nat::kTcpPackets, FiveTuple{}).i, 11);
+  EXPECT_EQ(seed_->get(Nat::kTotalPackets, FiveTuple{}).as_int(), 11);
+  EXPECT_EQ(seed_->get(Nat::kTcpPackets, FiveTuple{}).as_int(), 11);
 }
 
 TEST_F(NatTest, PortReturnedOnFin) {
   inject_conn(*rt_, conn(6, 6666), 0);  // SYN, SYN-ACK, FIN
   ASSERT_TRUE(rt_->wait_quiescent(std::chrono::seconds(5)));
   Value ports = seed_->get(Nat::kPorts, FiveTuple{});
-  ASSERT_EQ(ports.kind, Value::Kind::kList);
-  EXPECT_EQ(ports.list.size(), 64u);  // pool back to full
+  ASSERT_EQ(ports.kind(), Value::Kind::kList);
+  EXPECT_EQ(ports.list_size(), 64u);  // pool back to full
 }
 
 // --- Portscan detector ---------------------------------------------------------
@@ -133,9 +133,9 @@ TEST_F(PortscanTest, ScannerBlockedAfterFailures) {
   ASSERT_TRUE(rt_->wait_quiescent(std::chrono::seconds(5)));
   auto probe = rt_->probe_client(0);
   Value blocked = probe->get(PortscanDetector::kBlocked, conn(77, 1));
-  EXPECT_EQ(blocked.i, 1) << "scanner must be blocked";
+  EXPECT_EQ(blocked.as_int(), 1) << "scanner must be blocked";
   Value score = probe->get(PortscanDetector::kLikelihood, conn(77, 1));
-  EXPECT_GE(score.i, PortscanDetector::kBlockThreshold);
+  EXPECT_GE(score.as_int(), PortscanDetector::kBlockThreshold);
 }
 
 TEST_F(PortscanTest, BenignHostNotBlocked) {
@@ -144,7 +144,7 @@ TEST_F(PortscanTest, BenignHostNotBlocked) {
   }
   ASSERT_TRUE(rt_->wait_quiescent(std::chrono::seconds(5)));
   auto probe = rt_->probe_client(0);
-  EXPECT_NE(probe->get(PortscanDetector::kBlocked, conn(88, 1)).i, 1);
+  EXPECT_NE(probe->get(PortscanDetector::kBlocked, conn(88, 1)).as_int(), 1);
 }
 
 TEST_F(PortscanTest, BlockedHostTrafficDropped) {
@@ -169,7 +169,7 @@ TEST_F(PortscanTest, SuccessesOffsetFailures) {
   }
   ASSERT_TRUE(rt_->wait_quiescent(std::chrono::seconds(5)));
   auto probe = rt_->probe_client(0);
-  EXPECT_NE(probe->get(PortscanDetector::kBlocked, conn(111, 1)).i, 1);
+  EXPECT_NE(probe->get(PortscanDetector::kBlocked, conn(111, 1)).as_int(), 1);
 }
 
 // --- Trojan detector -----------------------------------------------------------
@@ -196,7 +196,7 @@ class TrojanTest : public ::testing::Test {
 
   int64_t detections() {
     auto probe = rt_->probe_client(0);
-    return probe->get(TrojanDetector::kDetections, FiveTuple{}).i;
+    return probe->get(TrojanDetector::kDetections, FiveTuple{}).as_int();
   }
 
   std::unique_ptr<Runtime> rt_;
@@ -291,9 +291,9 @@ TEST_F(LbTest, ByteCountersAccumulate) {
   ASSERT_TRUE(rt_->wait_quiescent(std::chrono::seconds(5)));
   auto probe = rt_->probe_client(0);
   Value bytes = probe->get(LoadBalancer::kServerBytes, FiveTuple{});
-  ASSERT_EQ(bytes.kind, Value::Kind::kList);
+  ASSERT_EQ(bytes.kind(), Value::Kind::kList);
   int64_t total = 0;
-  for (int64_t b : bytes.list) total += b;
+  for (size_t i = 0; i < bytes.list_size(); ++i) total += bytes.list_at(i);
   EXPECT_EQ(total, 7 * 200);  // 7 packets x 200B
 }
 
@@ -302,9 +302,9 @@ TEST_F(LbTest, FinReleasesConnectionCount) {
   ASSERT_TRUE(rt_->wait_quiescent(std::chrono::seconds(5)));
   auto probe = rt_->probe_client(0);
   Value conns = probe->get(LoadBalancer::kServerConns, FiveTuple{});
-  ASSERT_EQ(conns.kind, Value::Kind::kList);
+  ASSERT_EQ(conns.kind(), Value::Kind::kList);
   int64_t active = 0;
-  for (size_t i = 0; i < 4 && i < conns.list.size(); ++i) active += conns.list[i];
+  for (size_t i = 0; i < 4 && i < conns.list_size(); ++i) active += conns.list_at(i);
   EXPECT_EQ(active, 0) << "FIN decremented the connection count";
 }
 
@@ -334,7 +334,7 @@ TEST(DpiTest, TracksHostConnectionsAcrossFlows) {
   }
   ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(5)));
   auto probe = rt.probe_client(0);
-  EXPECT_EQ(probe->get(DpiEngine::kHostConns, conn(70, 1)).i, 5);
+  EXPECT_EQ(probe->get(DpiEngine::kHostConns, conn(70, 1)).as_int(), 5);
   rt.shutdown();
 }
 

@@ -66,7 +66,7 @@ TEST_P(StoreModelProperty, RandomOpsMatchReferenceModel) {
       req.clock = kNoClock;
       Response r = call(std::move(req));
       const int64_t expect = model.contains(k.scope_key) ? model[k.scope_key] : 0;
-      const int64_t got = r.value.kind == Value::Kind::kInt ? r.value.i : 0;
+      const int64_t got = r.value.kind() == Value::Kind::kInt ? r.value.as_int() : 0;
       ASSERT_EQ(got, expect) << "divergence at step " << i;
     }
   }
@@ -139,7 +139,7 @@ TEST_P(RecoveryProperty, WalReplayReachesPreCrashValue) {
     req.op = OpType::kGet;
     req.key = k;
     return req;
-  }()).value.i;
+  }()).value.as_int();
 
   store.crash_shard(0);
   ShardSnapshot empty;
@@ -148,7 +148,7 @@ TEST_P(RecoveryProperty, WalReplayReachesPreCrashValue) {
   Request req;
   req.op = OpType::kGet;
   req.key = k;
-  EXPECT_EQ(call(std::move(req)).value.i, pre_crash)
+  EXPECT_EQ(call(std::move(req)).value.as_int(), pre_crash)
       << "recovered value equals the no-failure value (Thm B.5.2/B.5.3)";
 }
 
@@ -191,7 +191,7 @@ TEST_P(HandoverProperty, CounterExactAcrossMovePoint) {
 
   auto probe = rt.probe_client(0);
   EXPECT_EQ(
-      probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp}).i,
+      probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp}).as_int(),
       static_cast<int64_t>(kTotal));
   EXPECT_EQ(rt.sink().count(), kTotal);
   EXPECT_EQ(rt.sink().duplicate_clocks(), 0u);
@@ -236,7 +236,7 @@ TEST_P(CloneProperty, ExactlyOnceEffectsUnderCloning) {
 
   auto probe = rt.probe_client(0);
   EXPECT_EQ(
-      probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp}).i,
+      probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp}).as_int(),
       static_cast<int64_t>(kTotal));
   EXPECT_EQ(rt.sink().duplicate_clocks(), 0u);
   rt.shutdown();

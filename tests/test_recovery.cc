@@ -45,7 +45,7 @@ TEST(TsSelection, PaperFigure7Scenario) {
   TsSelection sel = select_recovery_ts(logs, {r19, r27, r18}, {});
   ASSERT_TRUE(sel.base_read.has_value());
   EXPECT_EQ(sel.base_read->clock, 18u) << "Fig. 7 selects TS18";
-  EXPECT_EQ(sel.base_read->value.i, 300);
+  EXPECT_EQ(sel.base_read->value.as_int(), 300);
   // Replay resumes after U15 (I1), U30 (I2), U17 (I3), U31 (I4):
   EXPECT_EQ(sel.replay_after.at(1), 15u);
   EXPECT_EQ(sel.replay_after.at(2), 30u);
@@ -117,7 +117,7 @@ TEST_F(ShardRecoveryTest, PerFlowRestoredFromClientCaches) {
   ev.per_flow.emplace_back(skey(1, false, 11), Value::of_int(9));  // cached newer
   RecoveryStats st = store_->recover_shard(0, *cp, {ev});
   EXPECT_EQ(st.per_flow_restored, 1u);
-  EXPECT_EQ(op(OpType::kGet, skey(1, false, 11)).value.i, 9);
+  EXPECT_EQ(op(OpType::kGet, skey(1, false, 11)).value.as_int(), 9);
   // Ownership restored to the caching client.
   EXPECT_EQ(op(OpType::kIncr, skey(1, false, 11), Value::of_int(1), kNoClock, 4).status,
             Status::kNotOwner);
@@ -136,7 +136,7 @@ TEST_F(ShardRecoveryTest, SharedRebuiltFromWalNoReads) {
   RecoveryStats st = store_->recover_shard(0, *cp, {ev});
   EXPECT_EQ(st.shared_objects_restored, 1u);
   EXPECT_EQ(st.ops_replayed, 1u);  // only U20 (after checkpoint TS)
-  EXPECT_EQ(op(OpType::kGet, skey(2)).value.i, 3);
+  EXPECT_EQ(op(OpType::kGet, skey(2)).value.as_int(), 3);
 }
 
 TEST_F(ShardRecoveryTest, SharedRebuiltFromReadBase) {
@@ -144,7 +144,7 @@ TEST_F(ShardRecoveryTest, SharedRebuiltFromReadBase) {
   auto cp = store_->checkpoint_shard(0);
   op(OpType::kIncr, skey(3), Value::of_int(2), 20, 1);
   Response read = op(OpType::kGet, skey(3), {}, 25, 2);
-  EXPECT_EQ(read.value.i, 3);
+  EXPECT_EQ(read.value.as_int(), 3);
   op(OpType::kIncr, skey(3), Value::of_int(4), 30, 1);
   store_->crash_shard(0);
 
@@ -161,7 +161,7 @@ TEST_F(ShardRecoveryTest, SharedRebuiltFromReadBase) {
   EXPECT_EQ(st.reads_considered, 1u);
   // Recovered = read base (3) + replay of U30 (+4) = 7 — exactly the
   // pre-crash value, and consistent with what I2 observed.
-  EXPECT_EQ(op(OpType::kGet, skey(3)).value.i, 7);
+  EXPECT_EQ(op(OpType::kGet, skey(3)).value.as_int(), 7);
 }
 
 TEST_F(ShardRecoveryTest, RecoveredStateKeepsDuplicateSuppression) {
@@ -176,7 +176,7 @@ TEST_F(ShardRecoveryTest, RecoveredStateKeepsDuplicateSuppression) {
   // re-applied, after recovery too.
   Response dup = op(OpType::kIncr, skey(4), Value::of_int(1), 50, 1);
   EXPECT_EQ(dup.status, Status::kEmulated);
-  EXPECT_EQ(op(OpType::kGet, skey(4)).value.i, 1);
+  EXPECT_EQ(op(OpType::kGet, skey(4)).value.as_int(), 1);
 }
 
 TEST_F(ShardRecoveryTest, MultiObjectRecovery) {
@@ -194,7 +194,7 @@ TEST_F(ShardRecoveryTest, MultiObjectRecovery) {
   RecoveryStats st = store_->recover_shard(0, *cp, {ev});
   EXPECT_EQ(st.shared_objects_restored, 5u);
   for (ObjectId o = 10; o < 15; ++o) {
-    EXPECT_EQ(op(OpType::kGet, skey(o)).value.i, o);
+    EXPECT_EQ(op(OpType::kGet, skey(o)).value.as_int(), o);
   }
 }
 
@@ -206,7 +206,7 @@ TEST_F(ShardRecoveryTest, EmptyCheckpointPureWalRebuild) {
   ev.wal.push_back({60, OpType::kIncr, skey(5), Value::of_int(3), {}, 0});
   ShardSnapshot empty;
   store_->recover_shard(0, empty, {ev});
-  EXPECT_EQ(op(OpType::kGet, skey(5)).value.i, 3);
+  EXPECT_EQ(op(OpType::kGet, skey(5)).value.as_int(), 3);
 }
 
 }  // namespace

@@ -80,7 +80,7 @@ TEST(Runtime, TwoNfChainEndToEnd) {
   EXPECT_EQ(rt.sink().count(), 100u);
   auto probe = rt.probe_client(ids);
   EXPECT_EQ(
-      probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp}).i,
+      probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp}).as_int(),
       100);
   rt.shutdown();
 }
@@ -159,7 +159,7 @@ TEST(Runtime, MirrorBranchDeliversCopies) {
   // The off-path detector consumed the 10 IRC copies and recorded state.
   auto probe = rt.probe_client(trojan);
   Value seq = probe->get(TrojanDetector::kSequence, make_packet(5, 0).tuple);
-  EXPECT_EQ(seq.kind, Value::Kind::kList);
+  EXPECT_EQ(seq.kind(), Value::Kind::kList);
   rt.shutdown();
 }
 

@@ -15,8 +15,8 @@ class StoreTest : public ::testing::Test {
     store_ = std::make_unique<DataStore>(cfg);
     store_->register_custom_op(100, [](const Value& old, const Value& arg) {
       Value v = old;
-      if (v.kind != Value::Kind::kInt) v = Value::of_int(1);
-      v.i *= arg.i;
+      if (!v.is_int()) v = Value::of_int(1);
+      v.set_int(v.as_int() * arg.as_int());
       return v;
     });
     store_->start();
@@ -79,19 +79,19 @@ TEST_F(StoreTest, SetThenGet) {
   op(OpType::kSet, shared_key(1), Value::of_int(42));
   Response r = op(OpType::kGet, shared_key(1));
   EXPECT_EQ(r.status, Status::kOk);
-  EXPECT_EQ(r.value.i, 42);
+  EXPECT_EQ(r.value.as_int(), 42);
 }
 
 TEST_F(StoreTest, IncrCreatesAndAccumulates) {
-  EXPECT_EQ(op(OpType::kIncr, shared_key(2), Value::of_int(5)).value.i, 5);
-  EXPECT_EQ(op(OpType::kIncr, shared_key(2), Value::of_int(-2)).value.i, 3);
+  EXPECT_EQ(op(OpType::kIncr, shared_key(2), Value::of_int(5)).value.as_int(), 5);
+  EXPECT_EQ(op(OpType::kIncr, shared_key(2), Value::of_int(-2)).value.as_int(), 3);
 }
 
 TEST_F(StoreTest, PushPopFifo) {
   op(OpType::kPushList, shared_key(3), Value::of_int(10));
   op(OpType::kPushList, shared_key(3), Value::of_int(20));
-  EXPECT_EQ(op(OpType::kPopList, shared_key(3)).value.i, 10);
-  EXPECT_EQ(op(OpType::kPopList, shared_key(3)).value.i, 20);
+  EXPECT_EQ(op(OpType::kPopList, shared_key(3)).value.as_int(), 10);
+  EXPECT_EQ(op(OpType::kPopList, shared_key(3)).value.as_int(), 20);
   EXPECT_EQ(op(OpType::kPopList, shared_key(3)).status, Status::kNotFound);
 }
 
@@ -100,18 +100,18 @@ TEST_F(StoreTest, CompareAndUpdateSemantics) {
   Response ok = op(OpType::kCompareAndUpdate, shared_key(4), Value::of_int(2),
                    kNoClock, 1, Value::of_int(1));
   EXPECT_EQ(ok.status, Status::kOk);
-  EXPECT_EQ(ok.value.i, 2);
+  EXPECT_EQ(ok.value.as_int(), 2);
   Response no = op(OpType::kCompareAndUpdate, shared_key(4), Value::of_int(9),
                    kNoClock, 1, Value::of_int(1));
   EXPECT_EQ(no.status, Status::kConditionFalse);
-  EXPECT_EQ(no.value.i, 2);
+  EXPECT_EQ(no.value.as_int(), 2);
 }
 
 TEST_F(StoreTest, CustomOpRuns) {
   op(OpType::kSet, shared_key(5), Value::of_int(3));
   Response r = op(OpType::kCustom, shared_key(5), Value::of_int(7), kNoClock, 1, {},
                   100);
-  EXPECT_EQ(r.value.i, 21);
+  EXPECT_EQ(r.value.as_int(), 21);
 }
 
 TEST_F(StoreTest, UnknownCustomOpErrors) {
@@ -124,22 +124,22 @@ TEST_F(StoreTest, DuplicateClockEmulated) {
   // Same packet clock updating the same object twice: the second attempt
   // must not re-apply; it returns the logged value (paper §5.3, Fig. 5b).
   Response first = op(OpType::kIncr, shared_key(6), Value::of_int(1), 77);
-  EXPECT_EQ(first.value.i, 1);
+  EXPECT_EQ(first.value.as_int(), 1);
   Response dup = op(OpType::kIncr, shared_key(6), Value::of_int(1), 77);
   EXPECT_EQ(dup.status, Status::kEmulated);
-  EXPECT_EQ(dup.value.i, 1);  // value at the original update
-  EXPECT_EQ(op(OpType::kGet, shared_key(6)).value.i, 1);
+  EXPECT_EQ(dup.value.as_int(), 1);  // value at the original update
+  EXPECT_EQ(op(OpType::kGet, shared_key(6)).value.as_int(), 1);
 }
 
 TEST_F(StoreTest, EmulatedPopReturnsSameElement) {
   op(OpType::kPushList, shared_key(7), Value::of_int(100));
   op(OpType::kPushList, shared_key(7), Value::of_int(200));
   Response p1 = op(OpType::kPopList, shared_key(7), {}, 55);
-  EXPECT_EQ(p1.value.i, 100);
+  EXPECT_EQ(p1.value.as_int(), 100);
   Response replay = op(OpType::kPopList, shared_key(7), {}, 55);
   EXPECT_EQ(replay.status, Status::kEmulated);
-  EXPECT_EQ(replay.value.i, 100);  // same port on replay, not a second pop
-  EXPECT_EQ(op(OpType::kPopList, shared_key(7), {}, 56).value.i, 200);
+  EXPECT_EQ(replay.value.as_int(), 100);  // same port on replay, not a second pop
+  EXPECT_EQ(op(OpType::kPopList, shared_key(7), {}, 56).value.as_int(), 200);
 }
 
 TEST_F(StoreTest, GcClockStillRejectsRetransmissions) {
@@ -152,7 +152,7 @@ TEST_F(StoreTest, GcClockStillRejectsRetransmissions) {
   std::this_thread::sleep_for(std::chrono::milliseconds(5));
   Response r = op(OpType::kIncr, shared_key(8), Value::of_int(1), 99);
   EXPECT_EQ(r.status, Status::kEmulated);
-  EXPECT_EQ(op(OpType::kGet, shared_key(8)).value.i, 1);
+  EXPECT_EQ(op(OpType::kGet, shared_key(8)).value.as_int(), 1);
 }
 
 TEST_F(StoreTest, PerFlowOwnershipFirstTouchClaims) {
@@ -173,7 +173,7 @@ TEST_F(StoreTest, AcquireReleaseHandsOver) {
   auto note = async_->recv(std::chrono::milliseconds(200));
   ASSERT_TRUE(note.has_value());
   EXPECT_EQ(note->msg, Response::Kind::kOwnershipGranted);
-  EXPECT_EQ(note->value.i, 7);
+  EXPECT_EQ(note->value.as_int(), 7);
   // Now instance 4 can update.
   EXPECT_EQ(op(OpType::kIncr, flow_key(10, 5), Value::of_int(1), kNoClock, 4).status,
             Status::kOk);
@@ -188,7 +188,7 @@ TEST_F(StoreTest, ReleaseCarriesFinalValue) {
   rel.covered_clocks = {42};
   rel.instance = 3;
   call(std::move(rel));
-  EXPECT_EQ(op(OpType::kGet, flow_key(11, 6)).value.i, 99);
+  EXPECT_EQ(op(OpType::kGet, flow_key(11, 6)).value.as_int(), 99);
 }
 
 TEST_F(StoreTest, CallbackPushedToSubscribers) {
@@ -204,7 +204,7 @@ TEST_F(StoreTest, CallbackPushedToSubscribers) {
   auto cb = sub_async->recv(std::chrono::milliseconds(200));
   ASSERT_TRUE(cb.has_value());
   EXPECT_EQ(cb->msg, Response::Kind::kCallback);
-  EXPECT_EQ(cb->value.i, 3);
+  EXPECT_EQ(cb->value.as_int(), 3);
 }
 
 TEST_F(StoreTest, UpdateInitiatorNotCalledBack) {
@@ -250,7 +250,7 @@ TEST_F(StoreTest, NonDetMemoizedByClock) {
   Response r1 = call(a);
   Response r2 = call(a);
   EXPECT_EQ(r2.status, Status::kEmulated);
-  EXPECT_EQ(r1.value.i, r2.value.i);  // replay sees the same "random" value
+  EXPECT_EQ(r1.value.as_int(), r2.value.as_int());  // replay sees the same "random" value
 }
 
 TEST_F(StoreTest, NonDetFreshPerClock) {
@@ -262,7 +262,7 @@ TEST_F(StoreTest, NonDetFreshPerClock) {
   a.clock = 601;
   a.req_id = 0;
   Response r2 = call(a);
-  EXPECT_NE(r1.value.i, r2.value.i);
+  EXPECT_NE(r1.value.as_int(), r2.value.as_int());
 }
 
 TEST_F(StoreTest, CacheFlushCoversClocks) {
@@ -273,11 +273,11 @@ TEST_F(StoreTest, CacheFlushCoversClocks) {
   f.covered_clocks = {1, 2, 3};
   f.instance = 1;
   call(f);
-  EXPECT_EQ(op(OpType::kGet, flow_key(17, 9)).value.i, 55);
+  EXPECT_EQ(op(OpType::kGet, flow_key(17, 9)).value.as_int(), 55);
   // Each covered clock is now in the in-flight log: replaying one emulates.
   Response dup = op(OpType::kIncr, flow_key(17, 9), Value::of_int(1), 2, 1);
   EXPECT_EQ(dup.status, Status::kEmulated);
-  EXPECT_EQ(dup.value.i, 55);
+  EXPECT_EQ(dup.value.as_int(), 55);
 }
 
 TEST_F(StoreTest, CommitListenerSeesTags) {
@@ -299,7 +299,7 @@ TEST_F(StoreTest, CheckpointIsConsistentCut) {
   auto snap = store_->checkpoint_shard(store_->shard_of(shared_key(19)));
   op(OpType::kSet, shared_key(19), Value::of_int(9));
   ASSERT_TRUE(snap->entries.contains(shared_key(19)));
-  EXPECT_EQ(snap->entries.at(shared_key(19)).value.i, 5);
+  EXPECT_EQ(snap->entries.at(shared_key(19)).value.as_int(), 5);
 }
 
 TEST_F(StoreTest, CrashLosesState) {

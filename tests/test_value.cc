@@ -1,0 +1,265 @@
+// Compact-Value tests: kind-aware equality (regression for the stale
+// list/bytes poisoning bug in the old all-public struct), small-buffer
+// boundaries, representation-independent comparison — plus the allocation
+// counter proving that the counter-only store path runs allocation-free in
+// steady state.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <new>
+
+#include "store/client.h"
+#include "store/value.h"
+
+// --- allocation counting hook -------------------------------------------------
+// Thread-local so shard worker threads (histograms, logs) don't pollute the
+// measurement of the NF-thread data path.
+namespace {
+thread_local int64_t t_allocs = 0;
+}
+
+// The replaced operators pair with each other (new -> malloc, delete ->
+// free); gcc's -Wmismatched-new-delete cannot see that pairing across the
+// replacement boundary.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t n) {
+  ++t_allocs;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) {
+  ++t_allocs;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
+
+namespace chc {
+namespace {
+
+template <class Fn>
+int64_t allocs_during(Fn fn) {
+  const int64_t before = t_allocs;
+  fn();
+  return t_allocs - before;
+}
+
+// --- equality regression ------------------------------------------------------
+
+TEST(Value, IntsCompareEqualAfterListReuse) {
+  // Regression: with the old struct, a Value that once held a list kept the
+  // stale vector when reused as an int, and the default member-wise
+  // operator== made equal ints compare unequal.
+  Value v = Value::of_list({1, 2, 3, 4, 5});
+  v.set_int(7);
+  EXPECT_EQ(v, Value::of_int(7));
+  EXPECT_EQ(Value::of_int(7), v);
+
+  Value b = Value::of_bytes("connection-record-xyz");
+  b.add_int(7);  // non-int becomes int 0, then += 7
+  EXPECT_EQ(b, Value::of_int(7));
+  EXPECT_EQ(v, b);
+}
+
+TEST(Value, KindMismatchNeverEqual) {
+  EXPECT_NE(Value::none(), Value::of_int(0));
+  EXPECT_NE(Value::of_int(0), Value::of_list({}));
+  EXPECT_NE(Value::of_list({}), Value::of_bytes(""));
+  EXPECT_EQ(Value::none(), Value::none());
+}
+
+TEST(Value, ListEqualityIsContentNotRepresentation) {
+  // A list that shrank from beyond the inline cap lives on the heap; it
+  // must still equal an inline-built list with the same contents.
+  Value heap = Value::of_list({9, 8, 1, 2, 3});
+  ASSERT_EQ(heap.list_pop_front(), 9);
+  ASSERT_EQ(heap.list_pop_front(), 8);
+  EXPECT_EQ(heap, Value::of_list({1, 2, 3}));
+  EXPECT_EQ(Value::of_list({1, 2, 3}), heap);
+  EXPECT_NE(heap, Value::of_list({1, 2}));
+  EXPECT_NE(heap, Value::of_list({1, 2, 4}));
+}
+
+// --- small-buffer boundaries --------------------------------------------------
+
+TEST(Value, ListInlineToHeapBoundary) {
+  Value v;
+  for (int64_t k = 1; k <= 8; ++k) {
+    v.list_push_back(k);
+    ASSERT_EQ(v.list_size(), static_cast<size_t>(k));
+    for (int64_t j = 1; j <= k; ++j) ASSERT_EQ(v.list_at(static_cast<size_t>(j - 1)), j);
+  }
+  EXPECT_EQ(v.list_front(), 1);
+  EXPECT_EQ(v.list_back(), 8);
+  EXPECT_EQ(v.list_pop_front(), 1);
+  EXPECT_EQ(v.list_size(), 7u);
+  v.list_resize(2);
+  EXPECT_EQ(v, Value::of_list({2, 3}));
+  v.list_resize(4, -1);
+  EXPECT_EQ(v, Value::of_list({2, 3, -1, -1}));
+}
+
+TEST(Value, ResizePromotionKeepsFill) {
+  // Regression: promoting an inline list to the heap while resizing with a
+  // sentinel fill must fill with the sentinel, not zeros.
+  Value v = Value::of_list({1, 2});
+  v.list_resize(6, -1);
+  EXPECT_EQ(v, Value::of_list({1, 2, -1, -1, -1, -1}));
+  Value w;  // none -> list promotion straight past the inline cap
+  w.list_resize(5, 7);
+  EXPECT_EQ(w, Value::of_list({7, 7, 7, 7, 7}));
+}
+
+TEST(Value, BytesInlineAndHeap) {
+  const std::string inline_str(Value::kInlineBytesCap, 'a');
+  const std::string heap_str(Value::kInlineBytesCap + 1, 'b');
+  Value a = Value::of_bytes(inline_str);
+  Value b = Value::of_bytes(heap_str);
+  EXPECT_EQ(a.bytes_view(), inline_str);
+  EXPECT_EQ(b.bytes_view(), heap_str);
+  EXPECT_NE(a, b);
+  Value a2 = a;  // copy keeps contents
+  EXPECT_EQ(a2, a);
+  Value b2 = b;
+  EXPECT_EQ(b2, b);
+  b2 = std::move(b);
+  EXPECT_EQ(b2.bytes_view(), heap_str);
+}
+
+TEST(Value, CopyOfHeapListIsDeep) {
+  Value a = Value::of_list({1, 2, 3, 4, 5});
+  Value b = a;
+  b.list_at(0) = 99;
+  EXPECT_EQ(a.list_at(0), 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(Value, StrFormats) {
+  EXPECT_EQ(Value::none().str(), "none");
+  EXPECT_EQ(Value::of_int(-5).str(), "-5");
+  EXPECT_EQ(Value::of_list({1, 2, 3}).str(), "[1,2,3]");
+  EXPECT_EQ(Value::of_bytes("hi").str(), "b\"hi\"");
+}
+
+TEST(Value, CompactLayout) {
+  EXPECT_EQ(sizeof(Value), 32u) << "Value must stay 4 words";
+}
+
+// --- allocation-free guarantees ----------------------------------------------
+
+TEST(ValueAlloc, IntAndSmallPayloadsNeverTouchHeap) {
+  EXPECT_EQ(allocs_during([] {
+              Value v = Value::of_int(1);
+              for (int i = 0; i < 1000; ++i) {
+                v.add_int(3);
+                Value copy = v;        // message-style copy
+                Value moved = std::move(copy);
+                if (!(moved == v)) std::abort();
+              }
+            }),
+            0);
+  EXPECT_EQ(allocs_during([] {
+              // Inline list (<= kInlineListCap) and inline bytes copies.
+              Value lst = Value::of_list({1, 2, 3});
+              Value byt = Value::of_bytes("0123456789abcdef");
+              for (int i = 0; i < 1000; ++i) {
+                Value c1 = lst;
+                Value c2 = byt;
+                if (c1.list_size() != 3 || c2.bytes_view().size() != 16) std::abort();
+              }
+            }),
+            0);
+  // Sanity: the counter does count — a beyond-cap list allocates.
+  EXPECT_GT(allocs_during([] { Value big = Value::of_list({1, 2, 3, 4}); }), 0);
+}
+
+TEST(ValueAlloc, FlatMapSteadyStateIsAllocationFree) {
+  FlatMap<uint64_t, uint64_t> fm;
+  fm.reserve(512);
+  for (uint64_t k = 0; k < 400; ++k) fm[k] = k;
+  EXPECT_EQ(allocs_during([&] {
+              for (int round = 0; round < 100; ++round) {
+                for (uint64_t k = 0; k < 400; ++k) {
+                  fm.erase(k);
+                  fm[k] = k + 1;
+                  if (!fm.contains(k)) std::abort();
+                }
+              }
+            }),
+            0);
+}
+
+// The acceptance bar: a cached per-flow counter op — the path NAT counters,
+// portscan scores, and LB byte counts ride — does zero heap allocations in
+// steady state.
+TEST(ValueAlloc, CachedCounterOpPathZeroAllocLocal) {
+  DataStoreConfig scfg;
+  scfg.num_shards = 1;
+  DataStore store(scfg);  // never started: local_only touches no shard
+
+  ClientConfig cc;
+  cc.vertex = 1;
+  cc.instance = 1;
+  cc.local_only = true;  // the paper's "T" model
+  cc.flush_every = 1;    // flush machinery runs every op (local fast path)
+  StoreClient client(&store, cc);
+  client.register_object(
+      {1, Scope::kFiveTuple, false, AccessPattern::kWriteReadOften, "ctr"});
+
+  FiveTuple t{0x0a000001, 0x36000001, 1000, 443, IpProto::kTcp};
+  FlowHandle h = client.open_flow(1, t);
+  // Warm up: first ops grow pending_clocks/applied bookkeeping to capacity.
+  for (int i = 0; i < 64; ++i) {
+    client.set_current_clock(make_clock(1, static_cast<uint64_t>(i)));
+    client.incr(h, 1);
+  }
+  int64_t expect = 64;
+  EXPECT_EQ(allocs_during([&] {
+              for (int i = 64; i < 10064; ++i) {
+                client.set_current_clock(make_clock(1, static_cast<uint64_t>(i)));
+                client.incr(h, 1);
+              }
+            }),
+            0);
+  expect += 10000;
+  EXPECT_EQ(client.get(h).as_int(), expect);
+  EXPECT_GE(client.stats().handle_fast_hits, 10000u);
+}
+
+TEST(ValueAlloc, CachedCounterOpPathZeroAllocExternalized) {
+  DataStoreConfig scfg;
+  scfg.num_shards = 1;
+  DataStore store(scfg);
+  store.start();
+
+  ClientConfig cc;
+  cc.vertex = 1;
+  cc.instance = 1;
+  cc.caching = true;
+  cc.wait_acks = false;  // EO+C+NA
+  cc.batching = true;
+  cc.flush_every = 1 << 20;  // flush (a message send) outside the window
+  StoreClient client(&store, cc);
+  client.register_object(
+      {1, Scope::kFiveTuple, false, AccessPattern::kWriteReadOften, "ctr"});
+
+  FiveTuple t{0x0a000001, 0x36000001, 1000, 443, IpProto::kTcp};
+  FlowHandle h = client.open_flow(1, t);
+  client.set_current_clock(kNoClock);  // unclocked op stream
+  client.incr(h, 1);                   // loads the cache entry (blocking)
+  EXPECT_EQ(allocs_during([&] {
+              for (int i = 0; i < 10000; ++i) client.incr(h, 1);
+            }),
+            0);
+  EXPECT_EQ(client.get(h).as_int(), 10001);
+  client.flush_all();
+  store.stop();
+}
+
+}  // namespace
+}  // namespace chc
