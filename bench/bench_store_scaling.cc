@@ -1,0 +1,236 @@
+// Elastic store resharding under load: ops/s and latency percentiles
+// before / during / after a live 4 -> 8 shard scale-up, with the key
+// population drawn from the NAT trace's flows. The paper scales NF
+// instances (§5.1); this measures the same elasticity applied to the state
+// tier (store/router.h): the reshard must be a latency blip (parked
+// requests during per-slot installs), not an outage, and the post-reshard
+// steady state must match a store that was *born* with 8 shards.
+//
+// Emits BENCH_store_scaling_migration.json + BENCH_store_scaling_steady.json.
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "store/datastore.h"
+
+namespace chc {
+namespace {
+
+struct Sample {
+  double t_us;    // since driver start
+  double lat_us;  // blocking op round trip
+};
+
+// Shared-scope counter keys from the trace's connections: every op is one
+// blocking round trip, so latency is measured per op and a reshard's
+// freeze/park windows show up directly.
+std::vector<StoreKey> trace_keys(size_t max_keys) {
+  const Trace trace = bench::bench_trace(20'000, /*seed=*/41);
+  std::vector<StoreKey> keys;
+  FlatSet<uint64_t> seen;
+  for (const Packet& p : trace.packets()) {
+    const uint64_t scope = scope_hash(p.tuple, Scope::kFiveTuple);
+    if (!seen.insert(scope)) continue;
+    StoreKey k;
+    k.vertex = 1;
+    k.object = 1;
+    k.scope_key = scope;
+    k.shared = true;
+    k.hash();  // memoize
+    keys.push_back(k);
+    if (keys.size() >= max_keys) break;
+  }
+  return keys;
+}
+
+// Drives blocking incrs round-robin over `keys` until `stop`; re-routes
+// kWrongShard bounces the way StoreClient does. Returns samples + bounces.
+void drive(DataStore& store, const std::vector<StoreKey>& keys,
+           std::atomic<bool>& stop, std::vector<Sample>& samples,
+           uint64_t& bounces) {
+  auto reply = std::make_shared<ReplyLink>();
+  uint64_t seq = 0;
+  size_t i = 0;
+  const TimePoint t0 = SteadyClock::now();
+  while (!stop.load(std::memory_order_relaxed)) {
+    Request req;
+    req.op = OpType::kIncr;
+    req.key = keys[i++ % keys.size()];
+    req.arg = Value::of_int(1);
+    req.blocking = true;
+    req.reply_to = reply;
+    req.req_id = ++seq;
+    req.route_epoch = store.router().epoch();
+    const TimePoint start = SteadyClock::now();
+    bool done = false;
+    for (int attempt = 0; attempt < 100 && !done; ++attempt) {
+      store.submit(req);
+      const TimePoint deadline = SteadyClock::now() + std::chrono::milliseconds(100);
+      while (SteadyClock::now() < deadline) {
+        auto r = reply->try_recv();
+        if (!r) {
+          std::this_thread::yield();
+          continue;
+        }
+        if (r->req_id != req.req_id) continue;  // stale earlier attempt
+        if (r->status == Status::kWrongShard) {
+          bounces++;
+          req.route_epoch = r->route_epoch;
+          break;  // resubmit: DataStore re-routes via the live table
+        }
+        done = true;
+        break;
+      }
+    }
+    const TimePoint end = SteadyClock::now();
+    samples.push_back({to_usec(start - t0), to_usec(end - start)});
+  }
+}
+
+struct PhaseStats {
+  Histogram hist;
+  double ops_per_sec = 0;
+};
+
+PhaseStats phase(const std::vector<Sample>& samples, double from_us, double to_us) {
+  PhaseStats ps;
+  for (const Sample& s : samples) {
+    if (s.t_us >= from_us && s.t_us < to_us) ps.hist.record(s.lat_us);
+  }
+  const double secs = (to_us - from_us) / 1e6;
+  ps.ops_per_sec = secs > 0 ? static_cast<double>(ps.hist.count()) / secs : 0;
+  return ps;
+}
+
+double run_static(int shards, const std::vector<StoreKey>& keys, double secs) {
+  DataStoreConfig cfg;
+  cfg.num_shards = shards;
+  DataStore store(cfg);
+  store.start();
+  std::atomic<bool> stop{false};
+  std::vector<Sample> samples;
+  samples.reserve(1 << 20);
+  uint64_t bounces = 0;
+  std::thread driver([&] { drive(store, keys, stop, samples, bounces); });
+  std::this_thread::sleep_for(std::chrono::duration<double>(secs));
+  stop.store(true);
+  driver.join();
+  store.stop();
+  const double elapsed_us = samples.empty() ? 1 : samples.back().t_us;
+  return static_cast<double>(samples.size()) / (elapsed_us / 1e6);
+}
+
+}  // namespace
+}  // namespace chc
+
+int main() {
+  using namespace chc;
+  bench::print_header(
+      "Elastic store scaling: live 4 -> 8 reshard under NAT-trace keys",
+      "§5.1 elasticity applied to the state tier (not measured in the paper)");
+
+  const std::vector<StoreKey> keys = trace_keys(512);
+  std::printf("key population: %zu flows from the NAT trace\n", keys.size());
+
+  DataStoreConfig cfg;
+  cfg.num_shards = 4;
+  DataStore store(cfg);
+  store.start();
+
+  std::atomic<bool> stop{false};
+  std::vector<Sample> samples;
+  samples.reserve(1 << 22);
+  uint64_t bounces = 0;
+  std::thread driver([&] { drive(store, keys, stop, samples, bounces); });
+  const TimePoint t0 = SteadyClock::now();
+
+  // Phase 1: steady state at 4 shards.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  // Phase 2: live 4 -> 8 reshard while the driver hammers. Scale-ups are
+  // staggered (as an operator's autoscaler would): the "during" phase is
+  // the whole scaling period, so its percentiles are what clients actually
+  // observe across the reshard, freeze blips included.
+  const double reshard_from = to_usec(SteadyClock::now() - t0);
+  size_t slots_moved = 0, entries_moved = 0;
+  double reshard_busy_us = 0;
+  for (int i = 0; i < 4; ++i) {
+    const int id = store.add_shard();
+    const ReshardStats rs = store.last_reshard();
+    slots_moved += rs.slots_moved;
+    entries_moved += rs.entries_moved;
+    reshard_busy_us += rs.elapsed_usec;
+    std::printf("  add_shard -> %d: %zu slots, %zu entries, %.0fus (epoch %llu)\n",
+                id, rs.slots_moved, rs.entries_moved, rs.elapsed_usec,
+                static_cast<unsigned long long>(rs.epoch));
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  }
+  const double reshard_to = to_usec(SteadyClock::now() - t0);
+
+  // Phase 3: steady state at 8 shards.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true);
+  driver.join();
+  const double end_us = to_usec(SteadyClock::now() - t0);
+
+  uint64_t shard_bounces = 0;
+  for (int s = 0; s < store.num_shards(); ++s) {
+    shard_bounces += store.shard(s).bounced();
+  }
+  store.stop();
+
+  const PhaseStats before = phase(samples, 0, reshard_from);
+  const PhaseStats during = phase(samples, reshard_from, reshard_to);
+  const PhaseStats after = phase(samples, reshard_to, end_us);
+
+  std::printf("\n%-8s %12s %10s %10s %10s %10s\n", "phase", "ops/s", "p50 us",
+              "p99 us", "max us", "ops");
+  auto row = [](const char* name, const PhaseStats& ps) {
+    std::printf("%-8s %12.0f %10.2f %10.2f %10.2f %10zu\n", name, ps.ops_per_sec,
+                ps.hist.percentile(50), ps.hist.percentile(99),
+                ps.hist.percentile(100), ps.hist.count());
+  };
+  row("before", before);
+  row("during", during);
+  row("after", after);
+  std::printf("reshard window: %.1fms (%.1fms busy), %zu slots / %zu entries "
+              "moved, %llu client bounces, %llu shard-side bounces\n",
+              (reshard_to - reshard_from) / 1e3, reshard_busy_us / 1e3, slots_moved,
+              entries_moved, static_cast<unsigned long long>(bounces),
+              static_cast<unsigned long long>(shard_bounces));
+
+  // Acceptance shape: migration is a blip (p99 during <= 5x steady p99) and
+  // the elastic 8-shard steady state matches a static 8-shard store.
+  const double static8 = run_static(8, keys, 0.3);
+  const double p99_ratio =
+      before.hist.percentile(99) > 0
+          ? during.hist.percentile(99) / before.hist.percentile(99)
+          : 0;
+  const double vs_static = static8 > 0 ? after.ops_per_sec / static8 : 0;
+  std::printf("static 8-shard ops/s: %.0f; elastic-after/static8 = %.3f\n", static8,
+              vs_static);
+  std::printf("p99 during/steady = %.2fx (target <= 5x)\n", p99_ratio);
+
+  char extra[512];
+  std::snprintf(extra, sizeof(extra),
+                "\"before_ops_per_sec\": %.1f, \"before_p99_usec\": %.3f, "
+                "\"after_ops_per_sec\": %.1f, \"after_p99_usec\": %.3f, "
+                "\"p99_during_over_steady\": %.3f, \"slots_moved\": %zu, "
+                "\"entries_moved\": %zu, \"bounces\": %llu, "
+                "\"reshard_ms\": %.3f",
+                before.ops_per_sec, before.hist.percentile(99), after.ops_per_sec,
+                after.hist.percentile(99), p99_ratio, slots_moved, entries_moved,
+                static_cast<unsigned long long>(bounces),
+                (reshard_to - reshard_from) / 1e3);
+  bench::emit_bench_json("store_scaling_migration", during.ops_per_sec,
+                         during.hist.percentile(50), during.hist.percentile(99),
+                         extra);
+  std::snprintf(extra, sizeof(extra),
+                "\"static8_ops_per_sec\": %.1f, \"elastic_over_static\": %.3f",
+                static8, vs_static);
+  bench::emit_bench_json("store_scaling_steady", after.ops_per_sec,
+                         after.hist.percentile(50), after.hist.percentile(99),
+                         extra);
+  return 0;
+}

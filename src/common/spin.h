@@ -34,4 +34,33 @@ inline void spin_until(TimePoint deadline) {
 
 inline void spin_for(Duration d) { spin_until(SteadyClock::now() + d); }
 
+// Bounded progressive backoff for wait-until-condition loops (drain waits,
+// control-plane confirmations). Unlike spin_until there is no deadline to
+// aim at, so the ladder is: a few pause instructions (the condition usually
+// flips within microseconds), then yields (peer threads on low-core hosts
+// need the CPU to *make* the condition true), then short sleeps (an idle
+// waiter must not burn a core for seconds). reset() after observing
+// progress restores the fast rungs.
+class SpinBackoff {
+ public:
+  void pause() {
+    ++spins_;
+    if (spins_ <= 4) {
+#if defined(__x86_64__)
+      __builtin_ia32_pause();
+#else
+      std::this_thread::yield();
+#endif
+    } else if (spins_ <= 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  void reset() { spins_ = 0; }
+
+ private:
+  int spins_ = 0;
+};
+
 }  // namespace chc

@@ -69,8 +69,8 @@ void NfInstance::add_inbound_move(std::shared_ptr<std::atomic<bool>> token) {
 }
 
 void NfInstance::set_artificial_delay(Duration min, Duration max) {
-  delay_min_ = min;
-  delay_max_ = max;
+  delay_min_.store(min.count(), std::memory_order_relaxed);
+  delay_max_.store(max.count(), std::memory_order_relaxed);
 }
 
 void NfInstance::pause() {
@@ -218,9 +218,11 @@ void NfInstance::process_packet(Packet& p) {
     seen_order_.pop_front();
   }
 
-  if (delay_max_.count() > 0) {
-    const auto span = static_cast<uint64_t>((delay_max_ - delay_min_).count());
-    spin_for(delay_min_ + Duration(span ? delay_rng_.bounded(span) : 0));
+  const Duration delay_min{delay_min_.load(std::memory_order_relaxed)};
+  const Duration delay_max{delay_max_.load(std::memory_order_relaxed)};
+  if (delay_max.count() > 0) {
+    const auto span = static_cast<uint64_t>((delay_max - delay_min).count());
+    spin_for(delay_min + Duration(span ? delay_rng_.bounded(span) : 0));
   }
 
   const TimePoint t0 = SteadyClock::now();

@@ -144,8 +144,10 @@ class NfInstance {
                         std::shared_ptr<std::atomic<bool>>>>
       pending_releases_;
 
-  Duration delay_min_{};
-  Duration delay_max_{};
+  // Written by the control plane (straggler injection) while the worker
+  // reads them per packet: atomic reps, not bare Durations.
+  std::atomic<Duration::rep> delay_min_{0};
+  std::atomic<Duration::rep> delay_max_{0};
   SplitMix64 delay_rng_{0xD31A7};
 
   mutable std::mutex stats_mu_;

@@ -226,10 +226,21 @@ void Runtime::run_trace(const Trace& trace, Duration gap) {
 }
 
 bool Runtime::wait_quiescent(Duration timeout) {
+  // Progressive backoff instead of a fixed-cadence sleep: the drain is
+  // usually observed within a handful of yields, and on low-core hosts the
+  // worker threads need this core to finish draining at all — a spin that
+  // never yields turns "almost drained" into a timeout flake.
   const TimePoint deadline = SteadyClock::now() + timeout;
+  SpinBackoff backoff;
+  size_t last_logged = root_->logged();
   while (SteadyClock::now() < deadline) {
-    if (root_->logged() == 0) return true;
-    std::this_thread::sleep_for(Micros(200));
+    const size_t logged = root_->logged();
+    if (logged == 0) return true;
+    if (logged != last_logged) {
+      last_logged = logged;
+      backoff.reset();  // progress: stay on the cheap rungs
+    }
+    backoff.pause();
   }
   return root_->logged() == 0;
 }
@@ -279,6 +290,28 @@ double Runtime::move_flows(VertexId v, const std::vector<uint64_t>& scope_keys,
   last_mark.flags.last_of_move = true;
   from->input()->send(std::move(last_mark));
   return to_usec(SteadyClock::now() - t0);
+}
+
+// --- elastic store scaling -----------------------------------------------------
+
+int Runtime::scale_store_up() {
+  const int id = store_->add_shard();
+  const ReshardStats rs = store_->last_reshard();
+  CHC_INFO("scale_store_up: shard=%d ok=%d slots=%zu entries=%zu epoch=%llu "
+           "elapsed=%.0fus",
+           id, rs.ok ? 1 : 0, rs.slots_moved, rs.entries_moved,
+           static_cast<unsigned long long>(rs.epoch), rs.elapsed_usec);
+  return id;
+}
+
+bool Runtime::scale_store_down(int shard) {
+  const bool ok = store_->remove_shard(shard);
+  const ReshardStats rs = store_->last_reshard();
+  CHC_INFO("scale_store_down: shard=%d ok=%d slots=%zu entries=%zu epoch=%llu "
+           "elapsed=%.0fus",
+           shard, ok ? 1 : 0, rs.slots_moved, rs.entries_moved,
+           static_cast<unsigned long long>(rs.epoch), rs.elapsed_usec);
+  return ok;
 }
 
 // --- straggler mitigation ------------------------------------------------------

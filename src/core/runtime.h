@@ -98,6 +98,14 @@ class Runtime {
   double move_flows(VertexId v, const std::vector<uint64_t>& scope_keys,
                     uint16_t from_rid, uint16_t to_rid);
 
+  // --- elastic store scaling (§5.1 applied to the state tier) ---------------
+  // Adds a store shard and live-migrates ~1/(n+1) of the key-slot space
+  // onto it (epoch-routed, zero lost state; see store/router.h). Returns
+  // the shard id, or -1 on failure.
+  int scale_store_up();
+  // Drains `shard` onto the survivors and stops it.
+  bool scale_store_down(int shard);
+
   // --- straggler mitigation (§5.3) ------------------------------------------
   uint16_t clone_for_straggler(VertexId v, uint16_t straggler_rid);
   void resolve_straggler(VertexId v, uint16_t straggler_rid, uint16_t clone_rid,

@@ -92,12 +92,21 @@ Response StoreClient::do_blocking(Request req) {
   if (req.req_id == 0) req.req_id = next_req_id();
 
   for (int attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
+    req.route_epoch = routing()->epoch;
     store_->submit(req);
     const TimePoint deadline = SteadyClock::now() + cfg_.blocking_timeout;
     while (SteadyClock::now() < deadline) {
       auto resp = sync_link_->recv(Micros(200));
       if (!resp) continue;
       if (resp->req_id == req.req_id) {
+        if (resp->status == Status::kWrongShard) {
+          // The key's slot moved mid-flight (reshard). Refresh the table
+          // and resubmit; DataStore re-routes at submit time.
+          stats_.wrong_shard_bounces++;
+          req.route_epoch = routing()->epoch;
+          store_->submit(req);
+          continue;
+        }
         stats_.blocking_rtts++;
         if (resp->status == Status::kEmulated) stats_.emulated++;
         return *resp;
@@ -122,13 +131,20 @@ void StoreClient::do_nonblocking(Request req) {
   if (req.req_id == 0) req.req_id = next_req_id();
   stats_.nonblocking_ops++;
 
-  if (batching_active()) {
+  if (batching_active() && req.op != OpType::kBatch) {
     // Batched fast path: buffer the op per destination shard; it travels in
     // a kBatch envelope at the next flush point (one envelope ACK covers the
     // whole batch, and envelope retransmission is safe because every sub-op
-    // keeps its own clock for the store's duplicate emulation).
+    // keeps its own clock for the store's duplicate emulation). Routed with
+    // the cached table: if a reshard lands between here and the flush, the
+    // shard NACKs the misrouted sub-ops and handle_async re-routes them.
+    // A request that is ITSELF a kBatch (bulk release) never buffers: it
+    // would nest inside the flush envelope, and a nested envelope's per-sub
+    // NACK list has no way back to the client.
     req.want_ack = false;
-    const auto shard = static_cast<size_t>(store_->shard_of(req.key));
+    req.route_epoch = routing()->epoch;
+    const auto shard = static_cast<size_t>(routing()->shard_of(req.key));
+    if (shard >= batch_buf_.size()) batch_buf_.resize(shard + 1);
     auto& buf = batch_buf_[shard];
     buf.push_back(std::move(req));
     batch_pending_++;
@@ -138,6 +154,7 @@ void StoreClient::do_nonblocking(Request req) {
 
   if (cfg_.wait_acks) {
     // Model #2: the NF blocks until the store ACKs the enqueue - one RTT.
+    req.route_epoch = routing()->epoch;
     store_->submit(req);
     const uint64_t id = req.req_id;
     for (int attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
@@ -146,6 +163,14 @@ void StoreClient::do_nonblocking(Request req) {
         auto resp = async_link_->recv(Micros(200));
         if (!resp) continue;
         if (resp->msg == Response::Kind::kAck && resp->req_id == id) {
+          if (resp->status == Status::kWrongShard) {
+            // Reshard bounce: the enqueue did not land. Re-route and keep
+            // waiting for the real ACK.
+            stats_.wrong_shard_bounces++;
+            req.route_epoch = routing()->epoch;
+            store_->submit(req);
+            continue;
+          }
           stats_.blocking_rtts++;
           if (resp->status == Status::kEmulated) stats_.emulated++;
           return;
@@ -177,6 +202,38 @@ void StoreClient::handle_async(const Response& r) {
   switch (r.msg) {
     case Response::Kind::kAck: {
       if (r.status == Status::kEmulated) stats_.emulated++;
+      if (r.status == Status::kWrongShard) {
+        // The whole request (single op or envelope) landed on a shard that
+        // no longer owns its slot: re-route it, keeping it armed until the
+        // re-send is ACKed by the new owner.
+        reroute_pending(r.req_id);
+        break;
+      }
+      if (!r.nacked.empty()) {
+        // Envelope ACK with per-sub NACKs: the applied remainder is done;
+        // exactly the bounced subs re-enter the batched path, which routes
+        // them with the refreshed table. Copy them out before touching
+        // pending_acks_ — do_nonblocking below may grow that map.
+        std::vector<Request> bounced;
+        if (PendingAck* pa = pending_acks_.find_ptr(r.req_id);
+            pa && pa->req.batch) {
+          for (uint64_t id : r.nacked) {
+            for (const Request& sub : *pa->req.batch) {
+              if (sub.req_id == id) {
+                bounced.push_back(sub);
+                break;
+              }
+            }
+          }
+        }
+        pending_acks_.erase(r.req_id);
+        stats_.wrong_shard_bounces += bounced.size();
+        for (Request& sub : bounced) {
+          stats_.nonblocking_ops--;  // do_nonblocking re-counts this op
+          do_nonblocking(std::move(sub));
+        }
+        break;
+      }
       pending_acks_.erase(r.req_id);
       break;
     }
@@ -219,6 +276,22 @@ void StoreClient::track_pending(Request req) {
   pending_acks_[id] = std::move(pa);
 }
 
+void StoreClient::reroute_pending(uint64_t req_id) {
+  PendingAck* pa = pending_acks_.find_ptr(req_id);
+  if (!pa) return;  // already ACKed by a racing retransmission
+  stats_.wrong_shard_bounces++;
+  // A bounce burns a retry and pays the same capped backoff as a timeout:
+  // a persistently bouncing slot (wedged migration target) must degrade
+  // into probes, not an instant-resubmit loop at link cadence.
+  if (pa->retries >= cfg_.max_retries) return;
+  pa->retries++;
+  Duration wait = cfg_.ack_timeout * (1 << std::min(pa->retries, 6));
+  if (wait > cfg_.max_ack_backoff) wait = cfg_.max_ack_backoff;
+  pa->deadline = SteadyClock::now() + wait;
+  pa->req.route_epoch = routing()->epoch;
+  store_->submit(pa->req);  // routed with the live table at submit time
+}
+
 void StoreClient::flush_batches() {
   if (batch_pending_ == 0) return;
   for (auto& buf : batch_buf_) {
@@ -239,6 +312,7 @@ void StoreClient::flush_batches() {
     Request env;
     env.op = OpType::kBatch;
     env.key = buf.front().key;  // routes the envelope to its shard
+    env.route_epoch = routing()->epoch;
     env.blocking = false;
     env.want_ack = true;  // one ACK covers the whole batch
     env.async_to = async_link_;
@@ -303,9 +377,16 @@ void StoreClient::poll() {
   for (auto&& [id, pa] : pending_acks_) {
     if (now >= pa.deadline && pa.retries < cfg_.max_retries) {
       // Safe to re-issue: the store emulates duplicates by clock (§5.3).
+      // Routed at submit time, so a retransmission aimed at a shard that
+      // lost (or was drained of) the key's slot lands at the new owner.
       store_->submit(pa.req);
-      pa.deadline = now + cfg_.ack_timeout;
       pa.retries++;
+      // Capped exponential backoff: a dead shard turns retransmission into
+      // a trickle of probes instead of an ack_timeout-cadence storm that
+      // competes with recovery traffic for the links.
+      Duration wait = cfg_.ack_timeout * (1 << std::min(pa.retries, 6));
+      if (wait > cfg_.max_ack_backoff) wait = cfg_.max_ack_backoff;
+      pa.deadline = now + wait;
       stats_.retransmissions++;
     }
   }
@@ -636,7 +717,10 @@ void StoreClient::push_list_bulk(ObjectId obj, const FiveTuple& t,
   // whole seed rides one droppable envelope, so verify-and-retry instead.
   // All requests target one key (one shard, one envelope), which makes
   // delivery all-or-nothing: the blocking size probe (reliable on its own)
-  // serializes behind the envelope and tells us whether it landed.
+  // serializes behind the envelope and tells us whether it landed. When the
+  // store does report a refused slice (shard down mid-submit), only that
+  // slice is retried — these pushes carry no clock, so blind whole-seed
+  // retries would double-apply whatever did land.
   auto list_size = [&]() -> size_t {
     Request probe;
     probe.op = OpType::kGet;
@@ -646,10 +730,45 @@ void StoreClient::push_list_bulk(ObjectId obj, const FiveTuple& t,
   };
   const size_t before = list_size();
   for (int attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
-    store_->submit_batched(reqs);
-    if (list_size() >= before + values.size()) return;
+    std::vector<Request> rejected;
+    store_->submit_batched(std::move(reqs), &rejected);
+    if (rejected.empty() && list_size() >= before + values.size()) return;
+    reqs = std::move(rejected);
+    if (reqs.empty()) {
+      // Nothing was refused yet the probe shows a shortfall: the envelope
+      // reached a shard that no longer owned the key's slot (reshard won
+      // the race) and its want_ack=false NACK had nowhere to go. Every sub
+      // targets the SAME key — one slot, so the bounce was all-or-nothing
+      // and a whole-seed rebuild cannot double-apply.
+      if (list_size() >= before + values.size()) return;
+      break;
+    }
     stats_.retransmissions++;
   }
+  // Whole-envelope silent bounce: verify-and-retry the full batch (safe:
+  // single key => single slot => all-or-nothing, see above).
+  for (int attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
+    if (list_size() >= before + values.size()) return;
+    std::vector<Request> retry;
+    retry.reserve(values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      Request req;
+      req.op = OpType::kPushList;
+      req.key = key;
+      req.arg = Value::of_int(values[i]);
+      req.clock = current_clock_;
+      req.vertex = cfg_.vertex;
+      req.instance = cfg_.instance;
+      req.client_uid = cfg_.client_uid ? cfg_.client_uid : cfg_.instance;
+      req.req_id = next_req_id();
+      req.blocking = false;
+      req.want_ack = false;
+      retry.push_back(std::move(req));
+    }
+    stats_.retransmissions++;
+    store_->submit_batched(std::move(retry));
+  }
+  if (list_size() >= before + values.size()) return;
   CHC_WARN("push_list_bulk: seed of %zu values not visible after %d attempts",
            values.size(), cfg_.max_retries);
 }
@@ -814,8 +933,12 @@ void StoreClient::release_matching(
   for (const FiveTuple& t : to_release) {
     released.insert(scope_hash(t, Scope::kFiveTuple));
   }
+  // One table snapshot partitions the whole bulk release: num_shards()
+  // could grow mid-loop (concurrent add_shard), but every id this table
+  // yields is covered by its own active set.
+  const RoutingTable* table = routing();
   std::vector<std::shared_ptr<std::vector<Request>>> per_shard(
-      static_cast<size_t>(store_->num_shards()));
+      static_cast<size_t>(table->active_shards.back()) + 1);
   auto sub_for = [&](const StoreKey& key, CacheEntry* e) {
     Request sub;
     sub.op = OpType::kReleaseOwner;
@@ -824,13 +947,14 @@ void StoreClient::release_matching(
     sub.instance = cfg_.instance;
     sub.client_uid = cfg_.client_uid ? cfg_.client_uid : cfg_.instance;
     sub.flush_seq = ++flush_seq_;
+    sub.req_id = next_req_id();  // per-sub NACKs match by req_id: must be unique
     sub.blocking = false;
     sub.want_ack = false;
     if (e) {
       sub.arg = std::move(e->value);
       sub.covered_clocks = std::move(e->pending_clocks);
     }
-    auto& batch = per_shard[static_cast<size_t>(store_->shard_of(key))];
+    auto& batch = per_shard[static_cast<size_t>(table->shard_of(key))];
     if (!batch) batch = std::make_shared<std::vector<Request>>();
     batch->push_back(std::move(sub));
   };
@@ -855,6 +979,10 @@ void StoreClient::release_matching(
     }
   }
   released.for_each([&](uint64_t h) { touched_flows_.erase(h); });
+  // Release envelopes go out directly (not via the flush buffers, see
+  // do_nonblocking): drain older buffered ops first so a release never
+  // overtakes an earlier flush of the same key.
+  flush_batches();
   for (auto& batch : per_shard) {
     if (!batch) continue;
     Request req;
@@ -863,7 +991,6 @@ void StoreClient::release_matching(
     req.batch = batch;
     do_nonblocking(std::move(req));
   }
-  flush_batches();  // same reason as release_flow: acquires race these
 }
 
 bool StoreClient::acquire_flow(const FiveTuple& t) {

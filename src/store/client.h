@@ -61,6 +61,10 @@ struct ClientConfig {
   // Flush cadence for cached per-flow objects, in updates per flush.
   int flush_every = 1;
   Duration ack_timeout = Micros(500);
+  // Retransmission backoff: each unanswered retry doubles the wait, capped
+  // here. A crashed/slow shard must degrade into a trickle of probes, not
+  // an ack_timeout-cadence storm competing with recovery traffic.
+  Duration max_ack_backoff = Micros(8000);
   Duration blocking_timeout = std::chrono::milliseconds(20);
   int max_retries = 20;
   LinkConfig reply_link;  // delay store -> NF (mirror of request links)
@@ -82,6 +86,9 @@ struct ClientStats {
   // one key compare vs. ops that fell back to a full key probe/load.
   uint64_t handle_fast_hits = 0;
   uint64_t handle_slow_paths = 0;
+  // Elastic resharding: ops that landed on a shard that no longer owned
+  // their slot and were re-routed via a refreshed table.
+  uint64_t wrong_shard_bounces = 0;
 };
 
 // A per-flow state handle (storage-engine tentpole): the (vertex, object,
@@ -238,6 +245,18 @@ class StoreClient {
   bool batching_active() const {
     return cfg_.batching && !cfg_.wait_acks && !cfg_.local_only;
   }
+  // Cached routing table (store/router.h), revalidated by one relaxed epoch
+  // compare. Stale between refreshes — by design: a reshard mid-turn is
+  // caught shard-side (kWrongShard bounce / envelope NACK) and healed here.
+  const RoutingTable* routing() {
+    const uint64_t epoch = store_->router().epoch();
+    if (!routing_table_ || routing_table_->epoch != epoch) {
+      routing_table_ = store_->router().table();
+    }
+    return routing_table_;
+  }
+  // Re-route a bounced in-flight op through the freshest table.
+  void reroute_pending(uint64_t req_id);
   void track_pending(Request req);
   Value cached_apply(ObjectState& os, const StoreKey& key, const FiveTuple& t,
                      OpType op, const Value& arg, const Value& arg2,
@@ -260,6 +279,7 @@ class StoreClient {
   ClientConfig cfg_;
   ReplyLinkPtr sync_link_;
   ReplyLinkPtr async_link_;
+  const RoutingTable* routing_table_ = nullptr;
   LogicalClock current_clock_ = kNoClock;
   uint64_t req_seq_ = 0;
 

@@ -4,30 +4,49 @@
 #include <map>
 
 #include "common/logging.h"
+#include "common/spin.h"
 #include "store/op_apply.h"
 
 namespace chc {
 
 DataStore::DataStore(const DataStoreConfig& cfg)
-    : cfg_(cfg), custom_ops_(std::make_shared<CustomOpRegistry>()) {
-  shards_.reserve(static_cast<size_t>(cfg.num_shards));
+    : cfg_(cfg),
+      custom_ops_(std::make_shared<CustomOpRegistry>()),
+      router_(std::max(cfg.num_shards, 1), cfg.route_slots) {
+  const int max_shards = std::max(cfg.max_shards, cfg.num_shards);
+  // Pre-reserve: add_shard() appends while the data path indexes shards_
+  // without a lock, so the backing array must never reallocate.
+  shards_.reserve(static_cast<size_t>(max_shards));
   LinkConfig link = cfg.link;
   link.lockfree = cfg.lockfree_links;
+  const uint32_t num_slots = router_.table()->num_slots();
   for (int i = 0; i < cfg.num_shards; ++i) {
     link.seed = cfg.link.seed + static_cast<uint64_t>(i) * 7919;
-    shards_.push_back(std::make_unique<StoreShard>(i, link, custom_ops_, cfg.burst));
+    shards_.push_back(std::make_unique<StoreShard>(i, link, custom_ops_, cfg.burst,
+                                                   num_slots, &router_));
+    std::vector<uint32_t> owned;
+    for (uint32_t s = 0; s < num_slots; ++s) {
+      if (router_.table()->slot_to_shard[s] == i) owned.push_back(s);
+    }
+    shards_.back()->set_owned_slots(owned);
+    shard_active_.push_back(true);
   }
+  shard_count_.store(cfg.num_shards, std::memory_order_release);
 }
 
 DataStore::~DataStore() { stop(); }
 
 void DataStore::start() {
   started_ = true;
-  for (auto& s : shards_) s->start();
+  std::lock_guard lk(reshard_mu_);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shard_active_[i]) shards_[i]->start();
+  }
 }
 
 void DataStore::stop() {
-  for (auto& s : shards_) s->stop();
+  const int n = num_shards();
+  for (int i = 0; i < n; ++i) shards_[static_cast<size_t>(i)]->stop();
   started_ = false;
 }
 
@@ -36,10 +55,13 @@ bool DataStore::submit(Request req) {
   return shards_[static_cast<size_t>(idx)]->request_link().send(std::move(req));
 }
 
-size_t DataStore::submit_batched(std::vector<Request> reqs) {
-  std::vector<std::shared_ptr<std::vector<Request>>> per_shard(shards_.size());
+size_t DataStore::submit_batched(std::vector<Request> reqs,
+                                 std::vector<Request>* rejected) {
+  const RoutingTable* table = router_.table();
+  std::vector<std::shared_ptr<std::vector<Request>>> per_shard(
+      static_cast<size_t>(num_shards()));
   for (Request& r : reqs) {
-    auto& group = per_shard[static_cast<size_t>(shard_of(r.key))];
+    auto& group = per_shard[static_cast<size_t>(table->shard_of(r.key))];
     if (!group) group = std::make_shared<std::vector<Request>>();
     group->push_back(std::move(r));
   }
@@ -49,63 +71,288 @@ size_t DataStore::submit_batched(std::vector<Request> reqs) {
     if (!group) continue;
     if (group->size() == 1) {
       // No amortization to be had; skip the envelope.
-      if (shards_[shard]->request_link().send(std::move(group->front()))) {
+      if (shards_[shard]->request_link().send(group->front())) {
         sent++;
+      } else if (rejected) {
+        rejected->push_back(std::move(group->front()));
       }
       continue;
     }
     Request env;
     env.op = OpType::kBatch;
     env.key = group->front().key;  // routes the envelope to its shard
+    env.route_epoch = table->epoch;
     env.blocking = false;
     env.want_ack = false;
     env.batch = group;
     if (shards_[shard]->request_link().send(std::move(env))) {
       sent++;
+    } else if (rejected) {
+      for (Request& sub : *group) rejected->push_back(std::move(sub));
     }
   }
   return sent;
 }
+
+// --- elastic resharding ------------------------------------------------------
+
+bool DataStore::run_moves(RoutingTable next, const std::vector<MoveGroup>& moves,
+                          ReshardStats* stats) {
+  // Control traffic rides a zero-delay reply link; the slot payloads travel
+  // shard-to-shard over the normal (delayed) request links.
+  auto done = std::make_shared<ReplyLink>();
+  auto send_ctl = [&](int shard, Request req) {
+    const TimePoint give_up = SteadyClock::now() + std::chrono::milliseconds(200);
+    while (!shards_[static_cast<size_t>(shard)]->request_link().send(req)) {
+      if (SteadyClock::now() >= give_up) return false;
+      std::this_thread::yield();
+    }
+    return true;
+  };
+  // Confirmations from different shards share `done` and can interleave:
+  // always collect against the full outstanding set so an early reply for
+  // a later id is never consumed and dropped.
+  auto await_all = [&](const std::vector<uint64_t>& ids, Duration timeout) {
+    FlatSet<uint64_t> want;
+    for (uint64_t id : ids) want.insert(id);
+    const TimePoint deadline = SteadyClock::now() + timeout;
+    while (!want.empty() && SteadyClock::now() < deadline) {
+      if (auto r = done->recv(Micros(500))) want.erase(r->req_id);
+    }
+    return want.empty();
+  };
+
+  // Dedupe destinations before summing: an add_shard plan has one group
+  // per SOURCE, all pointing at the same dst — summing per group would
+  // count that shard's migrated_in once per source.
+  std::vector<int> dsts;
+  for (const MoveGroup& g : moves) {
+    if (std::find(dsts.begin(), dsts.end(), g.dst) == dsts.end()) {
+      dsts.push_back(g.dst);
+    }
+  }
+  const uint64_t entries_before = [&] {
+    uint64_t n = 0;
+    for (int d : dsts) n += shards_[static_cast<size_t>(d)]->migrated_in();
+    return n;
+  }();
+
+  // 1. Prepare every target: slots flip to pending *before* any client can
+  //    route to them, so early arrivals park instead of missing state.
+  for (const MoveGroup& g : moves) {
+    Request prep;
+    prep.op = OpType::kPrepareSlots;
+    prep.blocking = true;
+    prep.reply_to = done;
+    prep.req_id = ++ctl_seq_;
+    prep.migration = std::make_shared<MigrationChunk>();
+    prep.migration->slots = g.slots;
+    if (!send_ctl(g.dst, std::move(prep)) ||
+        !await_all({ctl_seq_}, std::chrono::seconds(2))) {
+      CHC_WARN("reshard: prepare of shard %d timed out", g.dst);
+      return false;
+    }
+  }
+
+  // 2. Flip the table. From here new traffic routes to the targets (and
+  //    parks); traffic already queued at the sources is applied there
+  //    before the freeze, so it lands in the migrated payload.
+  const RoutingTable* published = router_.publish(std::move(next));
+  if (stats) stats->epoch = published->epoch;
+
+  // 3. Freeze + stream, one slot per command: each command freezes a
+  //    single slot and streams just its entries, so the stall any data op
+  //    can see behind a migrate command is one slot's worth of copying —
+  //    not the whole reassigned slice. The source replies nothing; the
+  //    target answers the final install chunk with the migrate req_id, so
+  //    a confirmation means the slot is live at its new home.
+  std::vector<uint64_t> confirm_ids;
+  for (const MoveGroup& g : moves) {
+    for (size_t i = 0; i < g.slots.size(); ++i) {
+      Request mig;
+      mig.op = OpType::kMigrateSlots;
+      mig.blocking = false;
+      mig.want_ack = false;
+      mig.reply_to = done;  // forwarded into the final kInstallSlots chunk
+      mig.req_id = ++ctl_seq_;
+      mig.migration = std::make_shared<MigrationChunk>();
+      mig.migration->slots = {g.slots[i]};
+      // The clock-keyed side tables cover the whole (src, dst) leg; carry
+      // them once, on its last slot command.
+      mig.migration->carry_side_tables = i + 1 == g.slots.size();
+      mig.migrate_to = shards_[static_cast<size_t>(g.dst)].get();
+      confirm_ids.push_back(mig.req_id);
+      if (!send_ctl(g.src, std::move(mig))) {
+        CHC_WARN("reshard: migrate command to shard %d lost", g.src);
+        return false;
+      }
+    }
+  }
+  if (!await_all(confirm_ids, std::chrono::seconds(5))) {
+    CHC_WARN("reshard: an install confirmation timed out");
+    return false;
+  }
+
+  if (stats) {
+    for (const MoveGroup& g : moves) stats->slots_moved += g.slots.size();
+    uint64_t after = 0;
+    for (int d : dsts) after += shards_[static_cast<size_t>(d)]->migrated_in();
+    stats->entries_moved = static_cast<size_t>(after - entries_before);
+  }
+  return true;
+}
+
+int DataStore::add_shard() {
+  std::lock_guard lk(reshard_mu_);
+  if (!started_) return -1;
+  const TimePoint t0 = SteadyClock::now();
+
+  // Reuse a drained shard id if one exists; otherwise construct a new one
+  // (bounded by the pre-reserved ceiling — the data path indexes shards_
+  // without a lock, so the array must never reallocate).
+  int id = -1;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (!shard_active_[i]) {
+      id = static_cast<int>(i);
+      break;
+    }
+  }
+  if (id < 0) {
+    if (shards_.size() >= shards_.capacity()) {
+      CHC_WARN("add_shard: max_shards=%zu ceiling reached", shards_.capacity());
+      return -1;
+    }
+    id = static_cast<int>(shards_.size());
+    LinkConfig link = cfg_.link;
+    link.lockfree = cfg_.lockfree_links;
+    link.seed = cfg_.link.seed + static_cast<uint64_t>(id) * 7919;
+    shards_.push_back(std::make_unique<StoreShard>(
+        id, link, custom_ops_, cfg_.burst, router_.table()->num_slots(), &router_));
+    shard_active_.push_back(false);
+    if (commit_cb_) shards_.back()->set_commit_listener(commit_cb_);
+    // Publish the element before clients can learn the new id via the
+    // routing table (run_moves publishes after this store).
+    shard_count_.store(static_cast<int>(shards_.size()), std::memory_order_release);
+  } else {
+    shards_[static_cast<size_t>(id)]->reset_for_reuse();
+  }
+  shards_[static_cast<size_t>(id)]->start();
+  shard_active_[static_cast<size_t>(id)] = true;
+
+  std::vector<MoveGroup> moves;
+  RoutingTable next = router_.plan_add(id, &moves);
+  ReshardStats stats;
+  stats.shard = id;
+  stats.ok = run_moves(std::move(next), moves, &stats);
+  stats.elapsed_usec = to_usec(SteadyClock::now() - t0);
+  last_reshard_ = stats;
+  if (!stats.ok) return -1;
+  CHC_INFO("store scaled up: shard %d live, %zu slots / %zu entries moved, "
+           "epoch %llu (%.0fus)",
+           id, stats.slots_moved, stats.entries_moved,
+           static_cast<unsigned long long>(stats.epoch), stats.elapsed_usec);
+  return id;
+}
+
+bool DataStore::remove_shard(int shard) {
+  std::lock_guard lk(reshard_mu_);
+  if (!started_ || shard < 0 || static_cast<size_t>(shard) >= shards_.size() ||
+      !shard_active_[static_cast<size_t>(shard)]) {
+    return false;
+  }
+  if (router_.table()->active_shards.size() <= 1) return false;  // last one standing
+  const TimePoint t0 = SteadyClock::now();
+
+  std::vector<MoveGroup> moves;
+  RoutingTable next = router_.plan_remove(shard, &moves);
+  ReshardStats stats;
+  stats.shard = shard;
+  stats.ok = run_moves(std::move(next), moves, &stats);
+  stats.elapsed_usec = to_usec(SteadyClock::now() - t0);
+  if (!stats.ok) {
+    last_reshard_ = stats;
+    return false;
+  }
+
+  // The drained shard owns nothing now; in-flight stragglers in its ring
+  // get bounced. Give the worker a short window to drain, then stop it —
+  // the current table never routes here again, and anything lost at the
+  // closed link is recovered by client retransmission (re-routed on
+  // resubmit, since routing happens at submit time).
+  StoreShard& victim = *shards_[static_cast<size_t>(shard)];
+  const TimePoint drain_deadline = SteadyClock::now() + std::chrono::milliseconds(20);
+  while (victim.request_link().pending() > 0 && SteadyClock::now() < drain_deadline) {
+    std::this_thread::yield();
+  }
+  victim.stop();
+  shard_active_[static_cast<size_t>(shard)] = false;
+  stats.elapsed_usec = to_usec(SteadyClock::now() - t0);
+  last_reshard_ = stats;
+  CHC_INFO("store scaled down: shard %d drained, %zu slots / %zu entries moved, "
+           "epoch %llu (%.0fus)",
+           shard, stats.slots_moved, stats.entries_moved,
+           static_cast<unsigned long long>(stats.epoch), stats.elapsed_usec);
+  return true;
+}
+
+ReshardStats DataStore::last_reshard() const {
+  std::lock_guard lk(reshard_mu_);
+  return last_reshard_;
+}
+
+// --- control plane -----------------------------------------------------------
 
 void DataStore::register_custom_op(uint16_t id, CustomOpFn fn) {
   (*custom_ops_)[id] = std::move(fn);
 }
 
 void DataStore::set_commit_listener(CommitListener cb) {
+  commit_cb_ = cb;
   for (auto& s : shards_) s->set_commit_listener(cb);
 }
 
 void DataStore::gc_clock(LogicalClock clock) {
-  for (auto& s : shards_) {
+  const int n = num_shards();
+  for (int i = 0; i < n; ++i) {
     Request req;
     req.op = OpType::kGcClock;
     req.clock = clock;
     req.blocking = false;
     req.want_ack = false;
-    s->request_link().send(std::move(req));
+    shards_[static_cast<size_t>(i)]->request_link().send(std::move(req));
   }
 }
 
 std::shared_ptr<ShardSnapshot> DataStore::checkpoint_shard(int shard) {
   auto snap = std::make_shared<ShardSnapshot>();
+  StoreShard& s = *shards_[static_cast<size_t>(shard)];
+  if (!s.serving()) return snap;  // drained shard: empty by construction
   auto done = std::make_shared<ReplyLink>();
   Request req;
   req.op = OpType::kCheckpoint;
   req.snapshot_out = snap;
   req.blocking = true;
   req.reply_to = done;
-  shards_[static_cast<size_t>(shard)]->request_link().send(std::move(req));
-  // Wait for the shard to confirm the snapshot was taken.
+  s.request_link().send(std::move(req));
+  // Wait for the shard to confirm the snapshot was taken (bounded: a shard
+  // stopped mid-wait must not wedge the control plane forever).
+  const TimePoint deadline = SteadyClock::now() + std::chrono::seconds(10);
   while (!done->recv(Micros(500))) {
-    if (!started_) break;
+    if (!started_ || !s.serving() || SteadyClock::now() >= deadline) break;
   }
   return snap;
 }
 
 std::vector<std::shared_ptr<ShardSnapshot>> DataStore::checkpoint_all() {
+  // Serialized against reshards: a slot mid-migration is resident at
+  // neither shard (extracted at the source, not yet installed at the
+  // target), so a fleet-wide snapshot taken inside that window would
+  // silently miss it.
+  std::lock_guard lk(reshard_mu_);
   std::vector<std::shared_ptr<ShardSnapshot>> out;
-  out.reserve(shards_.size());
-  for (int i = 0; i < num_shards(); ++i) out.push_back(checkpoint_shard(i));
+  const int n = num_shards();
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(checkpoint_shard(i));
   return out;
 }
 
@@ -118,17 +365,22 @@ RecoveryStats DataStore::recover_shard(int shard, const ShardSnapshot& checkpoin
   const TimePoint t0 = SteadyClock::now();
   RecoveryStats stats;
   ShardEntryMap entries;
+  // Epoch-routed membership: one table snapshot decides "belongs to this
+  // shard" for the whole rebuild — no modulo rescans, and a reshard
+  // concurrent with recovery cannot split the filter across two epochs.
+  const RoutingTable* table = router_.table();
+  auto owned_here = [&](const StoreKey& key) { return table->shard_of(key) == shard; };
 
   // Boot from the checkpoint (shared and per-flow alike).
   for (const auto& [key, entry] : checkpoint.entries) {
-    if (shard_of(key) != shard) continue;
+    if (!owned_here(key)) continue;
     entries[key] = entry;
   }
 
   // --- per-flow state: clients hold the freshest value (Thm B.5.1) ---------
   for (const ClientEvidence& c : clients) {
     for (const auto& [key, value] : c.per_flow) {
-      if (shard_of(key) != shard) continue;
+      if (!owned_here(key)) continue;
       ShardEntry& e = entries[key];
       e.value = value;
       e.owner = c.instance;
@@ -146,13 +398,13 @@ RecoveryStats DataStore::recover_shard(int shard, const ShardSnapshot& checkpoin
   FlatMap<StoreKey, PerKey> by_key;
   for (const ClientEvidence& c : clients) {
     for (const WalEntry& w : c.wal) {
-      if (!w.key.shared || shard_of(w.key) != shard) continue;
+      if (!w.key.shared || !owned_here(w.key)) continue;
       auto& pk = by_key[w.key];
       pk.wal[c.instance].push_back(&w);
       pk.clocks[c.instance].push_back(w.clock);
     }
     for (const ReadLogEntry& r : c.reads) {
-      if (shard_of(r.key) != shard) continue;
+      if (!owned_here(r.key)) continue;
       by_key[r.key].reads.push_back(r);
       stats.reads_considered++;
     }
@@ -215,7 +467,8 @@ RecoveryStats DataStore::recover_shard(int shard, const ShardSnapshot& checkpoin
 
 uint64_t DataStore::total_ops() const {
   uint64_t n = 0;
-  for (const auto& s : shards_) n += s->ops_applied();
+  const int count = num_shards();
+  for (int i = 0; i < count; ++i) n += shards_[static_cast<size_t>(i)]->ops_applied();
   return n;
 }
 

@@ -1,13 +1,19 @@
 // DataStore: the external in-memory state store (paper §4.3). A set of
 // shard worker threads, each owning a disjoint slice of the key space, plus
-// control-plane entry points for checkpointing, crash injection, and the
-// recovery protocol of §5.4.
+// control-plane entry points for checkpointing, crash injection, the
+// recovery protocol of §5.4, and — via the epoch-routed ShardRouter — live
+// elastic resharding (§5.1 applied to the state tier): add_shard()/
+// remove_shard() migrate virtual slots between running shards without
+// stopping the data path.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "store/recovery.h"
+#include "store/router.h"
 #include "store/shard.h"
 
 namespace chc {
@@ -23,6 +29,23 @@ struct DataStoreConfig {
   bool lockfree_links = true;
   // Max requests one shard wakeup drains before replying (amortization).
   size_t burst = 64;
+  // Virtual routing slots (rounded up to a power of two). The unit of
+  // migration: finer slots spread a reshard's freeze windows thinner.
+  uint32_t route_slots = 128;
+  // Hard ceiling on concurrently constructed shards. The shard array is
+  // pre-reserved to this so the data path can index it without locking
+  // while add_shard() appends.
+  int max_shards = 32;
+};
+
+// Telemetry for one add_shard()/remove_shard() call.
+struct ReshardStats {
+  int shard = -1;           // the shard added or removed
+  uint64_t epoch = 0;       // routing epoch after the flip
+  size_t slots_moved = 0;
+  size_t entries_moved = 0;  // entries merged at targets during this reshard
+  double elapsed_usec = 0;
+  bool ok = false;
 };
 
 class DataStore {
@@ -36,10 +59,27 @@ class DataStore {
   void start();
   void stop();
 
-  int num_shards() const { return static_cast<int>(shards_.size()); }
-  int shard_of(const StoreKey& key) const {
-    return static_cast<int>(key.hash() % shards_.size());
+  // Total shards ever constructed (active + drained). Safe to call
+  // concurrently with add_shard(); shard(i) is valid for i < num_shards().
+  int num_shards() const { return shard_count_.load(std::memory_order_acquire); }
+  // Shards currently serving slots.
+  int active_shards() const {
+    return static_cast<int>(router_.table()->active_shards.size());
   }
+  int shard_of(const StoreKey& key) const { return router_.table()->shard_of(key); }
+  const ShardRouter& router() const { return router_; }
+
+  // --- elastic resharding (live; see docs/perf.md "Elastic store") ----------
+  // Adds a shard (reusing a previously removed one if any), rebalances
+  // ~1/(n+1) of the slot space onto it via the per-slot migration protocol,
+  // and returns its id (-1 on failure / ceiling). Callable while traffic
+  // flows; serialized against other reshards.
+  int add_shard();
+  // Drains every slot off `shard` onto the survivors, then stops its
+  // worker. The id stays valid (and reusable by add_shard). Refuses to
+  // drain the last active shard.
+  bool remove_shard(int shard);
+  ReshardStats last_reshard() const;
 
   // Data path: deliver a request to the owning shard over its link.
   // Returns false if the message was dropped (link loss or shard down).
@@ -49,8 +89,14 @@ class DataStore {
   // group as a single kBatch envelope — one link message and one worker
   // wakeup per shard instead of one per op. Sub-requests keep their own
   // clocks/ids, so duplicate suppression and commit signals are unchanged.
-  // Returns how many envelopes were accepted by their links.
-  size_t submit_batched(std::vector<Request> reqs);
+  // Returns how many envelopes were accepted by their links. If `rejected`
+  // is non-null, sub-requests whose envelope the link refused (shard down,
+  // ring closed, loss injection) are returned through it so the caller can
+  // retry exactly the failed slice — retrying the whole input would
+  // double-apply the half that landed (clock-less ops have no duplicate
+  // suppression to save them).
+  size_t submit_batched(std::vector<Request> reqs,
+                        std::vector<Request>* rejected = nullptr);
 
   // Registers a custom offloaded operation (paper Table 2 "developers can
   // also load custom operations"). Must be called before start().
@@ -76,7 +122,7 @@ class DataStore {
   RecoveryStats recover_shard(int shard, const ShardSnapshot& checkpoint,
                               const std::vector<ClientEvidence>& clients);
 
-  StoreShard& shard(int i) { return *shards_[i]; }
+  StoreShard& shard(int i) { return *shards_[static_cast<size_t>(i)]; }
 
   // Read-only registry view; local-only clients use it to run custom ops in
   // their cache with the same semantics as the store.
@@ -85,9 +131,21 @@ class DataStore {
   uint64_t total_ops() const;
 
  private:
+  // Runs the prepare -> publish -> freeze/stream -> confirm protocol for
+  // one planned reshard. Returns false if any confirmation timed out.
+  bool run_moves(RoutingTable next, const std::vector<MoveGroup>& moves,
+                 ReshardStats* stats);
+
   DataStoreConfig cfg_;
   std::shared_ptr<CustomOpRegistry> custom_ops_;
+  ShardRouter router_;  // declared before shards_: they hold pointers to it
   std::vector<std::unique_ptr<StoreShard>> shards_;
+  std::atomic<int> shard_count_{0};
+  std::vector<bool> shard_active_;  // guarded by reshard_mu_
+  CommitListener commit_cb_;
+  mutable std::mutex reshard_mu_;  // one reshard at a time
+  ReshardStats last_reshard_;      // guarded by reshard_mu_
+  uint64_t ctl_seq_ = 0;           // control req ids, guarded by reshard_mu_
   bool started_ = false;
 };
 

@@ -34,6 +34,10 @@ enum class OpType : uint8_t {
   kCheckpoint,        // control: snapshot shard contents
   kReadClock,         // root recovery: read persisted logical clock
   kBatch,             // apply a vector of sub-requests in one message
+  // --- elastic resharding control plane (see store/router.h) ---------------
+  kPrepareSlots,      // target: mark slots pending; park arrivals until install
+  kMigrateSlots,      // source: freeze slots, stream their state to migrate_to
+  kInstallSlots,      // target: merge one migration chunk; final chunk flips slots
 };
 
 enum class Status : uint8_t {
@@ -42,6 +46,7 @@ enum class Status : uint8_t {
   kNotOwner,        // per-flow key owned by another instance
   kConditionFalse,  // compare-and-update predicate failed
   kEmulated,        // duplicate clock: store returned the logged value
+  kWrongShard,      // key's slot moved (reshard); re-route via the new table
   kError,
 };
 
@@ -70,6 +75,10 @@ struct Request {
   // store drop stale retransmissions that would otherwise overwrite newer
   // flushed values (exactly-once for whole-value flushes).
   uint64_t flush_seq = 0;
+  // Routing epoch of the table the sender routed with (store/router.h).
+  // Informational: shards judge ownership by live slot state, but the stamp
+  // makes stale-route traffic attributable in traces and tests.
+  uint64_t route_epoch = 0;
   bool blocking = true;  // non-blocking ops get an async ACK instead
   bool want_ack = true;  // benches can disable ACKs entirely
   std::vector<LogicalClock> covered_clocks;  // kCacheFlush
@@ -83,6 +92,12 @@ struct Request {
   // for bulk flush/release during flow moves — "CHC flushes only
   // operations" (paper §7.3 R2).
   std::shared_ptr<std::vector<Request>> batch;
+  // kPrepareSlots / kMigrateSlots / kInstallSlots payload (store/shard.h).
+  std::shared_ptr<struct MigrationChunk> migration;
+  // kMigrateSlots: the shard the source streams kInstallSlots chunks to.
+  // Raw pointer is safe: shards are never destroyed while the store runs
+  // (removed shards stop but stay in the slot table for reuse).
+  class StoreShard* migrate_to = nullptr;
 };
 
 struct Response {
@@ -100,6 +115,13 @@ struct Response {
   Value value;
   TsSnapshot ts;                              // populated on shared reads
   std::vector<LogicalClock> applied_clocks;   // kGetWithClocks
+  // Routing epoch at the replying shard. On kWrongShard the sender must
+  // refresh its table (it is at least this new) before re-routing.
+  uint64_t route_epoch = 0;
+  // kBatch ACK: req_ids of sub-requests bounced with kWrongShard — their
+  // slots moved between client-side partitioning and shard-side apply. The
+  // client re-routes exactly these; the applied remainder is never resent.
+  std::vector<uint64_t> nacked;
 };
 
 // Client-side write-ahead log entry for shared-object updates (paper §5.4:

@@ -1,0 +1,145 @@
+#include "store/router.h"
+
+#include <algorithm>
+
+namespace chc {
+namespace {
+
+uint32_t round_up_pow2(uint32_t v) {
+  uint32_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+// slot counts per shard id, indexed by shard id (max id + 1 entries).
+std::vector<uint32_t> slot_counts(const RoutingTable& t) {
+  uint16_t max_id = 0;
+  for (uint16_t s : t.active_shards) max_id = std::max(max_id, s);
+  std::vector<uint32_t> counts(static_cast<size_t>(max_id) + 1, 0);
+  for (uint16_t s : t.slot_to_shard) {
+    if (s < counts.size()) counts[s]++;
+  }
+  return counts;
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(int initial_shards, uint32_t num_slots) {
+  RoutingTable t;
+  const uint32_t slots = round_up_pow2(std::max<uint32_t>(
+      num_slots, static_cast<uint32_t>(initial_shards)));
+  t.epoch = 1;
+  t.slot_mask = slots - 1;
+  t.slot_to_shard.resize(slots);
+  for (uint32_t s = 0; s < slots; ++s) {
+    t.slot_to_shard[s] = static_cast<uint16_t>(s % initial_shards);
+  }
+  for (int i = 0; i < initial_shards; ++i) {
+    t.active_shards.push_back(static_cast<uint16_t>(i));
+  }
+  auto owned = std::make_unique<const RoutingTable>(std::move(t));
+  current_.store(owned.get(), std::memory_order_release);
+  epoch_.store(1, std::memory_order_relaxed);
+  history_.push_back(std::move(owned));
+}
+
+const RoutingTable* ShardRouter::publish(RoutingTable next) {
+  std::lock_guard lk(mu_);
+  next.epoch = current_.load(std::memory_order_relaxed)->epoch + 1;
+  auto owned = std::make_unique<const RoutingTable>(std::move(next));
+  const RoutingTable* raw = owned.get();
+  history_.push_back(std::move(owned));
+  current_.store(raw, std::memory_order_release);
+  epoch_.store(raw->epoch, std::memory_order_release);
+  return raw;
+}
+
+RoutingTable ShardRouter::plan_add(int new_shard, std::vector<MoveGroup>* moves) const {
+  const RoutingTable cur = *table();
+  RoutingTable next = cur;
+  moves->clear();
+
+  const size_t n_active = cur.active_shards.size() + 1;
+  const uint32_t want = static_cast<uint32_t>(cur.num_slots() / n_active);
+  std::vector<uint32_t> counts = slot_counts(cur);
+  if (static_cast<size_t>(new_shard) >= counts.size()) {
+    counts.resize(static_cast<size_t>(new_shard) + 1, 0);
+  }
+
+  // Take one slot at a time from the currently most-loaded shard; highest
+  // slot index first so a shard's keep-set stays contiguous-ish and the
+  // move plan is deterministic.
+  std::vector<MoveGroup> by_src;
+  for (uint32_t taken = 0; taken < want; ++taken) {
+    int victim = -1;
+    for (uint16_t s : cur.active_shards) {
+      if (victim < 0 || counts[s] > counts[static_cast<size_t>(victim)]) victim = s;
+    }
+    if (victim < 0 || counts[static_cast<size_t>(victim)] <= 1) break;
+    uint32_t slot = UINT32_MAX;
+    for (uint32_t i = next.num_slots(); i > 0; --i) {
+      if (next.slot_to_shard[i - 1] == victim) {
+        slot = i - 1;
+        break;
+      }
+    }
+    if (slot == UINT32_MAX) break;
+    next.slot_to_shard[slot] = static_cast<uint16_t>(new_shard);
+    counts[static_cast<size_t>(victim)]--;
+    counts[static_cast<size_t>(new_shard)]++;
+    MoveGroup* g = nullptr;
+    for (MoveGroup& mg : by_src) {
+      if (mg.src == victim) g = &mg;
+    }
+    if (!g) {
+      by_src.push_back({victim, new_shard, {}});
+      g = &by_src.back();
+    }
+    g->slots.push_back(slot);
+  }
+
+  next.active_shards.push_back(static_cast<uint16_t>(new_shard));
+  std::sort(next.active_shards.begin(), next.active_shards.end());
+  *moves = std::move(by_src);
+  return next;
+}
+
+RoutingTable ShardRouter::plan_remove(int shard, std::vector<MoveGroup>* moves) const {
+  const RoutingTable cur = *table();
+  RoutingTable next = cur;
+  moves->clear();
+
+  std::vector<uint16_t> survivors;
+  for (uint16_t s : cur.active_shards) {
+    if (s != shard) survivors.push_back(s);
+  }
+  if (survivors.empty()) return next;  // caller guards: never drain the last shard
+
+  std::vector<uint32_t> counts = slot_counts(cur);
+  std::vector<MoveGroup> by_dst;
+  for (uint32_t slot = 0; slot < next.num_slots(); ++slot) {
+    if (next.slot_to_shard[slot] != shard) continue;
+    // Deal each orphaned slot to the least-loaded survivor.
+    uint16_t dst = survivors.front();
+    for (uint16_t s : survivors) {
+      if (counts[s] < counts[dst]) dst = s;
+    }
+    next.slot_to_shard[slot] = dst;
+    counts[dst]++;
+    MoveGroup* g = nullptr;
+    for (MoveGroup& mg : by_dst) {
+      if (mg.dst == dst) g = &mg;
+    }
+    if (!g) {
+      by_dst.push_back({shard, dst, {}});
+      g = &by_dst.back();
+    }
+    g->slots.push_back(slot);
+  }
+
+  next.active_shards = std::move(survivors);
+  *moves = std::move(by_dst);
+  return next;
+}
+
+}  // namespace chc

@@ -1,0 +1,98 @@
+// ShardRouter: epoch-versioned key routing for the elastic store.
+//
+// The seed froze the shard count at construction (`hash % shards_.size()`),
+// which made the paper's §5.1 elastic scaling a dead end at the state tier.
+// Routing is now a level of indirection: the key hash selects one of a
+// fixed, power-of-two number of *virtual slots* (a mask, not a modulo — the
+// memoized StoreKey::hash() still routes with one AND), and an immutable,
+// epoch-stamped table maps slot -> shard id. Resharding reassigns slots and
+// publishes a new table under a bumped epoch; keys never move *within* a
+// slot, so a slot is the unit of migration.
+//
+// Concurrency contract:
+//   - Published tables are immutable and retained until the router dies, so
+//     the data path reads the current table with one acquire load and never
+//     touches a lock or a reference count. Reshards are rare; retaining a
+//     few dozen superseded tables is noise.
+//   - publish() is serialized by the owner (DataStore::reshard_mu_).
+//   - epoch() is a relaxed mirror for cheap staleness probes ("has routing
+//     changed since I cached it?") on the client hot path.
+//
+// Failure model: the table flips before streaming (arrivals at the target
+// park or bounce-retry, arrivals at the source land in the payload), so a
+// shard that CRASHES mid-reshard leaves the moved slots degraded — pending
+// at the target, extracted-but-resident at the source — until the crashed
+// shard is recovered (DataStore::recover_shard rebuilds it from checkpoint
+// + client evidence under the live table) or a new reshard supersedes the
+// plan. run_moves reports the failure (ReshardStats::ok=false); it does
+// not roll the table back, because un-publishing would race the chunks
+// already installed at the target.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "store/key.h"
+
+namespace chc {
+
+struct RoutingTable {
+  uint64_t epoch = 1;
+  uint32_t slot_mask = 0;  // num_slots - 1; num_slots is a power of two
+  std::vector<uint16_t> slot_to_shard;
+  std::vector<uint16_t> active_shards;  // sorted, for planning/telemetry
+
+  uint32_t num_slots() const { return slot_mask + 1; }
+  uint32_t slot_of(uint64_t hash) const {
+    return static_cast<uint32_t>(hash) & slot_mask;
+  }
+  int shard_of_hash(uint64_t hash) const { return slot_to_shard[slot_of(hash)]; }
+  int shard_of(const StoreKey& key) const { return shard_of_hash(key.hash()); }
+};
+
+// One leg of a reshard: `slots` move from shard `src` to shard `dst`.
+struct MoveGroup {
+  int src = -1;
+  int dst = -1;
+  std::vector<uint32_t> slots;
+};
+
+class ShardRouter {
+ public:
+  // Builds epoch-1 with slots dealt round-robin across the initial shards.
+  ShardRouter(int initial_shards, uint32_t num_slots);
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  // Data path: the current table. Never null; valid until the router dies.
+  const RoutingTable* table() const {
+    return current_.load(std::memory_order_acquire);
+  }
+  uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
+
+  // Installs `next` as the current table with epoch = current + 1.
+  // Caller serializes publishes (one reshard at a time).
+  const RoutingTable* publish(RoutingTable next);
+
+  // --- reshard planning (pure functions of the current table) ---------------
+  // Rebalance onto `new_shard` (not currently active): takes slots from the
+  // most-loaded shards until the newcomer holds ~1/(n+1) of the slot space.
+  // Returns the next table; `moves` gets one group per source shard.
+  RoutingTable plan_add(int new_shard, std::vector<MoveGroup>* moves) const;
+  // Drain `shard`: deals its slots to the least-loaded survivors. Returns
+  // the next table; `moves` gets one group per destination shard.
+  RoutingTable plan_remove(int shard, std::vector<MoveGroup>* moves) const;
+
+ private:
+  mutable std::mutex mu_;
+  // Retention list: the data path holds raw pointers into these.
+  std::vector<std::unique_ptr<const RoutingTable>> history_;
+  std::atomic<const RoutingTable*> current_{nullptr};
+  std::atomic<uint64_t> epoch_{1};
+};
+
+}  // namespace chc

@@ -24,12 +24,18 @@ bool is_update_op(OpType op) {
 
 StoreShard::StoreShard(int index, const LinkConfig& link_cfg,
                        std::shared_ptr<const CustomOpRegistry> custom_ops,
-                       size_t burst)
+                       size_t burst, uint32_t num_slots, const ShardRouter* router)
     : index_(index),
       burst_(burst == 0 ? 1 : burst),
       requests_(link_cfg),
       custom_ops_(std::move(custom_ops)),
-      rng_(0xC0FFEE + static_cast<uint64_t>(index)) {}
+      router_(router),
+      rng_(0xC0FFEE + static_cast<uint64_t>(index)) {
+  if (num_slots > 0) {
+    slot_mask_ = num_slots - 1;
+    slot_states_.assign(num_slots, kUnowned);
+  }
+}
 
 StoreShard::~StoreShard() { stop(); }
 
@@ -52,6 +58,29 @@ void StoreShard::crash() {
   nondet_log_.clear();
   subscribers_.clear();
   ownership_waiters_.clear();
+  parked_.clear();
+  parked_count_ = 0;
+  // slot_states_ intentionally survives: recovery rebuilds this shard in
+  // place, so it still owns the same slice of the slot space.
+}
+
+void StoreShard::set_owned_slots(const std::vector<uint32_t>& slots) {
+  for (uint32_t s : slots) {
+    if (s < slot_states_.size()) slot_states_[s] = kOwned;
+  }
+}
+
+void StoreShard::reset_for_reuse() {
+  entries_.clear();
+  clock_index_.clear();
+  nondet_log_.clear();
+  gc_done_.clear();
+  gc_order_.clear();
+  subscribers_.clear();
+  ownership_waiters_.clear();
+  parked_.clear();
+  parked_count_ = 0;
+  if (!slot_states_.empty()) slot_states_.assign(slot_states_.size(), kUnowned);
 }
 
 void StoreShard::restore(ShardEntryMap entries) {
@@ -76,8 +105,7 @@ void StoreShard::run() {
     const size_t n = requests_.recv_batch(burst, burst_, Micros(200));
     if (n == 0) continue;
     for (Request& req : burst) {
-      Response r = apply(req);
-      reply(req, std::move(r));
+      process(std::move(req));
     }
     wakeups_.fetch_add(1, std::memory_order_relaxed);
     uint64_t prev = max_burst_.load(std::memory_order_relaxed);
@@ -89,6 +117,59 @@ void StoreShard::run() {
       burst_hist_.record(static_cast<double>(n));
     }
   }
+}
+
+void StoreShard::process(Request req) {
+  switch (route_admit(req)) {
+    case Admit::kParked:
+    case Admit::kBounced:
+      return;
+    case Admit::kApply:
+      break;
+  }
+  Response r = apply(req);
+  reply(req, std::move(r));
+}
+
+StoreShard::Admit StoreShard::route_admit(Request& req) {
+  if (slot_mask_ == 0) return Admit::kApply;
+  switch (req.op) {
+    // Control traffic is addressed to a shard, not a key: never bounce it.
+    // kBatch admits as an envelope; its sub-requests route individually in
+    // apply_control.
+    case OpType::kGcClock:
+    case OpType::kCheckpoint:
+    case OpType::kBatch:
+    case OpType::kPrepareSlots:
+    case OpType::kMigrateSlots:
+    case OpType::kInstallSlots:
+      return Admit::kApply;
+    default:
+      break;
+  }
+  switch (slot_state_of(req.key)) {
+    case kOwned:
+      return Admit::kApply;
+    case kPending:
+      if (parked_count_ < kParkedCap) {
+        parked_[slot_mask_ & static_cast<uint32_t>(req.key.hash())]
+            .push_back(std::move(req));
+        parked_count_++;
+        return Admit::kParked;
+      }
+      [[fallthrough]];  // park overflow: bounce, the client retries
+    default:
+      bounce(req);
+      return Admit::kBounced;
+  }
+}
+
+void StoreShard::bounce(const Request& req) {
+  bounced_.fetch_add(1, std::memory_order_relaxed);
+  Response r;
+  r.status = Status::kWrongShard;
+  r.route_epoch = router_ ? router_->epoch() : 0;
+  reply(req, std::move(r));
 }
 
 void StoreShard::reply(const Request& req, Response r) {
@@ -117,6 +198,9 @@ Response StoreShard::apply(const Request& req) {
     case OpType::kNonDet:
     case OpType::kBatch:
     case OpType::kCheckpoint:
+    case OpType::kPrepareSlots:
+    case OpType::kMigrateSlots:
+    case OpType::kInstallSlots:
       // Cold control traffic: outlined so its (large) inlined bodies — the
       // checkpoint table copy in particular — stay out of the per-packet
       // ops' instruction footprint.
@@ -343,10 +427,55 @@ Response StoreShard::apply_control(const Request& req) {
     }
     case OpType::kBatch: {
       if (req.batch) {
-        for (const Request& sub : *req.batch) apply(sub);
+        // Sub-requests route individually: the client partitioned this
+        // envelope with the table it had, which may be a reshard behind.
+        // Owned subs apply; everything else — moved away OR mid-install —
+        // is NACKed by req_id. Parking a sub here would let the envelope
+        // ACK vouch for a write that never applies if the install aborts;
+        // a NACKed sub instead re-enters the client's tracked path, where
+        // it parks as an individually-accountable request (its own ACK is
+        // withheld until it actually applies). Never move a sub out of
+        // the envelope: the shared batch vector must stay intact for
+        // retransmission.
+        for (const Request& sub : *req.batch) {
+          if (slot_state_of(sub.key) == kOwned) {
+            Response sub_r = apply(sub);
+            // Defense in depth: a sub that is itself an envelope must
+            // not swallow its own NACK list — surface it on this ACK.
+            // (The client never nests envelopes; see do_nonblocking.)
+            if (sub.op == OpType::kBatch && !sub_r.nacked.empty()) {
+              r.nacked.insert(r.nacked.end(), sub_r.nacked.begin(),
+                              sub_r.nacked.end());
+            }
+          } else {
+            bounced_.fetch_add(1, std::memory_order_relaxed);
+            r.nacked.push_back(sub.req_id);
+          }
+        }
+      }
+      r.route_epoch = router_ ? router_->epoch() : 0;
+      return r;
+    }
+    case OpType::kPrepareSlots: {
+      if (req.migration) {
+        for (uint32_t s : req.migration->slots) {
+          if (s < slot_states_.size() && slot_states_[s] == kUnowned) {
+            slot_states_[s] = kPending;
+          }
+        }
       }
       return r;
     }
+    case OpType::kMigrateSlots:
+      migrate_out(req);
+      // No reply from the source: the *target* confirms the move by
+      // answering the final kInstallSlots chunk (which carries this
+      // request's req_id + reply link), so "done" means installed, not
+      // just streamed.
+      return r;
+    case OpType::kInstallSlots:
+      install_chunk(req);
+      return r;
     case OpType::kCheckpoint:
       if (req.snapshot_out) {
         req.snapshot_out->entries = entries_;
@@ -358,6 +487,172 @@ Response StoreShard::apply_control(const Request& req) {
     default:
       r.status = Status::kError;
       return r;
+  }
+}
+
+void StoreShard::migrate_out(const Request& req) {
+  if (!req.migration || !req.migrate_to) return;
+  // Freeze first: from this point every new arrival for these slots
+  // bounces. Everything already serialized ahead of this control message
+  // has been applied, so the extraction below is a consistent cut.
+  FlatSet<uint32_t> moving;
+  moving.reserve(req.migration->slots.size());
+  for (uint32_t s : req.migration->slots) {
+    if (s < slot_states_.size()) {
+      slot_states_[s] = kUnowned;
+      moving.insert(s);
+    }
+  }
+
+  auto in_moving = [&](const StoreKey& key) {
+    return moving.contains(slot_mask_ & static_cast<uint32_t>(key.hash()));
+  };
+
+  // Extract the moving entries (values moved out, husks erased after).
+  std::vector<std::pair<StoreKey, ShardEntry>> extracted;
+  for (auto&& [key, entry] : entries_) {
+    if (in_moving(key)) extracted.emplace_back(key, std::move(entry));
+  }
+  entries_.erase_if([&](const auto& kv) { return in_moving(kv.first); });
+  // Stale clock_index_ references to moved keys are left behind on
+  // purpose: kGcClock tolerates keys that are no longer resident, and the
+  // index entry dies with the packet's GC like always.
+
+  auto chunk_of = [&](bool final_chunk) {
+    auto mc = std::make_shared<MigrationChunk>();
+    mc->slots = req.migration->slots;
+    mc->final_chunk = final_chunk;
+    mc->carry_side_tables = req.migration->carry_side_tables;
+    return mc;
+  };
+  // Bounded retry: chunk delivery must survive transient ring-full
+  // backpressure. A target that stays unreachable (crashed mid-reshard)
+  // aborts the stream — the control plane's confirmation wait times out
+  // and reports the failure.
+  auto send_chunk = [&](const Request& inst) {
+    const TimePoint give_up = SteadyClock::now() + std::chrono::milliseconds(200);
+    while (!req.migrate_to->request_link().send(inst)) {
+      if (SteadyClock::now() >= give_up || req.migrate_to->request_link().closed()) {
+        CHC_WARN("shard %d: migration chunk to shard link lost", index_);
+        return false;
+      }
+      std::this_thread::yield();
+    }
+    return true;
+  };
+
+  size_t i = 0;
+  bool ok = true;
+  while (ok) {
+    const bool last = extracted.size() - i <= kMigrateChunk;
+    Request inst;
+    inst.op = OpType::kInstallSlots;
+    inst.blocking = false;
+    inst.want_ack = false;
+    inst.migration = chunk_of(last);
+    auto& mc = *inst.migration;
+    const size_t end = last ? extracted.size() : i + kMigrateChunk;
+    mc.entries.reserve(end - i);
+    for (; i < end; ++i) mc.entries.push_back(std::move(extracted[i]));
+    if (last) {
+      // Per-key registrations move with their keys.
+      for (auto&& [key, subs] : subscribers_) {
+        if (in_moving(key)) mc.subscribers.emplace_back(key, std::move(subs));
+      }
+      subscribers_.erase_if([&](const auto& kv) { return in_moving(kv.first); });
+      for (auto&& [key, w] : ownership_waiters_) {
+        if (in_moving(key)) mc.waiters.emplace_back(key, std::move(w));
+      }
+      ownership_waiters_.erase_if([&](const auto& kv) { return in_moving(kv.first); });
+      // Clock-keyed side tables are not splittable by key: copy them so
+      // replay at the new owner stays identical (nondet memos) and
+      // committed-op retransmissions still emulate (gc_done). Carried once
+      // per migration leg, on its last slot command.
+      if (req.migration->carry_side_tables) {
+        mc.nondet.reserve(nondet_log_.size());
+        for (const auto& [clock, v] : nondet_log_) mc.nondet.emplace_back(clock, v);
+        mc.gc_done.reserve(gc_done_.size());
+        gc_done_.for_each([&](LogicalClock c) { mc.gc_done.push_back(c); });
+      }
+      // The target answers the control plane once this chunk is merged.
+      inst.blocking = true;
+      inst.reply_to = req.reply_to;
+      inst.req_id = req.req_id;
+    }
+    ok = send_chunk(inst);
+    if (!ok) {
+      // Stream abort (target gone): the undelivered slice must not die
+      // with it. Keep it resident here — unroutable (the table points at
+      // the target) but checkpointable, so recover_shard of the target
+      // can rebuild the slot from checkpoint + client evidence instead of
+      // from nothing. The control plane's confirmation wait reports the
+      // failed reshard.
+      for (auto& [key, entry] : mc.entries) {
+        entries_.emplace(key, std::move(entry));
+      }
+      for (size_t j = i; j < extracted.size(); ++j) {
+        entries_.emplace(extracted[j].first, std::move(extracted[j].second));
+      }
+      for (auto& [key, subs] : mc.subscribers) subscribers_[key] = std::move(subs);
+      for (auto& [key, w] : mc.waiters) ownership_waiters_[key] = std::move(w);
+      break;
+    }
+    if (last) break;
+  }
+
+  // Parked requests for slots that moved away (this shard was mid-install
+  // when the plan changed) would deadlock; bounce them out.
+  for (uint32_t s : req.migration->slots) {
+    if (auto it = parked_.find(s); it != parked_.end()) {
+      for (const Request& p : it->second) {
+        parked_count_--;
+        bounce(p);
+      }
+      parked_.erase(it);
+    }
+  }
+}
+
+void StoreShard::install_chunk(const Request& req) {
+  if (!req.migration) return;
+  MigrationChunk& mc = *req.migration;
+  for (auto& [key, entry] : mc.entries) {
+    // Rebuild the clock index from the entry's own update log, then adopt
+    // the entry wholesale (value, owner, TS, flush floors travel as one).
+    for (const auto& [clock, _] : entry.update_log) {
+      clock_index_[clock].push_back(key);
+    }
+    entries_.emplace(key, std::move(entry));
+    migrated_in_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!mc.final_chunk) return;
+
+  for (auto& [key, subs] : mc.subscribers) subscribers_[key] = std::move(subs);
+  for (auto& [key, w] : mc.waiters) ownership_waiters_[key] = std::move(w);
+  for (const auto& [clock, v] : mc.nondet) nondet_log_.emplace(clock, v);
+  for (LogicalClock c : mc.gc_done) {
+    if (gc_done_.insert(c)) {
+      gc_order_.push_back(c);
+      if (gc_order_.size() > kGcDoneCap) {
+        gc_done_.erase(gc_order_.front());
+        gc_order_.pop_front();
+      }
+    }
+  }
+
+  // Flip the slots live, then drain their parked arrivals in order. New
+  // traffic for these slots is behind us in the request ring, so parked
+  // requests keep their arrival order relative to it.
+  for (uint32_t s : mc.slots) {
+    if (s < slot_states_.size()) slot_states_[s] = kOwned;
+  }
+  for (uint32_t s : mc.slots) {
+    auto it = parked_.find(s);
+    if (it == parked_.end()) continue;
+    std::vector<Request> drained = std::move(it->second);
+    parked_.erase(it);
+    parked_count_ -= drained.size();
+    for (Request& p : drained) process(std::move(p));
   }
 }
 

@@ -21,6 +21,7 @@
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "store/message.h"
+#include "store/router.h"
 #include "transport/sim_link.h"
 
 namespace chc {
@@ -73,14 +74,42 @@ struct ShardSnapshot {
   TimePoint taken_at{};
 };
 
+// One leg of a slot migration on the wire (kMigrateSlots carries just the
+// slot list; kInstallSlots carries state in bounded chunks so a fat slot
+// doesn't travel as one giant message). The final chunk additionally moves
+// the per-key subscriber/waiter registrations and a copy of the clock-keyed
+// side tables (nondet memos + GC'd-clock set) — those are not splittable by
+// key, and the new owner needs them so replayed packets still see identical
+// non-deterministic values and straggling retransmissions of committed ops
+// still emulate instead of re-applying.
+struct MigrationChunk {
+  std::vector<uint32_t> slots;
+  std::vector<std::pair<StoreKey, ShardEntry>> entries;
+  bool final_chunk = false;
+  // kMigrateSlots: include the clock-keyed side-table copies in the final
+  // chunk. Set on the last slot command of a (source, target) leg — the
+  // tables cover the whole leg, so per-slot commands need not re-copy them.
+  bool carry_side_tables = true;
+  // final chunk only:
+  std::vector<std::pair<StoreKey, std::vector<std::pair<InstanceId, ReplyLinkPtr>>>>
+      subscribers;
+  std::vector<std::pair<StoreKey, std::vector<std::pair<InstanceId, ReplyLinkPtr>>>>
+      waiters;
+  std::vector<std::pair<LogicalClock, Value>> nondet;
+  std::vector<LogicalClock> gc_done;
+};
+
 class StoreShard {
  public:
   // `burst` bounds how many requests one worker wakeup drains before
   // replying: the amortization knob of the batched data path. 1 restores
-  // the seed's strict one-op-per-wakeup behavior.
+  // the seed's strict one-op-per-wakeup behavior. `num_slots` is the
+  // router's virtual-slot count (0 = single-slot legacy: own everything);
+  // `router` (optional) stamps the live epoch into bounce replies.
   StoreShard(int index, const LinkConfig& link_cfg,
              std::shared_ptr<const CustomOpRegistry> custom_ops,
-             size_t burst = 64);
+             size_t burst = 64, uint32_t num_slots = 0,
+             const ShardRouter* router = nullptr);
   ~StoreShard();
 
   StoreShard(const StoreShard&) = delete;
@@ -90,9 +119,26 @@ class StoreShard {
   void stop();
 
   // Simulates a crash: stops the worker and discards all shard state.
+  // Slot ownership survives a crash (the failed shard is recovered in
+  // place, not resharded away).
   void crash();
   // Installs recovered state and restarts the worker.
   void restore(ShardEntryMap entries);
+
+  // --- elastic resharding (store/router.h) ----------------------------------
+  // Initial slot assignment; called before start() (no worker yet).
+  void set_owned_slots(const std::vector<uint32_t>& slots);
+  // Scrub residual state before a stopped shard is re-activated by
+  // add_shard (a drained shard keeps clock-keyed side tables around).
+  void reset_for_reuse();
+  // True while this shard serves traffic (start()ed and not stop()ped).
+  bool serving() const { return running_.load(std::memory_order_acquire); }
+  // Entries merged in by kInstallSlots (reshard telemetry).
+  uint64_t migrated_in() const {
+    return migrated_in_.load(std::memory_order_relaxed);
+  }
+  // Requests bounced with kWrongShard (stale-route telemetry).
+  uint64_t bounced() const { return bounced_.load(std::memory_order_relaxed); }
 
   SimLink<Request>& request_link() { return requests_; }
   void set_commit_listener(CommitListener cb) { commit_cb_ = std::move(cb); }
@@ -115,7 +161,31 @@ class StoreShard {
   }
 
  private:
+  // Slot routing states. A slot is kPending between the target's
+  // kPrepareSlots and the final kInstallSlots chunk: requests for it park
+  // in arrival order and apply the moment the slot's state lands.
+  enum SlotState : uint8_t { kUnowned = 0, kOwned = 1, kPending = 2 };
+  enum class Admit : uint8_t { kApply, kParked, kBounced };
+
   void run();
+  // Top-level request intake: route-admit, then apply + reply. Also used
+  // to drain parked requests once their slot flips to owned.
+  void process(Request req);
+  // Routing admission for the worker path. kApply: caller applies. kParked:
+  // the request was moved into parked_. kBounced: a kWrongShard reply was
+  // already sent. Control traffic always admits; apply_inline bypasses
+  // admission entirely (tests/benches drive shards directly).
+  Admit route_admit(Request& req);
+  uint8_t slot_state_of(const StoreKey& key) const {
+    return slot_mask_ ? slot_states_[key.hash() & slot_mask_]
+                      : static_cast<uint8_t>(kOwned);
+  }
+  void bounce(const Request& req);
+  // kMigrateSlots: freeze + extract the slots and stream them to the
+  // target; kInstallSlots: merge a chunk, final chunk flips slots + drains
+  // parked requests.
+  void migrate_out(const Request& req);
+  void install_chunk(const Request& req);
   Response apply(const Request& req);
   // Cold paths outlined from apply(): control traffic (GC, checkpoints,
   // batch envelopes, nondet) and the ownership/flush/callback ops. Keeping
@@ -136,6 +206,18 @@ class StoreShard {
   SimLink<Request> requests_;
   std::shared_ptr<const CustomOpRegistry> custom_ops_;
   CommitListener commit_cb_;
+  const ShardRouter* router_ = nullptr;
+
+  // --- slot routing state (worker-thread owned after start) -----------------
+  uint32_t slot_mask_ = 0;  // 0 = routing disabled (own the whole key space)
+  std::vector<uint8_t> slot_states_;
+  // Requests for kPending slots, applied in arrival order on install.
+  FlatMap<uint32_t, std::vector<Request>> parked_;
+  size_t parked_count_ = 0;
+  static constexpr size_t kParkedCap = 8192;  // past this: bounce, client retries
+  static constexpr size_t kMigrateChunk = 128;  // entries per kInstallSlots
+  std::atomic<uint64_t> migrated_in_{0};
+  std::atomic<uint64_t> bounced_{0};
 
   ShardEntryMap entries_;
   // clock -> keys whose update_log mentions it; makes GC O(updates/packet).

@@ -206,6 +206,10 @@ TEST(SubmitBatched, GroupsByShardAndAppliesAll) {
     std::this_thread::yield();
   }
   EXPECT_EQ(store.total_ops(), 64u);
+  // Stop (joins the workers) before probing inline: ops_applied_ ticks
+  // before an op's map writes land, so a live worker and an apply_inline
+  // probe would race on the entry table.
+  store.stop();
   // Every key saw exactly 64/8 increments.
   for (uint64_t k = 0; k < 8; ++k) {
     Request probe;
@@ -216,6 +220,90 @@ TEST(SubmitBatched, GroupsByShardAndAppliesAll) {
     probe.key.shared = true;
     Response resp = store.shard(store.shard_of(probe.key)).apply_inline(probe);
     EXPECT_EQ(resp.value.as_int(), 8) << "key " << k;
+  }
+  store.stop();
+}
+
+TEST(SubmitBatched, RejectedSliceRetriesWithoutDoubleApply) {
+  // submit_batched partitions one request list into per-shard envelopes; a
+  // shard failing mid-submit used to drop its envelope silently, and the
+  // only recovery was re-submitting the WHOLE list — double-applying the
+  // surviving shard's half (these setup-style ops carry no clock, so the
+  // store's duplicate emulation cannot save them). The rejected-slice API
+  // must return exactly the failed half, and retrying only that slice must
+  // leave every key applied exactly once.
+  DataStoreConfig cfg;
+  cfg.num_shards = 2;
+  DataStore store(cfg);
+  store.start();
+
+  auto make_reqs = [&](auto pred) {
+    std::vector<Request> reqs;
+    for (uint64_t k = 0; k < 8; ++k) {
+      Request r;
+      r.op = OpType::kIncr;
+      r.key.vertex = 1;
+      r.key.object = 1;
+      r.key.scope_key = k;
+      r.key.shared = true;
+      if (!pred(r.key)) continue;
+      r.arg = Value::of_int(1);
+      r.blocking = false;
+      r.want_ack = false;
+      reqs.push_back(std::move(r));
+    }
+    return reqs;
+  };
+  auto all = [](const StoreKey&) { return true; };
+  size_t on_dead = 0;
+  for (uint64_t k = 0; k < 8; ++k) {
+    StoreKey key;
+    key.vertex = 1;
+    key.object = 1;
+    key.scope_key = k;
+    key.shared = true;
+    if (store.shard_of(key) == 1) on_dead++;
+  }
+  ASSERT_GT(on_dead, 0u) << "no keys landed on shard 1; test is vacuous";
+  ASSERT_LT(on_dead, 8u) << "no keys landed on shard 0; test is vacuous";
+
+  // Kill shard 1 mid-flight: its envelope must come back, shard 0's half
+  // must apply.
+  store.crash_shard(1);
+  std::vector<Request> rejected;
+  store.submit_batched(make_reqs(all), &rejected);
+  ASSERT_EQ(rejected.size(), on_dead);
+  for (const Request& r : rejected) EXPECT_EQ(store.shard_of(r.key), 1);
+
+  const size_t live_half = 8 - on_dead;
+  const TimePoint deadline = SteadyClock::now() + std::chrono::seconds(10);
+  while (store.total_ops() < live_half && SteadyClock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(store.total_ops(), live_half);
+
+  // Shard 1 comes back; retrying ONLY the rejected slice completes the
+  // batch without touching shard 0 again.
+  store.shard(1).restore({});
+  std::vector<Request> rejected2;
+  store.submit_batched(std::move(rejected), &rejected2);
+  EXPECT_TRUE(rejected2.empty());
+  while (store.total_ops() < 8 && SteadyClock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(store.total_ops(), 8u);
+  store.stop();  // join workers before the inline probes below
+
+  // Every key incremented exactly once — nothing lost, nothing doubled.
+  for (uint64_t k = 0; k < 8; ++k) {
+    Request probe;
+    probe.op = OpType::kGet;
+    probe.key.vertex = 1;
+    probe.key.object = 1;
+    probe.key.scope_key = k;
+    probe.key.shared = true;
+    Response resp = store.shard(store.shard_of(probe.key)).apply_inline(probe);
+    EXPECT_EQ(resp.value.as_int(), 1) << "key " << k;
   }
   store.stop();
 }

@@ -393,5 +393,34 @@ TEST_F(ClientTest, NonDetValuesStableAcrossReplay) {
   EXPECT_NE(c->nondet_random(), v1);
 }
 
+TEST_F(ClientTest, RetransmitBackoffBoundsStormAgainstDeadShard) {
+  // A crashed shard must degrade retransmission into a capped-exponential
+  // trickle, not an ack_timeout-cadence storm that competes with recovery
+  // traffic. Regression for the flat `deadline = now + ack_timeout` reset.
+  auto c = make_client(1, /*caching=*/false, /*wait_acks=*/false);
+
+  StoreKey counter_key;  // mirrors key_for(kCounter): global-scope shared
+  counter_key.vertex = 7;
+  counter_key.object = kCounter;
+  counter_key.scope_key = 0;
+  counter_key.shared = true;
+  store_->crash_shard(store_->shard_of(counter_key));
+
+  c->set_current_clock(900);
+  c->incr(kCounter, flow(), 1);  // write-mostly -> tracked non-blocking op
+
+  // 60ms of polling. Flat 500us retransmission would reach the 20-retry
+  // ceiling; capped-exponential backoff (500us doubling, 8ms cap) fits at
+  // most ~11 sends in the window.
+  const TimePoint deadline = SteadyClock::now() + std::chrono::milliseconds(60);
+  while (SteadyClock::now() < deadline) {
+    c->poll();
+    std::this_thread::sleep_for(Micros(200));
+  }
+  EXPECT_GE(c->stats().retransmissions, 2u);
+  EXPECT_LE(c->stats().retransmissions, 14u)
+      << "retransmit backoff is not bounding the storm";
+}
+
 }  // namespace
 }  // namespace chc

@@ -275,5 +275,28 @@ TEST(Runtime, ClockPersistenceDoesNotBreakDataPath) {
   rt.shutdown();
 }
 
+TEST(Runtime, WaitQuiescentObservesDrainPromptly) {
+  // Regression for the drain-wait loop starving worker threads on low-core
+  // hosts: the backoff must yield early (so the drain can happen) and the
+  // loop must notice the drain well before its timeout.
+  ChainSpec spec;
+  spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); });
+  Runtime rt(std::move(spec), fast_config());
+  rt.start();
+  for (int i = 0; i < 100; ++i) rt.inject(make_packet(12, static_cast<uint16_t>(i)));
+
+  const TimePoint t0 = SteadyClock::now();
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(20)));
+  EXPECT_LT(to_usec(SteadyClock::now() - t0), 10e6) << "drain observed too slowly";
+  EXPECT_EQ(rt.sink().count(), 100u);
+
+  // Already-drained: the wait returns on its first probe, not after a
+  // sleep quantum per logged packet.
+  const TimePoint t1 = SteadyClock::now();
+  EXPECT_TRUE(rt.wait_quiescent(std::chrono::seconds(5)));
+  EXPECT_LT(to_usec(SteadyClock::now() - t1), 100e3);
+  rt.shutdown();
+}
+
 }  // namespace
 }  // namespace chc
