@@ -1,0 +1,200 @@
+// Elastic NF-instance scaling under load: packet throughput and end-to-end
+// latency percentiles before / during / after a live 1 -> 4 scale-out of a
+// NAT vertex (paper §5.1, Fig. 4 run at slot granularity via the splitter's
+// steering table). The migration must be a latency blip (parked flows
+// during per-slot handovers), not an outage, and the post-scale steady
+// state must match a chain that was *born* with 4 instances.
+//
+// Emits BENCH_nf_scaling_migration.json + BENCH_nf_scaling_steady.json.
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace chc {
+namespace {
+
+RuntimeConfig scaling_config() {
+  RuntimeConfig cfg = bench::fast_config(Model::kExternalCachedNoAck);
+  cfg.steer_slots = 64;
+  // Bounded in-flight budget: the root exerts backpressure instead of
+  // letting the log grow unbounded when injection outruns the chain.
+  cfg.root.log_threshold = 4096;
+  return cfg;
+}
+
+Runtime* make_nat_chain(int parallelism, std::unique_ptr<Runtime>* out) {
+  ChainSpec spec;
+  spec.add_vertex("nat", [] { return std::make_unique<Nat>(); }, parallelism);
+  spec.set_partition_scope(0, Scope::kFiveTuple);
+  *out = std::make_unique<Runtime>(std::move(spec), scaling_config());
+  Runtime& rt = **out;
+  rt.start();
+  auto seeder = rt.probe_client(0);
+  Nat::seed_ports(*seeder, 50000, 1024);
+  return &rt;
+}
+
+// Injects the trace in a loop until `stop`, yielding on root backpressure.
+void drive(Runtime& rt, const Trace& trace, std::atomic<bool>& stop) {
+  size_t i = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    if (!rt.inject(trace[i % trace.size()])) {
+      std::this_thread::yield();
+      continue;
+    }
+    i++;
+  }
+}
+
+struct PhaseStats {
+  Histogram hist;
+  double pkts_per_sec = 0;
+};
+
+PhaseStats phase(const std::vector<std::pair<TimePoint, double>>& timeline,
+                 TimePoint t0, double from_us, double to_us) {
+  PhaseStats ps;
+  for (const auto& [ingress, usec] : timeline) {
+    const double t = to_usec(ingress - t0);
+    if (t >= from_us && t < to_us) ps.hist.record(usec);
+  }
+  const double secs = (to_us - from_us) / 1e6;
+  ps.pkts_per_sec = secs > 0 ? static_cast<double>(ps.hist.count()) / secs : 0;
+  return ps;
+}
+
+double run_static(int parallelism, const Trace& trace, double secs) {
+  std::unique_ptr<Runtime> holder;
+  Runtime& rt = *make_nat_chain(parallelism, &holder);
+  std::atomic<bool> stop{false};
+  const TimePoint t0 = SteadyClock::now();
+  std::thread driver([&] { drive(rt, trace, stop); });
+  std::this_thread::sleep_for(std::chrono::duration<double>(2 * secs));
+  stop.store(true);
+  driver.join();
+  const double end_us = to_usec(SteadyClock::now() - t0);
+  rt.wait_quiescent(std::chrono::seconds(10));
+  // Same accounting as the elastic "after" phase: packets ingressed inside
+  // the trailing steady window (wherever their delivery lands), skipping
+  // the warmup half.
+  const PhaseStats ps =
+      phase(rt.sink().timeline(), t0, end_us - secs * 1e6, end_us);
+  rt.shutdown();
+  return ps.pkts_per_sec;
+}
+
+}  // namespace
+}  // namespace chc
+
+int main() {
+  using namespace chc;
+  bench::print_header(
+      "Elastic NF scaling: live 1 -> 4 NAT instances under trace load",
+      "§5.1 elastic scaling with safe state handover (Fig. 4), at slot "
+      "granularity");
+
+  const Trace trace = bench::bench_trace(20'000, /*seed=*/43);
+  std::printf("trace: %zu packets, NAT vertex, 64 steering slots\n",
+              trace.size());
+
+  std::unique_ptr<Runtime> holder;
+  Runtime& rt = *make_nat_chain(1, &holder);
+
+  std::atomic<bool> stop{false};
+  std::thread driver([&] { drive(rt, trace, stop); });
+  const TimePoint t0 = SteadyClock::now();
+
+  // Phase 1: steady state at 1 instance.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  // Phase 2: live 1 -> 4 scale-out while the driver hammers. Staggered
+  // (as an operator's autoscaler would), so the "during" phase covers the
+  // whole scaling period, parked-flow blips included.
+  const double scale_from = to_usec(SteadyClock::now() - t0);
+  size_t slots_moved = 0;
+  double scale_busy_us = 0;
+  for (int i = 0; i < 3; ++i) {
+    const uint16_t rid = rt.scale_nf_up(0);
+    const NfScaleStats st = rt.last_nf_scale();
+    slots_moved += st.slots_moved;
+    scale_busy_us += st.elapsed_usec;
+    std::printf("  scale_nf_up -> rid=%u: %zu slots (epoch %llu, %.0fus)\n", rid,
+                st.slots_moved, static_cast<unsigned long long>(st.epoch),
+                st.elapsed_usec);
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  }
+  const double scale_to = to_usec(SteadyClock::now() - t0);
+
+  // Phase 3: steady state at 4 instances. The first half absorbs the
+  // backlog built up during the migration window (admission is bounded by
+  // the root's in-flight budget); the trailing half is the steady-state
+  // measurement.
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  stop.store(true);
+  driver.join();
+  const double end_us = to_usec(SteadyClock::now() - t0);
+  rt.wait_quiescent(std::chrono::seconds(10));
+
+  const auto timeline = rt.sink().timeline();
+  const PhaseStats before = phase(timeline, t0, 0, scale_from);
+  const PhaseStats during = phase(timeline, t0, scale_from, scale_to);
+  const PhaseStats after = phase(timeline, t0, end_us - 300e3, end_us);
+
+  uint64_t parked_peak = 0;
+  for (size_t i = 0; i < rt.instance_count(0); ++i) {
+    parked_peak = std::max(parked_peak, rt.instance(0, i).stats().buffered_peak);
+  }
+  const size_t instances = rt.instance_count(0);
+  rt.shutdown();
+
+  std::printf("\n%-8s %12s %10s %10s %10s %10s\n", "phase", "pkts/s", "p50 us",
+              "p99 us", "max us", "pkts");
+  auto row = [](const char* name, const PhaseStats& ps) {
+    std::printf("%-8s %12.0f %10.2f %10.2f %10.2f %10zu\n", name, ps.pkts_per_sec,
+                ps.hist.percentile(50), ps.hist.percentile(99),
+                ps.hist.percentile(100), ps.hist.count());
+  };
+  row("before", before);
+  row("during", during);
+  row("after", after);
+  std::printf("scaling window: %.1fms (%.2fms control-plane busy), %zu slots "
+              "re-steered across %zu instances\n",
+              (scale_to - scale_from) / 1e3, scale_busy_us / 1e3, slots_moved,
+              instances);
+
+  // Acceptance shape: migration is a blip (p99 during <= 5x steady p99) and
+  // the elastic 4-instance steady state matches a chain born with 4.
+  const double static4 = run_static(4, trace, 0.3);
+  const double p99_ratio =
+      before.hist.percentile(99) > 0
+          ? during.hist.percentile(99) / before.hist.percentile(99)
+          : 0;
+  const double vs_static = static4 > 0 ? after.pkts_per_sec / static4 : 0;
+  std::printf("static 4-instance pkts/s: %.0f; elastic-after/static4 = %.3f "
+              "(target >= 0.95)\n",
+              static4, vs_static);
+  std::printf("p99 during/steady = %.2fx (target <= 5x)\n", p99_ratio);
+
+  char extra[512];
+  std::snprintf(extra, sizeof(extra),
+                "\"before_pkts_per_sec\": %.1f, \"before_p99_usec\": %.3f, "
+                "\"after_pkts_per_sec\": %.1f, \"after_p99_usec\": %.3f, "
+                "\"p99_during_over_steady\": %.3f, \"slots_moved\": %zu, "
+                "\"scaling_ms\": %.3f, \"parked_peak\": %llu",
+                before.pkts_per_sec, before.hist.percentile(99),
+                after.pkts_per_sec, after.hist.percentile(99), p99_ratio,
+                slots_moved, (scale_to - scale_from) / 1e3,
+                static_cast<unsigned long long>(parked_peak));
+  bench::emit_bench_json("nf_scaling_migration", during.pkts_per_sec,
+                         during.hist.percentile(50), during.hist.percentile(99),
+                         extra);
+  std::snprintf(extra, sizeof(extra),
+                "\"static4_pkts_per_sec\": %.1f, \"elastic_over_static\": %.3f",
+                static4, vs_static);
+  bench::emit_bench_json("nf_scaling_steady", after.pkts_per_sec,
+                         after.hist.percentile(50), after.hist.percentile(99),
+                         extra);
+  return 0;
+}

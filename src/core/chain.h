@@ -21,6 +21,9 @@ struct VertexSpec {
   // Manual partition-scope override; by default the framework picks the
   // coarsest scope of the vertex and refines it if load skews (§4.1).
   std::optional<Scope> partition_scope;
+  // Per-vertex override of the splitter's virtual steering slots (the unit
+  // of NF-tier flow migration); defaults to RuntimeConfig::steer_slots.
+  std::optional<uint32_t> steer_slots;
 };
 
 struct MirrorSpec {
@@ -42,6 +45,10 @@ class ChainSpec {
 
   void set_partition_scope(VertexId v, Scope s) {
     vertices_[v].partition_scope = s;
+  }
+
+  void set_steer_slots(VertexId v, uint32_t slots) {
+    vertices_[v].steer_slots = slots;
   }
 
   // Primary path edge. Each vertex has at most one primary downstream.

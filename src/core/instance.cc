@@ -40,6 +40,8 @@ void NfInstance::crash() {
   client_->reset_cache();
   held_.clear();
   waiting_flows_.clear();
+  release_after_drain_.clear();
+  deferred_flips_.clear();
 }
 
 void NfInstance::begin_replay_buffering() { replay_buffering_ = true; }
@@ -58,14 +60,61 @@ void NfInstance::end_replay_buffering() {
 }
 
 void NfInstance::add_pending_release(std::function<bool(const FiveTuple&)> sel,
-                                     std::shared_ptr<std::atomic<bool>> token) {
+                                     std::shared_ptr<std::atomic<bool>> token,
+                                     SlotSet slots, Scope scope, uint32_t mask,
+                                     uint64_t epoch) {
   std::lock_guard lk(release_mu_);
-  pending_releases_.emplace_back(std::move(sel), std::move(token));
+  pending_releases_.push_back(
+      {epoch, std::move(sel), std::move(token), std::move(slots), scope, mask});
+  releases_registered_++;
 }
 
-void NfInstance::add_inbound_move(std::shared_ptr<std::atomic<bool>> token) {
+void NfInstance::send_release_mark() {
+  Packet mark;
+  mark.flags.last_of_move = true;
+  {
+    std::lock_guard lk(release_mu_);
+    mark.seq = static_cast<uint32_t>(releases_registered_);
+  }
+  input_->send(std::move(mark));
+}
+
+void NfInstance::add_inbound_move(std::shared_ptr<std::atomic<bool>> token,
+                                  SlotSet slots, Scope scope, uint32_t mask,
+                                  uint64_t epoch) {
   std::lock_guard lk(release_mu_);
-  inbound_moves_.push_back(std::move(token));
+  inbound_moves_.push_back(
+      {epoch, std::move(token), std::move(slots), scope, mask});
+}
+
+void NfInstance::begin_retire(std::shared_ptr<std::atomic<bool>> token) {
+  std::lock_guard lk(release_mu_);
+  retire_token_ = std::move(token);
+}
+
+void NfInstance::send_retire_mark() {
+  Packet mark;
+  mark.flags.last_of_move = true;
+  mark.flags.retire_mark = true;
+  {
+    std::lock_guard lk(release_mu_);
+    mark.seq = static_cast<uint32_t>(releases_registered_);
+  }
+  input_->send(std::move(mark));
+}
+
+bool NfInstance::earlier_inbound_overlaps_locked(uint64_t epoch,
+                                                 const SlotSet& slots) const {
+  for (const InboundMove& m : inbound_moves_) {
+    if (m.epoch >= epoch || m.token->load(std::memory_order_acquire)) continue;
+    if (!m.slots || !slots) return true;  // unknown footprint: assume overlap
+    const auto& small = m.slots->size() < slots->size() ? *m.slots : *slots;
+    const auto& big = m.slots->size() < slots->size() ? *slots : *m.slots;
+    for (uint32_t s : small) {
+      if (big.count(s)) return true;
+    }
+  }
+  return false;
 }
 
 void NfInstance::set_artificial_delay(Duration min, Duration max) {
@@ -85,6 +134,12 @@ void NfInstance::resume() {
   paused_ack_.store(false);
 }
 
+void NfInstance::service_dump_request() {
+  if (dump_requested_.exchange(false, std::memory_order_acq_rel)) {
+    dump_handover("requested");
+  }
+}
+
 void NfInstance::run() {
   while (running_.load(std::memory_order_relaxed)) {
     if (paused_.load(std::memory_order_relaxed)) {
@@ -92,6 +147,7 @@ void NfInstance::run() {
       std::this_thread::sleep_for(Micros(50));
       continue;
     }
+    service_dump_request();
     client_->poll();
     auto p = input_->recv(Micros(100));
     if (!p) {
@@ -112,21 +168,104 @@ void NfInstance::handle(Packet p) {
     // Fig. 4 step 5: flush cached state for the moved flows and release
     // ownership so the store can notify the new instance. This runs after
     // every packet queued ahead of the "last" mark, by queue order.
-    std::vector<std::pair<std::function<bool(const FiveTuple&)>,
-                          std::shared_ptr<std::atomic<bool>>>>
-        releases;
+    std::vector<PendingRelease> releases;
+    std::shared_ptr<std::atomic<bool>> retire;
     {
       std::lock_guard lk(release_mu_);
-      releases = std::move(pending_releases_);
-      pending_releases_.clear();
+      // The retirement binds to ITS mark: an earlier move's mark still
+      // queued ahead must run its own scoped release, or the victim would
+      // hand everything back (and the runtime would stop it) with live
+      // packets still behind that mark in the queue.
+      if (p.flags.retire_mark) {
+        retire = std::move(retire_token_);
+        retire_token_ = nullptr;
+      }
+      // Take only the selectors this mark covers (registered before it was
+      // sent); a retirement takes everything — it releases all state anyway.
+      uint64_t upto = retire ? releases_registered_ : p.seq;
+      while (releases_taken_ < upto && !pending_releases_.empty()) {
+        releases.push_back(std::move(pending_releases_.front()));
+        pending_releases_.pop_front();
+        releases_taken_++;
+      }
     }
     client_->set_current_clock(kNoClock);
+    if (retire) {
+      run_retire(std::move(retire));
+      for (PendingRelease& r : releases) {
+        if (r.token) r.token->store(true);  // superseded: retire released all
+      }
+      return;
+    }
+    // A parked flow matching a selector cannot release yet: its held packets
+    // predate the re-steer and must run here first (per-flow order). Exclude
+    // it from the immediate release, defer its release to the moment its
+    // packets have run, and hold the matching token down until then — the
+    // token is the splitter's and the destination's signal that *everything*
+    // in the moved slots has been handed back to the store.
+    //
+    // The same holds while an EARLIER inbound move overlapping the released
+    // slots is still in flight (a chained re-steer, e.g. A->B not yet
+    // settled when B->C moves the same slots on): those flows may still be
+    // queued at their old instance, so flipping now would let the next
+    // owner's first-touch overtake them.
+    auto parked = std::make_shared<FlatSet<uint64_t>>();
+    std::vector<DeferredFlip> deferred(releases.size());
+    for (auto&& [hash, w] : waiting_flows_) {
+      if (w.segs.empty() || w.segs.front().pkts.empty()) continue;
+      const FiveTuple& tuple = w.segs.front().pkts.front().tuple;
+      for (size_t i = 0; i < releases.size(); ++i) {
+        const auto& sel = releases[i].selector;
+        if (!sel || !sel(tuple)) continue;
+        // Release at this leg's boundary: after the newest parked segment
+        // from a move EARLIER than this release has drained. Segments from
+        // later epochs were marked by a subsequent re-steer of the same
+        // slots back to this instance — they belong to later legs, whose
+        // drain may transitively depend on THIS token flipping; binding
+        // them here would deadlock the chain.
+        const FlowSegment* boundary = nullptr;
+        for (const FlowSegment& seg : w.segs) {
+          if (releases[i].epoch == 0 || seg.epoch < releases[i].epoch) {
+            boundary = &seg;
+          }
+        }
+        if (boundary) {
+          parked->insert(hash);
+          DeferredRelease& dr = release_after_drain_[hash];
+          dr.tuple = tuple;
+          dr.seg_ids.push_back(boundary->id);
+          deferred[i].await.emplace_back(hash, boundary->id);
+        }
+        break;
+      }
+    }
     std::vector<std::function<bool(const FiveTuple&)>> selectors;
     selectors.reserve(releases.size());
-    for (auto& [sel, token] : releases) selectors.push_back(sel);
+    for (const PendingRelease& r : releases) {
+      if (parked->empty()) {
+        selectors.push_back(r.selector);
+      } else {
+        selectors.push_back([inner = r.selector, parked](const FiveTuple& t) {
+          return inner(t) && !parked->contains(scope_hash(t, Scope::kFiveTuple));
+        });
+      }
+    }
     client_->release_matching(selectors);
-    for (auto& [sel, token] : releases) {
-      if (token) token->store(true);
+    {
+      std::lock_guard lk(release_mu_);
+      for (size_t i = 0; i < releases.size(); ++i) {
+        PendingRelease& r = releases[i];
+        if (!r.token) continue;
+        if (deferred[i].await.empty() &&
+            !earlier_inbound_overlaps_locked(r.epoch, r.slots)) {
+          r.token->store(true);
+        } else {
+          deferred[i].token = std::move(r.token);
+          deferred[i].epoch = r.epoch;
+          deferred[i].slots = r.slots;
+          deferred_flips_.push_back(std::move(deferred[i]));
+        }
+      }
     }
     return;
   }
@@ -162,13 +301,8 @@ void NfInstance::handle(Packet p) {
   // first_of_move mark waits until the old instance has processed its "last"
   // packet and flushed (the move token), then acquires per-flow ownership.
   const uint64_t flow_hash = scope_hash(p.tuple, Scope::kFiveTuple);
-  if (auto it = waiting_flows_.find(flow_hash); it != waiting_flows_.end()) {
-    it->second.pkts.push_back(std::move(p));
-    maybe_drain_waiting();
-    return;
-  }
-  if (p.flags.first_of_move) {
-    waiting_flows_[flow_hash].pkts.push_back(std::move(p));
+  if (p.flags.first_of_move || waiting_flows_.contains(flow_hash)) {
+    park_packet(flow_hash, std::move(p));
     maybe_drain_waiting();
     return;
   }
@@ -177,34 +311,173 @@ void NfInstance::handle(Packet p) {
   if (!waiting_flows_.empty()) maybe_drain_waiting();
 }
 
+void NfInstance::park_packet(uint64_t flow_hash, Packet&& p) {
+  WaitingFlow& w = waiting_flows_[flow_hash];
+  // A first_of_move mark opens a new leg segment (stamped with its move's
+  // steering epoch); unmarked packets belong to the newest one.
+  if (p.flags.first_of_move || w.segs.empty()) {
+    FlowSegment seg;
+    seg.id = w.next_id++;
+    seg.epoch = p.move_epoch;
+    w.segs.push_back(std::move(seg));
+  }
+  w.segs.back().pkts.push_back(std::move(p));
+}
+
 void NfInstance::maybe_drain_waiting() {
-  if (waiting_flows_.empty()) return;
+  const bool have_deferred =
+      !release_after_drain_.empty() || !deferred_flips_.empty();
+  if (waiting_flows_.empty() && !have_deferred) return;
+
+  // Snapshot the inbound moves still in flight. Gating is per flow (only
+  // the move covering a flow's slot holds it) and per deferred release
+  // (only an earlier overlapping move holds its token) — coarser gating
+  // deadlocks when moves chain through the same instances.
+  std::vector<InboundMove> pending_inbound;
   {
-    // All inbound moves must have completed on the sender side first.
     std::lock_guard lk(release_mu_);
-    std::erase_if(inbound_moves_, [](const auto& t) { return t->load(); });
-    if (!inbound_moves_.empty()) return;
+    std::erase_if(inbound_moves_, [](const InboundMove& m) {
+      return m.token->load(std::memory_order_acquire);
+    });
+    pending_inbound = inbound_moves_;
   }
   client_->poll();
   client_->set_current_clock(kNoClock);
 
-  // Issue acquires for flows that have not asked yet.
-  for (auto&& [hash, w] : waiting_flows_) {
-    if (!w.acquiring && !w.pkts.empty()) {
-      if (!client_->acquire_flow(w.pkts.front().tuple)) {
-        w.acquiring = true;  // grant will arrive on the async link
-      } else {
-        w.acquiring = true;  // granted synchronously
+  // A head segment is gated only by unflipped inbound moves from its own
+  // (or an earlier) leg that cover its flow's slot. Legacy per-key moves
+  // carry no slot footprint and gate everything, as before.
+  auto seg_gated = [&](const FiveTuple& t, uint64_t epoch) {
+    for (const InboundMove& m : pending_inbound) {
+      if (!m.slots) return true;
+      if (m.epoch <= epoch && m.covers(t)) return true;
+    }
+    return false;
+  };
+
+  if (!waiting_flows_.empty()) {
+    // Issue acquires for ungated head segments that have not asked yet,
+    // then drain every segment whose grant has landed.
+    std::vector<uint64_t> drainable;
+    for (auto&& [hash, w] : waiting_flows_) {
+      if (w.segs.empty() || w.segs.front().pkts.empty()) continue;
+      FlowSegment& head = w.segs.front();
+      const FiveTuple& t = head.pkts.front().tuple;
+      if (seg_gated(t, head.epoch)) continue;
+      if (!head.acquiring) {
+        client_->acquire_flow(t);
+        head.acquiring = true;  // granted synchronously or via the async link
+      }
+      if (!client_->flow_grant_pending(t)) drainable.push_back(hash);
+    }
+    for (uint64_t hash : drainable) {
+      auto it = waiting_flows_.find(hash);
+      if (it == waiting_flows_.end() || it->second.segs.empty()) continue;
+      FlowSegment seg = std::move(it->second.segs.front());
+      it->second.segs.pop_front();
+      if (it->second.segs.empty()) waiting_flows_.erase(hash);
+      for (Packet& p : seg.pkts) process_packet(p);
+      // If this leg ended with the flow re-steered away, hand it to the
+      // store now, waking the next owner's acquire.
+      if (DeferredRelease* dr = release_after_drain_.find_ptr(hash)) {
+        bool fire = false;
+        std::erase_if(dr->seg_ids, [&](uint64_t id) {
+          fire = fire || id <= seg.id;
+          return id <= seg.id;
+        });
+        if (fire) {
+          const FiveTuple tuple = dr->tuple;
+          if (dr->seg_ids.empty()) release_after_drain_.erase(hash);
+          client_->set_current_clock(kNoClock);
+          client_->release_flow(tuple);
+        }
       }
     }
   }
-  if (client_->ownership_pending() > 0) return;
 
-  auto waiting = std::move(waiting_flows_);
-  waiting_flows_.clear();
-  for (auto&& [hash, w] : waiting) {
-    for (Packet& p : w.pkts) process_packet(p);
+  // Flip the tokens of deferred releases whose flows have all drained
+  // through their matching leg and whose earlier overlapping inbound moves
+  // have all landed.
+  if (!deferred_flips_.empty()) {
+    std::lock_guard lk(release_mu_);
+    std::erase_if(deferred_flips_, [&](DeferredFlip& d) {
+      for (const auto& [hash, seg_id] : d.await) {
+        if (auto it = waiting_flows_.find(hash); it != waiting_flows_.end()) {
+          if (!it->second.segs.empty() && it->second.segs.front().id <= seg_id) {
+            return false;
+          }
+        }
+      }
+      if (earlier_inbound_overlaps_locked(d.epoch, d.slots)) return false;
+      d.token->store(true);
+      return true;
+    });
   }
+}
+
+bool NfInstance::handover_settled() {
+  std::lock_guard lk(release_mu_);
+  std::erase_if(inbound_moves_, [](const InboundMove& m) {
+    return m.token->load(std::memory_order_acquire);
+  });
+  return inbound_moves_.empty() && waiting_flows_.empty() &&
+         release_after_drain_.empty() && deferred_flips_.empty();
+}
+
+void NfInstance::drain_waiting_blocking(Duration timeout) {
+  const TimePoint deadline = SteadyClock::now() + timeout;
+  while (!handover_settled() && SteadyClock::now() < deadline) {
+    service_dump_request();  // the worker sits here during retirement
+    maybe_drain_waiting();
+    if (!handover_settled()) std::this_thread::sleep_for(Micros(20));
+  }
+  if (!handover_settled()) dump_handover("drain deadline");
+}
+
+void NfInstance::dump_handover(const char* why) {
+  std::lock_guard lk(release_mu_);
+  CHC_WARN("instance %u (%s): %zu parked, %zu inbound, %zu deferred flips, "
+           "%zu deferred releases, %zu grants pending, %zu pending releases",
+           static_cast<unsigned>(runtime_id_), why, waiting_flows_.size(),
+           inbound_moves_.size(), deferred_flips_.size(),
+           release_after_drain_.size(), client_->ownership_pending(),
+           pending_releases_.size());
+  for (const InboundMove& m : inbound_moves_) {
+    CHC_WARN("  inbound epoch=%llu flipped=%d slots=%zu",
+             static_cast<unsigned long long>(m.epoch), m.token->load() ? 1 : 0,
+             m.slots ? m.slots->size() : 0);
+  }
+  for (const DeferredFlip& d : deferred_flips_) {
+    CHC_WARN("  deferred flip epoch=%llu awaiting=%zu",
+             static_cast<unsigned long long>(d.epoch), d.await.size());
+  }
+  for (auto&& [hash, w] : waiting_flows_) {
+    if (w.segs.empty() || w.segs.front().pkts.empty()) continue;
+    const FlowSegment& head = w.segs.front();
+    CHC_WARN("  parked flow hash=%llu segs=%zu head{id=%llu epoch=%llu pkts=%zu "
+             "acquiring=%d} grant_pending=%d",
+             static_cast<unsigned long long>(hash), w.segs.size(),
+             static_cast<unsigned long long>(head.id),
+             static_cast<unsigned long long>(head.epoch), head.pkts.size(),
+             head.acquiring ? 1 : 0,
+             client_->flow_grant_pending(head.pkts.front().tuple) ? 1 : 0);
+  }
+}
+
+void NfInstance::run_retire(std::shared_ptr<std::atomic<bool>> token) {
+  // Retirement (scale_nf_down). Everything routed to this instance is
+  // already in: the steering table flipped before the retire mark was sent,
+  // and this runs behind the last routed packet by queue order. Parked
+  // flows' packets predate the re-steer, so they run here, in order, before
+  // the state they touch is handed back.
+  drain_waiting_blocking(std::chrono::seconds(10));
+  client_->flush_all();
+  client_->release_all_flows();
+  // The releases travel as non-blocking envelopes; make sure they (and any
+  // straggling flushes) are ACKed before the runtime tears the worker down,
+  // or a dropped envelope would have no retransmitter left.
+  client_->drain_pending(std::chrono::milliseconds(200));
+  token->store(true);
 }
 
 void NfInstance::process_packet(Packet& p) {

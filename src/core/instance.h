@@ -16,6 +16,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_set>
 
 #include "common/flat_map.h"
 #include "common/histogram.h"
@@ -73,16 +74,47 @@ class NfInstance {
     replay_done_cb_ = std::move(cb);
   }
 
+  // The slot footprint of a handover leg: which steering slots it covers
+  // (null = unknown/every slot, the per-key override protocol) and how a
+  // tuple maps to a slot. Lets the instance gate each parked flow on
+  // exactly the inbound move that covers it, and a release token on
+  // exactly the earlier inbound moves it overlaps — coarser gating
+  // deadlocks when moves chain (A->B while B->C re-steers the same slots).
+  using SlotSet = std::shared_ptr<const std::unordered_set<uint32_t>>;
+
   // Flow-move: the runtime registers which flows to flush+release before it
   // sends the control packet marked last_of_move through the input queue.
   // `token` (shared with the destination instance) flips once the release
-  // has executed.
+  // has executed — which may be deferred past the mark if covered flows are
+  // still parked here or still in flight from an earlier overlapping move.
   void add_pending_release(std::function<bool(const FiveTuple&)> selector,
-                           std::shared_ptr<std::atomic<bool>> token);
-  // Move destination side: packets marked first_of_move are held until all
-  // inbound move tokens have flipped (the old instance has flushed), then
-  // per-flow ownership is acquired and the held packets run (Fig. 4).
-  void add_inbound_move(std::shared_ptr<std::atomic<bool>> token);
+                           std::shared_ptr<std::atomic<bool>> token,
+                           SlotSet slots = nullptr,
+                           Scope scope = Scope::kFiveTuple, uint32_t mask = 0,
+                           uint64_t epoch = 0);
+  // Send the "last" control mark through the input queue. The mark carries
+  // the cumulative count of selectors registered so far: it releases
+  // exactly those, so two overlapping moves from the same source cannot
+  // make the first mark execute the second move's release early (packets
+  // routed before the second re-steer would still be queued behind it).
+  void send_release_mark();
+  // Move destination side: packets marked first_of_move are held until the
+  // inbound move covering their slot has flipped (the old instance has
+  // flushed), then per-flow ownership is acquired and the held packets run
+  // (Fig. 4).
+  void add_inbound_move(std::shared_ptr<std::atomic<bool>> token,
+                        SlotSet slots = nullptr,
+                        Scope scope = Scope::kFiveTuple, uint32_t mask = 0,
+                        uint64_t epoch = 0);
+  // Retirement (scale_nf_down): at the retire mark (send_retire_mark — and
+  // only at that mark), instead of a selector-scoped release, (1) drains
+  // any flows parked on inbound moves — their packets predate the re-steer
+  // and must run here, in order — (2) flushes and releases EVERY owned
+  // flow back to the store (bulk handoff), (3) drains in-flight ACKs, then
+  // flips `token`. The runtime detaches and stops the instance once the
+  // token flips.
+  void begin_retire(std::shared_ptr<std::atomic<bool>> token);
+  void send_retire_mark();
 
   // Straggler emulation: add [min,max] busy-wait per packet.
   void set_artificial_delay(Duration min, Duration max);
@@ -91,6 +123,7 @@ class NfInstance {
   void pause();
   void resume();
 
+  bool running() const { return running_.load(std::memory_order_relaxed); }
   VertexId vertex() const { return vertex_; }
   InstanceId store_id() const { return store_id_; }
   uint16_t runtime_id() const { return runtime_id_; }
@@ -101,6 +134,14 @@ class NfInstance {
   InstanceStats stats() const;
   Histogram proc_time() const;
   size_t queue_depth() const { return input_->pending(); }
+  // Diagnostic: log this instance's handover state (parked flows, inbound
+  // moves, deferred releases/flips) at WARN level. dump_handover touches
+  // worker-owned containers, so only the worker thread (or a caller that
+  // owns quiescence — the worker is stopped) may call it directly; live
+  // cross-thread callers use request_dump(), which the worker services at
+  // its next loop iteration.
+  void dump_handover(const char* why);
+  void request_dump() { dump_requested_.store(true, std::memory_order_release); }
 
  private:
   void run();
@@ -120,6 +161,8 @@ class NfInstance {
   std::atomic<bool> running_{false};
   std::atomic<bool> paused_{false};
   std::atomic<bool> paused_ack_{false};
+  std::atomic<bool> dump_requested_{false};
+  void service_dump_request();  // worker thread only
 
   // Duplicate suppression: recently seen clocks, bounded FIFO eviction.
   FlatSet<LogicalClock> seen_;
@@ -130,19 +173,94 @@ class NfInstance {
   std::vector<Packet> held_;  // live packets held during replay
   std::function<void()> replay_done_cb_;
 
-  // Flows waiting on an inbound move (5-tuple hash -> packets + state).
-  struct WaitingFlow {
+  // Packets of one handover leg of one flow, parked in arrival order. A
+  // flow that is re-steered to this instance more than once (chained moves:
+  // A->B, B->C, C->B ...) holds one segment per leg — each first_of_move
+  // mark opens a new one. Segments drain strictly in order; `epoch` is the
+  // steering epoch of the move leg that marked the segment's first packet,
+  // so a segment is gated only on ITS leg's (and earlier) inbound moves —
+  // gating a leg on a LATER move deadlocks: that move's completion can
+  // depend on this instance handing the earlier leg off first.
+  struct FlowSegment {
+    uint64_t id = 0;     // per-flow, monotone
+    uint64_t epoch = 0;  // steering epoch of the leg that opened it
     std::vector<Packet> pkts;
-    bool acquiring = false;  // acquire issued, grant pending
+    bool acquiring = false;  // acquire issued for this segment
+  };
+  // Flows waiting on an inbound move (5-tuple hash -> leg segments).
+  struct WaitingFlow {
+    std::deque<FlowSegment> segs;
+    uint64_t next_id = 1;
   };
   FlatMap<uint64_t, WaitingFlow> waiting_flows_;
-  std::vector<std::shared_ptr<std::atomic<bool>>> inbound_moves_;
+  void park_packet(uint64_t flow_hash, Packet&& p);
+
+  // One inbound handover leg. `epoch` is the steering epoch of its steer
+  // (the control plane serializes scale operations, so epoch order equals
+  // move order; legacy per-key moves use a synthetic next-epoch stamp).
+  struct InboundMove {
+    uint64_t epoch = 0;
+    std::shared_ptr<std::atomic<bool>> token;
+    SlotSet slots;  // null = covers every flow (per-key override protocol)
+    Scope scope = Scope::kFiveTuple;
+    uint32_t mask = 0;
+
+    bool covers(const FiveTuple& t) const {
+      return !slots || slots->contains(
+                           static_cast<uint32_t>(scope_hash(t, scope)) & mask);
+    }
+  };
+  std::vector<InboundMove> inbound_moves_;
+
+  struct PendingRelease {
+    uint64_t epoch = 0;
+    std::function<bool(const FiveTuple&)> selector;
+    std::shared_ptr<std::atomic<bool>> token;
+    SlotSet slots;
+    Scope scope = Scope::kFiveTuple;
+    uint32_t mask = 0;
+  };
+  // A release whose token could not flip at the mark: covered flows were
+  // still parked here (their packets must run first, then release), or an
+  // earlier overlapping inbound move was still in flight (its flows may
+  // not even have reached us yet). Flipping early would let the next owner
+  // acquire — and the splitter stop issuing first_of_move marks — while
+  // part of the state is still on its way through this instance.
+  struct DeferredFlip {
+    std::shared_ptr<std::atomic<bool>> token;
+    // (flow hash, segment id): the token flips once each flow has drained
+    // through the named segment (its leg of this release's move).
+    std::vector<std::pair<uint64_t, uint64_t>> await;
+    uint64_t epoch = 0;  // the release's steering epoch
+    SlotSet slots;
+  };
+  std::vector<DeferredFlip> deferred_flips_;
+  // Parked flows matched by a release selector: released at the matching
+  // leg boundary — the moment that segment's packets have run — handing
+  // ownership to the next waiter in line.
+  struct DeferredRelease {
+    FiveTuple tuple;
+    std::vector<uint64_t> seg_ids;  // leg boundaries still owed a release
+  };
+  FlatMap<uint64_t, DeferredRelease> release_after_drain_;
+
   void maybe_drain_waiting();
+  // True once every inbound move landed, every parked packet ran, and all
+  // deferred releases/token flips fired — this side of the protocol is done.
+  bool handover_settled();
+  // Bounded wait until handover_settled() (retirement and the mid-handover
+  // re-steer need the parked packets processed here first).
+  void drain_waiting_blocking(Duration timeout);
+  void run_retire(std::shared_ptr<std::atomic<bool>> token);
+  // An unflipped inbound move from an earlier epoch whose slots overlap
+  // `slots` (null = overlaps everything). Callers hold release_mu_.
+  bool earlier_inbound_overlaps_locked(uint64_t epoch, const SlotSet& slots) const;
 
   std::mutex release_mu_;
-  std::vector<std::pair<std::function<bool(const FiveTuple&)>,
-                        std::shared_ptr<std::atomic<bool>>>>
-      pending_releases_;
+  std::deque<PendingRelease> pending_releases_;
+  uint64_t releases_registered_ = 0;  // lifetime add_pending_release count
+  uint64_t releases_taken_ = 0;       // release entries already executed by marks
+  std::shared_ptr<std::atomic<bool>> retire_token_;  // guarded by release_mu_
 
   // Written by the control plane (straggler injection) while the worker
   // reads them per packet: atomic reps, not bare Durations.

@@ -32,8 +32,10 @@ Runtime::Runtime(ChainSpec spec, RuntimeConfig cfg)
   splitters_.reserve(spec_.vertices().size());
   instances_.resize(spec_.vertices().size());
   for (size_t v = 0; v < spec_.vertices().size(); ++v) {
-    splitters_.push_back(
-        std::make_unique<Splitter>(partition_scope_for(static_cast<VertexId>(v))));
+    const uint32_t slots =
+        spec_.vertices()[v].steer_slots.value_or(cfg_.steer_slots);
+    splitters_.push_back(std::make_unique<Splitter>(
+        partition_scope_for(static_cast<VertexId>(v)), slots));
     vertex_sinks_[static_cast<VertexId>(v)];  // pre-create: threads only read
   }
 
@@ -250,7 +252,145 @@ NfInstance* Runtime::by_runtime_id(uint16_t rid) {
   return it == by_rid_.end() ? nullptr : it->second;
 }
 
-// --- elastic scaling ---------------------------------------------------------
+// --- elastic NF scaling (slot-steered) ----------------------------------------
+
+uint16_t Runtime::scale_nf_up(VertexId v) {
+  std::lock_guard lk(nf_scale_mu_);
+  const TimePoint t0 = SteadyClock::now();
+  Splitter& sp = *splitters_[v];
+  const uint16_t rid = spawn_instance(v, next_store_id_++, /*register_target=*/false);
+  NfInstance* neo = by_runtime_id(rid);
+  // Attached outside the partition: the steer() below both assigns its
+  // slots and promotes it to a full partition member.
+  sp.add_target(rid, neo->input(), /*in_partition=*/false);
+
+  std::vector<SteerGroup> groups = sp.plan_scale_up(rid);
+  if (groups.empty()) {
+    // Nothing can move (every holder is down to its last slot): a clone
+    // that will never receive traffic must not come up as a success.
+    sp.remove_target(rid);
+    NfInstance* stillborn = by_runtime_id(rid);
+    stillborn->stop();
+    last_nf_scale_ = {rid, sp.steer_epoch(), 0, to_usec(SteadyClock::now() - t0),
+                      false};
+    CHC_WARN("scale_nf_up: vertex=%u refused — no slots available to re-steer "
+             "(raise RuntimeConfig::steer_slots)",
+             static_cast<unsigned>(v));
+    return 0;
+  }
+  const Scope scope = sp.partition_scope();
+  const uint32_t mask = sp.steering()->slot_mask;
+  // The epoch this steer will publish — correct because every epoch
+  // publisher (scale ops here, straggler resolution) serializes on
+  // nf_scale_mu_: it stamps both sides' gating state and the
+  // first_of_move marks, tying every parked segment to exactly this leg.
+  const uint64_t epoch = sp.steer_epoch() + 1;
+  size_t slots_moved = 0;
+  for (SteerGroup& g : groups) {
+    g.token = std::make_shared<std::atomic<bool>>(false);
+    slots_moved += g.slots.size();
+    auto slots = std::make_shared<const std::unordered_set<uint32_t>>(
+        g.slots.begin(), g.slots.end());
+    // Fig. 4 per group: the source flushes + releases every flow whose
+    // partition hash lands in a moved slot; the clone parks re-steered
+    // flows until the group's token flips. Both sides learn the slot
+    // footprint so gating stays per-leg when moves chain.
+    by_runtime_id(g.from)->add_pending_release(
+        [scope, mask, slots](const FiveTuple& t) {
+          return slots->contains(static_cast<uint32_t>(scope_hash(t, scope)) &
+                                 mask);
+        },
+        g.token, slots, scope, mask, epoch);
+    neo->add_inbound_move(g.token, slots, scope, mask, epoch);
+  }
+  sp.steer(groups);  // table flips here: new traffic steers to the clone
+  for (const SteerGroup& g : groups) {
+    // The "last" mark trails every packet already queued at the source, so
+    // the release runs in queue order (Fig. 4 step 5).
+    by_runtime_id(g.from)->send_release_mark();
+  }
+  last_nf_scale_ = {rid, sp.steer_epoch(), slots_moved,
+                    to_usec(SteadyClock::now() - t0), true};
+  CHC_INFO("scale_nf_up: vertex=%u rid=%u slots=%zu legs=%zu epoch=%llu",
+           static_cast<unsigned>(v), rid, slots_moved, groups.size(),
+           static_cast<unsigned long long>(last_nf_scale_.epoch));
+  return rid;
+}
+
+bool Runtime::scale_nf_down(VertexId v, uint16_t rid) {
+  std::lock_guard lk(nf_scale_mu_);
+  const TimePoint t0 = SteadyClock::now();
+  Splitter& sp = *splitters_[v];
+  NfInstance* victim = by_runtime_id(rid);
+  if (!victim || victim->vertex() != v || !victim->running()) return false;
+
+  std::vector<SteerGroup> groups = sp.plan_scale_down(rid);
+  if (groups.empty() && sp.partition_targets() <= 1) {
+    return false;  // never retire the vertex's last partition instance
+  }
+  // One token for the whole retirement: it flips once the victim has
+  // processed everything queued ahead of the mark, drained any flows parked
+  // on its own inbound moves, and handed every owned flow back to the store.
+  auto token = std::make_shared<std::atomic<bool>>(false);
+  const Scope scope = sp.partition_scope();
+  const uint32_t mask = sp.steering()->slot_mask;
+  const uint64_t epoch = sp.steer_epoch() + 1;
+  size_t slots_moved = 0;
+  for (SteerGroup& g : groups) {
+    g.token = token;
+    slots_moved += g.slots.size();
+    auto slots = std::make_shared<const std::unordered_set<uint32_t>>(
+        g.slots.begin(), g.slots.end());
+    by_runtime_id(g.to)->add_inbound_move(token, slots, scope, mask, epoch);
+  }
+  victim->begin_retire(token);
+  sp.steer(groups);  // table flips: nothing new routes to the victim
+  victim->send_retire_mark();
+
+  const TimePoint deadline = t0 + std::chrono::seconds(10);
+  SpinBackoff backoff;
+  bool dumped = false;
+  while (!token->load(std::memory_order_acquire) && SteadyClock::now() < deadline) {
+    if (!dumped && SteadyClock::now() > t0 + std::chrono::seconds(2)) {
+      // A retirement should complete in milliseconds; a stall this long is
+      // a handover chain wedge — have every instance's own worker snapshot
+      // its protocol state (the containers are worker-owned).
+      dumped = true;
+      CHC_WARN("scale_nf_down: slow retirement of rid=%u; vertex state:", rid);
+      for (auto& inst : instances_[v]) {
+        if (inst->running()) inst->request_dump();
+      }
+    }
+    backoff.pause();
+  }
+  const bool ok = token->load(std::memory_order_acquire);
+  if (!ok) {
+    CHC_WARN("scale_nf_down: timeout retiring rid=%u; vertex handover state:", rid);
+    for (auto& inst : instances_[v]) {
+      if (inst->running()) inst->request_dump();
+    }
+  }
+  sp.remove_target(rid);
+  victim->stop();
+  // Detach from the live link. By protocol the queue is empty past the
+  // retire mark; anything salvaged re-routes through the live table.
+  for (Packet& p : victim->input()->detach_drain()) {
+    if (p.flags.last_of_move && p.event == AppEvent::kNone && p.size_bytes == 0) {
+      continue;  // a superseded move's control mark dies with the instance
+    }
+    sp.route(std::move(p));
+  }
+  last_nf_scale_ = {rid, sp.steer_epoch(), slots_moved,
+                    to_usec(SteadyClock::now() - t0), ok};
+  CHC_INFO("scale_nf_down: vertex=%u rid=%u ok=%d slots=%zu legs=%zu epoch=%llu "
+           "elapsed=%.0fus",
+           static_cast<unsigned>(v), rid, ok ? 1 : 0, slots_moved, groups.size(),
+           static_cast<unsigned long long>(last_nf_scale_.epoch),
+           last_nf_scale_.elapsed_usec);
+  return ok;
+}
+
+// --- elastic scaling (per-key override protocol) -------------------------------
 
 uint16_t Runtime::add_instance(VertexId v) {
   // Scaled-up instances start outside the hash partition; they take over
@@ -286,9 +426,7 @@ double Runtime::move_flows(VertexId v, const std::vector<uint64_t>& scope_keys,
 
   splitters_[v]->move_flows(scope_keys, to_rid);
 
-  Packet last_mark;
-  last_mark.flags.last_of_move = true;
-  from->input()->send(std::move(last_mark));
+  from->send_release_mark();
   return to_usec(SteadyClock::now() - t0);
 }
 
@@ -317,6 +455,11 @@ bool Runtime::scale_store_down(int shard) {
 // --- straggler mitigation ------------------------------------------------------
 
 uint16_t Runtime::clone_for_straggler(VertexId v, uint16_t straggler_rid) {
+  // Topology changes (including the eventual replace/remove in
+  // resolve_straggler) serialize with NF scale operations: scale_nf_up/down
+  // predict the next steering epoch outside the splitter lock, which is
+  // only sound when no other publisher can interleave.
+  std::lock_guard lk(nf_scale_mu_);
   NfInstance* straggler = by_runtime_id(straggler_rid);
   if (!straggler) return 0;
   // The clone shares the straggler's *store* identity: it processes the
@@ -355,10 +498,13 @@ void Runtime::send_replay_end_marker(NfInstance& target) {
 
 void Runtime::resolve_straggler(VertexId v, uint16_t straggler_rid,
                                 uint16_t clone_rid, bool keep_clone) {
+  std::lock_guard lk(nf_scale_mu_);  // serializes epoch publishers, see above
   splitters_[v]->clear_replica(straggler_rid);
   if (keep_clone) {
-    splitters_[v]->promote_shadow(clone_rid);
-    splitters_[v]->remove_target(straggler_rid);
+    // The clone shares the straggler's store identity, so it inherits the
+    // straggler's slots verbatim — per-flow ownership carries over without
+    // a handover.
+    splitters_[v]->replace_target(straggler_rid, clone_rid);
   } else {
     splitters_[v]->remove_target(clone_rid);
   }

@@ -48,6 +48,20 @@ struct RuntimeConfig {
   // per-op path stays available as the correctness oracle.
   bool batching = true;
   int client_max_batch = 32;
+  // Virtual steering slots per splitter (rounded up to a power of two):
+  // the unit of NF-tier flow migration during scale_nf_up/down, mirroring
+  // DataStoreConfig::route_slots at the state tier. Per-vertex override:
+  // ChainSpec::set_steer_slots.
+  uint32_t steer_slots = 64;
+};
+
+// Telemetry for one scale_nf_up()/scale_nf_down() call.
+struct NfScaleStats {
+  uint16_t rid = 0;      // instance added or retired
+  uint64_t epoch = 0;    // steering epoch after the flip
+  size_t slots_moved = 0;
+  double elapsed_usec = 0;
+  bool ok = false;
 };
 
 struct DeleteMsg {
@@ -88,7 +102,26 @@ class Runtime {
   NfInstance& instance(VertexId v, size_t idx) { return *instances_[v][idx]; }
   NfInstance* by_runtime_id(uint16_t rid);
 
-  // --- elastic scaling (§5.1) -----------------------------------------------
+  // --- elastic NF scaling (§5.1, slot-steered) -------------------------------
+  // Clone a live instance into vertex `v`: spawns it, re-steers ~1/(n+1) of
+  // the splitter's slot space onto it (one epoch bump), and runs the full
+  // ownership handover for every re-steered flow — in-flight packets for a
+  // moving slot park at the new instance and drain in order once the old
+  // instance has flushed + released. Returns the new runtime id (0 on
+  // failure). Completion is asynchronous (the handover tokens flip as the
+  // sources process their marks); traffic keeps flowing throughout.
+  uint16_t scale_nf_up(VertexId v);
+  // Retire instance `rid` of vertex `v`: re-steers its slots to the
+  // survivors, waits for it to drain its queue and hand every owned flow
+  // back to the store, then detaches and stops it. Returns false if `rid`
+  // is unknown, not running, or the vertex's last partition instance.
+  bool scale_nf_down(VertexId v, uint16_t rid);
+  NfScaleStats last_nf_scale() const {
+    std::lock_guard lk(nf_scale_mu_);
+    return last_nf_scale_;
+  }
+
+  // --- elastic scaling (§5.1, per-key override protocol) ---------------------
   // Add an instance to a vertex (no traffic until flows are moved).
   uint16_t add_instance(VertexId v);
   // Move flows with the given partition-scope hashes from one instance to
@@ -175,6 +208,8 @@ class Runtime {
   std::atomic<bool> running_{false};
 
   std::vector<std::shared_ptr<ShardSnapshot>> last_checkpoint_;
+  mutable std::mutex nf_scale_mu_;  // one NF-tier scale operation at a time
+  NfScaleStats last_nf_scale_;      // guarded by nf_scale_mu_
   uint16_t next_rid_ = 1;
   InstanceId next_store_id_ = 1;
   bool started_ = false;

@@ -1,11 +1,136 @@
 #include "core/splitter.h"
 
+#include <algorithm>
+
 namespace chc {
+namespace {
+
+uint32_t round_up_pow2(uint32_t v) {
+  uint32_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+Splitter::Splitter(Scope partition_scope, uint32_t steer_slots)
+    : scope_(partition_scope) {
+  auto t = std::make_shared<SteeringTable>();
+  const uint32_t slots = round_up_pow2(std::max<uint32_t>(steer_slots, 1));
+  t->epoch = 1;
+  t->slot_mask = slots - 1;
+  t->slot_to_rid.assign(slots, 0);  // unassigned until the first target
+  steer_ = std::move(t);
+}
+
+size_t Splitter::index_of_locked(uint16_t rid) const {
+  for (size_t i = 0; i < targets_.size(); ++i) {
+    if (targets_[i].runtime_id == rid) return i;
+  }
+  return SIZE_MAX;
+}
+
+size_t Splitter::fallback_index_locked() const {
+  for (size_t i = 0; i < targets_.size(); ++i) {
+    if (targets_[i].in_partition) return i;
+  }
+  return 0;
+}
+
+std::vector<uint32_t> Splitter::holder_counts_locked() const {
+  uint16_t max_id = 0;
+  for (const auto& t : targets_) max_id = std::max(max_id, t.runtime_id);
+  for (uint16_t r : steer_->active_rids) max_id = std::max(max_id, r);
+  std::vector<uint32_t> counts(static_cast<size_t>(max_id) + 1, 0);
+  for (uint16_t r : steer_->slot_to_rid) {
+    if (r < counts.size()) counts[r]++;
+  }
+  return counts;
+}
+
+// Shared dealing primitives: add_target/plan_scale_up take slots from the
+// most-loaded holder; remove_target/plan_scale_down deal orphaned slots to
+// the least-loaded survivor. One implementation each, so deployment-time
+// and live rebalancing can never drift.
+int Splitter::most_loaded_locked(const std::vector<uint16_t>& holders,
+                                 const std::vector<uint32_t>& counts,
+                                 uint16_t exclude) {
+  int victim = -1;
+  for (uint16_t r : holders) {
+    if (r == exclude) continue;
+    if (victim < 0 || counts[r] > counts[static_cast<size_t>(victim)]) victim = r;
+  }
+  return victim;
+}
+
+uint16_t Splitter::least_loaded_locked(const std::vector<uint16_t>& candidates,
+                                       const std::vector<uint32_t>& counts) {
+  uint16_t dst = candidates.front();
+  for (uint16_t r : candidates) {
+    if (counts[r] < counts[dst]) dst = r;
+  }
+  return dst;
+}
+
+// Highest slot index currently assigned to `rid` in `table`, or UINT32_MAX.
+uint32_t Splitter::highest_slot_of(const std::vector<uint16_t>& table,
+                                   uint16_t rid) {
+  for (uint32_t i = static_cast<uint32_t>(table.size()); i > 0; --i) {
+    if (table[i - 1] == rid) return i - 1;
+  }
+  return UINT32_MAX;
+}
+
+void Splitter::publish_locked(std::vector<uint16_t> slot_to_rid) {
+  auto next = std::make_shared<SteeringTable>();
+  next->epoch = steer_->epoch + 1;
+  next->slot_mask = steer_->slot_mask;
+  next->slot_to_rid = std::move(slot_to_rid);
+  for (uint16_t r : next->slot_to_rid) {
+    if (r == 0) continue;
+    if (std::find(next->active_rids.begin(), next->active_rids.end(), r) ==
+        next->active_rids.end()) {
+      next->active_rids.push_back(r);
+    }
+  }
+  std::sort(next->active_rids.begin(), next->active_rids.end());
+  steer_ = std::move(next);
+}
+
+size_t Splitter::partition_targets() const {
+  std::lock_guard lk(mu_);
+  size_t n = 0;
+  for (const auto& t : targets_) n += t.in_partition ? 1 : 0;
+  return n;
+}
 
 void Splitter::add_target(uint16_t runtime_id, PacketLinkPtr link,
                           bool in_partition) {
   std::lock_guard lk(mu_);
   targets_.push_back({runtime_id, std::move(link), 0, in_partition});
+  if (!in_partition) return;
+  // Deployment-time dealing: the newcomer takes ~1/(n+1) of the slot space
+  // from the most-loaded holders. No handover marks — this path runs before
+  // traffic (runtime start) or for an empty table; live additions go
+  // through plan_scale_up + steer() instead.
+  std::vector<uint16_t> next = steer_->slot_to_rid;
+  std::vector<uint32_t> counts = holder_counts_locked();
+  if (steer_->active_rids.empty()) {
+    std::fill(next.begin(), next.end(), runtime_id);
+    publish_locked(std::move(next));
+    return;
+  }
+  const uint32_t want =
+      static_cast<uint32_t>(next.size() / (steer_->active_rids.size() + 1));
+  for (uint32_t taken = 0; taken < want; ++taken) {
+    const int victim = most_loaded_locked(steer_->active_rids, counts, runtime_id);
+    if (victim < 0 || counts[static_cast<size_t>(victim)] <= 1) break;
+    const uint32_t slot = highest_slot_of(next, static_cast<uint16_t>(victim));
+    if (slot == UINT32_MAX) break;
+    next[slot] = runtime_id;
+    counts[static_cast<size_t>(victim)]--;
+  }
+  publish_locked(std::move(next));
 }
 
 void Splitter::remove_target(uint16_t runtime_id) {
@@ -14,6 +139,34 @@ void Splitter::remove_target(uint16_t runtime_id) {
     return t.runtime_id == runtime_id;
   });
   shadows_.erase(runtime_id);
+  // Moves destined for the removed target can never complete.
+  std::erase_if(moving_, [&](const auto& kv) { return kv.second.to == runtime_id; });
+  // Orphaned slots are dealt to the least-loaded surviving partition
+  // targets (no marks: callers that need a handover steer first, so the
+  // removed target holds nothing by the time it is dropped).
+  bool holds = false;
+  for (uint16_t r : steer_->slot_to_rid) holds = holds || r == runtime_id;
+  if (!holds) return;
+  std::vector<uint16_t> survivors;
+  for (const auto& t : targets_) {
+    if (t.in_partition) survivors.push_back(t.runtime_id);
+  }
+  std::vector<uint16_t> next = steer_->slot_to_rid;
+  if (survivors.empty()) {
+    for (uint16_t& r : next) {
+      if (r == runtime_id) r = 0;
+    }
+    publish_locked(std::move(next));
+    return;
+  }
+  std::vector<uint32_t> counts = holder_counts_locked();
+  for (uint16_t& r : next) {
+    if (r != runtime_id) continue;
+    const uint16_t dst = least_loaded_locked(survivors, counts);
+    r = dst;
+    counts[dst]++;
+  }
+  publish_locked(std::move(next));
 }
 
 void Splitter::add_shadow_target(uint16_t runtime_id, PacketLinkPtr link) {
@@ -29,20 +182,28 @@ void Splitter::promote_shadow(uint16_t runtime_id) {
   shadows_.erase(it);
 }
 
-size_t Splitter::pick_index(const Packet& p) const {
-  // Hash only across in-partition targets so adding an instance never
-  // silently remaps existing flows (moves are explicit, Fig. 4).
-  size_t n_part = 0;
-  for (const auto& t : targets_) n_part += t.in_partition ? 1 : 0;
-  if (n_part == 0) return 0;
-  const uint64_t h = scope_hash(p.tuple, scope_);
-  size_t pick = static_cast<size_t>(h % n_part);
-  for (size_t i = 0; i < targets_.size(); ++i) {
-    if (!targets_[i].in_partition) continue;
-    if (pick == 0) return i;
-    pick--;
+void Splitter::replace_target(uint16_t old_rid, uint16_t new_rid) {
+  std::lock_guard lk(mu_);
+  PacketLinkPtr link;
+  if (auto s = shadows_.find(new_rid); s != shadows_.end()) {
+    link = s->second;
+    shadows_.erase(s);
+  } else if (size_t i = index_of_locked(new_rid); i != SIZE_MAX) {
+    link = targets_[i].link;
+    std::erase_if(targets_,
+                  [&](const SplitterTarget& t) { return t.runtime_id == new_rid; });
   }
-  return 0;
+  std::erase_if(targets_,
+                [&](const SplitterTarget& t) { return t.runtime_id == old_rid; });
+  if (link) targets_.push_back({new_rid, std::move(link), 0, true});
+  std::vector<uint16_t> next = steer_->slot_to_rid;
+  for (uint16_t& r : next) {
+    if (r == old_rid) r = new_rid;
+  }
+  publish_locked(std::move(next));
+  for (auto& [slot, mv] : moving_) {
+    if (mv.to == old_rid) mv.to = new_rid;
+  }
 }
 
 PacketLinkPtr Splitter::route(Packet&& p) {
@@ -67,20 +228,35 @@ PacketLinkPtr Splitter::route(Packet&& p) {
     }
   }
 
-  size_t idx = pick_index(p);
   const uint64_t key = scope_hash(p.tuple, scope_);
+  size_t idx = SIZE_MAX;
   if (auto it = overrides_.find(key); it != overrides_.end()) {
-    for (size_t i = 0; i < targets_.size(); ++i) {
-      if (targets_[i].runtime_id == it->second.to) {
-        idx = i;
-        break;
-      }
-    }
+    // Per-key override (legacy move_flows path) wins over the table.
+    idx = index_of_locked(it->second.to);
     const uint64_t flow = scope_hash(p.tuple, Scope::kFiveTuple);
     if (it->second.flows_marked.insert(flow).second) {
       p.flags.first_of_move = true;  // Fig. 4 step 2, per flow in the group
+      p.move_epoch = static_cast<uint32_t>(it->second.epoch);
     }
+  } else {
+    const uint32_t slot = steer_->slot_of(key);
+    if (auto mv = moving_.find(slot); mv != moving_.end()) {
+      if (mv->second.token &&
+          mv->second.token->load(std::memory_order_acquire)) {
+        // Handover done: the source has released, so new flows in this slot
+        // first-touch ownership at the destination — no more marks.
+        moving_.erase(mv);
+      } else {
+        const uint64_t flow = scope_hash(p.tuple, Scope::kFiveTuple);
+        if (mv->second.flows_marked.insert(flow).second) {
+          p.flags.first_of_move = true;
+          p.move_epoch = static_cast<uint32_t>(mv->second.epoch);
+        }
+      }
+    }
+    idx = index_of_locked(steer_->slot_to_rid[slot]);
   }
+  if (idx == SIZE_MAX) idx = fallback_index_locked();
 
   SplitterTarget& t = targets_[idx];
   t.routed++;
@@ -98,9 +274,94 @@ PacketLinkPtr Splitter::route(Packet&& p) {
   return link;
 }
 
+std::vector<SteerGroup> Splitter::plan_scale_up(uint16_t new_rid) const {
+  std::lock_guard lk(mu_);
+  std::vector<SteerGroup> groups;
+  std::vector<uint32_t> counts = holder_counts_locked();
+  if (static_cast<size_t>(new_rid) >= counts.size()) {
+    counts.resize(static_cast<size_t>(new_rid) + 1, 0);
+  }
+  const size_t holders = steer_->active_rids.size();
+  if (holders == 0) return groups;
+  const uint32_t want =
+      static_cast<uint32_t>(steer_->num_slots() / (holders + 1));
+  std::vector<uint16_t> scratch = steer_->slot_to_rid;
+  for (uint32_t taken = 0; taken < want; ++taken) {
+    const int victim = most_loaded_locked(steer_->active_rids, counts, new_rid);
+    if (victim < 0 || counts[static_cast<size_t>(victim)] <= 1) break;
+    const uint32_t slot = highest_slot_of(scratch, static_cast<uint16_t>(victim));
+    if (slot == UINT32_MAX) break;
+    scratch[slot] = new_rid;
+    counts[static_cast<size_t>(victim)]--;
+    counts[new_rid]++;
+    SteerGroup* g = nullptr;
+    for (SteerGroup& sg : groups) {
+      if (sg.from == victim) g = &sg;
+    }
+    if (!g) {
+      groups.push_back({static_cast<uint16_t>(victim), new_rid, {}, nullptr});
+      g = &groups.back();
+    }
+    g->slots.push_back(slot);
+  }
+  return groups;
+}
+
+std::vector<SteerGroup> Splitter::plan_scale_down(uint16_t rid) const {
+  std::lock_guard lk(mu_);
+  std::vector<SteerGroup> groups;
+  std::vector<uint16_t> survivors;
+  for (const auto& t : targets_) {
+    if (t.in_partition && t.runtime_id != rid) survivors.push_back(t.runtime_id);
+  }
+  if (survivors.empty()) return groups;
+  std::vector<uint32_t> counts = holder_counts_locked();
+  for (uint32_t slot = 0; slot < steer_->num_slots(); ++slot) {
+    if (steer_->slot_to_rid[slot] != rid) continue;
+    const uint16_t dst = least_loaded_locked(survivors, counts);
+    counts[dst]++;
+    SteerGroup* g = nullptr;
+    for (SteerGroup& sg : groups) {
+      if (sg.to == dst) g = &sg;
+    }
+    if (!g) {
+      groups.push_back({rid, dst, {}, nullptr});
+      g = &groups.back();
+    }
+    g->slots.push_back(slot);
+  }
+  return groups;
+}
+
+void Splitter::steer(const std::vector<SteerGroup>& groups) {
+  std::lock_guard lk(mu_);
+  const uint64_t next_epoch = steer_->epoch + 1;
+  std::vector<uint16_t> next = steer_->slot_to_rid;
+  for (const SteerGroup& g : groups) {
+    for (uint32_t slot : g.slots) {
+      next[slot] = g.to;
+      // A re-steer of a slot already mid-move supersedes it: every flow gets
+      // a fresh first_of_move toward the new destination, and the old
+      // source's release (when it lands) unblocks the chain of waiters.
+      SlotMove& mv = moving_[slot];
+      mv.to = g.to;
+      mv.epoch = next_epoch;
+      mv.token = g.token;
+      mv.flows_marked.clear();
+    }
+    // The destination is a full partition member from here on (scale-up
+    // instances are attached outside the partition until their slots land).
+    if (size_t i = index_of_locked(g.to); i != SIZE_MAX) {
+      targets_[i].in_partition = true;
+    }
+  }
+  // One epoch bump per scale operation, however many legs it has.
+  publish_locked(std::move(next));
+}
+
 void Splitter::move_flows(const std::vector<uint64_t>& scope_keys, uint16_t to) {
   std::lock_guard lk(mu_);
-  for (uint64_t k : scope_keys) overrides_[k] = MoveState{to, {}};
+  for (uint64_t k : scope_keys) overrides_[k] = MoveState{to, steer_->epoch, {}};
 }
 
 void Splitter::set_replica(uint16_t of, uint16_t clone) {

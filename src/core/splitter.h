@@ -4,8 +4,19 @@
 // partition scope (scope-aware partitioning), executes the flow-move
 // protocol marks (Fig. 4 steps 1-2), replicates input during straggler
 // cloning, and redirects replayed packets to their clone/failover target.
+//
+// Routing goes through an epoch-stamped *steering table* (the NF-tier twin
+// of store/router.h): the partition-scope hash picks one of a power-of-two
+// number of virtual slots, and an immutable table maps slot -> instance
+// runtime id. Elastic NF scaling re-steers slots between live instances and
+// publishes a new table under a bumped epoch; flows never move *within* a
+// slot, so a slot is the unit of migration. While a slot's handover is in
+// flight (the old instance has not yet flushed + released), the first packet
+// of every flow in it carries the first_of_move mark so the destination
+// parks it until ownership arrives (Fig. 4 steps 2-4).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -24,25 +35,61 @@ struct SplitterTarget {
   PacketLinkPtr link;
   uint64_t routed = 0;  // load statistic for the vertex manager
   // Targets added after deployment start outside the hash partition: they
-  // only receive explicitly moved flows. Changing the modulo under live
-  // traffic would silently reassign *every* flow with no handover.
+  // receive traffic only through explicit steering (slot moves) or per-key
+  // overrides. Remapping the table under live traffic would silently
+  // reassign flows with no handover.
   bool in_partition = true;
+};
+
+// Immutable slot -> instance map. Published tables are snapshots: readers
+// that copy the shared_ptr can keep routing against a superseded epoch
+// (they will observe the bump on their next look).
+struct SteeringTable {
+  uint64_t epoch = 1;
+  uint32_t slot_mask = 0;  // num_slots - 1; num_slots is a power of two
+  std::vector<uint16_t> slot_to_rid;  // 0 = unassigned
+  std::vector<uint16_t> active_rids;  // sorted; rids holding >= 1 slot
+
+  uint32_t num_slots() const { return slot_mask + 1; }
+  uint32_t slot_of(uint64_t hash) const {
+    return static_cast<uint32_t>(hash) & slot_mask;
+  }
+  uint16_t rid_of_hash(uint64_t hash) const { return slot_to_rid[slot_of(hash)]; }
+};
+
+// One leg of an NF-tier re-steer: `slots` move from instance `from` to
+// instance `to` (mirrors store/router.h's MoveGroup). The runtime fills
+// `token` before steer(): it flips once `from` has flushed and released the
+// moved flows, which is when the splitter stops issuing first_of_move marks
+// for these slots.
+struct SteerGroup {
+  uint16_t from = 0;
+  uint16_t to = 0;
+  std::vector<uint32_t> slots;
+  std::shared_ptr<std::atomic<bool>> token;
 };
 
 class Splitter {
  public:
-  explicit Splitter(Scope partition_scope) : scope_(partition_scope) {}
+  explicit Splitter(Scope partition_scope, uint32_t steer_slots = 64);
 
   void add_target(uint16_t runtime_id, PacketLinkPtr link, bool in_partition = true);
   void remove_target(uint16_t runtime_id);
   // Shadow targets receive replicated copies and redirected replays but do
   // not take part in the partition pick (straggler clones, §5.3).
   void add_shadow_target(uint16_t runtime_id, PacketLinkPtr link);
-  // Promote a shadow to a full partition target (clone wins the race).
+  // Promote a shadow to a full partition target (clone wins the race). The
+  // promoted target starts with zero slots; it inherits traffic through
+  // remove_target's re-deal, replace_target, or explicit steering.
   void promote_shadow(uint16_t runtime_id);
+  // Atomically hand every slot (and any in-flight move destination) of
+  // `old_rid` to `new_rid` and drop `old_rid`. Used when a straggler's
+  // clone — which shares the straggler's *store* identity, so per-flow
+  // ownership carries over without a handover — takes over its partition.
+  void replace_target(uint16_t old_rid, uint16_t new_rid);
 
-  // Routes by scope hash (with per-flow overrides). Returns the link used,
-  // or nullptr if there are no targets.
+  // Routes by the steering table (with per-key overrides). Returns the link
+  // used, or nullptr if there are no targets.
   PacketLinkPtr route(Packet&& p);
 
   Scope partition_scope() const {
@@ -56,7 +103,37 @@ class Splitter {
     scope_ = s;
   }
 
-  // --- flow move (elastic scaling, §5.1) ------------------------------------
+  // --- steering table (elastic NF scaling, §5.1) -----------------------------
+  std::shared_ptr<const SteeringTable> steering() const {
+    std::lock_guard lk(mu_);
+    return steer_;
+  }
+  uint64_t steer_epoch() const {
+    std::lock_guard lk(mu_);
+    return steer_->epoch;
+  }
+  // Rids currently holding at least one slot.
+  std::vector<uint16_t> slot_holders() const {
+    std::lock_guard lk(mu_);
+    return steer_->active_rids;
+  }
+  size_t partition_targets() const;
+
+  // Plan ~1/(n+1) of the slot space for `new_rid`, taken from the
+  // most-loaded holders; one group per source instance. Pure: nothing is
+  // published until steer().
+  std::vector<SteerGroup> plan_scale_up(uint16_t new_rid) const;
+  // Plan draining every slot off `rid` onto the surviving partition
+  // targets (least-loaded first); one group per destination. Empty if no
+  // survivor exists (callers must refuse to retire the last instance).
+  std::vector<SteerGroup> plan_scale_down(uint16_t rid) const;
+
+  // Publish the re-steer: one epoch bump covering every group, and per-slot
+  // move state so the first packet of each flow in a moved slot carries
+  // first_of_move until the group's token flips (the source released).
+  void steer(const std::vector<SteerGroup>& groups);
+
+  // --- flow move (per-key overrides, §5.1) -----------------------------------
   // Redirect flows whose partition-scope hash is in `scope_keys` to the
   // instance `to`. The first matching packet forwarded to `to` is marked
   // first_of_move (Fig. 4 step 2); the caller is responsible for sending
@@ -76,16 +153,41 @@ class Splitter {
   }
 
  private:
-  size_t pick_index(const Packet& p) const;  // callers hold mu_
+  size_t index_of_locked(uint16_t rid) const;     // SIZE_MAX if absent
+  size_t fallback_index_locked() const;           // first in-partition target
+  std::vector<uint32_t> holder_counts_locked() const;  // slots held, by rid
+  static int most_loaded_locked(const std::vector<uint16_t>& holders,
+                                const std::vector<uint32_t>& counts,
+                                uint16_t exclude);
+  static uint16_t least_loaded_locked(const std::vector<uint16_t>& candidates,
+                                      const std::vector<uint32_t>& counts);
+  static uint32_t highest_slot_of(const std::vector<uint16_t>& table,
+                                  uint16_t rid);
+  void publish_locked(std::vector<uint16_t> slot_to_rid);
 
   mutable std::mutex mu_;
   Scope scope_;
   std::vector<SplitterTarget> targets_;
+  std::shared_ptr<const SteeringTable> steer_;
+
+  // Slots with a handover in flight: the first packet of each flow gets the
+  // first_of_move mark (stamped with the move's epoch) until the token
+  // flips, after which the entry is lazily retired (new flows first-touch
+  // ownership at the destination).
+  struct SlotMove {
+    uint16_t to = 0;
+    uint64_t epoch = 0;  // the steer that created this leg
+    std::shared_ptr<std::atomic<bool>> token;
+    std::unordered_set<uint64_t> flows_marked;
+  };
+  std::unordered_map<uint32_t, SlotMove> moving_;
+
   // scope_key -> target runtime id. A move covers a partition-scope group
   // of flows; the handover itself is per flow, so the *first packet of each
   // 5-tuple* in the group carries the first_of_move mark (Fig. 4 step 2).
   struct MoveState {
     uint16_t to = 0;
+    uint64_t epoch = 0;  // steering epoch when the override was installed
     std::unordered_set<uint64_t> flows_marked;
   };
   std::unordered_map<uint64_t, MoveState> overrides_;

@@ -35,6 +35,11 @@ const char* app_event_name(AppEvent e);
 struct PacketFlags {
   bool last_of_move : 1 = false;   // last packet to the old instance
   bool first_of_move : 1 = false;  // first packet to the new instance
+  // Set on the final control mark of a retirement (scale_nf_down). The
+  // victim executes the full hand-everything-back sequence only at THIS
+  // mark — an ordinary last_of_move mark from an earlier move still queued
+  // ahead must run its own scoped release, not the retirement.
+  bool retire_mark : 1 = false;
   bool replayed : 1 = false;       // replayed from the root log
   bool last_replayed : 1 = false;  // most recent logged packet at replay start
   bool suspicious_copy : 1 = false;  // copy mirrored to an off-path NF
@@ -51,6 +56,11 @@ struct Packet {
   LogicalClock clock = kNoClock;
   UpdateVector update_vec = 0;  // XOR ledger (paper Fig. 6)
   InstanceId replay_target = 0;  // clone id carried by replayed packets (§5.3)
+  // Steering epoch of the move leg that set first_of_move (0 otherwise).
+  // The destination uses it to bind the parked segment to exactly that
+  // leg's handover — a flow can cross the same instance several times
+  // under chained re-steers, and each leg gates independently.
+  uint32_t move_epoch = 0;
   PacketFlags flags;
 
   // --- measurement --------------------------------------------------------

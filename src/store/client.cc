@@ -1,5 +1,7 @@
 #include "store/client.h"
 
+#include <thread>
+
 #include "common/logging.h"
 #include "store/op_apply.h"
 
@@ -202,6 +204,16 @@ void StoreClient::handle_async(const Response& r) {
   switch (r.msg) {
     case Response::Kind::kAck: {
       if (r.status == Status::kEmulated) stats_.emulated++;
+      if (r.status == Status::kNotOwner) {
+        // A non-blocking update bounced off ownership enforcement: its
+        // effect is gone (the mover protocol should make this unreachable;
+        // loudly visible if it regresses).
+        CHC_WARN("ack kNotOwner: inst=%u op dropped by ownership enforcement "
+                 "(key obj=%u scope=%llu)",
+                 static_cast<unsigned>(cfg_.instance),
+                 static_cast<unsigned>(r.key.object),
+                 static_cast<unsigned long long>(r.key.scope_key));
+      }
       if (r.status == Status::kWrongShard) {
         // The whole request (single op or envelope) landed on a shard that
         // no longer owns its slot: re-route it, keeping it armed until the
@@ -448,7 +460,6 @@ Value StoreClient::apply_to_entry(ObjectState& os, const StoreKey& key,
     note_update(key.object);  // the ledger still expects this packet's tag
     return e.value;
   }
-
   Status st;
   Value result =
       apply_basic_op(e.value, op, arg, arg2, custom_id, custom_registry(), st);
@@ -890,7 +901,20 @@ void StoreClient::flush_all() {
 
 void StoreClient::release_flow(const FiveTuple& t) {
   for (auto&& [id, os] : objects_) {
-    if (os.spec.cross_flow) continue;
+    if (os.spec.cross_flow) {
+      // The flow's scope group is leaving this instance: cross-flow state
+      // cached under the exclusive-accessor rule must be flushed + evicted
+      // so the group's next accessor reads the latest value (mirrors the
+      // shared_victims sweep in release_matching — deferred leg-boundary
+      // releases reach per-flow state only through here).
+      if (os.strategy != Strategy::kCacheIfExclusive || !os.exclusive) continue;
+      const StoreKey key = key_for(os, t);
+      if (cache_.contains(key)) {
+        flush_entry(os, key, cache_[key], /*release_ownership=*/false);
+        cache_.erase(key);
+      }
+      continue;
+    }
     const StoreKey key = key_for(os, t);
     if (CacheEntry* e = cache_.find_ptr(key)) {
       flush_entry(os, key, *e, /*release_ownership=*/true);
@@ -911,6 +935,31 @@ void StoreClient::release_flow(const FiveTuple& t) {
 
 void StoreClient::release_matching(
     const std::vector<std::function<bool(const FiveTuple&)>>& selectors) {
+  // Cross-flow state cached under the exclusive-accessor rule moves with
+  // its scope group (the partition fields are a subset of the object's key
+  // fields, so the whole group re-steers together): flush + evict matching
+  // entries so the group's next accessor reads the latest value instead of
+  // whatever the store last saw.
+  std::vector<StoreKey> shared_victims;
+  for (auto&& [key, e] : cache_) {
+    if (!key.shared) continue;
+    ObjectState* os = objects_.find_ptr(key.object);
+    if (!os || os->strategy != Strategy::kCacheIfExclusive || !os->exclusive) {
+      continue;
+    }
+    for (const auto& sel : selectors) {
+      if (sel && sel(e.tuple)) {
+        shared_victims.push_back(key);
+        break;
+      }
+    }
+  }
+  for (const StoreKey& key : shared_victims) {
+    ObjectState& os = objects_.at(key.object);
+    flush_entry(os, key, cache_[key], /*release_ownership=*/false);
+    cache_.erase(key);
+  }
+
   std::vector<FiveTuple> to_release;
   for (const auto& [hash, tuple] : touched_flows_) {
     for (const auto& sel : selectors) {
@@ -993,6 +1042,24 @@ void StoreClient::release_matching(
   }
 }
 
+void StoreClient::release_all_flows() {
+  release_matching({[](const FiveTuple&) { return true; }});
+}
+
+bool StoreClient::drain_pending(Duration timeout) {
+  if (cfg_.local_only) return true;
+  const TimePoint deadline = SteadyClock::now() + timeout;
+  for (;;) {
+    poll();
+    if (unacked() == 0 && ownership_pending_ == 0) return true;
+    if (SteadyClock::now() >= deadline) {
+      CHC_WARN("drain_pending: %zu ops still in flight at deadline", unacked());
+      return false;
+    }
+    std::this_thread::sleep_for(Micros(20));
+  }
+}
+
 bool StoreClient::acquire_flow(const FiveTuple& t) {
   if (cfg_.local_only) return true;
   bool all_granted = true;
@@ -1022,6 +1089,15 @@ bool StoreClient::acquire_flow(const FiveTuple& t) {
     }
   }
   return all_granted;
+}
+
+bool StoreClient::flow_grant_pending(const FiveTuple& t) const {
+  if (ownership_retry_.empty()) return false;
+  for (const auto& [id, os] : objects_) {
+    if (os.spec.cross_flow) continue;
+    if (ownership_retry_.contains(key_for(os, t))) return true;
+  }
+  return false;
 }
 
 void StoreClient::set_exclusive(ObjectId obj, bool exclusive) {

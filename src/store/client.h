@@ -185,14 +185,31 @@ class StoreClient {
   // Handover (paper Fig. 4): flush + release this flow's per-flow state.
   void release_flow(const FiveTuple& t);
   // Release every touched flow matching any of the selectors (move "last"
-  // mark processing, Fig. 4 step 5).
+  // mark processing, Fig. 4 step 5). Also flushes + evicts cross-flow state
+  // cached under the exclusive-accessor rule whose scope group matches a
+  // selector — the moved group's next accessor lives elsewhere and must see
+  // the latest value.
   void release_matching(
       const std::vector<std::function<bool(const FiveTuple&)>>& selectors);
+  // Instance retirement (NF-tier scale-down): hand EVERY touched flow back
+  // to the store in one bulk sweep (one kBatch envelope per shard).
+  void release_all_flows();
+  // Polls until every in-flight non-blocking op is ACKed, every batch
+  // buffer is empty, and no ownership grant is outstanding — or `timeout`
+  // passes. Returns true when fully drained. A retiring instance calls this
+  // before its worker stops: after that there is no retransmitter left.
+  bool drain_pending(Duration timeout);
+  // In-flight ops: unACKed sends plus ops still sitting in batch buffers.
+  size_t unacked() const { return pending_acks_.size() + batch_pending_; }
   // Try to claim a flow's per-flow state. Returns true if ownership was
   // granted for all objects; otherwise the store will notify via the async
   // link and `ownership_pending()` stays nonzero.
   bool acquire_flow(const FiveTuple& t);
   size_t ownership_pending() const { return ownership_pending_; }
+  // True while an acquire for this specific flow still awaits its grant
+  // (per-flow drain gating at a move destination: flows whose grants have
+  // landed run without waiting for unrelated handovers).
+  bool flow_grant_pending(const FiveTuple& t) const;
 
   // Cross-flow write/read-often exclusivity toggle, driven by the splitter
   // when partitioning changes (Fig. 9 experiment).

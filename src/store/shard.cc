@@ -440,6 +440,17 @@ Response StoreShard::apply_control(const Request& req) {
         for (const Request& sub : *req.batch) {
           if (slot_state_of(sub.key) == kOwned) {
             Response sub_r = apply(sub);
+            if (sub_r.status == Status::kNotOwner) {
+              // The envelope ACK would otherwise vouch for an update that
+              // ownership enforcement refused — the mover protocol should
+              // make this unreachable; loudly visible if it regresses.
+              CHC_WARN("batch sub kNotOwner: op=%u inst=%u scope=%llu "
+                       "clock=%llu",
+                       static_cast<unsigned>(sub.op),
+                       static_cast<unsigned>(sub.instance),
+                       static_cast<unsigned long long>(sub.key.scope_key),
+                       static_cast<unsigned long long>(sub.clock));
+            }
             // Defense in depth: a sub that is itself an envelope must
             // not swallow its own NACK list — surface it on this ACK.
             // (The client never nests envelopes; see do_nonblocking.)

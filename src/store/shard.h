@@ -149,6 +149,7 @@ class StoreShard {
 
   uint64_t ops_applied() const { return ops_applied_.load(); }
 
+
   // --- burst accounting (amortization telemetry for the benches) -----------
   // Number of worker wakeups that found at least one request.
   uint64_t wakeups() const { return wakeups_.load(std::memory_order_relaxed); }

@@ -218,6 +218,22 @@ class SimLink {
     return q_.remove_if([&](const Timed& t) { return pred(t.msg); });
   }
 
+  // Detach a consumer from a live link: close it to senders and hand back
+  // everything still queued (delivery delay disregarded) so the caller can
+  // re-route. Used when an NF instance retires — by protocol its queue is
+  // empty past the retire mark, but anything pathological is salvaged
+  // instead of silently dying with the link. Same contract as remove_if:
+  // ring mode requires the consumer thread to have stopped.
+  std::vector<T> detach_drain() {
+    close();
+    std::vector<T> out;
+    remove_if([&](const T& msg) {
+      out.push_back(msg);
+      return true;
+    });
+    return out;
+  }
+
   // Lock-free depth estimate (hot polling loops: drain checks, benches).
   size_t pending() const {
     return ring_ ? ring_->approx_size() : q_.approx_size();

@@ -1,0 +1,415 @@
+// Elastic NF-instance scaling (core/splitter.h steering table +
+// Runtime::scale_nf_up/scale_nf_down): live clone/retire of NF instances
+// with slot-steered flow re-steering over the store's ownership/mover
+// protocol. Covers the basic scale-out/scale-in handover, the steering
+// edge cases (re-steer of a flow whose ownership grant is still in flight,
+// retiring an instance that is currently parking waiters, double scale-up
+// of one chain position), and — the load-bearing check — a randomized
+// scale-under-load differential test: a chain repeatedly scaled up and
+// down mid-trace must end with byte-identical store state and delivery
+// counts vs a static-instance oracle run of the same trace.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "core/runtime.h"
+#include "nf/simple_nfs.h"
+#include "trace/trace.h"
+
+namespace chc {
+namespace {
+
+RuntimeConfig fast_config() {
+  RuntimeConfig cfg;
+  cfg.model = Model::kExternalCachedNoAck;
+  cfg.store.num_shards = 2;
+  cfg.root.clock_persist_every = 0;
+  cfg.root_one_way = Duration::zero();
+  return cfg;
+}
+
+Packet pkt(uint32_t src, uint16_t sport, AppEvent ev = AppEvent::kHttpData,
+           uint16_t size = 100) {
+  Packet p;
+  p.tuple = {src, 0x36000011, sport, 443, IpProto::kTcp};
+  p.event = ev;
+  p.size_bytes = size;
+  return p;
+}
+
+int64_t port_count(Runtime& rt) {
+  auto probe = rt.probe_client(0);
+  return probe->get(CountingIds::kPortCount, FiveTuple{0, 0, 0, 443, IpProto::kTcp})
+      .as_int();
+}
+
+// --- basic scale-out / scale-in ----------------------------------------------
+
+TEST(NfScaling, ScaleUpMovesSlotsAndPreservesCounts) {
+  ChainSpec spec;
+  spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); }, 1);
+  spec.set_partition_scope(0, Scope::kFiveTuple);
+  spec.set_steer_slots(0, 32);
+  Runtime rt(std::move(spec), fast_config());
+  rt.start();
+
+  const uint64_t epoch0 = rt.splitter(0).steer_epoch();
+  for (int i = 0; i < 100; ++i) {
+    rt.inject(pkt(static_cast<uint32_t>(i % 10), static_cast<uint16_t>(1000 + i % 4)));
+  }
+  const uint16_t neo = rt.scale_nf_up(0);
+  ASSERT_NE(neo, 0);
+  EXPECT_EQ(rt.splitter(0).steer_epoch(), epoch0 + 1)
+      << "one scale op, one epoch bump";
+  const NfScaleStats st = rt.last_nf_scale();
+  EXPECT_TRUE(st.ok);
+  EXPECT_GT(st.slots_moved, 0u);
+  for (int i = 0; i < 100; ++i) {
+    rt.inject(pkt(static_cast<uint32_t>(i % 10), static_cast<uint16_t>(1000 + i % 4)));
+  }
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(30)));
+
+  EXPECT_EQ(port_count(rt), 200);
+  EXPECT_EQ(rt.sink().count(), 200u);
+  EXPECT_EQ(rt.sink().duplicate_clocks(), 0u);
+  // The clone holds slots and actually took traffic.
+  auto holders = rt.splitter(0).slot_holders();
+  EXPECT_EQ(holders.size(), 2u);
+  uint64_t neo_routed = 0;
+  for (auto& [rid, n] : rt.splitter(0).load()) {
+    if (rid == neo) neo_routed = n;
+  }
+  EXPECT_GT(neo_routed, 0u) << "re-steered slots must carry traffic";
+  rt.shutdown();
+}
+
+TEST(NfScaling, ScaleDownHandsEverythingBack) {
+  ChainSpec spec;
+  spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); }, 2);
+  spec.set_partition_scope(0, Scope::kFiveTuple);
+  spec.set_steer_slots(0, 32);
+  Runtime rt(std::move(spec), fast_config());
+  rt.start();
+
+  for (int i = 0; i < 100; ++i) {
+    rt.inject(pkt(static_cast<uint32_t>(i % 12), static_cast<uint16_t>(2000 + i % 3)));
+  }
+  auto holders = rt.splitter(0).slot_holders();
+  ASSERT_EQ(holders.size(), 2u);
+  ASSERT_TRUE(rt.scale_nf_down(0, holders[1]));
+  EXPECT_FALSE(rt.by_runtime_id(holders[1])->running());
+  // The survivor owns the whole slot space; the retiree may not be retired
+  // twice nor may the last instance go.
+  EXPECT_EQ(rt.splitter(0).slot_holders().size(), 1u);
+  EXPECT_FALSE(rt.scale_nf_down(0, holders[1]));
+  EXPECT_FALSE(rt.scale_nf_down(0, holders[0]))
+      << "the last partition instance must not retire";
+
+  for (int i = 0; i < 100; ++i) {
+    rt.inject(pkt(static_cast<uint32_t>(i % 12), static_cast<uint16_t>(2000 + i % 3)));
+  }
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(30)));
+  EXPECT_EQ(port_count(rt), 200);
+  EXPECT_EQ(rt.sink().count(), 200u);
+  EXPECT_EQ(rt.sink().duplicate_clocks(), 0u);
+  rt.shutdown();
+}
+
+// --- steering edge cases ------------------------------------------------------
+
+TEST(NfScaling, DoubleScaleUpSameVertex) {
+  // Two clones in quick succession: the second takes slots from BOTH the
+  // original and the first clone while the first handover may still be in
+  // flight (multi-leg steer, chained tokens).
+  ChainSpec spec;
+  spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); }, 1);
+  spec.set_partition_scope(0, Scope::kFiveTuple);
+  spec.set_steer_slots(0, 16);
+  Runtime rt(std::move(spec), fast_config());
+  rt.start();
+
+  rt.instance(0, 0).set_artificial_delay(Micros(100), Micros(100));
+  for (int i = 0; i < 60; ++i) {
+    rt.inject(pkt(static_cast<uint32_t>(i % 30), static_cast<uint16_t>(3000 + i % 2)));
+  }
+  const uint64_t epoch0 = rt.splitter(0).steer_epoch();
+  const uint16_t b = rt.scale_nf_up(0);
+  const uint16_t c = rt.scale_nf_up(0);
+  ASSERT_NE(b, 0);
+  ASSERT_NE(c, 0);
+  EXPECT_EQ(rt.splitter(0).steer_epoch(), epoch0 + 2);
+  rt.instance(0, 0).set_artificial_delay(Duration::zero(), Duration::zero());
+  for (int i = 0; i < 60; ++i) {
+    rt.inject(pkt(static_cast<uint32_t>(i % 30), static_cast<uint16_t>(3000 + i % 2)));
+  }
+  const bool quiesced = rt.wait_quiescent(std::chrono::seconds(30));
+  if (!quiesced) {
+    std::fprintf(stderr, "WEDGE: root logged=%zu\n", rt.root().logged());
+    for (size_t i = 0; i < rt.instance_count(0); ++i) {
+      NfInstance& inst = rt.instance(0, i);
+      std::fprintf(stderr,
+                   "  rid=%u running=%d qdepth=%zu own_pending=%zu unacked=%zu "
+                   "processed=%llu\n",
+                   inst.runtime_id(), inst.running() ? 1 : 0, inst.queue_depth(),
+                   inst.client().ownership_pending(), inst.client().unacked(),
+                   static_cast<unsigned long long>(inst.stats().processed));
+    }
+    for (auto& [rid, n] : rt.splitter(0).load()) {
+      std::fprintf(stderr, "  load rid=%u routed=%llu\n", rid,
+                   static_cast<unsigned long long>(n));
+    }
+  }
+  ASSERT_TRUE(quiesced);
+  EXPECT_EQ(port_count(rt), 120);
+  EXPECT_EQ(rt.sink().count(), 120u);
+  EXPECT_EQ(rt.sink().duplicate_clocks(), 0u);
+  EXPECT_EQ(rt.splitter(0).slot_holders().size(), 3u);
+  rt.shutdown();
+}
+
+TEST(NfScaling, ScaleDownOfInstanceHoldingParkedWaiters) {
+  // A is slow, so the A -> B handover stays in flight while B parks
+  // re-steered flows. Retiring B at that moment forces B to drain its
+  // parked waiters (whose grants depend on A's release) before handing
+  // everything back — packets must neither be lost nor reordered per flow.
+  ChainSpec spec;
+  spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); }, 1);
+  spec.set_partition_scope(0, Scope::kFiveTuple);
+  spec.set_steer_slots(0, 16);
+  Runtime rt(std::move(spec), fast_config());
+  rt.start();
+
+  rt.instance(0, 0).set_artificial_delay(Micros(200), Micros(200));
+  for (int i = 0; i < 40; ++i) {
+    rt.inject(pkt(static_cast<uint32_t>(i % 20), static_cast<uint16_t>(4000 + i % 2)));
+  }
+  const uint16_t b = rt.scale_nf_up(0);
+  ASSERT_NE(b, 0);
+  // New packets for the moved slots park at B (A has not released yet).
+  for (int i = 0; i < 40; ++i) {
+    rt.inject(pkt(static_cast<uint32_t>(i % 20), static_cast<uint16_t>(4000 + i % 2)));
+  }
+  ASSERT_TRUE(rt.scale_nf_down(0, b)) << "retiring the waiter-holding clone";
+  EXPECT_FALSE(rt.by_runtime_id(b)->running());
+  rt.instance(0, 0).set_artificial_delay(Duration::zero(), Duration::zero());
+  for (int i = 0; i < 40; ++i) {
+    rt.inject(pkt(static_cast<uint32_t>(i % 20), static_cast<uint16_t>(4000 + i % 2)));
+  }
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(30)));
+  EXPECT_EQ(port_count(rt), 120);
+  EXPECT_EQ(rt.sink().count(), 120u);
+  EXPECT_EQ(rt.sink().duplicate_clocks(), 0u);
+  rt.shutdown();
+}
+
+TEST(NfScaling, ReSteerWhileOwnershipGrantInFlight) {
+  // A -> B handover pending (A slow, B's flows parked awaiting grants),
+  // then B's slots re-steer to C. B must hold the B -> C token down until
+  // its parked packets have run, then release so C's acquire unblocks —
+  // the deferred-release path. Per-flow order spans A, B, and C.
+  ChainSpec spec;
+  spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); }, 1);
+  spec.set_partition_scope(0, Scope::kFiveTuple);
+  spec.set_steer_slots(0, 16);
+  Runtime rt(std::move(spec), fast_config());
+  rt.start();
+
+  rt.instance(0, 0).set_artificial_delay(Micros(200), Micros(200));
+  for (int i = 0; i < 40; ++i) {
+    rt.inject(pkt(static_cast<uint32_t>(i % 20), static_cast<uint16_t>(5000 + i % 2)));
+  }
+  const uint16_t b = rt.scale_nf_up(0);
+  // Traffic for the moved slots parks at B, grants gated on slow A.
+  for (int i = 0; i < 40; ++i) {
+    rt.inject(pkt(static_cast<uint32_t>(i % 20), static_cast<uint16_t>(5000 + i % 2)));
+  }
+  const uint16_t c = rt.scale_nf_up(0);  // takes slots from A and from B
+  ASSERT_NE(b, 0);
+  ASSERT_NE(c, 0);
+  for (int i = 0; i < 40; ++i) {
+    rt.inject(pkt(static_cast<uint32_t>(i % 20), static_cast<uint16_t>(5000 + i % 2)));
+  }
+  rt.instance(0, 0).set_artificial_delay(Duration::zero(), Duration::zero());
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(30)));
+  EXPECT_EQ(port_count(rt), 120);
+  EXPECT_EQ(rt.sink().count(), 120u);
+  EXPECT_EQ(rt.sink().duplicate_clocks(), 0u);
+
+  // Per-flow state survived the chained handover: each of the 20 distinct
+  // flows saw 2 packets per 40-packet round x 3 rounds x 100 bytes.
+  auto probe = rt.probe_client(0);
+  for (uint32_t src = 0; src < 20; ++src) {
+    const uint16_t sp = static_cast<uint16_t>(5000 + src % 2);
+    const FiveTuple flow = pkt(src, sp).tuple;
+    EXPECT_EQ(probe->get(CountingIds::kFlowBytes, flow).as_int(), 600)
+        << "flow " << src << ":" << sp;
+  }
+  rt.shutdown();
+}
+
+TEST(NfScaling, ExclusiveCrossFlowStateMovesWithItsGroup) {
+  // DPI keeps a per-host (cross-flow, src-ip scope) connection counter that
+  // the client caches under the exclusive-accessor rule. Re-steering a
+  // host's slot must flush + evict that cached counter at the source so the
+  // destination continues from the latest value — otherwise counts are
+  // silently lost with no ownership bounce to flag it.
+  ChainSpec spec;
+  spec.add_vertex("dpi", [] { return std::make_unique<DpiEngine>(); }, 1);
+  spec.set_steer_slots(0, 16);
+  Runtime rt(std::move(spec), fast_config());
+  rt.start();
+  ASSERT_EQ(rt.splitter(0).partition_scope(), Scope::kSrcIp);
+
+  for (int round = 0; round < 3; ++round) {
+    for (uint32_t h = 1; h <= 10; ++h) {
+      for (uint16_t c = 0; c < 2; ++c) {
+        rt.inject(pkt(h, static_cast<uint16_t>(6000 + round * 2 + c),
+                      AppEvent::kTcpSyn));
+      }
+    }
+    if (round == 0) ASSERT_NE(rt.scale_nf_up(0), 0);
+    if (round == 1) {
+      auto holders = rt.splitter(0).slot_holders();
+      ASSERT_EQ(holders.size(), 2u);
+      ASSERT_TRUE(rt.scale_nf_down(0, holders[0]));
+    }
+  }
+  ASSERT_TRUE(rt.wait_quiescent(std::chrono::seconds(30)));
+  EXPECT_EQ(rt.sink().duplicate_clocks(), 0u);
+
+  auto probe = rt.probe_client(0);
+  for (uint32_t h = 1; h <= 10; ++h) {
+    EXPECT_EQ(probe->get(DpiEngine::kHostConns, pkt(h, 1).tuple).as_int(), 6)
+        << "host " << h << ": per-host counter must span all three owners";
+  }
+  rt.shutdown();
+}
+
+// --- randomized scale-under-load vs static oracle -----------------------------
+
+struct ChainResult {
+  std::unordered_map<StoreKey, Value, StoreKeyHash> values;
+  size_t delivered = 0;
+  size_t duplicates = 0;
+  uint64_t final_epoch = 0;
+  size_t scale_ops = 0;
+  size_t final_holders = 0;
+};
+
+// Drive a CountingIds chain over a generated trace; `scale_seed` != 0
+// clones and retires NF instances throughout the run. CountingIds is the
+// right oracle NF: its shared state is a commutative counter and its
+// per-flow state depends only on the flow's own packets, so a correct
+// handover leaves the store byte-identical no matter how the instance set
+// evolved. (NFs whose decisions depend on cross-flow arrival interleaving,
+// e.g. NAT port pop order, are exercised by the COE aggregate tests.)
+ChainResult run_chain(uint64_t scale_seed) {
+  RuntimeConfig cfg;
+  cfg.model = Model::kExternalCachedNoAck;
+  cfg.store.num_shards = 2;
+  cfg.root.clock_persist_every = 0;
+  cfg.root_one_way = Duration::zero();
+  cfg.steer_slots = 32;
+
+  ChainSpec spec;
+  VertexId fw = spec.add_vertex("fw", [] { return std::make_unique<Firewall>(); });
+  VertexId ids =
+      spec.add_vertex("ids", [] { return std::make_unique<CountingIds>(); });
+  spec.add_edge(fw, ids);
+  spec.set_partition_scope(ids, Scope::kFiveTuple);
+  Runtime rt(std::move(spec), cfg);
+  rt.start();
+
+  TraceConfig tc;
+  tc.seed = 23;
+  tc.num_packets = 600;
+  tc.num_connections = 40;
+  tc.median_packet_size = 400;
+  const Trace trace = generate_trace(tc);
+
+  const uint64_t epoch0 = rt.splitter(ids).steer_epoch();
+  SplitMix64 rng(scale_seed);
+  size_t scale_ops = 0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    rt.inject(trace[i]);
+    if (scale_seed != 0 && i % 75 == 37) {
+      const auto holders = rt.splitter(ids).slot_holders();
+      if (holders.size() < 2 || rng.chance(0.6)) {
+        EXPECT_NE(rt.scale_nf_up(ids), 0);
+      } else {
+        const uint16_t victim =
+            holders[static_cast<size_t>(rng.bounded(holders.size()))];
+        EXPECT_TRUE(rt.scale_nf_down(ids, victim));
+      }
+      scale_ops++;
+    }
+  }
+  const bool quiesced = rt.wait_quiescent(std::chrono::seconds(60));
+  if (!quiesced) {
+    std::fprintf(stderr, "WEDGE root logged=%zu\n", rt.root().logged());
+    for (size_t i = 0; i < rt.instance_count(ids); ++i) {
+      NfInstance& inst = rt.instance(ids, i);
+      if (inst.running()) {
+        inst.request_dump();  // serviced by the worker (container owner)
+      } else {
+        inst.dump_handover("wedge (stopped)");
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_TRUE(quiesced);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+
+  ChainResult out;
+  out.delivered = rt.sink().count();
+  out.duplicates = rt.sink().duplicate_clocks();
+  out.final_epoch = rt.splitter(ids).steer_epoch() - epoch0;
+  out.scale_ops = scale_ops;
+  out.final_holders = rt.splitter(ids).slot_holders().size();
+  for (const auto& snap : rt.store().checkpoint_all()) {
+    for (const auto& [key, entry] : snap->entries) {
+      if (!entry.value.is_none()) {
+        EXPECT_FALSE(out.values.count(key))
+            << "key duplicated across shards: vertex=" << key.vertex
+            << " object=" << key.object << " scope=" << key.scope_key;
+        out.values[key] = entry.value;
+      }
+    }
+  }
+  rt.shutdown();
+  return out;
+}
+
+TEST(NfScaleUnderLoad, RandomizedScalingMatchesStaticOracle) {
+  const ChainResult oracle = run_chain(/*scale_seed=*/0);
+  ASSERT_FALSE(oracle.values.empty());
+  ASSERT_GT(oracle.delivered, 0u);
+  EXPECT_EQ(oracle.duplicates, 0u);
+
+  const ChainResult dynamic = run_chain(/*scale_seed=*/0x5CA1AB1E);
+  // The run is only meaningful if it actually scaled mid-trace.
+  EXPECT_GE(dynamic.scale_ops, 6u);
+  EXPECT_EQ(dynamic.final_epoch, dynamic.scale_ops)
+      << "every clone/retire must publish exactly one steering epoch";
+  EXPECT_GE(dynamic.final_holders, 1u);
+
+  // Same packets delivered, no duplicates at the end host, and
+  // byte-identical store state: zero lost and zero duplicated updates
+  // across every handover the run performed.
+  EXPECT_EQ(dynamic.delivered, oracle.delivered);
+  EXPECT_EQ(dynamic.duplicates, 0u);
+  EXPECT_EQ(dynamic.values.size(), oracle.values.size());
+  for (const auto& [key, value] : oracle.values) {
+    auto it = dynamic.values.find(key);
+    ASSERT_NE(it, dynamic.values.end())
+        << "missing key: vertex=" << key.vertex << " object=" << key.object
+        << " scope=" << key.scope_key;
+    EXPECT_EQ(it->second, value)
+        << "diverged: vertex=" << key.vertex << " object=" << key.object
+        << " scope=" << key.scope_key << " oracle=" << value.str()
+        << " got=" << it->second.str();
+  }
+}
+
+}  // namespace
+}  // namespace chc

@@ -124,6 +124,121 @@ TEST(Splitter, LoadCountsRoutedPackets) {
   EXPECT_EQ(total, 40u);
 }
 
+// --- steering table (elastic NF scaling) -------------------------------------
+
+TEST(Steering, DeploymentDealingBalancesSlots) {
+  Splitter sp{Scope::kSrcIp, 64};
+  auto l1 = std::make_shared<SimLink<Packet>>();
+  auto l2 = std::make_shared<SimLink<Packet>>();
+  sp.add_target(1, l1);
+  EXPECT_EQ(sp.slot_holders(), std::vector<uint16_t>{1});
+  EXPECT_EQ(sp.steering()->num_slots(), 64u);
+  sp.add_target(2, l2);
+  auto table = sp.steering();
+  int c1 = 0, c2 = 0;
+  for (uint16_t r : table->slot_to_rid) {
+    c1 += r == 1;
+    c2 += r == 2;
+  }
+  EXPECT_EQ(c1, 32);
+  EXPECT_EQ(c2, 32);
+  EXPECT_EQ(table->active_rids.size(), 2u);
+}
+
+TEST(Steering, PlanScaleUpTakesFromMostLoadedAndSteerBumpsEpochOnce) {
+  Harness h;
+  h.add();
+  h.add();
+  auto link = std::make_shared<SimLink<Packet>>();
+  h.sp.add_target(3, link, /*in_partition=*/false);
+  EXPECT_EQ(h.sp.slot_holders().size(), 2u) << "out-of-partition: no slots yet";
+
+  auto groups = h.sp.plan_scale_up(3);
+  ASSERT_FALSE(groups.empty());
+  size_t planned = 0;
+  for (auto& g : groups) {
+    EXPECT_EQ(g.to, 3);
+    EXPECT_NE(g.from, 3);
+    planned += g.slots.size();
+    for (uint32_t slot : g.slots) {
+      EXPECT_EQ(h.sp.steering()->slot_to_rid[slot], g.from);
+    }
+    g.token = std::make_shared<std::atomic<bool>>(true);  // pre-flipped
+  }
+  EXPECT_EQ(planned, h.sp.steering()->num_slots() / 3);
+
+  const uint64_t epoch = h.sp.steer_epoch();
+  h.sp.steer(groups);
+  EXPECT_EQ(h.sp.steer_epoch(), epoch + 1) << "multi-leg steer, single bump";
+  EXPECT_EQ(h.sp.slot_holders().size(), 3u);
+  for (const auto& g : groups) {
+    for (uint32_t slot : g.slots) {
+      EXPECT_EQ(h.sp.steering()->slot_to_rid[slot], 3);
+    }
+  }
+}
+
+TEST(Steering, MovingSlotMarksFirstPerFlowUntilTokenFlips) {
+  Harness h;
+  h.add();
+  const uint16_t dst = h.add(false);
+  // Steer the slot that host 5's flows hash into.
+  auto table = h.sp.steering();
+  const uint32_t slot = table->slot_of(scope_hash(mk(5).tuple, Scope::kSrcIp));
+  auto token = std::make_shared<std::atomic<bool>>(false);
+  h.sp.steer({{1, dst, {slot}, token}});
+
+  h.sp.route(mk(5, 1));
+  h.sp.route(mk(5, 1));
+  h.sp.route(mk(5, 2));
+  int firsts = 0;
+  size_t total = 0;
+  while (auto p = h.links[dst - 1u]->try_recv()) {
+    total++;
+    firsts += p->flags.first_of_move ? 1 : 0;
+  }
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(firsts, 2) << "one first_of_move per flow while the move is live";
+
+  // Handover complete: new flows in the slot first-touch at the
+  // destination, no mark needed.
+  token->store(true);
+  h.sp.route(mk(5, 3));
+  auto p = h.links[dst - 1u]->try_recv();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_FALSE(p->flags.first_of_move);
+}
+
+TEST(Steering, ReplaceTargetInheritsSlotsAndShadowLink) {
+  Harness h;
+  const uint16_t primary = h.add();
+  auto clone_link = std::make_shared<SimLink<Packet>>();
+  h.sp.add_shadow_target(42, clone_link);
+  h.sp.replace_target(primary, 42);
+  EXPECT_EQ(h.sp.slot_holders(), std::vector<uint16_t>{42});
+  h.sp.route(mk(5));
+  EXPECT_TRUE(clone_link->try_recv().has_value());
+  EXPECT_EQ(h.drain(primary), 0u);
+}
+
+TEST(Steering, PlanScaleDownNeedsASurvivor) {
+  Harness h;
+  h.add();
+  EXPECT_TRUE(h.sp.plan_scale_down(1).empty()) << "no survivor, no plan";
+  h.add();
+  auto groups = h.sp.plan_scale_down(1);
+  ASSERT_FALSE(groups.empty());
+  size_t drained = 0;
+  for (const auto& g : groups) {
+    EXPECT_EQ(g.from, 1);
+    EXPECT_EQ(g.to, 2);
+    drained += g.slots.size();
+  }
+  int held = 0;
+  for (uint16_t r : h.sp.steering()->slot_to_rid) held += r == 1;
+  EXPECT_EQ(drained, static_cast<size_t>(held));
+}
+
 TEST(ScopeExclusive, PartitionFieldsSubsetOfObjectFields) {
   // Object keyed by 5-tuple under src-ip partitioning: exclusive.
   EXPECT_TRUE(scope_grants_exclusive(Scope::kFiveTuple, Scope::kSrcIp));

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation tier.
+
+Scans the given markdown files/directories for inline links and validates:
+  - relative links resolve to an existing file or directory (anchors and
+    query strings stripped; paths resolve relative to the containing file);
+  - intra-document anchors ("#heading") match a heading in the same file,
+    using GitHub's slug rules (lowercase, spaces -> dashes, punctuation
+    dropped).
+External (http/https/mailto) links are reported but not fetched — CI must
+not flake on someone else's server.
+
+Exit code 0 when every internal link resolves, 1 otherwise.
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[([^\]]*)\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    slug = slug.replace(" ", "-")
+    return slug
+
+
+def collect_md_files(args):
+    files = []
+    for arg in args:
+        if os.path.isdir(arg):
+            for root, _dirs, names in os.walk(arg):
+                files.extend(
+                    os.path.join(root, n) for n in names if n.endswith(".md"))
+        elif arg.endswith(".md"):
+            files.append(arg)
+    return sorted(set(files))
+
+
+def anchors_of(path):
+    with open(path, encoding="utf-8") as f:
+        text = CODE_FENCE_RE.sub("", f.read())
+    return {github_slug(h) for h in HEADING_RE.findall(text)}
+
+
+def main(argv):
+    files = collect_md_files(argv[1:] or ["README.md", "docs"])
+    errors = []
+    external = 0
+    checked = 0
+    for md in files:
+        with open(md, encoding="utf-8") as f:
+            text = CODE_FENCE_RE.sub("", f.read())
+        base = os.path.dirname(md) or "."
+        for label, target in LINK_RE.findall(text):
+            checked += 1
+            if target.startswith(("http://", "https://", "mailto:")):
+                external += 1
+                continue
+            path_part, _, anchor = target.partition("#")
+            if not path_part:  # intra-document anchor
+                if anchor and github_slug(anchor) not in anchors_of(md):
+                    errors.append(f"{md}: broken anchor [{label}](#{anchor})")
+                continue
+            resolved = os.path.normpath(os.path.join(base, path_part))
+            if not os.path.exists(resolved):
+                errors.append(f"{md}: broken link [{label}]({target})")
+                continue
+            if anchor and resolved.endswith(".md"):
+                if github_slug(anchor) not in anchors_of(resolved):
+                    errors.append(
+                        f"{md}: broken anchor [{label}]({target})")
+    for e in errors:
+        print(e)
+    print(f"checked {checked} links in {len(files)} files "
+          f"({external} external skipped), {len(errors)} broken")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
