@@ -36,10 +36,7 @@ Result run(Scope partition) {
   Histogram all;
   for (size_t i = 0; i < rt.instance_count(0); ++i) {
     r.blocking_rtts += rt.instance(0, i).client().stats().blocking_rtts;
-    // proc_time() returns by value; binding the range to the temporary's
-    // raw() vector dangles once the full-expression ends.
-    const Histogram h = rt.instance(0, i).proc_time();
-    for (double v : h.raw()) all.record(v);
+    all.merge(rt.instance(0, i).proc_time());
   }
   r.p95_usec = all.percentile(95);
   rt.shutdown();

@@ -48,23 +48,6 @@ void drive(Runtime& rt, const Trace& trace, std::atomic<bool>& stop) {
   }
 }
 
-struct PhaseStats {
-  Histogram hist;
-  double pkts_per_sec = 0;
-};
-
-PhaseStats phase(const std::vector<std::pair<TimePoint, double>>& timeline,
-                 TimePoint t0, double from_us, double to_us) {
-  PhaseStats ps;
-  for (const auto& [ingress, usec] : timeline) {
-    const double t = to_usec(ingress - t0);
-    if (t >= from_us && t < to_us) ps.hist.record(usec);
-  }
-  const double secs = (to_us - from_us) / 1e6;
-  ps.pkts_per_sec = secs > 0 ? static_cast<double>(ps.hist.count()) / secs : 0;
-  return ps;
-}
-
 double run_static(int parallelism, const Trace& trace, double secs) {
   std::unique_ptr<Runtime> holder;
   Runtime& rt = *make_nat_chain(parallelism, &holder);
@@ -79,10 +62,10 @@ double run_static(int parallelism, const Trace& trace, double secs) {
   // Same accounting as the elastic "after" phase: packets ingressed inside
   // the trailing steady window (wherever their delivery lands), skipping
   // the warmup half.
-  const PhaseStats ps =
-      phase(rt.sink().timeline(), t0, end_us - secs * 1e6, end_us);
+  const bench::PhaseStats ps = bench::phase_of(
+      bench::as_series(rt.sink().timeline(), t0), end_us - secs * 1e6, end_us);
   rt.shutdown();
-  return ps.pkts_per_sec;
+  return ps.per_sec;
 }
 
 }  // namespace
@@ -137,10 +120,10 @@ int main() {
   const double end_us = to_usec(SteadyClock::now() - t0);
   rt.wait_quiescent(std::chrono::seconds(10));
 
-  const auto timeline = rt.sink().timeline();
-  const PhaseStats before = phase(timeline, t0, 0, scale_from);
-  const PhaseStats during = phase(timeline, t0, scale_from, scale_to);
-  const PhaseStats after = phase(timeline, t0, end_us - 300e3, end_us);
+  const auto series = bench::as_series(rt.sink().timeline(), t0);
+  const bench::PhaseStats before = bench::phase_of(series, 0, scale_from);
+  const bench::PhaseStats during = bench::phase_of(series, scale_from, scale_to);
+  const bench::PhaseStats after = bench::phase_of(series, end_us - 300e3, end_us);
 
   uint64_t parked_peak = 0;
   for (size_t i = 0; i < rt.instance_count(0); ++i) {
@@ -149,16 +132,10 @@ int main() {
   const size_t instances = rt.instance_count(0);
   rt.shutdown();
 
-  std::printf("\n%-8s %12s %10s %10s %10s %10s\n", "phase", "pkts/s", "p50 us",
-              "p99 us", "max us", "pkts");
-  auto row = [](const char* name, const PhaseStats& ps) {
-    std::printf("%-8s %12.0f %10.2f %10.2f %10.2f %10zu\n", name, ps.pkts_per_sec,
-                ps.hist.percentile(50), ps.hist.percentile(99),
-                ps.hist.percentile(100), ps.hist.count());
-  };
-  row("before", before);
-  row("during", during);
-  row("after", after);
+  bench::print_phase_header("pkts/s");
+  bench::print_phase_row("before", before);
+  bench::print_phase_row("during", during);
+  bench::print_phase_row("after", after);
   std::printf("scaling window: %.1fms (%.2fms control-plane busy), %zu slots "
               "re-steered across %zu instances\n",
               (scale_to - scale_from) / 1e3, scale_busy_us / 1e3, slots_moved,
@@ -167,11 +144,8 @@ int main() {
   // Acceptance shape: migration is a blip (p99 during <= 5x steady p99) and
   // the elastic 4-instance steady state matches a chain born with 4.
   const double static4 = run_static(4, trace, 0.3);
-  const double p99_ratio =
-      before.hist.percentile(99) > 0
-          ? during.hist.percentile(99) / before.hist.percentile(99)
-          : 0;
-  const double vs_static = static4 > 0 ? after.pkts_per_sec / static4 : 0;
+  const double p99_ratio = bench::p99_over(during, before);
+  const double vs_static = static4 > 0 ? after.per_sec / static4 : 0;
   std::printf("static 4-instance pkts/s: %.0f; elastic-after/static4 = %.3f "
               "(target >= 0.95)\n",
               static4, vs_static);
@@ -183,17 +157,17 @@ int main() {
                 "\"after_pkts_per_sec\": %.1f, \"after_p99_usec\": %.3f, "
                 "\"p99_during_over_steady\": %.3f, \"slots_moved\": %zu, "
                 "\"scaling_ms\": %.3f, \"parked_peak\": %llu",
-                before.pkts_per_sec, before.hist.percentile(99),
-                after.pkts_per_sec, after.hist.percentile(99), p99_ratio,
+                before.per_sec, before.hist.percentile(99),
+                after.per_sec, after.hist.percentile(99), p99_ratio,
                 slots_moved, (scale_to - scale_from) / 1e3,
                 static_cast<unsigned long long>(parked_peak));
-  bench::emit_bench_json("nf_scaling_migration", during.pkts_per_sec,
+  bench::emit_bench_json("nf_scaling_migration", during.per_sec,
                          during.hist.percentile(50), during.hist.percentile(99),
                          extra);
   std::snprintf(extra, sizeof(extra),
                 "\"static4_pkts_per_sec\": %.1f, \"elastic_over_static\": %.3f",
                 static4, vs_static);
-  bench::emit_bench_json("nf_scaling_steady", after.pkts_per_sec,
+  bench::emit_bench_json("nf_scaling_steady", after.per_sec,
                          after.hist.percentile(50), after.hist.percentile(99),
                          extra);
   return 0;

@@ -17,10 +17,9 @@
 namespace chc {
 namespace {
 
-struct Sample {
-  double t_us;    // since driver start
-  double lat_us;  // blocking op round trip
-};
+// (usec since driver start, blocking-op round trip usec): the element
+// shape bench::phase_of consumes.
+using Sample = std::pair<double, double>;
 
 // Shared-scope counter keys from the trace's connections: every op is one
 // blocking round trip, so latency is measured per op and a reshard's
@@ -88,21 +87,6 @@ void drive(DataStore& store, const std::vector<StoreKey>& keys,
   }
 }
 
-struct PhaseStats {
-  Histogram hist;
-  double ops_per_sec = 0;
-};
-
-PhaseStats phase(const std::vector<Sample>& samples, double from_us, double to_us) {
-  PhaseStats ps;
-  for (const Sample& s : samples) {
-    if (s.t_us >= from_us && s.t_us < to_us) ps.hist.record(s.lat_us);
-  }
-  const double secs = (to_us - from_us) / 1e6;
-  ps.ops_per_sec = secs > 0 ? static_cast<double>(ps.hist.count()) / secs : 0;
-  return ps;
-}
-
 double run_static(int shards, const std::vector<StoreKey>& keys, double secs) {
   DataStoreConfig cfg;
   cfg.num_shards = shards;
@@ -117,7 +101,7 @@ double run_static(int shards, const std::vector<StoreKey>& keys, double secs) {
   stop.store(true);
   driver.join();
   store.stop();
-  const double elapsed_us = samples.empty() ? 1 : samples.back().t_us;
+  const double elapsed_us = samples.empty() ? 1 : samples.back().first;
   return static_cast<double>(samples.size()) / (elapsed_us / 1e6);
 }
 
@@ -180,20 +164,14 @@ int main() {
   }
   store.stop();
 
-  const PhaseStats before = phase(samples, 0, reshard_from);
-  const PhaseStats during = phase(samples, reshard_from, reshard_to);
-  const PhaseStats after = phase(samples, reshard_to, end_us);
+  const bench::PhaseStats before = bench::phase_of(samples, 0, reshard_from);
+  const bench::PhaseStats during = bench::phase_of(samples, reshard_from, reshard_to);
+  const bench::PhaseStats after = bench::phase_of(samples, reshard_to, end_us);
 
-  std::printf("\n%-8s %12s %10s %10s %10s %10s\n", "phase", "ops/s", "p50 us",
-              "p99 us", "max us", "ops");
-  auto row = [](const char* name, const PhaseStats& ps) {
-    std::printf("%-8s %12.0f %10.2f %10.2f %10.2f %10zu\n", name, ps.ops_per_sec,
-                ps.hist.percentile(50), ps.hist.percentile(99),
-                ps.hist.percentile(100), ps.hist.count());
-  };
-  row("before", before);
-  row("during", during);
-  row("after", after);
+  bench::print_phase_header("ops/s");
+  bench::print_phase_row("before", before);
+  bench::print_phase_row("during", during);
+  bench::print_phase_row("after", after);
   std::printf("reshard window: %.1fms (%.1fms busy), %zu slots / %zu entries "
               "moved, %llu client bounces, %llu shard-side bounces\n",
               (reshard_to - reshard_from) / 1e3, reshard_busy_us / 1e3, slots_moved,
@@ -203,11 +181,8 @@ int main() {
   // Acceptance shape: migration is a blip (p99 during <= 5x steady p99) and
   // the elastic 8-shard steady state matches a static 8-shard store.
   const double static8 = run_static(8, keys, 0.3);
-  const double p99_ratio =
-      before.hist.percentile(99) > 0
-          ? during.hist.percentile(99) / before.hist.percentile(99)
-          : 0;
-  const double vs_static = static8 > 0 ? after.ops_per_sec / static8 : 0;
+  const double p99_ratio = bench::p99_over(during, before);
+  const double vs_static = static8 > 0 ? after.per_sec / static8 : 0;
   std::printf("static 8-shard ops/s: %.0f; elastic-after/static8 = %.3f\n", static8,
               vs_static);
   std::printf("p99 during/steady = %.2fx (target <= 5x)\n", p99_ratio);
@@ -219,17 +194,17 @@ int main() {
                 "\"p99_during_over_steady\": %.3f, \"slots_moved\": %zu, "
                 "\"entries_moved\": %zu, \"bounces\": %llu, "
                 "\"reshard_ms\": %.3f",
-                before.ops_per_sec, before.hist.percentile(99), after.ops_per_sec,
+                before.per_sec, before.hist.percentile(99), after.per_sec,
                 after.hist.percentile(99), p99_ratio, slots_moved, entries_moved,
                 static_cast<unsigned long long>(bounces),
                 (reshard_to - reshard_from) / 1e3);
-  bench::emit_bench_json("store_scaling_migration", during.ops_per_sec,
+  bench::emit_bench_json("store_scaling_migration", during.per_sec,
                          during.hist.percentile(50), during.hist.percentile(99),
                          extra);
   std::snprintf(extra, sizeof(extra),
                 "\"static8_ops_per_sec\": %.1f, \"elastic_over_static\": %.3f",
                 static8, vs_static);
-  bench::emit_bench_json("store_scaling_steady", after.ops_per_sec,
+  bench::emit_bench_json("store_scaling_steady", after.per_sec,
                          after.hist.percentile(50), after.hist.percentile(99),
                          extra);
   return 0;

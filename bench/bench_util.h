@@ -85,6 +85,56 @@ inline void emit_bench_json(const std::string& name, double ops_per_sec,
               ops_per_sec, p50_usec, p99_usec);
 }
 
+// Per-phase latency accounting shared by the elasticity benches
+// (bench_nf_scaling, bench_store_scaling, bench_autoscale). Each bench used
+// to hand-roll the same percentile slicing + row printing; one copy lives
+// here now. The series is (timestamp usec since run start, latency usec).
+struct PhaseStats {
+  Histogram hist;
+  double per_sec = 0;  // events whose timestamp fell inside the phase
+};
+
+// Adapt a sink-style (TimePoint, latency usec) timeline to the phase_of
+// series shape: timestamps become usec offsets from t0.
+inline std::vector<std::pair<double, double>> as_series(
+    const std::vector<std::pair<TimePoint, double>>& timeline, TimePoint t0) {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(timeline.size());
+  for (const auto& [at, usec] : timeline) {
+    out.emplace_back(to_usec(at - t0), usec);
+  }
+  return out;
+}
+
+inline PhaseStats phase_of(const std::vector<std::pair<double, double>>& series,
+                           double from_us, double to_us) {
+  PhaseStats ps;
+  for (const auto& [t_us, lat_us] : series) {
+    if (t_us >= from_us && t_us < to_us) ps.hist.record(lat_us);
+  }
+  const double secs = (to_us - from_us) / 1e6;
+  ps.per_sec = secs > 0 ? static_cast<double>(ps.hist.count()) / secs : 0;
+  return ps;
+}
+
+inline void print_phase_header(const char* rate_unit) {
+  std::printf("\n%-8s %12s %10s %10s %10s %10s\n", "phase", rate_unit, "p50 us",
+              "p99 us", "max us", "n");
+}
+
+inline void print_phase_row(const char* name, const PhaseStats& ps) {
+  std::printf("%-8s %12.0f %10.2f %10.2f %10.2f %10zu\n", name, ps.per_sec,
+              ps.hist.percentile(50), ps.hist.percentile(99),
+              ps.hist.percentile(100), ps.hist.count());
+}
+
+// The migration-blip acceptance ratio: p99 during / p99 steady (0 when the
+// steady phase saw nothing).
+inline double p99_over(const PhaseStats& during, const PhaseStats& steady) {
+  const double base = steady.hist.percentile(99);
+  return base > 0 ? during.hist.percentile(99) / base : 0;
+}
+
 // The four NFs of paper §6/Table 4, by name.
 inline NfFactory nf_factory(const std::string& name) {
   if (name == "nat") return [] { return std::make_unique<Nat>(); };

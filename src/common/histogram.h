@@ -18,6 +18,14 @@ class Histogram {
   void reserve(size_t n) { values_.reserve(n); }
   void clear() { values_.clear(); sorted_ = false; }
 
+  // Fold another histogram's observations in (per-instance latency series
+  // combined into a vertex-wide one). Exact: keeps every value.
+  Histogram& merge(const Histogram& other) {
+    values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+    sorted_ = false;
+    return *this;
+  }
+
   size_t count() const { return values_.size(); }
   bool empty() const { return values_.empty(); }
 

@@ -1,0 +1,222 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+
+namespace chc {
+
+double HistSnapshot::percentile(double p) const {
+  if (total == 0) return 0.0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // Rank of the target observation (same convention as Histogram: p100 is
+  // the last observation, p0 the first).
+  const double rank = (p / 100.0) * static_cast<double>(total - 1);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const uint64_t in_bucket = counts[i];
+    if (static_cast<double>(seen + in_bucket - 1) >= rank) {
+      // Interpolate within the bucket's value range by rank position.
+      const double lo = static_cast<double>(bucket_floor(i));
+      const double hi =
+          i + 1 < kBuckets ? static_cast<double>(bucket_floor(i + 1)) : lo + 1;
+      const double frac =
+          in_bucket <= 1
+              ? 0.0
+              : (rank - static_cast<double>(seen)) /
+                    static_cast<double>(in_bucket - 1);
+      return lo + frac * (hi - 1 - lo);
+    }
+    seen += in_bucket;
+  }
+  return counts.empty() ? 0.0
+                        : static_cast<double>(bucket_floor(counts.size() - 1));
+}
+
+double HistSnapshot::mean() const {
+  if (total == 0) return 0.0;
+  double sum = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i]) sum += static_cast<double>(counts[i]) * bucket_floor(i);
+  }
+  return sum / static_cast<double>(total);
+}
+
+HistSnapshot& HistSnapshot::merge(const HistSnapshot& other) {
+  if (other.counts.size() > counts.size()) counts.resize(other.counts.size(), 0);
+  for (size_t i = 0; i < other.counts.size(); ++i) counts[i] += other.counts[i];
+  total += other.total;
+  return *this;
+}
+
+HistSnapshot HistSnapshot::delta(const HistSnapshot& earlier) const {
+  HistSnapshot out;
+  out.counts.assign(counts.begin(), counts.end());
+  out.total = total;
+  for (size_t i = 0; i < earlier.counts.size() && i < out.counts.size(); ++i) {
+    const uint64_t sub = std::min(out.counts[i], earlier.counts[i]);
+    out.counts[i] -= sub;
+    out.total -= sub;
+  }
+  return out;
+}
+
+HistSnapshot LoadHistogram::snapshot() const {
+  HistSnapshot out;
+  // Trim trailing zero buckets so idle histograms stay cheap to copy.
+  size_t last = 0;
+  std::array<uint64_t, HistSnapshot::kBuckets> local;
+  for (size_t i = 0; i < b_.size(); ++i) {
+    local[i] = b_[i].load(std::memory_order_relaxed);
+    if (local[i]) last = i + 1;
+  }
+  out.counts.assign(local.begin(), local.begin() + static_cast<long>(last));
+  for (uint64_t c : out.counts) out.total += c;
+  return out;
+}
+
+// --- MetricRegistry ----------------------------------------------------------
+
+void MetricRegistry::register_splitter(VertexId v, const SplitterMetrics* m) {
+  std::lock_guard lk(mu_);
+  splitters_.emplace_back(v, m);
+}
+
+void MetricRegistry::register_instance(VertexId v, uint16_t rid,
+                                       const InstanceMetrics* m,
+                                       const ClientMetrics* cm,
+                                       std::function<uint64_t()> queue_depth,
+                                       std::function<bool()> running) {
+  std::lock_guard lk(mu_);
+  instances_.push_back(
+      {v, rid, m, cm, std::move(queue_depth), std::move(running)});
+}
+
+void MetricRegistry::register_shard(int shard, const ShardMetrics* m,
+                                    std::function<uint64_t()> queue_depth,
+                                    std::function<bool()> serving) {
+  std::lock_guard lk(mu_);
+  shards_.push_back({shard, m, std::move(queue_depth), std::move(serving)});
+}
+
+TelemetrySnapshot MetricRegistry::snapshot() const {
+  std::lock_guard lk(mu_);
+  TelemetrySnapshot out;
+  out.taken_at = SteadyClock::now();
+
+  for (const auto& [v, sm] : splitters_) {
+    VertexSample vs;
+    vs.vertex = v;
+    vs.routed_total = sm->routed_total.value();
+    vs.slot_routed = sm->slot_routed.values();
+    out.vertices.push_back(std::move(vs));
+  }
+  std::sort(out.vertices.begin(), out.vertices.end(),
+            [](const VertexSample& a, const VertexSample& b) {
+              return a.vertex < b.vertex;
+            });
+
+  for (const InstanceEntry& e : instances_) {
+    InstanceSample is;
+    is.rid = e.rid;
+    is.running = e.running ? e.running() : false;
+    is.processed = e.metrics->processed.value();
+    is.suppressed_duplicates = e.metrics->suppressed_duplicates.value();
+    is.drops_by_nf = e.metrics->drops_by_nf.value();
+    is.queue_depth = e.queue_depth ? e.queue_depth() : 0;
+    is.proc_time_ns = e.metrics->proc_time_ns.snapshot();
+    if (e.client) {
+      is.blocking_rtts = e.client->blocking_rtts.value();
+      is.nonblocking_ops = e.client->nonblocking_ops.value();
+      is.retransmissions = e.client->retransmissions.value();
+      is.wrong_shard_bounces = e.client->wrong_shard_bounces.value();
+    }
+    VertexSample* vs = nullptr;
+    for (VertexSample& cand : out.vertices) {
+      if (cand.vertex == e.vertex) vs = &cand;
+    }
+    if (!vs) {
+      out.vertices.push_back({});
+      out.vertices.back().vertex = e.vertex;
+      vs = &out.vertices.back();
+    }
+    vs->instances.push_back(std::move(is));
+  }
+
+  for (const ShardEntry& e : shards_) {
+    ShardSample ss;
+    ss.shard = e.shard;
+    ss.serving = e.serving ? e.serving() : false;
+    ss.ops_applied = e.metrics->ops_applied.value();
+    ss.wakeups = e.metrics->wakeups.value();
+    ss.bounced = e.metrics->bounced.value();
+    ss.migrated_in = e.metrics->migrated_in.value();
+    ss.queue_depth = e.queue_depth ? e.queue_depth() : 0;
+    ss.burst = e.metrics->burst.snapshot();
+    ss.slot_ops = e.metrics->slot_ops.values();
+    out.shards.push_back(std::move(ss));
+  }
+  std::sort(out.shards.begin(), out.shards.end(),
+            [](const ShardSample& a, const ShardSample& b) {
+              return a.shard < b.shard;
+            });
+  return out;
+}
+
+namespace {
+
+std::vector<uint64_t> vec_delta(const std::vector<uint64_t>& now,
+                                const std::vector<uint64_t>& then) {
+  std::vector<uint64_t> out = now;
+  for (size_t i = 0; i < then.size() && i < out.size(); ++i) {
+    out[i] -= std::min(out[i], then[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+TelemetrySnapshot TelemetrySnapshot::delta(
+    const TelemetrySnapshot& earlier) const {
+  TelemetrySnapshot out = *this;
+  for (VertexSample& vs : out.vertices) {
+    const VertexSample* prev = earlier.vertex(vs.vertex);
+    if (!prev) continue;
+    vs.routed_total -= std::min(vs.routed_total, prev->routed_total);
+    vs.slot_routed = vec_delta(vs.slot_routed, prev->slot_routed);
+    for (InstanceSample& is : vs.instances) {
+      const InstanceSample* pi = nullptr;
+      for (const InstanceSample& cand : prev->instances) {
+        if (cand.rid == is.rid) pi = &cand;
+      }
+      if (!pi) continue;
+      is.processed -= std::min(is.processed, pi->processed);
+      is.suppressed_duplicates -=
+          std::min(is.suppressed_duplicates, pi->suppressed_duplicates);
+      is.drops_by_nf -= std::min(is.drops_by_nf, pi->drops_by_nf);
+      is.proc_time_ns = is.proc_time_ns.delta(pi->proc_time_ns);
+      is.blocking_rtts -= std::min(is.blocking_rtts, pi->blocking_rtts);
+      is.nonblocking_ops -= std::min(is.nonblocking_ops, pi->nonblocking_ops);
+      is.retransmissions -= std::min(is.retransmissions, pi->retransmissions);
+      is.wrong_shard_bounces -=
+          std::min(is.wrong_shard_bounces, pi->wrong_shard_bounces);
+      // queue_depth stays: a gauge, not a counter.
+    }
+  }
+  for (ShardSample& ss : out.shards) {
+    const ShardSample* prev = nullptr;
+    for (const ShardSample& cand : earlier.shards) {
+      if (cand.shard == ss.shard) prev = &cand;
+    }
+    if (!prev) continue;
+    ss.ops_applied -= std::min(ss.ops_applied, prev->ops_applied);
+    ss.wakeups -= std::min(ss.wakeups, prev->wakeups);
+    ss.bounced -= std::min(ss.bounced, prev->bounced);
+    ss.migrated_in -= std::min(ss.migrated_in, prev->migrated_in);
+    ss.burst = ss.burst.delta(prev->burst);
+    ss.slot_ops = vec_delta(ss.slot_ops, prev->slot_ops);
+  }
+  return out;
+}
+
+}  // namespace chc

@@ -1,0 +1,313 @@
+// Unified telemetry layer (the vertex manager's sensory system).
+//
+// Before this existed, load signals were scattered ad hoc: Splitter kept
+// per-target counts under its routing lock, NfInstance copied a stats struct
+// under a mutex per packet, StoreShard recorded burst sizes into an exact
+// (locked, unbounded) Histogram, and StoreClient mutated a plain struct the
+// control plane had no safe way to read mid-run. A controller needs one
+// surface it can sample from its own thread, cheaply and race-free, while
+// every hot path keeps writing. This module provides it:
+//
+//   - Counter / Gauge / CounterVec: relaxed-atomic scalars. A hot-path
+//     record is one relaxed fetch_add — no lock, no branch, no false
+//     sharing worth padding for (each component writes its own struct from
+//     one worker thread; readers are rare control-plane samplers).
+//   - LoadHistogram: fixed-footprint log-linear bucketed histogram with
+//     atomic buckets (HDR-style: exact below 8, 8 sub-buckets per octave
+//     above, <= 12.5% relative bucket error). Recording is one fetch_add;
+//     snapshots are plain-data HistSnapshot values that support
+//     percentile(), merge() and delta() — the windowed-rate primitives a
+//     policy loop needs. (The exact sorted-vector Histogram in
+//     common/histogram.h remains the bench-side tool; this one is the
+//     always-on, bounded-memory, concurrent one.)
+//   - MetricRegistry: the directory the controller samples. Components own
+//     their metric structs (SplitterMetrics, InstanceMetrics, ShardMetrics,
+//     ClientMetrics) and register a pointer keyed by vertex id / runtime id
+//     / shard id; snapshot() walks everything into a TelemetrySnapshot —
+//     plain data, safe to diff (delta()) and to hand to the pure policy
+//     functions in control/vertex_manager.h.
+//
+// Windowed semantics: counters are monotonic. Rate-based policies take two
+// snapshots and subtract (TelemetrySnapshot::delta); components that need a
+// self-resetting window (Splitter::take_load / take_slot_load) implement it
+// with a remembered base so the monotonic view stays intact for everyone
+// else.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+
+namespace chc {
+
+// Monotonic event count. Relaxed ordering: samplers tolerate slightly stale
+// values; what matters is that recording costs one uncontended fetch_add.
+class Counter {
+ public:
+  void add(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void sub(uint64_t n = 1) { v_.fetch_sub(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+// Instantaneous level (queue depth, peak watermark).
+class Gauge {
+ public:
+  void set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  // Monotonic high-watermark update (buffered_peak, max_burst).
+  void record_max(int64_t v) {
+    int64_t prev = v_.load(std::memory_order_relaxed);
+    while (prev < v &&
+           !v_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+// Fixed array of counters indexed by slot (steering slots, router slots).
+// Sized once at construction; hot-path add is bounds-unchecked by design —
+// callers index with a slot mask that cannot exceed the size.
+class CounterVec {
+ public:
+  CounterVec() = default;
+  explicit CounterVec(size_t n) : v_(n) {}
+
+  void add(size_t i, uint64_t n = 1) {
+    v_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value(size_t i) const {
+    return v_[i].load(std::memory_order_relaxed);
+  }
+  size_t size() const { return v_.size(); }
+
+  std::vector<uint64_t> values() const {
+    std::vector<uint64_t> out(v_.size());
+    for (size_t i = 0; i < v_.size(); ++i) {
+      out[i] = v_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::atomic<uint64_t>> v_;
+};
+
+// Plain-data histogram snapshot: what LoadHistogram::snapshot() returns and
+// what policies/benches compute over. Value semantics, mergeable,
+// subtractable (windowed deltas).
+struct HistSnapshot {
+  // Bucketing shared with LoadHistogram: exact 0..7, then 8 linear
+  // sub-buckets per power of two. 8 + 8*61 covers uint64.
+  static constexpr size_t kExact = 8;
+  static constexpr size_t kSubBits = 3;
+  static constexpr size_t kBuckets = kExact + 8 * 61;
+
+  static size_t bucket_of(uint64_t v) {
+    if (v < kExact) return static_cast<size_t>(v);
+    const int msb = 63 - std::countl_zero(v);
+    const uint64_t sub =
+        (v >> (msb - static_cast<int>(kSubBits))) & (kExact - 1);
+    return kExact +
+           static_cast<size_t>(msb - static_cast<int>(kSubBits)) * kExact +
+           static_cast<size_t>(sub);
+  }
+  // Smallest value mapping to bucket `idx` (percentile interpolation).
+  static uint64_t bucket_floor(size_t idx) {
+    if (idx < kExact) return idx;
+    const size_t oct = (idx - kExact) / kExact;  // 0 == the [8, 16) octave
+    const uint64_t sub = (idx - kExact) % kExact;
+    return (kExact + sub) << oct;
+  }
+
+  std::vector<uint64_t> counts;  // empty == all-zero (cheap default)
+  uint64_t total = 0;
+
+  uint64_t count() const { return total; }
+  bool empty() const { return total == 0; }
+
+  // p in [0, 100]. Linear interpolation inside the landing bucket; exact for
+  // values < 8, <= 12.5% relative error above.
+  double percentile(double p) const;
+  double mean() const;
+  double max() const { return percentile(100); }
+
+  HistSnapshot& merge(const HistSnapshot& other);
+  // Windowed view: this - earlier (counters are monotonic, so the result of
+  // subtracting an older snapshot of the same histogram is a valid window).
+  HistSnapshot delta(const HistSnapshot& earlier) const;
+};
+
+// Concurrent bounded-memory histogram: one relaxed fetch_add per record.
+// For load shapes (burst sizes, queue depths, processing nanoseconds) where
+// a policy needs p99-ish signals, not exact values.
+class LoadHistogram {
+ public:
+  void record(uint64_t v) {
+    b_[HistSnapshot::bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  }
+  HistSnapshot snapshot() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, HistSnapshot::kBuckets> b_{};
+};
+
+// --- per-component metric structs ------------------------------------------
+// Owned by the component (same lifetime), registered by pointer. All fields
+// written from the component's worker thread (or under its own lock) and
+// read by samplers — every field is an atomic metric type, so there is no
+// snapshot lock and no torn read.
+
+struct SplitterMetrics {
+  SplitterMetrics() = default;
+  explicit SplitterMetrics(uint32_t num_slots) : slot_routed(num_slots) {}
+  Counter routed_total;
+  CounterVec slot_routed;  // per steering slot: the rebalancer's raw signal
+};
+
+struct InstanceMetrics {
+  Counter processed;
+  Counter suppressed_duplicates;
+  Counter drops_by_nf;
+  Gauge buffered_peak;        // max packets held during replay buffering
+  LoadHistogram proc_time_ns;  // per-packet NF processing time
+};
+
+struct ShardMetrics {
+  ShardMetrics() = default;
+  explicit ShardMetrics(uint32_t num_slots) : slot_ops(num_slots) {}
+  Counter ops_applied;
+  Counter wakeups;
+  Counter bounced;      // kWrongShard bounces (stale-route telemetry)
+  Counter migrated_in;  // entries merged by kInstallSlots
+  Counter parked;       // requests parked on a pending slot
+  Gauge max_burst;
+  LoadHistogram burst;  // requests drained per worker wakeup
+  CounterVec slot_ops;  // per router slot (empty when routing is off)
+};
+
+struct ClientMetrics {
+  Counter blocking_rtts;
+  Counter nonblocking_ops;
+  Counter cache_hits;
+  Counter retransmissions;
+  Counter callbacks_applied;
+  Counter emulated;
+  Counter batches_sent;
+  Counter batched_ops;
+  Gauge max_batch_depth;
+  Counter handle_fast_hits;
+  Counter handle_slow_paths;
+  Counter wrong_shard_bounces;
+};
+
+// --- snapshots --------------------------------------------------------------
+
+struct InstanceSample {
+  uint16_t rid = 0;
+  bool running = false;
+  uint64_t processed = 0;
+  uint64_t suppressed_duplicates = 0;
+  uint64_t drops_by_nf = 0;
+  uint64_t queue_depth = 0;  // sampled gauge: input link pending
+  HistSnapshot proc_time_ns;
+  // Client-side store pressure for this instance.
+  uint64_t blocking_rtts = 0;
+  uint64_t nonblocking_ops = 0;
+  uint64_t retransmissions = 0;
+  uint64_t wrong_shard_bounces = 0;
+};
+
+struct VertexSample {
+  VertexId vertex = 0;
+  uint64_t routed_total = 0;
+  std::vector<uint64_t> slot_routed;
+  std::vector<InstanceSample> instances;
+};
+
+struct ShardSample {
+  int shard = -1;
+  bool serving = false;
+  uint64_t ops_applied = 0;
+  uint64_t wakeups = 0;
+  uint64_t bounced = 0;
+  uint64_t migrated_in = 0;
+  uint64_t queue_depth = 0;  // sampled gauge: request link pending
+  HistSnapshot burst;
+  std::vector<uint64_t> slot_ops;
+};
+
+// One coherent-enough sample of the whole deployment. Not a consistent cut
+// (counters are read while traffic flows) — policies bandpass it with
+// hysteresis, so sub-sample skew is noise, not a hazard.
+struct TelemetrySnapshot {
+  TimePoint taken_at{};
+  std::vector<VertexSample> vertices;  // sorted by vertex id
+  std::vector<ShardSample> shards;     // sorted by shard id
+
+  const VertexSample* vertex(VertexId v) const {
+    for (const VertexSample& s : vertices) {
+      if (s.vertex == v) return &s;
+    }
+    return nullptr;
+  }
+
+  // Windowed view: counters/histograms subtract, gauges (queue depths,
+  // running flags) keep this (the later) snapshot's value. Entries present
+  // here but absent in `earlier` (a shard added mid-window) pass through
+  // unchanged.
+  TelemetrySnapshot delta(const TelemetrySnapshot& earlier) const;
+};
+
+// The directory the vertex manager samples. Registration happens on the
+// control plane (runtime construction, scale-out) under a lock; hot paths
+// never touch the registry — they write through their own struct pointer.
+// Components must outlive the registry or never be sampled after death; in
+// practice both are owned by the Runtime and torn down together.
+class MetricRegistry {
+ public:
+  void register_splitter(VertexId v, const SplitterMetrics* m);
+  void register_instance(VertexId v, uint16_t rid, const InstanceMetrics* m,
+                         const ClientMetrics* cm,
+                         std::function<uint64_t()> queue_depth,
+                         std::function<bool()> running);
+  void register_shard(int shard, const ShardMetrics* m,
+                      std::function<uint64_t()> queue_depth,
+                      std::function<bool()> serving);
+
+  TelemetrySnapshot snapshot() const;
+
+ private:
+  struct InstanceEntry {
+    VertexId vertex = 0;
+    uint16_t rid = 0;
+    const InstanceMetrics* metrics = nullptr;
+    const ClientMetrics* client = nullptr;
+    std::function<uint64_t()> queue_depth;
+    std::function<bool()> running;
+  };
+  struct ShardEntry {
+    int shard = -1;
+    const ShardMetrics* metrics = nullptr;
+    std::function<uint64_t()> queue_depth;
+    std::function<bool()> serving;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<std::pair<VertexId, const SplitterMetrics*>> splitters_;
+  std::vector<InstanceEntry> instances_;
+  std::vector<ShardEntry> shards_;
+};
+
+}  // namespace chc

@@ -1,0 +1,328 @@
+#include "control/vertex_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/runtime.h"
+
+namespace chc {
+
+// --- pure policy -------------------------------------------------------------
+
+VertexAction decide_vertex(const VertexObservation& obs, const VertexPolicy& p,
+                           BandState& band) {
+  if (obs.instances == 0) return VertexAction::kNone;
+  const bool busy = obs.window_packets >= p.min_window_packets;
+  const bool hot =
+      obs.mean_queue > p.queue_high ||
+      (p.rate_high > 0 && busy && obs.rate_per_instance > p.rate_high);
+  const bool cold = obs.mean_queue < p.queue_low &&
+                    (p.rate_low <= 0 || obs.rate_per_instance < p.rate_low);
+  const bool skewed =
+      busy && obs.instances >= 2 && obs.max_over_mean > p.rebalance_ratio;
+
+  band.hot = hot ? band.hot + 1 : 0;
+  band.cold = cold ? band.cold + 1 : 0;
+  band.skewed = skewed ? band.skewed + 1 : 0;
+
+  if (band.hot >= p.up_after && obs.instances < p.max_instances) {
+    band = BandState{};
+    return VertexAction::kScaleUp;
+  }
+  if (band.skewed >= p.rebalance_after) {
+    band.skewed = 0;
+    return VertexAction::kRebalance;
+  }
+  if (band.cold >= p.down_after && obs.instances > p.min_instances) {
+    band = BandState{};
+    return VertexAction::kScaleDown;
+  }
+  return VertexAction::kNone;
+}
+
+StoreAction decide_store(const StoreObservation& obs, const StorePolicy& p,
+                         BandState& band) {
+  if (obs.shards == 0) return StoreAction::kNone;
+  const bool busy = obs.window_ops >= p.min_window_ops;
+  const bool hot =
+      busy && (obs.burst_p99 > p.burst_p99_high || obs.max_queue > p.queue_high);
+  const bool cold = obs.burst_p99 < p.burst_p99_low && obs.max_queue < p.queue_low;
+
+  band.hot = hot ? band.hot + 1 : 0;
+  band.cold = cold ? band.cold + 1 : 0;
+
+  if (band.hot >= p.up_after && obs.shards < p.max_shards) {
+    band = BandState{};
+    return StoreAction::kAddShard;
+  }
+  if (band.cold >= p.down_after && obs.shards > p.min_shards) {
+    band = BandState{};
+    return StoreAction::kRemoveShard;
+  }
+  return StoreAction::kNone;
+}
+
+// --- manager -----------------------------------------------------------------
+
+VertexManager::VertexManager(Runtime& rt, VertexManagerConfig cfg)
+    : rt_(rt), cfg_(cfg) {
+  const size_t vertices = rt_.spec().vertices().size();
+  nf_bands_.assign(vertices, BandState{});
+  scale_up_refused_at_.assign(vertices, SIZE_MAX);
+  last_obs_.assign(vertices, VertexObservation{});
+  last_tick_ = SteadyClock::now();
+}
+
+VertexManager::~VertexManager() { stop(); }
+
+void VertexManager::start() {
+  if (running_.exchange(true)) return;
+  last_tick_ = SteadyClock::now();
+  worker_ = std::thread([this] { run(); });
+}
+
+void VertexManager::stop() {
+  if (!running_.exchange(false)) return;
+  if (worker_.joinable()) worker_.join();
+}
+
+void VertexManager::run() {
+  while (running_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(cfg_.sample_interval);
+    if (!running_.load(std::memory_order_relaxed)) break;
+    tick();
+  }
+}
+
+VertexObservation VertexManager::observe_vertex(
+    VertexId v, double interval_sec, std::vector<uint64_t>* slot_load,
+    std::vector<std::pair<uint16_t, uint64_t>>* rid_load) {
+  Splitter& sp = rt_.splitter(v);
+  *slot_load = sp.take_slot_load();
+  sp.take_load();  // advance the per-target window in step
+
+  VertexObservation obs;
+  const auto steer = sp.steering();
+  const std::vector<uint16_t> holders = steer->active_rids;
+  obs.instances = holders.size();
+  if (obs.instances == 0) return obs;
+
+  // Per-target load this window, derived from the slot counters through the
+  // steering table — the same view plan_rebalance acts on.
+  rid_load->clear();
+  for (uint16_t r : holders) rid_load->emplace_back(r, 0);
+  for (uint32_t s = 0; s < slot_load->size(); ++s) {
+    const uint16_t r = steer->slot_to_rid[s];
+    for (auto& [rid, n] : *rid_load) {
+      if (rid == r) n += (*slot_load)[s];
+    }
+    obs.window_packets += (*slot_load)[s];
+  }
+  uint64_t max_load = 0;
+  for (const auto& [rid, n] : *rid_load) max_load = std::max(max_load, n);
+  const double mean_load = static_cast<double>(obs.window_packets) /
+                           static_cast<double>(obs.instances);
+  obs.max_over_mean = mean_load > 0 ? static_cast<double>(max_load) / mean_load : 0;
+
+  size_t running_instances = 0;
+  double queue_sum = 0;
+  for (size_t i = 0; i < rt_.instance_count(v); ++i) {
+    NfInstance& inst = rt_.instance(v, i);
+    if (!inst.running()) continue;
+    const double depth = static_cast<double>(inst.queue_depth());
+    queue_sum += depth;
+    obs.max_queue = std::max(obs.max_queue, depth);
+    running_instances++;
+  }
+  if (running_instances > 0) obs.mean_queue = queue_sum / running_instances;
+  if (interval_sec > 0) {
+    obs.rate_per_instance = static_cast<double>(obs.window_packets) /
+                            interval_sec / static_cast<double>(obs.instances);
+  }
+  return obs;
+}
+
+StoreObservation VertexManager::observe_store() {
+  StoreObservation obs;
+  DataStore& store = rt_.store();
+  const int n = store.num_shards();
+  if (last_burst_.size() < static_cast<size_t>(n)) {
+    last_burst_.resize(static_cast<size_t>(n));
+    last_shard_ops_.resize(static_cast<size_t>(n), 0);
+  }
+  shard_ops_window_.assign(static_cast<size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    StoreShard& sh = store.shard(i);
+    const HistSnapshot now = sh.burst_hist();
+    const HistSnapshot window = now.delta(last_burst_[static_cast<size_t>(i)]);
+    last_burst_[static_cast<size_t>(i)] = now;
+    const uint64_t ops = sh.ops_applied();
+    const uint64_t ops_window = ops - last_shard_ops_[static_cast<size_t>(i)];
+    last_shard_ops_[static_cast<size_t>(i)] = ops;
+    shard_ops_window_[static_cast<size_t>(i)] = ops_window;
+    if (!sh.serving()) continue;
+    obs.shards++;
+    obs.window_ops += ops_window;
+    obs.burst_p99 = std::max(obs.burst_p99, window.percentile(99));
+    obs.max_queue = std::max(
+        obs.max_queue, static_cast<double>(sh.request_link().pending()));
+  }
+  return obs;
+}
+
+void VertexManager::tick() {
+  a_samples_.fetch_add(1, std::memory_order_relaxed);
+  const TimePoint now = SteadyClock::now();
+  const double interval_sec = to_usec(now - last_tick_) / 1e6;
+  last_tick_ = now;
+
+  // Observe every tick — windows must advance even inside cooldown, or the
+  // first post-cooldown sample would aggregate the whole blackout.
+  const size_t vertices = rt_.spec().vertices().size();
+  std::vector<std::vector<uint64_t>> slot_loads(vertices);
+  std::vector<std::vector<std::pair<uint16_t, uint64_t>>> rid_loads(vertices);
+  std::vector<VertexObservation> obs(vertices);
+  for (VertexId v = 0; v < vertices; ++v) {
+    obs[v] = observe_vertex(v, interval_sec, &slot_loads[v], &rid_loads[v]);
+  }
+  const StoreObservation store_obs = observe_store();
+  {
+    std::lock_guard lk(obs_mu_);
+    last_obs_ = obs;
+  }
+
+  // A tick that decrements a cooldown does NOT decide: cooldown_samples=N
+  // means N full samples observed (windows advancing) before the next
+  // decision for that tier.
+  if (cfg_.manage_nf && nf_cooldown_ > 0) {
+    nf_cooldown_--;
+  } else if (cfg_.manage_nf) {
+    for (VertexId v = 0; v < vertices; ++v) {
+      if (obs[v].instances != scale_up_refused_at_[v]) {
+        scale_up_refused_at_[v] = SIZE_MAX;  // topology moved: retry allowed
+      }
+      VertexAction action = decide_vertex(obs[v], cfg_.nf, nf_bands_[v]);
+      if (action == VertexAction::kRebalance && !cfg_.rebalance) {
+        action = VertexAction::kNone;
+      }
+      if (action == VertexAction::kScaleUp &&
+          scale_up_refused_at_[v] != SIZE_MAX) {
+        action = VertexAction::kNone;  // refused at this size; don't hammer
+      }
+      if (action == VertexAction::kNone) continue;
+      const bool acted = act_on_vertex(v, action, slot_loads[v], rid_loads[v]);
+      if (!acted && action == VertexAction::kScaleUp) {
+        scale_up_refused_at_[v] = obs[v].instances;
+      }
+      // Cooldown on any attempt, succeeded or not: a refused actuation must
+      // not be retried at sample cadence.
+      nf_cooldown_ = cfg_.cooldown_samples;
+      break;  // one NF-tier actuation per tick: let the system absorb it
+    }
+  }
+  if (cfg_.manage_store && store_cooldown_ > 0) {
+    store_cooldown_--;
+  } else if (cfg_.manage_store) {
+    const StoreAction action = decide_store(store_obs, cfg_.store, store_band_);
+    if (action != StoreAction::kNone && act_on_store(action)) {
+      store_cooldown_ = cfg_.cooldown_samples;
+    }
+  }
+}
+
+bool VertexManager::act_on_vertex(
+    VertexId v, VertexAction action, const std::vector<uint64_t>& slot_load,
+    const std::vector<std::pair<uint16_t, uint64_t>>& rid_load) {
+  switch (action) {
+    case VertexAction::kScaleUp: {
+      const uint16_t rid = rt_.scale_nf_up(v);
+      if (rid == 0) return false;
+      a_nf_up_.fetch_add(1, std::memory_order_relaxed);
+      CHC_INFO("vertex-manager: scale-out vertex=%u -> rid=%u",
+               static_cast<unsigned>(v), rid);
+      return true;
+    }
+    case VertexAction::kScaleDown: {
+      // Retire the least-loaded holder: fewest routed packets this window,
+      // so the fewest flows pay the handover.
+      if (rid_load.empty()) return false;
+      uint16_t victim = rid_load.front().first;
+      uint64_t best = rid_load.front().second;
+      for (const auto& [rid, n] : rid_load) {
+        if (n < best) {
+          victim = rid;
+          best = n;
+        }
+      }
+      if (!rt_.scale_nf_down(v, victim)) return false;
+      a_nf_down_.fetch_add(1, std::memory_order_relaxed);
+      CHC_INFO("vertex-manager: scale-in vertex=%u retired rid=%u",
+               static_cast<unsigned>(v), victim);
+      return true;
+    }
+    case VertexAction::kRebalance: {
+      const size_t moved = rt_.rebalance_nf(v, slot_load, cfg_.nf.rebalance_ratio,
+                                            cfg_.nf.rebalance_max_slots);
+      if (moved == 0) return false;
+      a_rebalances_.fetch_add(1, std::memory_order_relaxed);
+      CHC_INFO("vertex-manager: rebalanced vertex=%u, %zu hot slots re-steered",
+               static_cast<unsigned>(v), moved);
+      return true;
+    }
+    case VertexAction::kNone:
+      break;
+  }
+  return false;
+}
+
+bool VertexManager::act_on_store(StoreAction action) {
+  switch (action) {
+    case StoreAction::kAddShard: {
+      if (rt_.scale_store_up() < 0) return false;
+      a_shard_add_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    case StoreAction::kRemoveShard: {
+      // Drain the serving shard with the fewest ops this window (the
+      // per-window ranking observe_store() recorded this tick) — the
+      // genuinely idle one, not the one with the smallest lifetime total.
+      DataStore& store = rt_.store();
+      int victim = -1;
+      uint64_t best = 0;
+      for (int i = 0; i < store.num_shards(); ++i) {
+        if (!store.shard(i).serving()) continue;
+        const uint64_t ops = i < static_cast<int>(shard_ops_window_.size())
+                                 ? shard_ops_window_[static_cast<size_t>(i)]
+                                 : 0;
+        if (victim < 0 || ops < best) {
+          victim = i;
+          best = ops;
+        }
+      }
+      if (victim < 0 || !rt_.scale_store_down(victim)) return false;
+      a_shard_remove_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    case StoreAction::kNone:
+      break;
+  }
+  return false;
+}
+
+VertexManager::Actions VertexManager::actions() const {
+  Actions a;
+  a.samples = a_samples_.load(std::memory_order_relaxed);
+  a.nf_up = a_nf_up_.load(std::memory_order_relaxed);
+  a.nf_down = a_nf_down_.load(std::memory_order_relaxed);
+  a.rebalances = a_rebalances_.load(std::memory_order_relaxed);
+  a.shard_add = a_shard_add_.load(std::memory_order_relaxed);
+  a.shard_remove = a_shard_remove_.load(std::memory_order_relaxed);
+  return a;
+}
+
+VertexObservation VertexManager::last_observation(VertexId v) const {
+  std::lock_guard lk(obs_mu_);
+  return v < last_obs_.size() ? last_obs_[v] : VertexObservation{};
+}
+
+}  // namespace chc

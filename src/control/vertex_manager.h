@@ -1,0 +1,198 @@
+// The paper's vertex manager (§4.1, §5.1): the control loop that watches
+// per-vertex load and drives elastic scaling. PR 3/4 built the mechanisms —
+// Runtime::scale_nf_up/down re-steer NF-tier slots with safe state
+// handover, DataStore::add_shard/remove_shard live-migrate store slots —
+// but nothing pulled the trigger. This module closes the loop:
+//
+//   sample -> observe -> decide -> actuate
+//
+//   - sample: one TelemetrySnapshot-shaped pass over the unified metrics
+//     layer (common/metrics.h) plus the splitters' windowed load takes.
+//   - observe: condense a window into plain VertexObservation /
+//     StoreObservation structs (queue depths, routed rates, per-target
+//     skew, shard burst p99).
+//   - decide: PURE functions (decide_vertex / decide_store) over the
+//     observation + policy + hysteresis band state. No Runtime access, no
+//     clocks — directly unit-testable. Hysteresis: an action fires only
+//     after the signal stays out of band for N consecutive samples, and a
+//     post-action cooldown swallows the transient the action itself causes
+//     (a scale-out's handover blip must not read as "still hot").
+//   - actuate: Runtime::scale_nf_up/down, scale_store_up/down, and the
+//     load-aware hot-slot re-steer Runtime::rebalance_nf (which runs
+//     Splitter::plan_rebalance over the live per-slot counters).
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/types.h"
+
+namespace chc {
+
+class Runtime;
+
+// NF-tier policy knobs. Queue thresholds are mean packets pending per
+// running instance; rates are routed packets/sec per instance (0 disables
+// the rate band so queue depth alone governs).
+struct VertexPolicy {
+  double queue_high = 256;
+  double queue_low = 4;
+  double rate_high = 0;
+  double rate_low = 0;
+  size_t up_after = 2;    // consecutive hot samples before scale-out
+  size_t down_after = 8;  // consecutive cold samples before scale-in
+  size_t min_instances = 1;
+  size_t max_instances = 8;
+  // Hot-slot re-steer: fires when max/mean per-target routed load over a
+  // window exceeds the ratio for `rebalance_after` consecutive samples.
+  double rebalance_ratio = 2.0;
+  size_t rebalance_max_slots = 8;
+  size_t rebalance_after = 2;
+  // Windows carrying fewer packets than this are treated as idle: they
+  // cannot read as hot or skewed (a 3-packet window has no p99).
+  uint64_t min_window_packets = 64;
+};
+
+// State-tier policy knobs. burst p99 is requests drained per shard wakeup
+// (the amortization histogram): sustained deep bursts mean the worker is
+// saturated. Queue thresholds are pending requests on a shard's link.
+struct StorePolicy {
+  double burst_p99_high = 48;
+  double burst_p99_low = 2;
+  double queue_high = 512;
+  double queue_low = 16;
+  size_t up_after = 2;
+  size_t down_after = 8;
+  size_t min_shards = 1;
+  size_t max_shards = 8;
+  uint64_t min_window_ops = 64;
+};
+
+struct VertexManagerConfig {
+  Duration sample_interval = std::chrono::milliseconds(2);
+  // Samples skipped (observing, not deciding) after any actuation: the
+  // action's own transient must drain before it can justify another.
+  size_t cooldown_samples = 8;
+  bool manage_nf = true;
+  bool manage_store = true;
+  bool rebalance = true;
+  VertexPolicy nf;
+  StorePolicy store;
+};
+
+// One sampling window, condensed. Plain data: the decide functions see
+// nothing else.
+struct VertexObservation {
+  size_t instances = 0;        // live slot holders
+  double mean_queue = 0;       // input packets pending per running instance
+  double max_queue = 0;
+  double rate_per_instance = 0;  // routed pkts/sec/instance this window
+  uint64_t window_packets = 0;   // routed packets this window
+  double max_over_mean = 0;      // per-target routed skew this window
+};
+
+struct StoreObservation {
+  size_t shards = 0;    // serving shards
+  double burst_p99 = 0;  // worst per-shard requests/wakeup p99 this window
+  double max_queue = 0;  // deepest shard request link
+  uint64_t window_ops = 0;
+};
+
+enum class VertexAction : uint8_t { kNone, kScaleUp, kScaleDown, kRebalance };
+enum class StoreAction : uint8_t { kNone, kAddShard, kRemoveShard };
+
+// Consecutive out-of-band sample counts (the hysteresis memory).
+struct BandState {
+  size_t hot = 0;
+  size_t cold = 0;
+  size_t skewed = 0;
+};
+
+// Pure policy: observation + policy + band in, action + updated band out.
+// Capacity first (scale-out beats rebalance: a skewed AND saturated vertex
+// needs another instance, not shuffled slots), rebalance before scale-in.
+VertexAction decide_vertex(const VertexObservation& obs, const VertexPolicy& p,
+                           BandState& band);
+StoreAction decide_store(const StoreObservation& obs, const StorePolicy& p,
+                         BandState& band);
+
+class VertexManager {
+ public:
+  struct Actions {
+    uint64_t samples = 0;
+    uint64_t nf_up = 0;
+    uint64_t nf_down = 0;
+    uint64_t rebalances = 0;
+    uint64_t shard_add = 0;
+    uint64_t shard_remove = 0;
+  };
+
+  VertexManager(Runtime& rt, VertexManagerConfig cfg);
+  ~VertexManager();
+
+  VertexManager(const VertexManager&) = delete;
+  VertexManager& operator=(const VertexManager&) = delete;
+
+  void start();
+  void stop();
+
+  // One observe -> decide -> actuate cycle. The worker thread calls this
+  // every sample_interval; tests drive it manually on a stopped manager.
+  void tick();
+
+  Actions actions() const;
+  // The most recent window's observation for a vertex (diagnostics/tests).
+  VertexObservation last_observation(VertexId v) const;
+
+ private:
+  void run();
+  VertexObservation observe_vertex(VertexId v, double interval_sec,
+                                   std::vector<uint64_t>* slot_load,
+                                   std::vector<std::pair<uint16_t, uint64_t>>*
+                                       rid_load);
+  StoreObservation observe_store();
+  bool act_on_vertex(VertexId v, VertexAction action,
+                     const std::vector<uint64_t>& slot_load,
+                     const std::vector<std::pair<uint16_t, uint64_t>>& rid_load);
+  bool act_on_store(StoreAction action);
+
+  Runtime& rt_;
+  const VertexManagerConfig cfg_;
+
+  // Control-loop state (worker thread only once start()ed).
+  std::vector<BandState> nf_bands_;  // per vertex
+  BandState store_band_;
+  // Instance count at which a scale-out was refused (no steerable slots),
+  // per vertex; SIZE_MAX = none. A refused scale-out spawns-and-stops a
+  // stillborn clone inside Runtime::scale_nf_up, so retrying at the same
+  // instance count would leak one instance per attempt — hold off until
+  // the topology changes.
+  std::vector<size_t> scale_up_refused_at_;
+  // Independent per-tier cooldowns: an NF-tier actuation must not starve
+  // the store decision (or vice versa) — the tiers saturate independently.
+  size_t nf_cooldown_ = 0;
+  size_t store_cooldown_ = 0;
+  TimePoint last_tick_{};
+  std::vector<HistSnapshot> last_burst_;   // per shard: window deltas
+  std::vector<uint64_t> last_shard_ops_;   // per shard: window floors
+  std::vector<uint64_t> shard_ops_window_;  // per shard: this window's ops
+                                            // (drain-victim ranking)
+
+  mutable std::mutex obs_mu_;
+  std::vector<VertexObservation> last_obs_;  // guarded by obs_mu_
+
+  std::atomic<uint64_t> a_samples_{0};
+  std::atomic<uint64_t> a_nf_up_{0};
+  std::atomic<uint64_t> a_nf_down_{0};
+  std::atomic<uint64_t> a_rebalances_{0};
+  std::atomic<uint64_t> a_shard_add_{0};
+  std::atomic<uint64_t> a_shard_remove_{0};
+
+  std::thread worker_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace chc

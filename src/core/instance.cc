@@ -283,16 +283,14 @@ void NfInstance::handle(Packet p) {
 
   // --- duplicate suppression (§5.3) -----------------------------------------
   if (!p.flags.replayed && seen_.contains(p.clock)) {
-    std::lock_guard lk(stats_mu_);
-    stats_.suppressed_duplicates++;
+    metrics_.suppressed_duplicates.add();
     return;
   }
 
   // --- replay / live interleaving at a clone or failover target --------------
   if (replay_buffering_ && !p.flags.replayed) {
     held_.push_back(std::move(p));
-    std::lock_guard lk(stats_mu_);
-    stats_.buffered_peak = std::max(stats_.buffered_peak, held_.size());
+    metrics_.buffered_peak.record_max(static_cast<int64_t>(held_.size()));
     return;
   }
 
@@ -507,11 +505,12 @@ void NfInstance::process_packet(Packet& p) {
   // Fold this NF's update tags into the packet's XOR ledger (Fig. 6 step 1).
   p.update_vec ^= client_->take_update_vec();
 
+  metrics_.processed.add();
+  metrics_.proc_time_ns.record(static_cast<uint64_t>(usec * 1e3));
+  if (ctx.dropped()) metrics_.drops_by_nf.add();
   {
-    std::lock_guard lk(stats_mu_);
-    stats_.processed++;
+    std::lock_guard lk(proc_mu_);
     proc_time_.record(usec);
-    if (ctx.dropped()) stats_.drops_by_nf++;
   }
 
   if (is_target) {
@@ -553,12 +552,16 @@ void NfInstance::process_packet(Packet& p) {
 }
 
 InstanceStats NfInstance::stats() const {
-  std::lock_guard lk(stats_mu_);
-  return stats_;
+  InstanceStats s;
+  s.processed = metrics_.processed.value();
+  s.suppressed_duplicates = metrics_.suppressed_duplicates.value();
+  s.buffered_peak = static_cast<uint64_t>(metrics_.buffered_peak.value());
+  s.drops_by_nf = metrics_.drops_by_nf.value();
+  return s;
 }
 
 Histogram NfInstance::proc_time() const {
-  std::lock_guard lk(stats_mu_);
+  std::lock_guard lk(proc_mu_);
   return proc_time_;
 }
 

@@ -20,6 +20,7 @@
 
 #include "common/flat_map.h"
 #include "common/histogram.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "core/nf.h"
 #include "core/splitter.h"
@@ -35,6 +36,9 @@ using ForwardHandler = std::function<void(NfInstance&, Packet&&)>;
 // root must still receive a terminal report for the XOR ledger.
 using DropHandler = std::function<void(NfInstance&, const Packet&)>;
 
+// Plain-data view of an instance's counters (built from InstanceMetrics on
+// demand; the counters themselves are lock-free relaxed atomics, so stats()
+// no longer copies a struct under a mutex).
 struct InstanceStats {
   uint64_t processed = 0;
   uint64_t suppressed_duplicates = 0;
@@ -133,6 +137,9 @@ class NfInstance {
 
   InstanceStats stats() const;
   Histogram proc_time() const;
+  // Unified telemetry surface (registered with the MetricRegistry; the
+  // vertex manager samples this, never the exact locked histogram).
+  const InstanceMetrics& metrics() const { return metrics_; }
   size_t queue_depth() const { return input_->pending(); }
   // Diagnostic: log this instance's handover state (parked flows, inbound
   // moves, deferred releases/flips) at WARN level. dump_handover touches
@@ -268,9 +275,13 @@ class NfInstance {
   std::atomic<Duration::rep> delay_max_{0};
   SplitMix64 delay_rng_{0xD31A7};
 
-  mutable std::mutex stats_mu_;
-  InstanceStats stats_;
-  Histogram proc_time_;
+  // Telemetry: counters + bucketed proc-time histogram are lock-free
+  // (common/metrics.h). The *exact* per-packet time series the figure
+  // benches print keeps its own mutex — it is unbounded and sorted-on-read,
+  // which no control loop should ever sample; benches read it after runs.
+  InstanceMetrics metrics_;
+  mutable std::mutex proc_mu_;
+  Histogram proc_time_;  // guarded by proc_mu_
 };
 
 }  // namespace chc

@@ -1,5 +1,7 @@
 #include "core/runtime.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "common/spin.h"
 
@@ -17,6 +19,9 @@ const char* model_name(Model m) {
 
 Runtime::Runtime(ChainSpec spec, RuntimeConfig cfg)
     : spec_(std::move(spec)), cfg_(cfg), delete_link_(LinkConfig{cfg.root_one_way}) {
+  // Store shards report into the runtime's telemetry registry (the registry
+  // outlives the store: declared first, destroyed last).
+  cfg_.store.metrics = &metrics_;
   store_ = std::make_unique<DataStore>(cfg_.store);
 
   ClientConfig root_cc;
@@ -36,6 +41,8 @@ Runtime::Runtime(ChainSpec spec, RuntimeConfig cfg)
         spec_.vertices()[v].steer_slots.value_or(cfg_.steer_slots);
     splitters_.push_back(std::make_unique<Splitter>(
         partition_scope_for(static_cast<VertexId>(v)), slots));
+    metrics_.register_splitter(static_cast<VertexId>(v),
+                               &splitters_.back()->metrics());
     vertex_sinks_[static_cast<VertexId>(v)];  // pre-create: threads only read
   }
 
@@ -106,6 +113,11 @@ uint16_t Runtime::spawn_instance(VertexId v, InstanceId store_id,
   }
   if (register_target) splitters_[v]->add_target(rid, input);
   by_rid_[rid] = inst.get();
+  NfInstance* raw = inst.get();
+  metrics_.register_instance(
+      v, rid, &raw->metrics(), &raw->client().metrics(),
+      [raw] { return static_cast<uint64_t>(raw->queue_depth()); },
+      [raw] { return raw->running(); });
   if (started_ && autostart) inst->start();
   instances_[v].push_back(std::move(inst));
   return rid;
@@ -131,6 +143,7 @@ void Runtime::start() {
 
 void Runtime::shutdown() {
   if (!started_) return;
+  disable_autoscaler();  // its thread calls into everything torn down below
   for (auto& vec : instances_) {
     for (auto& inst : vec) inst->stop();
   }
@@ -254,6 +267,48 @@ NfInstance* Runtime::by_runtime_id(uint16_t rid) {
 
 // --- elastic NF scaling (slot-steered) ----------------------------------------
 
+size_t Runtime::execute_steer_locked(VertexId v,
+                                     std::vector<SteerGroup>& groups) {
+  Splitter& sp = *splitters_[v];
+  const Scope scope = sp.partition_scope();
+  const uint32_t mask = sp.steering()->slot_mask;
+  // The epoch this steer will publish — correct because every epoch
+  // publisher (scale ops here, straggler resolution) serializes on
+  // nf_scale_mu_: it stamps both sides' gating state and the
+  // first_of_move marks, tying every parked segment to exactly this leg.
+  const uint64_t epoch = sp.steer_epoch() + 1;
+  size_t slots_moved = 0;
+  for (SteerGroup& g : groups) {
+    g.token = std::make_shared<std::atomic<bool>>(false);
+    slots_moved += g.slots.size();
+    auto slots = std::make_shared<const std::unordered_set<uint32_t>>(
+        g.slots.begin(), g.slots.end());
+    // Fig. 4 per group: the source flushes + releases every flow whose
+    // partition hash lands in a moved slot; the destination parks
+    // re-steered flows until the group's token flips. Both sides learn the
+    // slot footprint so gating stays per-leg when moves chain.
+    by_runtime_id(g.from)->add_pending_release(
+        [scope, mask, slots](const FiveTuple& t) {
+          return slots->contains(static_cast<uint32_t>(scope_hash(t, scope)) &
+                                 mask);
+        },
+        g.token, slots, scope, mask, epoch);
+    by_runtime_id(g.to)->add_inbound_move(g.token, slots, scope, mask, epoch);
+  }
+  sp.steer(groups);  // table flips here: new traffic follows the new map
+  // One "last" mark per distinct source, after every registration: the mark
+  // carries the cumulative release count, so it covers all of that source's
+  // groups. It trails every packet already queued at the source, so the
+  // release runs in queue order (Fig. 4 step 5).
+  std::vector<uint16_t> marked;
+  for (const SteerGroup& g : groups) {
+    if (std::find(marked.begin(), marked.end(), g.from) != marked.end()) continue;
+    marked.push_back(g.from);
+    by_runtime_id(g.from)->send_release_mark();
+  }
+  return slots_moved;
+}
+
 uint16_t Runtime::scale_nf_up(VertexId v) {
   std::lock_guard lk(nf_scale_mu_);
   const TimePoint t0 = SteadyClock::now();
@@ -278,43 +333,30 @@ uint16_t Runtime::scale_nf_up(VertexId v) {
              static_cast<unsigned>(v));
     return 0;
   }
-  const Scope scope = sp.partition_scope();
-  const uint32_t mask = sp.steering()->slot_mask;
-  // The epoch this steer will publish — correct because every epoch
-  // publisher (scale ops here, straggler resolution) serializes on
-  // nf_scale_mu_: it stamps both sides' gating state and the
-  // first_of_move marks, tying every parked segment to exactly this leg.
-  const uint64_t epoch = sp.steer_epoch() + 1;
-  size_t slots_moved = 0;
-  for (SteerGroup& g : groups) {
-    g.token = std::make_shared<std::atomic<bool>>(false);
-    slots_moved += g.slots.size();
-    auto slots = std::make_shared<const std::unordered_set<uint32_t>>(
-        g.slots.begin(), g.slots.end());
-    // Fig. 4 per group: the source flushes + releases every flow whose
-    // partition hash lands in a moved slot; the clone parks re-steered
-    // flows until the group's token flips. Both sides learn the slot
-    // footprint so gating stays per-leg when moves chain.
-    by_runtime_id(g.from)->add_pending_release(
-        [scope, mask, slots](const FiveTuple& t) {
-          return slots->contains(static_cast<uint32_t>(scope_hash(t, scope)) &
-                                 mask);
-        },
-        g.token, slots, scope, mask, epoch);
-    neo->add_inbound_move(g.token, slots, scope, mask, epoch);
-  }
-  sp.steer(groups);  // table flips here: new traffic steers to the clone
-  for (const SteerGroup& g : groups) {
-    // The "last" mark trails every packet already queued at the source, so
-    // the release runs in queue order (Fig. 4 step 5).
-    by_runtime_id(g.from)->send_release_mark();
-  }
+  const size_t slots_moved = execute_steer_locked(v, groups);
   last_nf_scale_ = {rid, sp.steer_epoch(), slots_moved,
                     to_usec(SteadyClock::now() - t0), true};
   CHC_INFO("scale_nf_up: vertex=%u rid=%u slots=%zu legs=%zu epoch=%llu",
            static_cast<unsigned>(v), rid, slots_moved, groups.size(),
            static_cast<unsigned long long>(last_nf_scale_.epoch));
   return rid;
+}
+
+size_t Runtime::rebalance_nf(VertexId v, const std::vector<uint64_t>& slot_load,
+                             double target_ratio, size_t max_slots) {
+  std::lock_guard lk(nf_scale_mu_);
+  const TimePoint t0 = SteadyClock::now();
+  Splitter& sp = *splitters_[v];
+  std::vector<SteerGroup> groups =
+      sp.plan_rebalance(slot_load, target_ratio, max_slots);
+  if (groups.empty()) return 0;
+  const size_t slots_moved = execute_steer_locked(v, groups);
+  last_nf_scale_ = {0, sp.steer_epoch(), slots_moved,
+                    to_usec(SteadyClock::now() - t0), true};
+  CHC_INFO("rebalance_nf: vertex=%u slots=%zu legs=%zu epoch=%llu",
+           static_cast<unsigned>(v), slots_moved, groups.size(),
+           static_cast<unsigned long long>(last_nf_scale_.epoch));
+  return slots_moved;
 }
 
 bool Runtime::scale_nf_down(VertexId v, uint16_t rid) {
@@ -580,6 +622,21 @@ std::unique_ptr<StoreClient> Runtime::probe_client(VertexId v) {
   auto probe = spec_.vertices()[v].factory();
   for (const ObjectSpec& spec : probe->state_objects()) c->register_object(spec);
   return c;
+}
+
+// --- autoscaling ---------------------------------------------------------------
+
+VertexManager& Runtime::enable_autoscaler(const VertexManagerConfig& cfg) {
+  disable_autoscaler();
+  autoscaler_ = std::make_unique<VertexManager>(*this, cfg);
+  autoscaler_->start();
+  return *autoscaler_;
+}
+
+void Runtime::disable_autoscaler() {
+  if (!autoscaler_) return;
+  autoscaler_->stop();
+  autoscaler_.reset();
 }
 
 uint64_t Runtime::suppressed_duplicates() const {

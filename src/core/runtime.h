@@ -11,6 +11,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/metrics.h"
+#include "control/vertex_manager.h"
 #include "core/chain.h"
 #include "core/instance.h"
 #include "core/root.h"
@@ -116,6 +118,14 @@ class Runtime {
   // back to the store, then detaches and stops it. Returns false if `rid`
   // is unknown, not running, or the vertex's last partition instance.
   bool scale_nf_down(VertexId v, uint16_t rid);
+  // Load-aware hot-slot re-steer (Splitter::plan_rebalance over live
+  // per-slot counters): moves the hottest slots off the most-loaded
+  // instance onto the least-loaded, with the full Fig. 4 handover per
+  // moved slot. `slot_load` is a per-slot routed window (typically
+  // splitter(v).take_slot_load(), or the vertex manager's last sample).
+  // Returns the number of slots re-steered (0 = already balanced).
+  size_t rebalance_nf(VertexId v, const std::vector<uint64_t>& slot_load,
+                      double target_ratio, size_t max_slots = 8);
   NfScaleStats last_nf_scale() const {
     std::lock_guard lk(nf_scale_mu_);
     return last_nf_scale_;
@@ -167,6 +177,19 @@ class Runtime {
   // benches to inspect NF state. Register the NF's objects before reading.
   std::unique_ptr<StoreClient> probe_client(VertexId v);
 
+  // --- telemetry + autoscaling (control/vertex_manager.h) --------------------
+  // The unified telemetry registry: every splitter, instance, client, and
+  // store shard reports here. snapshot() is safe while traffic flows.
+  MetricRegistry& metrics() { return metrics_; }
+  TelemetrySnapshot sample_telemetry() const { return metrics_.snapshot(); }
+  // Start the paper's vertex manager: a control loop that samples metric
+  // snapshots and drives scale_nf_up/down, add_shard/remove_shard, and
+  // rebalance_nf through hysteresis-banded policies. Call after start();
+  // replaces any previous manager. shutdown() stops it first.
+  VertexManager& enable_autoscaler(const VertexManagerConfig& cfg);
+  void disable_autoscaler();
+  VertexManager* autoscaler() { return autoscaler_.get(); }
+
  private:
 
   uint16_t spawn_instance(VertexId v, InstanceId store_id, bool register_target,
@@ -184,8 +207,18 @@ class Runtime {
            p.event == AppEvent::kNone;
   }
 
+  // Fill the handover tokens and execute `groups`: register source releases
+  // + destination inbound moves, flip the steering table, and send one
+  // release mark per distinct source. Shared by scale_nf_up (groups from
+  // plan_scale_up) and rebalance_nf (groups from plan_rebalance). Caller
+  // holds nf_scale_mu_. Returns slots moved.
+  size_t execute_steer_locked(VertexId v, std::vector<SteerGroup>& groups);
+
   ChainSpec spec_;
   RuntimeConfig cfg_;
+  // Declared before every component that registers into it: the registry
+  // holds non-owning pointers, so it must be destroyed last.
+  MetricRegistry metrics_;
   std::unique_ptr<DataStore> store_;
   std::unique_ptr<Root> root_;
   std::vector<std::unique_ptr<Splitter>> splitters_;  // one per vertex
@@ -213,6 +246,9 @@ class Runtime {
   uint16_t next_rid_ = 1;
   InstanceId next_store_id_ = 1;
   bool started_ = false;
+  // Declared last: the manager's thread calls back into everything above,
+  // so it must be destroyed (and its thread joined) first.
+  std::unique_ptr<VertexManager> autoscaler_;
 };
 
 }  // namespace chc

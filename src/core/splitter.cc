@@ -14,13 +14,15 @@ uint32_t round_up_pow2(uint32_t v) {
 }  // namespace
 
 Splitter::Splitter(Scope partition_scope, uint32_t steer_slots)
-    : scope_(partition_scope) {
+    : scope_(partition_scope),
+      metrics_(round_up_pow2(std::max<uint32_t>(steer_slots, 1))) {
   auto t = std::make_shared<SteeringTable>();
-  const uint32_t slots = round_up_pow2(std::max<uint32_t>(steer_slots, 1));
+  const uint32_t slots = static_cast<uint32_t>(metrics_.slot_routed.size());
   t->epoch = 1;
   t->slot_mask = slots - 1;
   t->slot_to_rid.assign(slots, 0);  // unassigned until the first target
   steer_ = std::move(t);
+  slot_window_base_.assign(slots, 0);
 }
 
 size_t Splitter::index_of_locked(uint16_t rid) const {
@@ -221,6 +223,7 @@ PacketLinkPtr Splitter::route(Packet&& p) {
     for (auto& t : targets_) {
       if (t.runtime_id == p.replay_target) {
         t.routed++;
+        metrics_.routed_total.add();
         PacketLinkPtr link = t.link;
         link->send(std::move(p));
         return link;
@@ -229,6 +232,7 @@ PacketLinkPtr Splitter::route(Packet&& p) {
   }
 
   const uint64_t key = scope_hash(p.tuple, scope_);
+  const uint32_t load_slot = steer_->slot_of(key);
   size_t idx = SIZE_MAX;
   if (auto it = overrides_.find(key); it != overrides_.end()) {
     // Per-key override (legacy move_flows path) wins over the table.
@@ -239,7 +243,7 @@ PacketLinkPtr Splitter::route(Packet&& p) {
       p.move_epoch = static_cast<uint32_t>(it->second.epoch);
     }
   } else {
-    const uint32_t slot = steer_->slot_of(key);
+    const uint32_t slot = load_slot;  // same immutable table, same hash
     if (auto mv = moving_.find(slot); mv != moving_.end()) {
       if (mv->second.token &&
           mv->second.token->load(std::memory_order_acquire)) {
@@ -260,6 +264,8 @@ PacketLinkPtr Splitter::route(Packet&& p) {
 
   SplitterTarget& t = targets_[idx];
   t.routed++;
+  metrics_.routed_total.add();
+  metrics_.slot_routed.add(load_slot);
 
   // Straggler mitigation: mirror the packet to the clone (§5.3).
   if (auto r = replicas_.find(t.runtime_id); r != replicas_.end()) {
@@ -380,6 +386,92 @@ std::vector<std::pair<uint16_t, uint64_t>> Splitter::load() const {
   out.reserve(targets_.size());
   for (const auto& t : targets_) out.emplace_back(t.runtime_id, t.routed);
   return out;
+}
+
+std::vector<std::pair<uint16_t, uint64_t>> Splitter::take_load() {
+  std::lock_guard lk(mu_);
+  std::vector<std::pair<uint16_t, uint64_t>> out;
+  out.reserve(targets_.size());
+  for (auto& t : targets_) {
+    out.emplace_back(t.runtime_id, t.routed - t.window_base);
+    t.window_base = t.routed;
+  }
+  return out;
+}
+
+std::vector<uint64_t> Splitter::take_slot_load() {
+  std::lock_guard lk(mu_);
+  std::vector<uint64_t> out(metrics_.slot_routed.size());
+  for (size_t s = 0; s < out.size(); ++s) {
+    const uint64_t now = metrics_.slot_routed.value(s);
+    out[s] = now - slot_window_base_[s];
+    slot_window_base_[s] = now;
+  }
+  return out;
+}
+
+std::vector<SteerGroup> Splitter::plan_rebalance(
+    const std::vector<uint64_t>& slot_load, double target_ratio,
+    size_t max_slots) const {
+  std::lock_guard lk(mu_);
+  std::vector<SteerGroup> groups;
+  if (slot_load.size() != steer_->num_slots() || target_ratio < 1.0) {
+    return groups;
+  }
+  // Only in-partition targets that are live routing destinations count.
+  std::vector<uint16_t> holders;
+  for (uint16_t r : steer_->active_rids) {
+    const size_t i = index_of_locked(r);
+    if (i != SIZE_MAX && targets_[i].in_partition) holders.push_back(r);
+  }
+  if (holders.size() < 2) return groups;
+
+  uint16_t max_rid = 0;
+  for (uint16_t r : holders) max_rid = std::max(max_rid, r);
+  std::vector<uint64_t> loads(static_cast<size_t>(max_rid) + 1, 0);
+  uint64_t total = 0;
+  std::vector<uint16_t> scratch = steer_->slot_to_rid;
+  for (uint32_t s = 0; s < scratch.size(); ++s) {
+    if (scratch[s] < loads.size()) loads[scratch[s]] += slot_load[s];
+    total += slot_load[s];
+  }
+  const double mean = static_cast<double>(total) /
+                      static_cast<double>(holders.size());
+  if (mean <= 0) return groups;
+
+  auto find_group = [&](uint16_t from, uint16_t to) -> SteerGroup& {
+    for (SteerGroup& g : groups) {
+      if (g.from == from && g.to == to) return g;
+    }
+    groups.push_back({from, to, {}, nullptr});
+    return groups.back();
+  };
+
+  for (size_t moved = 0; moved < max_slots; ++moved) {
+    uint16_t victim = holders.front(), dest = holders.front();
+    for (uint16_t r : holders) {
+      if (loads[r] > loads[victim]) victim = r;
+      if (loads[r] < loads[dest]) dest = r;
+    }
+    if (static_cast<double>(loads[victim]) <= target_ratio * mean) break;
+    // Hottest slot on the victim whose move strictly shrinks the spread —
+    // moving a slot bigger than the victim/dest gap would just relocate the
+    // hot spot. Slots mid-handover are left alone: re-steering them again
+    // churns the mover protocol for no balance gain.
+    uint32_t best = UINT32_MAX;
+    for (uint32_t s = 0; s < scratch.size(); ++s) {
+      if (scratch[s] != victim || slot_load[s] == 0) continue;
+      if (moving_.contains(s)) continue;
+      if (loads[dest] + slot_load[s] >= loads[victim]) continue;
+      if (best == UINT32_MAX || slot_load[s] > slot_load[best]) best = s;
+    }
+    if (best == UINT32_MAX) break;
+    scratch[best] = dest;
+    loads[victim] -= slot_load[best];
+    loads[dest] += slot_load[best];
+    find_group(victim, dest).slots.push_back(best);
+  }
+  return groups;
 }
 
 }  // namespace chc

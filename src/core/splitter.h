@@ -23,6 +23,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/metrics.h"
 #include "net/packet.h"
 #include "transport/sim_link.h"
 
@@ -39,6 +40,9 @@ struct SplitterTarget {
   // overrides. Remapping the table under live traffic would silently
   // reassign flows with no handover.
   bool in_partition = true;
+  // Window floor for take_load(): routed count at the last take. Keeps the
+  // `routed` counter monotonic while rate policies get per-window deltas.
+  uint64_t window_base = 0;
 };
 
 // Immutable slot -> instance map. Published tables are snapshots: readers
@@ -145,8 +149,32 @@ class Splitter {
   void set_replica(uint16_t of, uint16_t clone);
   void clear_replica(uint16_t of);
 
-  // Per-target routed counts (load statistics for the vertex manager).
+  // --- load telemetry (vertex manager) ---------------------------------------
+  // Per-target routed counts, monotonic since construction.
   std::vector<std::pair<uint16_t, uint64_t>> load() const;
+  // Per-target routed counts since the previous take_load() call (windowed:
+  // what rate-based policies consume; load() stays monotonic).
+  std::vector<std::pair<uint16_t, uint64_t>> take_load();
+  // Per-steering-slot routed counts since the previous take_slot_load()
+  // call — the rebalancer's raw signal (feed to plan_rebalance).
+  std::vector<uint64_t> take_slot_load();
+  // Unified telemetry surface (registered with the MetricRegistry).
+  const SplitterMetrics& metrics() const { return metrics_; }
+
+  // Load-aware hot-slot re-steer (the vertex manager's rebalance actuator;
+  // mirrors ShardRouter::plan_add's most-loaded heuristic, but driven by
+  // live per-slot counters instead of slot counts): given per-slot routed
+  // counts over a recent window (take_slot_load()), plan moving the hottest
+  // slots off the most-loaded holder onto the least-loaded one until the
+  // projected max/mean per-target load drops to `target_ratio`, or
+  // `max_slots` slots have moved. Slots already mid-handover are skipped.
+  // Pure: nothing is published until steer(). Empty when already balanced,
+  // fewer than two holders hold traffic, or no single move improves the
+  // spread.
+  std::vector<SteerGroup> plan_rebalance(const std::vector<uint64_t>& slot_load,
+                                         double target_ratio,
+                                         size_t max_slots = 8) const;
+
   size_t num_targets() const {
     std::lock_guard lk(mu_);
     return targets_.size();
@@ -169,6 +197,8 @@ class Splitter {
   Scope scope_;
   std::vector<SplitterTarget> targets_;
   std::shared_ptr<const SteeringTable> steer_;
+  SplitterMetrics metrics_;
+  std::vector<uint64_t> slot_window_base_;  // take_slot_load floors (mu_)
 
   // Slots with a handover in flight: the first packet of each flow gets the
   // first_of_move mark (stamped with the move's epoch) until the token

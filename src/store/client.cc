@@ -104,13 +104,13 @@ Response StoreClient::do_blocking(Request req) {
         if (resp->status == Status::kWrongShard) {
           // The key's slot moved mid-flight (reshard). Refresh the table
           // and resubmit; DataStore re-routes at submit time.
-          stats_.wrong_shard_bounces++;
+          metrics_.wrong_shard_bounces.add();
           req.route_epoch = routing()->epoch;
           store_->submit(req);
           continue;
         }
-        stats_.blocking_rtts++;
-        if (resp->status == Status::kEmulated) stats_.emulated++;
+        metrics_.blocking_rtts.add();
+        if (resp->status == Status::kEmulated) metrics_.emulated.add();
         return *resp;
       }
       // Stale reply from a timed-out earlier attempt; drop it.
@@ -131,7 +131,7 @@ void StoreClient::do_nonblocking(Request req) {
   req.instance = cfg_.instance;
   req.client_uid = cfg_.client_uid ? cfg_.client_uid : cfg_.instance;
   if (req.req_id == 0) req.req_id = next_req_id();
-  stats_.nonblocking_ops++;
+  metrics_.nonblocking_ops.add();
 
   if (batching_active() && req.op != OpType::kBatch) {
     // Batched fast path: buffer the op per destination shard; it travels in
@@ -168,13 +168,13 @@ void StoreClient::do_nonblocking(Request req) {
           if (resp->status == Status::kWrongShard) {
             // Reshard bounce: the enqueue did not land. Re-route and keep
             // waiting for the real ACK.
-            stats_.wrong_shard_bounces++;
+            metrics_.wrong_shard_bounces.add();
             req.route_epoch = routing()->epoch;
             store_->submit(req);
             continue;
           }
-          stats_.blocking_rtts++;
-          if (resp->status == Status::kEmulated) stats_.emulated++;
+          metrics_.blocking_rtts.add();
+          if (resp->status == Status::kEmulated) metrics_.emulated.add();
           return;
         }
         if (resp->msg == Response::Kind::kAck) {
@@ -188,7 +188,7 @@ void StoreClient::do_nonblocking(Request req) {
           deferred_async_.push_back(std::move(*resp));
         }
       }
-      stats_.retransmissions++;
+      metrics_.retransmissions.add();
       store_->submit(req);
     }
     return;
@@ -203,7 +203,7 @@ void StoreClient::do_nonblocking(Request req) {
 void StoreClient::handle_async(const Response& r) {
   switch (r.msg) {
     case Response::Kind::kAck: {
-      if (r.status == Status::kEmulated) stats_.emulated++;
+      if (r.status == Status::kEmulated) metrics_.emulated.add();
       if (r.status == Status::kNotOwner) {
         // A non-blocking update bounced off ownership enforcement: its
         // effect is gone (the mover protocol should make this unreachable;
@@ -239,9 +239,9 @@ void StoreClient::handle_async(const Response& r) {
           }
         }
         pending_acks_.erase(r.req_id);
-        stats_.wrong_shard_bounces += bounced.size();
+        metrics_.wrong_shard_bounces.add(bounced.size());
         for (Request& sub : bounced) {
-          stats_.nonblocking_ops--;  // do_nonblocking re-counts this op
+          metrics_.nonblocking_ops.sub();  // do_nonblocking re-counts this op
           do_nonblocking(std::move(sub));
         }
         break;
@@ -254,7 +254,7 @@ void StoreClient::handle_async(const Response& r) {
       CacheEntry& e = cache_[r.key];
       e.value = r.value;
       e.loaded = true;
-      stats_.callbacks_applied++;
+      metrics_.callbacks_applied.add();
       break;
     }
     case Response::Kind::kOwnershipGranted: {
@@ -291,7 +291,7 @@ void StoreClient::track_pending(Request req) {
 void StoreClient::reroute_pending(uint64_t req_id) {
   PendingAck* pa = pending_acks_.find_ptr(req_id);
   if (!pa) return;  // already ACKed by a racing retransmission
-  stats_.wrong_shard_bounces++;
+  metrics_.wrong_shard_bounces.add();
   // A bounce burns a retry and pays the same capped backoff as a timeout:
   // a persistently bouncing slot (wedged migration target) must degrade
   // into probes, not an instant-resubmit loop at link cadence.
@@ -308,9 +308,9 @@ void StoreClient::flush_batches() {
   if (batch_pending_ == 0) return;
   for (auto& buf : batch_buf_) {
     if (buf.empty()) continue;
-    stats_.batches_sent++;
-    stats_.batched_ops += buf.size();
-    stats_.max_batch_depth = std::max<uint64_t>(stats_.max_batch_depth, buf.size());
+    metrics_.batches_sent.add();
+    metrics_.batched_ops.add(buf.size());
+    metrics_.max_batch_depth.record_max(static_cast<int64_t>(buf.size()));
     batch_hist_.record(static_cast<double>(buf.size()));
     if (buf.size() == 1) {
       // A lone op needs no envelope; restore its own ACK.
@@ -399,7 +399,7 @@ void StoreClient::poll() {
       Duration wait = cfg_.ack_timeout * (1 << std::min(pa.retries, 6));
       if (wait > cfg_.max_ack_backoff) wait = cfg_.max_ack_backoff;
       pa.deadline = now + wait;
-      stats_.retransmissions++;
+      metrics_.retransmissions.add();
     }
   }
 }
@@ -450,12 +450,12 @@ Value StoreClient::apply_to_entry(ObjectState& os, const StoreKey& key,
                                   CacheEntry& e, OpType op, const Value& arg,
                                   const Value& arg2, uint16_t custom_id,
                                   Status* status) {
-  stats_.cache_hits++;
+  metrics_.cache_hits.add();
 
   // Client-side duplicate emulation: a replayed packet whose effect is
   // already folded into the value we loaded must not re-apply (§5.3).
   if (current_clock_ != kNoClock && e.applied_clocks.contains(current_clock_)) {
-    stats_.emulated++;
+    metrics_.emulated.add();
     if (status) *status = Status::kEmulated;
     note_update(key.object);  // the ledger still expects this packet's tag
     return e.value;
@@ -547,7 +547,7 @@ Value StoreClient::get(ObjectId obj, const FiveTuple& t) {
   note_touch(os, t);
   if (cached_now(os)) {
     CacheEntry& e = load_cache(os, key, t);
-    stats_.cache_hits++;
+    metrics_.cache_hits.add();
     return e.value;
   }
   Request req;
@@ -626,14 +626,14 @@ int64_t StoreClient::incr(FlowHandle& h, int64_t delta) {
     ObjectState& os = objects_.at(h.obj_);
     if (cached_now(os)) {
       if (CacheEntry* e = revalidate(h); e && e->loaded) {
-        stats_.handle_fast_hits++;
+        metrics_.handle_fast_hits.add();
         return apply_to_entry(os, h.key_, *e, OpType::kIncr, Value::of_int(delta),
                               {}, 0, nullptr)
             .as_int();
       }
     }
   }
-  stats_.handle_slow_paths++;
+  metrics_.handle_slow_paths.add();
   return incr(h.obj_, h.tuple_, delta);
 }
 
@@ -642,13 +642,13 @@ Value StoreClient::get(FlowHandle& h) {
     ObjectState& os = objects_.at(h.obj_);
     if (cached_now(os)) {
       if (CacheEntry* e = revalidate(h); e && e->loaded) {
-        stats_.handle_fast_hits++;
-        stats_.cache_hits++;
+        metrics_.handle_fast_hits.add();
+        metrics_.cache_hits.add();
         return e->value;
       }
     }
   }
-  stats_.handle_slow_paths++;
+  metrics_.handle_slow_paths.add();
   return get(h.obj_, h.tuple_);
 }
 
@@ -657,13 +657,13 @@ void StoreClient::set(FlowHandle& h, Value v) {
     ObjectState& os = objects_.at(h.obj_);
     if (cached_now(os)) {
       if (CacheEntry* e = revalidate(h); e && e->loaded) {
-        stats_.handle_fast_hits++;
+        metrics_.handle_fast_hits.add();
         apply_to_entry(os, h.key_, *e, OpType::kSet, v, {}, 0, nullptr);
         return;
       }
     }
   }
-  stats_.handle_slow_paths++;
+  metrics_.handle_slow_paths.add();
   set(h.obj_, h.tuple_, std::move(v));
 }
 
@@ -720,7 +720,7 @@ void StoreClient::push_list_bulk(ObjectId obj, const FiveTuple& t,
     req.want_ack = false;
     if (key.shared) record_wal(key, OpType::kPushList, req.arg, {}, 0);
     note_update(obj);
-    stats_.nonblocking_ops++;
+    metrics_.nonblocking_ops.add();
     reqs.push_back(std::move(req));
   }
 
@@ -754,7 +754,7 @@ void StoreClient::push_list_bulk(ObjectId obj, const FiveTuple& t,
       if (list_size() >= before + values.size()) return;
       break;
     }
-    stats_.retransmissions++;
+    metrics_.retransmissions.add();
   }
   // Whole-envelope silent bounce: verify-and-retry the full batch (safe:
   // single key => single slot => all-or-nothing, see above).
@@ -776,7 +776,7 @@ void StoreClient::push_list_bulk(ObjectId obj, const FiveTuple& t,
       req.want_ack = false;
       retry.push_back(std::move(req));
     }
-    stats_.retransmissions++;
+    metrics_.retransmissions.add();
     store_->submit_batched(std::move(retry));
   }
   if (list_size() >= before + values.size()) return;
@@ -1144,6 +1144,23 @@ void StoreClient::reset_cache() {
 void StoreClient::record_wal(const StoreKey& key, OpType op, const Value& arg,
                              const Value& arg2, uint16_t custom_id) {
   wal_.push_back({current_clock_, op, key, arg, arg2, custom_id});
+}
+
+ClientStats StoreClient::stats() const {
+  ClientStats s;
+  s.blocking_rtts = metrics_.blocking_rtts.value();
+  s.nonblocking_ops = metrics_.nonblocking_ops.value();
+  s.cache_hits = metrics_.cache_hits.value();
+  s.retransmissions = metrics_.retransmissions.value();
+  s.callbacks_applied = metrics_.callbacks_applied.value();
+  s.emulated = metrics_.emulated.value();
+  s.batches_sent = metrics_.batches_sent.value();
+  s.batched_ops = metrics_.batched_ops.value();
+  s.max_batch_depth = static_cast<uint64_t>(metrics_.max_batch_depth.value());
+  s.handle_fast_hits = metrics_.handle_fast_hits.value();
+  s.handle_slow_paths = metrics_.handle_slow_paths.value();
+  s.wrong_shard_bounces = metrics_.wrong_shard_bounces.value();
+  return s;
 }
 
 }  // namespace chc

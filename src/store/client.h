@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "common/flat_map.h"
+#include "common/histogram.h"
+#include "common/metrics.h"
 #include "net/five_tuple.h"
 #include "store/datastore.h"
 
@@ -70,6 +72,9 @@ struct ClientConfig {
   LinkConfig reply_link;  // delay store -> NF (mirror of request links)
 };
 
+// Plain-data view of a client's counters. Built on demand from the
+// lock-free ClientMetrics (common/metrics.h), so the control plane can read
+// a coherent-enough copy while the instance worker keeps issuing ops.
 struct ClientStats {
   uint64_t blocking_rtts = 0;   // ops that waited a full round trip
   uint64_t nonblocking_ops = 0;
@@ -220,7 +225,9 @@ class StoreClient {
   // After NF failover: forget everything cached (state now lives in store).
   void reset_cache();
 
-  const ClientStats& stats() const { return stats_; }
+  ClientStats stats() const;
+  // Unified telemetry surface (registered with the MetricRegistry).
+  const ClientMetrics& metrics() const { return metrics_; }
   // Ops-per-envelope histogram (amortization telemetry for the benches).
   const Histogram& batch_depth_hist() const { return batch_hist_; }
   InstanceId instance() const { return cfg_.instance; }
@@ -340,7 +347,7 @@ class StoreClient {
 
   std::vector<WalEntry> wal_;
   std::vector<ReadLogEntry> read_log_;
-  ClientStats stats_;
+  ClientMetrics metrics_;
   SplitMix64 local_rng_{0x10CA1};
   uint64_t flush_seq_ = 0;
 };

@@ -30,8 +30,17 @@ DataStore::DataStore(const DataStoreConfig& cfg)
     }
     shards_.back()->set_owned_slots(owned);
     shard_active_.push_back(true);
+    register_shard_metrics(i);
   }
   shard_count_.store(cfg.num_shards, std::memory_order_release);
+}
+
+void DataStore::register_shard_metrics(int i) {
+  if (!cfg_.metrics) return;
+  StoreShard* s = shards_[static_cast<size_t>(i)].get();
+  cfg_.metrics->register_shard(
+      i, &s->metrics(), [s] { return s->request_link().pending(); },
+      [s] { return s->serving(); });
 }
 
 DataStore::~DataStore() { stop(); }
@@ -230,6 +239,7 @@ int DataStore::add_shard() {
         id, link, custom_ops_, cfg_.burst, router_.table()->num_slots(), &router_));
     shard_active_.push_back(false);
     if (commit_cb_) shards_.back()->set_commit_listener(commit_cb_);
+    register_shard_metrics(id);
     // Publish the element before clients can learn the new id via the
     // routing table (run_moves publishes after this store).
     shard_count_.store(static_cast<int>(shards_.size()), std::memory_order_release);

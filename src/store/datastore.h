@@ -36,6 +36,10 @@ struct DataStoreConfig {
   // pre-reserved to this so the data path can index it without locking
   // while add_shard() appends.
   int max_shards = 32;
+  // Telemetry registry to report shards into (the Runtime passes its own).
+  // Null = unregistered: standalone stores still record metrics into each
+  // shard's ShardMetrics, they just aren't enumerable via a snapshot.
+  MetricRegistry* metrics = nullptr;
 };
 
 // Telemetry for one add_shard()/remove_shard() call.
@@ -135,6 +139,7 @@ class DataStore {
   // one planned reshard. Returns false if any confirmation timed out.
   bool run_moves(RoutingTable next, const std::vector<MoveGroup>& moves,
                  ReshardStats* stats);
+  void register_shard_metrics(int i);
 
   DataStoreConfig cfg_;
   std::shared_ptr<CustomOpRegistry> custom_ops_;

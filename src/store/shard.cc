@@ -30,7 +30,8 @@ StoreShard::StoreShard(int index, const LinkConfig& link_cfg,
       requests_(link_cfg),
       custom_ops_(std::move(custom_ops)),
       router_(router),
-      rng_(0xC0FFEE + static_cast<uint64_t>(index)) {
+      rng_(0xC0FFEE + static_cast<uint64_t>(index)),
+      metrics_(num_slots) {
   if (num_slots > 0) {
     slot_mask_ = num_slots - 1;
     slot_states_.assign(num_slots, kUnowned);
@@ -107,15 +108,9 @@ void StoreShard::run() {
     for (Request& req : burst) {
       process(std::move(req));
     }
-    wakeups_.fetch_add(1, std::memory_order_relaxed);
-    uint64_t prev = max_burst_.load(std::memory_order_relaxed);
-    while (n > prev &&
-           !max_burst_.compare_exchange_weak(prev, n, std::memory_order_relaxed)) {
-    }
-    {
-      std::lock_guard lk(stats_mu_);
-      burst_hist_.record(static_cast<double>(n));
-    }
+    metrics_.wakeups.add();
+    metrics_.max_burst.record_max(static_cast<int64_t>(n));
+    metrics_.burst.record(n);
   }
 }
 
@@ -155,6 +150,7 @@ StoreShard::Admit StoreShard::route_admit(Request& req) {
         parked_[slot_mask_ & static_cast<uint32_t>(req.key.hash())]
             .push_back(std::move(req));
         parked_count_++;
+        metrics_.parked.add();
         return Admit::kParked;
       }
       [[fallthrough]];  // park overflow: bounce, the client retries
@@ -165,7 +161,7 @@ StoreShard::Admit StoreShard::route_admit(Request& req) {
 }
 
 void StoreShard::bounce(const Request& req) {
-  bounced_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.bounced.add();
   Response r;
   r.status = Status::kWrongShard;
   r.route_epoch = router_ ? router_->epoch() : 0;
@@ -208,7 +204,12 @@ Response StoreShard::apply(const Request& req) {
     default:
       break;
   }
-  ops_applied_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.ops_applied.add();
+  // Per-router-slot load: the state-tier twin of the splitter's per-slot
+  // routed counters (skew telemetry for the vertex manager).
+  if (slot_mask_ != 0) {
+    metrics_.slot_ops.add(req.key.hash() & slot_mask_);
+  }
   Response r;
 
   ShardEntry& entry = entries_[req.key];
@@ -407,7 +408,7 @@ Response StoreShard::apply_control(const Request& req) {
     case OpType::kNonDet: {
       // Appendix A: the store computes non-deterministic values and memoizes
       // them by packet clock so replay sees identical values.
-      ops_applied_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.ops_applied.add();
       if (auto it = nondet_log_.find(req.clock); it != nondet_log_.end()) {
         r.status = Status::kEmulated;
         r.value = it->second;
@@ -459,7 +460,7 @@ Response StoreShard::apply_control(const Request& req) {
                               sub_r.nacked.end());
             }
           } else {
-            bounced_.fetch_add(1, std::memory_order_relaxed);
+            metrics_.bounced.add();
             r.nacked.push_back(sub.req_id);
           }
         }
@@ -634,7 +635,7 @@ void StoreShard::install_chunk(const Request& req) {
       clock_index_[clock].push_back(key);
     }
     entries_.emplace(key, std::move(entry));
-    migrated_in_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.migrated_in.add();
   }
   if (!mc.final_chunk) return;
 

@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "common/flat_map.h"
-#include "common/histogram.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "store/message.h"
 #include "store/router.h"
@@ -134,11 +134,9 @@ class StoreShard {
   // True while this shard serves traffic (start()ed and not stop()ped).
   bool serving() const { return running_.load(std::memory_order_acquire); }
   // Entries merged in by kInstallSlots (reshard telemetry).
-  uint64_t migrated_in() const {
-    return migrated_in_.load(std::memory_order_relaxed);
-  }
+  uint64_t migrated_in() const { return metrics_.migrated_in.value(); }
   // Requests bounced with kWrongShard (stale-route telemetry).
-  uint64_t bounced() const { return bounced_.load(std::memory_order_relaxed); }
+  uint64_t bounced() const { return metrics_.bounced.value(); }
 
   SimLink<Request>& request_link() { return requests_; }
   void set_commit_listener(CommitListener cb) { commit_cb_ = std::move(cb); }
@@ -147,19 +145,21 @@ class StoreShard {
   // round trip). The raw store throughput benchmark uses this.
   Response apply_inline(const Request& req) { return apply(req); }
 
-  uint64_t ops_applied() const { return ops_applied_.load(); }
+  uint64_t ops_applied() const { return metrics_.ops_applied.value(); }
 
-
-  // --- burst accounting (amortization telemetry for the benches) -----------
+  // --- burst accounting (amortization telemetry) ----------------------------
   // Number of worker wakeups that found at least one request.
-  uint64_t wakeups() const { return wakeups_.load(std::memory_order_relaxed); }
+  uint64_t wakeups() const { return metrics_.wakeups.value(); }
   // Largest burst drained in a single wakeup.
-  uint64_t max_burst() const { return max_burst_.load(std::memory_order_relaxed); }
-  // Requests-per-wakeup histogram (copied under the stats lock).
-  Histogram burst_hist() const {
-    std::lock_guard lk(stats_mu_);
-    return burst_hist_;
+  uint64_t max_burst() const {
+    return static_cast<uint64_t>(metrics_.max_burst.value());
   }
+  // Requests-per-wakeup histogram. A lock-free bucketed snapshot (the old
+  // exact Histogram lived under a stats mutex and grew without bound): safe
+  // for the vertex manager to sample while the worker drains bursts.
+  HistSnapshot burst_hist() const { return metrics_.burst.snapshot(); }
+  // Unified telemetry surface (registered with the MetricRegistry).
+  const ShardMetrics& metrics() const { return metrics_; }
 
  private:
   // Slot routing states. A slot is kPending between the target's
@@ -217,8 +217,6 @@ class StoreShard {
   size_t parked_count_ = 0;
   static constexpr size_t kParkedCap = 8192;  // past this: bounce, client retries
   static constexpr size_t kMigrateChunk = 128;  // entries per kInstallSlots
-  std::atomic<uint64_t> migrated_in_{0};
-  std::atomic<uint64_t> bounced_{0};
 
   ShardEntryMap entries_;
   // clock -> keys whose update_log mentions it; makes GC O(updates/packet).
@@ -242,11 +240,10 @@ class StoreShard {
   SplitMix64 rng_;
   std::thread worker_;
   std::atomic<bool> running_{false};
-  std::atomic<uint64_t> ops_applied_{0};
-  std::atomic<uint64_t> wakeups_{0};
-  std::atomic<uint64_t> max_burst_{0};
-  mutable std::mutex stats_mu_;
-  Histogram burst_hist_;
+  // All shard telemetry (op counts, burst shape, per-router-slot load)
+  // lives here: relaxed-atomic recording on the worker, lock-free sampling
+  // from the control plane.
+  ShardMetrics metrics_;
 };
 
 }  // namespace chc

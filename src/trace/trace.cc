@@ -1,6 +1,7 @@
 #include "trace/trace.h"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 
 #include "common/histogram.h"
@@ -109,6 +110,28 @@ Trace generate_trace(const TraceConfig& cfg) {
   std::vector<FlowPlan> flows;
   flows.reserve(cfg.num_connections + cfg.trojan_signatures.size() * 3);
 
+  // Zipf mode: deal the packet budget across bulk flows by rank weight
+  // (rank k of n gets k^-alpha / H of the budget). Deterministic given the
+  // config — the tail shape is the point, not sampling noise.
+  std::vector<size_t> zipf_len;
+  if (cfg.zipf_alpha > 0 && n_bulk > 0) {
+    double harmonic = 0;
+    for (size_t k = 1; k <= n_bulk; ++k) {
+      harmonic += std::pow(static_cast<double>(k), -cfg.zipf_alpha);
+    }
+    const double budget =
+        static_cast<double>(cfg.num_packets > 2 * n_scan
+                                ? cfg.num_packets - 2 * n_scan
+                                : cfg.num_packets);
+    zipf_len.reserve(n_bulk);
+    for (size_t k = 1; k <= n_bulk; ++k) {
+      const double share =
+          std::pow(static_cast<double>(k), -cfg.zipf_alpha) / harmonic;
+      zipf_len.push_back(std::max<size_t>(
+          3, static_cast<size_t>(budget * share + 0.5)));
+    }
+  }
+
   for (size_t i = 0; i < n_bulk; ++i) {
     FlowPlan f;
     const uint32_t src =
@@ -116,8 +139,10 @@ Trace generate_trace(const TraceConfig& cfg) {
     const uint16_t dport = rng.chance(0.7) ? 443 : static_cast<uint16_t>(rng.range(1, 1024));
     f.tuple = make_tuple(rng, cfg, src, dport);
     f.kind = FlowKind::kBulk;
-    f.remaining = std::max<size_t>(
-        3, static_cast<size_t>(rng.pareto(mean_bulk_len * 0.4, 1.5)));
+    f.remaining = zipf_len.empty()
+                      ? std::max<size_t>(3, static_cast<size_t>(
+                                                rng.pareto(mean_bulk_len * 0.4, 1.5)))
+                      : zipf_len[i];
     flows.push_back(f);
   }
   for (size_t i = 0; i < n_scan; ++i) {

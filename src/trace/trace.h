@@ -31,6 +31,14 @@ struct TraceConfig {
 
   // Fraction of connections that are scan probes (SYN answered by RST).
   double scan_fraction = 0.02;
+  // Heavy-tailed (Zipf) flow-size distribution. 0 keeps the legacy
+  // Pareto-ish draw; > 0 deals the packet budget across bulk flows by Zipf
+  // rank weight (flow of rank k gets ~ k^-alpha of the budget), so a few
+  // elephant flows dominate. This is what skew-sensitive machinery (the
+  // vertex manager's hot-slot rebalancer, steering-table skew tests) trains
+  // against: elephants pin whole steering slots hot while mice spread thin.
+  // Typical values: 0.9 (mild) .. 1.5 (brutal).
+  double zipf_alpha = 0;
   // Fraction of hosts that are designated scanners (sourcing the probes).
   size_t num_scanner_hosts = 4;
 

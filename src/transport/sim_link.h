@@ -24,6 +24,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/spin.h"
 #include "common/types.h"
@@ -83,7 +84,7 @@ class SimLink {
     } else {
       std::lock_guard lk(mu_);
       if (cfg_.drop_prob > 0 && rng_.chance(cfg_.drop_prob)) {
-        dropped_++;
+        dropped_.add();
         return false;
       }
       delay = cfg_.one_way_delay;
@@ -112,8 +113,7 @@ class SimLink {
             return false;
           case RingPush::kFull:
             if (SteadyClock::now() >= give_up) {
-              std::lock_guard lk(mu_);
-              dropped_++;
+              dropped_.add();
               return false;
             }
             std::this_thread::yield();
@@ -234,14 +234,13 @@ class SimLink {
     return out;
   }
 
-  // Lock-free depth estimate (hot polling loops: drain checks, benches).
+  // Lock-free depth estimate (hot polling loops: drain checks, vertex-
+  // manager queue sampling, benches).
   size_t pending() const {
     return ring_ ? ring_->approx_size() : q_.approx_size();
   }
-  size_t dropped() const {
-    std::lock_guard lk(mu_);
-    return dropped_;
-  }
+  // Lock-free: a metrics Counter, safe to sample from the control plane.
+  size_t dropped() const { return dropped_.value(); }
   void close() { ring_ ? ring_->close() : q_.close(); }
   void reopen() { ring_ ? ring_->reopen() : q_.reopen(); }
   bool closed() const { return ring_ ? ring_->closed() : q_.closed(); }
@@ -258,7 +257,7 @@ class SimLink {
   SplitMix64 rng_{7};
   std::atomic<bool> randomized_{false};
   std::atomic<Duration::rep> base_delay_{0};
-  size_t dropped_ = 0;
+  Counter dropped_;
   ConcurrentQueue<Timed> q_;
   std::unique_ptr<MpscRing<Timed>> ring_;
 };

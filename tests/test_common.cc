@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "common/histogram.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/spin.h"
 #include "common/types.h"
@@ -159,6 +160,139 @@ TEST(Spin, PastDeadlineReturnsImmediately) {
   const TimePoint t0 = SteadyClock::now();
   spin_until(t0 - Micros(100));
   EXPECT_LT(to_usec(SteadyClock::now() - t0), 100.0);
+}
+
+// --- unified telemetry layer (common/metrics.h) --------------------------------
+
+TEST(HistogramMerge, CombinesExactSeries) {
+  Histogram a, b;
+  for (int i = 1; i <= 50; ++i) a.record(i);
+  for (int i = 51; i <= 100; ++i) b.record(i);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_NEAR(a.median(), 50.5, 0.01);
+  EXPECT_DOUBLE_EQ(a.max(), 100.0);
+}
+
+TEST(Metrics, CounterAndGauge) {
+  Counter c;
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.sub(2);
+  EXPECT_EQ(c.value(), 40u);
+
+  Gauge g;
+  g.set(7);
+  g.record_max(3);
+  EXPECT_EQ(g.value(), 7);
+  g.record_max(11);
+  EXPECT_EQ(g.value(), 11);
+}
+
+TEST(Metrics, CounterVecWindows) {
+  CounterVec v(8);
+  v.add(3, 10);
+  v.add(7);
+  const auto vals = v.values();
+  ASSERT_EQ(vals.size(), 8u);
+  EXPECT_EQ(vals[3], 10u);
+  EXPECT_EQ(vals[7], 1u);
+  EXPECT_EQ(vals[0], 0u);
+}
+
+TEST(Metrics, BucketMathExactBelowEightBoundedErrorAbove) {
+  // Values below kExact land in their own bucket (exact).
+  for (uint64_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(HistSnapshot::bucket_of(v), v);
+    EXPECT_EQ(HistSnapshot::bucket_floor(v), v);
+  }
+  // Above: floor <= v < next floor, with <= 12.5% relative bucket width.
+  for (uint64_t v : {8ull, 9ull, 100ull, 1023ull, 1024ull, 123456789ull,
+                     (1ull << 40) + 12345}) {
+    const size_t idx = HistSnapshot::bucket_of(v);
+    const uint64_t lo = HistSnapshot::bucket_floor(idx);
+    const uint64_t hi = HistSnapshot::bucket_floor(idx + 1);
+    EXPECT_LE(lo, v);
+    EXPECT_GT(hi, v);
+    EXPECT_LE(static_cast<double>(hi - lo), 0.125 * static_cast<double>(lo) + 1);
+  }
+  // Buckets are monotone in value.
+  EXPECT_LT(HistSnapshot::bucket_of(100), HistSnapshot::bucket_of(1000));
+}
+
+TEST(Metrics, LoadHistogramPercentiles) {
+  LoadHistogram h;
+  for (uint64_t i = 0; i < 100; ++i) h.record(i < 99 ? 4 : 1000);
+  const HistSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count(), 100u);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 4.0);
+  // p100 lands in the 1000-bucket (<= 12.5% wide).
+  EXPECT_GE(s.percentile(100), 960.0);
+  EXPECT_LE(s.percentile(100), 1100.0);
+}
+
+TEST(Metrics, SnapshotMergeAndDelta) {
+  LoadHistogram h;
+  for (int i = 0; i < 10; ++i) h.record(2);
+  const HistSnapshot first = h.snapshot();
+  for (int i = 0; i < 5; ++i) h.record(600);
+  const HistSnapshot second = h.snapshot();
+
+  const HistSnapshot window = second.delta(first);
+  EXPECT_EQ(window.count(), 5u);
+  EXPECT_GE(window.percentile(50), 500.0);
+
+  HistSnapshot merged = first;
+  merged.merge(window);
+  EXPECT_EQ(merged.count(), second.count());
+  EXPECT_DOUBLE_EQ(merged.percentile(0), second.percentile(0));
+}
+
+TEST(Metrics, RegistrySnapshotWalksComponents) {
+  MetricRegistry reg;
+  InstanceMetrics im;
+  ClientMetrics cm;
+  SplitterMetrics sm(16);
+  ShardMetrics shm(16);
+
+  reg.register_splitter(0, &sm);
+  reg.register_instance(0, 7, &im, &cm, [] { return uint64_t{5}; },
+                        [] { return true; });
+  reg.register_shard(1, &shm, [] { return uint64_t{3}; }, [] { return true; });
+
+  im.processed.add(100);
+  cm.nonblocking_ops.add(40);
+  sm.routed_total.add(100);
+  sm.slot_routed.add(9, 100);
+  shm.ops_applied.add(60);
+  shm.slot_ops.add(2, 60);
+
+  const TelemetrySnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.vertices.size(), 1u);
+  const VertexSample* vs = snap.vertex(0);
+  ASSERT_NE(vs, nullptr);
+  EXPECT_EQ(vs->routed_total, 100u);
+  EXPECT_EQ(vs->slot_routed[9], 100u);
+  ASSERT_EQ(vs->instances.size(), 1u);
+  EXPECT_EQ(vs->instances[0].rid, 7);
+  EXPECT_EQ(vs->instances[0].processed, 100u);
+  EXPECT_EQ(vs->instances[0].queue_depth, 5u);
+  EXPECT_EQ(vs->instances[0].nonblocking_ops, 40u);
+  ASSERT_EQ(snap.shards.size(), 1u);
+  EXPECT_EQ(snap.shards[0].ops_applied, 60u);
+  EXPECT_EQ(snap.shards[0].slot_ops[2], 60u);
+  EXPECT_EQ(snap.shards[0].queue_depth, 3u);
+
+  // Windowed view: counters subtract, gauges keep the later value.
+  im.processed.add(11);
+  sm.routed_total.add(11);
+  const TelemetrySnapshot later = reg.snapshot();
+  const TelemetrySnapshot window = later.delta(snap);
+  EXPECT_EQ(window.vertex(0)->routed_total, 11u);
+  EXPECT_EQ(window.vertex(0)->instances[0].processed, 11u);
+  EXPECT_EQ(window.vertex(0)->instances[0].queue_depth, 5u);
+  EXPECT_EQ(window.shards[0].ops_applied, 0u);
 }
 
 }  // namespace

@@ -287,7 +287,38 @@ ChainResult run_chain(uint64_t reshard_seed) {
       reshards++;
     }
   }
-  EXPECT_TRUE(rt.wait_quiescent(std::chrono::seconds(60)));
+  const bool quiesced = rt.wait_quiescent(std::chrono::seconds(60));
+  if (!quiesced) {
+    // Known rare wedge (see ROADMAP): snapshot enough state to attribute it.
+    std::fprintf(stderr, "WEDGE: root logged=%zu\n%s\n", rt.root().logged(),
+                 rt.root().debug_dump().c_str());
+    for (VertexId v : {nat, lb}) {
+      for (size_t i = 0; i < rt.instance_count(v); ++i) {
+        NfInstance& inst = rt.instance(v, i);
+        std::fprintf(stderr,
+                     "  v=%u rid=%u running=%d qdepth=%zu unacked=%zu "
+                     "own_pending=%zu processed=%llu\n",
+                     static_cast<unsigned>(v), inst.runtime_id(),
+                     inst.running() ? 1 : 0, inst.queue_depth(),
+                     inst.client().unacked(), inst.client().ownership_pending(),
+                     static_cast<unsigned long long>(inst.stats().processed));
+        if (inst.running()) inst.request_dump();
+      }
+    }
+    for (int s = 0; s < rt.store().num_shards(); ++s) {
+      StoreShard& sh = rt.store().shard(s);
+      std::fprintf(stderr,
+                   "  shard=%d serving=%d link_pending=%zu ops=%llu "
+                   "bounced=%llu parked_ever=%llu migrated_in=%llu\n",
+                   s, sh.serving() ? 1 : 0, sh.request_link().pending(),
+                   static_cast<unsigned long long>(sh.ops_applied()),
+                   static_cast<unsigned long long>(sh.bounced()),
+                   static_cast<unsigned long long>(sh.metrics().parked.value()),
+                   static_cast<unsigned long long>(sh.migrated_in()));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_TRUE(quiesced);
   std::this_thread::sleep_for(std::chrono::milliseconds(2));
 
   ChainResult out;

@@ -124,6 +124,112 @@ TEST(Splitter, LoadCountsRoutedPackets) {
   EXPECT_EQ(total, 40u);
 }
 
+// --- load windows + per-slot counters (telemetry for the vertex manager) -----
+
+TEST(Splitter, TakeLoadIsWindowedWhileLoadStaysMonotonic) {
+  Harness h;
+  h.add();
+  h.add();
+  for (uint32_t s = 0; s < 30; ++s) h.sp.route(mk(s));
+
+  uint64_t window = 0;
+  for (auto& [rid, n] : h.sp.take_load()) window += n;
+  EXPECT_EQ(window, 30u);
+
+  // An empty window reads zero; the monotonic view is unaffected.
+  window = 0;
+  for (auto& [rid, n] : h.sp.take_load()) window += n;
+  EXPECT_EQ(window, 0u);
+  uint64_t total = 0;
+  for (auto& [rid, n] : h.sp.load()) total += n;
+  EXPECT_EQ(total, 30u);
+
+  for (uint32_t s = 0; s < 12; ++s) h.sp.route(mk(s));
+  window = 0;
+  for (auto& [rid, n] : h.sp.take_load()) window += n;
+  EXPECT_EQ(window, 12u);
+}
+
+TEST(Splitter, SlotCountersSumToRoutedAndWindowReset) {
+  Harness h;
+  h.add();
+  h.add();
+  for (uint32_t s = 0; s < 50; ++s) h.sp.route(mk(s % 7));
+
+  const std::vector<uint64_t> slots = h.sp.take_slot_load();
+  uint64_t sum = 0;
+  for (uint64_t n : slots) sum += n;
+  EXPECT_EQ(sum, 50u);
+  EXPECT_EQ(h.sp.metrics().routed_total.value(), 50u);
+
+  // 7 distinct src-ip scope keys -> at most 7 hot slots, each holding that
+  // key's full packet count.
+  size_t nonzero = 0;
+  for (uint64_t n : slots) nonzero += n > 0;
+  EXPECT_LE(nonzero, 7u);
+
+  uint64_t sum2 = 0;
+  for (uint64_t n : h.sp.take_slot_load()) sum2 += n;
+  EXPECT_EQ(sum2, 0u) << "take_slot_load must reset the window";
+}
+
+TEST(Rebalance, MovesHotSlotsToColdTargetAndReducesSkew) {
+  Splitter sp{Scope::kSrcIp, 16};
+  auto l1 = std::make_shared<SimLink<Packet>>();
+  auto l2 = std::make_shared<SimLink<Packet>>();
+  sp.add_target(1, l1);
+  sp.add_target(2, l2);
+  const auto table = sp.steering();
+
+  // Synthetic window: every slot owned by rid 1 is hot, rid 2's are idle.
+  std::vector<uint64_t> slot_load(table->num_slots(), 0);
+  for (uint32_t s = 0; s < table->num_slots(); ++s) {
+    if (table->slot_to_rid[s] == 1) slot_load[s] = 10;
+  }
+
+  // 8 hot slots of equal weight on rid 1 (80 total, mean 40): the planner
+  // moves hottest-first until the max drops inside the band — here an even
+  // 4/4 split.
+  std::vector<SteerGroup> groups = sp.plan_rebalance(slot_load, 1.05, 16);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].from, 1);
+  EXPECT_EQ(groups[0].to, 2);
+  EXPECT_EQ(groups[0].slots.size(), 4u);
+
+  // Execute and verify the published table matches the plan.
+  for (SteerGroup& g : groups) {
+    g.token = std::make_shared<std::atomic<bool>>(true);  // no handover here
+  }
+  const uint64_t epoch0 = sp.steer_epoch();
+  sp.steer(groups);
+  EXPECT_EQ(sp.steer_epoch(), epoch0 + 1);
+  const auto after = sp.steering();
+  uint64_t load1 = 0, load2 = 0;
+  for (uint32_t s = 0; s < after->num_slots(); ++s) {
+    (after->slot_to_rid[s] == 1 ? load1 : load2) += slot_load[s];
+  }
+  EXPECT_EQ(load1, 40u);
+  EXPECT_EQ(load2, 40u);
+
+  // A balanced window plans nothing.
+  EXPECT_TRUE(sp.plan_rebalance(slot_load, 1.3, 16).empty());
+}
+
+TEST(Rebalance, RefusesDegenerateInputs) {
+  Splitter sp{Scope::kSrcIp, 16};
+  auto l1 = std::make_shared<SimLink<Packet>>();
+  sp.add_target(1, l1);
+  std::vector<uint64_t> load(16, 5);
+  EXPECT_TRUE(sp.plan_rebalance(load, 1.5, 8).empty()) << "single holder";
+  auto l2 = std::make_shared<SimLink<Packet>>();
+  sp.add_target(2, l2);
+  EXPECT_TRUE(sp.plan_rebalance({1, 2, 3}, 1.5, 8).empty())
+      << "slot-count mismatch";
+  EXPECT_TRUE(sp.plan_rebalance(load, 0.5, 8).empty()) << "ratio < 1";
+  EXPECT_TRUE(sp.plan_rebalance(std::vector<uint64_t>(16, 0), 1.5, 8).empty())
+      << "idle window";
+}
+
 // --- steering table (elastic NF scaling) -------------------------------------
 
 TEST(Steering, DeploymentDealingBalancesSlots) {

@@ -324,5 +324,59 @@ TEST_F(StoreTest, ShardRoutingDeterministic) {
   EXPECT_LT(store_->shard_of(k), store_->num_shards());
 }
 
+// --- telemetry: burst + per-slot accounting (common/metrics.h migration) -----
+
+TEST_F(StoreTest, BurstAccountingMatchesWakeups) {
+  // Blocking round trips: each op is one wakeup of one request, so the
+  // burst histogram must record one sample of depth >= 1 per wakeup and
+  // its count must equal the wakeup counter.
+  for (int i = 0; i < 25; ++i) {
+    op(OpType::kIncr, shared_key(30, static_cast<uint64_t>(i)), Value::of_int(1));
+  }
+  // Workers bump the wakeup counter after replying; join them so the
+  // counters are final before comparing.
+  store_->stop();
+  uint64_t wakeups = 0, hist_count = 0;
+  double p100 = 0;
+  for (int s = 0; s < store_->num_shards(); ++s) {
+    const StoreShard& sh = store_->shard(s);
+    wakeups += sh.wakeups();
+    const HistSnapshot burst = sh.burst_hist();
+    hist_count += burst.count();
+    p100 = std::max(p100, burst.percentile(100));
+    EXPECT_LE(static_cast<uint64_t>(sh.max_burst()),
+              std::max<uint64_t>(1, sh.ops_applied()));
+  }
+  EXPECT_GT(wakeups, 0u);
+  EXPECT_EQ(hist_count, wakeups)
+      << "one burst sample per wakeup, sampled race-free";
+  EXPECT_GE(p100, 1.0);
+}
+
+TEST_F(StoreTest, PerSlotOpCountersTrackKeyedOps) {
+  // 40 keyed ops across distinct scopes: the per-router-slot counters must
+  // sum to the data-path op count, and each op must land in the slot its
+  // key hashes to under the live routing mask.
+  const uint32_t mask = store_->router().table()->slot_mask;
+  std::vector<uint64_t> expected(static_cast<size_t>(mask) + 1, 0);
+  for (int i = 0; i < 40; ++i) {
+    const StoreKey k = shared_key(31, static_cast<uint64_t>(i * 131));
+    expected[k.hash() & mask]++;
+    op(OpType::kIncr, k, Value::of_int(1));
+  }
+  std::vector<uint64_t> got(static_cast<size_t>(mask) + 1, 0);
+  uint64_t total = 0;
+  for (int s = 0; s < store_->num_shards(); ++s) {
+    const ShardMetrics& m = store_->shard(s).metrics();
+    ASSERT_EQ(m.slot_ops.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      got[i] += m.slot_ops.value(i);
+      total += m.slot_ops.value(i);
+    }
+  }
+  EXPECT_EQ(total, 40u);
+  EXPECT_EQ(got, expected);
+}
+
 }  // namespace
 }  // namespace chc

@@ -1,6 +1,9 @@
 // Unit tests: synthetic trace generator.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+
 #include "trace/trace.h"
 
 namespace chc {
@@ -146,6 +149,69 @@ TEST(Trace, PresetsScale) {
   EXPECT_EQ(TraceConfig::trace1(0.01).num_packets, 38000u);
   EXPECT_EQ(TraceConfig::trace2(0.01).median_packet_size, 1434);
   EXPECT_EQ(TraceConfig::trace1(0.01).median_packet_size, 368);
+}
+
+// --- heavy-tailed (Zipf) flow sizes ------------------------------------------
+
+// Packets per 5-tuple, descending.
+std::vector<size_t> flow_sizes(const Trace& t) {
+  std::map<uint64_t, size_t> by_flow;
+  for (const Packet& p : t.packets()) {
+    by_flow[scope_hash(p.tuple, Scope::kFiveTuple)]++;
+  }
+  std::vector<size_t> sizes;
+  for (const auto& [hash, n] : by_flow) sizes.push_back(n);
+  std::sort(sizes.rbegin(), sizes.rend());
+  return sizes;
+}
+
+TEST(Trace, ZipfConcentratesPacketsOnElephants) {
+  TraceConfig cfg;
+  cfg.num_packets = 20'000;
+  cfg.num_connections = 200;
+  cfg.scan_fraction = 0;
+
+  Trace base = generate_trace(cfg);
+  cfg.zipf_alpha = 1.2;
+  Trace zipf = generate_trace(cfg);
+
+  // Same budget and population, radically different tail: the top 5% of
+  // flows must carry the majority of Zipf packets, and far more than the
+  // Pareto-ish baseline concentrates.
+  auto top_share = [](const std::vector<size_t>& sizes, size_t top) {
+    size_t total = 0, head = 0;
+    for (size_t i = 0; i < sizes.size(); ++i) {
+      total += sizes[i];
+      if (i < top) head += sizes[i];
+    }
+    return static_cast<double>(head) / static_cast<double>(total);
+  };
+  const std::vector<size_t> zs = flow_sizes(zipf);
+  const std::vector<size_t> bs = flow_sizes(base);
+  const double z_share = top_share(zs, 10);
+  const double b_share = top_share(bs, 10);
+  EXPECT_GT(z_share, 0.5) << "top-10 flows must dominate under alpha=1.2";
+  EXPECT_GT(z_share, b_share * 1.5);
+  // Rank-1 elephant carries ~1/H(200) of the budget (~16%).
+  EXPECT_GT(zs.front(), zipf.size() / 10);
+  // Budget respected (interleaver may fall a hair short, never over).
+  EXPECT_LE(zipf.size(), cfg.num_packets);
+  EXPECT_GE(zipf.size(), cfg.num_packets * 9 / 10);
+}
+
+TEST(Trace, ZipfZeroAlphaKeepsLegacyDistribution) {
+  TraceConfig a;
+  a.num_packets = 4000;
+  a.num_connections = 100;
+  TraceConfig b = a;
+  b.zipf_alpha = 0;
+  Trace ta = generate_trace(a);
+  Trace tb = generate_trace(b);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].tuple, tb[i].tuple);
+    EXPECT_EQ(ta[i].size_bytes, tb[i].size_bytes);
+  }
 }
 
 }  // namespace
