@@ -1,0 +1,192 @@
+// Replicated-shard overhead + failover window (docs/architecture.md §8).
+// Two measurements feed BENCH_store_failover.json:
+//
+//   1. replication-lag overhead: blocking-op throughput with primaries
+//      streaming every applied mutation to their backups before ACKing,
+//      vs. the same store unreplicated. The forward is one extra ring
+//      enqueue on the primary's worker, so the target is >= 0.85x.
+//   2. failover window: crash a primary, let failover_shard() promote its
+//      backup and re-point the table; the store's histogram records usec
+//      from fence to re-routed table (the re-seed of a fresh backup runs
+//      after and blocks nobody). Ping-ponging primary <-> promoted backup
+//      exercises the re-seeded pair every round.
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "store/datastore.h"
+
+namespace chc {
+namespace {
+
+std::vector<StoreKey> make_keys(size_t n) {
+  std::vector<StoreKey> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    StoreKey k;
+    k.vertex = 1;
+    k.object = 1;
+    k.scope_key = i * 2654435761u + 7;
+    k.shared = true;
+    k.hash();  // memoize
+    keys.push_back(k);
+  }
+  return keys;
+}
+
+struct DriveResult {
+  double ops_per_sec = 0;
+  Histogram lat;
+};
+
+// Blocking incrs round-robin over the keys for `secs`: every op is one
+// full round trip. Runs `nthreads` client loops so the shards stay
+// saturated — a single serial client measures scheduler ping-pong
+// latency, not capacity, and the replication gate is about throughput.
+DriveResult drive(DataStore& store, const std::vector<StoreKey>& keys,
+                  double secs, int nthreads = 1) {
+  DriveResult out;
+  std::mutex merge_mu;
+  std::atomic<size_t> total_ops{0};
+  const TimePoint t0 = SteadyClock::now();
+  const TimePoint until = t0 + std::chrono::duration_cast<Duration>(
+                                   std::chrono::duration<double>(secs));
+  auto loop = [&](int tid) {
+    ReplyLinkPtr reply = std::make_shared<ReplyLink>();
+    Histogram lat;
+    uint64_t seq = 0;
+    size_t ki = static_cast<size_t>(tid) * 131;  // decorrelate key walks
+    size_t ops = 0;
+    while (SteadyClock::now() < until) {
+      Request req;
+      req.op = OpType::kIncr;
+      req.key = keys[ki++ % keys.size()];
+      req.arg = Value::of_int(1);
+      req.blocking = true;
+      req.reply_to = reply;
+      req.req_id = ++seq;
+      req.route_epoch = store.router().epoch();
+      const TimePoint s0 = SteadyClock::now();
+      store.submit(req);
+      for (;;) {
+        auto r = reply->recv(std::chrono::milliseconds(200));
+        if (!r || r->req_id != req.req_id) continue;
+        if (r->status == Status::kWrongShard) {
+          store.submit(req);
+          continue;
+        }
+        break;
+      }
+      lat.record(to_usec(SteadyClock::now() - s0));
+      ops++;
+    }
+    total_ops.fetch_add(ops);
+    std::lock_guard lk(merge_mu);
+    out.lat.merge(lat);
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < nthreads; ++t) threads.emplace_back(loop, t);
+  for (auto& th : threads) th.join();
+  out.ops_per_sec = static_cast<double>(total_ops.load()) /
+                    to_usec(SteadyClock::now() - t0) * 1e6;
+  return out;
+}
+
+DriveResult run_throughput(bool replicated, const std::vector<StoreKey>& keys) {
+  DataStoreConfig cfg;
+  // One shard: the overhead under measurement is per-pair (primary vs
+  // primary+backup), and every extra worker on a small host adds
+  // scheduler noise to both sides without adding signal.
+  cfg.num_shards = 1;
+  cfg.replica.enabled = replicated;
+  DataStore store(cfg);
+  store.start();
+  drive(store, keys, 0.1, 2);  // warm-up: entries + caches populated
+  DriveResult r = drive(store, keys, 0.5, 2);
+  store.stop();
+  return r;
+}
+
+}  // namespace
+}  // namespace chc
+
+int main() {
+  using namespace chc;
+  bench::print_header(
+      "Replicated store shards: replication overhead + failover window",
+      "availability mechanism beyond the paper's checkpoint+replay (§5.4); "
+      "no paper number — gate is replicated >= 0.85x unreplicated");
+
+  const std::vector<StoreKey> keys = make_keys(512);
+
+  // Interleaved A/B trials, ratio of medians: shared hosts drift by 2x
+  // between windows, so a single back-to-back pair can land the two modes
+  // on opposite sides of a load spike. Alternating the modes samples the
+  // same noise distribution for both; the median per mode then discards
+  // the outlier windows entirely.
+  constexpr int kTrials = 5;
+  std::vector<double> plain_ops, repl_ops;
+  DriveResult plain, repl;  // last trial's, for the latency table
+  for (int t = 0; t < kTrials; ++t) {
+    plain = run_throughput(/*replicated=*/false, keys);
+    repl = run_throughput(/*replicated=*/true, keys);
+    plain_ops.push_back(plain.ops_per_sec);
+    repl_ops.push_back(repl.ops_per_sec);
+    std::printf("trial %d: unreplicated %.0f ops/s, replicated %.0f ops/s "
+                "(%.3fx)\n",
+                t, plain.ops_per_sec, repl.ops_per_sec,
+                plain.ops_per_sec > 0 ? repl.ops_per_sec / plain.ops_per_sec
+                                      : 0);
+  }
+  std::sort(plain_ops.begin(), plain_ops.end());
+  std::sort(repl_ops.begin(), repl_ops.end());
+  const double plain_med = plain_ops[plain_ops.size() / 2];
+  const double repl_med = repl_ops[repl_ops.size() / 2];
+  const double ratio = plain_med > 0 ? repl_med / plain_med : 0;
+  std::printf("\n%-14s %12s %10s %10s\n", "mode", "ops/s", "p50 us", "p99 us");
+  std::printf("%-14s %12.0f %10.2f %10.2f\n", "unreplicated", plain_med,
+              plain.lat.percentile(50), plain.lat.percentile(99));
+  std::printf("%-14s %12.0f %10.2f %10.2f\n", "replicated", repl_med,
+              repl.lat.percentile(50), repl.lat.percentile(99));
+  std::printf("replicated/unreplicated: %.3fx, medians over %d trials "
+              "(gate: >= 0.85x)\n",
+              ratio, kTrials);
+
+  // Failover window: seed a real population, then ping-pong crashes
+  // between the pair so every round promotes and re-seeds.
+  DataStoreConfig cfg;
+  cfg.num_shards = 2;
+  cfg.replica.enabled = true;
+  DataStore store(cfg);
+  store.start();
+  drive(store, keys, 0.2);  // resident state for the re-seed stream
+
+  int primary = 0;
+  size_t failovers = 0;
+  for (int round = 0; round < 20; ++round) {
+    const int backup = store.backup_of(primary);
+    if (backup < 0) break;
+    store.crash_shard(primary);
+    if (!store.failover_shard(primary)) break;
+    failovers++;
+    primary = backup;  // the promoted shard is next round's victim
+  }
+  const HistSnapshot fo = store.failover_hist();
+  store.stop();
+  std::printf("\nfailover window (fence -> re-routed table), %zu failovers: "
+              "p50=%.0fus p99=%.0fus max=%.0fus (view %llu)\n",
+              failovers, fo.percentile(50), fo.percentile(99), fo.max(),
+              static_cast<unsigned long long>(store.view()));
+
+  char extra[256];
+  std::snprintf(extra, sizeof(extra),
+                "\"repl_ratio\": %.3f, \"unreplicated_ops_per_sec\": %.1f, "
+                "\"failovers\": %zu, \"failover_max_usec\": %.1f",
+                ratio, plain_med, failovers, fo.max());
+  bench::emit_bench_json("store_failover", repl_med, fo.percentile(50),
+                         fo.percentile(99), extra);
+  return ratio >= 0.85 && failovers == 20 ? 0 : 1;
+}

@@ -1,0 +1,162 @@
+// Deterministic fault-injection layer.
+//
+// Every fault the test matrix exercises — message drop/duplicate/delay on a
+// link, a shard crashing at its Nth applied op, a migration source or target
+// dying mid-stream — flows through this one object, driven by seed-keyed
+// SplitMix64 streams. Determinism contract: each link id owns its own RNG
+// stream (seed ^ mix(link_id)), so the fault sequence a given link sees
+// depends only on (seed, link_id, message index on that link), never on how
+// the scheduler interleaved *other* links. Crash triggers are armed
+// countdowns, not probabilities, so "crash at op 500" reproduces exactly.
+//
+// Threading: on_send serializes per injector (a mutex around the per-link
+// streams); hot paths only reach it when a SimLink was explicitly wired with
+// a fault pointer, so the unfaulted fast path pays nothing. Crash countdowns
+// are lock-free atomics — shard workers decrement them per op.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace chc {
+
+// Per-link message-fault probabilities. All independent Bernoulli draws from
+// the link's stream; extra_delay is added to every delivery on the link and
+// reorder adds a further 2x extra_delay bubble (mirrors LinkConfig's model).
+struct LinkFaultRule {
+  double drop = 0.0;
+  double dup = 0.0;
+  double reorder = 0.0;
+  Duration extra_delay = Duration::zero();
+};
+
+enum class LinkAction : uint8_t { kDeliver, kDrop, kDuplicate };
+
+class FaultInjector {
+ public:
+  // Shard-indexed crash triggers live in fixed atomic arrays (2x the store's
+  // max_shards ceiling covers primaries + backups).
+  static constexpr int kMaxShards = 128;
+
+  explicit FaultInjector(uint64_t seed = 1) : seed_(seed) {
+    for (auto& c : crash_at_op_) c.store(-1, std::memory_order_relaxed);
+    for (auto& c : crash_src_chunk_) c.store(-1, std::memory_order_relaxed);
+    for (auto& c : crash_dst_chunk_) c.store(-1, std::memory_order_relaxed);
+  }
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // --- link faults -----------------------------------------------------------
+
+  void set_link_rule(uint64_t link_id, LinkFaultRule rule) {
+    std::lock_guard lk(mu_);
+    LinkState& st = links_[link_id];
+    st.rule = rule;
+    // Derive an independent stream per link: golden-ratio spread of the link
+    // id keeps nearby ids' streams uncorrelated under the same seed.
+    st.rng = SplitMix64(seed_ ^ ((link_id + 1) * 0x9e3779b97f4a7c15ull));
+    has_rules_.store(true, std::memory_order_release);
+  }
+
+  void clear_link_rules() {
+    std::lock_guard lk(mu_);
+    links_.clear();
+    has_rules_.store(false, std::memory_order_release);
+  }
+
+  // One decision per message on `link_id`. Writes any injected extra delay
+  // into *extra (never cleared — caller initializes). kDuplicate means
+  // "deliver twice": the link enqueues a copy alongside the original.
+  LinkAction on_send(uint64_t link_id, Duration* extra) {
+    if (!has_rules_.load(std::memory_order_acquire)) return LinkAction::kDeliver;
+    std::lock_guard lk(mu_);
+    auto it = links_.find(link_id);
+    if (it == links_.end()) return LinkAction::kDeliver;
+    LinkState& st = it->second;
+    if (st.rule.extra_delay.count() > 0) *extra += st.rule.extra_delay;
+    if (st.rule.reorder > 0 && st.rng.chance(st.rule.reorder)) {
+      *extra += 2 * st.rule.extra_delay;
+      reordered_.add();
+    }
+    if (st.rule.drop > 0 && st.rng.chance(st.rule.drop)) {
+      dropped_.add();
+      return LinkAction::kDrop;
+    }
+    if (st.rule.dup > 0 && st.rng.chance(st.rule.dup)) {
+      duplicated_.add();
+      return LinkAction::kDuplicate;
+    }
+    return LinkAction::kDeliver;
+  }
+
+  // --- crash triggers --------------------------------------------------------
+  // Countdowns: arm_crash_at_op(s, n) fires on the nth op the shard applies
+  // *after* arming (n >= 1), exactly once.
+
+  void arm_crash_at_op(int shard, int64_t nth) {
+    if (shard < 0 || shard >= kMaxShards) return;
+    crash_at_op_[static_cast<size_t>(shard)].store(nth,
+                                                   std::memory_order_relaxed);
+  }
+  bool should_crash_at_op(int shard) { return fire(crash_at_op_, shard); }
+
+  // Migration-stream crashes: source fires before sending its nth chunk,
+  // target before installing its nth chunk.
+  void arm_crash_on_migration(int shard, bool source, int64_t nth_chunk) {
+    if (shard < 0 || shard >= kMaxShards) return;
+    (source ? crash_src_chunk_ : crash_dst_chunk_)[static_cast<size_t>(shard)]
+        .store(nth_chunk, std::memory_order_relaxed);
+  }
+  bool should_crash_on_migration(int shard, bool source) {
+    return fire(source ? crash_src_chunk_ : crash_dst_chunk_, shard);
+  }
+
+  // --- telemetry -------------------------------------------------------------
+  uint64_t dropped() const { return dropped_.value(); }
+  uint64_t duplicated() const { return duplicated_.value(); }
+  uint64_t reordered() const { return reordered_.value(); }
+  uint64_t crashes() const { return crashes_.value(); }
+
+ private:
+  struct LinkState {
+    LinkFaultRule rule;
+    SplitMix64 rng{1};
+  };
+
+  using CrashArray = std::array<std::atomic<int64_t>, kMaxShards>;
+
+  bool fire(CrashArray& arr, int shard) {
+    if (shard < 0 || shard >= kMaxShards) return false;
+    std::atomic<int64_t>& c = arr[static_cast<size_t>(shard)];
+    if (c.load(std::memory_order_relaxed) <= 0) return false;
+    if (c.fetch_sub(1, std::memory_order_relaxed) == 1) {
+      crashes_.add();
+      return true;
+    }
+    return false;
+  }
+
+  const uint64_t seed_;
+  std::mutex mu_;
+  std::unordered_map<uint64_t, LinkState> links_;  // guarded by mu_
+  std::atomic<bool> has_rules_{false};
+
+  CrashArray crash_at_op_;
+  CrashArray crash_src_chunk_;
+  CrashArray crash_dst_chunk_;
+
+  Counter dropped_;
+  Counter duplicated_;
+  Counter reordered_;
+  Counter crashes_;
+};
+
+}  // namespace chc

@@ -192,6 +192,12 @@ struct ShardMetrics {
   Counter bounced;      // kWrongShard bounces (stale-route telemetry)
   Counter migrated_in;  // entries merged by kInstallSlots
   Counter parked;       // requests parked on a pending slot
+  // Liveness beacon: bumped once per worker-loop iteration. recv_batch's
+  // bounded wait guarantees it advances on a healthy shard even with no
+  // traffic; a stalled streak is the failure detector's crash signal.
+  Counter heartbeats;
+  Counter repl_forwarded;  // updates streamed primary -> backup
+  Gauge repl_backlog;      // backup request-link depth at last forward
   Gauge max_burst;
   LoadHistogram burst;  // requests drained per worker wakeup
   CounterVec slot_ops;  // per router slot (empty when routing is off)

@@ -160,7 +160,9 @@ StoreObservation VertexManager::observe_store() {
     const uint64_t ops_window = ops - last_shard_ops_[static_cast<size_t>(i)];
     last_shard_ops_[static_cast<size_t>(i)] = ops;
     shard_ops_window_[static_cast<size_t>(i)] = ops_window;
-    if (!sh.serving()) continue;
+    // Backups track their primary's stream; counting them would double the
+    // store's apparent capacity and load.
+    if (!sh.serving() || !sh.is_primary()) continue;
     obs.shards++;
     obs.window_ops += ops_window;
     obs.burst_p99 = std::max(obs.burst_p99, window.percentile(99));
@@ -190,6 +192,11 @@ void VertexManager::tick() {
     std::lock_guard lk(obs_mu_);
     last_obs_ = obs;
   }
+
+  // Failure detection runs every tick, outside the scaling cooldowns: a
+  // cooldown exists to absorb an actuation's transient, but a dead primary
+  // is not a transient and every blacked-out sample widens the outage.
+  if (cfg_.store.fail_after_missed > 0) detect_failures();
 
   // A tick that decrements a cooldown does NOT decide: cooldown_samples=N
   // means N full samples observed (windows advancing) before the next
@@ -226,6 +233,38 @@ void VertexManager::tick() {
     const StoreAction action = decide_store(store_obs, cfg_.store, store_band_);
     if (action != StoreAction::kNone && act_on_store(action)) {
       store_cooldown_ = cfg_.cooldown_samples;
+    }
+  }
+}
+
+void VertexManager::detect_failures() {
+  DataStore& store = rt_.store();
+  const int n = store.num_shards();
+  if (last_heartbeats_.size() < static_cast<size_t>(n)) {
+    last_heartbeats_.resize(static_cast<size_t>(n), 0);
+    missed_heartbeats_.resize(static_cast<size_t>(n), 0);
+  }
+  // Snapshot the routable set once; failover_shard() republishes the table,
+  // so re-reading it mid-loop could see a half-applied view.
+  const std::vector<uint16_t> active = store.router().table()->active_shards;
+  for (uint16_t sid : active) {
+    const size_t i = sid;
+    const uint64_t hb = store.shard(static_cast<int>(sid)).heartbeats();
+    if (hb != last_heartbeats_[i]) {
+      last_heartbeats_[i] = hb;
+      missed_heartbeats_[i] = 0;
+      continue;
+    }
+    if (++missed_heartbeats_[i] < cfg_.store.fail_after_missed) continue;
+    missed_heartbeats_[i] = 0;
+    CHC_WARN("vertex-manager: shard %u heartbeat stuck %zu samples, "
+             "initiating failover",
+             static_cast<unsigned>(sid), cfg_.store.fail_after_missed);
+    if (store.failover_shard(static_cast<int>(sid))) {
+      a_failovers_.fetch_add(1, std::memory_order_relaxed);
+      CHC_INFO("vertex-manager: failover of shard %u complete (view %llu)",
+               static_cast<unsigned>(sid),
+               static_cast<unsigned long long>(store.view()));
     }
   }
 }
@@ -290,7 +329,7 @@ bool VertexManager::act_on_store(StoreAction action) {
       int victim = -1;
       uint64_t best = 0;
       for (int i = 0; i < store.num_shards(); ++i) {
-        if (!store.shard(i).serving()) continue;
+        if (!store.shard(i).serving() || !store.shard(i).is_primary()) continue;
         const uint64_t ops = i < static_cast<int>(shard_ops_window_.size())
                                  ? shard_ops_window_[static_cast<size_t>(i)]
                                  : 0;
@@ -317,6 +356,7 @@ VertexManager::Actions VertexManager::actions() const {
   a.rebalances = a_rebalances_.load(std::memory_order_relaxed);
   a.shard_add = a_shard_add_.load(std::memory_order_relaxed);
   a.shard_remove = a_shard_remove_.load(std::memory_order_relaxed);
+  a.failovers = a_failovers_.load(std::memory_order_relaxed);
   return a;
 }
 

@@ -69,6 +69,12 @@ struct StorePolicy {
   size_t min_shards = 1;
   size_t max_shards = 8;
   uint64_t min_window_ops = 64;
+  // Failure detector: a serving primary whose heartbeat counter has not
+  // advanced for this many consecutive samples is declared dead and
+  // DataStore::failover_shard() is actuated unattended. 0 disables the
+  // detector. Runs independently of manage_store and its cooldowns — a
+  // dead shard must not wait out a scaling cooldown.
+  size_t fail_after_missed = 0;
 };
 
 struct VertexManagerConfig {
@@ -128,6 +134,7 @@ class VertexManager {
     uint64_t rebalances = 0;
     uint64_t shard_add = 0;
     uint64_t shard_remove = 0;
+    uint64_t failovers = 0;
   };
 
   VertexManager(Runtime& rt, VertexManagerConfig cfg);
@@ -154,6 +161,9 @@ class VertexManager {
                                    std::vector<std::pair<uint16_t, uint64_t>>*
                                        rid_load);
   StoreObservation observe_store();
+  // Heartbeat-streak failure detector over serving primaries; actuates
+  // failover_shard() directly (no cooldown, no hysteresis band).
+  void detect_failures();
   bool act_on_vertex(VertexId v, VertexAction action,
                      const std::vector<uint64_t>& slot_load,
                      const std::vector<std::pair<uint16_t, uint64_t>>& rid_load);
@@ -180,6 +190,8 @@ class VertexManager {
   std::vector<uint64_t> last_shard_ops_;   // per shard: window floors
   std::vector<uint64_t> shard_ops_window_;  // per shard: this window's ops
                                             // (drain-victim ranking)
+  std::vector<uint64_t> last_heartbeats_;   // per shard: last seen beacon
+  std::vector<size_t> missed_heartbeats_;   // per shard: stuck-sample streak
 
   mutable std::mutex obs_mu_;
   std::vector<VertexObservation> last_obs_;  // guarded by obs_mu_
@@ -190,6 +202,7 @@ class VertexManager {
   std::atomic<uint64_t> a_rebalances_{0};
   std::atomic<uint64_t> a_shard_add_{0};
   std::atomic<uint64_t> a_shard_remove_{0};
+  std::atomic<uint64_t> a_failovers_{0};
 
   std::thread worker_;
   std::atomic<bool> running_{false};

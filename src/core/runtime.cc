@@ -87,6 +87,7 @@ std::unique_ptr<StoreClient> Runtime::make_client(VertexId v, InstanceId store_i
   cc.reply_link = cfg_.store.link;
   cc.reply_link.lockfree = cfg_.store.lockfree_links;
   cc.ack_timeout = cfg_.ack_timeout;
+  cc.op_timeout = cfg_.op_timeout;
   return std::make_unique<StoreClient>(store_.get(), cc);
 }
 

@@ -44,6 +44,10 @@ struct RuntimeConfig {
   Duration root_one_way = Micros(14);
   int flush_every = 1;
   Duration ack_timeout = Micros(500);
+  // Bound on every client blocking wait (ClientConfig::op_timeout): past it
+  // a blocking op returns Status::kTimeout instead of stalling the NF on a
+  // dead, backup-less shard. Zero = unbounded.
+  Duration op_timeout = Duration::zero();
   // Batched store data path (client-side op coalescing per shard). Only
   // bites under EO+C+NA — an op the NF waits on can't ride in a batch —
   // but the knob lives here so every model can pin it off and the

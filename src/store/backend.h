@@ -1,0 +1,100 @@
+// Pluggable async storage backend for store shards.
+//
+// The shard's storage engine used to be a concrete FlatMap member; carving
+// it behind this interface makes "where entries live" a policy, the same
+// shape as Ray GCS's StoreClient: every mutation is an Async* call that
+// reports completion through a status callback, so a remote or persistent
+// engine (Redis-style, as NSB parks payloads) slots in without touching the
+// shard protocol. Two consumption modes:
+//
+//   - async protocol: AsyncPut / AsyncGet / AsyncSnapshot + callbacks. The
+//     shard's cold paths (checkpoint, restore) and any future non-resident
+//     backend speak only this.
+//   - inline escape hatch: backends whose map is in-process expose it via
+//     inline_map(), and the shard's hot path binds a reference to it at
+//     construction. A data-path op then costs exactly what the pre-seam
+//     code cost — no virtual dispatch, no callback allocation per op. A
+//     backend that returns nullptr here forces the shard onto the async
+//     path (not yet wired for per-op traffic; the in-memory default always
+//     provides the map).
+//
+// Callbacks are invoked on the caller's thread, synchronously for the
+// in-memory engine; a real remote backend would invoke them from its I/O
+// completion context, which is why the shard only drives the async calls
+// from its own serialized worker.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "store/shard.h"
+
+namespace chc {
+
+enum class BackendStatus : uint8_t { kOk, kNotFound, kError };
+
+using BackendStatusCallback = std::function<void(BackendStatus)>;
+using BackendGetCallback =
+    std::function<void(BackendStatus, const ShardEntry*)>;
+using BackendSnapshotCallback =
+    std::function<void(BackendStatus, ShardSnapshot)>;
+
+class StoreBackend {
+ public:
+  virtual ~StoreBackend() = default;
+
+  // Upsert the full entry for `key`.
+  virtual void AsyncPut(const StoreKey& key, ShardEntry entry,
+                        BackendStatusCallback done) = 0;
+  // Read the entry for `key`; the pointer is valid only inside the callback.
+  virtual void AsyncGet(const StoreKey& key, BackendGetCallback done) = 0;
+  virtual void AsyncDelete(const StoreKey& key, BackendStatusCallback done) = 0;
+  // Consistent copy of the whole engine (the shard serializes this against
+  // updates by routing it through its request queue).
+  virtual void AsyncSnapshot(BackendSnapshotCallback done) = 0;
+
+  // In-process map for the zero-overhead hot path; nullptr if the engine is
+  // not memory-resident.
+  virtual ShardEntryMap* inline_map() { return nullptr; }
+};
+
+// Default engine: the FlatMap the shard always had, now owned behind the
+// seam. Callbacks fire synchronously on the calling thread.
+class InMemoryBackend final : public StoreBackend {
+ public:
+  void AsyncPut(const StoreKey& key, ShardEntry entry,
+                BackendStatusCallback done) override {
+    map_[key] = std::move(entry);
+    if (done) done(BackendStatus::kOk);
+  }
+
+  void AsyncGet(const StoreKey& key, BackendGetCallback done) override {
+    auto it = map_.find(key);
+    if (!done) return;
+    if (it == map_.end()) {
+      done(BackendStatus::kNotFound, nullptr);
+    } else {
+      done(BackendStatus::kOk, &it->second);
+    }
+  }
+
+  void AsyncDelete(const StoreKey& key, BackendStatusCallback done) override {
+    const bool existed = map_.find(key) != map_.end();
+    map_.erase(key);
+    if (done) done(existed ? BackendStatus::kOk : BackendStatus::kNotFound);
+  }
+
+  void AsyncSnapshot(BackendSnapshotCallback done) override {
+    ShardSnapshot snap;
+    snap.entries = map_;
+    snap.taken_at = SteadyClock::now();
+    if (done) done(BackendStatus::kOk, std::move(snap));
+  }
+
+  ShardEntryMap* inline_map() override { return &map_; }
+
+ private:
+  ShardEntryMap map_;
+};
+
+}  // namespace chc

@@ -80,6 +80,25 @@ void StoreClient::note_update(ObjectId obj) {
 
 // --- request plumbing -------------------------------------------------------
 
+// True if abandoning this op can strand evidence the rest of the system
+// waits on: a clock that must reach the shard's update_log (the root XOR
+// ledger only zeroes once every tagged update commits), a flush sequencing
+// point, or an ownership release another instance is blocked acquiring.
+// Such ops may never be dropped by retry accounting — only delivered.
+static bool carries_commitment(const Request& req) {
+  if (req.clock != kNoClock || req.flush_seq != 0) return true;
+  if (!req.covered_clocks.empty()) return true;
+  if (req.op == OpType::kCacheFlush || req.op == OpType::kReleaseOwner) {
+    return true;
+  }
+  if (req.batch) {
+    for (const Request& sub : *req.batch) {
+      if (carries_commitment(sub)) return true;
+    }
+  }
+  return false;
+}
+
 Response StoreClient::do_blocking(Request req) {
   // A blocking op must observe every non-blocking op this client already
   // issued to the same key; push buffered batches out first so the shard
@@ -93,10 +112,15 @@ Response StoreClient::do_blocking(Request req) {
   req.client_uid = cfg_.client_uid ? cfg_.client_uid : cfg_.instance;
   if (req.req_id == 0) req.req_id = next_req_id();
 
+  const TimePoint op_deadline = cfg_.op_timeout.count() > 0
+                                    ? SteadyClock::now() + cfg_.op_timeout
+                                    : TimePoint::max();
   for (int attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
+    if (SteadyClock::now() >= op_deadline) break;
     req.route_epoch = routing()->epoch;
     store_->submit(req);
-    const TimePoint deadline = SteadyClock::now() + cfg_.blocking_timeout;
+    const TimePoint deadline =
+        std::min(SteadyClock::now() + cfg_.blocking_timeout, op_deadline);
     while (SteadyClock::now() < deadline) {
       auto resp = sync_link_->recv(Micros(200));
       if (!resp) continue;
@@ -111,15 +135,24 @@ Response StoreClient::do_blocking(Request req) {
         }
         metrics_.blocking_rtts.add();
         if (resp->status == Status::kEmulated) metrics_.emulated.add();
+        last_blocking_status_ = resp->status;
         return *resp;
       }
       // Stale reply from a timed-out earlier attempt; drop it.
     }
   }
-  CHC_WARN("blocking op %u gave up after %d retries", static_cast<unsigned>(req.op),
-           cfg_.max_retries);
   Response r;
-  r.status = Status::kError;
+  if (SteadyClock::now() >= op_deadline) {
+    // op_timeout expired: unblock the NF. The op may still land store-side
+    // (an ACK could be in flight); duplicate emulation by clock makes a
+    // later retry of the same update safe either way.
+    r.status = Status::kTimeout;
+  } else {
+    CHC_WARN("blocking op %u gave up after %d retries",
+             static_cast<unsigned>(req.op), cfg_.max_retries);
+    r.status = Status::kError;
+  }
+  last_blocking_status_ = r.status;
   return r;
 }
 
@@ -156,11 +189,22 @@ void StoreClient::do_nonblocking(Request req) {
 
   if (cfg_.wait_acks) {
     // Model #2: the NF blocks until the store ACKs the enqueue - one RTT.
+    const TimePoint op_deadline = cfg_.op_timeout.count() > 0
+                                      ? SteadyClock::now() + cfg_.op_timeout
+                                      : TimePoint::max();
     req.route_epoch = routing()->epoch;
     store_->submit(req);
     const uint64_t id = req.req_id;
     for (int attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
-      const TimePoint deadline = SteadyClock::now() + cfg_.blocking_timeout;
+      if (SteadyClock::now() >= op_deadline) {
+        // op_timeout expired mid-ACK-wait: unblock the NF and hand the op
+        // to poll()'s retransmitter, which owns delivery from here.
+        last_blocking_status_ = Status::kTimeout;
+        track_pending(std::move(req));
+        return;
+      }
+      const TimePoint deadline =
+          std::min(SteadyClock::now() + cfg_.blocking_timeout, op_deadline);
       while (SteadyClock::now() < deadline) {
         auto resp = async_link_->recv(Micros(200));
         if (!resp) continue;
@@ -175,6 +219,7 @@ void StoreClient::do_nonblocking(Request req) {
           }
           metrics_.blocking_rtts.add();
           if (resp->status == Status::kEmulated) metrics_.emulated.add();
+          last_blocking_status_ = resp->status;
           return;
         }
         if (resp->msg == Response::Kind::kAck) {
@@ -191,6 +236,10 @@ void StoreClient::do_nonblocking(Request req) {
       metrics_.retransmissions.add();
       store_->submit(req);
     }
+    // Retries exhausted with no ACK. A commitment-carrying op must still be
+    // delivered (the root ledger is waiting on its clock) — park it with
+    // poll()'s retransmitter instead of dropping it on the floor.
+    if (carries_commitment(req)) track_pending(std::move(req));
     return;
   }
 
@@ -295,7 +344,21 @@ void StoreClient::reroute_pending(uint64_t req_id) {
   // A bounce burns a retry and pays the same capped backoff as a timeout:
   // a persistently bouncing slot (wedged migration target) must degrade
   // into probes, not an instant-resubmit loop at link cadence.
-  if (pa->retries >= cfg_.max_retries) return;
+  if (pa->retries >= cfg_.max_retries) {
+    // Past the retry budget, ops diverge by what abandonment costs. A
+    // commitment-carrying op (clock/flush/release) retries forever — its
+    // clock is folded into the root's XOR ledger, and dropping it here
+    // wedges the chain's ledger permanently (the ReshardUnderLoad wedge).
+    // Everything else is dropped for real: erased, so unacked() drains.
+    if (!carries_commitment(pa->req)) {
+      pending_acks_.erase(req_id);
+      return;
+    }
+    if (pa->retries == cfg_.max_retries) {
+      CHC_WARN("op %llu carries commitment, past %d retries: retrying forever",
+               static_cast<unsigned long long>(req_id), cfg_.max_retries);
+    }
+  }
   pa->retries++;
   Duration wait = cfg_.ack_timeout * (1 << std::min(pa->retries, 6));
   if (wait > cfg_.max_ack_backoff) wait = cfg_.max_ack_backoff;
@@ -386,22 +449,40 @@ void StoreClient::poll() {
 
   if (pending_acks_.empty()) return;
   const TimePoint now = SteadyClock::now();
+  // Collect-then-erase: FlatMap erasure invalidates the iteration.
+  std::vector<uint64_t> abandoned;
   for (auto&& [id, pa] : pending_acks_) {
-    if (now >= pa.deadline && pa.retries < cfg_.max_retries) {
-      // Safe to re-issue: the store emulates duplicates by clock (§5.3).
-      // Routed at submit time, so a retransmission aimed at a shard that
-      // lost (or was drained of) the key's slot lands at the new owner.
-      store_->submit(pa.req);
-      pa.retries++;
-      // Capped exponential backoff: a dead shard turns retransmission into
-      // a trickle of probes instead of an ack_timeout-cadence storm that
-      // competes with recovery traffic for the links.
-      Duration wait = cfg_.ack_timeout * (1 << std::min(pa.retries, 6));
-      if (wait > cfg_.max_ack_backoff) wait = cfg_.max_ack_backoff;
-      pa.deadline = now + wait;
-      metrics_.retransmissions.add();
+    if (now < pa.deadline) continue;
+    if (pa.retries >= cfg_.max_retries) {
+      // Same split as reroute_pending: a commitment-carrying op (its clock
+      // is in the root's XOR ledger) retries forever at capped backoff —
+      // max_retries only stops the backoff from growing. Anything else is
+      // genuinely abandoned, and must leave pending_acks_ so unacked()
+      // drains (a retire-time drain_pending must not wait on a dead op).
+      if (!carries_commitment(pa.req)) {
+        abandoned.push_back(id);
+        continue;
+      }
+      if (pa.retries == cfg_.max_retries) {
+        CHC_WARN("op %llu carries commitment, past %d retries: "
+                 "retrying forever",
+                 static_cast<unsigned long long>(id), cfg_.max_retries);
+      }
     }
+    // Safe to re-issue: the store emulates duplicates by clock (§5.3).
+    // Routed at submit time, so a retransmission aimed at a shard that
+    // lost (or was drained of) the key's slot lands at the new owner.
+    store_->submit(pa.req);
+    pa.retries++;
+    // Capped exponential backoff: a dead shard turns retransmission into
+    // a trickle of probes instead of an ack_timeout-cadence storm that
+    // competes with recovery traffic for the links.
+    Duration wait = cfg_.ack_timeout * (1 << std::min(pa.retries, 6));
+    if (wait > cfg_.max_ack_backoff) wait = cfg_.max_ack_backoff;
+    pa.deadline = now + wait;
+    metrics_.retransmissions.add();
   }
+  for (uint64_t id : abandoned) pending_acks_.erase(id);
 }
 
 // --- cache handling ---------------------------------------------------------

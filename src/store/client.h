@@ -69,6 +69,13 @@ struct ClientConfig {
   Duration max_ack_backoff = Micros(8000);
   Duration blocking_timeout = std::chrono::milliseconds(20);
   int max_retries = 20;
+  // Hard wall-clock bound on any single NF-facing blocking wait (blocking
+  // ops and the wait_acks enqueue ACK). With a shard dead and no backup to
+  // fail over to, retries alone would stall the NF for max_retries *
+  // blocking_timeout; past this deadline the op returns Status::kTimeout
+  // (observable via last_blocking_status()) and the NF keeps forwarding.
+  // Zero = unbounded (the pre-timeout behavior).
+  Duration op_timeout = Duration::zero();
   LinkConfig reply_link;  // delay store -> NF (mirror of request links)
 };
 
@@ -225,6 +232,11 @@ class StoreClient {
   // After NF failover: forget everything cached (state now lives in store).
   void reset_cache();
 
+  // Outcome of the most recent bounded blocking wait: kTimeout if it hit
+  // ClientConfig::op_timeout, else the op's own status. Test/diagnostic
+  // surface — the data-path return values already fold the timeout in.
+  Status last_blocking_status() const { return last_blocking_status_; }
+
   ClientStats stats() const;
   // Unified telemetry surface (registered with the MetricRegistry).
   const ClientMetrics& metrics() const { return metrics_; }
@@ -306,6 +318,7 @@ class StoreClient {
   const RoutingTable* routing_table_ = nullptr;
   LogicalClock current_clock_ = kNoClock;
   uint64_t req_seq_ = 0;
+  Status last_blocking_status_ = Status::kOk;
 
   FlatMap<ObjectId, ObjectState> objects_;
   FlatMap<StoreKey, CacheEntry> cache_;

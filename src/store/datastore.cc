@@ -13,15 +13,20 @@ DataStore::DataStore(const DataStoreConfig& cfg)
     : cfg_(cfg),
       custom_ops_(std::make_shared<CustomOpRegistry>()),
       router_(std::max(cfg.num_shards, 1), cfg.route_slots) {
-  const int max_shards = std::max(cfg.max_shards, cfg.num_shards);
+  // With replication on, every primary needs a backup slot too.
+  const int max_shards =
+      std::max(cfg.max_shards,
+               cfg.num_shards * (cfg.replica.enabled ? 2 : 1));
   // Pre-reserve: add_shard() appends while the data path indexes shards_
   // without a lock, so the backing array must never reallocate.
   shards_.reserve(static_cast<size_t>(max_shards));
   LinkConfig link = cfg.link;
   link.lockfree = cfg.lockfree_links;
+  link.fault = cfg.fault;
   const uint32_t num_slots = router_.table()->num_slots();
   for (int i = 0; i < cfg.num_shards; ++i) {
     link.seed = cfg.link.seed + static_cast<uint64_t>(i) * 7919;
+    link.fault_link_id = static_cast<uint64_t>(i);
     shards_.push_back(std::make_unique<StoreShard>(i, link, custom_ops_, cfg.burst,
                                                    num_slots, &router_));
     std::vector<uint32_t> owned;
@@ -29,10 +34,23 @@ DataStore::DataStore(const DataStoreConfig& cfg)
       if (router_.table()->slot_to_shard[s] == i) owned.push_back(s);
     }
     shards_.back()->set_owned_slots(owned);
+    if (cfg.fault) shards_.back()->set_fault(cfg.fault);
     shard_active_.push_back(true);
+    shard_is_backup_.push_back(false);
+    backup_of_.push_back(-1);
     register_shard_metrics(i);
   }
   shard_count_.store(cfg.num_shards, std::memory_order_release);
+  if (cfg.replica.enabled) {
+    // Pair every initial primary with a backup (ids n..2n-1). Both sides
+    // are empty here, so pairing-before-traffic holds trivially.
+    std::lock_guard lk(reshard_mu_);
+    for (int i = 0; i < cfg.num_shards; ++i) {
+      if (attach_backup(i) < 0) {
+        CHC_WARN("replication: no backup slot for shard %d, runs unreplicated", i);
+      }
+    }
+  }
 }
 
 void DataStore::register_shard_metrics(int i) {
@@ -40,7 +58,9 @@ void DataStore::register_shard_metrics(int i) {
   StoreShard* s = shards_[static_cast<size_t>(i)].get();
   cfg_.metrics->register_shard(
       i, &s->metrics(), [s] { return s->request_link().pending(); },
-      [s] { return s->serving(); });
+      // Backups run but are not routable; the autoscaler must not count
+      // them as serving capacity.
+      [s] { return s->serving() && s->is_primary(); });
 }
 
 DataStore::~DataStore() { stop(); }
@@ -49,7 +69,7 @@ void DataStore::start() {
   started_ = true;
   std::lock_guard lk(reshard_mu_);
   for (size_t i = 0; i < shards_.size(); ++i) {
-    if (shard_active_[i]) shards_[i]->start();
+    if (shard_active_[i] || shard_is_backup_[i]) shards_[i]->start();
   }
 }
 
@@ -216,38 +236,14 @@ int DataStore::add_shard() {
   if (!started_) return -1;
   const TimePoint t0 = SteadyClock::now();
 
-  // Reuse a drained shard id if one exists; otherwise construct a new one
-  // (bounded by the pre-reserved ceiling — the data path indexes shards_
-  // without a lock, so the array must never reallocate).
-  int id = -1;
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    if (!shard_active_[i]) {
-      id = static_cast<int>(i);
-      break;
-    }
-  }
-  if (id < 0) {
-    if (shards_.size() >= shards_.capacity()) {
-      CHC_WARN("add_shard: max_shards=%zu ceiling reached", shards_.capacity());
-      return -1;
-    }
-    id = static_cast<int>(shards_.size());
-    LinkConfig link = cfg_.link;
-    link.lockfree = cfg_.lockfree_links;
-    link.seed = cfg_.link.seed + static_cast<uint64_t>(id) * 7919;
-    shards_.push_back(std::make_unique<StoreShard>(
-        id, link, custom_ops_, cfg_.burst, router_.table()->num_slots(), &router_));
-    shard_active_.push_back(false);
-    if (commit_cb_) shards_.back()->set_commit_listener(commit_cb_);
-    register_shard_metrics(id);
-    // Publish the element before clients can learn the new id via the
-    // routing table (run_moves publishes after this store).
-    shard_count_.store(static_cast<int>(shards_.size()), std::memory_order_release);
-  } else {
-    shards_[static_cast<size_t>(id)]->reset_for_reuse();
-  }
+  const int id = allocate_shard_slot();
+  if (id < 0) return -1;
+  shards_[static_cast<size_t>(id)]->set_role(StoreShard::ReplicaRole::kPrimary);
   shards_[static_cast<size_t>(id)]->start();
   shard_active_[static_cast<size_t>(id)] = true;
+  if (cfg_.replica.enabled && attach_backup(id) < 0) {
+    CHC_WARN("add_shard: no backup slot for shard %d, runs unreplicated", id);
+  }
 
   std::vector<MoveGroup> moves;
   RoutingTable next = router_.plan_add(id, &moves);
@@ -296,6 +292,13 @@ bool DataStore::remove_shard(int shard) {
   }
   victim.stop();
   shard_active_[static_cast<size_t>(shard)] = false;
+  // Retire the backup with its primary: a drained shard has nothing left
+  // to replicate, and the slot becomes reusable for future pairs.
+  if (const int b = backup_of_[static_cast<size_t>(shard)]; b >= 0) {
+    shards_[static_cast<size_t>(b)]->stop();
+    shard_is_backup_[static_cast<size_t>(b)] = false;
+    backup_of_[static_cast<size_t>(shard)] = -1;
+  }
   stats.elapsed_usec = to_usec(SteadyClock::now() - t0);
   last_reshard_ = stats;
   CHC_INFO("store scaled down: shard %d drained, %zu slots / %zu entries moved, "
@@ -308,6 +311,191 @@ bool DataStore::remove_shard(int shard) {
 ReshardStats DataStore::last_reshard() const {
   std::lock_guard lk(reshard_mu_);
   return last_reshard_;
+}
+
+int DataStore::allocate_shard_slot() {
+  // Reuse a drained, unpaired shard id if one exists; otherwise construct a
+  // new one (bounded by the pre-reserved ceiling — the data path indexes
+  // shards_ without a lock, so the array must never reallocate).
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (!shard_active_[i] && !shard_is_backup_[i]) {
+      shards_[i]->reset_for_reuse();
+      return static_cast<int>(i);
+    }
+  }
+  if (shards_.size() >= shards_.capacity()) {
+    CHC_WARN("allocate_shard_slot: max_shards=%zu ceiling reached",
+             shards_.capacity());
+    return -1;
+  }
+  const int id = static_cast<int>(shards_.size());
+  LinkConfig link = cfg_.link;
+  link.lockfree = cfg_.lockfree_links;
+  link.seed = cfg_.link.seed + static_cast<uint64_t>(id) * 7919;
+  link.fault = cfg_.fault;
+  link.fault_link_id = static_cast<uint64_t>(id);
+  shards_.push_back(std::make_unique<StoreShard>(
+      id, link, custom_ops_, cfg_.burst, router_.table()->num_slots(), &router_));
+  shard_active_.push_back(false);
+  shard_is_backup_.push_back(false);
+  backup_of_.push_back(-1);
+  if (commit_cb_) shards_.back()->set_commit_listener(commit_cb_);
+  if (cfg_.fault) shards_.back()->set_fault(cfg_.fault);
+  register_shard_metrics(id);
+  // Publish the element before clients can learn the new id via the
+  // routing table (run_moves publishes after this store).
+  shard_count_.store(static_cast<int>(shards_.size()), std::memory_order_release);
+  return id;
+}
+
+int DataStore::attach_backup(int id) {
+  const int b = allocate_shard_slot();
+  if (b < 0) return -1;
+  StoreShard& bsh = *shards_[static_cast<size_t>(b)];
+  bsh.set_role(StoreShard::ReplicaRole::kBackup);
+  // Ctor-time pairs start via start(); live attach starts the backup here,
+  // strictly before the primary learns about it (no forward can race an
+  // unstarted worker's queue — the link buffers, the worker drains later,
+  // but starting first keeps the window trivially empty).
+  if (started_) bsh.start();
+  shard_is_backup_[static_cast<size_t>(b)] = true;
+  backup_of_[static_cast<size_t>(id)] = b;
+  shards_[static_cast<size_t>(id)]->set_backup(&bsh);
+  return b;
+}
+
+// --- failover ----------------------------------------------------------------
+
+bool DataStore::failover_shard(int shard) {
+  std::lock_guard lk(reshard_mu_);
+  if (!started_ || shard < 0 || static_cast<size_t>(shard) >= shards_.size() ||
+      !shard_active_[static_cast<size_t>(shard)]) {
+    return false;
+  }
+  const int b = backup_of_[static_cast<size_t>(shard)];
+  if (b < 0) return false;  // unreplicated: only §5.4 recovery can help
+  const TimePoint t0 = SteadyClock::now();
+  StoreShard& deadsh = *shards_[static_cast<size_t>(shard)];
+  StoreShard& bsh = *shards_[static_cast<size_t>(b)];
+
+  // 1. Fence the old primary. stop() joins the worker (a no-op if it
+  //    already crashed), which guarantees no further replica forwards can
+  //    be produced — so once the backup drains its queue, it has applied
+  //    every update the primary ever ACKed (forward-before-ACK).
+  deadsh.stop();
+
+  // 2. Promote the backup. kPromote rides the same link as the replica
+  //    stream, so by the time the worker reaches it, every outstanding
+  //    forward is applied. The reply is the promotion barrier.
+  auto done = std::make_shared<ReplyLink>();
+  const RoutingTable* cur = router_.table();
+  Request prom;
+  prom.op = OpType::kPromote;
+  prom.blocking = true;
+  prom.reply_to = done;
+  prom.req_id = ++ctl_seq_;
+  prom.migration = std::make_shared<MigrationChunk>();
+  for (uint32_t s = 0; s < cur->num_slots(); ++s) {
+    if (cur->slot_to_shard[s] == shard) prom.migration->slots.push_back(s);
+  }
+  {
+    const TimePoint give_up = SteadyClock::now() + std::chrono::milliseconds(200);
+    while (!bsh.request_link().send(prom)) {
+      if (SteadyClock::now() >= give_up) {
+        CHC_WARN("failover: promote command to shard %d lost", b);
+        return false;
+      }
+      std::this_thread::yield();
+    }
+  }
+  bool promoted = false;
+  const TimePoint deadline = SteadyClock::now() + std::chrono::seconds(5);
+  while (SteadyClock::now() < deadline) {
+    if (auto r = done->recv(Micros(500))) {
+      if (r->req_id == prom.req_id) {
+        promoted = true;
+        break;
+      }
+    }
+  }
+  if (!promoted) {
+    CHC_WARN("failover: promotion of shard %d timed out", b);
+    return false;
+  }
+
+  // 3. View change: re-point the dead primary's slots at the promoted
+  //    backup and publish under view+1. The epoch bump makes every client
+  //    retry route through the new table; in-flight ops addressed to the
+  //    dead shard died at its closed link and come back the same way.
+  RoutingTable next = *cur;
+  for (uint16_t& owner : next.slot_to_shard) {
+    if (owner == shard) owner = static_cast<uint16_t>(b);
+  }
+  next.active_shards.erase(
+      std::remove(next.active_shards.begin(), next.active_shards.end(),
+                  static_cast<uint16_t>(shard)),
+      next.active_shards.end());
+  next.active_shards.push_back(static_cast<uint16_t>(b));
+  std::sort(next.active_shards.begin(), next.active_shards.end());
+  next.view = cur->view + 1;
+  router_.publish(std::move(next));
+
+  shard_active_[static_cast<size_t>(shard)] = false;
+  shard_active_[static_cast<size_t>(b)] = true;
+  shard_is_backup_[static_cast<size_t>(b)] = false;
+  backup_of_[static_cast<size_t>(shard)] = -1;
+  // The failover window ends here: traffic is being served by the new
+  // primary. Re-seeding below restores redundancy but blocks nobody.
+  failover_usec_.record(static_cast<uint64_t>(to_usec(SteadyClock::now() - t0)));
+  CHC_INFO("failover: shard %d -> %d promoted, view %llu epoch %llu (%.0fus)",
+           shard, b, static_cast<unsigned long long>(router_.table()->view),
+           static_cast<unsigned long long>(router_.table()->epoch),
+           to_usec(SteadyClock::now() - t0));
+
+  // 4. Re-seed: the old primary's shard object restarts empty as the new
+  //    primary's backup, rebuilt by kSeedBackup slot-streaming. Failure
+  //    here leaves the new primary serving, just unreplicated.
+  deadsh.reset_for_reuse();
+  deadsh.set_role(StoreShard::ReplicaRole::kBackup);
+  deadsh.start();
+  Request seed;
+  seed.op = OpType::kSeedBackup;
+  seed.blocking = true;
+  seed.reply_to = done;
+  seed.req_id = ++ctl_seq_;
+  seed.migrate_to = &deadsh;
+  bool seeded = false;
+  {
+    const TimePoint give_up = SteadyClock::now() + std::chrono::milliseconds(200);
+    while (!bsh.request_link().send(seed)) {
+      if (SteadyClock::now() >= give_up) break;
+      std::this_thread::yield();
+    }
+    const TimePoint seed_deadline = SteadyClock::now() + std::chrono::seconds(5);
+    while (SteadyClock::now() < seed_deadline) {
+      if (auto r = done->recv(Micros(500))) {
+        if (r->req_id == seed.req_id && r->status == Status::kOk) {
+          seeded = true;
+          break;
+        }
+      }
+    }
+  }
+  if (seeded) {
+    shard_is_backup_[static_cast<size_t>(shard)] = true;
+    backup_of_[static_cast<size_t>(b)] = shard;
+  } else {
+    deadsh.stop();
+    CHC_WARN("failover: re-seed of shard %d failed, shard %d runs unreplicated",
+             shard, b);
+  }
+  return true;
+}
+
+int DataStore::backup_of(int shard) const {
+  std::lock_guard lk(reshard_mu_);
+  if (shard < 0 || static_cast<size_t>(shard) >= backup_of_.size()) return -1;
+  return backup_of_[static_cast<size_t>(shard)];
 }
 
 // --- control plane -----------------------------------------------------------
@@ -336,7 +524,9 @@ void DataStore::gc_clock(LogicalClock clock) {
 std::shared_ptr<ShardSnapshot> DataStore::checkpoint_shard(int shard) {
   auto snap = std::make_shared<ShardSnapshot>();
   StoreShard& s = *shards_[static_cast<size_t>(shard)];
-  if (!s.serving()) return snap;  // drained shard: empty by construction
+  // Drained shard: empty by construction. Backups are skipped too so
+  // checkpoint_all() never double-counts a replicated entry.
+  if (!s.serving() || !s.is_primary()) return snap;
   auto done = std::make_shared<ReplyLink>();
   Request req;
   req.op = OpType::kCheckpoint;
@@ -470,7 +660,39 @@ RecoveryStats DataStore::recover_shard(int shard, const ShardSnapshot& checkpoin
     stats.shared_objects_restored++;
   }
 
+  // Slot-state reconciliation (crash-mid-reshard): the rebuild above is
+  // authoritative for every slot the live table assigns to this shard, so
+  // flip them owned before the worker restarts — an interrupted
+  // installation leaves slots kPending, which would park arrivals forever.
+  std::vector<uint32_t> owned_slots;
+  for (uint32_t s = 0; s < table->num_slots(); ++s) {
+    if (table->slot_to_shard[s] == shard) owned_slots.push_back(s);
+  }
+  shards_[static_cast<size_t>(shard)]->set_owned_slots(owned_slots);
   shards_[static_cast<size_t>(shard)]->restore(std::move(entries));
+
+  // Husk reconciliation: a migration stream aborted by this crash left its
+  // undelivered slice resident at the source (unroutable but
+  // checkpointable — exactly so the rebuild above could use it). The
+  // recovered shard is authoritative now; survivors shed any entries,
+  // registrations, and waiters in its slots via the targetless
+  // kMigrateSlots drop path.
+  Request shed;
+  shed.op = OpType::kMigrateSlots;
+  shed.replica = true;  // targetless drop-echo branch of migrate_out
+  shed.migration = std::make_shared<MigrationChunk>();
+  shed.migration->slots = owned_slots;
+  for (uint16_t other : table->active_shards) {
+    if (static_cast<int>(other) == shard) continue;
+    StoreShard& sh = *shards_[other];
+    if (!sh.serving()) continue;
+    const TimePoint give_up = SteadyClock::now() + std::chrono::milliseconds(50);
+    while (!sh.request_link().send(shed)) {
+      if (SteadyClock::now() >= give_up || sh.request_link().closed()) break;
+      std::this_thread::yield();
+    }
+  }
+
   stats.elapsed_usec = to_usec(SteadyClock::now() - t0);
   return stats;
 }
@@ -478,7 +700,13 @@ RecoveryStats DataStore::recover_shard(int shard, const ShardSnapshot& checkpoin
 uint64_t DataStore::total_ops() const {
   uint64_t n = 0;
   const int count = num_shards();
-  for (int i = 0; i < count; ++i) n += shards_[static_cast<size_t>(i)]->ops_applied();
+  for (int i = 0; i < count; ++i) {
+    const StoreShard& sh = *shards_[static_cast<size_t>(i)];
+    // Backups re-apply everything their primary applied; counting both
+    // sides would double the fleet's apparent throughput.
+    if (!sh.is_primary()) continue;
+    n += sh.ops_applied();
+  }
   return n;
 }
 

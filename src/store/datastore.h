@@ -12,11 +12,21 @@
 #include <mutex>
 #include <vector>
 
+#include "common/fault.h"
 #include "store/recovery.h"
 #include "store/router.h"
 #include "store/shard.h"
 
 namespace chc {
+
+// Primary/backup shard replication (docs/architecture.md §8). With
+// replication on, every primary streams its applied mutations to a paired
+// backup shard before ACKing, and failover_shard() turns a crashed primary
+// into a view change (promote backup, re-route, re-seed) with no
+// checkpoint gap.
+struct ReplicaConfig {
+  bool enabled = false;
+};
 
 struct DataStoreConfig {
   int num_shards = 4;
@@ -40,6 +50,12 @@ struct DataStoreConfig {
   // Null = unregistered: standalone stores still record metrics into each
   // shard's ShardMetrics, they just aren't enumerable via a snapshot.
   MetricRegistry* metrics = nullptr;
+  // Primary/backup replication knobs.
+  ReplicaConfig replica;
+  // Deterministic fault injection: wired into every shard request link
+  // (keyed by shard id) and into each shard's crash triggers. Must outlive
+  // the store. Null = no faults, zero data-path overhead.
+  FaultInjector* fault = nullptr;
 };
 
 // Telemetry for one add_shard()/remove_shard() call.
@@ -84,6 +100,20 @@ class DataStore {
   // drain the last active shard.
   bool remove_shard(int shard);
   ReshardStats last_reshard() const;
+
+  // --- replication / failover (docs/architecture.md §8) ---------------------
+  // View change for a dead (or wedged) primary: fence it, promote its
+  // backup behind the replication stream, publish the re-pointed table
+  // under view+1, then re-seed the old primary's shard object as the new
+  // primary's backup. False if `shard` has no backup or the promotion
+  // handshake failed. Serialized with reshards.
+  bool failover_shard(int shard);
+  // Replication view of the current table (bumped once per failover).
+  uint64_t view() const { return router_.table()->view; }
+  // This primary's backup shard id, -1 if unreplicated.
+  int backup_of(int shard) const;
+  // Failover windows (usec from fence to re-routed table), for benches.
+  HistSnapshot failover_hist() const { return failover_usec_.snapshot(); }
 
   // Data path: deliver a request to the owning shard over its link.
   // Returns false if the message was dropped (link loss or shard down).
@@ -140,6 +170,13 @@ class DataStore {
   bool run_moves(RoutingTable next, const std::vector<MoveGroup>& moves,
                  ReshardStats* stats);
   void register_shard_metrics(int i);
+  // Finds a reusable (inactive, non-backup) shard id or constructs a new
+  // one; -1 at the ceiling. Caller holds reshard_mu_.
+  int allocate_shard_slot();
+  // Constructs + wires a backup for primary `id` (reusing a drained slot if
+  // any) and points the primary's replication stream at it. Caller holds
+  // reshard_mu_; both shards must be empty (pairing precedes traffic).
+  int attach_backup(int id);
 
   DataStoreConfig cfg_;
   std::shared_ptr<CustomOpRegistry> custom_ops_;
@@ -147,6 +184,12 @@ class DataStore {
   std::vector<std::unique_ptr<StoreShard>> shards_;
   std::atomic<int> shard_count_{0};
   std::vector<bool> shard_active_;  // guarded by reshard_mu_
+  // Replication bookkeeping, all guarded by reshard_mu_: backup_of_[p] is
+  // primary p's backup id (-1 = none); shard_is_backup_[b] marks b as
+  // currently serving as someone's backup (running but not routable).
+  std::vector<int> backup_of_;
+  std::vector<bool> shard_is_backup_;
+  LoadHistogram failover_usec_;
   CommitListener commit_cb_;
   mutable std::mutex reshard_mu_;  // one reshard at a time
   ReshardStats last_reshard_;      // guarded by reshard_mu_

@@ -38,6 +38,9 @@ enum class OpType : uint8_t {
   kPrepareSlots,      // target: mark slots pending; park arrivals until install
   kMigrateSlots,      // source: freeze slots, stream their state to migrate_to
   kInstallSlots,      // target: merge one migration chunk; final chunk flips slots
+  // --- replication / view-change control plane ------------------------------
+  kPromote,           // backup: become primary for the slots in `migration`
+  kSeedBackup,        // primary: stream full state to migrate_to as a new backup
 };
 
 enum class Status : uint8_t {
@@ -48,6 +51,7 @@ enum class Status : uint8_t {
   kEmulated,        // duplicate clock: store returned the logged value
   kWrongShard,      // key's slot moved (reshard); re-route via the new table
   kError,
+  kTimeout,         // client-side: ClientConfig::op_timeout expired
 };
 
 // Per-object TS snapshot (paper Fig. 7): the clock of the last operation
@@ -81,6 +85,10 @@ struct Request {
   uint64_t route_epoch = 0;
   bool blocking = true;  // non-blocking ops get an async ACK instead
   bool want_ack = true;  // benches can disable ACKs entirely
+  // Replication-stream copy: apply verbatim (slot checks bypassed, commit
+  // signals and notifications suppressed — the primary already produced
+  // them) and never reply. Set only on primary->backup forwards.
+  bool replica = false;
   std::vector<LogicalClock> covered_clocks;  // kCacheFlush
   ReplyLinkPtr reply_to;                     // sync responses
   ReplyLinkPtr async_to;                     // ACKs, callbacks, notifications

@@ -41,6 +41,12 @@ namespace chc {
 
 struct RoutingTable {
   uint64_t epoch = 1;
+  // Replication view number: bumped (by the failover path, before publish)
+  // each time shard membership changes by *promotion* rather than by
+  // planned reshard. The epoch alone already invalidates stale routes; the
+  // view makes failovers countable and lets tests/telemetry distinguish "a
+  // reshard happened" from "a primary died and its backup took over".
+  uint64_t view = 1;
   uint32_t slot_mask = 0;  // num_slots - 1; num_slots is a power of two
   std::vector<uint16_t> slot_to_shard;
   std::vector<uint16_t> active_shards;  // sorted, for planning/telemetry

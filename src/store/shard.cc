@@ -1,6 +1,7 @@
 #include "store/shard.h"
 
 #include "common/logging.h"
+#include "store/backend.h"
 
 namespace chc {
 namespace {
@@ -30,6 +31,8 @@ StoreShard::StoreShard(int index, const LinkConfig& link_cfg,
       requests_(link_cfg),
       custom_ops_(std::move(custom_ops)),
       router_(router),
+      backend_(std::make_unique<InMemoryBackend>()),
+      entries_(*backend_->inline_map()),
       rng_(0xC0FFEE + static_cast<uint64_t>(index)),
       metrics_(num_slots) {
   if (num_slots > 0) {
@@ -41,15 +44,41 @@ StoreShard::StoreShard(int index, const LinkConfig& link_cfg,
 StoreShard::~StoreShard() { stop(); }
 
 void StoreShard::start() {
-  if (running_.exchange(true)) return;
+  std::lock_guard lk(lifecycle_mu_);
+  if (running_.load(std::memory_order_acquire)) return;
+  // Reap a worker that exited on its own (crash_from_worker): it cleared
+  // running_ but nobody joined it yet.
+  if (worker_.joinable()) worker_.join();
+  running_.store(true, std::memory_order_release);
   requests_.reopen();
   worker_ = std::thread([this] { run(); });
 }
 
 void StoreShard::stop() {
-  if (!running_.exchange(false)) return;
+  std::lock_guard lk(lifecycle_mu_);
+  // Unconditional close + join: a self-crashed worker already flipped
+  // running_, but its thread must still be reaped here — the old
+  // early-return on !running_ left it unjoined (std::terminate at the next
+  // start() or in the destructor).
+  running_.store(false, std::memory_order_release);
   requests_.close();
   if (worker_.joinable()) worker_.join();
+}
+
+void StoreShard::crash_from_worker() {
+  CHC_WARN("shard %d: fault-injected crash (ops_applied=%llu)", index_,
+           static_cast<unsigned long long>(metrics_.ops_applied.value()));
+  running_.store(false, std::memory_order_release);
+  requests_.close();
+  // Same state discard as crash(); the thread itself exits run() and is
+  // reaped by the next stop()/start() under lifecycle_mu_.
+  entries_.clear();
+  clock_index_.clear();
+  nondet_log_.clear();
+  subscribers_.clear();
+  ownership_waiters_.clear();
+  parked_.clear();
+  parked_count_ = 0;
 }
 
 void StoreShard::crash() {
@@ -85,12 +114,24 @@ void StoreShard::reset_for_reuse() {
 }
 
 void StoreShard::restore(ShardEntryMap entries) {
-  entries_ = std::move(entries);
+  // Rebuild through the backend protocol: one AsyncPut per recovered entry
+  // (synchronous for the in-memory engine; a persistent backend would
+  // overlap these). The worker is stopped, so driving the async API from
+  // this thread is race-free.
+  entries_.clear();
   clock_index_.clear();
-  for (const auto& [key, entry] : entries_) {
+  for (auto&& [key, entry] : entries) {
     for (const auto& [clock, _] : entry.update_log) {
       clock_index_[clock].push_back(key);
     }
+    const unsigned long long scope =
+        static_cast<unsigned long long>(key.scope_key);
+    backend_->AsyncPut(key, std::move(entry), [this, scope](BackendStatus st) {
+      if (st != BackendStatus::kOk) {
+        CHC_WARN("shard %d: backend put failed during restore (scope=%llu)",
+                 index_, scope);
+      }
+    });
   }
   start();
 }
@@ -102,16 +143,37 @@ void StoreShard::run() {
   std::vector<Request> burst;
   burst.reserve(burst_);
   while (running_.load(std::memory_order_relaxed)) {
+    // Liveness beacon: recv_batch's bounded wait guarantees this advances
+    // on a healthy worker even with zero traffic, so a stalled streak is
+    // the failure detector's crash signal (control/vertex_manager.h).
+    metrics_.heartbeats.add();
     burst.clear();
     const size_t n = requests_.recv_batch(burst, burst_, Micros(200));
-    if (n == 0) continue;
+    if (n == 0) {
+      // The link went quiet for a full recv timeout: ship whatever
+      // deferred forwards are pending so replication lag is bounded by
+      // one recv window once traffic stops, not by the next arrival.
+      flush_replication();
+      continue;
+    }
     for (Request& req : burst) {
+      if (fault_ && fault_->should_crash_at_op(index_)) {
+        // Simulated kill: the rest of the burst dies with the shard, like
+        // requests sitting in a real crashed process.
+        crash_from_worker();
+        return;
+      }
       process(std::move(req));
+      if (!running_.load(std::memory_order_relaxed)) return;  // crashed mid-op
     }
     metrics_.wakeups.add();
     metrics_.max_burst.record_max(static_cast<int64_t>(n));
     metrics_.burst.record(n);
   }
+  // Graceful stop (not a crash — crash paths return out of the loop
+  // above): ship the deferred tail so an orderly shutdown leaves the
+  // backup caught up.
+  flush_replication();
 }
 
 void StoreShard::process(Request req) {
@@ -123,11 +185,21 @@ void StoreShard::process(Request req) {
       break;
   }
   Response r = apply(req);
+  // Stream the applied mutation to the backup BEFORE acking: when the reply
+  // below releases the client, the update is already in the backup's queue,
+  // so a primary crash at any later point cannot lose an acked op. The
+  // worker applies + forwards + replies without yielding, so the injector's
+  // op-granular crash triggers cannot split this sequence (documented
+  // fault-atomicity grain, docs/architecture.md §8).
+  maybe_replicate(req, r);
   reply(req, std::move(r));
 }
 
 StoreShard::Admit StoreShard::route_admit(Request& req) {
   if (slot_mask_ == 0) return Admit::kApply;
+  // Replication-stream copies apply verbatim: the primary already made the
+  // routing decision, and a backup owns no slots by definition.
+  if (req.replica) return Admit::kApply;
   switch (req.op) {
     // Control traffic is addressed to a shard, not a key: never bounce it.
     // kBatch admits as an envelope; its sub-requests route individually in
@@ -138,6 +210,8 @@ StoreShard::Admit StoreShard::route_admit(Request& req) {
     case OpType::kPrepareSlots:
     case OpType::kMigrateSlots:
     case OpType::kInstallSlots:
+    case OpType::kPromote:
+    case OpType::kSeedBackup:
       return Admit::kApply;
     default:
       break;
@@ -180,10 +254,13 @@ void StoreShard::reply(const Request& req, Response r) {
   }
 }
 
-void StoreShard::signal_commit(LogicalClock clock, InstanceId instance,
-                               ObjectId object) {
+void StoreShard::signal_commit(const Request& req, LogicalClock clock) {
   if (clock == kNoClock) return;
-  if (commit_cb_) commit_cb_(clock, update_tag(instance, object));
+  // Replica applies must not echo the commit: the primary already XORed
+  // this (clock, tag) into the root's per-packet ledger, and XOR is its own
+  // inverse — a second signal would un-commit the update.
+  if (req.replica) return;
+  if (commit_cb_) commit_cb_(clock, update_tag(req.instance, req.key.object));
 }
 
 Response StoreShard::apply(const Request& req) {
@@ -197,6 +274,8 @@ Response StoreShard::apply(const Request& req) {
     case OpType::kPrepareSlots:
     case OpType::kMigrateSlots:
     case OpType::kInstallSlots:
+    case OpType::kPromote:
+    case OpType::kSeedBackup:
       // Cold control traffic: outlined so its (large) inlined bodies — the
       // checkpoint table copy in particular — stay out of the per-packet
       // ops' instruction footprint.
@@ -276,21 +355,21 @@ Response StoreShard::apply(const Request& req) {
     case OpType::kSet:
       entry.value = req.arg;
       log_update(req, entry, entry.value);
-      signal_commit(req.clock, req.instance, req.key.object);
+      signal_commit(req, req.clock);
       r.value = entry.value;
       break;
 
     case OpType::kIncr:
       entry.value.add_int(req.arg.as_int());
       log_update(req, entry, entry.value);
-      signal_commit(req.clock, req.instance, req.key.object);
+      signal_commit(req, req.clock);
       r.value = entry.value;
       break;
 
     case OpType::kPushList:
       entry.value.list_push_back(req.arg.as_int());
       log_update(req, entry, entry.value);
-      signal_commit(req.clock, req.instance, req.key.object);
+      signal_commit(req, req.clock);
       r.value = entry.value;
       break;
 
@@ -303,7 +382,7 @@ Response StoreShard::apply(const Request& req) {
       // Log the *popped* value: on replay the same packet must receive the
       // same port/server, not pop a second entry.
       log_update(req, entry, r.value);
-      signal_commit(req.clock, req.instance, req.key.object);
+      signal_commit(req, req.clock);
       break;
     }
 
@@ -311,7 +390,7 @@ Response StoreShard::apply(const Request& req) {
       if (entry.value == req.arg2) {
         entry.value = req.arg;
         log_update(req, entry, entry.value);
-        signal_commit(req.clock, req.instance, req.key.object);
+        signal_commit(req, req.clock);
         r.value = entry.value;
       } else {
         r.status = Status::kConditionFalse;
@@ -328,7 +407,7 @@ Response StoreShard::apply(const Request& req) {
       }
       entry.value = it->second(entry.value, req.arg);
       log_update(req, entry, entry.value);
-      signal_commit(req.clock, req.instance, req.key.object);
+      signal_commit(req, req.clock);
       r.value = entry.value;
       break;
     }
@@ -362,6 +441,9 @@ Response StoreShard::apply(const Request& req) {
 }
 
 void StoreShard::notify_subscribers(const Request& req, const ShardEntry& entry) {
+  // A backup mirrors the subscriber list but must not push callbacks: the
+  // primary already notified every subscriber of this update.
+  if (req.replica) return;
   if (subscribers_.empty()) return;
   auto s = subscribers_.find(req.key);
   if (s == subscribers_.end()) return;
@@ -384,6 +466,11 @@ void StoreShard::log_update(const Request& req, ShardEntry& entry,
 }
 
 Response StoreShard::apply_control(const Request& req) {
+  // Control traffic must observe (and be observed by) every forward that
+  // preceded it: a migration echo, seed stream, or checkpoint taken over
+  // un-shipped deferred forwards would let the backup apply them out of
+  // order — or twice, after a re-seed already copied their effects.
+  flush_replication();
   Response r;
   switch (req.op) {
     case OpType::kGcClock: {
@@ -414,6 +501,14 @@ Response StoreShard::apply_control(const Request& req) {
         r.value = it->second;
         return r;
       }
+      // Replication-stream copy: the primary computed the value and shipped
+      // it in arg2 — memoize that, never roll fresh dice, or a promoted
+      // backup would serve replay a different value than the original.
+      if (req.replica) {
+        if (req.clock != kNoClock) nondet_log_[req.clock] = req.arg2;
+        r.value = req.arg2;
+        return r;
+      }
       Value v;
       if (req.arg.as_int() == 0) {
         v = Value::of_int(static_cast<int64_t>(rng_.next() >> 1));
@@ -439,7 +534,9 @@ Response StoreShard::apply_control(const Request& req) {
         // the envelope: the shared batch vector must stay intact for
         // retransmission.
         for (const Request& sub : *req.batch) {
-          if (slot_state_of(sub.key) == kOwned) {
+          // Replica envelopes bypass slot checks like every replica op: the
+          // primary filtered its NACKed subs out before forwarding.
+          if (sub.replica || slot_state_of(sub.key) == kOwned) {
             Response sub_r = apply(sub);
             if (sub_r.status == Status::kNotOwner) {
               // The envelope ACK would otherwise vouch for an update that
@@ -479,22 +576,51 @@ Response StoreShard::apply_control(const Request& req) {
       return r;
     }
     case OpType::kMigrateSlots:
-      migrate_out(req);
       // No reply from the source: the *target* confirms the move by
       // answering the final kInstallSlots chunk (which carries this
       // request's req_id + reply link), so "done" means installed, not
-      // just streamed.
+      // just streamed. The error status here only gates the backup echo
+      // below (an aborted stream must not make the backup drop slots the
+      // primary still holds).
+      if (!migrate_out(req)) r.status = Status::kError;
       return r;
     case OpType::kInstallSlots:
       install_chunk(req);
       return r;
     case OpType::kCheckpoint:
       if (req.snapshot_out) {
-        req.snapshot_out->entries = entries_;
-        req.snapshot_out->taken_at = SteadyClock::now();
+        // Through the backend seam: the in-memory engine answers inline;
+        // queue serialization (not the engine) is what makes the snapshot a
+        // consistent cut.
+        backend_->AsyncSnapshot(
+            [&r, &req](BackendStatus st, ShardSnapshot snap) {
+              if (st == BackendStatus::kOk) {
+                *req.snapshot_out = std::move(snap);
+              } else {
+                r.status = Status::kError;
+              }
+            });
       } else {
         r.status = Status::kError;
       }
+      return r;
+    case OpType::kPromote: {
+      // View change, backup side: flip to primary FIRST (commit signals and
+      // subscriber pushes arm before any client traffic can arrive), then
+      // take ownership of the dead primary's slots. The request rode the
+      // same queue as every replica forward, so everything the primary
+      // streamed before dying is already applied beneath us.
+      role_.store(ReplicaRole::kPrimary, std::memory_order_release);
+      backup_.store(nullptr, std::memory_order_release);
+      if (req.migration) {
+        for (uint32_t s : req.migration->slots) {
+          if (s < slot_states_.size()) slot_states_[s] = kOwned;
+        }
+      }
+      return r;
+    }
+    case OpType::kSeedBackup:
+      if (!seed_backup(req)) r.status = Status::kError;
       return r;
     default:
       r.status = Status::kError;
@@ -502,8 +628,9 @@ Response StoreShard::apply_control(const Request& req) {
   }
 }
 
-void StoreShard::migrate_out(const Request& req) {
-  if (!req.migration || !req.migrate_to) return;
+bool StoreShard::migrate_out(const Request& req) {
+  if (!req.migration) return false;
+  if (!req.migrate_to && !req.replica) return false;
   // Freeze first: from this point every new arrival for these slots
   // bounces. Everything already serialized ahead of this control message
   // has been applied, so the extraction below is a consistent cut.
@@ -519,6 +646,18 @@ void StoreShard::migrate_out(const Request& req) {
   auto in_moving = [&](const StoreKey& key) {
     return moving.contains(slot_mask_ & static_cast<uint32_t>(key.hash()));
   };
+
+  // Backup-side drop echo (no target): the primary migrated these slots
+  // away, so this replica sheds their entries and registrations to stay a
+  // byte-for-byte mirror. The target's backup receives them through the
+  // mirrored install chunks.
+  if (!req.migrate_to) {
+    entries_.erase_if([&](const auto& kv) { return in_moving(kv.first); });
+    subscribers_.erase_if([&](const auto& kv) { return in_moving(kv.first); });
+    ownership_waiters_.erase_if(
+        [&](const auto& kv) { return in_moving(kv.first); });
+    return true;
+  }
 
   // Extract the moving entries (values moved out, husks erased after).
   std::vector<std::pair<StoreKey, ShardEntry>> extracted;
@@ -556,6 +695,14 @@ void StoreShard::migrate_out(const Request& req) {
   size_t i = 0;
   bool ok = true;
   while (ok) {
+    if (fault_ && fault_->should_crash_on_migration(index_, /*source=*/true)) {
+      // Source dies mid-stream: the extracted-but-unsent slice is lost with
+      // the process (the chunks already installed at the target survive).
+      // recover_shard rebuilds this shard from checkpoint + client
+      // evidence; the differential tests gate the result.
+      crash_from_worker();
+      return false;
+    }
     const bool last = extracted.size() - i <= kMigrateChunk;
     Request inst;
     inst.op = OpType::kInstallSlots;
@@ -623,10 +770,22 @@ void StoreShard::migrate_out(const Request& req) {
       parked_.erase(it);
     }
   }
+  return ok;
 }
 
 void StoreShard::install_chunk(const Request& req) {
   if (!req.migration) return;
+  if (fault_ && fault_->should_crash_on_migration(index_, /*source=*/false)) {
+    // Target dies mid-install: chunks merged so far are discarded with the
+    // rest of its state; the source has already shed them. Recovery
+    // rebuilds from checkpoint + client evidence under the live table.
+    crash_from_worker();
+    return;
+  }
+  // Mirror the chunk to this shard's backup BEFORE the local merge: the
+  // merge below moves entries out of the chunk destructively, and sharing
+  // the shared_ptr with the backup's queue would race the move.
+  forward_install(req);
   MigrationChunk& mc = *req.migration;
   for (auto& [key, entry] : mc.entries) {
     // Rebuild the clock index from the entry's own update log, then adopt
@@ -682,7 +841,7 @@ Response StoreShard::apply_transfer(const Request& req, ShardEntry& entry) {
         entry.update_log[c] = entry.value;
         clock_index_[c].push_back(req.key);
         entry.ts[req.instance] = c;
-        signal_commit(c, req.instance, req.key.object);
+        signal_commit(req, c);
       }
       r.value = entry.value;
       // Subscriber callbacks for flushed shared objects (§4.3): the early
@@ -725,7 +884,7 @@ Response StoreShard::apply_transfer(const Request& req, ShardEntry& entry) {
           entry.update_log[c] = entry.value;
           clock_index_[c].push_back(req.key);
           entry.ts[req.instance] = c;
-          signal_commit(c, req.instance, req.key.object);
+          signal_commit(req, c);
         }
       }
       entry.owner = 0;
@@ -738,7 +897,10 @@ Response StoreShard::apply_transfer(const Request& req, ShardEntry& entry) {
         note.msg = Response::Kind::kOwnershipGranted;
         note.key = req.key;
         note.value = entry.value;
-        if (link) link->send(std::move(note));
+        // A backup mutates its waiter list in lockstep but stays silent:
+        // the primary already sent this grant. (The links are kept in the
+        // mirrored list so a promoted backup can send future grants.)
+        if (link && !req.replica) link->send(std::move(note));
         if (w->second.empty()) ownership_waiters_.erase(w);
       }
       r.value = entry.value;
@@ -765,6 +927,267 @@ Response StoreShard::apply_transfer(const Request& req, ShardEntry& entry) {
       break;
   }
   return r;
+}
+
+// --- replication stream ------------------------------------------------------
+
+void StoreShard::maybe_replicate(const Request& req, const Response& r) {
+  StoreShard* b = backup_.load(std::memory_order_acquire);
+  if (!b || req.replica) return;
+  bool forward = false;
+  switch (req.op) {
+    // Data mutations: forward only actual state changes. kEmulated /
+    // kNotOwner / kConditionFalse left the primary untouched, and the
+    // backup — applying the same committed stream — is already identical.
+    case OpType::kSet:
+    case OpType::kIncr:
+    case OpType::kPushList:
+    case OpType::kPopList:
+    case OpType::kCompareAndUpdate:
+    case OpType::kCustom:
+    case OpType::kCacheFlush:
+    case OpType::kReleaseOwner:
+    case OpType::kRegisterCallback:
+      forward = r.status == Status::kOk;
+      break;
+    case OpType::kAcquireOwner:
+      // Both outcomes mutate: a grant flips the owner, a refusal queues a
+      // waiter. The backup must mirror the waiter list to serve grants
+      // after promotion.
+      forward = r.status == Status::kOk || r.status == Status::kNotOwner;
+      break;
+    case OpType::kNonDet:
+      // Fresh computation only (kEmulated was already memoized over there).
+      forward = r.status == Status::kOk;
+      break;
+    case OpType::kBatch:
+      forward = req.batch != nullptr;
+      break;
+    case OpType::kMigrateSlots:
+      // Successful hand-off: echo a targetless drop so the backup sheds the
+      // moved slots. An aborted stream keeps them resident on both.
+      forward = r.status == Status::kOk;
+      break;
+    default:
+      // Reads, GC (DataStore broadcasts kGcClock to backups directly),
+      // checkpoints, and the migration ops handled in install_chunk /
+      // seed_backup.
+      return;
+  }
+  if (!forward) return;
+
+  // Field-wise forward: a whole-Request copy would pay four shared_ptr
+  // refcount round trips plus a covered_clocks copy on every replicated
+  // data op — on the primary's worker, inside the ACK path. Only what the
+  // backup's apply reads travels.
+  Request fwd;
+  fwd.op = req.op;
+  fwd.key = req.key;
+  fwd.arg = req.arg;
+  fwd.arg2 = req.arg2;
+  fwd.custom_id = req.custom_id;
+  fwd.clock = req.clock;
+  fwd.vertex = req.vertex;
+  fwd.instance = req.instance;
+  fwd.client_uid = req.client_uid;
+  fwd.flush_seq = req.flush_seq;
+  fwd.replica = true;
+  fwd.blocking = false;
+  fwd.want_ack = false;
+  switch (req.op) {
+    case OpType::kCacheFlush:
+    case OpType::kReleaseOwner:
+      fwd.covered_clocks = req.covered_clocks;
+      break;
+    case OpType::kAcquireOwner:
+    case OpType::kRegisterCallback:
+      // async_to is kept on purpose: the backup's mirrored waiter and
+      // subscriber lists need working links for the grants/callbacks it
+      // sends once promoted.
+      fwd.async_to = req.async_to;
+      break;
+    default:
+      break;
+  }
+  if (req.op == OpType::kNonDet) {
+    // Ship the computed value; the backup memoizes it instead of rolling
+    // its own dice (see apply_control).
+    fwd.arg2 = r.value;
+  }
+  if (req.op == OpType::kBatch) {
+    // Rebuild the envelope without the NACKed subs (they never applied
+    // here) and with each survivor flagged replica. Never mutate the
+    // original batch vector — it must stay intact for retransmission.
+    auto filtered = std::make_shared<std::vector<Request>>();
+    filtered->reserve(req.batch->size());
+    for (const Request& sub : *req.batch) {
+      bool nacked = false;
+      for (uint64_t id : r.nacked) {
+        if (id == sub.req_id) {
+          nacked = true;
+          break;
+        }
+      }
+      if (nacked) continue;
+      Request fs = sub;
+      fs.replica = true;
+      fs.blocking = false;
+      fs.want_ack = false;
+      fs.reply_to = nullptr;
+      filtered->push_back(std::move(fs));
+    }
+    if (filtered->empty()) return;
+    fwd.batch = std::move(filtered);
+  }
+  if (req.op == OpType::kMigrateSlots) {
+    fwd.migration = std::make_shared<MigrationChunk>(*req.migration);
+  }
+
+  // Clock-less data mutations carry no commitment — their ACK never
+  // promised replication, so the forward can ride a coalesced envelope
+  // (flushed at kReplBatchCap, on an idle recv window, or at the next
+  // ordering barrier) instead of paying a ring crossing and a backup
+  // wakeup per op. Everything clock-bearing (or touching control state:
+  // ownership, waiters, subscriptions, migration echoes) keeps the
+  // enqueue-before-ACK path, after flushing so the backup applies in
+  // primary order.
+  bool deferrable = false;
+  if (req.clock == kNoClock) {
+    switch (req.op) {
+      case OpType::kSet:
+      case OpType::kIncr:
+      case OpType::kPushList:
+      case OpType::kPopList:
+      case OpType::kCompareAndUpdate:
+      case OpType::kCustom:
+        deferrable = true;
+        break;
+      default:
+        break;
+    }
+  }
+  if (deferrable) {
+    repl_pending_.push_back(std::move(fwd));
+    if (repl_pending_.size() >= kReplBatchCap) flush_replication();
+    return;
+  }
+  flush_replication();
+  if (b->request_link().send(std::move(fwd))) {
+    metrics_.repl_forwarded.add();
+    // Backlog is a sampled gauge, not an exact count: probing the ring's
+    // head/tail every forward puts two extra acquire loads in the ACK path.
+    if ((metrics_.repl_forwarded.value() & 63) == 0) {
+      metrics_.repl_backlog.set(
+          static_cast<int64_t>(b->request_link().pending()));
+    }
+  }
+}
+
+void StoreShard::flush_replication() {
+  if (repl_pending_.empty()) return;
+  StoreShard* b = backup_.load(std::memory_order_acquire);
+  if (!b) {
+    // Backup detached since the ops deferred (failover re-pairing will
+    // re-seed from a full snapshot anyway) — nothing to ship.
+    repl_pending_.clear();
+    return;
+  }
+  const size_t n = repl_pending_.size();
+  Request env;
+  if (n == 1) {
+    env = std::move(repl_pending_.front());
+  } else {
+    env.op = OpType::kBatch;
+    env.replica = true;
+    env.blocking = false;
+    env.want_ack = false;
+    env.batch =
+        std::make_shared<std::vector<Request>>(std::move(repl_pending_));
+  }
+  repl_pending_.clear();
+  if (b->request_link().send(std::move(env))) {
+    metrics_.repl_forwarded.add(n);
+    if ((metrics_.repl_forwarded.value() & 63) <= n) {
+      metrics_.repl_backlog.set(
+          static_cast<int64_t>(b->request_link().pending()));
+    }
+  }
+}
+
+void StoreShard::forward_install(const Request& req) {
+  StoreShard* b = backup_.load(std::memory_order_acquire);
+  if (!b || req.replica || !req.migration) return;
+  Request fwd;
+  fwd.op = OpType::kInstallSlots;
+  fwd.replica = true;
+  fwd.blocking = false;
+  fwd.want_ack = false;
+  // Deep copy: install_chunk is about to move the entries out of the
+  // original chunk.
+  fwd.migration = std::make_shared<MigrationChunk>(*req.migration);
+  if (b->request_link().send(std::move(fwd))) {
+    metrics_.repl_forwarded.add();
+  }
+}
+
+bool StoreShard::seed_backup(const Request& req) {
+  StoreShard* target = req.migrate_to;
+  if (!target) return false;
+  // Stream COPIES of everything (unlike migrate_out, nothing leaves this
+  // shard) as replica-flagged install chunks with EMPTY slot lists: a
+  // backup holds state, not routing ownership, so the final chunk's
+  // slot-flip and parked-drain are no-ops over there.
+  std::vector<std::pair<StoreKey, ShardEntry>> all;
+  all.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) all.emplace_back(key, entry);
+
+  auto send_chunk = [&](const Request& inst) {
+    const TimePoint give_up = SteadyClock::now() + std::chrono::milliseconds(200);
+    while (!target->request_link().send(inst)) {
+      if (SteadyClock::now() >= give_up || target->request_link().closed()) {
+        CHC_WARN("shard %d: backup seed chunk lost", index_);
+        return false;
+      }
+      std::this_thread::yield();
+    }
+    return true;
+  };
+
+  size_t i = 0;
+  for (;;) {
+    const bool last = all.size() - i <= kMigrateChunk;
+    Request inst;
+    inst.op = OpType::kInstallSlots;
+    inst.replica = true;
+    inst.blocking = false;
+    inst.want_ack = false;
+    inst.migration = std::make_shared<MigrationChunk>();
+    MigrationChunk& mc = *inst.migration;
+    mc.final_chunk = last;
+    mc.carry_side_tables = last;
+    const size_t end = last ? all.size() : i + kMigrateChunk;
+    mc.entries.reserve(end - i);
+    for (; i < end; ++i) mc.entries.push_back(std::move(all[i]));
+    if (last) {
+      for (const auto& [key, subs] : subscribers_) {
+        mc.subscribers.emplace_back(key, subs);
+      }
+      for (const auto& [key, w] : ownership_waiters_) {
+        mc.waiters.emplace_back(key, w);
+      }
+      mc.nondet.reserve(nondet_log_.size());
+      for (const auto& [clock, v] : nondet_log_) mc.nondet.emplace_back(clock, v);
+      mc.gc_done.reserve(gc_done_.size());
+      gc_done_.for_each([&](LogicalClock c) { mc.gc_done.push_back(c); });
+    }
+    if (!send_chunk(inst)) return false;
+    if (last) break;
+  }
+  // Atomic cut: everything above is now in the backup's queue; every op
+  // this worker applies from here on forwards live through the same queue,
+  // so the backup sees seed-then-updates in exactly apply order.
+  backup_.store(target, std::memory_order_release);
+  return true;
 }
 
 }  // namespace chc

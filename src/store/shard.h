@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/flat_map.h"
 #include "common/metrics.h"
 #include "common/rng.h"
@@ -25,6 +26,8 @@
 #include "transport/sim_link.h"
 
 namespace chc {
+
+class StoreBackend;  // store/backend.h (pluggable async storage engine)
 
 // Custom operation registry: id -> (old value, arg) -> new value.
 using CustomOpFn = std::function<Value(const Value&, const Value&)>;
@@ -133,6 +136,35 @@ class StoreShard {
   void reset_for_reuse();
   // True while this shard serves traffic (start()ed and not stop()ped).
   bool serving() const { return running_.load(std::memory_order_acquire); }
+
+  // --- replication (primary/backup, see docs/architecture.md §8) ------------
+  enum class ReplicaRole : uint8_t { kPrimary, kBackup };
+  void set_role(ReplicaRole r) { role_.store(r, std::memory_order_release); }
+  ReplicaRole role() const { return role_.load(std::memory_order_acquire); }
+  bool is_primary() const { return role() == ReplicaRole::kPrimary; }
+  // Wires/unwires the replication stream. The backup must outlive this
+  // shard's worker or be detached first (shards are never destroyed while
+  // the store runs, same contract as Request::migrate_to).
+  void set_backup(StoreShard* b) {
+    backup_.store(b, std::memory_order_release);
+  }
+  StoreShard* backup_shard() const {
+    return backup_.load(std::memory_order_acquire);
+  }
+  uint64_t repl_forwarded() const { return metrics_.repl_forwarded.value(); }
+
+  // Deterministic fault injection (common/fault.h). Set before start();
+  // the worker polls crash triggers per request and per migration chunk.
+  void set_fault(FaultInjector* f) { fault_ = f; }
+
+  // Worker-loop liveness beacon (the failure detector's signal).
+  uint64_t heartbeats() const { return metrics_.heartbeats.value(); }
+
+  int index() const { return index_; }
+
+  // The storage engine behind the async seam (store/backend.h). Exposed for
+  // backend-level tests; the shard itself owns and drives it.
+  StoreBackend& backend() { return *backend_; }
   // Entries merged in by kInstallSlots (reshard telemetry).
   uint64_t migrated_in() const { return metrics_.migrated_in.value(); }
   // Requests bounced with kWrongShard (stale-route telemetry).
@@ -183,10 +215,29 @@ class StoreShard {
   }
   void bounce(const Request& req);
   // kMigrateSlots: freeze + extract the slots and stream them to the
-  // target; kInstallSlots: merge a chunk, final chunk flips slots + drains
-  // parked requests.
-  void migrate_out(const Request& req);
+  // target (false on stream abort or crash); kInstallSlots: merge a chunk,
+  // final chunk flips slots + drains parked requests. A replica-flagged
+  // kMigrateSlots with no target is the drop echo a primary sends its
+  // backup after migrating slots away.
+  bool migrate_out(const Request& req);
   void install_chunk(const Request& req);
+  // Replication stream: forward a just-applied mutation to the backup
+  // (process() tail), mirror an incoming migration chunk before the local
+  // destructive merge, stream a full state copy to a fresh backup
+  // (kSeedBackup).
+  void maybe_replicate(const Request& req, const Response& r);
+  // Ship the deferred clock-less forwards as one replica kBatch envelope.
+  // Called when kReplBatchCap accumulate, when the request link goes idle
+  // for a recv window, on graceful stop, and before anything whose
+  // ordering matters relative to them (immediate forwards, control
+  // traffic).
+  void flush_replication();
+  void forward_install(const Request& req);
+  bool seed_backup(const Request& req);
+  // Simulated kill from the worker itself (fault-injector crash triggers):
+  // discards state and exits the loop without self-joining; stop()/start()
+  // reap the finished thread under lifecycle_mu_.
+  void crash_from_worker();
   Response apply(const Request& req);
   // Cold paths outlined from apply(): control traffic (GC, checkpoints,
   // batch envelopes, nondet) and the ownership/flush/callback ops. Keeping
@@ -200,7 +251,10 @@ class StoreShard {
   // update's initiator (used by apply()'s tail and the flush path).
   void notify_subscribers(const Request& req, const ShardEntry& entry);
   void reply(const Request& req, Response r);
-  void signal_commit(LogicalClock clock, InstanceId instance, ObjectId object);
+  // Commit signal to the root ledger. Takes the driving request so replica
+  // applies are recognized and suppressed — the primary already XORed this
+  // commit; a backup echoing it would corrupt the per-packet ledger.
+  void signal_commit(const Request& req, LogicalClock clock);
 
   const int index_;
   const size_t burst_;
@@ -218,7 +272,19 @@ class StoreShard {
   static constexpr size_t kParkedCap = 8192;  // past this: bounce, client retries
   static constexpr size_t kMigrateChunk = 128;  // entries per kInstallSlots
 
-  ShardEntryMap entries_;
+  // Deferred replication forwards (worker-thread owned). Clock-less data
+  // ops carry no commitment, so their forwards coalesce into one replica
+  // kBatch envelope instead of paying a ring crossing and a backup wakeup
+  // each — see maybe_replicate / flush_replication.
+  std::vector<Request> repl_pending_;
+  static constexpr size_t kReplBatchCap = 64;  // load-driven flush trigger
+
+  // The storage engine, behind the async backend seam. Declared before
+  // entries_: the reference binds to the backend's inline map at
+  // construction, so every hot-path use below still compiles (and costs)
+  // exactly as when the map was a direct member.
+  std::unique_ptr<StoreBackend> backend_;
+  ShardEntryMap& entries_;
   // clock -> keys whose update_log mentions it; makes GC O(updates/packet).
   FlatMap<LogicalClock, std::vector<StoreKey>> clock_index_;
   // Memoized non-deterministic values (Appendix A), keyed by packet clock.
@@ -240,6 +306,14 @@ class StoreShard {
   SplitMix64 rng_;
   std::thread worker_;
   std::atomic<bool> running_{false};
+  // Serializes start/stop against each other and lets either reap a worker
+  // thread that exited on its own (crash_from_worker): the old stop() early-
+  // returned when running_ was already false and left the finished thread
+  // unjoined — std::terminate on the next start() or destruction.
+  std::mutex lifecycle_mu_;
+  std::atomic<ReplicaRole> role_{ReplicaRole::kPrimary};
+  std::atomic<StoreShard*> backup_{nullptr};
+  FaultInjector* fault_ = nullptr;  // set before start(); worker-read only
   // All shard telemetry (op counts, burst shape, per-router-slot load)
   // lives here: relaxed-atomic recording on the worker, lock-free sampling
   // from the control plane.

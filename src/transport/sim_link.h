@@ -24,6 +24,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/spin.h"
@@ -44,6 +45,11 @@ struct LinkConfig {
   // while the consumer is quiescent (crash/teardown paths).
   bool lockfree = false;
   size_t ring_capacity = 4096;  // rounded up to a power of two
+  // Deterministic fault injection (common/fault.h). When set, every send
+  // consults the injector under `fault_link_id`; null keeps the fast path
+  // branchless beyond one pointer test. The injector must outlive the link.
+  FaultInjector* fault = nullptr;
+  uint64_t fault_link_id = 0;
 
   bool randomized() const {
     return drop_prob > 0 || reorder_prob > 0 || jitter.count() > 0;
@@ -60,6 +66,8 @@ class SimLink {
     }
     randomized_.store(cfg_.randomized(), std::memory_order_relaxed);
     base_delay_.store(cfg_.one_way_delay.count(), std::memory_order_relaxed);
+    fault_.store(cfg_.fault, std::memory_order_relaxed);
+    fault_link_id_.store(cfg_.fault_link_id, std::memory_order_relaxed);
   }
 
   void set_config(const LinkConfig& cfg) {
@@ -70,6 +78,8 @@ class SimLink {
     rng_ = SplitMix64(cfg.seed);
     randomized_.store(cfg_.randomized(), std::memory_order_relaxed);
     base_delay_.store(cfg_.one_way_delay.count(), std::memory_order_relaxed);
+    fault_.store(cfg_.fault, std::memory_order_relaxed);
+    fault_link_id_.store(cfg_.fault_link_id, std::memory_order_relaxed);
   }
 
   // Returns false if the message was dropped (loss injection) or the link
@@ -77,10 +87,17 @@ class SimLink {
   // bounded-queue backpressure, not silent loss.
   bool send(T msg) {
     Duration delay;
+    bool timed = true;
     if (!randomized_.load(std::memory_order_relaxed)) {
       // Fast path: constant delay needs neither the RNG nor its mutex
       // (base_delay_ is the lock-free mirror of cfg_.one_way_delay).
       delay = Duration(base_delay_.load(std::memory_order_relaxed));
+      // Zero-delay links skip the clock read entirely: deliver_at stays
+      // the epoch sentinel ("no delivery floor") and the receive side
+      // skips its spin_until. One clock_gettime per message matters — the
+      // store data path crosses two of these per op, four when a primary
+      // replicates.
+      timed = delay != Duration::zero();
     } else {
       std::lock_guard lk(mu_);
       if (cfg_.drop_prob > 0 && rng_.chance(cfg_.drop_prob)) {
@@ -95,33 +112,26 @@ class SimLink {
         delay += 2 * cfg_.one_way_delay;
       }
     }
-    Timed t{SteadyClock::now() + delay, std::move(msg)};
-    if (ring_) {
-      // Bounded backpressure: yield while the ring is full, but give up
-      // after a grace window. A receiver that stopped draining (crashed
-      // instance whose reply link nobody reads) must not wedge the sender
-      // forever — the seed's unbounded queue could never block here, so an
-      // unbounded spin would turn "slow consumer" into "stalled shard".
-      // Past the window the message counts as dropped (lossy network);
-      // the ACK/retransmission machinery owns recovery.
-      const TimePoint give_up = SteadyClock::now() + std::chrono::milliseconds(2);
-      for (;;) {
-        switch (ring_->try_push(t)) {
-          case RingPush::kOk:
-            return true;
-          case RingPush::kClosed:
-            return false;
-          case RingPush::kFull:
-            if (SteadyClock::now() >= give_up) {
-              dropped_.add();
-              return false;
-            }
-            std::this_thread::yield();
-            break;
-        }
+    if (FaultInjector* fi = fault_.load(std::memory_order_relaxed)) {
+      Duration extra = Duration::zero();
+      const LinkAction act =
+          fi->on_send(fault_link_id_.load(std::memory_order_relaxed), &extra);
+      if (extra != Duration::zero()) {
+        delay += extra;
+        timed = true;
+      }
+      if (act == LinkAction::kDrop) {
+        dropped_.add();
+        return false;
+      }
+      if (act == LinkAction::kDuplicate) {
+        // The copy rides ahead of the original; either may be dropped by
+        // ring backpressure independently, like real duplicate delivery.
+        enqueue(Timed{timed ? SteadyClock::now() + delay : TimePoint{}, msg});
       }
     }
-    return q_.push(std::move(t));
+    return enqueue(
+        Timed{timed ? SteadyClock::now() + delay : TimePoint{}, std::move(msg)});
   }
 
   // Blocking receive honoring the delivery timestamp. Returns nullopt on
@@ -130,14 +140,16 @@ class SimLink {
     if (!ring_) {
       auto item = q_.pop_wait(timeout);
       if (!item) return std::nullopt;
-      spin_until(item->deliver_at);
+      // Epoch deliver_at marks an untimed (zero-delay) message: no floor to
+      // wait for, and skipping spin_until saves its clock read per message.
+      if (item->deliver_at != TimePoint{}) spin_until(item->deliver_at);
       return std::move(item->msg);
     }
     const TimePoint deadline = SteadyClock::now() + timeout;
     int spins = 0;
     for (;;) {
       if (Timed* head = ring_->peek()) {
-        spin_until(head->deliver_at);
+        if (head->deliver_at != TimePoint{}) spin_until(head->deliver_at);
         T msg = std::move(head->msg);
         ring_->pop();
         return msg;
@@ -178,15 +190,22 @@ class SimLink {
   // Non-blocking receive: yields only a message whose delivery time has
   // already arrived; never waits on in-flight messages.
   std::optional<T> try_recv() {
-    const TimePoint now = SteadyClock::now();
+    // Lazily read the clock: untimed (epoch deliver_at) messages are the
+    // common case on zero-delay links, and they need no comparison at all.
+    TimePoint now{};
+    const auto ripe = [&](const TimePoint& at) {
+      if (at == TimePoint{}) return true;
+      if (now == TimePoint{}) now = SteadyClock::now();
+      return at <= now;
+    };
     if (ring_) {
       Timed* head = ring_->peek();
-      if (!head || head->deliver_at > now) return std::nullopt;
+      if (!head || !ripe(head->deliver_at)) return std::nullopt;
       T msg = std::move(head->msg);
       ring_->pop();
       return msg;
     }
-    auto item = q_.pop_if([&](const Timed& t) { return t.deliver_at <= now; });
+    auto item = q_.pop_if([&](const Timed& t) { return ripe(t.deliver_at); });
     if (!item) return std::nullopt;
     return std::move(item->msg);
   }
@@ -252,11 +271,42 @@ class SimLink {
     T msg;
   };
 
+  bool enqueue(Timed t) {
+    if (ring_) {
+      // Bounded backpressure: yield while the ring is full, but give up
+      // after a grace window. A receiver that stopped draining (crashed
+      // instance whose reply link nobody reads) must not wedge the sender
+      // forever — the seed's unbounded queue could never block here, so an
+      // unbounded spin would turn "slow consumer" into "stalled shard".
+      // Past the window the message counts as dropped (lossy network);
+      // the ACK/retransmission machinery owns recovery.
+      const TimePoint give_up = SteadyClock::now() + std::chrono::milliseconds(2);
+      for (;;) {
+        switch (ring_->try_push(t)) {
+          case RingPush::kOk:
+            return true;
+          case RingPush::kClosed:
+            return false;
+          case RingPush::kFull:
+            if (SteadyClock::now() >= give_up) {
+              dropped_.add();
+              return false;
+            }
+            std::this_thread::yield();
+            break;
+        }
+      }
+    }
+    return q_.push(std::move(t));
+  }
+
   mutable std::mutex mu_;
   LinkConfig cfg_;
   SplitMix64 rng_{7};
   std::atomic<bool> randomized_{false};
   std::atomic<Duration::rep> base_delay_{0};
+  std::atomic<FaultInjector*> fault_{nullptr};
+  std::atomic<uint64_t> fault_link_id_{0};
   Counter dropped_;
   ConcurrentQueue<Timed> q_;
   std::unique_ptr<MpscRing<Timed>> ring_;

@@ -316,6 +316,28 @@ ChainResult run_chain(uint64_t reshard_seed) {
                    static_cast<unsigned long long>(sh.metrics().parked.value()),
                    static_cast<unsigned long long>(sh.migrated_in()));
     }
+    // Attribute the wedge per stuck packet: for every clock still in flight
+    // at the root, scan each shard's update logs (via a consistent
+    // checkpoint). Present in a log but uncommitted at the root = lost or
+    // double-XORed commit signal; absent everywhere = the update itself was
+    // dropped (e.g. an abandoned client retransmission).
+    const std::vector<LogicalClock> inflight = rt.root().inflight_clocks();
+    std::fprintf(stderr, "  inflight clocks: %zu\n", inflight.size());
+    for (int s = 0; s < rt.store().num_shards(); ++s) {
+      if (!rt.store().shard(s).serving()) continue;
+      const auto snap = rt.store().checkpoint_shard(s);
+      for (const auto& [key, entry] : snap->entries) {
+        for (LogicalClock c : inflight) {
+          if (!entry.update_log.contains(c)) continue;
+          std::fprintf(stderr,
+                       "  clock=%llu APPLIED at shard=%d obj=%u scope=%llu "
+                       "but still in flight at root\n",
+                       static_cast<unsigned long long>(c), s,
+                       static_cast<unsigned>(key.object),
+                       static_cast<unsigned long long>(key.scope_key));
+        }
+      }
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   EXPECT_TRUE(quiesced);
