@@ -28,13 +28,18 @@
 namespace chc {
 
 // Per-link message-fault probabilities. All independent Bernoulli draws from
-// the link's stream; extra_delay is added to every delivery on the link and
-// reorder adds a further 2x extra_delay bubble (mirrors LinkConfig's model).
+// the link's stream; extra_delay is added to every delivery on the link, and
+// a reorder hit delays that one message by a further 2x extra_delay plus
+// reorder_window (mirrors LinkConfig's extra-RTT model). The independent
+// reorder_window keeps reorder meaningful when extra_delay is zero — a
+// reorder-only rule must still push the selected message behind its
+// successors, not just bump a counter.
 struct LinkFaultRule {
   double drop = 0.0;
   double dup = 0.0;
   double reorder = 0.0;
   Duration extra_delay = Duration::zero();
+  Duration reorder_window = Micros(100);
 };
 
 enum class LinkAction : uint8_t { kDeliver, kDrop, kDuplicate };
@@ -83,7 +88,7 @@ class FaultInjector {
     LinkState& st = it->second;
     if (st.rule.extra_delay.count() > 0) *extra += st.rule.extra_delay;
     if (st.rule.reorder > 0 && st.rng.chance(st.rule.reorder)) {
-      *extra += 2 * st.rule.extra_delay;
+      *extra += 2 * st.rule.extra_delay + st.rule.reorder_window;
       reordered_.add();
     }
     if (st.rule.drop > 0 && st.rng.chance(st.rule.drop)) {

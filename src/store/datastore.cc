@@ -293,8 +293,13 @@ bool DataStore::remove_shard(int shard) {
   victim.stop();
   shard_active_[static_cast<size_t>(shard)] = false;
   // Retire the backup with its primary: a drained shard has nothing left
-  // to replicate, and the slot becomes reusable for future pairs.
+  // to replicate, and the slot becomes reusable for future pairs. Sever the
+  // primary's stream pointer too — if this slot is later reused as an
+  // unreplicated primary (attach_backup at the max_shards ceiling), a stale
+  // backup_ would forward its applies into whatever shard occupies the old
+  // backup slot by then.
   if (const int b = backup_of_[static_cast<size_t>(shard)]; b >= 0) {
+    victim.set_backup(nullptr);
     shards_[static_cast<size_t>(b)]->stop();
     shard_is_backup_[static_cast<size_t>(b)] = false;
     backup_of_[static_cast<size_t>(shard)] = -1;
@@ -318,7 +323,11 @@ int DataStore::allocate_shard_slot() {
   // new one (bounded by the pre-reserved ceiling — the data path indexes
   // shards_ without a lock, so the array must never reallocate).
   for (size_t i = 0; i < shards_.size(); ++i) {
-    if (!shard_active_[i] && !shard_is_backup_[i]) {
+    // worker_exited() quarantines slots whose worker a failover fenced but
+    // could not join (wedged mid-apply): the thread still owns the shard's
+    // state, so scrubbing and restarting it here would race. The slot
+    // becomes eligible again if the worker ever un-wedges and exits.
+    if (!shard_active_[i] && !shard_is_backup_[i] && shards_[i]->worker_exited()) {
       shards_[i]->reset_for_reuse();
       return static_cast<int>(i);
     }
@@ -378,11 +387,22 @@ bool DataStore::failover_shard(int shard) {
   StoreShard& deadsh = *shards_[static_cast<size_t>(shard)];
   StoreShard& bsh = *shards_[static_cast<size_t>(b)];
 
-  // 1. Fence the old primary. stop() joins the worker (a no-op if it
-  //    already crashed), which guarantees no further replica forwards can
-  //    be produced — so once the backup drains its queue, it has applied
-  //    every update the primary ever ACKed (forward-before-ACK).
-  deadsh.stop();
+  // 1. Fence the old primary. The detector targets wedged primaries as
+  //    well as crashed ones, so this must not join a worker stuck inside
+  //    apply() — stop()'s unconditional join would wedge this control
+  //    thread (holding reshard_mu_) with it. A live or crashed worker
+  //    exits within the grace window (flushing its deferred replication
+  //    tail on the way out, so a false-positive failover of a healthy
+  //    primary loses nothing) and is joined — after which no further
+  //    replica forwards can be produced, so once the backup drains its
+  //    queue it has applied every update the primary ever ACKed
+  //    (forward-before-ACK). A wedged worker is left fenced but un-joined
+  //    with its replication stream detached, and its slot is quarantined
+  //    from reuse below.
+  const bool fenced = deadsh.fence(std::chrono::milliseconds(250));
+  if (!fenced) {
+    CHC_WARN("failover: shard %d worker wedged, fenced without join", shard);
+  }
 
   // 2. Promote the backup. kPromote rides the same link as the replica
   //    stream, so by the time the worker reaches it, every outstanding
@@ -454,7 +474,14 @@ bool DataStore::failover_shard(int shard) {
 
   // 4. Re-seed: the old primary's shard object restarts empty as the new
   //    primary's backup, rebuilt by kSeedBackup slot-streaming. Failure
-  //    here leaves the new primary serving, just unreplicated.
+  //    here leaves the new primary serving, just unreplicated. A wedged
+  //    (un-joined) worker still owns the shard's state, so its slot cannot
+  //    be recycled — allocate_shard_slot skips it until worker_exited().
+  if (!fenced) {
+    CHC_WARN("failover: shard %d slot quarantined, shard %d runs unreplicated",
+             shard, b);
+    return true;
+  }
   deadsh.reset_for_reuse();
   deadsh.set_role(StoreShard::ReplicaRole::kBackup);
   deadsh.start();

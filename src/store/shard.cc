@@ -51,7 +51,14 @@ void StoreShard::start() {
   if (worker_.joinable()) worker_.join();
   running_.store(true, std::memory_order_release);
   requests_.reopen();
-  worker_ = std::thread([this] { run(); });
+  worker_exited_.store(false, std::memory_order_release);
+  worker_ = std::thread([this] {
+    run();
+    // Last act of the worker: every exit path of run() (graceful stop,
+    // crash_from_worker) funnels through here, so fence() can tell an
+    // exited worker from a wedged one.
+    worker_exited_.store(true, std::memory_order_release);
+  });
 }
 
 void StoreShard::stop() {
@@ -63,6 +70,34 @@ void StoreShard::stop() {
   running_.store(false, std::memory_order_release);
   requests_.close();
   if (worker_.joinable()) worker_.join();
+}
+
+bool StoreShard::fence(Duration grace) {
+  std::lock_guard lk(lifecycle_mu_);
+  running_.store(false, std::memory_order_release);
+  requests_.close();
+  // Give the worker its graceful exit first: a live worker (e.g. a
+  // failure-detector false positive under load) leaves run() through the
+  // stop path, which flushes the deferred replication tail to the backup —
+  // so a failover of a healthy primary loses nothing, exactly like stop().
+  // Only a worker that fails to exit within the grace window (wedged
+  // inside apply() or a custom op) is abandoned: detach the replication
+  // stream so a later un-wedge cannot forward stale ops to a by-then-
+  // promoted backup (only the atomic pointer is touched — repl_pending_ is
+  // worker-owned and the thread may still be alive; its own
+  // flush_replication() discards the deferred forwards the moment it sees
+  // the null backup), and leave the thread un-joined — the slot stays
+  // quarantined until worker_exited() flips.
+  const TimePoint deadline = SteadyClock::now() + grace;
+  while (!worker_exited_.load(std::memory_order_acquire)) {
+    if (SteadyClock::now() >= deadline) {
+      backup_.store(nullptr, std::memory_order_release);
+      return false;
+    }
+    std::this_thread::yield();
+  }
+  if (worker_.joinable()) worker_.join();
+  return true;
 }
 
 void StoreShard::crash_from_worker() {
@@ -79,6 +114,12 @@ void StoreShard::crash_from_worker() {
   ownership_waiters_.clear();
   parked_.clear();
   parked_count_ = 0;
+  // The replication stream dies with the process: deferred forwards are
+  // pre-crash state (a later flush through a re-pointed backup_ would
+  // resurrect them out of order), and the pairing itself is severed — only
+  // an explicit set_backup/seed_backup may re-arm it.
+  repl_pending_.clear();
+  backup_.store(nullptr, std::memory_order_release);
 }
 
 void StoreShard::crash() {
@@ -90,6 +131,8 @@ void StoreShard::crash() {
   ownership_waiters_.clear();
   parked_.clear();
   parked_count_ = 0;
+  repl_pending_.clear();
+  backup_.store(nullptr, std::memory_order_release);
   // slot_states_ intentionally survives: recovery rebuilds this shard in
   // place, so it still owns the same slice of the slot space.
 }
@@ -110,6 +153,13 @@ void StoreShard::reset_for_reuse() {
   ownership_waiters_.clear();
   parked_.clear();
   parked_count_ = 0;
+  // Replication state never survives reuse: a recycled primary's stale
+  // backup_ pointer would forward fresh applies into whatever shard now
+  // occupies that slot, and stale deferred forwards would replay pre-retire
+  // writes through it. Both are re-armed explicitly (attach_backup /
+  // seed_backup) if the new occupant replicates.
+  repl_pending_.clear();
+  backup_.store(nullptr, std::memory_order_release);
   if (!slot_states_.empty()) slot_states_.assign(slot_states_.size(), kUnowned);
 }
 
@@ -589,17 +639,25 @@ Response StoreShard::apply_control(const Request& req) {
       return r;
     case OpType::kCheckpoint:
       if (req.snapshot_out) {
-        // Through the backend seam: the in-memory engine answers inline;
-        // queue serialization (not the engine) is what makes the snapshot a
-        // consistent cut.
+        // Through the backend seam: queue serialization (not the engine) is
+        // what makes the snapshot a consistent cut. The handler blocks until
+        // the completion fires — a genuinely asynchronous backend invokes
+        // the callback from an I/O thread, and the stack frame it writes
+        // through (r, req) must stay live until then. The in-memory engine
+        // answers inline, so the wait exits on its first load.
+        std::atomic<bool> snap_done{false};
         backend_->AsyncSnapshot(
-            [&r, &req](BackendStatus st, ShardSnapshot snap) {
+            [&r, &req, &snap_done](BackendStatus st, ShardSnapshot snap) {
               if (st == BackendStatus::kOk) {
                 *req.snapshot_out = std::move(snap);
               } else {
                 r.status = Status::kError;
               }
+              snap_done.store(true, std::memory_order_release);
             });
+        while (!snap_done.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
       } else {
         r.status = Status::kError;
       }

@@ -121,6 +121,22 @@ class StoreShard {
   void start();
   void stop();
 
+  // Failover fence: stop admitting work WITHOUT unconditionally joining
+  // the worker. The detector targets wedged primaries too — a worker stuck
+  // inside apply() or a custom op never re-checks running_, and stop()'s
+  // join would block the control thread (holding reshard_mu_) forever
+  // behind it. Waits up to `grace` for the worker to exit: true = exited
+  // (flushing its deferred replication tail like stop(), so fencing a
+  // healthy primary loses nothing) and joined — the slot is reusable;
+  // false = still wedged (link closed, replication stream detached, but
+  // the slot must not be reused until worker_exited() flips).
+  bool fence(Duration grace);
+  // True once the worker thread has returned from run() (or never started).
+  // Gates slot reuse after a fence() timed out on a wedged worker.
+  bool worker_exited() const {
+    return worker_exited_.load(std::memory_order_acquire);
+  }
+
   // Simulates a crash: stops the worker and discards all shard state.
   // Slot ownership survives a crash (the failed shard is recovered in
   // place, not resharded away).
@@ -306,6 +322,10 @@ class StoreShard {
   SplitMix64 rng_;
   std::thread worker_;
   std::atomic<bool> running_{false};
+  // Flipped by the worker as its last act before returning from run();
+  // true while no worker exists. Lets fence() distinguish "exited, safe to
+  // join" from "wedged mid-apply, joining would deadlock".
+  std::atomic<bool> worker_exited_{true};
   // Serializes start/stop against each other and lets either reap a worker
   // thread that exited on its own (crash_from_worker): the old stop() early-
   // returned when running_ was already false and left the finished thread

@@ -277,6 +277,205 @@ TEST(ReplicationOff, FailoverWithoutBackupFails) {
   store.stop();
 }
 
+TEST(ReplicationReuse, CrashSeversReplicationStream) {
+  // Regression: a fault-injected crash used to leave the dead primary's
+  // deferred clock-less forwards (repl_pending_) and its backup_ pointer
+  // intact. failover_shard then recycled the dead shard object as the
+  // promoted primary's backup, and its first idle recv window flushed the
+  // stale pre-crash forwards through the stale pointer — straight into the
+  // new primary, which applies replica ops verbatim. The crash must sever
+  // the stream: pointer nulled, deferred forwards discarded.
+  FaultInjector fi(11);
+  DataStoreConfig cfg;
+  cfg.num_shards = 1;
+  cfg.route_slots = 32;
+  cfg.replica.enabled = true;
+  cfg.fault = &fi;
+  DataStore store(cfg);
+  store.start();
+
+  auto reply = std::make_shared<ReplyLink>();
+  uint64_t seq = 0;
+  const StoreKey key = make_key(42);
+  auto set_value = [&](int64_t v, LogicalClock clock, bool blocking) {
+    Request req;
+    req.op = OpType::kSet;
+    req.key = key;
+    req.arg = Value::of_int(v);
+    req.clock = clock;
+    req.blocking = blocking;
+    req.want_ack = false;
+    req.reply_to = blocking ? reply : nullptr;
+    req.req_id = ++seq;
+    store.submit(std::move(req));
+    if (!blocking) return;
+    const TimePoint deadline = SteadyClock::now() + std::chrono::seconds(2);
+    while (SteadyClock::now() < deadline) {
+      if (auto r = reply->recv(Micros(200)); r && r->req_id == seq) return;
+    }
+    ADD_FAILURE() << "set_value: no reply";
+  };
+
+  // Clock-bearing warm-up replicates (and flushes the deferred tail) before
+  // its ACK, so the backup deterministically holds 10.
+  set_value(10, /*clock=*/1000, /*blocking=*/true);
+  ASSERT_NE(store.shard(0).backup_shard(), nullptr);
+
+  // Burst of clock-less sets: their forwards coalesce in the primary's
+  // deferred buffer, and the injector kills the worker mid-burst — so
+  // un-flushed deferred forwards are pending at crash time.
+  fi.arm_crash_at_op(0, 8);
+  for (int i = 0; i < 16; ++i) set_value(100 + i, kNoClock, /*blocking=*/false);
+  const TimePoint crashed_by = SteadyClock::now() + std::chrono::seconds(2);
+  while (store.shard(0).serving() && SteadyClock::now() < crashed_by) {
+    std::this_thread::yield();
+  }
+  ASSERT_FALSE(store.shard(0).serving());
+  // The structural lock on the fix: the crash severed the stream.
+  EXPECT_EQ(store.shard(0).backup_shard(), nullptr)
+      << "crash must null the replication pointer";
+
+  // End to end: after failover recycles the dead shard as the new backup,
+  // a post-failover write must stick — a resurrected pre-crash kSet
+  // arriving later would overwrite it.
+  ASSERT_TRUE(store.failover_shard(0));
+  set_value(999, /*clock=*/2000, /*blocking=*/true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // > idle window
+  Request get;
+  get.op = OpType::kGet;
+  get.key = key;
+  get.blocking = true;
+  get.reply_to = reply;
+  get.req_id = ++seq;
+  store.submit(get);
+  const TimePoint deadline = SteadyClock::now() + std::chrono::seconds(2);
+  while (SteadyClock::now() < deadline) {
+    if (auto r = reply->recv(Micros(200)); r && r->req_id == get.req_id) {
+      EXPECT_EQ(r->value.as_int(), 999)
+          << "stale pre-crash forward resurrected on the new primary";
+      break;
+    }
+  }
+  store.stop();
+}
+
+TEST(ReplicationReuse, RemoveShardDetachesBackupPointer) {
+  // Regression: remove_shard retired the paired backup but left the drained
+  // primary's backup_ pointer aimed at the retired slot. If that primary
+  // slot was later recycled while attach_backup failed at the ceiling (the
+  // warned "runs unreplicated" path), applied ops forwarded through the
+  // stale pointer into whatever shard occupied the old backup slot.
+  DataStoreConfig cfg;
+  cfg.num_shards = 2;
+  cfg.route_slots = 32;
+  cfg.replica.enabled = true;
+  DataStore store(cfg);
+  store.start();
+  const int b1 = store.backup_of(1);
+  ASSERT_GE(b1, 0);
+  ASSERT_NE(store.shard(1).backup_shard(), nullptr);
+  ASSERT_TRUE(store.remove_shard(1));
+  EXPECT_EQ(store.shard(1).backup_shard(), nullptr)
+      << "retiring the backup must sever the primary's stream pointer";
+  EXPECT_EQ(store.backup_of(1), -1);
+  store.stop();
+}
+
+TEST(Failover, WedgedPrimaryDoesNotDeadlockControlPlane) {
+  // Regression: failover_shard fenced the old primary with stop(), whose
+  // unconditional join blocks forever on a worker wedged inside apply() —
+  // deadlocking the control thread (holding reshard_mu_) the heartbeat
+  // detector explicitly exists to rescue. The fence must give up on a
+  // wedged worker, quarantine its slot, and promote anyway.
+  DataStoreConfig cfg;
+  cfg.num_shards = 1;
+  cfg.route_slots = 32;
+  cfg.replica.enabled = true;
+  DataStore store(cfg);
+  std::atomic<bool> release{false};
+  store.register_custom_op(99, [&](const Value& v, const Value&) {
+    while (!release.load(std::memory_order_acquire)) std::this_thread::yield();
+    return v;
+  });
+  store.start();
+
+  auto reply = std::make_shared<ReplyLink>();
+  const StoreKey key = make_key(7);
+  auto blocking_op = [&](OpType op, int64_t arg, LogicalClock clock,
+                         uint64_t id) {
+    Request req;
+    req.op = op;
+    req.key = key;
+    req.arg = Value::of_int(arg);
+    req.clock = clock;
+    req.blocking = true;
+    req.reply_to = reply;
+    req.req_id = id;
+    store.submit(std::move(req));
+    const TimePoint deadline = SteadyClock::now() + std::chrono::seconds(2);
+    while (SteadyClock::now() < deadline) {
+      if (auto r = reply->recv(Micros(200)); r && r->req_id == id) return *r;
+    }
+    ADD_FAILURE() << "blocking op: no reply";
+    return Response{};
+  };
+  blocking_op(OpType::kSet, 5, /*clock=*/500, /*id=*/1);  // replicated base
+
+  // Wedge the worker inside a custom op that never returns until released.
+  const uint64_t before = store.shard(0).ops_applied();
+  Request wedge;
+  wedge.op = OpType::kCustom;
+  wedge.custom_id = 99;
+  wedge.key = key;
+  wedge.blocking = false;
+  wedge.want_ack = false;
+  store.submit(std::move(wedge));
+  const TimePoint wedged_by = SteadyClock::now() + std::chrono::seconds(2);
+  while (store.shard(0).ops_applied() <= before &&
+         SteadyClock::now() < wedged_by) {
+    std::this_thread::yield();
+  }
+  ASSERT_GT(store.shard(0).ops_applied(), before) << "worker never wedged";
+
+  // Failover must complete despite the live-but-stuck worker.
+  const TimePoint t0 = SteadyClock::now();
+  ASSERT_TRUE(store.failover_shard(0));
+  EXPECT_LT(to_usec(SteadyClock::now() - t0), 3e6)
+      << "fence must not block on the wedged join";
+  const int promoted = store.shard_of(key);
+  EXPECT_NE(promoted, 0);
+  // The wedged slot is quarantined: no re-seed, new primary unreplicated.
+  EXPECT_EQ(store.backup_of(promoted), -1);
+  EXPECT_EQ(store.shard(promoted).backup_shard(), nullptr);
+  // The promoted backup serves the replicated base value.
+  Response r = blocking_op(OpType::kGet, 0, kNoClock, /*id=*/2);
+  EXPECT_EQ(r.value.as_int(), 5);
+
+  // Un-wedge: the worker notices running_ is down, exits, and the slot
+  // becomes reusable again.
+  release.store(true, std::memory_order_release);
+  const TimePoint exit_by = SteadyClock::now() + std::chrono::seconds(2);
+  while (!store.shard(0).worker_exited() && SteadyClock::now() < exit_by) {
+    std::this_thread::yield();
+  }
+  EXPECT_TRUE(store.shard(0).worker_exited());
+  store.stop();
+}
+
+TEST(FaultInjector, ReorderAloneAddsDelayBubble) {
+  // Regression: a reorder rule with extra_delay == 0 counted reordered_
+  // telemetry but added zero delay — it never actually reordered anything.
+  FaultInjector fi(3);
+  LinkFaultRule rule;
+  rule.reorder = 1.0;
+  fi.set_link_rule(4, rule);
+  Duration extra = Duration::zero();
+  EXPECT_EQ(fi.on_send(4, &extra), LinkAction::kDeliver);
+  EXPECT_GT(extra.count(), 0)
+      << "reorder without extra_delay must still delay the selected message";
+  EXPECT_EQ(fi.reordered(), 1u);
+}
+
 // --- crash during migration ---------------------------------------------------
 
 class MigrationCrashTest : public ::testing::Test {
