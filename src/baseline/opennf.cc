@@ -20,6 +20,8 @@ void OpenNfController::start() {
   for (int i = 0; i < cfg_.num_instances; ++i) {
     instance_threads_.emplace_back([this, i] {
       // Instance side: apply relayed updates, ACK back to the controller.
+      // relaxed-ok: running_ is a stop flag re-polled every bounded recv;
+      // stop() joins this thread, which orders everything after it.
       while (running_.load(std::memory_order_relaxed)) {
         auto ev = relay_[static_cast<size_t>(i)]->recv(Micros(200));
         if (!ev) continue;
@@ -43,6 +45,7 @@ void OpenNfController::stop() {
 }
 
 void OpenNfController::run() {
+  // relaxed-ok: stop-flag poll bounded by the recv timeout (see above).
   while (running_.load(std::memory_order_relaxed)) {
     auto ev = inbox_.recv(Micros(200));
     if (!ev) continue;
@@ -54,6 +57,7 @@ void OpenNfController::run() {
       r->send(std::move(copy));
     }
     for (auto& a : acks_) {
+      // relaxed-ok: stop-flag poll bounded by the recv timeout (see above).
       while (running_.load(std::memory_order_relaxed) && !a->recv(Micros(200))) {
       }
     }
@@ -69,6 +73,7 @@ double OpenNfController::shared_update(uint32_t state_key, int64_t delta) {
   const TimePoint t0 = SteadyClock::now();
   auto done = std::make_shared<ReplyLink>(cfg_.hop);
   inbox_.send(Event{state_key, delta, done});
+  // relaxed-ok: stop-flag poll bounded by the recv timeout (see above).
   while (running_.load(std::memory_order_relaxed) && !done->recv(Micros(200))) {
   }
   return to_usec(SteadyClock::now() - t0);

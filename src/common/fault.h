@@ -18,11 +18,11 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 
 #include "common/metrics.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace chc {
@@ -61,8 +61,8 @@ class FaultInjector {
 
   // --- link faults -----------------------------------------------------------
 
-  void set_link_rule(uint64_t link_id, LinkFaultRule rule) {
-    std::lock_guard lk(mu_);
+  void set_link_rule(uint64_t link_id, LinkFaultRule rule) EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     LinkState& st = links_[link_id];
     st.rule = rule;
     // Derive an independent stream per link: golden-ratio spread of the link
@@ -71,8 +71,8 @@ class FaultInjector {
     has_rules_.store(true, std::memory_order_release);
   }
 
-  void clear_link_rules() {
-    std::lock_guard lk(mu_);
+  void clear_link_rules() EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     links_.clear();
     has_rules_.store(false, std::memory_order_release);
   }
@@ -80,9 +80,9 @@ class FaultInjector {
   // One decision per message on `link_id`. Writes any injected extra delay
   // into *extra (never cleared — caller initializes). kDuplicate means
   // "deliver twice": the link enqueues a copy alongside the original.
-  LinkAction on_send(uint64_t link_id, Duration* extra) {
+  LinkAction on_send(uint64_t link_id, Duration* extra) EXCLUDES(mu_) {
     if (!has_rules_.load(std::memory_order_acquire)) return LinkAction::kDeliver;
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     auto it = links_.find(link_id);
     if (it == links_.end()) return LinkAction::kDeliver;
     LinkState& st = it->second;
@@ -141,6 +141,8 @@ class FaultInjector {
   bool fire(CrashArray& arr, int shard) {
     if (shard < 0 || shard >= kMaxShards) return false;
     std::atomic<int64_t>& c = arr[static_cast<size_t>(shard)];
+    // relaxed-ok: unarmed fast-path skip; the authoritative fire decision is
+    // the fetch_sub below, and arming happens-before the ops it counts.
     if (c.load(std::memory_order_relaxed) <= 0) return false;
     if (c.fetch_sub(1, std::memory_order_relaxed) == 1) {
       crashes_.add();
@@ -150,8 +152,8 @@ class FaultInjector {
   }
 
   const uint64_t seed_;
-  std::mutex mu_;
-  std::unordered_map<uint64_t, LinkState> links_;  // guarded by mu_
+  Mutex mu_;
+  std::unordered_map<uint64_t, LinkState> links_ GUARDED_BY(mu_);
   std::atomic<bool> has_rules_{false};
 
   CrashArray crash_at_op_;

@@ -21,6 +21,8 @@ void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
 void log_at(LogLevel level, const char* fmt, ...) {
+  // relaxed-ok: log-level filter on the hot path; a racing set_log_level
+  // only makes one message obey the old level, never corrupts state.
   if (level < g_level.load(std::memory_order_relaxed)) return;
   std::fprintf(stderr, "[chc %s] ", level_name(level));
   va_list ap;

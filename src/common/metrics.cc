@@ -78,7 +78,7 @@ HistSnapshot LoadHistogram::snapshot() const {
 // --- MetricRegistry ----------------------------------------------------------
 
 void MetricRegistry::register_splitter(VertexId v, const SplitterMetrics* m) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   splitters_.emplace_back(v, m);
 }
 
@@ -87,7 +87,7 @@ void MetricRegistry::register_instance(VertexId v, uint16_t rid,
                                        const ClientMetrics* cm,
                                        std::function<uint64_t()> queue_depth,
                                        std::function<bool()> running) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   instances_.push_back(
       {v, rid, m, cm, std::move(queue_depth), std::move(running)});
 }
@@ -95,12 +95,12 @@ void MetricRegistry::register_instance(VertexId v, uint16_t rid,
 void MetricRegistry::register_shard(int shard, const ShardMetrics* m,
                                     std::function<uint64_t()> queue_depth,
                                     std::function<bool()> serving) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   shards_.push_back({shard, m, std::move(queue_depth), std::move(serving)});
 }
 
 TelemetrySnapshot MetricRegistry::snapshot() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   TelemetrySnapshot out;
   out.taken_at = SteadyClock::now();
 

@@ -39,9 +39,9 @@
 #include <bit>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace chc {
@@ -283,16 +283,17 @@ struct TelemetrySnapshot {
 // practice both are owned by the Runtime and torn down together.
 class MetricRegistry {
  public:
-  void register_splitter(VertexId v, const SplitterMetrics* m);
+  void register_splitter(VertexId v, const SplitterMetrics* m)
+      EXCLUDES(mu_);
   void register_instance(VertexId v, uint16_t rid, const InstanceMetrics* m,
                          const ClientMetrics* cm,
                          std::function<uint64_t()> queue_depth,
-                         std::function<bool()> running);
+                         std::function<bool()> running) EXCLUDES(mu_);
   void register_shard(int shard, const ShardMetrics* m,
                       std::function<uint64_t()> queue_depth,
-                      std::function<bool()> serving);
+                      std::function<bool()> serving) EXCLUDES(mu_);
 
-  TelemetrySnapshot snapshot() const;
+  TelemetrySnapshot snapshot() const EXCLUDES(mu_);
 
  private:
   struct InstanceEntry {
@@ -310,10 +311,11 @@ class MetricRegistry {
     std::function<bool()> serving;
   };
 
-  mutable std::mutex mu_;
-  std::vector<std::pair<VertexId, const SplitterMetrics*>> splitters_;
-  std::vector<InstanceEntry> instances_;
-  std::vector<ShardEntry> shards_;
+  mutable Mutex mu_;
+  std::vector<std::pair<VertexId, const SplitterMetrics*>> splitters_
+      GUARDED_BY(mu_);
+  std::vector<InstanceEntry> instances_ GUARDED_BY(mu_);
+  std::vector<ShardEntry> shards_ GUARDED_BY(mu_);
 };
 
 }  // namespace chc

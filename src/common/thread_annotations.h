@@ -1,0 +1,97 @@
+// Clang Thread Safety Analysis shim + the annotated mutex the whole tree
+// locks with.
+//
+// The invariants PRs 1-6 accumulated ("backup_of_ only under reshard_mu_",
+// "splitter steering only under mu_") lived in comments and in TSan runs
+// that need the right interleaving to fire. These macros move them to
+// compile time: a clang build with -Wthread-safety (CMake option
+// ENABLE_THREAD_SAFETY_ANALYSIS, enforced by the thread-safety CI job)
+// rejects any access to a GUARDED_BY field outside its mutex and any call
+// to a REQUIRES function without the capability held.
+//
+// Under GCC (the default local toolchain) every macro expands to nothing,
+// so the annotations are free documentation; libstdc++'s std::mutex carries
+// no capability attributes, which is why locking goes through chc::Mutex /
+// chc::MutexLock below instead of std::mutex / std::lock_guard. The wrapper
+// is a zero-cost veneer: Mutex is exactly a std::mutex, MutexLock is
+// exactly a std::unique_lock over it (MutexLock::native() hands the
+// unique_lock to std::condition_variable::wait_for, the tree's single
+// blocking wait).
+//
+// Waiver policy: an intentional escape uses NO_THREAD_SAFETY_ANALYSIS with
+// a justifying comment on the same or preceding line, and must be listed in
+// docs/static_analysis.md. tools/lint_protocol.py enforces both.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__)
+#define CHC_TSA(x) __attribute__((x))
+#else
+#define CHC_TSA(x)  // no-op: GCC has no thread-safety analysis
+#endif
+
+// A type that acts as a lockable capability (mutex wrappers).
+#define CAPABILITY(x) CHC_TSA(capability(x))
+// RAII types that acquire on construction, release on destruction.
+#define SCOPED_CAPABILITY CHC_TSA(scoped_lockable)
+// Data members readable/writable only with the named capability held.
+#define GUARDED_BY(x) CHC_TSA(guarded_by(x))
+// Pointer members whose *pointee* is protected by the capability.
+#define PT_GUARDED_BY(x) CHC_TSA(pt_guarded_by(x))
+// Functions callable only with the capability already held...
+#define REQUIRES(...) CHC_TSA(requires_capability(__VA_ARGS__))
+// ...or provably not held (lock-acquiring entry points).
+#define EXCLUDES(...) CHC_TSA(locks_excluded(__VA_ARGS__))
+// Functions that acquire/release the capability themselves.
+#define ACQUIRE(...) CHC_TSA(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) CHC_TSA(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) CHC_TSA(try_acquire_capability(__VA_ARGS__))
+// Static lock-ordering declarations (deadlock detection).
+#define ACQUIRED_BEFORE(...) CHC_TSA(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) CHC_TSA(acquired_after(__VA_ARGS__))
+// Functions returning a reference to a capability.
+#define RETURN_CAPABILITY(x) CHC_TSA(lock_returned(x))
+// Escape hatch. Every use carries a justifying comment and an entry in
+// docs/static_analysis.md (the protocol linter enforces both).
+#define NO_THREAD_SAFETY_ANALYSIS CHC_TSA(no_thread_safety_analysis)
+
+namespace chc {
+
+// std::mutex with capability attributes. native() exists for the one
+// consumer that needs the raw mutex type: std::condition_variable.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+// Drop-in for std::lock_guard / std::unique_lock over a chc::Mutex. Always
+// holds the lock for its full scope; native() exposes the underlying
+// unique_lock so condition_variable::wait_for can release/reacquire inside
+// the scope (invisible to the analysis, which models the capability as held
+// throughout -- the standard cv-with-scoped-capability idiom).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lk_(mu.native()) {}
+  ~MutexLock() RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  std::unique_lock<std::mutex>& native() { return lk_; }
+
+ private:
+  std::unique_lock<std::mutex> lk_;
+};
+
+}  // namespace chc

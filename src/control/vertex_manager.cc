@@ -87,6 +87,9 @@ void VertexManager::stop() {
 }
 
 void VertexManager::run() {
+  // relaxed-ok: running_ is a stop flag polled each bounded sleep interval;
+  // the only ordering that matters is the eventual visibility of stop()'s
+  // exchange, and stop() joins the thread afterwards.
   while (running_.load(std::memory_order_relaxed)) {
     std::this_thread::sleep_for(cfg_.sample_interval);
     if (!running_.load(std::memory_order_relaxed)) break;
@@ -189,7 +192,7 @@ void VertexManager::tick() {
   }
   const StoreObservation store_obs = observe_store();
   {
-    std::lock_guard lk(obs_mu_);
+    MutexLock lk(obs_mu_);
     last_obs_ = obs;
   }
 
@@ -361,7 +364,7 @@ VertexManager::Actions VertexManager::actions() const {
 }
 
 VertexObservation VertexManager::last_observation(VertexId v) const {
-  std::lock_guard lk(obs_mu_);
+  MutexLock lk(obs_mu_);
   return v < last_obs_.size() ? last_obs_[v] : VertexObservation{};
 }
 

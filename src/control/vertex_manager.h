@@ -23,11 +23,11 @@
 #pragma once
 
 #include <atomic>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace chc {
@@ -152,7 +152,7 @@ class VertexManager {
 
   Actions actions() const;
   // The most recent window's observation for a vertex (diagnostics/tests).
-  VertexObservation last_observation(VertexId v) const;
+  VertexObservation last_observation(VertexId v) const EXCLUDES(obs_mu_);
 
  private:
   void run();
@@ -193,8 +193,8 @@ class VertexManager {
   std::vector<uint64_t> last_heartbeats_;   // per shard: last seen beacon
   std::vector<size_t> missed_heartbeats_;   // per shard: stuck-sample streak
 
-  mutable std::mutex obs_mu_;
-  std::vector<VertexObservation> last_obs_;  // guarded by obs_mu_
+  mutable Mutex obs_mu_;
+  std::vector<VertexObservation> last_obs_ GUARDED_BY(obs_mu_);
 
   std::atomic<uint64_t> a_samples_{0};
   std::atomic<uint64_t> a_nf_up_{0};

@@ -63,7 +63,7 @@ void NfInstance::add_pending_release(std::function<bool(const FiveTuple&)> sel,
                                      std::shared_ptr<std::atomic<bool>> token,
                                      SlotSet slots, Scope scope, uint32_t mask,
                                      uint64_t epoch) {
-  std::lock_guard lk(release_mu_);
+  MutexLock lk(release_mu_);
   pending_releases_.push_back(
       {epoch, std::move(sel), std::move(token), std::move(slots), scope, mask});
   releases_registered_++;
@@ -73,7 +73,7 @@ void NfInstance::send_release_mark() {
   Packet mark;
   mark.flags.last_of_move = true;
   {
-    std::lock_guard lk(release_mu_);
+    MutexLock lk(release_mu_);
     mark.seq = static_cast<uint32_t>(releases_registered_);
   }
   input_->send(std::move(mark));
@@ -82,13 +82,13 @@ void NfInstance::send_release_mark() {
 void NfInstance::add_inbound_move(std::shared_ptr<std::atomic<bool>> token,
                                   SlotSet slots, Scope scope, uint32_t mask,
                                   uint64_t epoch) {
-  std::lock_guard lk(release_mu_);
+  MutexLock lk(release_mu_);
   inbound_moves_.push_back(
       {epoch, std::move(token), std::move(slots), scope, mask});
 }
 
 void NfInstance::begin_retire(std::shared_ptr<std::atomic<bool>> token) {
-  std::lock_guard lk(release_mu_);
+  MutexLock lk(release_mu_);
   retire_token_ = std::move(token);
 }
 
@@ -97,7 +97,7 @@ void NfInstance::send_retire_mark() {
   mark.flags.last_of_move = true;
   mark.flags.retire_mark = true;
   {
-    std::lock_guard lk(release_mu_);
+    MutexLock lk(release_mu_);
     mark.seq = static_cast<uint32_t>(releases_registered_);
   }
   input_->send(std::move(mark));
@@ -141,6 +141,9 @@ void NfInstance::service_dump_request() {
 }
 
 void NfInstance::run() {
+  // relaxed-ok: running_/paused_ are worker control flags re-polled every
+  // iteration; stop() joins the thread and pause() spins on paused_ack_,
+  // so eventual visibility is all either side needs.
   while (running_.load(std::memory_order_relaxed)) {
     if (paused_.load(std::memory_order_relaxed)) {
       paused_ack_.store(true);
@@ -171,7 +174,7 @@ void NfInstance::handle(Packet p) {
     std::vector<PendingRelease> releases;
     std::shared_ptr<std::atomic<bool>> retire;
     {
-      std::lock_guard lk(release_mu_);
+      MutexLock lk(release_mu_);
       // The retirement binds to ITS mark: an earlier move's mark still
       // queued ahead must run its own scoped release, or the victim would
       // hand everything back (and the runtime would stop it) with live
@@ -252,7 +255,7 @@ void NfInstance::handle(Packet p) {
     }
     client_->release_matching(selectors);
     {
-      std::lock_guard lk(release_mu_);
+      MutexLock lk(release_mu_);
       for (size_t i = 0; i < releases.size(); ++i) {
         PendingRelease& r = releases[i];
         if (!r.token) continue;
@@ -333,7 +336,7 @@ void NfInstance::maybe_drain_waiting() {
   // deadlocks when moves chain through the same instances.
   std::vector<InboundMove> pending_inbound;
   {
-    std::lock_guard lk(release_mu_);
+    MutexLock lk(release_mu_);
     std::erase_if(inbound_moves_, [](const InboundMove& m) {
       return m.token->load(std::memory_order_acquire);
     });
@@ -397,7 +400,7 @@ void NfInstance::maybe_drain_waiting() {
   // through their matching leg and whose earlier overlapping inbound moves
   // have all landed.
   if (!deferred_flips_.empty()) {
-    std::lock_guard lk(release_mu_);
+    MutexLock lk(release_mu_);
     std::erase_if(deferred_flips_, [&](DeferredFlip& d) {
       for (const auto& [hash, seg_id] : d.await) {
         if (auto it = waiting_flows_.find(hash); it != waiting_flows_.end()) {
@@ -414,7 +417,7 @@ void NfInstance::maybe_drain_waiting() {
 }
 
 bool NfInstance::handover_settled() {
-  std::lock_guard lk(release_mu_);
+  MutexLock lk(release_mu_);
   std::erase_if(inbound_moves_, [](const InboundMove& m) {
     return m.token->load(std::memory_order_acquire);
   });
@@ -433,7 +436,7 @@ void NfInstance::drain_waiting_blocking(Duration timeout) {
 }
 
 void NfInstance::dump_handover(const char* why) {
-  std::lock_guard lk(release_mu_);
+  MutexLock lk(release_mu_);
   CHC_WARN("instance %u (%s): %zu parked, %zu inbound, %zu deferred flips, "
            "%zu deferred releases, %zu grants pending, %zu pending releases",
            static_cast<unsigned>(runtime_id_), why, waiting_flows_.size(),
@@ -509,7 +512,7 @@ void NfInstance::process_packet(Packet& p) {
   metrics_.proc_time_ns.record(static_cast<uint64_t>(usec * 1e3));
   if (ctx.dropped()) metrics_.drops_by_nf.add();
   {
-    std::lock_guard lk(proc_mu_);
+    MutexLock lk(proc_mu_);
     proc_time_.record(usec);
   }
 
@@ -561,7 +564,7 @@ InstanceStats NfInstance::stats() const {
 }
 
 Histogram NfInstance::proc_time() const {
-  std::lock_guard lk(proc_mu_);
+  MutexLock lk(proc_mu_);
   return proc_time_;
 }
 

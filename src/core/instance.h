@@ -14,13 +14,13 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_set>
 
 #include "common/flat_map.h"
 #include "common/histogram.h"
 #include "common/metrics.h"
+#include "common/thread_annotations.h"
 #include "common/rng.h"
 #include "core/nf.h"
 #include "core/splitter.h"
@@ -95,13 +95,13 @@ class NfInstance {
                            std::shared_ptr<std::atomic<bool>> token,
                            SlotSet slots = nullptr,
                            Scope scope = Scope::kFiveTuple, uint32_t mask = 0,
-                           uint64_t epoch = 0);
+                           uint64_t epoch = 0) EXCLUDES(release_mu_);
   // Send the "last" control mark through the input queue. The mark carries
   // the cumulative count of selectors registered so far: it releases
   // exactly those, so two overlapping moves from the same source cannot
   // make the first mark execute the second move's release early (packets
   // routed before the second re-steer would still be queued behind it).
-  void send_release_mark();
+  void send_release_mark() EXCLUDES(release_mu_);
   // Move destination side: packets marked first_of_move are held until the
   // inbound move covering their slot has flipped (the old instance has
   // flushed), then per-flow ownership is acquired and the held packets run
@@ -109,7 +109,7 @@ class NfInstance {
   void add_inbound_move(std::shared_ptr<std::atomic<bool>> token,
                         SlotSet slots = nullptr,
                         Scope scope = Scope::kFiveTuple, uint32_t mask = 0,
-                        uint64_t epoch = 0);
+                        uint64_t epoch = 0) EXCLUDES(release_mu_);
   // Retirement (scale_nf_down): at the retire mark (send_retire_mark — and
   // only at that mark), instead of a selector-scoped release, (1) drains
   // any flows parked on inbound moves — their packets predate the re-steer
@@ -117,8 +117,9 @@ class NfInstance {
   // flow back to the store (bulk handoff), (3) drains in-flight ACKs, then
   // flips `token`. The runtime detaches and stops the instance once the
   // token flips.
-  void begin_retire(std::shared_ptr<std::atomic<bool>> token);
-  void send_retire_mark();
+  void begin_retire(std::shared_ptr<std::atomic<bool>> token)
+      EXCLUDES(release_mu_);
+  void send_retire_mark() EXCLUDES(release_mu_);
 
   // Straggler emulation: add [min,max] busy-wait per packet.
   void set_artificial_delay(Duration min, Duration max);
@@ -136,7 +137,7 @@ class NfInstance {
   NetworkFunction& nf() { return *nf_; }
 
   InstanceStats stats() const;
-  Histogram proc_time() const;
+  Histogram proc_time() const EXCLUDES(proc_mu_);
   // Unified telemetry surface (registered with the MetricRegistry; the
   // vertex manager samples this, never the exact locked histogram).
   const InstanceMetrics& metrics() const { return metrics_; }
@@ -147,7 +148,7 @@ class NfInstance {
   // owns quiescence — the worker is stopped) may call it directly; live
   // cross-thread callers use request_dump(), which the worker services at
   // its next loop iteration.
-  void dump_handover(const char* why);
+  void dump_handover(const char* why) EXCLUDES(release_mu_);
   void request_dump() { dump_requested_.store(true, std::memory_order_release); }
 
  private:
@@ -217,7 +218,7 @@ class NfInstance {
                            static_cast<uint32_t>(scope_hash(t, scope)) & mask);
     }
   };
-  std::vector<InboundMove> inbound_moves_;
+  std::vector<InboundMove> inbound_moves_ GUARDED_BY(release_mu_);
 
   struct PendingRelease {
     uint64_t epoch = 0;
@@ -254,20 +255,29 @@ class NfInstance {
   void maybe_drain_waiting();
   // True once every inbound move landed, every parked packet ran, and all
   // deferred releases/token flips fired — this side of the protocol is done.
-  bool handover_settled();
+  bool handover_settled() EXCLUDES(release_mu_);
   // Bounded wait until handover_settled() (retirement and the mid-handover
   // re-steer need the parked packets processed here first).
   void drain_waiting_blocking(Duration timeout);
   void run_retire(std::shared_ptr<std::atomic<bool>> token);
   // An unflipped inbound move from an earlier epoch whose slots overlap
-  // `slots` (null = overlaps everything). Callers hold release_mu_.
-  bool earlier_inbound_overlaps_locked(uint64_t epoch, const SlotSet& slots) const;
+  // `slots` (null = overlaps everything).
+  bool earlier_inbound_overlaps_locked(uint64_t epoch, const SlotSet& slots)
+      const REQUIRES(release_mu_);
 
-  std::mutex release_mu_;
-  std::deque<PendingRelease> pending_releases_;
-  uint64_t releases_registered_ = 0;  // lifetime add_pending_release count
-  uint64_t releases_taken_ = 0;       // release entries already executed by marks
-  std::shared_ptr<std::atomic<bool>> retire_token_;  // guarded by release_mu_
+  // Cross-thread handover state: the control plane registers releases and
+  // inbound moves while the worker consumes them at protocol marks. The
+  // worker-owned containers above (waiting_flows_, deferred_flips_,
+  // release_after_drain_, held_, seen_) are deliberately NOT guarded: only
+  // the worker thread touches them while it runs, and teardown paths access
+  // them strictly after the worker has been joined (quiescence, not locks).
+  mutable Mutex release_mu_;
+  std::deque<PendingRelease> pending_releases_ GUARDED_BY(release_mu_);
+  // Lifetime add_pending_release count.
+  uint64_t releases_registered_ GUARDED_BY(release_mu_) = 0;
+  // Release entries already executed by marks.
+  uint64_t releases_taken_ GUARDED_BY(release_mu_) = 0;
+  std::shared_ptr<std::atomic<bool>> retire_token_ GUARDED_BY(release_mu_);
 
   // Written by the control plane (straggler injection) while the worker
   // reads them per packet: atomic reps, not bare Durations.
@@ -280,8 +290,8 @@ class NfInstance {
   // benches print keeps its own mutex — it is unbounded and sorted-on-read,
   // which no control loop should ever sample; benches read it after runs.
   InstanceMetrics metrics_;
-  mutable std::mutex proc_mu_;
-  Histogram proc_time_;  // guarded by proc_mu_
+  mutable Mutex proc_mu_;
+  Histogram proc_time_ GUARDED_BY(proc_mu_);
 };
 
 }  // namespace chc

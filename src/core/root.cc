@@ -56,7 +56,7 @@ Root::Root(const RootConfig& cfg, DataStore* store, const ClientConfig& client_c
 
 bool Root::ingest(Packet p) {
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     if (crashed_) return false;
     if (log_.size() >= cfg_.log_threshold) {
       // Some NF in the chain cannot keep up; shed load at the entry rather
@@ -87,14 +87,14 @@ bool Root::ingest(Packet p) {
   {
     // Log *before* forwarding: commit signals and deletes can race back
     // from the chain faster than this thread returns.
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     LogEntry e;
     e.packet = p;
     log_.emplace(clock, std::move(e));
   }
   PacketLinkPtr dest = forward_ ? forward_(std::move(p)) : nullptr;
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     if (auto it = log_.find(clock); it != log_.end()) it->second.dest = dest;
   }
   return true;
@@ -102,25 +102,36 @@ bool Root::ingest(Packet p) {
 
 void Root::persist_clock_if_due() {
   if (cfg_.clock_persist_every <= 0) return;
-  if (++since_persist_ < static_cast<uint64_t>(cfg_.clock_persist_every)) return;
-  since_persist_ = 0;
+  uint64_t snapshot = 0;
+  {
+    // since_persist_ and counter_ are mu_-guarded (shared with recover());
+    // the pre-annotation code read both bare. Snapshot under the lock, then
+    // persist outside it — the store write can block a full round trip and
+    // must not hold up commit/delete signals racing into the ledger.
+    MutexLock lk(mu_);
+    if (++since_persist_ < static_cast<uint64_t>(cfg_.clock_persist_every)) {
+      return;
+    }
+    since_persist_ = 0;
+    snapshot = counter_;
+  }
   client_->set_current_clock(kNoClock);
   // The root client is configured with wait_acks = clock_persist_blocking:
   // a blocking persist costs exactly one confirmed round trip (paper: 29us
   // at n=1), a non-blocking one rides the retransmission machinery.
   client_->set(kRootClockObj, FiveTuple{},
-               Value::of_int(static_cast<int64_t>(counter_)));
+               Value::of_int(static_cast<int64_t>(snapshot)));
 }
 
 void Root::note_branch(LogicalClock clock, uint16_t branch) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   auto it = log_.find(clock);
   if (it == log_.end()) return;
   it->second.branch_reports.try_emplace(branch, std::nullopt);
 }
 
 void Root::on_commit(LogicalClock clock, UpdateVector tag) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   auto it = log_.find(clock);
   if (it == log_.end()) return;  // already deleted (commit raced the delete)
   it->second.committed_xor ^= tag;
@@ -129,7 +140,7 @@ void Root::on_commit(LogicalClock clock, UpdateVector tag) {
 
 void Root::request_delete(LogicalClock clock, uint16_t branch,
                           UpdateVector final_vec) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   auto it = log_.find(clock);
   if (it == log_.end()) return;  // already fully deleted
   it->second.branch_reports[branch] = final_vec;
@@ -152,12 +163,12 @@ void Root::maybe_finish_delete(LogicalClock clock, LogEntry& e) {
 }
 
 void Root::pause_deletes() {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   delete_pause_depth_++;
 }
 
 void Root::resume_deletes() {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   if (delete_pause_depth_ > 0) delete_pause_depth_--;
   if (delete_pause_depth_ > 0) return;
   // Re-evaluate everything that became deletable while paused.
@@ -173,7 +184,7 @@ void Root::resume_deletes() {
 size_t Root::replay(uint16_t target_runtime_id) {
   std::vector<Packet> to_send;
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     to_send.reserve(log_.size());
     for (auto& [clock, e] : log_) {
       Packet p = e.packet;
@@ -193,7 +204,7 @@ size_t Root::replay(uint16_t target_runtime_id) {
 }
 
 void Root::crash() {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   crashed_ = true;
   if (cfg_.log_mode == RootLogMode::kLocal) log_.clear();  // log dies with us
 }
@@ -206,7 +217,7 @@ double Root::recover() {
   Value v = client_->get(kRootClockObj, FiveTuple{});
   const uint64_t persisted = static_cast<uint64_t>(v.as_int());
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     counter_ = persisted + static_cast<uint64_t>(cfg_.clock_persist_every);
     since_persist_ = 0;
     crashed_ = false;
@@ -218,7 +229,7 @@ double Root::recover() {
 }
 
 std::string Root::debug_dump(size_t max) const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   std::string out;
   size_t n = 0;
   for (const auto& [c, e] : log_) {
@@ -239,7 +250,7 @@ std::string Root::debug_dump(size_t max) const {
 }
 
 std::vector<LogicalClock> Root::inflight_clocks() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   std::vector<LogicalClock> out;
   out.reserve(log_.size());
   for (const auto& [c, _] : log_) out.push_back(c);

@@ -9,10 +9,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 
 #include "common/histogram.h"
+#include "common/thread_annotations.h"
 #include "net/packet.h"
 #include "store/client.h"
 #include "transport/sim_link.h"
@@ -97,13 +97,25 @@ class Root {
   // resume at persisted + n. Returns recovery time in usec.
   double recover();
 
-  size_t logged() const {
-    std::lock_guard lk(mu_);
+  size_t logged() const EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     return log_.size();
   }
-  uint64_t drops() const { return drops_; }
-  uint64_t deletes_done() const { return deletes_done_; }
-  LogicalClock last_clock() const { return make_clock(cfg_.root_id, counter_); }
+  // Cold accessors, locked: drops_/deletes_done_/counter_ are written by
+  // the ingest thread and shard commit threads under mu_, so an unlocked
+  // read here was a (torn-read) data race the annotations flushed out.
+  uint64_t drops() const EXCLUDES(mu_) {
+    MutexLock lk(mu_);
+    return drops_;
+  }
+  uint64_t deletes_done() const EXCLUDES(mu_) {
+    MutexLock lk(mu_);
+    return deletes_done_;
+  }
+  LogicalClock last_clock() const EXCLUDES(mu_) {
+    MutexLock lk(mu_);
+    return make_clock(cfg_.root_id, counter_);
+  }
 
   // Packets currently in flight (for tests).
   std::vector<LogicalClock> inflight_clocks() const;
@@ -120,22 +132,22 @@ class Root {
     std::map<uint16_t, std::optional<UpdateVector>> branch_reports{{0, std::nullopt}};
   };
 
-  void maybe_finish_delete(LogicalClock clock, LogEntry& e);
-  void persist_clock_if_due();
+  void maybe_finish_delete(LogicalClock clock, LogEntry& e) REQUIRES(mu_);
+  void persist_clock_if_due() EXCLUDES(mu_);
 
   RootConfig cfg_;
   RootForwardFn forward_;
   std::unique_ptr<StoreClient> client_;
 
-  mutable std::mutex mu_;
-  std::map<LogicalClock, LogEntry> log_;
-  int delete_pause_depth_ = 0;
-  uint64_t counter_ = 0;
-  uint64_t since_persist_ = 0;
-  uint64_t drops_ = 0;
-  uint64_t deletes_done_ = 0;
+  mutable Mutex mu_;
+  std::map<LogicalClock, LogEntry> log_ GUARDED_BY(mu_);
+  int delete_pause_depth_ GUARDED_BY(mu_) = 0;
+  uint64_t counter_ GUARDED_BY(mu_) = 0;
+  uint64_t since_persist_ GUARDED_BY(mu_) = 0;
+  uint64_t drops_ GUARDED_BY(mu_) = 0;
+  uint64_t deletes_done_ GUARDED_BY(mu_) = 0;
   DataStore* store_;
-  bool crashed_ = false;
+  bool crashed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace chc

@@ -135,6 +135,7 @@ void Runtime::start() {
   }
   running_.store(true);
   delete_worker_ = std::thread([this] {
+    // relaxed-ok: stop flag re-polled every bounded recv; shutdown() joins.
     while (running_.load(std::memory_order_relaxed)) {
       auto msg = delete_link_.recv(Micros(200));
       if (msg) root_->request_delete(msg->clock, msg->branch, msg->vec);
@@ -201,7 +202,7 @@ void Runtime::deliver_terminal(VertexId v, Packet&& p) {
   {
     // Suppress duplicate outputs by (clock, branch) — straggler + clone at
     // the last NF, or a replayed packet reaching the terminal again (§5.3).
-    std::lock_guard lk(egress_mu_);
+    MutexLock lk(egress_mu_);
     const uint64_t key = p.clock ^ (static_cast<uint64_t>(branch) << 56);
     if (!egress_seen_.insert(key).second) {
       egress_suppressed_++;
@@ -311,7 +312,7 @@ size_t Runtime::execute_steer_locked(VertexId v,
 }
 
 uint16_t Runtime::scale_nf_up(VertexId v) {
-  std::lock_guard lk(nf_scale_mu_);
+  MutexLock lk(nf_scale_mu_);
   const TimePoint t0 = SteadyClock::now();
   Splitter& sp = *splitters_[v];
   const uint16_t rid = spawn_instance(v, next_store_id_++, /*register_target=*/false);
@@ -345,7 +346,7 @@ uint16_t Runtime::scale_nf_up(VertexId v) {
 
 size_t Runtime::rebalance_nf(VertexId v, const std::vector<uint64_t>& slot_load,
                              double target_ratio, size_t max_slots) {
-  std::lock_guard lk(nf_scale_mu_);
+  MutexLock lk(nf_scale_mu_);
   const TimePoint t0 = SteadyClock::now();
   Splitter& sp = *splitters_[v];
   std::vector<SteerGroup> groups =
@@ -361,7 +362,7 @@ size_t Runtime::rebalance_nf(VertexId v, const std::vector<uint64_t>& slot_load,
 }
 
 bool Runtime::scale_nf_down(VertexId v, uint16_t rid) {
-  std::lock_guard lk(nf_scale_mu_);
+  MutexLock lk(nf_scale_mu_);
   const TimePoint t0 = SteadyClock::now();
   Splitter& sp = *splitters_[v];
   NfInstance* victim = by_runtime_id(rid);
@@ -502,7 +503,7 @@ uint16_t Runtime::clone_for_straggler(VertexId v, uint16_t straggler_rid) {
   // resolve_straggler) serialize with NF scale operations: scale_nf_up/down
   // predict the next steering epoch outside the splitter lock, which is
   // only sound when no other publisher can interleave.
-  std::lock_guard lk(nf_scale_mu_);
+  MutexLock lk(nf_scale_mu_);
   NfInstance* straggler = by_runtime_id(straggler_rid);
   if (!straggler) return 0;
   // The clone shares the straggler's *store* identity: it processes the
@@ -541,7 +542,7 @@ void Runtime::send_replay_end_marker(NfInstance& target) {
 
 void Runtime::resolve_straggler(VertexId v, uint16_t straggler_rid,
                                 uint16_t clone_rid, bool keep_clone) {
-  std::lock_guard lk(nf_scale_mu_);  // serializes epoch publishers, see above
+  MutexLock lk(nf_scale_mu_);  // serializes epoch publishers, see above
   splitters_[v]->clear_replica(straggler_rid);
   if (keep_clone) {
     // The clone shares the straggler's store identity, so it inherits the

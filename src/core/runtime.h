@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/thread_annotations.h"
 #include "control/vertex_manager.h"
 #include "core/chain.h"
 #include "core/instance.h"
@@ -116,12 +117,12 @@ class Runtime {
   // instance has flushed + released. Returns the new runtime id (0 on
   // failure). Completion is asynchronous (the handover tokens flip as the
   // sources process their marks); traffic keeps flowing throughout.
-  uint16_t scale_nf_up(VertexId v);
+  uint16_t scale_nf_up(VertexId v) EXCLUDES(nf_scale_mu_);
   // Retire instance `rid` of vertex `v`: re-steers its slots to the
   // survivors, waits for it to drain its queue and hand every owned flow
   // back to the store, then detaches and stops it. Returns false if `rid`
   // is unknown, not running, or the vertex's last partition instance.
-  bool scale_nf_down(VertexId v, uint16_t rid);
+  bool scale_nf_down(VertexId v, uint16_t rid) EXCLUDES(nf_scale_mu_);
   // Load-aware hot-slot re-steer (Splitter::plan_rebalance over live
   // per-slot counters): moves the hottest slots off the most-loaded
   // instance onto the least-loaded, with the full Fig. 4 handover per
@@ -129,9 +130,10 @@ class Runtime {
   // splitter(v).take_slot_load(), or the vertex manager's last sample).
   // Returns the number of slots re-steered (0 = already balanced).
   size_t rebalance_nf(VertexId v, const std::vector<uint64_t>& slot_load,
-                      double target_ratio, size_t max_slots = 8);
-  NfScaleStats last_nf_scale() const {
-    std::lock_guard lk(nf_scale_mu_);
+                      double target_ratio, size_t max_slots = 8)
+      EXCLUDES(nf_scale_mu_);
+  NfScaleStats last_nf_scale() const EXCLUDES(nf_scale_mu_) {
+    MutexLock lk(nf_scale_mu_);
     return last_nf_scale_;
   }
 
@@ -154,9 +156,10 @@ class Runtime {
   bool scale_store_down(int shard);
 
   // --- straggler mitigation (§5.3) ------------------------------------------
-  uint16_t clone_for_straggler(VertexId v, uint16_t straggler_rid);
+  uint16_t clone_for_straggler(VertexId v, uint16_t straggler_rid)
+      EXCLUDES(nf_scale_mu_);
   void resolve_straggler(VertexId v, uint16_t straggler_rid, uint16_t clone_rid,
-                         bool keep_clone);
+                         bool keep_clone) EXCLUDES(nf_scale_mu_);
 
   // --- failure injection + recovery (§5.4) -----------------------------------
   void fail_instance(VertexId v, uint16_t rid);
@@ -172,8 +175,8 @@ class Runtime {
 
   // Aggregate duplicate-suppression counters across instances (Table 5).
   uint64_t suppressed_duplicates() const;
-  uint64_t egress_suppressed() const {
-    std::lock_guard lk(egress_mu_);
+  uint64_t egress_suppressed() const EXCLUDES(egress_mu_) {
+    MutexLock lk(egress_mu_);
     return egress_suppressed_;
   }
 
@@ -216,7 +219,8 @@ class Runtime {
   // release mark per distinct source. Shared by scale_nf_up (groups from
   // plan_scale_up) and rebalance_nf (groups from plan_rebalance). Caller
   // holds nf_scale_mu_. Returns slots moved.
-  size_t execute_steer_locked(VertexId v, std::vector<SteerGroup>& groups);
+  size_t execute_steer_locked(VertexId v, std::vector<SteerGroup>& groups)
+      REQUIRES(nf_scale_mu_);
 
   ChainSpec spec_;
   RuntimeConfig cfg_;
@@ -234,10 +238,10 @@ class Runtime {
   // Egress duplicate suppression (§5.3): when the replicated NF is the last
   // in the chain, the straggler's and clone's outputs would both reach the
   // end host; the framework delivers each clock once per branch.
-  mutable std::mutex egress_mu_;
-  std::unordered_set<uint64_t> egress_seen_;
-  std::deque<uint64_t> egress_order_;
-  uint64_t egress_suppressed_ = 0;
+  mutable Mutex egress_mu_;
+  std::unordered_set<uint64_t> egress_seen_ GUARDED_BY(egress_mu_);
+  std::deque<uint64_t> egress_order_ GUARDED_BY(egress_mu_);
+  uint64_t egress_suppressed_ GUARDED_BY(egress_mu_) = 0;
 
   // Async delete path to the root (charged one-way delay).
   SimLink<DeleteMsg> delete_link_;
@@ -245,8 +249,8 @@ class Runtime {
   std::atomic<bool> running_{false};
 
   std::vector<std::shared_ptr<ShardSnapshot>> last_checkpoint_;
-  mutable std::mutex nf_scale_mu_;  // one NF-tier scale operation at a time
-  NfScaleStats last_nf_scale_;      // guarded by nf_scale_mu_
+  mutable Mutex nf_scale_mu_;  // one NF-tier scale operation at a time
+  NfScaleStats last_nf_scale_ GUARDED_BY(nf_scale_mu_);
   uint16_t next_rid_ = 1;
   InstanceId next_store_id_ = 1;
   bool started_ = false;

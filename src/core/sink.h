@@ -2,19 +2,19 @@
 // Thread-safe; drained by tests and benches.
 #pragma once
 
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/thread_annotations.h"
 #include "net/packet.h"
 
 namespace chc {
 
 class Sink {
  public:
-  void deliver(const Packet& p) {
-    std::lock_guard lk(mu_);
+  void deliver(const Packet& p) EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     delivered_.push_back(p);
     clock_counts_[p.clock]++;
     if (p.ingress.time_since_epoch().count() != 0) {
@@ -24,25 +24,25 @@ class Sink {
     }
   }
 
-  size_t count() const {
-    std::lock_guard lk(mu_);
+  size_t count() const EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     return delivered_.size();
   }
 
-  std::vector<Packet> take() {
-    std::lock_guard lk(mu_);
+  std::vector<Packet> take() EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     return std::move(delivered_);
   }
 
-  std::vector<Packet> snapshot() const {
-    std::lock_guard lk(mu_);
+  std::vector<Packet> snapshot() const EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     return delivered_;
   }
 
   // Number of clocks delivered more than once (duplicate outputs at the
   // receiving end host — what R5/R6 must prevent).
-  size_t duplicate_clocks() const {
-    std::lock_guard lk(mu_);
+  size_t duplicate_clocks() const EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     size_t dups = 0;
     for (const auto& [clock, n] : clock_counts_) {
       if (n > 1) dups += n - 1;
@@ -50,24 +50,24 @@ class Sink {
     return dups;
   }
 
-  Histogram latency() const {
-    std::lock_guard lk(mu_);
+  Histogram latency() const EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     return latency_;
   }
 
   // (ingress time, end-to-end usec) per packet, for time-windowed plots
   // such as Fig. 13 (latency around a failure/recovery event).
-  std::vector<std::pair<TimePoint, double>> timeline() const {
-    std::lock_guard lk(mu_);
+  std::vector<std::pair<TimePoint, double>> timeline() const EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     return timeline_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<Packet> delivered_;
-  std::unordered_map<LogicalClock, size_t> clock_counts_;
-  Histogram latency_;
-  std::vector<std::pair<TimePoint, double>> timeline_;
+  mutable Mutex mu_;
+  std::vector<Packet> delivered_ GUARDED_BY(mu_);
+  std::unordered_map<LogicalClock, size_t> clock_counts_ GUARDED_BY(mu_);
+  Histogram latency_ GUARDED_BY(mu_);
+  std::vector<std::pair<TimePoint, double>> timeline_ GUARDED_BY(mu_);
 };
 
 }  // namespace chc

@@ -54,7 +54,7 @@ std::vector<uint32_t> Splitter::holder_counts_locked() const {
 // most-loaded holder; remove_target/plan_scale_down deal orphaned slots to
 // the least-loaded survivor. One implementation each, so deployment-time
 // and live rebalancing can never drift.
-int Splitter::most_loaded_locked(const std::vector<uint16_t>& holders,
+int Splitter::most_loaded_of(const std::vector<uint16_t>& holders,
                                  const std::vector<uint32_t>& counts,
                                  uint16_t exclude) {
   int victim = -1;
@@ -65,7 +65,7 @@ int Splitter::most_loaded_locked(const std::vector<uint16_t>& holders,
   return victim;
 }
 
-uint16_t Splitter::least_loaded_locked(const std::vector<uint16_t>& candidates,
+uint16_t Splitter::least_loaded_of(const std::vector<uint16_t>& candidates,
                                        const std::vector<uint32_t>& counts) {
   uint16_t dst = candidates.front();
   for (uint16_t r : candidates) {
@@ -100,7 +100,7 @@ void Splitter::publish_locked(std::vector<uint16_t> slot_to_rid) {
 }
 
 size_t Splitter::partition_targets() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   size_t n = 0;
   for (const auto& t : targets_) n += t.in_partition ? 1 : 0;
   return n;
@@ -108,7 +108,7 @@ size_t Splitter::partition_targets() const {
 
 void Splitter::add_target(uint16_t runtime_id, PacketLinkPtr link,
                           bool in_partition) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   targets_.push_back({runtime_id, std::move(link), 0, in_partition});
   if (!in_partition) return;
   // Deployment-time dealing: the newcomer takes ~1/(n+1) of the slot space
@@ -125,7 +125,7 @@ void Splitter::add_target(uint16_t runtime_id, PacketLinkPtr link,
   const uint32_t want =
       static_cast<uint32_t>(next.size() / (steer_->active_rids.size() + 1));
   for (uint32_t taken = 0; taken < want; ++taken) {
-    const int victim = most_loaded_locked(steer_->active_rids, counts, runtime_id);
+    const int victim = most_loaded_of(steer_->active_rids, counts, runtime_id);
     if (victim < 0 || counts[static_cast<size_t>(victim)] <= 1) break;
     const uint32_t slot = highest_slot_of(next, static_cast<uint16_t>(victim));
     if (slot == UINT32_MAX) break;
@@ -136,7 +136,7 @@ void Splitter::add_target(uint16_t runtime_id, PacketLinkPtr link,
 }
 
 void Splitter::remove_target(uint16_t runtime_id) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   std::erase_if(targets_, [&](const SplitterTarget& t) {
     return t.runtime_id == runtime_id;
   });
@@ -164,7 +164,7 @@ void Splitter::remove_target(uint16_t runtime_id) {
   std::vector<uint32_t> counts = holder_counts_locked();
   for (uint16_t& r : next) {
     if (r != runtime_id) continue;
-    const uint16_t dst = least_loaded_locked(survivors, counts);
+    const uint16_t dst = least_loaded_of(survivors, counts);
     r = dst;
     counts[dst]++;
   }
@@ -172,12 +172,12 @@ void Splitter::remove_target(uint16_t runtime_id) {
 }
 
 void Splitter::add_shadow_target(uint16_t runtime_id, PacketLinkPtr link) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   shadows_[runtime_id] = std::move(link);
 }
 
 void Splitter::promote_shadow(uint16_t runtime_id) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   auto it = shadows_.find(runtime_id);
   if (it == shadows_.end()) return;
   targets_.push_back({runtime_id, it->second, 0, true});
@@ -185,7 +185,7 @@ void Splitter::promote_shadow(uint16_t runtime_id) {
 }
 
 void Splitter::replace_target(uint16_t old_rid, uint16_t new_rid) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   PacketLinkPtr link;
   if (auto s = shadows_.find(new_rid); s != shadows_.end()) {
     link = s->second;
@@ -209,7 +209,7 @@ void Splitter::replace_target(uint16_t old_rid, uint16_t new_rid) {
 }
 
 PacketLinkPtr Splitter::route(Packet&& p) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   if (targets_.empty()) return nullptr;
 
   // Replayed packets headed for a clone/failover instance bypass the normal
@@ -281,7 +281,7 @@ PacketLinkPtr Splitter::route(Packet&& p) {
 }
 
 std::vector<SteerGroup> Splitter::plan_scale_up(uint16_t new_rid) const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   std::vector<SteerGroup> groups;
   std::vector<uint32_t> counts = holder_counts_locked();
   if (static_cast<size_t>(new_rid) >= counts.size()) {
@@ -293,7 +293,7 @@ std::vector<SteerGroup> Splitter::plan_scale_up(uint16_t new_rid) const {
       static_cast<uint32_t>(steer_->num_slots() / (holders + 1));
   std::vector<uint16_t> scratch = steer_->slot_to_rid;
   for (uint32_t taken = 0; taken < want; ++taken) {
-    const int victim = most_loaded_locked(steer_->active_rids, counts, new_rid);
+    const int victim = most_loaded_of(steer_->active_rids, counts, new_rid);
     if (victim < 0 || counts[static_cast<size_t>(victim)] <= 1) break;
     const uint32_t slot = highest_slot_of(scratch, static_cast<uint16_t>(victim));
     if (slot == UINT32_MAX) break;
@@ -314,7 +314,7 @@ std::vector<SteerGroup> Splitter::plan_scale_up(uint16_t new_rid) const {
 }
 
 std::vector<SteerGroup> Splitter::plan_scale_down(uint16_t rid) const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   std::vector<SteerGroup> groups;
   std::vector<uint16_t> survivors;
   for (const auto& t : targets_) {
@@ -324,7 +324,7 @@ std::vector<SteerGroup> Splitter::plan_scale_down(uint16_t rid) const {
   std::vector<uint32_t> counts = holder_counts_locked();
   for (uint32_t slot = 0; slot < steer_->num_slots(); ++slot) {
     if (steer_->slot_to_rid[slot] != rid) continue;
-    const uint16_t dst = least_loaded_locked(survivors, counts);
+    const uint16_t dst = least_loaded_of(survivors, counts);
     counts[dst]++;
     SteerGroup* g = nullptr;
     for (SteerGroup& sg : groups) {
@@ -340,7 +340,7 @@ std::vector<SteerGroup> Splitter::plan_scale_down(uint16_t rid) const {
 }
 
 void Splitter::steer(const std::vector<SteerGroup>& groups) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   const uint64_t next_epoch = steer_->epoch + 1;
   std::vector<uint16_t> next = steer_->slot_to_rid;
   for (const SteerGroup& g : groups) {
@@ -366,22 +366,22 @@ void Splitter::steer(const std::vector<SteerGroup>& groups) {
 }
 
 void Splitter::move_flows(const std::vector<uint64_t>& scope_keys, uint16_t to) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   for (uint64_t k : scope_keys) overrides_[k] = MoveState{to, steer_->epoch, {}};
 }
 
 void Splitter::set_replica(uint16_t of, uint16_t clone) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   replicas_[of] = clone;
 }
 
 void Splitter::clear_replica(uint16_t of) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   replicas_.erase(of);
 }
 
 std::vector<std::pair<uint16_t, uint64_t>> Splitter::load() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   std::vector<std::pair<uint16_t, uint64_t>> out;
   out.reserve(targets_.size());
   for (const auto& t : targets_) out.emplace_back(t.runtime_id, t.routed);
@@ -389,7 +389,7 @@ std::vector<std::pair<uint16_t, uint64_t>> Splitter::load() const {
 }
 
 std::vector<std::pair<uint16_t, uint64_t>> Splitter::take_load() {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   std::vector<std::pair<uint16_t, uint64_t>> out;
   out.reserve(targets_.size());
   for (auto& t : targets_) {
@@ -400,7 +400,7 @@ std::vector<std::pair<uint16_t, uint64_t>> Splitter::take_load() {
 }
 
 std::vector<uint64_t> Splitter::take_slot_load() {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   std::vector<uint64_t> out(metrics_.slot_routed.size());
   for (size_t s = 0; s < out.size(); ++s) {
     const uint64_t now = metrics_.slot_routed.value(s);
@@ -413,7 +413,7 @@ std::vector<uint64_t> Splitter::take_slot_load() {
 std::vector<SteerGroup> Splitter::plan_rebalance(
     const std::vector<uint64_t>& slot_load, double target_ratio,
     size_t max_slots) const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   std::vector<SteerGroup> groups;
   if (slot_load.size() != steer_->num_slots() || target_ratio < 1.0) {
     return groups;

@@ -18,12 +18,12 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/thread_annotations.h"
 #include "net/packet.h"
 #include "transport/sim_link.h"
 
@@ -77,87 +77,91 @@ class Splitter {
  public:
   explicit Splitter(Scope partition_scope, uint32_t steer_slots = 64);
 
-  void add_target(uint16_t runtime_id, PacketLinkPtr link, bool in_partition = true);
-  void remove_target(uint16_t runtime_id);
+  void add_target(uint16_t runtime_id, PacketLinkPtr link,
+                  bool in_partition = true) EXCLUDES(mu_);
+  void remove_target(uint16_t runtime_id) EXCLUDES(mu_);
   // Shadow targets receive replicated copies and redirected replays but do
   // not take part in the partition pick (straggler clones, §5.3).
-  void add_shadow_target(uint16_t runtime_id, PacketLinkPtr link);
+  void add_shadow_target(uint16_t runtime_id, PacketLinkPtr link)
+      EXCLUDES(mu_);
   // Promote a shadow to a full partition target (clone wins the race). The
   // promoted target starts with zero slots; it inherits traffic through
   // remove_target's re-deal, replace_target, or explicit steering.
-  void promote_shadow(uint16_t runtime_id);
+  void promote_shadow(uint16_t runtime_id) EXCLUDES(mu_);
   // Atomically hand every slot (and any in-flight move destination) of
   // `old_rid` to `new_rid` and drop `old_rid`. Used when a straggler's
   // clone — which shares the straggler's *store* identity, so per-flow
   // ownership carries over without a handover — takes over its partition.
-  void replace_target(uint16_t old_rid, uint16_t new_rid);
+  void replace_target(uint16_t old_rid, uint16_t new_rid) EXCLUDES(mu_);
 
   // Routes by the steering table (with per-key overrides). Returns the link
   // used, or nullptr if there are no targets.
-  PacketLinkPtr route(Packet&& p);
+  PacketLinkPtr route(Packet&& p) EXCLUDES(mu_);
 
-  Scope partition_scope() const {
-    std::lock_guard lk(mu_);
+  Scope partition_scope() const EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     return scope_;
   }
   // Changing the partition scope implies a repartition; callers follow up
   // with move_flows for affected flows.
-  void set_partition_scope(Scope s) {
-    std::lock_guard lk(mu_);
+  void set_partition_scope(Scope s) EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     scope_ = s;
   }
 
   // --- steering table (elastic NF scaling, §5.1) -----------------------------
-  std::shared_ptr<const SteeringTable> steering() const {
-    std::lock_guard lk(mu_);
+  std::shared_ptr<const SteeringTable> steering() const EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     return steer_;
   }
-  uint64_t steer_epoch() const {
-    std::lock_guard lk(mu_);
+  uint64_t steer_epoch() const EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     return steer_->epoch;
   }
   // Rids currently holding at least one slot.
-  std::vector<uint16_t> slot_holders() const {
-    std::lock_guard lk(mu_);
+  std::vector<uint16_t> slot_holders() const EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     return steer_->active_rids;
   }
-  size_t partition_targets() const;
+  size_t partition_targets() const EXCLUDES(mu_);
 
   // Plan ~1/(n+1) of the slot space for `new_rid`, taken from the
   // most-loaded holders; one group per source instance. Pure: nothing is
   // published until steer().
-  std::vector<SteerGroup> plan_scale_up(uint16_t new_rid) const;
+  std::vector<SteerGroup> plan_scale_up(uint16_t new_rid) const
+      EXCLUDES(mu_);
   // Plan draining every slot off `rid` onto the surviving partition
   // targets (least-loaded first); one group per destination. Empty if no
   // survivor exists (callers must refuse to retire the last instance).
-  std::vector<SteerGroup> plan_scale_down(uint16_t rid) const;
+  std::vector<SteerGroup> plan_scale_down(uint16_t rid) const EXCLUDES(mu_);
 
   // Publish the re-steer: one epoch bump covering every group, and per-slot
   // move state so the first packet of each flow in a moved slot carries
   // first_of_move until the group's token flips (the source released).
-  void steer(const std::vector<SteerGroup>& groups);
+  void steer(const std::vector<SteerGroup>& groups) EXCLUDES(mu_);
 
   // --- flow move (per-key overrides, §5.1) -----------------------------------
   // Redirect flows whose partition-scope hash is in `scope_keys` to the
   // instance `to`. The first matching packet forwarded to `to` is marked
   // first_of_move (Fig. 4 step 2); the caller is responsible for sending
   // the "last" control mark to the old instance (the runtime does both).
-  void move_flows(const std::vector<uint64_t>& scope_keys, uint16_t to);
+  void move_flows(const std::vector<uint64_t>& scope_keys, uint16_t to)
+      EXCLUDES(mu_);
 
   // --- straggler cloning (§5.3) ---------------------------------------------
   // Every packet routed to `of` is also copied to `clone`.
-  void set_replica(uint16_t of, uint16_t clone);
-  void clear_replica(uint16_t of);
+  void set_replica(uint16_t of, uint16_t clone) EXCLUDES(mu_);
+  void clear_replica(uint16_t of) EXCLUDES(mu_);
 
   // --- load telemetry (vertex manager) ---------------------------------------
   // Per-target routed counts, monotonic since construction.
-  std::vector<std::pair<uint16_t, uint64_t>> load() const;
+  std::vector<std::pair<uint16_t, uint64_t>> load() const EXCLUDES(mu_);
   // Per-target routed counts since the previous take_load() call (windowed:
   // what rate-based policies consume; load() stays monotonic).
-  std::vector<std::pair<uint16_t, uint64_t>> take_load();
+  std::vector<std::pair<uint16_t, uint64_t>> take_load() EXCLUDES(mu_);
   // Per-steering-slot routed counts since the previous take_slot_load()
   // call — the rebalancer's raw signal (feed to plan_rebalance).
-  std::vector<uint64_t> take_slot_load();
+  std::vector<uint64_t> take_slot_load() EXCLUDES(mu_);
   // Unified telemetry surface (registered with the MetricRegistry).
   const SplitterMetrics& metrics() const { return metrics_; }
 
@@ -173,32 +177,37 @@ class Splitter {
   // spread.
   std::vector<SteerGroup> plan_rebalance(const std::vector<uint64_t>& slot_load,
                                          double target_ratio,
-                                         size_t max_slots = 8) const;
+                                         size_t max_slots = 8) const
+      EXCLUDES(mu_);
 
-  size_t num_targets() const {
-    std::lock_guard lk(mu_);
+  size_t num_targets() const EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     return targets_.size();
   }
 
  private:
-  size_t index_of_locked(uint16_t rid) const;     // SIZE_MAX if absent
-  size_t fallback_index_locked() const;           // first in-partition target
-  std::vector<uint32_t> holder_counts_locked() const;  // slots held, by rid
-  static int most_loaded_locked(const std::vector<uint16_t>& holders,
-                                const std::vector<uint32_t>& counts,
-                                uint16_t exclude);
-  static uint16_t least_loaded_locked(const std::vector<uint16_t>& candidates,
-                                      const std::vector<uint32_t>& counts);
+  size_t index_of_locked(uint16_t rid) const REQUIRES(mu_);  // SIZE_MAX if absent
+  size_t fallback_index_locked() const REQUIRES(mu_);  // first in-partition
+  // Slots held, by rid.
+  std::vector<uint32_t> holder_counts_locked() const REQUIRES(mu_);
+  // Pure helpers over copied state (no lock; renamed from *_locked so the
+  // lint rule "_locked implies REQUIRES" stays meaningful).
+  static int most_loaded_of(const std::vector<uint16_t>& holders,
+                            const std::vector<uint32_t>& counts,
+                            uint16_t exclude);
+  static uint16_t least_loaded_of(const std::vector<uint16_t>& candidates,
+                                  const std::vector<uint32_t>& counts);
   static uint32_t highest_slot_of(const std::vector<uint16_t>& table,
                                   uint16_t rid);
-  void publish_locked(std::vector<uint16_t> slot_to_rid);
+  void publish_locked(std::vector<uint16_t> slot_to_rid) REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  Scope scope_;
-  std::vector<SplitterTarget> targets_;
-  std::shared_ptr<const SteeringTable> steer_;
+  mutable Mutex mu_;
+  Scope scope_ GUARDED_BY(mu_);
+  std::vector<SplitterTarget> targets_ GUARDED_BY(mu_);
+  std::shared_ptr<const SteeringTable> steer_ GUARDED_BY(mu_);
   SplitterMetrics metrics_;
-  std::vector<uint64_t> slot_window_base_;  // take_slot_load floors (mu_)
+  // take_slot_load floors.
+  std::vector<uint64_t> slot_window_base_ GUARDED_BY(mu_);
 
   // Slots with a handover in flight: the first packet of each flow gets the
   // first_of_move mark (stamped with the move's epoch) until the token
@@ -210,7 +219,7 @@ class Splitter {
     std::shared_ptr<std::atomic<bool>> token;
     std::unordered_set<uint64_t> flows_marked;
   };
-  std::unordered_map<uint32_t, SlotMove> moving_;
+  std::unordered_map<uint32_t, SlotMove> moving_ GUARDED_BY(mu_);
 
   // scope_key -> target runtime id. A move covers a partition-scope group
   // of flows; the handover itself is per flow, so the *first packet of each
@@ -220,9 +229,9 @@ class Splitter {
     uint64_t epoch = 0;  // steering epoch when the override was installed
     std::unordered_set<uint64_t> flows_marked;
   };
-  std::unordered_map<uint64_t, MoveState> overrides_;
-  std::unordered_map<uint16_t, uint16_t> replicas_;  // of -> clone
-  std::unordered_map<uint16_t, PacketLinkPtr> shadows_;
+  std::unordered_map<uint64_t, MoveState> overrides_ GUARDED_BY(mu_);
+  std::unordered_map<uint16_t, uint16_t> replicas_ GUARDED_BY(mu_);  // of -> clone
+  std::unordered_map<uint16_t, PacketLinkPtr> shadows_ GUARDED_BY(mu_);
 };
 
 }  // namespace chc

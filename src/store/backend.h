@@ -31,7 +31,10 @@
 
 namespace chc {
 
-enum class BackendStatus : uint8_t { kOk, kNotFound, kError };
+// [[nodiscard]]: engines report failures only through this value; the async
+// entry points return void, so the callback argument is the one place a
+// caller can observe a lost write (protocol rule 3).
+enum class [[nodiscard]] BackendStatus : uint8_t { kOk, kNotFound, kError };
 
 using BackendStatusCallback = std::function<void(BackendStatus)>;
 using BackendGetCallback =

@@ -14,6 +14,16 @@
 // updates, a read log with TS snapshots (§5.4), pending-ACK tracking with
 // retransmission for non-blocking ops, and the per-flow ownership handshake
 // used during handover (§5.1).
+//
+// Threading contract (docs/architecture.md §9): a StoreClient is owned by
+// exactly one NF-instance worker thread and is *externally synchronized* —
+// it holds no mutex on purpose. Cache, WAL, read log, and pending-ACK maps
+// are worker-owned state; the control plane only reaches them through the
+// handover protocol after the owning worker has quiesced (pause/retire),
+// so annotating them with a capability would misstate the design. The
+// blocking paths wait on reply links bounded by ClientConfig::op_timeout
+// (never a bare condition-variable wait), and every blocking op's outcome
+// is observable via [[nodiscard]] Status / last_blocking_status().
 #pragma once
 
 #include <optional>

@@ -44,7 +44,7 @@ DataStore::DataStore(const DataStoreConfig& cfg)
   if (cfg.replica.enabled) {
     // Pair every initial primary with a backup (ids n..2n-1). Both sides
     // are empty here, so pairing-before-traffic holds trivially.
-    std::lock_guard lk(reshard_mu_);
+    MutexLock lk(reshard_mu_);
     for (int i = 0; i < cfg.num_shards; ++i) {
       if (attach_backup(i) < 0) {
         CHC_WARN("replication: no backup slot for shard %d, runs unreplicated", i);
@@ -66,17 +66,25 @@ void DataStore::register_shard_metrics(int i) {
 DataStore::~DataStore() { stop(); }
 
 void DataStore::start() {
+  MutexLock lk(reshard_mu_);
   started_ = true;
-  std::lock_guard lk(reshard_mu_);
   for (size_t i = 0; i < shards_.size(); ++i) {
     if (shard_active_[i] || shard_is_backup_[i]) shards_[i]->start();
   }
 }
 
 void DataStore::stop() {
+  // Flip started_ first (under the lock) so control-plane entry points
+  // arriving during shutdown bail out instead of racing the shard stops;
+  // the stops themselves run unlocked because StoreShard::stop() joins the
+  // worker and a wedged worker must not wedge reshard_mu_ with it.
+  {
+    MutexLock lk(reshard_mu_);
+    if (!started_ && shards_.empty()) return;
+    started_ = false;
+  }
   const int n = num_shards();
   for (int i = 0; i < n; ++i) shards_[static_cast<size_t>(i)]->stop();
-  started_ = false;
 }
 
 bool DataStore::submit(Request req) {
@@ -232,7 +240,7 @@ bool DataStore::run_moves(RoutingTable next, const std::vector<MoveGroup>& moves
 }
 
 int DataStore::add_shard() {
-  std::lock_guard lk(reshard_mu_);
+  MutexLock lk(reshard_mu_);
   if (!started_) return -1;
   const TimePoint t0 = SteadyClock::now();
 
@@ -261,7 +269,7 @@ int DataStore::add_shard() {
 }
 
 bool DataStore::remove_shard(int shard) {
-  std::lock_guard lk(reshard_mu_);
+  MutexLock lk(reshard_mu_);
   if (!started_ || shard < 0 || static_cast<size_t>(shard) >= shards_.size() ||
       !shard_active_[static_cast<size_t>(shard)]) {
     return false;
@@ -314,7 +322,7 @@ bool DataStore::remove_shard(int shard) {
 }
 
 ReshardStats DataStore::last_reshard() const {
-  std::lock_guard lk(reshard_mu_);
+  MutexLock lk(reshard_mu_);
   return last_reshard_;
 }
 
@@ -376,7 +384,7 @@ int DataStore::attach_backup(int id) {
 // --- failover ----------------------------------------------------------------
 
 bool DataStore::failover_shard(int shard) {
-  std::lock_guard lk(reshard_mu_);
+  MutexLock lk(reshard_mu_);
   if (!started_ || shard < 0 || static_cast<size_t>(shard) >= shards_.size() ||
       !shard_active_[static_cast<size_t>(shard)]) {
     return false;
@@ -520,7 +528,7 @@ bool DataStore::failover_shard(int shard) {
 }
 
 int DataStore::backup_of(int shard) const {
-  std::lock_guard lk(reshard_mu_);
+  MutexLock lk(reshard_mu_);
   if (shard < 0 || static_cast<size_t>(shard) >= backup_of_.size()) return -1;
   return backup_of_[static_cast<size_t>(shard)];
 }
@@ -549,6 +557,15 @@ void DataStore::gc_clock(LogicalClock clock) {
 }
 
 std::shared_ptr<ShardSnapshot> DataStore::checkpoint_shard(int shard) {
+  // Serialized with reshards for the same reason checkpoint_all() is: a
+  // snapshot racing a live migration would miss slots already extracted
+  // from this shard but not yet installed at their target. Also orders the
+  // snapshot against start()/stop() transitions.
+  MutexLock lk(reshard_mu_);
+  return checkpoint_shard_locked(shard);
+}
+
+std::shared_ptr<ShardSnapshot> DataStore::checkpoint_shard_locked(int shard) {
   auto snap = std::make_shared<ShardSnapshot>();
   StoreShard& s = *shards_[static_cast<size_t>(shard)];
   // Drained shard: empty by construction. Backups are skipped too so
@@ -563,9 +580,10 @@ std::shared_ptr<ShardSnapshot> DataStore::checkpoint_shard(int shard) {
   s.request_link().send(std::move(req));
   // Wait for the shard to confirm the snapshot was taken (bounded: a shard
   // stopped mid-wait must not wedge the control plane forever).
+  // (started_ cannot flip mid-wait: stop() needs reshard_mu_, held here.)
   const TimePoint deadline = SteadyClock::now() + std::chrono::seconds(10);
   while (!done->recv(Micros(500))) {
-    if (!started_ || !s.serving() || SteadyClock::now() >= deadline) break;
+    if (!s.serving() || SteadyClock::now() >= deadline) break;
   }
   return snap;
 }
@@ -575,11 +593,11 @@ std::vector<std::shared_ptr<ShardSnapshot>> DataStore::checkpoint_all() {
   // neither shard (extracted at the source, not yet installed at the
   // target), so a fleet-wide snapshot taken inside that window would
   // silently miss it.
-  std::lock_guard lk(reshard_mu_);
+  MutexLock lk(reshard_mu_);
   std::vector<std::shared_ptr<ShardSnapshot>> out;
   const int n = num_shards();
   out.reserve(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) out.push_back(checkpoint_shard(i));
+  for (int i = 0; i < n; ++i) out.push_back(checkpoint_shard_locked(i));
   return out;
 }
 

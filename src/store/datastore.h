@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "common/thread_annotations.h"
 #include "store/recovery.h"
 #include "store/router.h"
 #include "store/shard.h"
@@ -76,8 +77,8 @@ class DataStore {
   DataStore(const DataStore&) = delete;
   DataStore& operator=(const DataStore&) = delete;
 
-  void start();
-  void stop();
+  void start() EXCLUDES(reshard_mu_);
+  void stop() EXCLUDES(reshard_mu_);
 
   // Total shards ever constructed (active + drained). Safe to call
   // concurrently with add_shard(); shard(i) is valid for i < num_shards().
@@ -94,12 +95,12 @@ class DataStore {
   // ~1/(n+1) of the slot space onto it via the per-slot migration protocol,
   // and returns its id (-1 on failure / ceiling). Callable while traffic
   // flows; serialized against other reshards.
-  int add_shard();
+  int add_shard() EXCLUDES(reshard_mu_);
   // Drains every slot off `shard` onto the survivors, then stops its
   // worker. The id stays valid (and reusable by add_shard). Refuses to
   // drain the last active shard.
-  bool remove_shard(int shard);
-  ReshardStats last_reshard() const;
+  bool remove_shard(int shard) EXCLUDES(reshard_mu_);
+  ReshardStats last_reshard() const EXCLUDES(reshard_mu_);
 
   // --- replication / failover (docs/architecture.md §8) ---------------------
   // View change for a dead (or wedged) primary: fence it, promote its
@@ -107,11 +108,11 @@ class DataStore {
   // under view+1, then re-seed the old primary's shard object as the new
   // primary's backup. False if `shard` has no backup or the promotion
   // handshake failed. Serialized with reshards.
-  bool failover_shard(int shard);
+  bool failover_shard(int shard) EXCLUDES(reshard_mu_);
   // Replication view of the current table (bumped once per failover).
   uint64_t view() const { return router_.table()->view; }
   // This primary's backup shard id, -1 if unreplicated.
-  int backup_of(int shard) const;
+  int backup_of(int shard) const EXCLUDES(reshard_mu_);
   // Failover windows (usec from fence to re-routed table), for benches.
   HistSnapshot failover_hist() const { return failover_usec_.snapshot(); }
 
@@ -143,9 +144,13 @@ class DataStore {
   void gc_clock(LogicalClock clock);
 
   // --- checkpoint / failure injection / recovery ---------------------------
-  // Consistent snapshot of one shard (serialized with its update stream).
-  std::shared_ptr<ShardSnapshot> checkpoint_shard(int shard);
-  std::vector<std::shared_ptr<ShardSnapshot>> checkpoint_all();
+  // Consistent snapshot of one shard (serialized with its update stream and
+  // with reshards: a snapshot taken mid-migration would miss slots already
+  // extracted from the source but not yet installed at the target).
+  std::shared_ptr<ShardSnapshot> checkpoint_shard(int shard)
+      EXCLUDES(reshard_mu_);
+  std::vector<std::shared_ptr<ShardSnapshot>> checkpoint_all()
+      EXCLUDES(reshard_mu_);
 
   // Simulated crash: the shard loses all state and stops serving.
   void crash_shard(int shard);
@@ -168,33 +173,37 @@ class DataStore {
   // Runs the prepare -> publish -> freeze/stream -> confirm protocol for
   // one planned reshard. Returns false if any confirmation timed out.
   bool run_moves(RoutingTable next, const std::vector<MoveGroup>& moves,
-                 ReshardStats* stats);
+                 ReshardStats* stats) REQUIRES(reshard_mu_);
   void register_shard_metrics(int i);
   // Finds a reusable (inactive, non-backup) shard id or constructs a new
   // one; -1 at the ceiling. Caller holds reshard_mu_.
-  int allocate_shard_slot();
+  int allocate_shard_slot() REQUIRES(reshard_mu_);
   // Constructs + wires a backup for primary `id` (reusing a drained slot if
   // any) and points the primary's replication stream at it. Caller holds
   // reshard_mu_; both shards must be empty (pairing precedes traffic).
-  int attach_backup(int id);
+  int attach_backup(int id) REQUIRES(reshard_mu_);
+  // Body of checkpoint_shard; checkpoint_all calls it once per shard while
+  // holding reshard_mu_ across the whole pass.
+  std::shared_ptr<ShardSnapshot> checkpoint_shard_locked(int shard)
+      REQUIRES(reshard_mu_);
 
   DataStoreConfig cfg_;
   std::shared_ptr<CustomOpRegistry> custom_ops_;
   ShardRouter router_;  // declared before shards_: they hold pointers to it
   std::vector<std::unique_ptr<StoreShard>> shards_;
   std::atomic<int> shard_count_{0};
-  std::vector<bool> shard_active_;  // guarded by reshard_mu_
-  // Replication bookkeeping, all guarded by reshard_mu_: backup_of_[p] is
-  // primary p's backup id (-1 = none); shard_is_backup_[b] marks b as
-  // currently serving as someone's backup (running but not routable).
-  std::vector<int> backup_of_;
-  std::vector<bool> shard_is_backup_;
+  std::vector<bool> shard_active_ GUARDED_BY(reshard_mu_);
+  // Replication bookkeeping: backup_of_[p] is primary p's backup id
+  // (-1 = none); shard_is_backup_[b] marks b as currently serving as
+  // someone's backup (running but not routable).
+  std::vector<int> backup_of_ GUARDED_BY(reshard_mu_);
+  std::vector<bool> shard_is_backup_ GUARDED_BY(reshard_mu_);
   LoadHistogram failover_usec_;
   CommitListener commit_cb_;
-  mutable std::mutex reshard_mu_;  // one reshard at a time
-  ReshardStats last_reshard_;      // guarded by reshard_mu_
-  uint64_t ctl_seq_ = 0;           // control req ids, guarded by reshard_mu_
-  bool started_ = false;
+  mutable Mutex reshard_mu_;  // one reshard / view change / checkpoint at a time
+  ReshardStats last_reshard_ GUARDED_BY(reshard_mu_);
+  uint64_t ctl_seq_ GUARDED_BY(reshard_mu_) = 0;  // control req ids
+  bool started_ GUARDED_BY(reshard_mu_) = false;
 };
 
 }  // namespace chc

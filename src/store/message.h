@@ -43,7 +43,9 @@ enum class OpType : uint8_t {
   kSeedBackup,        // primary: stream full state to migrate_to as a new backup
 };
 
-enum class Status : uint8_t {
+// [[nodiscard]]: a Status silently dropped is exactly how lost-ACK bugs
+// hide (protocol rule 3; tools/lint_protocol.py checks this stays put).
+enum class [[nodiscard]] Status : uint8_t {
   kOk,
   kNotFound,
   kNotOwner,        // per-flow key owned by another instance

@@ -44,7 +44,7 @@ ShardRouter::ShardRouter(int initial_shards, uint32_t num_slots) {
 }
 
 const RoutingTable* ShardRouter::publish(RoutingTable next) {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   next.epoch = current_.load(std::memory_order_relaxed)->epoch + 1;
   auto owned = std::make_unique<const RoutingTable>(std::move(next));
   const RoutingTable* raw = owned.get();

@@ -32,9 +32,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "store/key.h"
 
 namespace chc {
@@ -82,7 +82,7 @@ class ShardRouter {
 
   // Installs `next` as the current table with epoch = current + 1.
   // Caller serializes publishes (one reshard at a time).
-  const RoutingTable* publish(RoutingTable next);
+  const RoutingTable* publish(RoutingTable next) EXCLUDES(mu_);
 
   // --- reshard planning (pure functions of the current table) ---------------
   // Rebalance onto `new_shard` (not currently active): takes slots from the
@@ -94,9 +94,9 @@ class ShardRouter {
   RoutingTable plan_remove(int shard, std::vector<MoveGroup>* moves) const;
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // Retention list: the data path holds raw pointers into these.
-  std::vector<std::unique_ptr<const RoutingTable>> history_;
+  std::vector<std::unique_ptr<const RoutingTable>> history_ GUARDED_BY(mu_);
   std::atomic<const RoutingTable*> current_{nullptr};
   std::atomic<uint64_t> epoch_{1};
 };

@@ -44,7 +44,7 @@ StoreShard::StoreShard(int index, const LinkConfig& link_cfg,
 StoreShard::~StoreShard() { stop(); }
 
 void StoreShard::start() {
-  std::lock_guard lk(lifecycle_mu_);
+  MutexLock lk(lifecycle_mu_);
   if (running_.load(std::memory_order_acquire)) return;
   // Reap a worker that exited on its own (crash_from_worker): it cleared
   // running_ but nobody joined it yet.
@@ -62,7 +62,7 @@ void StoreShard::start() {
 }
 
 void StoreShard::stop() {
-  std::lock_guard lk(lifecycle_mu_);
+  MutexLock lk(lifecycle_mu_);
   // Unconditional close + join: a self-crashed worker already flipped
   // running_, but its thread must still be reaped here — the old
   // early-return on !running_ left it unjoined (std::terminate at the next
@@ -73,7 +73,7 @@ void StoreShard::stop() {
 }
 
 bool StoreShard::fence(Duration grace) {
-  std::lock_guard lk(lifecycle_mu_);
+  MutexLock lk(lifecycle_mu_);
   running_.store(false, std::memory_order_release);
   requests_.close();
   // Give the worker its graceful exit first: a live worker (e.g. a
@@ -192,6 +192,8 @@ void StoreShard::run() {
   // over the whole burst instead of being paid per op.
   std::vector<Request> burst;
   burst.reserve(burst_);
+  // relaxed-ok: running_ is the worker stop/crash flag, re-polled every
+  // bounded recv_batch; stop() and crash() join or fence afterwards.
   while (running_.load(std::memory_order_relaxed)) {
     // Liveness beacon: recv_batch's bounded wait guarantees this advances
     // on a healthy worker even with zero traffic, so a stalled streak is
@@ -214,6 +216,7 @@ void StoreShard::run() {
         return;
       }
       process(std::move(req));
+      // relaxed-ok: same stop/crash flag as the loop head above.
       if (!running_.load(std::memory_order_relaxed)) return;  // crashed mid-op
     }
     metrics_.wakeups.add();

@@ -12,7 +12,6 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -21,6 +20,7 @@
 #include "common/flat_map.h"
 #include "common/metrics.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "store/message.h"
 #include "store/router.h"
 #include "transport/sim_link.h"
@@ -118,8 +118,8 @@ class StoreShard {
   StoreShard(const StoreShard&) = delete;
   StoreShard& operator=(const StoreShard&) = delete;
 
-  void start();
-  void stop();
+  void start() EXCLUDES(lifecycle_mu_);
+  void stop() EXCLUDES(lifecycle_mu_);
 
   // Failover fence: stop admitting work WITHOUT unconditionally joining
   // the worker. The detector targets wedged primaries too — a worker stuck
@@ -130,7 +130,7 @@ class StoreShard {
   // healthy primary loses nothing) and joined — the slot is reusable;
   // false = still wedged (link closed, replication stream detached, but
   // the slot must not be reused until worker_exited() flips).
-  bool fence(Duration grace);
+  bool fence(Duration grace) EXCLUDES(lifecycle_mu_);
   // True once the worker thread has returned from run() (or never started).
   // Gates slot reuse after a fence() timed out on a wedged worker.
   bool worker_exited() const {
@@ -140,9 +140,9 @@ class StoreShard {
   // Simulates a crash: stops the worker and discards all shard state.
   // Slot ownership survives a crash (the failed shard is recovered in
   // place, not resharded away).
-  void crash();
+  void crash() EXCLUDES(lifecycle_mu_);
   // Installs recovered state and restarts the worker.
-  void restore(ShardEntryMap entries);
+  void restore(ShardEntryMap entries) EXCLUDES(lifecycle_mu_);
 
   // --- elastic resharding (store/router.h) ----------------------------------
   // Initial slot assignment; called before start() (no worker yet).
@@ -320,7 +320,9 @@ class StoreShard {
   // like any other object.
 
   SplitMix64 rng_;
-  std::thread worker_;
+  // Assigned/joined only under lifecycle_mu_ (start/stop/fence and the
+  // reap-a-self-crashed-worker paths).
+  std::thread worker_ GUARDED_BY(lifecycle_mu_);
   std::atomic<bool> running_{false};
   // Flipped by the worker as its last act before returning from run();
   // true while no worker exists. Lets fence() distinguish "exited, safe to
@@ -330,7 +332,7 @@ class StoreShard {
   // thread that exited on its own (crash_from_worker): the old stop() early-
   // returned when running_ was already false and left the finished thread
   // unjoined — std::terminate on the next start() or destruction.
-  std::mutex lifecycle_mu_;
+  Mutex lifecycle_mu_;
   std::atomic<ReplicaRole> role_{ReplicaRole::kPrimary};
   std::atomic<StoreShard*> backup_{nullptr};
   FaultInjector* fault_ = nullptr;  // set before start(); worker-read only

@@ -6,9 +6,9 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace chc {
@@ -29,9 +29,9 @@ class ConcurrentQueue {
   // waiter may observe {closed, item present}; pop_wait handles that by
   // draining items even when closed. No item is ever lost and no waiter
   // sleeps past its timeout.
-  bool push(T item) {
+  bool push(T item) EXCLUDES(mu_) {
     {
-      std::lock_guard lk(mu_);
+      MutexLock lk(mu_);
       if (closed_) return false;
       items_.push_back(std::move(item));
       depth_.store(items_.size(), std::memory_order_relaxed);
@@ -40,8 +40,8 @@ class ConcurrentQueue {
     return true;
   }
 
-  std::optional<T> try_pop() {
-    std::lock_guard lk(mu_);
+  std::optional<T> try_pop() EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     if (items_.empty()) return std::nullopt;
     T v = std::move(items_.front());
     items_.pop_front();
@@ -53,8 +53,8 @@ class ConcurrentQueue {
   // this to drain messages whose delivery time has arrived without waiting
   // on ones still "in flight".
   template <typename Pred>
-  std::optional<T> pop_if(Pred pred) {
-    std::lock_guard lk(mu_);
+  std::optional<T> pop_if(Pred pred) EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     if (items_.empty() || !pred(items_.front())) return std::nullopt;
     T v = std::move(items_.front());
     items_.pop_front();
@@ -63,9 +63,12 @@ class ConcurrentQueue {
   }
 
   // Blocks until an item arrives, the timeout elapses, or the queue closes.
-  std::optional<T> pop_wait(Duration timeout) {
-    std::unique_lock lk(mu_);
-    cv_.wait_for(lk, timeout, [&] { return !items_.empty() || closed_; });
+  // Always a bounded wait: wait_for with a predicate, never a bare wait()
+  // (protocol rule 1 — a dead producer must not wedge a consumer forever).
+  std::optional<T> pop_wait(Duration timeout) EXCLUDES(mu_) {
+    MutexLock lk(mu_);
+    cv_.wait_for(lk.native(), timeout,
+                 [&]() REQUIRES(mu_) { return !items_.empty() || closed_; });
     if (items_.empty()) return std::nullopt;
     T v = std::move(items_.front());
     items_.pop_front();
@@ -77,16 +80,16 @@ class ConcurrentQueue {
   // The framework uses this to suppress duplicate outputs sitting in a
   // downstream instance's message queue (paper §5.3).
   template <typename Pred>
-  size_t remove_if(Pred pred) {
-    std::lock_guard lk(mu_);
+  size_t remove_if(Pred pred) EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     size_t before = items_.size();
     std::erase_if(items_, pred);
     depth_.store(items_.size(), std::memory_order_relaxed);
     return before - items_.size();
   }
 
-  size_t size() const {
-    std::lock_guard lk(mu_);
+  size_t size() const EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     return items_.size();
   }
 
@@ -96,14 +99,14 @@ class ConcurrentQueue {
   // by an in-flight push/pop but never blocks anyone.
   size_t approx_size() const { return depth_.load(std::memory_order_relaxed); }
 
-  bool closed() const {
-    std::lock_guard lk(mu_);
+  bool closed() const EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     return closed_;
   }
 
-  void close() {
+  void close() EXCLUDES(mu_) {
     {
-      std::lock_guard lk(mu_);
+      MutexLock lk(mu_);
       closed_ = true;
     }
     cv_.notify_all();
@@ -111,17 +114,17 @@ class ConcurrentQueue {
 
   // Re-open after a close; used when a failed component is replaced and its
   // queue identity must be preserved for upstream producers.
-  void reopen() {
-    std::lock_guard lk(mu_);
+  void reopen() EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     closed_ = false;
   }
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::condition_variable cv_;
-  std::deque<T> items_;
+  std::deque<T> items_ GUARDED_BY(mu_);
   std::atomic<size_t> depth_{0};  // mirrors items_.size(); relaxed readers
-  bool closed_ = false;
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace chc

@@ -20,7 +20,6 @@
 // knobs but never switches transports mid-flight.
 #pragma once
 
-#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -28,6 +27,7 @@
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/spin.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "transport/queue.h"
 #include "transport/ring.h"
@@ -70,8 +70,8 @@ class SimLink {
     fault_link_id_.store(cfg_.fault_link_id, std::memory_order_relaxed);
   }
 
-  void set_config(const LinkConfig& cfg) {
-    std::lock_guard lk(mu_);
+  void set_config(const LinkConfig& cfg) EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     const bool keep_ring = cfg_.lockfree;  // transport fixed at construction
     cfg_ = cfg;
     cfg_.lockfree = keep_ring;
@@ -85,9 +85,12 @@ class SimLink {
   // Returns false if the message was dropped (loss injection) or the link
   // is closed. On a full ring the sender yields until space frees up —
   // bounded-queue backpressure, not silent loss.
-  bool send(T msg) {
+  bool send(T msg) EXCLUDES(mu_) {
     Duration delay;
     bool timed = true;
+    // relaxed-ok: randomized_ is a monotonic-per-set_config mirror of
+    // cfg_.randomized(); a stale read routes one message through the wrong
+    // (still-correct) delay path during a config change, never corrupts.
     if (!randomized_.load(std::memory_order_relaxed)) {
       // Fast path: constant delay needs neither the RNG nor its mutex
       // (base_delay_ is the lock-free mirror of cfg_.one_way_delay).
@@ -99,7 +102,7 @@ class SimLink {
       // replicates.
       timed = delay != Duration::zero();
     } else {
-      std::lock_guard lk(mu_);
+      MutexLock lk(mu_);
       if (cfg_.drop_prob > 0 && rng_.chance(cfg_.drop_prob)) {
         dropped_.add();
         return false;
@@ -112,6 +115,9 @@ class SimLink {
         delay += 2 * cfg_.one_way_delay;
       }
     }
+    // relaxed-ok: the injector pointer is set before traffic starts (its
+    // object outlives the link by contract); a racing set_config at worst
+    // applies the old/new injector to one in-flight message.
     if (FaultInjector* fi = fault_.load(std::memory_order_relaxed)) {
       Duration extra = Duration::zero();
       const LinkAction act =
@@ -300,9 +306,9 @@ class SimLink {
     return q_.push(std::move(t));
   }
 
-  mutable std::mutex mu_;
-  LinkConfig cfg_;
-  SplitMix64 rng_{7};
+  mutable Mutex mu_;
+  LinkConfig cfg_ GUARDED_BY(mu_);
+  SplitMix64 rng_ GUARDED_BY(mu_){7};
   std::atomic<bool> randomized_{false};
   std::atomic<Duration::rep> base_delay_{0};
   std::atomic<FaultInjector*> fault_{nullptr};

@@ -1,0 +1,6 @@
+// R1: unbounded condition_variable wait.
+#include <condition_variable>
+#include <mutex>
+void consumer(std::condition_variable& cv, std::unique_lock<std::mutex>& lk) {
+  cv.wait(lk);  // wedges forever if the producer died
+}

@@ -1,0 +1,6 @@
+// R2a: raw std::mutex member instead of chc::Mutex.
+#include <mutex>
+class Widget {
+  std::mutex mu_;
+  int count_ = 0;
+};

@@ -1,0 +1,8 @@
+// R2b: chc::Mutex member that no annotation in the file references.
+class Widget {
+ public:
+  void poke();
+ private:
+  mutable Mutex mu_;
+  int count_ = 0;  // never annotated against mu_, never waived
+};

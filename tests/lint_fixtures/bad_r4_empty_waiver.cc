@@ -1,0 +1,7 @@
+// R4: waiver comment present but carries no justification.
+#include <atomic>
+void spin(std::atomic<bool>& running) {
+  // relaxed-ok:
+  while (running.load(std::memory_order_relaxed)) {
+  }
+}

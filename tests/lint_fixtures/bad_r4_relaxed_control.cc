@@ -1,0 +1,6 @@
+// R4: relaxed load feeding a control-flow decision, no waiver.
+#include <atomic>
+void spin(std::atomic<bool>& running) {
+  while (running.load(std::memory_order_relaxed)) {
+  }
+}

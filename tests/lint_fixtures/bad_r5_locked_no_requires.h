@@ -1,0 +1,7 @@
+// R5: *_locked declaration without REQUIRES.
+#pragma once
+class Table {
+ private:
+  int lookup_locked(int key) const;
+  mutable Mutex mu_ GUARDED_BY(mu_);
+};

@@ -1,0 +1,5 @@
+#include <atomic>
+class Worker {
+  void drain() NO_THREAD_SAFETY_ANALYSIS;
+  int depth_ = 0;
+};

@@ -1,0 +1,9 @@
+// Annotated chc::Mutex member: R2-clean.
+#pragma once
+class Widget {
+ public:
+  void poke() EXCLUDES(mu_);
+ private:
+  mutable Mutex mu_;
+  int count_ GUARDED_BY(mu_) = 0;
+};

@@ -1,0 +1,7 @@
+// Bounded predicate wait through the annotated-lock idiom: R1-clean.
+#include <chrono>
+#include <condition_variable>
+bool consume(std::condition_variable& cv, MutexLock& lk, bool& ready) {
+  return cv.wait_for(lk.native(), std::chrono::milliseconds(5),
+                     [&] { return ready; });
+}

@@ -1,0 +1,7 @@
+// Commented escape hatch: R6-clean (registry listing is a tree check).
+class Worker {
+  // Teardown-only: the worker thread has been joined, so this reads
+  // worker-owned state with no concurrent writers left.
+  void drain() NO_THREAD_SAFETY_ANALYSIS;
+  int depth_ = 0;
+};

@@ -1,0 +1,10 @@
+// *_locked declaration carrying REQUIRES: R5-clean.
+#pragma once
+class Table {
+ public:
+  int lookup(int key) const EXCLUDES(mu_);
+ private:
+  int lookup_locked(int key) const REQUIRES(mu_);
+  mutable Mutex mu_;
+  int hits_ GUARDED_BY(mu_) = 0;
+};

@@ -1,0 +1,8 @@
+// Justified relaxed-ok waiver: R4-clean.
+#include <atomic>
+void spin(std::atomic<bool>& running) {
+  // relaxed-ok: stop flag re-polled every iteration; teardown joins the
+  // thread, which provides the ordering.
+  while (running.load(std::memory_order_relaxed)) {
+  }
+}

@@ -277,16 +277,26 @@ TEST(SimLinkRing, CloseReopenSemantics) {
 
 TEST(SimLinkRing, CrossThreadDelivery) {
   SimLink<int> link(lockfree_cfg());
+  // 200 messages through a 64-slot ring: the producer overruns the ring by
+  // design. send() is lossy past its 2ms backpressure window (a descheduled
+  // consumer must not wedge senders), so the producer retries refused sends
+  // the way the real data path's retransmission machinery does — the old
+  // version ignored send()'s status and span forever at recv() when a
+  // parallel test run starved the consumer past the window.
   std::thread t([&] {
-    for (int i = 0; i < 200; ++i) link.send(i);
+    for (int i = 0; i < 200; ++i) {
+      while (!link.send(i)) std::this_thread::yield();
+    }
   });
   int got = 0;
-  while (got < 200) {
+  const auto deadline = SteadyClock::now() + std::chrono::seconds(30);
+  while (got < 200 && SteadyClock::now() < deadline) {
     if (auto v = link.recv(std::chrono::milliseconds(100))) {
       EXPECT_EQ(*v, got);
       got++;
     }
   }
+  EXPECT_EQ(got, 200);  // bounded: a lost message fails loudly, never hangs
   t.join();
   EXPECT_EQ(link.pending(), 0u);
 }

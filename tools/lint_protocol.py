@@ -1,0 +1,266 @@
+#!/usr/bin/env python3
+"""Project-specific concurrency-protocol linter (docs/architecture.md §9).
+
+Clang's -Wthread-safety proves lock/field discipline; these are the repo's
+own protocol rules the compiler cannot see:
+
+  R1 bare-wait      Every blocking condition_variable wait must be bounded:
+                    wait_for / wait_until (all in-tree waits also carry a
+                    predicate). A bare .wait() can wedge a consumer forever
+                    behind a dead producer.
+  R2 raw-mutex      No raw std::mutex outside common/thread_annotations.h —
+                    locking goes through chc::Mutex so the capability
+                    attributes apply. Every Mutex member must be referenced
+                    by at least one GUARDED_BY / PT_GUARDED_BY / REQUIRES /
+                    EXCLUDES / ACQUIRE / RELEASE / RETURN_CAPABILITY in the
+                    same file, or carry a `// mutex-ok: <why>` waiver.
+  R3 nodiscard      `Status` and `BackendStatus` stay [[nodiscard]] so a
+                    silently dropped failure is a compile error, not a lost
+                    ACK hiding in a test.
+  R4 relaxed-load   No memory_order_relaxed load feeding a control-flow
+                    decision (if/while/for condition) outside
+                    common/metrics.* without a `// relaxed-ok: <why>`
+                    waiver in the preceding lines.
+  R5 locked-suffix  A function named *_locked() documents "caller holds the
+                    lock"; its declaration must say so to the analyzer with
+                    REQUIRES(...).
+  R6 tsa-waiver     NO_THREAD_SAFETY_ANALYSIS needs a justifying comment at
+                    the use site.
+  R7 registry       Every file granted any waiver (mutex-ok, relaxed-ok,
+                    NO_THREAD_SAFETY_ANALYSIS) must be listed in
+                    docs/static_analysis.md so the waiver set cannot grow
+                    silently.
+
+Usage:
+  tools/lint_protocol.py                  # lint src/ + registry check
+  tools/lint_protocol.py --fixtures DIR   # fixture mode (see tests/)
+
+Exit status: 0 clean, 1 violations, 2 usage/setup error.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SHIM = os.path.join("src", "common", "thread_annotations.h")
+REGISTRY = os.path.join("docs", "static_analysis.md")
+
+# How many lines above a flagged statement a waiver comment still covers
+# (comments may span a few lines before the statement they justify).
+WAIVER_WINDOW = 6
+
+BARE_WAIT = re.compile(r"\.wait\s*\(")
+RAW_MUTEX = re.compile(r"\bstd::(timed_|recursive_|shared_)?mutex\b")
+MUTEX_MEMBER = re.compile(r"^\s*(?:mutable\s+)?(?:chc::)?Mutex\s+(\w+)\s*[;{]")
+RELAXED_LOAD = re.compile(r"\.load\s*\(\s*std::memory_order_relaxed\s*\)")
+CONTROL_FLOW = re.compile(r"\b(if|while|for)\s*\(")
+LOCKED_FN = re.compile(r"\b(\w+_locked)\s*\(")
+ANNOTATION_USE = re.compile(
+    r"\b(GUARDED_BY|PT_GUARDED_BY|REQUIRES|EXCLUDES|ACQUIRE|RELEASE|"
+    r"TRY_ACQUIRE|RETURN_CAPABILITY)\s*\("
+)
+NODISCARD_ENUMS = {
+    os.path.join("src", "store", "message.h"): "Status",
+    os.path.join("src", "store", "backend.h"): "BackendStatus",
+}
+
+
+def has_waiver(lines, idx, tag):
+    """True if `// <tag>: <justification>` appears on the flagged line or in
+    the WAIVER_WINDOW lines above it, with a non-empty justification."""
+    lo = max(0, idx - WAIVER_WINDOW)
+    for line in lines[lo : idx + 1]:
+        m = re.search(tag + r":\s*(\S.*)?", line)
+        if m:
+            if not m.group(1):
+                return False  # waiver present but unjustified: still flagged
+            return True
+    return False
+
+
+def lint_file(relpath, text, errors, fixture_mode=False):
+    lines = text.splitlines()
+    is_header = relpath.endswith(".h")
+    shim = relpath.replace("\\", "/").endswith("common/thread_annotations.h")
+    metrics = "common/metrics." in relpath.replace("\\", "/")
+
+    def err(i, rule, msg):
+        errors.append(f"{relpath}:{i + 1}: [{rule}] {msg}")
+
+    mutex_members = []
+    for i, line in enumerate(lines):
+        code = line.split("//", 1)[0]
+
+        # R1: bare condition_variable wait. wait_for / wait_until survive
+        # because the regex demands the exact token `.wait(`.
+        if BARE_WAIT.search(code) and not re.search(r"\.wait_(for|until)", code):
+            err(i, "R1", "unbounded .wait() — use wait_for/wait_until with "
+                         "a predicate (a dead producer must not wedge you)")
+
+        # R2a: raw std::mutex anywhere but the shim.
+        if not shim and RAW_MUTEX.search(code):
+            err(i, "R2", "raw std::mutex — use chc::Mutex from "
+                         "common/thread_annotations.h so the capability "
+                         "attributes apply")
+
+        # R2b: collect annotated-mutex members for the per-file reference
+        # check after the scan.
+        m = MUTEX_MEMBER.match(code)
+        if m and not shim:
+            mutex_members.append((i, m.group(1)))
+
+        # R4: relaxed load in a control-flow condition.
+        if (not metrics and RELAXED_LOAD.search(code)
+                and CONTROL_FLOW.search(code)
+                and not has_waiver(lines, i, "relaxed-ok")):
+            err(i, "R4", "memory_order_relaxed load feeding control flow — "
+                         "upgrade the ordering or add a justified "
+                         "`// relaxed-ok:` waiver")
+
+        # R5: *_locked functions must be declared REQUIRES. Applies to
+        # declarations (headers, or unqualified file-local functions);
+        # out-of-line `Class::foo_locked` definitions inherit the
+        # declaration's attributes, and call sites are exempt.
+        m = LOCKED_FN.search(code)
+        if m and "::" not in code.split(m.group(1))[0][-24:]:
+            stmt = code
+            j = i
+            while j + 1 < len(lines) and "{" not in stmt and ";" not in stmt:
+                j += 1
+                stmt += " " + lines[j].split("//", 1)[0]
+            looks_like_decl = (
+                is_header
+                and not re.match(r"\s*(return\b|//)", line)
+                and "=" not in code.split(m.group(1))[0]
+                and re.search(
+                    r"[\w>&*\]]\s+\*?&?" + re.escape(m.group(1)) + r"\s*\(",
+                    code))
+            if looks_like_decl and "REQUIRES" not in stmt:
+                err(i, "R5", f"{m.group(1)}() is named *_locked but its "
+                             "declaration has no REQUIRES(...) annotation")
+
+        # R6: waiver macro needs an in-place justification.
+        if not shim and "NO_THREAD_SAFETY_ANALYSIS" in code:
+            if not any("//" in l for l in lines[max(0, i - 2) : i + 1]):
+                err(i, "R6", "NO_THREAD_SAFETY_ANALYSIS without a justifying "
+                             "comment at the use site")
+
+    # R2b: every chc::Mutex member must be referenced by an annotation
+    # somewhere in the same file (or waived).
+    for i, name in mutex_members:
+        referenced = any(
+            ANNOTATION_USE.search(l) and name in l for l in lines)
+        if not referenced and not has_waiver(lines, i, "mutex-ok"):
+            err(i, "R2", f"Mutex member {name} has no GUARDED_BY/REQUIRES/"
+                         "EXCLUDES reference in this file — annotate what it "
+                         "guards or add a justified `// mutex-ok:` waiver")
+
+    return bool(mutex_members)
+
+
+def collect(root, subdirs, exts=(".h", ".cc")):
+    out = []
+    for sub in subdirs:
+        for dirpath, _, names in os.walk(os.path.join(root, sub)):
+            for n in sorted(names):
+                if n.endswith(exts):
+                    out.append(os.path.relpath(os.path.join(dirpath, n), root))
+    return sorted(out)
+
+
+def lint_tree(root):
+    errors = []
+    files = collect(root, ["src"])
+    if not files:
+        print(f"lint_protocol: no sources under {root}/src", file=sys.stderr)
+        return 2
+
+    waiver_files = set()
+    for rel in files:
+        with open(os.path.join(root, rel), encoding="utf-8") as f:
+            text = f.read()
+        lint_file(rel, text, errors)
+        if not rel.replace("\\", "/").endswith("common/thread_annotations.h"):
+            if ("relaxed-ok" in text or "mutex-ok" in text
+                    or "NO_THREAD_SAFETY_ANALYSIS" in text):
+                waiver_files.add(rel)
+
+    # R3: the [[nodiscard]] markers stay put.
+    for rel, enum in NODISCARD_ENUMS.items():
+        path = os.path.join(root, rel)
+        if not os.path.exists(path):
+            errors.append(f"{rel}:1: [R3] file missing (nodiscard check)")
+            continue
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        if not re.search(r"enum\s+class\s+\[\[nodiscard\]\]\s+" + enum, text):
+            errors.append(f"{rel}:1: [R3] enum {enum} is no longer "
+                          "[[nodiscard]] — silent Status discards would "
+                          "compile again")
+
+    # R7: the waiver registry enumerates every waiver-carrying file.
+    reg_path = os.path.join(root, REGISTRY)
+    if os.path.exists(reg_path):
+        with open(reg_path, encoding="utf-8") as f:
+            registry = f.read()
+        for rel in sorted(waiver_files):
+            if rel.replace("\\", "/") not in registry:
+                errors.append(
+                    f"{rel}:1: [R7] file carries a concurrency waiver but is "
+                    f"not listed in {REGISTRY}")
+    else:
+        errors.append(f"{REGISTRY}:1: [R7] waiver registry missing")
+
+    for e in errors:
+        print(e)
+    print(f"lint_protocol: {len(files)} files, {len(errors)} violation(s)")
+    return 1 if errors else 0
+
+
+def lint_fixtures(fixture_dir):
+    """Fixture mode: files named bad_*.cc/.h must produce >=1 violation
+    mentioning the rule id embedded in their name (bad_r1_*.cc -> R1);
+    files named good_*.cc/.h must be clean. Registry (R7) is skipped —
+    fixtures are not part of the tree."""
+    failures = []
+    names = sorted(
+        n for n in os.listdir(fixture_dir) if n.endswith((".cc", ".h")))
+    if not names:
+        print(f"lint_protocol: no fixtures in {fixture_dir}", file=sys.stderr)
+        return 2
+    for n in names:
+        with open(os.path.join(fixture_dir, n), encoding="utf-8") as f:
+            text = f.read()
+        errors = []
+        lint_file(n, text, errors)
+        if n.startswith("bad_"):
+            want = n.split("_")[1].upper()  # bad_r1_... -> R1
+            if not any(f"[{want}]" in e for e in errors):
+                failures.append(
+                    f"{n}: expected a [{want}] violation, got "
+                    f"{[e.split('] ')[0] + ']' for e in errors] or 'none'}")
+        elif n.startswith("good_"):
+            if errors:
+                failures.append(f"{n}: expected clean, got:\n  " +
+                                "\n  ".join(errors))
+    for f in failures:
+        print(f)
+    print(f"lint_protocol: {len(names)} fixtures, {len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "--fixtures":
+        if len(argv) != 3:
+            print(__doc__, file=sys.stderr)
+            return 2
+        return lint_fixtures(argv[2])
+    if len(argv) == 1:
+        return lint_tree(REPO)
+    print(__doc__, file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
