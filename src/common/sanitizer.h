@@ -1,0 +1,65 @@
+// Compile-time sanitizer detection.
+//
+// Timing-sensitive thresholds (the failure detector's heartbeat-miss budget
+// above all) are tuned for an uninstrumented build. TSan slows the program
+// roughly 10x and ASan a few x, which turns a healthy-but-descheduled shard
+// worker into a false crash: the detector sees a stuck heartbeat streak and
+// fails over a live primary. The old answer was `ctest --repeat
+// until-pass:2` on the TSan CI job — a band-aid that also reran genuine
+// failures. The right answer is to scale the thresholds where the slowdown
+// is, at compile time, so a sanitized build tests the same protocol with a
+// proportionate clock.
+//
+// Usage: multiply a miss budget (or divide a rate expectation) by
+// kSanitizerTimingScale. Production code must not branch on these — they
+// exist for tests and benches; the protocol linter's rules still apply.
+#pragma once
+
+namespace chc {
+
+#if defined(__SANITIZE_THREAD__)
+#define CHC_HAS_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CHC_HAS_TSAN 1
+#endif
+#endif
+
+#if defined(__SANITIZE_ADDRESS__)
+#define CHC_HAS_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define CHC_HAS_ASAN 1
+#endif
+#endif
+
+#ifdef CHC_HAS_TSAN
+inline constexpr bool kTsanEnabled = true;
+#else
+inline constexpr bool kTsanEnabled = false;
+#endif
+
+#ifdef CHC_HAS_ASAN
+inline constexpr bool kAsanEnabled = true;
+#else
+inline constexpr bool kAsanEnabled = false;
+#endif
+
+// Unoptimized builds (-O0, e.g. the gcov coverage job) carry the same
+// hazard without any sanitizer: the inlining and hoisting the thresholds
+// were tuned against are gone, and coverage counters tax every basic
+// block on top.
+#ifdef __OPTIMIZE__
+inline constexpr bool kOptimizedBuild = true;
+#else
+inline constexpr bool kOptimizedBuild = false;
+#endif
+
+// Conservative slowdown multipliers: TSan's documented 5-15x, ASan's 2x
+// (UBSan rides along with ASan in CI and adds little), ~5x for plain -O0
+// with coverage counters. 1 = uninstrumented optimized.
+inline constexpr int kSanitizerTimingScale =
+    kTsanEnabled ? 10
+                 : (kAsanEnabled ? 3 : (kOptimizedBuild ? 1 : 5));
+
+}  // namespace chc

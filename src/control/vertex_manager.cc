@@ -62,6 +62,19 @@ StoreAction decide_store(const StoreObservation& obs, const StorePolicy& p,
   return StoreAction::kNone;
 }
 
+bool decide_store_rebalance(const StoreObservation& obs, const StorePolicy& p,
+                            BandState& band) {
+  const bool busy = obs.window_ops >= p.min_window_ops;
+  const bool skewed = busy && obs.shards >= 2 && p.rebalance_max_slots > 0 &&
+                      obs.max_over_mean > p.rebalance_ratio;
+  band.skewed = skewed ? band.skewed + 1 : 0;
+  if (band.skewed >= p.rebalance_after) {
+    band.skewed = 0;
+    return true;
+  }
+  return false;
+}
+
 // --- manager -----------------------------------------------------------------
 
 VertexManager::VertexManager(Runtime& rt, VertexManagerConfig cfg)
@@ -172,6 +185,46 @@ StoreObservation VertexManager::observe_store() {
     obs.max_queue = std::max(
         obs.max_queue, static_cast<double>(sh.request_link().pending()));
   }
+
+  // Per-router-slot window across serving primaries: the rebalance plan's
+  // input, and (mapped through the live table) the skew signal.
+  const RoutingTable* table = store.router().table();
+  std::vector<uint64_t> now_slots(table->num_slots(), 0);
+  for (int i = 0; i < n; ++i) {
+    StoreShard& sh = store.shard(i);
+    if (!sh.serving() || !sh.is_primary()) continue;
+    sh.accumulate_slot_ops(&now_slots);
+  }
+  if (last_slot_ops_.size() != now_slots.size()) {
+    last_slot_ops_.assign(now_slots.size(), 0);
+  }
+  store_slot_window_.assign(now_slots.size(), 0);
+  for (size_t s = 0; s < now_slots.size(); ++s) {
+    // A crash or failover can shrink the summed counter between samples
+    // (the primary set changed, or a shard's counters reset); clamp to
+    // zero rather than underflow into a phantom mega-window.
+    store_slot_window_[s] =
+        now_slots[s] >= last_slot_ops_[s] ? now_slots[s] - last_slot_ops_[s] : 0;
+    last_slot_ops_[s] = now_slots[s];
+  }
+  uint16_t max_id = 0;
+  for (uint16_t s : table->active_shards) max_id = std::max(max_id, s);
+  std::vector<uint64_t> loads(static_cast<size_t>(max_id) + 1, 0);
+  for (uint32_t s = 0; s < store_slot_window_.size(); ++s) {
+    if (table->slot_to_shard[s] < loads.size()) {
+      loads[table->slot_to_shard[s]] += store_slot_window_[s];
+    }
+  }
+  uint64_t total = 0, max_load = 0;
+  for (uint16_t s : table->active_shards) {
+    total += loads[s];
+    max_load = std::max(max_load, loads[s]);
+  }
+  if (!table->active_shards.empty()) {
+    const double mean = static_cast<double>(total) /
+                        static_cast<double>(table->active_shards.size());
+    obs.max_over_mean = mean > 0 ? static_cast<double>(max_load) / mean : 0;
+  }
   return obs;
 }
 
@@ -230,12 +283,28 @@ void VertexManager::tick() {
       break;  // one NF-tier actuation per tick: let the system absorb it
     }
   }
+  bool store_scaled = false;
   if (cfg_.manage_store && store_cooldown_ > 0) {
     store_cooldown_--;
   } else if (cfg_.manage_store) {
     const StoreAction action = decide_store(store_obs, cfg_.store, store_band_);
     if (action != StoreAction::kNone && act_on_store(action)) {
       store_cooldown_ = cfg_.cooldown_samples;
+      store_scaled = true;
+    }
+  }
+  // The rebalance band runs under its own cooldown, independent of the
+  // scale decisions above (a scale cooldown must not black out skew
+  // detection). Capacity first: a tick that scaled lets its transient
+  // drain before skew may actuate, but the band still advances.
+  if (cfg_.manage_store && cfg_.rebalance) {
+    const bool fire =
+        decide_store_rebalance(store_obs, cfg_.store, store_rebalance_band_);
+    if (store_rebalance_cooldown_ > 0) {
+      store_rebalance_cooldown_--;
+    } else if (fire && !store_scaled &&
+               act_on_store(StoreAction::kRebalance)) {
+      store_rebalance_cooldown_ = cfg_.cooldown_samples;
     }
   }
 }
@@ -345,6 +414,16 @@ bool VertexManager::act_on_store(StoreAction action) {
       a_shard_remove_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
+    case StoreAction::kRebalance: {
+      const size_t moved =
+          rt_.rebalance_store(store_slot_window_, cfg_.store.rebalance_ratio,
+                              cfg_.store.rebalance_max_slots);
+      if (moved == 0) return false;
+      a_store_rebalances_.fetch_add(1, std::memory_order_relaxed);
+      CHC_INFO("vertex-manager: store rebalanced, %zu hot slots migrated",
+               moved);
+      return true;
+    }
     case StoreAction::kNone:
       break;
   }
@@ -359,6 +438,7 @@ VertexManager::Actions VertexManager::actions() const {
   a.rebalances = a_rebalances_.load(std::memory_order_relaxed);
   a.shard_add = a_shard_add_.load(std::memory_order_relaxed);
   a.shard_remove = a_shard_remove_.load(std::memory_order_relaxed);
+  a.store_rebalances = a_store_rebalances_.load(std::memory_order_relaxed);
   a.failovers = a_failovers_.load(std::memory_order_relaxed);
   return a;
 }

@@ -69,6 +69,15 @@ struct StorePolicy {
   size_t min_shards = 1;
   size_t max_shards = 8;
   uint64_t min_window_ops = 64;
+  // Load-aware slot rebalance (the store-tier twin of the NF re-steer):
+  // fires when max/mean per-primary slot_ops over a window exceeds the
+  // ratio for rebalance_after consecutive busy samples. Decided through
+  // its own hysteresis band and actuated under its own cooldown,
+  // independent of the scale decisions (a skewed store that is also
+  // saturated scales first) and of the failure detector.
+  double rebalance_ratio = 2.0;
+  size_t rebalance_max_slots = 8;
+  size_t rebalance_after = 2;
   // Failure detector: a serving primary whose heartbeat counter has not
   // advanced for this many consecutive samples is declared dead and
   // DataStore::failover_shard() is actuated unattended. 0 disables the
@@ -105,10 +114,11 @@ struct StoreObservation {
   double burst_p99 = 0;  // worst per-shard requests/wakeup p99 this window
   double max_queue = 0;  // deepest shard request link
   uint64_t window_ops = 0;
+  double max_over_mean = 0;  // per-primary slot_ops skew this window
 };
 
 enum class VertexAction : uint8_t { kNone, kScaleUp, kScaleDown, kRebalance };
-enum class StoreAction : uint8_t { kNone, kAddShard, kRemoveShard };
+enum class StoreAction : uint8_t { kNone, kAddShard, kRemoveShard, kRebalance };
 
 // Consecutive out-of-band sample counts (the hysteresis memory).
 struct BandState {
@@ -124,6 +134,11 @@ VertexAction decide_vertex(const VertexObservation& obs, const VertexPolicy& p,
                            BandState& band);
 StoreAction decide_store(const StoreObservation& obs, const StorePolicy& p,
                          BandState& band);
+// The store rebalance decision, split from decide_store because it runs on
+// its own band + cooldown: scale cooldowns must not black out skew
+// detection (and vice versa). True = actuate a rebalance this sample.
+bool decide_store_rebalance(const StoreObservation& obs, const StorePolicy& p,
+                            BandState& band);
 
 class VertexManager {
  public:
@@ -134,6 +149,7 @@ class VertexManager {
     uint64_t rebalances = 0;
     uint64_t shard_add = 0;
     uint64_t shard_remove = 0;
+    uint64_t store_rebalances = 0;
     uint64_t failovers = 0;
   };
 
@@ -185,11 +201,19 @@ class VertexManager {
   // the store decision (or vice versa) — the tiers saturate independently.
   size_t nf_cooldown_ = 0;
   size_t store_cooldown_ = 0;
+  // The rebalance cooldown is deliberately separate from store_cooldown_:
+  // a scale's transient must not hide a persistent skew forever, and a
+  // rebalance must not delay a needed capacity change.
+  size_t store_rebalance_cooldown_ = 0;
   TimePoint last_tick_{};
   std::vector<HistSnapshot> last_burst_;   // per shard: window deltas
   std::vector<uint64_t> last_shard_ops_;   // per shard: window floors
   std::vector<uint64_t> shard_ops_window_;  // per shard: this window's ops
                                             // (drain-victim ranking)
+  BandState store_rebalance_band_;
+  std::vector<uint64_t> last_slot_ops_;      // per router slot: summed floors
+  std::vector<uint64_t> store_slot_window_;  // per router slot: this window's
+                                             // ops (the rebalance plan input)
   std::vector<uint64_t> last_heartbeats_;   // per shard: last seen beacon
   std::vector<size_t> missed_heartbeats_;   // per shard: stuck-sample streak
 
@@ -202,6 +226,7 @@ class VertexManager {
   std::atomic<uint64_t> a_rebalances_{0};
   std::atomic<uint64_t> a_shard_add_{0};
   std::atomic<uint64_t> a_shard_remove_{0};
+  std::atomic<uint64_t> a_store_rebalances_{0};
   std::atomic<uint64_t> a_failovers_{0};
 
   std::thread worker_;

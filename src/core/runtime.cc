@@ -496,6 +496,17 @@ bool Runtime::scale_store_down(int shard) {
   return ok;
 }
 
+size_t Runtime::rebalance_store(const std::vector<uint64_t>& slot_ops,
+                                double target_ratio, size_t max_slots) {
+  const ReshardStats rs =
+      store_->rebalance_store(slot_ops, target_ratio, max_slots);
+  CHC_INFO("rebalance_store: ok=%d slots=%zu entries=%zu epoch=%llu "
+           "elapsed=%.0fus",
+           rs.ok ? 1 : 0, rs.slots_moved, rs.entries_moved,
+           static_cast<unsigned long long>(rs.epoch), rs.elapsed_usec);
+  return rs.ok ? rs.slots_moved : 0;
+}
+
 // --- straggler mitigation ------------------------------------------------------
 
 uint16_t Runtime::clone_for_straggler(VertexId v, uint16_t straggler_rid) {

@@ -154,6 +154,12 @@ class Runtime {
   int scale_store_up();
   // Drains `shard` onto the survivors and stops it.
   bool scale_store_down(int shard);
+  // Load-aware store rebalance (ShardRouter::plan_rebalance over a per-slot
+  // op window, typically the vertex manager's last sample): live-migrates
+  // the hottest slots off the most-loaded shard onto the least-loaded one.
+  // Returns slots moved (0 = already balanced or the reshard failed).
+  size_t rebalance_store(const std::vector<uint64_t>& slot_ops,
+                         double target_ratio, size_t max_slots = 8);
 
   // --- straggler mitigation (§5.3) ------------------------------------------
   uint16_t clone_for_straggler(VertexId v, uint16_t straggler_rid)

@@ -239,6 +239,19 @@ bool DataStore::run_moves(RoutingTable next, const std::vector<MoveGroup>& moves
   return true;
 }
 
+void DataStore::note_move_outcome(const std::vector<MoveGroup>& moves, bool ok) {
+  for (const MoveGroup& g : moves) {
+    for (uint32_t slot : g.slots) {
+      auto it = std::find(degraded_slots_.begin(), degraded_slots_.end(), slot);
+      if (ok) {
+        if (it != degraded_slots_.end()) degraded_slots_.erase(it);
+      } else if (it == degraded_slots_.end()) {
+        degraded_slots_.push_back(slot);
+      }
+    }
+  }
+}
+
 int DataStore::add_shard() {
   MutexLock lk(reshard_mu_);
   if (!started_) return -1;
@@ -258,6 +271,7 @@ int DataStore::add_shard() {
   ReshardStats stats;
   stats.shard = id;
   stats.ok = run_moves(std::move(next), moves, &stats);
+  note_move_outcome(moves, stats.ok);
   stats.elapsed_usec = to_usec(SteadyClock::now() - t0);
   last_reshard_ = stats;
   if (!stats.ok) return -1;
@@ -282,6 +296,7 @@ bool DataStore::remove_shard(int shard) {
   ReshardStats stats;
   stats.shard = shard;
   stats.ok = run_moves(std::move(next), moves, &stats);
+  note_move_outcome(moves, stats.ok);
   stats.elapsed_usec = to_usec(SteadyClock::now() - t0);
   if (!stats.ok) {
     last_reshard_ = stats;
@@ -319,6 +334,35 @@ bool DataStore::remove_shard(int shard) {
            shard, stats.slots_moved, stats.entries_moved,
            static_cast<unsigned long long>(stats.epoch), stats.elapsed_usec);
   return true;
+}
+
+ReshardStats DataStore::rebalance_store(const std::vector<uint64_t>& slot_ops,
+                                        double target_ratio, size_t max_slots) {
+  MutexLock lk(reshard_mu_);
+  ReshardStats stats;  // shard stays -1: membership is unchanged
+  if (!started_) return stats;
+  const TimePoint t0 = SteadyClock::now();
+
+  std::vector<MoveGroup> moves;
+  RoutingTable next = router_.plan_rebalance(slot_ops, target_ratio, max_slots,
+                                             &moves, &degraded_slots_);
+  if (moves.empty()) {
+    // Already balanced (or nothing safely movable): succeed without burning
+    // an epoch — clients keep their cached routes.
+    stats.ok = true;
+    stats.epoch = router_.epoch();
+    return stats;
+  }
+  stats.ok = run_moves(std::move(next), moves, &stats);
+  note_move_outcome(moves, stats.ok);
+  stats.elapsed_usec = to_usec(SteadyClock::now() - t0);
+  last_reshard_ = stats;
+  CHC_INFO("store rebalanced: %zu slots / %zu entries moved across %zu legs, "
+           "epoch %llu (%.0fus)%s",
+           stats.slots_moved, stats.entries_moved, moves.size(),
+           static_cast<unsigned long long>(stats.epoch), stats.elapsed_usec,
+           stats.ok ? "" : " [FAILED: slots left degraded]");
+  return stats;
 }
 
 ReshardStats DataStore::last_reshard() const {
@@ -547,6 +591,14 @@ void DataStore::set_commit_listener(CommitListener cb) {
 void DataStore::gc_clock(LogicalClock clock) {
   const int n = num_shards();
   for (int i = 0; i < n; ++i) {
+    // Primaries only: a backup gets its GC through the primary's
+    // replication stream (maybe_replicate forwards kGcClock), which pins
+    // it behind the ops it covers in primary apply order. A direct send
+    // from this thread could overtake an in-flight replica forward and
+    // make the backup emulate-away an op it never applied. A mid-promotion
+    // role flip is benign either way: a missed GC leaves the clock in the
+    // promoted shard's update_log, where duplicate emulation still holds.
+    if (!shards_[static_cast<size_t>(i)]->is_primary()) continue;
     Request req;
     req.op = OpType::kGcClock;
     req.clock = clock;
@@ -715,6 +767,15 @@ RecoveryStats DataStore::recover_shard(int shard, const ShardSnapshot& checkpoin
   }
   shards_[static_cast<size_t>(shard)]->set_owned_slots(owned_slots);
   shards_[static_cast<size_t>(shard)]->restore(std::move(entries));
+  {
+    // The rebuild is authoritative for these slots: they are no longer
+    // mid-migration, so rebalance plans may move them again.
+    MutexLock lk(reshard_mu_);
+    for (uint32_t s : owned_slots) {
+      auto it = std::find(degraded_slots_.begin(), degraded_slots_.end(), s);
+      if (it != degraded_slots_.end()) degraded_slots_.erase(it);
+    }
+  }
 
   // Husk reconciliation: a migration stream aborted by this crash left its
   // undelivered slice resident at the source (unroutable but

@@ -100,6 +100,20 @@ class DataStore {
   // worker. The id stays valid (and reusable by add_shard). Refuses to
   // drain the last active shard.
   bool remove_shard(int shard) EXCLUDES(reshard_mu_);
+  // Load-aware slot rebalance (ShardRouter::plan_rebalance + the same
+  // per-slot migration protocol add/remove use): migrates the hottest slots
+  // off the most-loaded shard until it is within target_ratio of the mean,
+  // at most max_slots per call. `slot_ops` is a per-virtual-slot op window
+  // (typically the vertex manager's last sample). Replication-aware for
+  // free: install chunks mirror to the target's backup before merging, and
+  // the donor's backup sheds moved slots via the migrate drop echo — moved
+  // slots land with their mirror intact. Slots degraded by an earlier
+  // failed reshard are skipped until a successful plan or a recovery
+  // supersedes them. Returned stats have shard = -1 (no membership change);
+  // an empty plan returns ok with zero slots_moved and no epoch burn.
+  ReshardStats rebalance_store(const std::vector<uint64_t>& slot_ops,
+                               double target_ratio, size_t max_slots)
+      EXCLUDES(reshard_mu_);
   ReshardStats last_reshard() const EXCLUDES(reshard_mu_);
 
   // --- replication / failover (docs/architecture.md §8) ---------------------
@@ -174,6 +188,12 @@ class DataStore {
   // one planned reshard. Returns false if any confirmation timed out.
   bool run_moves(RoutingTable next, const std::vector<MoveGroup>& moves,
                  ReshardStats* stats) REQUIRES(reshard_mu_);
+  // Maintains degraded_slots_ after a reshard attempt: a failed run_moves
+  // leaves its slots mid-migration (pending at targets, husk-resident at
+  // sources), so later rebalance plans must not touch them; a successful
+  // plan that moves a previously degraded slot supersedes the failure.
+  void note_move_outcome(const std::vector<MoveGroup>& moves, bool ok)
+      REQUIRES(reshard_mu_);
   void register_shard_metrics(int i);
   // Finds a reusable (inactive, non-backup) shard id or constructs a new
   // one; -1 at the ceiling. Caller holds reshard_mu_.
@@ -201,6 +221,10 @@ class DataStore {
   LoadHistogram failover_usec_;
   CommitListener commit_cb_;
   mutable Mutex reshard_mu_;  // one reshard / view change / checkpoint at a time
+  // Slots stranded mid-migration by a failed reshard (see router.h failure
+  // model): rebalance plans skip them until recovery or a superseding plan
+  // clears them.
+  std::vector<uint32_t> degraded_slots_ GUARDED_BY(reshard_mu_);
   ReshardStats last_reshard_ GUARDED_BY(reshard_mu_);
   uint64_t ctl_seq_ GUARDED_BY(reshard_mu_) = 0;  // control req ids
   bool started_ GUARDED_BY(reshard_mu_) = false;

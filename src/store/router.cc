@@ -142,4 +142,68 @@ RoutingTable ShardRouter::plan_remove(int shard, std::vector<MoveGroup>* moves) 
   return next;
 }
 
+RoutingTable ShardRouter::plan_rebalance(
+    const std::vector<uint64_t>& slot_ops, double target_ratio,
+    size_t max_slots, std::vector<MoveGroup>* moves,
+    const std::vector<uint32_t>* skip_slots) const {
+  const RoutingTable cur = *table();
+  RoutingTable next = cur;
+  moves->clear();
+  if (slot_ops.size() != cur.num_slots() || target_ratio < 1.0 ||
+      cur.active_shards.size() < 2) {
+    return next;
+  }
+
+  uint16_t max_id = 0;
+  for (uint16_t s : cur.active_shards) max_id = std::max(max_id, s);
+  std::vector<uint64_t> loads(static_cast<size_t>(max_id) + 1, 0);
+  uint64_t total = 0;
+  for (uint32_t s = 0; s < cur.num_slots(); ++s) {
+    if (cur.slot_to_shard[s] < loads.size()) loads[cur.slot_to_shard[s]] += slot_ops[s];
+    total += slot_ops[s];
+  }
+  const double mean = static_cast<double>(total) /
+                      static_cast<double>(cur.active_shards.size());
+  if (mean <= 0) return next;
+
+  auto skipped = [&](uint32_t slot) {
+    if (!skip_slots) return false;
+    return std::find(skip_slots->begin(), skip_slots->end(), slot) !=
+           skip_slots->end();
+  };
+  auto find_group = [&](int src, int dst) -> MoveGroup& {
+    for (MoveGroup& g : *moves) {
+      if (g.src == src && g.dst == dst) return g;
+    }
+    moves->push_back({src, dst, {}});
+    return moves->back();
+  };
+
+  for (size_t moved = 0; moved < max_slots; ++moved) {
+    uint16_t victim = cur.active_shards.front();
+    uint16_t dest = cur.active_shards.front();
+    for (uint16_t s : cur.active_shards) {
+      if (loads[s] > loads[victim]) victim = s;
+      if (loads[s] < loads[dest]) dest = s;
+    }
+    if (static_cast<double>(loads[victim]) <= target_ratio * mean) break;
+    // Hottest slot on the victim whose move strictly shrinks the spread.
+    // dest != victim is implied: a move that lands on its own shard cannot
+    // satisfy loads[dest] + slot_ops[s] < loads[victim].
+    uint32_t best = UINT32_MAX;
+    for (uint32_t s = 0; s < next.num_slots(); ++s) {
+      if (next.slot_to_shard[s] != victim || slot_ops[s] == 0) continue;
+      if (skipped(s)) continue;
+      if (loads[dest] + slot_ops[s] >= loads[victim]) continue;
+      if (best == UINT32_MAX || slot_ops[s] > slot_ops[best]) best = s;
+    }
+    if (best == UINT32_MAX) break;
+    next.slot_to_shard[best] = dest;
+    loads[victim] -= slot_ops[best];
+    loads[dest] += slot_ops[best];
+    find_group(victim, dest).slots.push_back(best);
+  }
+  return next;
+}
+
 }  // namespace chc

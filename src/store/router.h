@@ -92,6 +92,22 @@ class ShardRouter {
   // Drain `shard`: deals its slots to the least-loaded survivors. Returns
   // the next table; `moves` gets one group per destination shard.
   RoutingTable plan_remove(int shard, std::vector<MoveGroup>* moves) const;
+  // Load-aware rebalance, the state-tier twin of Splitter::plan_rebalance:
+  // `slot_ops` is a per-virtual-slot op window (ShardMetrics::slot_ops
+  // deltas, summed across serving primaries). Greedy: while the most-loaded
+  // shard carries more than target_ratio x the mean, move its hottest slot
+  // to the least-loaded shard — but only if the move strictly shrinks the
+  // spread (relocating a slot hotter than the victim/dest gap just moves
+  // the hot spot). At most max_slots move; `skip_slots` (slots degraded by
+  // an earlier failed reshard, i.e. still mid-migration) are never chosen.
+  // Returns the next table; `moves` gets one group per (src, dst) leg.
+  // Empty plan (moves empty, table unchanged) when already balanced, fewer
+  // than two shards, target_ratio < 1, or a size-mismatched window.
+  RoutingTable plan_rebalance(const std::vector<uint64_t>& slot_ops,
+                              double target_ratio, size_t max_slots,
+                              std::vector<MoveGroup>* moves,
+                              const std::vector<uint32_t>* skip_slots =
+                                  nullptr) const;
 
  private:
   mutable Mutex mu_;

@@ -990,6 +990,12 @@ Response StoreShard::apply_transfer(const Request& req, ShardEntry& entry) {
   return r;
 }
 
+void StoreShard::accumulate_slot_ops(std::vector<uint64_t>* out) const {
+  const size_t n = metrics_.slot_ops.size();
+  if (out->size() < n) out->resize(n, 0);
+  for (size_t s = 0; s < n; ++s) (*out)[s] += metrics_.slot_ops.value(s);
+}
+
 // --- replication stream ------------------------------------------------------
 
 void StoreShard::maybe_replicate(const Request& req, const Response& r) {
@@ -1029,10 +1035,20 @@ void StoreShard::maybe_replicate(const Request& req, const Response& r) {
       // moved slots. An aborted stream keeps them resident on both.
       forward = r.status == Status::kOk;
       break;
+    case OpType::kGcClock:
+      // GC must ride this stream, not a direct broadcast from the control
+      // plane: the root can GC a clock the moment the primary commits it —
+      // which happens inside apply(), BEFORE this forward enqueues. A
+      // direct send from another thread could land the GC in the backup's
+      // ring ahead of the op it covers, and the backup would then swallow
+      // that op as a "straggling retransmission" (gc_done_ emulation),
+      // silently dropping the value the primary kept. Riding the stream
+      // pins the GC behind every op it covers, in primary apply order.
+      forward = true;
+      break;
     default:
-      // Reads, GC (DataStore broadcasts kGcClock to backups directly),
-      // checkpoints, and the migration ops handled in install_chunk /
-      // seed_backup.
+      // Reads, checkpoints, and the migration ops handled in
+      // install_chunk / seed_backup.
       return;
   }
   if (!forward) return;

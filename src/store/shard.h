@@ -206,6 +206,11 @@ class StoreShard {
   // exact Histogram lived under a stats mutex and grew without bound): safe
   // for the vertex manager to sample while the worker drains bursts.
   HistSnapshot burst_hist() const { return metrics_.burst.snapshot(); }
+  // Accumulates this shard's per-router-slot op counters into `out`
+  // (resized to the slot count if short). The vertex manager sums these
+  // across serving primaries every sample to build the rebalance planner's
+  // per-slot window without allocating a vector per shard per tick.
+  void accumulate_slot_ops(std::vector<uint64_t>* out) const;
   // Unified telemetry surface (registered with the MetricRegistry).
   const ShardMetrics& metrics() const { return metrics_; }
 

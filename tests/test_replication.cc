@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "common/fault.h"
+#include "common/sanitizer.h"
 #include "core/runtime.h"
 #include "nf/custom_ops.h"
 #include "nf/load_balancer.h"
@@ -775,7 +776,12 @@ FailoverChainResult run_replicated_chain(bool crash) {
   vm.manage_nf = false;
   vm.manage_store = false;
   vm.rebalance = false;
-  vm.store.fail_after_missed = 5;
+  // The miss budget assumes an uninstrumented worker loop: under TSan a
+  // healthy shard's heartbeat can legitimately stall past 5 samples
+  // (~10x slowdown) and the detector would fail over a live primary,
+  // wrecking the oracle comparison. Scale the budget with the build's
+  // instrumentation instead of retrying the suite (common/sanitizer.h).
+  vm.store.fail_after_missed = 5 * kSanitizerTimingScale;
   rt.enable_autoscaler(vm);
 
   TraceConfig tc;

@@ -1,0 +1,230 @@
+// Randomized protocol properties of ShardRouter's planning math. The
+// migration tests (test_resharding, test_store_rebalance) exercise single
+// planned sequences end to end; this harness runs seeded random sequences
+// of plan_add / plan_remove / plan_rebalance and checks the invariants
+// every plan must preserve, whatever order they compose in:
+//
+//   - every virtual slot is owned by exactly one live shard
+//   - epochs are strictly monotonic (+1 per publish)
+//   - move lists are minimal: no slot moves to its current owner, no empty
+//     or self-routed (src == dst) groups, and the move set matches the
+//     table diff exactly
+//   - routing for unmoved slots is stable across the publish
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "store/router.h"
+
+namespace chc {
+namespace {
+
+constexpr uint32_t kSlots = 64;
+
+uint64_t shard_load(const RoutingTable& t, const std::vector<uint64_t>& ops,
+                    uint16_t shard) {
+  uint64_t load = 0;
+  for (uint32_t s = 0; s < t.num_slots(); ++s) {
+    if (t.slot_to_shard[s] == shard) load += ops[s];
+  }
+  return load;
+}
+
+// --- deterministic plan_rebalance unit tests ---------------------------------
+
+TEST(PlanRebalance, MovesHottestSlotsOffMostLoadedShard) {
+  ShardRouter router(4, kSlots);
+  const RoutingTable& cur = *router.table();
+  // All the heat on shard 0's slots: slot weight descends with the slot
+  // index so the hottest slots are identifiable.
+  std::vector<uint64_t> ops(kSlots, 1);
+  for (uint32_t s = 0; s < kSlots; ++s) {
+    if (cur.slot_to_shard[s] == 0) ops[s] = 1000 - s;
+  }
+  std::vector<MoveGroup> moves;
+  const RoutingTable next =
+      router.plan_rebalance(ops, /*target_ratio=*/1.2, /*max_slots=*/32,
+                            &moves);
+  ASSERT_FALSE(moves.empty());
+  size_t planned = 0;
+  for (const MoveGroup& g : moves) {
+    EXPECT_EQ(g.src, 0);  // only shard 0 is over target
+    EXPECT_NE(g.dst, 0);
+    planned += g.slots.size();
+    for (uint32_t slot : g.slots) {
+      EXPECT_EQ(cur.slot_to_shard[slot], 0);
+      EXPECT_EQ(next.slot_to_shard[slot], g.dst);
+    }
+  }
+  EXPECT_GT(planned, 0u);
+  // The plan converged: the old hot shard is within target of the mean.
+  uint64_t total = 0;
+  for (uint64_t o : ops) total += o;
+  const double mean = static_cast<double>(total) / 4.0;
+  EXPECT_LE(static_cast<double>(shard_load(next, ops, 0)), 1.2 * mean);
+  // And it never overshot into a new hot spot.
+  for (uint16_t sh : next.active_shards) {
+    EXPECT_LT(shard_load(next, ops, sh),
+              shard_load(cur, ops, 0));
+  }
+}
+
+TEST(PlanRebalance, EmptyPlanWhenBalancedOrMalformed) {
+  ShardRouter router(4, kSlots);
+  std::vector<MoveGroup> moves;
+
+  // Uniform load: already balanced.
+  std::vector<uint64_t> uniform(kSlots, 5);
+  RoutingTable next = router.plan_rebalance(uniform, 1.2, 8, &moves);
+  EXPECT_TRUE(moves.empty());
+  EXPECT_EQ(next.slot_to_shard, router.table()->slot_to_shard);
+
+  // target_ratio below 1 can never be satisfied: refuse, don't thrash.
+  router.plan_rebalance(uniform, 0.5, 8, &moves);
+  EXPECT_TRUE(moves.empty());
+
+  // Window size must match the slot space.
+  std::vector<uint64_t> short_window(kSlots / 2, 100);
+  router.plan_rebalance(short_window, 1.2, 8, &moves);
+  EXPECT_TRUE(moves.empty());
+
+  // max_slots == 0 is a no-op by construction.
+  std::vector<uint64_t> skewed(kSlots, 0);
+  skewed[0] = 1000;
+  router.plan_rebalance(skewed, 1.2, 0, &moves);
+  EXPECT_TRUE(moves.empty());
+}
+
+TEST(PlanRebalance, EmptyPlanWithFewerThanTwoShards) {
+  ShardRouter router(1, kSlots);
+  std::vector<uint64_t> skewed(kSlots, 1);
+  skewed[0] = 1000;
+  std::vector<MoveGroup> moves;
+  router.plan_rebalance(skewed, 1.2, 8, &moves);
+  EXPECT_TRUE(moves.empty());
+}
+
+TEST(PlanRebalance, SkipSlotsAreNeverChosen) {
+  ShardRouter router(2, kSlots);
+  const RoutingTable& cur = *router.table();
+  // One scorching slot on shard 0 plus warm company; without the skip the
+  // scorcher would be the first pick.
+  std::vector<uint64_t> ops(kSlots, 0);
+  uint32_t hot = UINT32_MAX;
+  for (uint32_t s = 0; s < kSlots; ++s) {
+    if (cur.slot_to_shard[s] == 0) {
+      ops[s] = hot == UINT32_MAX ? 10000 : 100;
+      if (hot == UINT32_MAX) hot = s;
+    }
+  }
+  const std::vector<uint32_t> skip = {hot};
+  std::vector<MoveGroup> moves;
+  router.plan_rebalance(ops, 1.1, 32, &moves, &skip);
+  for (const MoveGroup& g : moves) {
+    for (uint32_t slot : g.slots) EXPECT_NE(slot, hot);
+  }
+}
+
+// --- randomized sequences ----------------------------------------------------
+
+// Applies one random planning op; returns false if the roll produced a
+// no-op (e.g. remove with one shard left). On success the new table is
+// published and checked against the previous one + the move list.
+void check_transition(const RoutingTable& prev, const RoutingTable& next,
+                      const std::vector<MoveGroup>& moves) {
+  // Slot space and mask never change; active_shards stays sorted + unique.
+  ASSERT_EQ(next.num_slots(), prev.num_slots());
+  EXPECT_EQ(next.slot_mask, prev.slot_mask);
+  EXPECT_TRUE(std::is_sorted(next.active_shards.begin(),
+                             next.active_shards.end()));
+  EXPECT_EQ(std::set<uint16_t>(next.active_shards.begin(),
+                               next.active_shards.end())
+                .size(),
+            next.active_shards.size());
+
+  // Every slot owned by exactly one live shard.
+  const std::set<uint16_t> live(next.active_shards.begin(),
+                                next.active_shards.end());
+  for (uint32_t s = 0; s < next.num_slots(); ++s) {
+    EXPECT_TRUE(live.count(next.slot_to_shard[s]))
+        << "slot " << s << " owned by dead shard " << next.slot_to_shard[s];
+  }
+
+  // The move list is exactly the table diff, with minimal groups.
+  std::set<uint32_t> moved;
+  for (const MoveGroup& g : moves) {
+    EXPECT_NE(g.src, g.dst) << "self-routed move group";
+    EXPECT_FALSE(g.slots.empty()) << "empty move group";
+    for (uint32_t slot : g.slots) {
+      EXPECT_TRUE(moved.insert(slot).second)
+          << "slot " << slot << " moved twice in one plan";
+      EXPECT_EQ(prev.slot_to_shard[slot], g.src)
+          << "group src is not the slot's current owner";
+      EXPECT_EQ(next.slot_to_shard[slot], g.dst)
+          << "group dst is not the slot's next owner";
+    }
+  }
+  for (uint32_t s = 0; s < next.num_slots(); ++s) {
+    if (!moved.count(s)) {
+      EXPECT_EQ(next.slot_to_shard[s], prev.slot_to_shard[s])
+          << "unmoved slot " << s << " changed owners";
+    }
+  }
+}
+
+TEST(RouterProperties, RandomizedPlanSequencesPreserveInvariants) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    SplitMix64 rng(seed * 0x9e3779b9u);
+    ShardRouter router(2 + static_cast<int>(seed % 3), kSlots);
+    uint64_t expect_epoch = 1;
+    EXPECT_EQ(router.epoch(), expect_epoch);
+
+    for (int step = 0; step < 60; ++step) {
+      const RoutingTable prev = *router.table();
+      std::vector<MoveGroup> moves;
+      RoutingTable next;
+
+      const uint64_t roll = rng.bounded(3);
+      if (roll == 0 && prev.active_shards.size() < 12) {
+        // Add: pick the smallest non-active id (mirrors slot reuse in the
+        // real store).
+        uint16_t id = 0;
+        while (std::find(prev.active_shards.begin(), prev.active_shards.end(),
+                         id) != prev.active_shards.end()) {
+          id++;
+        }
+        next = router.plan_add(id, &moves);
+        for (const MoveGroup& g : moves) EXPECT_EQ(g.dst, id);
+      } else if (roll == 1 && prev.active_shards.size() > 1) {
+        const uint16_t victim = prev.active_shards[static_cast<size_t>(
+            rng.bounded(prev.active_shards.size()))];
+        next = router.plan_remove(victim, &moves);
+        for (const MoveGroup& g : moves) EXPECT_EQ(g.src, victim);
+        for (uint16_t s : next.active_shards) EXPECT_NE(s, victim);
+      } else {
+        // Rebalance over a random window (zero-heavy, occasional spikes —
+        // the shape real slot_ops counters have).
+        std::vector<uint64_t> ops(kSlots, 0);
+        for (uint32_t s = 0; s < kSlots; ++s) {
+          if (rng.chance(0.7)) ops[s] = rng.bounded(16);
+          if (rng.chance(0.1)) ops[s] = rng.bounded(5000);
+        }
+        const double ratio = 1.05 + rng.uniform();
+        next = router.plan_rebalance(ops, ratio, rng.bounded(kSlots), &moves);
+        if (moves.empty()) continue;  // balanced roll: nothing to publish
+      }
+
+      check_transition(prev, next, moves);
+      router.publish(std::move(next));
+      // Strictly monotonic: exactly one epoch per publish.
+      expect_epoch++;
+      EXPECT_EQ(router.epoch(), expect_epoch);
+      EXPECT_EQ(router.table()->epoch, expect_epoch);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chc

@@ -1,0 +1,346 @@
+// Store-tier load-aware rebalance (ShardRouter::plan_rebalance +
+// DataStore::rebalance_store) under live traffic. Two differential tests
+// drive a NAT -> LB chain over a Zipf trace with rebalances fired
+// mid-trace — manually and via the vertex manager's skew detector — and
+// require byte-identical final store state and delivery counts against a
+// static run of the same trace. A third test races a rebalance against a
+// donor-primary crash mid-slot-stream (the router.h failure model) and
+// checks the degraded slots are fenced from re-planning until recovered.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/fault.h"
+#include "core/runtime.h"
+#include "nf/custom_ops.h"
+#include "nf/load_balancer.h"
+#include "nf/nat.h"
+#include "store/router.h"
+#include "trace/trace.h"
+
+namespace chc {
+namespace {
+
+// --- rebalance under load vs static oracle -----------------------------------
+
+enum class Mode { kStatic, kManual, kDetector };
+
+struct ChainResult {
+  std::unordered_map<StoreKey, Value, StoreKeyHash> values;
+  size_t delivered = 0;
+  size_t slots_moved = 0;
+  uint64_t rebalances = 0;  // detector actuations (kDetector only)
+  uint64_t final_epoch = 0;
+};
+
+// NAT -> LB over a Zipf(1.2) trace. kManual fires a deterministic
+// rebalance every 100 packets: the window paints one shard hot in
+// rotation, so every plan moves slots and every migration leg gets
+// exercised regardless of scheduler timing. kDetector hands the store to
+// the vertex manager (scaling pinned) and paces injection so the skew
+// band sees real windows.
+ChainResult run_chain(Mode mode) {
+  RuntimeConfig cfg;
+  cfg.model = Model::kExternalCachedNoAck;
+  cfg.store.num_shards = 4;
+  cfg.store.route_slots = 64;
+  cfg.root.clock_persist_every = 0;
+  cfg.root_one_way = Duration::zero();
+
+  ChainSpec spec;
+  VertexId nat = spec.add_vertex("nat", [] { return std::make_unique<Nat>(); });
+  VertexId lb =
+      spec.add_vertex("lb", [] { return std::make_unique<LoadBalancer>(4); });
+  spec.add_edge(nat, lb);
+  Runtime rt(std::move(spec), cfg);
+  register_custom_ops(rt.store());
+  rt.start();
+  {
+    auto seeder = rt.probe_client(nat);
+    Nat::seed_ports(*seeder, 50000, 256);
+  }
+
+  if (mode == Mode::kDetector) {
+    VertexManagerConfig mc;
+    mc.sample_interval = std::chrono::milliseconds(1);
+    mc.cooldown_samples = 2;
+    mc.manage_nf = false;
+    mc.store.min_shards = 4;
+    mc.store.max_shards = 4;
+    mc.store.burst_p99_high = 1e9;
+    mc.store.queue_high = 1e9;
+    mc.store.down_after = 1 << 20;
+    mc.store.min_window_ops = 8;
+    // Hair-trigger band: any busy window with measurable skew fires. The
+    // point here is protocol safety under detector-driven migrations, not
+    // policy tuning (bench_store_rebalance covers the policy shape).
+    mc.store.rebalance_ratio = 1.01;
+    mc.store.rebalance_after = 1;
+    mc.store.rebalance_max_slots = 8;
+    rt.enable_autoscaler(mc);
+  }
+
+  TraceConfig tc;
+  tc.seed = 29;
+  tc.num_packets = 600;
+  tc.num_connections = 40;
+  tc.median_packet_size = 400;
+  tc.zipf_alpha = 1.2;
+  const Trace trace = generate_trace(tc);
+
+  ChainResult out;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    rt.inject(trace[i]);
+    if (mode == Mode::kManual && i % 100 == 50) {
+      const RoutingTable t = *rt.store().router().table();
+      const uint16_t hot =
+          t.active_shards[(i / 100) % t.active_shards.size()];
+      std::vector<uint64_t> window(t.num_slots(), 1);
+      for (uint32_t s = 0; s < t.num_slots(); ++s) {
+        if (t.slot_to_shard[s] == hot) window[s] = 100;
+      }
+      const size_t moved = rt.rebalance_store(window, 1.1, 4);
+      EXPECT_GT(moved, 0u) << "painted-hot shard " << hot
+                           << " must shed slots at packet " << i;
+      out.slots_moved += moved;
+    }
+    if (mode == Mode::kDetector) {
+      // Paced injection: the 1ms sampling windows must see live traffic.
+      spin_for(Micros(100));
+    }
+  }
+  EXPECT_TRUE(rt.wait_quiescent(std::chrono::seconds(60)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+
+  if (VertexManager* vm = rt.autoscaler()) {
+    out.rebalances = vm->actions().store_rebalances;
+    rt.disable_autoscaler();
+  }
+  out.delivered = rt.sink().count();
+  out.final_epoch = rt.store().router().epoch();
+  for (const auto& snap : rt.store().checkpoint_all()) {
+    for (const auto& [key, entry] : snap->entries) {
+      if (!entry.value.is_none()) {
+        EXPECT_FALSE(out.values.count(key))
+            << "key duplicated across shards: vertex=" << key.vertex
+            << " object=" << key.object << " scope=" << key.scope_key;
+        out.values[key] = entry.value;
+      }
+    }
+  }
+  rt.shutdown();
+  return out;
+}
+
+void expect_matches(const ChainResult& dynamic, const ChainResult& oracle) {
+  EXPECT_EQ(dynamic.delivered, oracle.delivered);
+  EXPECT_EQ(dynamic.values.size(), oracle.values.size());
+  for (const auto& [key, value] : oracle.values) {
+    auto it = dynamic.values.find(key);
+    ASSERT_NE(it, dynamic.values.end())
+        << "missing key: vertex=" << key.vertex << " object=" << key.object
+        << " scope=" << key.scope_key;
+    EXPECT_EQ(it->second, value)
+        << "diverged: vertex=" << key.vertex << " object=" << key.object
+        << " scope=" << key.scope_key << " oracle=" << value.str()
+        << " got=" << it->second.str();
+  }
+}
+
+TEST(RebalanceUnderLoad, ManualRebalancesMatchStaticOracle) {
+  const ChainResult oracle = run_chain(Mode::kStatic);
+  ASSERT_FALSE(oracle.values.empty());
+  ASSERT_GT(oracle.delivered, 0u);
+
+  const ChainResult dynamic = run_chain(Mode::kManual);
+  EXPECT_GE(dynamic.slots_moved, 6u);  // 6 forced rebalances, >= 1 slot each
+  EXPECT_GT(dynamic.final_epoch, 1u);
+  expect_matches(dynamic, oracle);
+}
+
+TEST(RebalanceUnderLoad, DetectorDrivenRebalancesMatchStaticOracle) {
+  const ChainResult oracle = run_chain(Mode::kStatic);
+  ASSERT_FALSE(oracle.values.empty());
+
+  const ChainResult dynamic = run_chain(Mode::kDetector);
+  EXPECT_GE(dynamic.rebalances, 1u)
+      << "the hair-trigger skew band never fired over a paced Zipf trace";
+  expect_matches(dynamic, oracle);
+}
+
+// --- rebalance races a donor-primary crash -----------------------------------
+
+StoreKey make_key(uint64_t scope) {
+  StoreKey k;
+  k.vertex = 7;
+  k.object = 1;
+  k.scope_key = scope;
+  k.shared = true;
+  return k;
+}
+
+class RebalanceFailoverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DataStoreConfig cfg;
+    cfg.num_shards = 2;
+    cfg.route_slots = 32;
+    cfg.replica.enabled = true;
+    cfg.fault = &fi_;
+    store_ = std::make_unique<DataStore>(cfg);
+    store_->start();
+  }
+
+  int64_t blocking_incr(const StoreKey& key, int64_t delta,
+                        LogicalClock clock) {
+    Request req;
+    req.op = OpType::kIncr;
+    req.key = key;
+    req.arg = Value::of_int(delta);
+    req.clock = clock;
+    req.blocking = true;
+    req.reply_to = reply_;
+    req.req_id = ++seq_;
+    return blocking_submit(std::move(req)).value.as_int();
+  }
+
+  Response blocking_get(const StoreKey& key) {
+    Request req;
+    req.op = OpType::kGet;
+    req.key = key;
+    req.blocking = true;
+    req.reply_to = reply_;
+    req.req_id = ++seq_;
+    return blocking_submit(std::move(req));
+  }
+
+  Response blocking_submit(Request req) {
+    req.route_epoch = store_->router().epoch();
+    for (int attempt = 0; attempt < 50; ++attempt) {
+      store_->submit(req);
+      const TimePoint deadline = SteadyClock::now() + std::chrono::seconds(1);
+      while (SteadyClock::now() < deadline) {
+        auto r = reply_->recv(Micros(200));
+        if (!r || r->req_id != req.req_id) continue;
+        if (r->status == Status::kWrongShard) break;  // re-route + resubmit
+        return *r;
+      }
+    }
+    ADD_FAILURE() << "blocking_submit: no reply";
+    return {};
+  }
+
+  // A per-slot window painting shard 0's current slots hot: the rebalance
+  // plan must pick shard 0 as the donor.
+  std::vector<uint64_t> hot_window_for(uint16_t shard) {
+    const RoutingTable* t = store_->router().table();
+    std::vector<uint64_t> window(t->num_slots(), 1);
+    for (uint32_t s = 0; s < t->num_slots(); ++s) {
+      if (t->slot_to_shard[s] == shard) window[s] = 100;
+    }
+    return window;
+  }
+
+  FaultInjector fi_{13};
+  std::unique_ptr<DataStore> store_;
+  ReplyLinkPtr reply_ = std::make_shared<ReplyLink>();
+  uint64_t seq_ = 0;
+};
+
+TEST_F(RebalanceFailoverTest, DonorCrashMidStreamThenFailover) {
+  // Clock-bearing writes: replication forwards before the ACK, so every
+  // value below is committed to shard 0/1's backups.
+  for (uint64_t k = 0; k < 64; ++k) {
+    ASSERT_EQ(blocking_incr(make_key(k), static_cast<int64_t>(k + 1),
+                            /*clock=*/1000 + k),
+              static_cast<int64_t>(k + 1));
+  }
+  // Merged pre-crash checkpoint: the recovery filter rebuilds only the
+  // slots the live table assigns the recovering shard.
+  ShardSnapshot oracle;
+  for (const auto& snap : store_->checkpoint_all()) {
+    for (const auto& [key, entry] : snap->entries) oracle.entries[key] = entry;
+  }
+  const RoutingTable before = *store_->router().table();
+
+  // The donor primary (shard 0, painted hot) dies before sending its 2nd
+  // migration chunk: the table has already flipped the planned slots to
+  // the destination, the partial leg leaves them degraded.
+  fi_.arm_crash_on_migration(0, /*source=*/true, 2);
+  const ReshardStats rs =
+      store_->rebalance_store(hot_window_for(0), /*target_ratio=*/1.1,
+                              /*max_slots=*/4);
+  EXPECT_FALSE(rs.ok);
+  EXPECT_GE(fi_.crashes(), 1u);
+  EXPECT_FALSE(store_->shard(0).serving());
+  const RoutingTable after = *store_->router().table();
+  EXPECT_EQ(after.epoch, before.epoch + 1);
+
+  // The failed plan's slots (the table diff) now route to the destination.
+  std::vector<uint32_t> moved;
+  uint16_t dest = 0;
+  for (uint32_t s = 0; s < after.num_slots(); ++s) {
+    if (after.slot_to_shard[s] != before.slot_to_shard[s]) {
+      moved.push_back(s);
+      dest = after.slot_to_shard[s];
+      EXPECT_EQ(before.slot_to_shard[s], 0) << "only shard 0 was hot";
+    }
+  }
+  ASSERT_FALSE(moved.empty());
+
+  // Failover the crashed donor: its backup promotes, the view bumps, and
+  // every key on the slots shard 0 still owned survives (replication made
+  // the moved-out husk irrelevant for those).
+  ASSERT_TRUE(store_->failover_shard(0));
+  EXPECT_EQ(store_->view(), 2u);
+  const RoutingTable* promoted = store_->router().table();
+  for (uint16_t s : promoted->active_shards) EXPECT_NE(s, 0);
+  for (uint64_t k = 0; k < 64; ++k) {
+    const StoreKey key = make_key(k);
+    const uint32_t slot = promoted->slot_of(key.hash());
+    if (std::find(moved.begin(), moved.end(), slot) != moved.end()) continue;
+    Response r = blocking_get(key);
+    EXPECT_EQ(r.status, Status::kOk) << "key " << k;
+    EXPECT_EQ(r.value.as_int(), static_cast<int64_t>(k + 1)) << "key " << k;
+  }
+
+  // The degraded slots are fenced: a window painting them hot at their new
+  // owner must produce an empty plan (no move, no epoch burn) — re-planning
+  // a mid-migration slot would stack a second stream on a half-installed
+  // leg.
+  const uint64_t epoch_before_replan = store_->router().epoch();
+  std::vector<uint64_t> degraded_hot(promoted->num_slots(), 0);
+  for (uint32_t s : moved) degraded_hot[s] = 1000;
+  const ReshardStats replan =
+      store_->rebalance_store(degraded_hot, /*target_ratio=*/1.1,
+                              /*max_slots=*/8);
+  EXPECT_TRUE(replan.ok);
+  EXPECT_EQ(replan.slots_moved, 0u);
+  EXPECT_EQ(store_->router().epoch(), epoch_before_replan);
+  for (uint32_t s : moved) {
+    EXPECT_EQ(store_->router().table()->slot_to_shard[s], dest)
+        << "degraded slot " << s << " must not move again";
+  }
+
+  // Recovery clears the fence: rebuild the wedged destination from the
+  // pre-crash checkpoints (recover_shard re-fills exactly the slots the
+  // live table assigns it and erases them from the degraded list), after
+  // which every key reads back and the same hot window may plan again.
+  store_->crash_shard(dest);
+  store_->recover_shard(static_cast<int>(dest), oracle, {});
+  EXPECT_TRUE(store_->shard(dest).serving());
+  for (uint64_t k = 0; k < 64; ++k) {
+    Response r = blocking_get(make_key(k));
+    EXPECT_EQ(r.status, Status::kOk) << "key " << k;
+    EXPECT_EQ(r.value.as_int(), static_cast<int64_t>(k + 1)) << "key " << k;
+  }
+  const ReshardStats replan2 =
+      store_->rebalance_store(degraded_hot, /*target_ratio=*/1.1,
+                              /*max_slots=*/8);
+  EXPECT_TRUE(replan2.ok);
+  EXPECT_GT(replan2.slots_moved, 0u)
+      << "recovered slots must be plannable again";
+}
+
+}  // namespace
+}  // namespace chc

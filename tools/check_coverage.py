@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Line-coverage floor over selected source trees, from raw gcov data.
+
+Deliberately lcov-free: gcc's own `gcov --json-format --stdout` is the
+only tool invoked, so the gate runs anywhere the compiler does. Point it
+at a build tree configured with -DENABLE_COVERAGE=ON after the test
+suites have run:
+
+    python3 tools/check_coverage.py build-cov \
+        --min 70 --path src/store --path src/control
+
+For every .gcda the build produced, the matching gcov JSON is parsed and
+covered/executable lines are unioned per source file (a line counts as
+covered if ANY object that compiled it executed it — headers compiled
+into many TUs would otherwise be under-counted). Files outside the
+--path prefixes are ignored. Exit 1 if any prefix's aggregate line
+coverage is below --min.
+"""
+
+import argparse
+import collections
+import json
+import os
+import subprocess
+import sys
+
+
+def gcov_json(gcda, build_dir):
+    """Run gcov on one .gcda and yield its parsed file records."""
+    try:
+        # gcov runs with the build tree as cwd (so it finds the .gcno next
+        # to the .gcda); the gcda path itself must therefore be absolute.
+        out = subprocess.run(
+            ["gcov", "--json-format", "--stdout", os.path.abspath(gcda)],
+            cwd=build_dir,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+    except (OSError, subprocess.TimeoutExpired) as e:
+        print(f"warning: gcov failed on {gcda}: {e}", file=sys.stderr)
+        return
+    # One JSON document per line (gcov emits one per .gcno processed).
+    for line in out.stdout.splitlines():
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError:
+            continue
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("build_dir", help="build tree with .gcda files")
+    ap.add_argument("--min", type=float, required=True,
+                    help="minimum aggregate line coverage percent per --path")
+    ap.add_argument("--path", action="append", required=True,
+                    help="repo-relative source prefix to gate (repeatable)")
+    ap.add_argument("--root", default=os.getcwd(),
+                    help="repo root the prefixes are relative to")
+    args = ap.parse_args()
+
+    root = os.path.abspath(args.root)
+    gcdas = []
+    for dirpath, _, files in os.walk(args.build_dir):
+        gcdas.extend(os.path.join(dirpath, f) for f in files
+                     if f.endswith(".gcda"))
+    if not gcdas:
+        print(f"error: no .gcda under {args.build_dir} — was the build "
+              "configured with -DENABLE_COVERAGE=ON and were tests run?",
+              file=sys.stderr)
+        return 1
+
+    # file -> line -> max execution count across all objects.
+    lines = collections.defaultdict(dict)
+    for gcda in gcdas:
+        for doc in gcov_json(gcda, args.build_dir):
+            for frec in doc.get("files", []):
+                path = frec.get("file", "")
+                if os.path.isabs(path):
+                    try:
+                        path = os.path.relpath(path, root)
+                    except ValueError:
+                        continue
+                if path.startswith(".."):
+                    continue
+                per_file = lines[path]
+                for lrec in frec.get("lines", []):
+                    no = lrec.get("line_number")
+                    count = lrec.get("count", 0)
+                    if no is None:
+                        continue
+                    per_file[no] = max(per_file.get(no, 0), count)
+
+    failed = False
+    for prefix in args.path:
+        norm = prefix.rstrip("/") + "/"
+        execable = covered = nfiles = 0
+        for path, per_file in sorted(lines.items()):
+            if not path.startswith(norm):
+                continue
+            nfiles += 1
+            execable += len(per_file)
+            covered += sum(1 for c in per_file.values() if c > 0)
+        pct = 100.0 * covered / execable if execable else 0.0
+        status = "ok" if pct >= args.min else "BELOW FLOOR"
+        print(f"{prefix}: {pct:.1f}% line coverage "
+              f"({covered}/{execable} lines, {nfiles} files) "
+              f"[floor {args.min:.1f}%] {status}")
+        if pct < args.min:
+            failed = True
+        if nfiles == 0:
+            print(f"error: no instrumented files under {prefix}",
+                  file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
